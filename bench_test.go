@@ -1,0 +1,280 @@
+// Benchmarks regenerating every experiment of EXPERIMENTS.md (E1–E14; run
+// with -benchtime=1x — each iteration performs a full sweep), plus
+// micro-benchmarks of the substrate operations. Metrics reported via
+// b.ReportMetric are the headline numbers recorded in EXPERIMENTS.md; the
+// full tables print under -v.
+package repro_test
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/adj"
+	"repro/internal/baseline"
+	"repro/internal/bmf"
+	"repro/internal/conncomp"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/hopset"
+	"repro/internal/pathrep"
+	"repro/internal/pram"
+	"repro/internal/psort"
+	"repro/internal/scaling"
+)
+
+var benchCfg = harness.Config{Quick: true, Seed: 1}
+
+// parseCell converts a numeric table cell.
+func parseCell(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// colIndex finds a column by name (-1 if absent).
+func colIndex(t *harness.Table, name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func reportWorst(b *testing.B, t *harness.Table, col, metric string) {
+	b.Helper()
+	idx := colIndex(t, col)
+	if idx < 0 {
+		return
+	}
+	worst := 0.0
+	for _, r := range t.Rows {
+		if v := parseCell(r[idx]); !math.IsNaN(v) && v > worst {
+			worst = v
+		}
+	}
+	b.ReportMetric(worst, metric)
+}
+
+func runExperiment(b *testing.B, run func(harness.Config) *harness.Table) *harness.Table {
+	b.Helper()
+	var t *harness.Table
+	for i := 0; i < b.N; i++ {
+		t = run(benchCfg)
+	}
+	b.Log("\n" + t.String())
+	okCol := colIndex(t, "ok")
+	if okCol < 0 {
+		okCol = colIndex(t, "valid")
+	}
+	if okCol >= 0 {
+		for _, r := range t.Rows {
+			if r[okCol] == "FAIL" {
+				b.Fatalf("%s: failing row %v", t.ID, r)
+			}
+		}
+	}
+	return t
+}
+
+func BenchmarkE1HopsetSize(b *testing.B) {
+	t := runExperiment(b, harness.E1HopsetSize)
+	reportWorst(b, t, "|H|/bound", "size/bound")
+}
+
+func BenchmarkE2Stretch(b *testing.B) {
+	t := runExperiment(b, harness.E2Stretch)
+	reportWorst(b, t, "max stretch", "max-stretch")
+}
+
+func BenchmarkE3Work(b *testing.B) {
+	t := runExperiment(b, harness.E3Work)
+	reportWorst(b, t, "fit exp", "work-exponent")
+}
+
+func BenchmarkE4SSSP(b *testing.B) {
+	t := runExperiment(b, harness.E4SSSP)
+	reportWorst(b, t, "max stretch", "max-stretch")
+}
+
+func BenchmarkE5Depth(b *testing.B) {
+	t := runExperiment(b, harness.E5Depth)
+	reportWorst(b, t, "depth/log³n", "depth/log3n")
+}
+
+func BenchmarkE6Phases(b *testing.B)  { runExperiment(b, harness.E6Phases) }
+func BenchmarkE13Radii(b *testing.B)  { runExperiment(b, harness.E13Radii) }
+func BenchmarkE14Ledger(b *testing.B) { runExperiment(b, harness.E14Ledger) }
+
+func BenchmarkE7Stars(b *testing.B) {
+	t := runExperiment(b, harness.E7Stars)
+	reportWorst(b, t, "|S|/(n·log n)", "stars/bound")
+}
+
+func BenchmarkE8PathReport(b *testing.B) {
+	t := runExperiment(b, harness.E8PathReport)
+	reportWorst(b, t, "max stretch", "max-stretch")
+}
+
+func BenchmarkE9KleinSairam(b *testing.B) {
+	t := runExperiment(b, harness.E9KleinSairam)
+	reportWorst(b, t, "max stretch", "max-stretch")
+}
+
+func BenchmarkE10Derand(b *testing.B) {
+	t := runExperiment(b, harness.E10Derand)
+	reportWorst(b, t, "max stretch", "max-stretch")
+}
+
+func BenchmarkE11HopReduction(b *testing.B) {
+	t := runExperiment(b, harness.E11HopReduction)
+	reportWorst(b, t, "speedup", "hop-speedup")
+}
+
+func BenchmarkE12Speedup(b *testing.B) {
+	t := runExperiment(b, harness.E12Speedup)
+	reportWorst(b, t, "speedup", "wall-speedup")
+}
+
+func BenchmarkE15WeightModes(b *testing.B) {
+	t := runExperiment(b, harness.E15WeightModes)
+	reportWorst(b, t, "|H|", "edges")
+}
+
+func BenchmarkE16BetaSensitivity(b *testing.B) {
+	t := runExperiment(b, harness.E16BetaSensitivity)
+	reportWorst(b, t, "max stretch", "max-stretch")
+}
+
+// --- Micro-benchmarks of the substrates and core operations. ---
+
+func benchGraph(n int) *graph.Graph {
+	return graph.Gnm(n, 4*n, graph.UniformWeights(1, 8), 42)
+}
+
+func BenchmarkHopsetBuild(b *testing.B) {
+	for _, n := range []int{256, 512, 1024} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			g := benchGraph(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h, err := hopset.Build(g, hopset.Params{Epsilon: 0.25}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(h.Size()), "edges")
+			}
+		})
+	}
+}
+
+func BenchmarkHopsetBuildPathReporting(b *testing.B) {
+	g := benchGraph(256)
+	for i := 0; i < b.N; i++ {
+		if _, err := hopset.Build(g, hopset.Params{Epsilon: 0.25, RecordPaths: true}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKleinSairamBuild(b *testing.B) {
+	g := graph.Gnm(256, 1024, graph.GeometricScaleWeights(12), 42)
+	for i := 0; i < b.N; i++ {
+		if _, err := scaling.Build(g, scaling.Params{Epsilon: 0.5}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryApproxSSSP(b *testing.B) {
+	g := benchGraph(1024)
+	h, err := hopset.Build(g, hopset.Params{Epsilon: 0.25}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := adj.Build(h.G, h.Extras())
+	budget := h.Sched.HopBudget() * (h.Sched.Ell + 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bmf.Run(a, []int32{int32(i % g.N)}, budget, nil)
+	}
+}
+
+func BenchmarkQueryDijkstraBaseline(b *testing.B) {
+	g := benchGraph(1024)
+	a := adj.Build(g, nil)
+	for i := 0; i < b.N; i++ {
+		exact.Dijkstra(a, int32(i%g.N))
+	}
+}
+
+func BenchmarkSPTExtraction(b *testing.B) {
+	g := benchGraph(256)
+	h, err := hopset.Build(g, hopset.Params{Epsilon: 0.25, RecordPaths: true}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pathrep.BuildSPT(h, int32(i%g.N), 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandHopsetBaseline(b *testing.B) {
+	g := benchGraph(256)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.RandHopset(g, baseline.RandHopsetParams{Epsilon: 0.25, Seed: 1}, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConnComp(b *testing.B) {
+	g := benchGraph(4096)
+	for i := 0; i < b.N; i++ {
+		conncomp.Build(g, math.Inf(1), nil)
+	}
+}
+
+func BenchmarkParallelSort(b *testing.B) {
+	n := 1 << 18
+	base := make([]int64, n)
+	for i := range base {
+		base[i] = int64((i * 2654435761) % 1000003)
+	}
+	buf := make([]int64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, base)
+		psort.Sort(buf, func(a, b int64) int {
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		}, nil)
+	}
+}
+
+func BenchmarkBellmanFordRound(b *testing.B) {
+	g := benchGraph(4096)
+	a := adj.Build(g, nil)
+	for i := 0; i < b.N; i++ {
+		bmf.Run(a, []int32{0}, 20, nil)
+	}
+}
+
+func BenchmarkTrackerOverhead(b *testing.B) {
+	tr := pram.New()
+	for i := 0; i < b.N; i++ {
+		tr.Rounds(1, 100)
+	}
+}

@@ -1,0 +1,65 @@
+// Command experiments regenerates every experiment table of
+// EXPERIMENTS.md (E1–E14), the reproduction of the paper's theorem-level
+// claims. -quick runs the reduced sweeps used in tests; the default runs
+// the full sweeps recorded in EXPERIMENTS.md (several minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced sweeps (seconds instead of minutes)")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		only  = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E11)")
+	)
+	flag.Parse()
+	cfg := harness.Config{Quick: *quick, Seed: *seed}
+
+	runners := []struct {
+		id  string
+		run func(harness.Config) *harness.Table
+	}{
+		{"E1", harness.E1HopsetSize}, {"E2", harness.E2Stretch},
+		{"E3", harness.E3Work}, {"E4", harness.E4SSSP},
+		{"E5", harness.E5Depth}, {"E6", harness.E6Phases},
+		{"E7", harness.E7Stars}, {"E8", harness.E8PathReport},
+		{"E9", harness.E9KleinSairam}, {"E10", harness.E10Derand},
+		{"E11", harness.E11HopReduction}, {"E12", harness.E12Speedup},
+		{"E13", harness.E13Radii}, {"E14", harness.E14Ledger},
+		{"E15", harness.E15WeightModes}, {"E16", harness.E16BetaSensitivity},
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	start := time.Now()
+	failures := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		t := r.run(cfg)
+		t.Fprint(os.Stdout)
+		for _, row := range t.Rows {
+			for _, cell := range row {
+				if cell == "FAIL" {
+					failures++
+				}
+			}
+		}
+	}
+	fmt.Printf("done in %v; %d failing rows\n", time.Since(start).Round(time.Millisecond), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,144 @@
+// Command hopset builds a deterministic (1+ε, β)-hopset for a graph and
+// prints its statistics: size per scale and kind, the parameter schedule,
+// the per-phase ledger, and PRAM depth/work accounting.
+//
+// Usage:
+//
+//	hopset [flags]            # generate a graph
+//	hopset -in graph.txt      # or read one (format: p n m / e u v w)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/hopset"
+	"repro/internal/pram"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hopset: ")
+	var (
+		in      = flag.String("in", "", "input graph file (empty: generate)")
+		gen     = flag.String("gen", "gnm", "generator: gnm|grid|path|powerlaw|geometric")
+		n       = flag.Int("n", 1024, "vertices (generated graphs)")
+		m       = flag.Int("m", 4096, "edges (gnm)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		eps     = flag.Float64("eps", 0.25, "stretch target ε")
+		kappa   = flag.Int("kappa", 3, "size exponent κ (n^{1+1/κ})")
+		rho     = flag.Float64("rho", 1.0/3, "work exponent ρ")
+		beta    = flag.Int("beta", 0, "effective β hop cap (0 = auto)")
+		strict  = flag.Bool("strict", false, "paper's closed-form edge weights")
+		paths   = flag.Bool("paths", false, "record memory paths (§4)")
+		verbose = flag.Bool("v", false, "print the per-phase ledger")
+		outG    = flag.String("out-graph", "", "write the (normalized) graph to this file")
+		outH    = flag.String("out-hopset", "", "write the hopset to this file (verify with cmd/verify)")
+	)
+	flag.Parse()
+
+	g, err := loadOrGen(*in, *gen, *n, *m, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := hopset.Params{
+		Epsilon: *eps, Kappa: *kappa, Rho: *rho, EffectiveBeta: *beta,
+		RecordPaths: *paths,
+	}
+	if *strict {
+		p.Weights = hopset.WeightStrict
+	}
+	tr := pram.New()
+	h, err := hopset.Build(g, p, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("graph: n=%d m=%d aspect≤%.3g\n", g.N, g.M(), g.AspectRatioUpperBound())
+	s := h.Sched
+	fmt.Printf("schedule: β=%d (theoretical %.3g) hopBudget=%d scales=[%d,%d] ℓ=%d deg=%v\n",
+		s.Beta, s.TheoreticalBeta, s.HopBudget(), s.K0, s.Lambda, s.Ell, s.Deg)
+	fmt.Printf("epsilon: target=%g perScale=%.4g perPhase=%.4g accumulated=%.4g\n",
+		*eps, s.EpsScale, s.EpsPhase, h.EpsFinal)
+	fmt.Printf("size: %d edges (bound %.0f = ⌈logΛ⌉·n^{1+1/κ})\n",
+		h.Size(), float64(s.Lambda+1)*hopset.SizeBound(g.N, *kappa))
+	kinds := h.KindCounts()
+	fmt.Printf("kinds: super=%d interconnect=%d\n",
+		kinds[hopset.Superclustering], kinds[hopset.Interconnection])
+	scales := h.ScaleSizes()
+	var ks []int
+	for k := range scales {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		fmt.Printf("  scale %2d: %6d edges\n", k, scales[k])
+	}
+	if *paths {
+		fmt.Printf("memory paths: max length %d (σ)\n", h.MaxMemoryPathLen())
+	}
+	fmt.Printf("pram: %v\n", tr.Snapshot())
+	if *outG != "" {
+		if err := writeFile(*outG, func(f *os.File) error { return graph.Encode(f, h.G) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *outH != "" {
+		if err := writeFile(*outH, func(f *os.File) error { return hopset.Encode(f, h) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *verbose {
+		fmt.Println("phase ledger:")
+		for _, st := range h.Stats {
+			fmt.Printf("  k=%2d i=%d |P|=%5d deg=%4d pop=%5d rul=%4d super=%5d retired=%5d sc=%5d ic=%6d rad=%.3g\n",
+				st.Scale, st.Phase, st.Clusters, st.Deg, st.Popular, st.Ruling,
+				st.Superclustered, st.Retired, st.SCEdges, st.ICEdges, st.MaxRad)
+		}
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadOrGen(in, gen string, n, m int, seed int64) (*graph.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Decode(f)
+	}
+	switch gen {
+	case "gnm":
+		return graph.Gnm(n, m, graph.UniformWeights(1, 8), seed), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.Grid(side, side, graph.UniformWeights(1, 4), seed), nil
+	case "path":
+		return graph.Path(n, graph.UnitWeights(), seed), nil
+	case "powerlaw":
+		return graph.PowerLaw(n, 3, graph.UnitWeights(), seed), nil
+	case "geometric":
+		return graph.Geometric(n, 0.08, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Michael Elkin and Shaked Matar,
+//	"Deterministic PRAM Approximate Shortest Paths in Polylogarithmic Time
+//	 and Slightly Super-Linear Work", SPAA 2021 (arXiv:2009.14729).
+//
+// The library lives under internal/: package internal/core is the public
+// facade (build a deterministic hopset, query (1+ε)-approximate distances
+// and shortest-path trees); DESIGN.md maps every paper component to its
+// package; EXPERIMENTS.md records the measured reproduction of every
+// theorem-level claim. The benchmarks in bench_test.go regenerate each
+// experiment (run with -benchtime=1x).
+package repro

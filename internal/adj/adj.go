@@ -1,0 +1,121 @@
+// Package adj builds the combined adjacency structures G ∪ H the paper's
+// explorations run in: the base graph plus the current hopset edges
+// (G_{k−1} = (V, E ∪ H_{k−1}) in §2, G = (V, E ∪ H) in §3.4/§4).
+//
+// Every arc carries a tag identifying its origin — a base-graph edge or an
+// extra (hopset) edge — which the path-reporting machinery of §4 uses to
+// peel hopset edges back into base-graph paths.
+package adj
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Extra is an additional weighted undirected edge (typically a hopset edge).
+type Extra struct {
+	U, V int32
+	W    float64
+}
+
+// Adj is a CSR adjacency over the union of a base graph and extra edges.
+type Adj struct {
+	N   int
+	Off []int32   // len N+1
+	Nbr []int32   // neighbor per arc
+	Wt  []float64 // weight per arc
+	Tag []int32   // origin per arc: see GraphTag/ExtraTag
+}
+
+// ExtraTag returns the arc tag for extra edge index i (i ≥ 0).
+func ExtraTag(i int32) int32 { return i }
+
+// GraphTag returns the arc tag for base-graph undirected edge id eid.
+func GraphTag(eid int32) int32 { return -eid - 1 }
+
+// IsExtra reports whether tag denotes an extra edge, and its index.
+func IsExtra(tag int32) (int32, bool) {
+	if tag >= 0 {
+		return tag, true
+	}
+	return 0, false
+}
+
+// GraphEdgeID returns the base-graph edge id for a non-extra tag.
+func GraphEdgeID(tag int32) int32 { return -tag - 1 }
+
+// Build returns the combined adjacency of g and extras. Adjacency lists are
+// sorted by (neighbor, weight, tag) so traversal order is canonical.
+func Build(g *graph.Graph, extras []Extra) *Adj {
+	n := g.N
+	a := &Adj{N: n}
+	deg := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		deg[v+1] = g.Off[v+1] - g.Off[v]
+	}
+	for _, e := range extras {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	a.Off = deg
+	arcs := int(deg[n])
+	a.Nbr = make([]int32, arcs)
+	a.Wt = make([]float64, arcs)
+	a.Tag = make([]int32, arcs)
+	at := make([]int32, n)
+	copy(at, a.Off[:n])
+	put := func(u, v int32, w float64, tag int32) {
+		a.Nbr[at[u]], a.Wt[at[u]], a.Tag[at[u]] = v, w, tag
+		at[u]++
+	}
+	for v := int32(0); int(v) < n; v++ {
+		lo, hi := g.Off[v], g.Off[v+1]
+		for arc := lo; arc < hi; arc++ {
+			put(v, g.Nbr[arc], g.Wt[arc], GraphTag(g.EID[arc]))
+		}
+	}
+	for i, e := range extras {
+		put(e.U, e.V, e.W, ExtraTag(int32(i)))
+		put(e.V, e.U, e.W, ExtraTag(int32(i)))
+	}
+	for v := 0; v < n; v++ {
+		sortArcs(a, int(a.Off[v]), int(a.Off[v+1]))
+	}
+	return a
+}
+
+func sortArcs(a *Adj, lo, hi int) {
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		i, j := idx[x], idx[y]
+		if a.Nbr[i] != a.Nbr[j] {
+			return a.Nbr[i] < a.Nbr[j]
+		}
+		if a.Wt[i] != a.Wt[j] {
+			return a.Wt[i] < a.Wt[j]
+		}
+		return a.Tag[i] < a.Tag[j]
+	})
+	nbr := make([]int32, hi-lo)
+	wt := make([]float64, hi-lo)
+	tag := make([]int32, hi-lo)
+	for x, i := range idx {
+		nbr[x], wt[x], tag[x] = a.Nbr[i], a.Wt[i], a.Tag[i]
+	}
+	copy(a.Nbr[lo:hi], nbr)
+	copy(a.Wt[lo:hi], wt)
+	copy(a.Tag[lo:hi], tag)
+}
+
+// Arcs returns the number of directed arcs.
+func (a *Adj) Arcs() int { return len(a.Nbr) }
+
+// Degree returns the combined degree of v.
+func (a *Adj) Degree(v int32) int { return int(a.Off[v+1] - a.Off[v]) }

@@ -1,0 +1,104 @@
+package adj
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	return graph.MustFromEdges(4, []graph.Edge{
+		graph.E(0, 1, 1), graph.E(1, 2, 2), graph.E(2, 3, 3),
+	})
+}
+
+func TestBuildNoExtras(t *testing.T) {
+	g := testGraph()
+	a := Build(g, nil)
+	if a.N != 4 || a.Arcs() != 6 {
+		t.Fatalf("n=%d arcs=%d", a.N, a.Arcs())
+	}
+	if a.Degree(1) != 2 {
+		t.Fatalf("degree(1)=%d", a.Degree(1))
+	}
+	// Every arc should be a graph arc with a valid edge id.
+	for i := range a.Tag {
+		if _, isExtra := IsExtra(a.Tag[i]); isExtra {
+			t.Fatalf("arc %d tagged extra", i)
+		}
+		eid := GraphEdgeID(a.Tag[i])
+		if eid < 0 || int(eid) >= g.M() {
+			t.Fatalf("arc %d: bad edge id %d", i, eid)
+		}
+	}
+}
+
+func TestBuildWithExtras(t *testing.T) {
+	g := testGraph()
+	extras := []Extra{{U: 0, V: 3, W: 2.5}, {U: 0, V: 2, W: 7}}
+	a := Build(g, extras)
+	if a.Arcs() != 6+4 {
+		t.Fatalf("arcs=%d", a.Arcs())
+	}
+	// Vertex 0 now has neighbors 1 (graph), 2 (extra), 3 (extra), sorted.
+	lo, hi := a.Off[0], a.Off[1]
+	if hi-lo != 3 {
+		t.Fatalf("deg(0)=%d", hi-lo)
+	}
+	wantNbr := []int32{1, 2, 3}
+	for i, arc := 0, lo; arc < hi; i, arc = i+1, arc+1 {
+		if a.Nbr[arc] != wantNbr[i] {
+			t.Fatalf("nbr order %v", a.Nbr[lo:hi])
+		}
+	}
+	// Check extra tags round-trip.
+	found := 0
+	for arc := lo; arc < hi; arc++ {
+		if idx, ok := IsExtra(a.Tag[arc]); ok {
+			found++
+			e := extras[idx]
+			if (e.U != 0 && e.V != 0) || a.Wt[arc] != e.W {
+				t.Fatalf("extra arc mismatch: idx=%d w=%v", idx, a.Wt[arc])
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("found %d extra arcs at vertex 0, want 2", found)
+	}
+}
+
+func TestTagsRoundTrip(t *testing.T) {
+	for _, eid := range []int32{0, 1, 5, 1000} {
+		tag := GraphTag(eid)
+		if _, ok := IsExtra(tag); ok {
+			t.Fatalf("graph tag %d classified extra", tag)
+		}
+		if got := GraphEdgeID(tag); got != eid {
+			t.Fatalf("round trip eid %d -> %d", eid, got)
+		}
+	}
+	for _, i := range []int32{0, 3, 99} {
+		tag := ExtraTag(i)
+		idx, ok := IsExtra(tag)
+		if !ok || idx != i {
+			t.Fatalf("extra tag round trip %d -> %d,%v", i, idx, ok)
+		}
+	}
+}
+
+func TestParallelExtraEdgesKept(t *testing.T) {
+	g := testGraph()
+	// Duplicate extras between the same endpoints must both appear (the
+	// hopset may legitimately produce parallel edges across scales; the
+	// lightest wins during traversal automatically).
+	a := Build(g, []Extra{{U: 0, V: 3, W: 5}, {U: 0, V: 3, W: 4}})
+	cnt := 0
+	for arc := a.Off[0]; arc < a.Off[1]; arc++ {
+		if a.Nbr[arc] == 3 {
+			cnt++
+		}
+	}
+	if cnt != 2 {
+		t.Fatalf("parallel extras collapsed: %d", cnt)
+	}
+}

@@ -1,0 +1,22 @@
+// Package baseline provides the reference algorithms the reproduction is
+// judged against: exact sequential Dijkstra (ground truth for stretch),
+// plain parallel Bellman–Ford without a hopset (the motivation baseline —
+// depth proportional to the hop diameter), and a randomized
+// sampling-based hopset in the style the paper derandomizes
+// ([Coh94, EN19], experiment E10).
+package baseline
+
+import (
+	"repro/internal/adj"
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+// Dijkstra returns exact single-source distances and parents over the
+// combined adjacency a. It forwards to package exact.
+func Dijkstra(a *adj.Adj, s int32) ([]float64, []int32) { return exact.Dijkstra(a, s) }
+
+// DijkstraGraph runs Dijkstra on a plain graph (no extras).
+func DijkstraGraph(g *graph.Graph, s int32) ([]float64, []int32) {
+	return exact.DijkstraGraph(g, s)
+}

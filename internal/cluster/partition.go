@@ -1,0 +1,122 @@
+// Package cluster implements the cluster collections Pᵢ of the
+// superclustering-and-interconnection construction (§2.1): every cluster has
+// a designated center, the cluster's ID is its center's vertex ID, and each
+// vertex belongs to at most one active cluster.
+//
+// The package also tracks the "cluster memory" of §4.3 in distance-only
+// form: for every clustered vertex, the exact length of a concrete path to
+// its cluster center inside G_{k−1} (CenterDist). The tracked per-cluster
+// radius Rad is the maximum CenterDist of a member; it plays the role of
+// the paper's Rᵢ bound (Lemma 2.2) with the actual value instead of the
+// worst-case recurrence.
+package cluster
+
+import "fmt"
+
+// Partition is a collection of disjoint clusters over vertices [0, n).
+type Partition struct {
+	N         int
+	Centers   []int32   // cluster index -> center vertex (the cluster ID)
+	Members   [][]int32 // cluster index -> member vertices (sorted)
+	ClusterOf []int32   // vertex -> cluster index, or -1 if unclustered
+	Rad       []float64 // cluster index -> tracked radius (max CenterDist)
+}
+
+// Singletons returns the phase-0 partition {{v} | v ∈ V}.
+func Singletons(n int) *Partition {
+	p := &Partition{
+		N:         n,
+		Centers:   make([]int32, n),
+		Members:   make([][]int32, n),
+		ClusterOf: make([]int32, n),
+		Rad:       make([]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		p.Centers[v] = int32(v)
+		p.Members[v] = []int32{int32(v)}
+		p.ClusterOf[v] = int32(v)
+	}
+	return p
+}
+
+// Empty returns a partition with no clusters over n vertices.
+func Empty(n int) *Partition {
+	p := &Partition{N: n, ClusterOf: make([]int32, n)}
+	for v := range p.ClusterOf {
+		p.ClusterOf[v] = -1
+	}
+	return p
+}
+
+// Len returns the number of clusters.
+func (p *Partition) Len() int { return len(p.Centers) }
+
+// Add appends a cluster with the given center and members and returns its
+// index. Members must include the center.
+func (p *Partition) Add(center int32, members []int32, rad float64) int32 {
+	idx := int32(len(p.Centers))
+	p.Centers = append(p.Centers, center)
+	p.Members = append(p.Members, members)
+	p.Rad = append(p.Rad, rad)
+	for _, v := range members {
+		p.ClusterOf[v] = idx
+	}
+	return idx
+}
+
+// Validate checks structural invariants; it is used by tests and by the
+// hopset builder in debug mode.
+func (p *Partition) Validate() error {
+	seen := make([]bool, p.N)
+	for c, members := range p.Members {
+		if len(members) == 0 {
+			return fmt.Errorf("cluster %d empty", c)
+		}
+		foundCenter := false
+		for _, v := range members {
+			if v < 0 || int(v) >= p.N {
+				return fmt.Errorf("cluster %d: member %d out of range", c, v)
+			}
+			if seen[v] {
+				return fmt.Errorf("vertex %d in two clusters", v)
+			}
+			seen[v] = true
+			if p.ClusterOf[v] != int32(c) {
+				return fmt.Errorf("vertex %d: ClusterOf=%d want %d", v, p.ClusterOf[v], c)
+			}
+			if v == p.Centers[c] {
+				foundCenter = true
+			}
+		}
+		if !foundCenter {
+			return fmt.Errorf("cluster %d: center %d not a member", c, p.Centers[c])
+		}
+	}
+	for v := 0; v < p.N; v++ {
+		if p.ClusterOf[v] >= 0 && !seen[v] {
+			return fmt.Errorf("vertex %d claims cluster %d but is not a member", v, p.ClusterOf[v])
+		}
+	}
+	return nil
+}
+
+// MaxRad returns the maximum tracked cluster radius (the measured
+// counterpart of Rad(Pᵢ) ≤ Rᵢ, Lemma 2.2).
+func (p *Partition) MaxRad() float64 {
+	var m float64
+	for _, r := range p.Rad {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// TotalMembers returns the number of clustered vertices.
+func (p *Partition) TotalMembers() int {
+	t := 0
+	for _, m := range p.Members {
+		t += len(m)
+	}
+	return t
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import "testing"
+
+func TestSingletons(t *testing.T) {
+	p := Singletons(5)
+	if p.Len() != 5 {
+		t.Fatalf("len=%d", p.Len())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 5; v++ {
+		if p.ClusterOf[v] != v || p.Centers[v] != v {
+			t.Fatalf("vertex %d not a singleton", v)
+		}
+	}
+	if p.MaxRad() != 0 {
+		t.Fatalf("rad=%v", p.MaxRad())
+	}
+	if p.TotalMembers() != 5 {
+		t.Fatalf("members=%d", p.TotalMembers())
+	}
+}
+
+func TestEmptyAndAdd(t *testing.T) {
+	p := Empty(6)
+	if p.Len() != 0 {
+		t.Fatalf("len=%d", p.Len())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	idx := p.Add(2, []int32{1, 2, 3}, 4.5)
+	if idx != 0 {
+		t.Fatalf("idx=%d", idx)
+	}
+	p.Add(5, []int32{5}, 0)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ClusterOf[3] != 0 || p.ClusterOf[5] != 1 || p.ClusterOf[0] != -1 {
+		t.Fatalf("ClusterOf=%v", p.ClusterOf)
+	}
+	if p.MaxRad() != 4.5 {
+		t.Fatalf("rad=%v", p.MaxRad())
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	// Center not a member.
+	p := Empty(4)
+	p.Centers = append(p.Centers, 0)
+	p.Members = append(p.Members, []int32{1, 2})
+	p.Rad = append(p.Rad, 0)
+	p.ClusterOf[1], p.ClusterOf[2] = 0, 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("missing center not caught")
+	}
+
+	// Overlapping clusters.
+	p2 := Empty(4)
+	p2.Add(0, []int32{0, 1}, 0)
+	p2.Centers = append(p2.Centers, 1)
+	p2.Members = append(p2.Members, []int32{1})
+	p2.Rad = append(p2.Rad, 0)
+	if err := p2.Validate(); err == nil {
+		t.Fatal("overlap not caught")
+	}
+
+	// Empty cluster.
+	p3 := Empty(2)
+	p3.Centers = append(p3.Centers, 0)
+	p3.Members = append(p3.Members, nil)
+	p3.Rad = append(p3.Rad, 0)
+	if err := p3.Validate(); err == nil {
+		t.Fatal("empty cluster not caught")
+	}
+
+	// Stale ClusterOf.
+	p4 := Empty(3)
+	p4.ClusterOf[2] = 0
+	p4.Add(0, []int32{0}, 0)
+	if err := p4.Validate(); err == nil {
+		t.Fatal("stale ClusterOf not caught")
+	}
+
+	// Member out of range.
+	p5 := Empty(2)
+	p5.Centers = append(p5.Centers, 0)
+	p5.Members = append(p5.Members, []int32{0, 7})
+	p5.Rad = append(p5.Rad, 0)
+	if err := p5.Validate(); err == nil {
+		t.Fatal("out-of-range member not caught")
+	}
+}

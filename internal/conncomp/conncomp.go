@@ -1,0 +1,204 @@
+// Package conncomp implements the deterministic parallel connected
+// components and spanning forests the paper relies on ([SV82], cited in
+// §1.1 footnote 1 and Appendix C).
+//
+// Components are computed by Shiloach–Vishkin-style min-label propagation
+// with pointer jumping: every vertex repeatedly adopts the smallest label in
+// its neighborhood and labels are short-cut, converging in O(log n)
+// propagation/jump super-rounds on any graph. Labels are the minimum vertex
+// ID of each component, so the output is canonical and deterministic.
+//
+// The spanning forest (needed by the Klein–Sairam reduction for the
+// per-node trees T_U, Appendix C.3) is a deterministic parallel BFS forest
+// rooted at each component's minimum-ID vertex: in each round every
+// unreached vertex adopts the smallest reached neighbor as parent. Distances
+// to the root along tree edges are computed by pointer jumping (§4.2).
+package conncomp
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+// Forest is the result of a components + spanning forest computation,
+// restricted to edges with weight ≤ the MaxWeight passed to Build.
+type Forest struct {
+	// Label[v] is the minimum vertex ID in v's component.
+	Label []int32
+	// Parent[v] is v's BFS-forest parent; roots (v == Label[v]) have -1.
+	Parent []int32
+	// ParentW[v] is the weight of the (v, Parent[v]) tree edge; 0 at roots.
+	ParentW []float64
+	// Depth[v] is the number of tree edges from v to its root.
+	Depth []int32
+}
+
+// Build computes components and a spanning forest of the subgraph of g with
+// edge weights ≤ maxW (maxW = +Inf for the whole graph).
+func Build(g *graph.Graph, maxW float64, tr *pram.Tracker) *Forest {
+	n := g.N
+	f := &Forest{
+		Label:   make([]int32, n),
+		Parent:  make([]int32, n),
+		ParentW: make([]float64, n),
+		Depth:   make([]int32, n),
+	}
+	labels(g, maxW, f.Label, tr)
+	bfsForest(g, maxW, f, tr)
+	return f
+}
+
+// labels fills label[v] with the min vertex ID of v's component in the
+// weight-restricted subgraph.
+func labels(g *graph.Graph, maxW float64, label []int32, tr *pram.Tracker) {
+	n := g.N
+	next := make([]int32, n)
+	for v := range label {
+		label[v] = int32(v)
+	}
+	for {
+		changed := false
+		// Propagation: adopt the minimum label in the closed neighborhood.
+		par.For(n, func(v int) {
+			best := label[v]
+			lo, hi := g.Off[v], g.Off[v+1]
+			for a := lo; a < hi; a++ {
+				if g.Wt[a] > maxW {
+					continue
+				}
+				if l := label[g.Nbr[a]]; l < best {
+					best = l
+				}
+			}
+			next[v] = best
+		})
+		nChanged := par.CountIf(n, func(v int) bool { return next[v] != label[v] })
+		copy(label, next)
+		tr.Rounds(2, int64(len(g.Nbr)))
+		if nChanged > 0 {
+			changed = true
+		}
+		// Pointer jumping: label[v] ← label[label[v]] until stable.
+		for {
+			par.For(n, func(v int) { next[v] = label[label[v]] })
+			nJump := par.CountIf(n, func(v int) bool { return next[v] != label[v] })
+			copy(label, next)
+			tr.Rounds(2, int64(n))
+			if nJump == 0 {
+				break
+			}
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// bfsForest builds the deterministic BFS forest rooted at each component's
+// labeled root.
+func bfsForest(g *graph.Graph, maxW float64, f *Forest, tr *pram.Tracker) {
+	n := g.N
+	const unreached = int32(-2)
+	for v := 0; v < n; v++ {
+		if f.Label[v] == int32(v) {
+			f.Parent[v] = -1
+			f.Depth[v] = 0
+		} else {
+			f.Parent[v] = unreached
+		}
+	}
+	newParent := make([]int32, n)
+	newW := make([]float64, n)
+	for depth := int32(1); ; depth++ {
+		// Each unreached vertex picks its smallest reached neighbor.
+		par.For(n, func(v int) {
+			newParent[v] = unreached
+			if f.Parent[v] != unreached {
+				return
+			}
+			best := int32(-1)
+			bestW := 0.0
+			lo, hi := g.Off[v], g.Off[v+1]
+			for a := lo; a < hi; a++ {
+				if g.Wt[a] > maxW {
+					continue
+				}
+				u := g.Nbr[a]
+				if f.Parent[u] == unreached {
+					continue
+				}
+				if best == -1 || u < best {
+					best, bestW = u, g.Wt[a]
+				}
+			}
+			if best >= 0 {
+				newParent[v], newW[v] = best, bestW
+			}
+		})
+		adopted := par.CountIf(n, func(v int) bool { return newParent[v] != unreached })
+		tr.Rounds(2, int64(len(g.Nbr)))
+		if adopted == 0 {
+			break
+		}
+		par.For(n, func(v int) {
+			if newParent[v] != unreached {
+				f.Parent[v] = newParent[v]
+				f.ParentW[v] = newW[v]
+				f.Depth[v] = depth
+			}
+		})
+	}
+	// Vertices still unreached are isolated in the restricted subgraph and
+	// are their own roots by construction of Label; make that explicit.
+	par.For(n, func(v int) {
+		if f.Parent[v] == unreached {
+			f.Parent[v] = -1
+		}
+	})
+}
+
+// RootDist returns, for every vertex, the weighted distance to its forest
+// root along tree edges, computed by the pointer-jumping procedure of §4.2:
+// log n doubling rounds of d'(v) += d'(q(v)); q(v) = q(q(v)).
+func (f *Forest) RootDist(tr *pram.Tracker) []float64 {
+	n := len(f.Parent)
+	d := make([]float64, n)
+	q := make([]int32, n)
+	par.For(n, func(v int) {
+		if f.Parent[v] < 0 {
+			q[v] = int32(v)
+			d[v] = 0
+		} else {
+			q[v] = f.Parent[v]
+			d[v] = f.ParentW[v]
+		}
+	})
+	d2 := make([]float64, n)
+	q2 := make([]int32, n)
+	for {
+		par.For(n, func(v int) {
+			d2[v] = d[v] + d[q[v]]
+			q2[v] = q[q[v]]
+		})
+		moved := par.CountIf(n, func(v int) bool { return q2[v] != q[v] })
+		copy(d, d2)
+		copy(q, q2)
+		tr.Rounds(2, int64(n))
+		if moved == 0 {
+			return d
+		}
+	}
+}
+
+// TreePath returns the vertex sequence from v up to its root along parent
+// pointers (v first, root last).
+func (f *Forest) TreePath(v int32) []int32 {
+	path := []int32{v}
+	for f.Parent[v] >= 0 {
+		v = f.Parent[v]
+		path = append(path, v)
+	}
+	return path
+}

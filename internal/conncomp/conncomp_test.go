@@ -1,0 +1,155 @@
+package conncomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+func TestLabelsMatchSequentialBFS(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Path(50, graph.UnitWeights(), 1),
+		graph.Gnm(200, 300, graph.UniformWeights(1, 5), 2),
+		graph.MustFromEdges(7, []graph.Edge{graph.E(0, 1, 1), graph.E(2, 3, 1), graph.E(3, 4, 1)}),
+		graph.MustFromEdges(3, nil),
+	}
+	for gi, g := range graphs {
+		f := Build(g, math.Inf(1), nil)
+		want := g.ComponentLabels()
+		for v := range want {
+			if f.Label[v] != want[v] {
+				t.Fatalf("graph %d vertex %d: label %d want %d", gi, v, f.Label[v], want[v])
+			}
+		}
+	}
+}
+
+func TestWeightRestriction(t *testing.T) {
+	// 0-1 light, 1-2 heavy, 2-3 light: restricting to w<=1 splits at 1-2.
+	g := graph.MustFromEdges(4, []graph.Edge{graph.E(0, 1, 1), graph.E(1, 2, 10), graph.E(2, 3, 1)})
+	f := Build(g, 1, nil)
+	if f.Label[0] != 0 || f.Label[1] != 0 {
+		t.Fatalf("light component labels: %v", f.Label)
+	}
+	if f.Label[2] != 2 || f.Label[3] != 2 {
+		t.Fatalf("second component labels: %v", f.Label)
+	}
+}
+
+func TestForestIsValidSpanningForest(t *testing.T) {
+	g := graph.Gnm(300, 900, graph.UniformWeights(1, 5), 3)
+	f := Build(g, math.Inf(1), nil)
+	for v := int32(0); int(v) < g.N; v++ {
+		p := f.Parent[v]
+		if f.Label[v] == v {
+			if p != -1 {
+				t.Fatalf("root %d has parent %d", v, p)
+			}
+			continue
+		}
+		if p < 0 {
+			t.Fatalf("non-root %d has no parent", v)
+		}
+		w, ok := g.HasEdge(v, p)
+		if !ok {
+			t.Fatalf("tree edge (%d,%d) not in graph", v, p)
+		}
+		if w != f.ParentW[v] {
+			t.Fatalf("tree edge (%d,%d) weight %v recorded %v", v, p, w, f.ParentW[v])
+		}
+		if f.Depth[v] != f.Depth[p]+1 {
+			t.Fatalf("depth[%d]=%d but depth[parent]=%d", v, f.Depth[v], f.Depth[p])
+		}
+		if f.Label[p] != f.Label[v] {
+			t.Fatalf("parent in different component")
+		}
+	}
+}
+
+func TestTreePathEndsAtRoot(t *testing.T) {
+	g := graph.Grid(8, 8, graph.UnitWeights(), 1)
+	f := Build(g, math.Inf(1), nil)
+	for v := int32(0); int(v) < g.N; v++ {
+		path := f.TreePath(v)
+		if path[0] != v {
+			t.Fatalf("path starts at %d want %d", path[0], v)
+		}
+		last := path[len(path)-1]
+		if f.Label[v] != last || f.Parent[last] != -1 {
+			t.Fatalf("path does not end at root: %v", path)
+		}
+		if len(path) != int(f.Depth[v])+1 {
+			t.Fatalf("path len %d want depth+1=%d", len(path), f.Depth[v]+1)
+		}
+	}
+}
+
+func TestRootDistMatchesTreeWalk(t *testing.T) {
+	g := graph.Gnm(150, 400, graph.UniformWeights(1, 9), 5)
+	f := Build(g, math.Inf(1), nil)
+	d := f.RootDist(nil)
+	for v := int32(0); int(v) < g.N; v++ {
+		var want float64
+		for u := v; f.Parent[u] >= 0; u = f.Parent[u] {
+			want += f.ParentW[u]
+		}
+		if math.Abs(d[v]-want) > 1e-9 {
+			t.Fatalf("vertex %d: rootdist %v want %v", v, d[v], want)
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	old := par.Workers()
+	defer par.SetWorkers(old)
+	g := graph.Gnm(500, 2000, graph.UniformWeights(1, 8), 7)
+	par.SetWorkers(1)
+	ref := Build(g, math.Inf(1), nil)
+	for _, w := range []int{2, 4, 8} {
+		par.SetWorkers(w)
+		f := Build(g, math.Inf(1), nil)
+		for v := 0; v < g.N; v++ {
+			if f.Label[v] != ref.Label[v] || f.Parent[v] != ref.Parent[v] {
+				t.Fatalf("workers=%d vertex %d: (%d,%d) vs ref (%d,%d)",
+					w, v, f.Label[v], f.Parent[v], ref.Label[v], ref.Parent[v])
+			}
+		}
+	}
+}
+
+func TestTrackerCharged(t *testing.T) {
+	tr := pram.New()
+	g := graph.Gnm(100, 300, graph.UnitWeights(), 1)
+	Build(g, math.Inf(1), tr)
+	s := tr.Snapshot()
+	if s.Depth == 0 || s.Work == 0 {
+		t.Fatalf("tracker not charged: %v", s)
+	}
+}
+
+func TestRandomRestrictionsMatchBFS(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Gnm(80, 200, graph.UniformWeights(1, 10), int64(trial))
+		maxW := 1 + r.Float64()*9
+		f := Build(g, maxW, nil)
+		// Sequential reference on the restricted subgraph.
+		var restricted []graph.Edge
+		for _, e := range g.Edges {
+			if e.W <= maxW {
+				restricted = append(restricted, e)
+			}
+		}
+		rg := graph.MustFromEdges(g.N, restricted)
+		want := rg.ComponentLabels()
+		for v := range want {
+			if f.Label[v] != want[v] {
+				t.Fatalf("trial %d maxW=%v vertex %d: %d want %d", trial, maxW, v, f.Label[v], want[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package core is the public API of the reproduction: deterministic
+// (1+ε)-approximate shortest paths in the work-depth (PRAM) model, per
+// Elkin & Matar, "Deterministic PRAM Approximate Shortest Paths in
+// Polylogarithmic Time and Slightly Super-Linear Work" (SPAA 2021).
+//
+// A Solver wraps a graph and a deterministic hopset (Theorem 3.7) and
+// answers single-source, multi-source (Theorem 3.8 / C.3) and
+// shortest-path-tree (Theorem 4.6 / D.2) queries. All results are
+// deterministic: rebuilding with any number of workers yields identical
+// hopsets, distances and trees.
+//
+//	g := graph.Gnm(1000, 5000, graph.UniformWeights(1, 10), 42)
+//	s, err := core.New(g, core.Options{Epsilon: 0.25})
+//	dist, err := s.ApproxDistances(0)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/adj"
+	"repro/internal/bmf"
+	"repro/internal/graph"
+	"repro/internal/hopset"
+	"repro/internal/pathrep"
+	"repro/internal/pram"
+	"repro/internal/scaling"
+)
+
+// Options configures a Solver. The zero value of every field selects a
+// sensible default; Epsilon is the only mandatory field.
+type Options struct {
+	// Epsilon is the stretch target: returned distances are within a
+	// (1+Epsilon) factor of exact. Must be in (0, 1).
+	Epsilon float64
+	// Kappa (κ ≥ 2, default 3) trades hopset size (≈ n^{1+1/κ} per scale)
+	// against the hopbound.
+	Kappa int
+	// Rho (0 < ρ < 1/2, default 1/3) trades work (≈ |E|·n^ρ) against the
+	// number of phases.
+	Rho float64
+	// EffectiveBeta caps exploration and query hop budgets (0 = auto).
+	EffectiveBeta int
+	// PathReporting enables SPT queries (§4) at the cost of storing a
+	// realizing path per hopset edge.
+	PathReporting bool
+	// WeightReduction applies the Klein–Sairam reduction (Appendix C/D),
+	// removing the aspect-ratio dependence; choose it when edge weights
+	// span many orders of magnitude.
+	WeightReduction bool
+	// StrictWeights uses the paper's closed-form pessimistic hopset edge
+	// weights instead of tight discovered path lengths. Not available
+	// together with WeightReduction.
+	StrictWeights bool
+	// Tracker, when non-nil, accumulates PRAM depth/work accounting.
+	Tracker *pram.Tracker
+}
+
+// Solver answers approximate shortest-path queries over a fixed graph.
+type Solver struct {
+	opts Options
+	h    *hopset.Hopset
+	ks   *scaling.Result
+	a    *adj.Adj
+	// budget is the default query hop budget.
+	budget int
+}
+
+// ErrNeedPathReporting is returned by SPT when the solver was built
+// without Options.PathReporting.
+var ErrNeedPathReporting = errors.New("core: SPT queries require Options.PathReporting")
+
+// New builds the hopset for g and returns a query-ready solver.
+func New(g *graph.Graph, opts Options) (*Solver, error) {
+	if opts.WeightReduction && opts.StrictWeights {
+		return nil, errors.New("core: StrictWeights is not supported with WeightReduction")
+	}
+	s := &Solver{opts: opts}
+	if opts.WeightReduction {
+		r, err := scaling.Build(g, scaling.Params{
+			Epsilon: opts.Epsilon, Kappa: opts.Kappa, Rho: opts.Rho,
+			EffectiveBeta: opts.EffectiveBeta, RecordPaths: opts.PathReporting,
+		}, opts.Tracker)
+		if err != nil {
+			return nil, err
+		}
+		s.ks = r
+		s.h = r.H
+		s.budget = 6*s.h.Sched.HopBudget()*(s.h.Sched.Ell+2) + 5
+	} else {
+		wm := hopset.WeightTight
+		if opts.StrictWeights {
+			wm = hopset.WeightStrict
+		}
+		h, err := hopset.Build(g, hopset.Params{
+			Epsilon: opts.Epsilon, Kappa: opts.Kappa, Rho: opts.Rho,
+			EffectiveBeta: opts.EffectiveBeta, RecordPaths: opts.PathReporting,
+			Weights: wm,
+		}, opts.Tracker)
+		if err != nil {
+			return nil, err
+		}
+		s.h = h
+		s.budget = s.h.Sched.HopBudget() * (s.h.Sched.Ell + 2)
+	}
+	s.a = adj.Build(s.h.G, s.h.Extras())
+	return s, nil
+}
+
+// Hopset exposes the underlying hopset (provenance, ledger, schedule).
+func (s *Solver) Hopset() *hopset.Hopset { return s.h }
+
+// Reduction exposes the Klein–Sairam ledgers (nil unless WeightReduction).
+func (s *Solver) Reduction() *scaling.Result { return s.ks }
+
+// HopBudget returns the query-time round budget the solver uses.
+func (s *Solver) HopBudget() int { return s.budget }
+
+// ApproxDistances returns (1+ε)-approximate distances from source to every
+// vertex, in the input graph's weight units (+Inf for unreachable
+// vertices). This is the (1+ε)-aSSSD query of Theorem 3.8.
+func (s *Solver) ApproxDistances(source int32) ([]float64, error) {
+	if err := s.checkVertex(source); err != nil {
+		return nil, err
+	}
+	res := bmf.Run(s.a, []int32{source}, s.budget, s.opts.Tracker)
+	return s.rescale(res.Dist), nil
+}
+
+// ApproxMultiSource answers the aMSSD problem of Theorem 3.8: approximate
+// distances from every source in S, as |S| parallel hop-limited
+// Bellman–Ford explorations. Row i corresponds to sources[i].
+func (s *Solver) ApproxMultiSource(sources []int32) ([][]float64, error) {
+	for _, src := range sources {
+		if err := s.checkVertex(src); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]float64, len(sources))
+	for i, src := range sources {
+		res := bmf.Run(s.a, []int32{src}, s.budget, s.opts.Tracker)
+		out[i] = s.rescale(res.Dist)
+	}
+	return out, nil
+}
+
+// NearestSource returns, per vertex, the approximate distance to the
+// nearest of the given sources (one joint exploration).
+func (s *Solver) NearestSource(sources []int32) ([]float64, error) {
+	if len(sources) == 0 {
+		return nil, errors.New("core: need at least one source")
+	}
+	for _, src := range sources {
+		if err := s.checkVertex(src); err != nil {
+			return nil, err
+		}
+	}
+	res := bmf.Run(s.a, sources, s.budget, s.opts.Tracker)
+	return s.rescale(res.Dist), nil
+}
+
+// SPT computes a (1+ε)-approximate shortest-path tree rooted at source,
+// with tree edges drawn from the original graph (Theorem 4.6 / D.2).
+// Requires Options.PathReporting. Distances in the returned tree are in
+// the input graph's units.
+func (s *Solver) SPT(source int32) (*pathrep.SPT, error) {
+	if !s.opts.PathReporting {
+		return nil, ErrNeedPathReporting
+	}
+	if err := s.checkVertex(source); err != nil {
+		return nil, err
+	}
+	spt, err := pathrep.BuildSPT(s.h, source, s.budget, s.opts.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	spt.Dist = s.rescale(spt.Dist)
+	for v := range spt.ParentW {
+		spt.ParentW[v] *= s.h.ScaleFactor
+	}
+	spt.Scale = s.h.ScaleFactor
+	return spt, nil
+}
+
+// ApproxPath returns a concrete u–v path in the original graph whose
+// length is within (1+ε) of the true distance, together with that length
+// (§1.3's path-retrieval query, answered through the explicit SPT
+// mechanism of §4). Returns a nil path when v is unreachable from u.
+// Requires Options.PathReporting.
+func (s *Solver) ApproxPath(u, v int32) ([]int32, float64, error) {
+	if !s.opts.PathReporting {
+		return nil, 0, ErrNeedPathReporting
+	}
+	if err := s.checkVertex(u); err != nil {
+		return nil, 0, err
+	}
+	if err := s.checkVertex(v); err != nil {
+		return nil, 0, err
+	}
+	tree, err := s.SPT(u)
+	if err != nil {
+		return nil, 0, err
+	}
+	path := tree.PathTo(v)
+	if path == nil {
+		return nil, math.Inf(1), nil
+	}
+	return path, tree.Dist[v], nil
+}
+
+func (s *Solver) checkVertex(v int32) error {
+	if v < 0 || int(v) >= s.h.G.N {
+		return fmt.Errorf("core: vertex %d out of range [0,%d)", v, s.h.G.N)
+	}
+	return nil
+}
+
+// rescale converts normalized distances back to input units, in place.
+func (s *Solver) rescale(d []float64) []float64 {
+	if s.h.ScaleFactor != 1 {
+		for i := range d {
+			d[i] *= s.h.ScaleFactor
+		}
+	}
+	return d
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/pram"
+)
+
+func TestApproxDistancesWithinEpsilon(t *testing.T) {
+	eps := 0.25
+	g := graph.Gnm(150, 600, graph.UniformWeights(2, 20), 1) // non-unit min weight: exercises rescaling
+	s, err := New(g, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []int32{0, 75, 149} {
+		got, err := s.ApproxDistances(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := exact.DijkstraGraph(g, src) // original units
+		for v := 0; v < g.N; v++ {
+			if math.IsInf(want[v], 1) {
+				if !math.IsInf(got[v], 1) {
+					t.Fatalf("vertex %d should be unreachable", v)
+				}
+				continue
+			}
+			if got[v] < want[v]-1e-6 {
+				t.Fatalf("src %d vertex %d: %v below exact %v", src, v, got[v], want[v])
+			}
+			if got[v] > (1+eps)*want[v]+1e-6 {
+				t.Fatalf("src %d vertex %d: %v exceeds (1+ε)·%v", src, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestMultiSource(t *testing.T) {
+	eps := 0.3
+	g := graph.Grid(10, 10, graph.UniformWeights(1, 4), 2)
+	s, err := New(g, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int32{0, 55, 99}
+	rows, err := s.ApproxMultiSource(sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sources) {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for i, src := range sources {
+		want, _ := exact.DijkstraGraph(g, src)
+		for v := 0; v < g.N; v++ {
+			if rows[i][v] < want[v]-1e-6 || rows[i][v] > (1+eps)*want[v]+1e-6 {
+				t.Fatalf("source %d vertex %d: %v vs exact %v", src, v, rows[i][v], want[v])
+			}
+		}
+	}
+}
+
+func TestNearestSource(t *testing.T) {
+	g := graph.Path(40, graph.UnitWeights(), 1)
+	s, err := New(g, Options{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.NearestSource([]int32{0, 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 40; v++ {
+		want := math.Min(float64(v), float64(39-v))
+		if d[v] < want-1e-9 || d[v] > 1.25*want+1e-9 {
+			t.Fatalf("vertex %d: %v want ≈%v", v, d[v], want)
+		}
+	}
+	if _, err := s.NearestSource(nil); err == nil {
+		t.Fatal("empty sources accepted")
+	}
+}
+
+func TestSPTQuery(t *testing.T) {
+	eps := 0.25
+	g := graph.Gnm(100, 350, graph.UniformWeights(3, 30), 3)
+	s, err := New(g, Options{Epsilon: eps, PathReporting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt, err := s.SPT(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := exact.DijkstraGraph(g, 0)
+	for v := 0; v < g.N; v++ {
+		if spt.Dist[v] < want[v]-1e-6 || spt.Dist[v] > (1+eps)*want[v]+1e-6 {
+			t.Fatalf("vertex %d: tree dist %v vs exact %v", v, spt.Dist[v], want[v])
+		}
+		// Parent edges carry original-unit weights from the input graph.
+		if p := spt.Parent[v]; p >= 0 {
+			w, ok := g.HasEdge(p, int32(v))
+			if !ok || math.Abs(w-spt.ParentW[v]) > 1e-6 {
+				t.Fatalf("vertex %d: parent edge (%d,%d) w=%v recorded %v ok=%v", v, p, v, w, spt.ParentW[v], ok)
+			}
+		}
+	}
+}
+
+func TestApproxPath(t *testing.T) {
+	eps := 0.25
+	g := graph.Gnm(90, 280, graph.UniformWeights(1, 6), 8)
+	s, err := New(g, Options{Epsilon: eps, PathReporting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, length, err := s.ApproxPath(3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path[0] != 3 || path[len(path)-1] != 77 {
+		t.Fatalf("endpoints %v", path)
+	}
+	var sum float64
+	for i := 1; i < len(path); i++ {
+		w, ok := g.HasEdge(path[i-1], path[i])
+		if !ok {
+			t.Fatalf("step (%d,%d) not a graph edge", path[i-1], path[i])
+		}
+		sum += w
+	}
+	if math.Abs(sum-length) > 1e-6 {
+		t.Fatalf("reported length %v, path weighs %v", length, sum)
+	}
+	want, _ := exact.DijkstraGraph(g, 3)
+	if length < want[77]-1e-6 || length > (1+eps)*want[77]+1e-6 {
+		t.Fatalf("length %v vs exact %v", length, want[77])
+	}
+	// Unreachable pair.
+	g2 := graph.MustFromEdges(3, []graph.Edge{graph.E(0, 1, 1)})
+	s2, err := New(g2, Options{Epsilon: eps, PathReporting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, l2, err := s2.ApproxPath(0, 2)
+	if err != nil || p2 != nil || !math.IsInf(l2, 1) {
+		t.Fatalf("unreachable pair: %v %v %v", p2, l2, err)
+	}
+	// Without path reporting.
+	s3, err := New(g, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s3.ApproxPath(0, 1); err != ErrNeedPathReporting {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestSPTRequiresPathReporting(t *testing.T) {
+	g := graph.Path(16, graph.UnitWeights(), 1)
+	s, err := New(g, Options{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SPT(0); err != ErrNeedPathReporting {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestWeightReductionSolver(t *testing.T) {
+	eps := 0.5
+	g := graph.Gnm(90, 300, graph.GeometricScaleWeights(12), 4)
+	s, err := New(g, Options{Epsilon: eps, WeightReduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Reduction() == nil {
+		t.Fatal("reduction ledger missing")
+	}
+	got, err := s.ApproxDistances(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := exact.DijkstraGraph(g, 0)
+	for v := 0; v < g.N; v++ {
+		if got[v] < want[v]-1e-6 || got[v] > (1+eps)*want[v]+1e-6 {
+			t.Fatalf("vertex %d: %v vs exact %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestWeightReductionSPT(t *testing.T) {
+	eps := 0.5
+	g := graph.Gnm(70, 210, graph.GeometricScaleWeights(9), 5)
+	s, err := New(g, Options{Epsilon: eps, WeightReduction: true, PathReporting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt, err := s.SPT(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := exact.DijkstraGraph(g, 0)
+	for v := 0; v < g.N; v++ {
+		if spt.Dist[v] < want[v]-1e-6 || spt.Dist[v] > (1+eps)*want[v]+1e-6 {
+			t.Fatalf("vertex %d: %v vs exact %v", v, spt.Dist[v], want[v])
+		}
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	g := graph.Path(8, graph.UnitWeights(), 1)
+	if _, err := New(g, Options{Epsilon: 0}); err == nil {
+		t.Fatal("epsilon 0 accepted")
+	}
+	if _, err := New(g, Options{Epsilon: 0.25, WeightReduction: true, StrictWeights: true}); err == nil {
+		t.Fatal("strict+reduction accepted")
+	}
+	s, err := New(g, Options{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApproxDistances(-1); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := s.ApproxDistances(8); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := s.ApproxMultiSource([]int32{0, 99}); err == nil {
+		t.Fatal("bad multi-source accepted")
+	}
+}
+
+func TestTrackerFlowsThrough(t *testing.T) {
+	tr := pram.New()
+	g := graph.Gnm(60, 180, graph.UnitWeights(), 6)
+	s, err := New(g, Options{Epsilon: 0.25, Tracker: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := tr.Snapshot()
+	if build.Work == 0 {
+		t.Fatal("no work accounted during build")
+	}
+	if _, err := s.ApproxDistances(0); err != nil {
+		t.Fatal(err)
+	}
+	if q := tr.Sub(build); q.Work == 0 || q.Depth == 0 {
+		t.Fatalf("no work accounted during query: %v", q)
+	}
+}
+
+func TestStrictWeightsSolver(t *testing.T) {
+	g := graph.Gnm(64, 200, graph.UnitWeights(), 7)
+	s, err := New(g, Options{Epsilon: 0.25, StrictWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ApproxDistances(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := exact.DijkstraGraph(g, 0)
+	for v := 0; v < g.N; v++ {
+		if got[v] < want[v]-1e-9 {
+			t.Fatalf("vertex %d below exact", v)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAccessors(t *testing.T) {
+	g := graph.Path(32, graph.UnitWeights(), 1)
+	s, err := New(g, Options{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hopset() == nil {
+		t.Fatal("Hopset() nil")
+	}
+	if s.Hopset().G.N != 32 {
+		t.Fatalf("hopset graph n=%d", s.Hopset().G.N)
+	}
+	if s.HopBudget() <= 0 {
+		t.Fatalf("budget=%d", s.HopBudget())
+	}
+	if s.Reduction() != nil {
+		t.Fatal("reduction ledger should be nil without WeightReduction")
+	}
+}
+
+func TestNearestSourceBadVertex(t *testing.T) {
+	g := graph.Path(8, graph.UnitWeights(), 1)
+	s, err := New(g, Options{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NearestSource([]int32{0, 42}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestSPTBadVertex(t *testing.T) {
+	g := graph.Path(8, graph.UnitWeights(), 1)
+	s, err := New(g, Options{Epsilon: 0.25, PathReporting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SPT(-3); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, _, err := s.ApproxPath(-1, 0); err == nil {
+		t.Fatal("negative u accepted")
+	}
+	if _, _, err := s.ApproxPath(0, 99); err == nil {
+		t.Fatal("out-of-range v accepted")
+	}
+}
+
+func TestNewPropagatesBuildErrors(t *testing.T) {
+	g := graph.Path(8, graph.UnitWeights(), 1)
+	if _, err := New(g, Options{Epsilon: 0.25, Kappa: -2}); err == nil {
+		t.Fatal("invalid kappa accepted")
+	}
+	if _, err := New(g, Options{Epsilon: 0.25, WeightReduction: true, Kappa: -2}); err == nil {
+		t.Fatal("invalid kappa accepted through reduction")
+	}
+}

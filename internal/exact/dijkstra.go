@@ -1,0 +1,64 @@
+// Package exact provides exact sequential shortest-path ground truth
+// (Dijkstra) used to validate every approximate result in the repository.
+package exact
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/adj"
+	"repro/internal/graph"
+)
+
+// Dijkstra returns exact single-source distances and parents over the
+// combined adjacency a.
+func Dijkstra(a *adj.Adj, s int32) ([]float64, []int32) {
+	n := a.N
+	dist := make([]float64, n)
+	parent := make([]int32, n)
+	for v := 0; v < n; v++ {
+		dist[v] = math.Inf(1)
+		parent[v] = -1
+	}
+	dist[s] = 0
+	pq := &vheap{{v: s, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(vitem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for arc := a.Off[it.v]; arc < a.Off[it.v+1]; arc++ {
+			u := a.Nbr[arc]
+			if d := it.d + a.Wt[arc]; d < dist[u] {
+				dist[u] = d
+				parent[u] = it.v
+				heap.Push(pq, vitem{v: u, d: d})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// DijkstraGraph runs Dijkstra on a plain graph (no extras).
+func DijkstraGraph(g *graph.Graph, s int32) ([]float64, []int32) {
+	return Dijkstra(adj.Build(g, nil), s)
+}
+
+type vitem struct {
+	v int32
+	d float64
+}
+
+type vheap []vitem
+
+func (h vheap) Len() int            { return len(h) }
+func (h vheap) Less(i, j int) bool  { return h[i].d < h[j].d || (h[i].d == h[j].d && h[i].v < h[j].v) }
+func (h vheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *vheap) Push(x interface{}) { *h = append(*h, x.(vitem)) }
+func (h *vheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,81 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adj"
+	"repro/internal/graph"
+)
+
+func TestKnownDistances(t *testing.T) {
+	// Square with a diagonal: 0-1 (1), 1-2 (1), 2-3 (1), 3-0 (1), 0-2 (1.5).
+	g := graph.MustFromEdges(4, []graph.Edge{
+		graph.E(0, 1, 1), graph.E(1, 2, 1), graph.E(2, 3, 1), graph.E(3, 0, 1), graph.E(0, 2, 1.5),
+	})
+	dist, parent := DijkstraGraph(g, 0)
+	want := []float64{0, 1, 1.5, 1}
+	for v, w := range want {
+		if dist[v] != w {
+			t.Fatalf("dist=%v want %v", dist, want)
+		}
+	}
+	if parent[0] != -1 || parent[1] != 0 || parent[2] != 0 || parent[3] != 0 {
+		t.Fatalf("parents=%v", parent)
+	}
+}
+
+func TestExtrasChangeDistances(t *testing.T) {
+	g := graph.Path(5, graph.UnitWeights(), 1)
+	a := adj.Build(g, []adj.Extra{{U: 0, V: 4, W: 1.5}})
+	dist, _ := Dijkstra(a, 0)
+	if dist[4] != 1.5 {
+		t.Fatalf("extra edge ignored: %v", dist[4])
+	}
+	if dist[3] != 2.5 { // 0 → 4 → 3
+		t.Fatalf("dist[3]=%v want 2.5", dist[3])
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	prop := func(seed int64, mRaw uint8) bool {
+		n := 30
+		g := graph.Gnm(n, n-1+int(mRaw), graph.UniformWeights(1, 9), seed)
+		d0, _ := DijkstraGraph(g, 0)
+		d1, _ := DijkstraGraph(g, int32(n-1))
+		// d(0,v) ≤ d(0,n−1) + d(n−1,v) for all v.
+		for v := 0; v < n; v++ {
+			if math.IsInf(d0[v], 1) || math.IsInf(d1[v], 1) {
+				continue
+			}
+			if d0[v] > d0[n-1]+d1[v]+1e-9 {
+				return false
+			}
+		}
+		// Symmetry on the endpoints.
+		return math.Abs(d0[n-1]-d1[0]) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentEdgesTight(t *testing.T) {
+	g := graph.Gnm(80, 240, graph.UniformWeights(1, 7), 5)
+	a := adj.Build(g, nil)
+	dist, parent := Dijkstra(a, 3)
+	for v := int32(0); int(v) < g.N; v++ {
+		p := parent[v]
+		if p < 0 {
+			continue
+		}
+		w, ok := g.HasEdge(p, v)
+		if !ok {
+			t.Fatalf("parent edge (%d,%d) missing", p, v)
+		}
+		if math.Abs(dist[p]+w-dist[v]) > 1e-9 {
+			t.Fatalf("vertex %d: parent edge not tight", v)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ContractZeroWeights implements the paper's footnote 1 (§1.1): graphs
+// with non-negative weights are reduced to positive weights by contracting
+// every zero-weight edge (connected components of the zero-weight subgraph
+// become single vertices; the paper runs Shiloach–Vishkin [SV82] for this —
+// here the components are found by the same deterministic min-label rule).
+//
+// It returns the contracted graph, plus a mapping from original vertices to
+// contracted vertices. Distances are preserved: dG(u,v) equals the
+// contracted distance between Map[u] and Map[v]. Edges with negative, NaN
+// or infinite weight are rejected.
+func ContractZeroWeights(n int, edges []Edge) (*Graph, []int32, error) {
+	if n <= 0 {
+		return nil, nil, ErrEmptyVertex
+	}
+	for _, e := range edges {
+		if e.U < 0 || e.V < 0 || int(e.U) >= n || int(e.V) >= n {
+			return nil, nil, fmt.Errorf("%w: (%d,%d)", ErrVertexRange, e.U, e.V)
+		}
+		if e.W < 0 || math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			return nil, nil, fmt.Errorf("%w: weight %v", ErrBadWeight, e.W)
+		}
+	}
+	// Min-label components of the zero-weight subgraph (deterministic:
+	// iterate label propagation to a fixed point).
+	label := make([]int32, n)
+	for v := range label {
+		label[v] = int32(v)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if e.W != 0 {
+				continue
+			}
+			lu, lv := label[e.U], label[e.V]
+			if lu == lv {
+				continue
+			}
+			if lu > lv {
+				lu = lv
+			}
+			if label[e.U] != lu || label[e.V] != lu {
+				label[e.U], label[e.V] = lu, lu
+				changed = true
+			}
+		}
+		// Pointer-jump labels to their roots.
+		for v := range label {
+			for label[v] != label[label[v]] {
+				label[v] = label[label[v]]
+			}
+		}
+	}
+	// Dense re-indexing of component roots, in root order.
+	roots := map[int32]bool{}
+	for v := range label {
+		roots[label[v]] = true
+	}
+	ordered := make([]int32, 0, len(roots))
+	for r := range roots {
+		ordered = append(ordered, r)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	idx := make(map[int32]int32, len(ordered))
+	for i, r := range ordered {
+		idx[r] = int32(i)
+	}
+	mapping := make([]int32, n)
+	for v := range mapping {
+		mapping[v] = idx[label[v]]
+	}
+	// Positive-weight edges between distinct components survive.
+	var out []Edge
+	for _, e := range edges {
+		u, v := mapping[e.U], mapping[e.V]
+		if u == v {
+			if e.W > 0 {
+				continue // positive edge inside a zero-component: never shortest
+			}
+			continue
+		}
+		out = append(out, Edge{U: u, V: v, W: e.W})
+	}
+	if len(ordered) == 1 {
+		// Everything contracted to one vertex: a valid single-vertex graph.
+		g, err := FromEdges(1, nil)
+		return g, mapping, err
+	}
+	g, err := FromEdges(len(ordered), out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, mapping, nil
+}
+
+// ErrNegativeWeight is kept for API clarity; ContractZeroWeights wraps
+// ErrBadWeight for all invalid weights.
+var ErrNegativeWeight = errors.New("graph: negative weight")

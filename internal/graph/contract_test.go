@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"container/heap"
+)
+
+// dijkstraEdges computes exact distances over an arbitrary non-negative
+// edge list (reference implementation for contraction tests).
+func dijkstraEdges(n int, edges []Edge, s int32) []float64 {
+	adj := make([][]Edge, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], Edge{U: e.V, V: e.U, W: e.W})
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[s] = 0
+	pq := &edgeHeap{{V: s, W: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(Edge)
+		if it.W > dist[it.V] {
+			continue
+		}
+		for _, e := range adj[it.V] {
+			if d := it.W + e.W; d < dist[e.V] {
+				dist[e.V] = d
+				heap.Push(pq, Edge{V: e.V, W: d})
+			}
+		}
+	}
+	return dist
+}
+
+type edgeHeap []Edge
+
+func (h edgeHeap) Len() int            { return len(h) }
+func (h edgeHeap) Less(i, j int) bool  { return h[i].W < h[j].W }
+func (h edgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *edgeHeap) Push(x interface{}) { *h = append(*h, x.(Edge)) }
+func (h *edgeHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+func TestContractZeroWeightsBasic(t *testing.T) {
+	// 0 -0- 1 -2- 2 -0- 3: vertices {0,1} and {2,3} merge.
+	edges := []Edge{E(0, 1, 0), E(1, 2, 2), E(2, 3, 0)}
+	g, mapping, err := ContractZeroWeights(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	if mapping[0] != mapping[1] || mapping[2] != mapping[3] || mapping[0] == mapping[2] {
+		t.Fatalf("mapping=%v", mapping)
+	}
+	if w, ok := g.HasEdge(mapping[0], mapping[2]); !ok || w != 2 {
+		t.Fatalf("contracted edge: %v %v", w, ok)
+	}
+}
+
+func TestContractPreservesDistances(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 40
+		var edges []Edge
+		// Random connected graph with ~25% zero-weight edges.
+		for v := int32(1); int(v) < n; v++ {
+			w := float64(r.Intn(4)) // 0..3, zero possible
+			edges = append(edges, Edge{U: int32(r.Intn(int(v))), V: v, W: w})
+		}
+		for i := 0; i < 40; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u != v {
+				edges = append(edges, Edge{U: u, V: v, W: float64(r.Intn(4))})
+			}
+		}
+		cg, mapping, err := ContractZeroWeights(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minW, _ := cg.WeightRange()
+		if cg.M() > 0 && minW <= 0 {
+			t.Fatalf("contracted graph still has non-positive weights: %v", minW)
+		}
+		ref := dijkstraEdges(n, edges, 0)
+		var cref []float64
+		if cg.N == 1 {
+			cref = []float64{0}
+		} else {
+			cref = dijkstraEdges(cg.N, cg.Edges, mapping[0])
+		}
+		for v := 0; v < n; v++ {
+			if math.Abs(ref[v]-cref[mapping[v]]) > 1e-9 {
+				t.Fatalf("trial %d vertex %d: original %v contracted %v", trial, v, ref[v], cref[mapping[v]])
+			}
+		}
+	}
+}
+
+func TestContractAllZero(t *testing.T) {
+	g, mapping, err := ContractZeroWeights(3, []Edge{E(0, 1, 0), E(1, 2, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1 {
+		t.Fatalf("n=%d want 1", g.N)
+	}
+	for _, m := range mapping {
+		if m != 0 {
+			t.Fatalf("mapping=%v", mapping)
+		}
+	}
+}
+
+func TestContractNoZeros(t *testing.T) {
+	edges := []Edge{E(0, 1, 1), E(1, 2, 2)}
+	g, mapping, err := ContractZeroWeights(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	for v, m := range mapping {
+		if int32(v) != m {
+			t.Fatalf("identity mapping expected: %v", mapping)
+		}
+	}
+}
+
+func TestContractRejectsBadWeights(t *testing.T) {
+	if _, _, err := ContractZeroWeights(2, []Edge{E(0, 1, -1)}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, _, err := ContractZeroWeights(2, []Edge{E(0, 1, math.NaN())}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, _, err := ContractZeroWeights(2, []Edge{E(0, 3, 1)}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if _, _, err := ContractZeroWeights(0, nil); err == nil {
+		t.Fatal("empty vertex set accepted")
+	}
+}
+
+func TestContractParallelZeroAndPositive(t *testing.T) {
+	// Zero edge and positive edge between the same pair: the pair merges
+	// and the positive edge (now a self-loop) is dropped.
+	g, mapping, err := ContractZeroWeights(2, []Edge{E(0, 1, 0), E(0, 1, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1 || g.M() != 0 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	if mapping[0] != mapping[1] {
+		t.Fatal("pair not merged")
+	}
+}

@@ -1,0 +1,315 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// WeightFn assigns a weight to a generated edge. Implementations must return
+// positive finite values.
+type WeightFn func(r *rand.Rand, u, v int32) float64
+
+// UnitWeights assigns weight 1 to every edge (unweighted graphs).
+func UnitWeights() WeightFn {
+	return func(_ *rand.Rand, _, _ int32) float64 { return 1 }
+}
+
+// UniformWeights assigns weights uniformly in [lo, hi].
+func UniformWeights(lo, hi float64) WeightFn {
+	return func(r *rand.Rand, _, _ int32) float64 { return lo + r.Float64()*(hi-lo) }
+}
+
+// ExpWeights assigns weights 1 + Exp(mean): a heavy-ish tail with minimum 1,
+// giving wide but controlled aspect ratios.
+func ExpWeights(mean float64) WeightFn {
+	return func(r *rand.Rand, _, _ int32) float64 { return 1 + r.ExpFloat64()*mean }
+}
+
+// GeometricScaleWeights draws weights as 2^U with U uniform in [0, scales],
+// spreading weights across many powers of two. Exercises the multi-scale
+// machinery and the Klein–Sairam reduction.
+func GeometricScaleWeights(scales int) WeightFn {
+	return func(r *rand.Rand, _, _ int32) float64 {
+		return math.Pow(2, r.Float64()*float64(scales))
+	}
+}
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Path returns the n-vertex path 0—1—…—(n−1).
+func Path(n int, wf WeightFn, seed int64) *Graph {
+	r := rng(seed)
+	edges := make([]Edge, 0, n-1)
+	for i := int32(0); int(i) < n-1; i++ {
+		edges = append(edges, Edge{i, i + 1, wf(r, i, i+1)})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Cycle returns the n-vertex cycle.
+func Cycle(n int, wf WeightFn, seed int64) *Graph {
+	r := rng(seed)
+	edges := make([]Edge, 0, n)
+	for i := int32(0); int(i) < n-1; i++ {
+		edges = append(edges, Edge{i, i + 1, wf(r, i, i+1)})
+	}
+	if n > 2 {
+		edges = append(edges, Edge{0, int32(n - 1), wf(r, 0, int32(n-1))})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Grid returns the rows×cols 2D grid graph: a standard stand-in for road
+// networks (high diameter, low degree).
+func Grid(rows, cols int, wf WeightFn, seed int64) *Graph {
+	r := rng(seed)
+	n := rows * cols
+	id := func(i, j int) int32 { return int32(i*cols + j) }
+	edges := make([]Edge, 0, 2*n)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				edges = append(edges, Edge{id(i, j), id(i, j+1), wf(r, id(i, j), id(i, j+1))})
+			}
+			if i+1 < rows {
+				edges = append(edges, Edge{id(i, j), id(i+1, j), wf(r, id(i, j), id(i+1, j))})
+			}
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Tree returns a complete b-ary tree on n vertices (vertex k's parent is
+// (k−1)/b).
+func Tree(n, b int, wf WeightFn, seed int64) *Graph {
+	if b < 1 {
+		b = 2
+	}
+	r := rng(seed)
+	edges := make([]Edge, 0, n-1)
+	for k := int32(1); int(k) < n; k++ {
+		p := (k - 1) / int32(b)
+		edges = append(edges, Edge{p, k, wf(r, p, k)})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Star returns the n-vertex star centered at 0.
+func Star(n int, wf WeightFn, seed int64) *Graph {
+	r := rng(seed)
+	edges := make([]Edge, 0, n-1)
+	for k := int32(1); int(k) < n; k++ {
+		edges = append(edges, Edge{0, k, wf(r, 0, k)})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int, wf WeightFn, seed int64) *Graph {
+	r := rng(seed)
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for u := int32(0); int(u) < n; u++ {
+		for v := u + 1; int(v) < n; v++ {
+			edges = append(edges, Edge{u, v, wf(r, u, v)})
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Hypercube returns the dim-dimensional hypercube (n = 2^dim vertices).
+func Hypercube(dim int, wf WeightFn, seed int64) *Graph {
+	r := rng(seed)
+	n := 1 << dim
+	edges := make([]Edge, 0, n*dim/2)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				edges = append(edges, Edge{int32(u), int32(v), wf(r, int32(u), int32(v))})
+			}
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Gnm returns a connected Erdős–Rényi-style G(n, m) graph: a random spanning
+// tree (guaranteeing connectivity) plus m−(n−1) additional distinct random
+// edges. m is clamped to [n−1, n(n−1)/2].
+func Gnm(n, m int, wf WeightFn, seed int64) *Graph {
+	r := rng(seed)
+	if m < n-1 {
+		m = n - 1
+	}
+	if maxM := n * (n - 1) / 2; m > maxM {
+		m = maxM
+	}
+	type key struct{ u, v int32 }
+	seen := make(map[key]bool, m)
+	edges := make([]Edge, 0, m)
+	add := func(u, v int32) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := key{u, v}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		edges = append(edges, Edge{u, v, wf(r, u, v)})
+		return true
+	}
+	// Random attachment tree: vertex i links to a uniform previous vertex.
+	for i := int32(1); int(i) < n; i++ {
+		add(i, int32(r.Intn(int(i))))
+	}
+	for len(edges) < m {
+		add(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	return MustFromEdges(n, edges)
+}
+
+// PowerLaw returns a Barabási–Albert-style preferential-attachment graph:
+// each new vertex attaches to k existing vertices chosen proportionally to
+// degree. A stand-in for social networks (skewed degrees, low diameter).
+func PowerLaw(n, k int, wf WeightFn, seed int64) *Graph {
+	r := rng(seed)
+	if k < 1 {
+		k = 1
+	}
+	// targets holds one entry per arc endpoint; sampling uniformly from it
+	// is sampling proportional to degree.
+	targets := make([]int32, 0, 2*n*k)
+	edges := make([]Edge, 0, n*k)
+	type key struct{ u, v int32 }
+	seen := make(map[key]bool, n*k)
+	add := func(u, v int32) {
+		if u > v {
+			u, v = v, u
+		}
+		kk := key{u, v}
+		if u == v || seen[kk] {
+			return
+		}
+		seen[kk] = true
+		edges = append(edges, Edge{u, v, wf(r, u, v)})
+		targets = append(targets, u, v)
+	}
+	add(0, 1)
+	for u := int32(2); int(u) < n; u++ {
+		attached := 0
+		for tries := 0; attached < k && tries < 8*k+16; tries++ {
+			v := targets[r.Intn(len(targets))]
+			if v != u {
+				before := len(edges)
+				add(u, v)
+				if len(edges) > before {
+					attached++
+				}
+			}
+		}
+		if attached == 0 { // guarantee connectivity
+			add(u, int32(r.Intn(int(u))))
+		}
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Geometric returns a random geometric graph: n points in the unit square,
+// edges between pairs within the given radius (weight = Euclidean distance,
+// scaled so the minimum is ≥ 1), plus a path fallback over points sorted by
+// x to guarantee connectivity. A stand-in for wireless/sensor topologies.
+func Geometric(n int, radius float64, seed int64) *Graph {
+	r := rng(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = r.Float64(), r.Float64()
+	}
+	const wScale = 1e4 // distances in [~0,√2] → weights ≥ 1 after +1
+	edges := make([]Edge, 0, n*4)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+			d := math.Hypot(dx, dy)
+			if d <= radius {
+				edges = append(edges, Edge{int32(u), int32(v), 1 + d*wScale})
+			}
+		}
+	}
+	// Connectivity fallback: chain points in x order.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for i := 1; i < n; i++ { // insertion sort by x (n is small for this generator)
+		j := i
+		for j > 0 && xs[order[j-1]] > xs[order[j]] {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		u, v := order[i], order[i+1]
+		dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+		edges = append(edges, Edge{u, v, 1 + math.Hypot(dx, dy)*wScale})
+	}
+	return MustFromEdges(n, edges)
+}
+
+// Community returns a planted-partition graph: k dense communities with
+// mIntra random edges inside each and mInter random edges between
+// communities. A stand-in for clustered social graphs.
+func Community(n, k, mIntra, mInter int, wf WeightFn, seed int64) *Graph {
+	r := rng(seed)
+	if k < 1 {
+		k = 1
+	}
+	size := n / k
+	type key struct{ u, v int32 }
+	seen := make(map[key]bool)
+	edges := make([]Edge, 0, k*mIntra+mInter)
+	add := func(u, v int32) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		kk := key{u, v}
+		if seen[kk] {
+			return false
+		}
+		seen[kk] = true
+		edges = append(edges, Edge{u, v, wf(r, u, v)})
+		return true
+	}
+	for c := 0; c < k; c++ {
+		lo := c * size
+		hi := lo + size
+		if c == k-1 {
+			hi = n
+		}
+		// Spanning path inside the community for connectivity.
+		for v := lo + 1; v < hi; v++ {
+			add(int32(v-1), int32(v))
+		}
+		for added := 0; added < mIntra && hi-lo > 2; {
+			if add(int32(lo+r.Intn(hi-lo)), int32(lo+r.Intn(hi-lo))) {
+				added++
+			}
+		}
+	}
+	// Chain communities, then sprinkle inter edges.
+	for c := 1; c < k; c++ {
+		add(int32((c-1)*size), int32(c*size))
+	}
+	for added := 0; added < mInter; {
+		if add(int32(r.Intn(n)), int32(r.Intn(n))) {
+			added++
+		}
+	}
+	return MustFromEdges(n, edges)
+}

@@ -1,0 +1,208 @@
+// Package graph implements the weighted undirected graphs of the paper
+// (§1.5): positive edge weights, unique vertex IDs in [0, n), and the
+// aspect-ratio bookkeeping the multi-scale hopset construction needs.
+//
+// Graphs are stored in compressed-sparse-row (CSR) form with both arc
+// directions materialized; adjacency lists are sorted by neighbor ID so all
+// traversals are deterministic.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is one undirected weighted edge.
+type Edge struct {
+	U, V int32
+	W    float64
+}
+
+// E is a convenience constructor for Edge.
+func E(u, v int32, w float64) Edge { return Edge{U: u, V: v, W: w} }
+
+// Graph is an immutable weighted undirected graph in CSR form.
+type Graph struct {
+	N int // number of vertices
+
+	// CSR over directed arcs (each undirected edge appears twice).
+	Off []int32   // len N+1; arcs of vertex v are [Off[v], Off[v+1])
+	Nbr []int32   // neighbor per arc
+	Wt  []float64 // weight per arc
+	EID []int32   // undirected edge index per arc
+
+	Edges []Edge // canonical undirected edge list (U < V), sorted
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// Arcs returns the number of directed arcs (2·M).
+func (g *Graph) Arcs() int { return len(g.Nbr) }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int { return int(g.Off[v+1] - g.Off[v]) }
+
+// Neighbors returns the (sorted) neighbor and weight slices of v. The
+// returned slices alias the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int32) ([]int32, []float64) {
+	lo, hi := g.Off[v], g.Off[v+1]
+	return g.Nbr[lo:hi], g.Wt[lo:hi]
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists, and its weight.
+func (g *Graph) HasEdge(u, v int32) (float64, bool) {
+	lo, hi := int(g.Off[u]), int(g.Off[u+1])
+	nbr := g.Nbr[lo:hi]
+	i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= v })
+	if i < len(nbr) && nbr[i] == v {
+		return g.Wt[lo+i], true
+	}
+	return 0, false
+}
+
+// Errors reported by FromEdges.
+var (
+	ErrVertexRange  = errors.New("graph: vertex out of range")
+	ErrSelfLoop     = errors.New("graph: self loop")
+	ErrBadWeight    = errors.New("graph: weight must be positive and finite")
+	ErrEmptyVertex  = errors.New("graph: vertex count must be positive")
+	ErrTooManyVerts = errors.New("graph: vertex count exceeds int32 range")
+)
+
+// FromEdges builds a graph from an undirected edge list.
+//
+// It validates vertices and weights, canonicalizes edges to U < V, and
+// collapses parallel edges keeping the minimum weight (the paper assumes
+// simple graphs; keeping the lightest parallel edge preserves all
+// distances). Self loops are rejected: they never lie on shortest paths and
+// the paper's model excludes them.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrEmptyVertex
+	}
+	if n > math.MaxInt32 {
+		return nil, ErrTooManyVerts
+	}
+	canon := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.U < 0 || e.V < 0 || int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("%w: vertex %d", ErrSelfLoop, e.U)
+		}
+		if !(e.W > 0) || math.IsInf(e.W, 0) || math.IsNaN(e.W) {
+			return nil, fmt.Errorf("%w: (%d,%d) weight %v", ErrBadWeight, e.U, e.V, e.W)
+		}
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		canon = append(canon, e)
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		a, b := canon[i], canon[j]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		if a.V != b.V {
+			return a.V < b.V
+		}
+		return a.W < b.W
+	})
+	// Collapse parallel edges, keeping the minimum weight (first after sort).
+	dedup := canon[:0]
+	for _, e := range canon {
+		if k := len(dedup); k > 0 && dedup[k-1].U == e.U && dedup[k-1].V == e.V {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	return fromCanonical(n, dedup), nil
+}
+
+// fromCanonical builds the CSR from a deduplicated, sorted, U<V edge list.
+func fromCanonical(n int, edges []Edge) *Graph {
+	g := &Graph{N: n, Edges: edges}
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	g.Off = deg
+	arcs := 2 * len(edges)
+	g.Nbr = make([]int32, arcs)
+	g.Wt = make([]float64, arcs)
+	g.EID = make([]int32, arcs)
+	at := make([]int32, n)
+	copy(at, g.Off[:n])
+	for id, e := range edges {
+		g.Nbr[at[e.U]], g.Wt[at[e.U]], g.EID[at[e.U]] = e.V, e.W, int32(id)
+		at[e.U]++
+		g.Nbr[at[e.V]], g.Wt[at[e.V]], g.EID[at[e.V]] = e.U, e.W, int32(id)
+		at[e.V]++
+	}
+	// Adjacency is already sorted by neighbor because edges are sorted by
+	// (U, V) and scattered in order — except arcs of v coming from edges
+	// where v is the larger endpoint interleave. Sort each list once.
+	for v := 0; v < n; v++ {
+		lo, hi := int(g.Off[v]), int(g.Off[v+1])
+		sortArcRange(g, lo, hi)
+	}
+	return g
+}
+
+func sortArcRange(g *Graph, lo, hi int) {
+	type arc struct {
+		nbr int32
+		wt  float64
+		eid int32
+	}
+	tmp := make([]arc, hi-lo)
+	for i := range tmp {
+		tmp[i] = arc{g.Nbr[lo+i], g.Wt[lo+i], g.EID[lo+i]}
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].nbr < tmp[j].nbr })
+	for i, a := range tmp {
+		g.Nbr[lo+i], g.Wt[lo+i], g.EID[lo+i] = a.nbr, a.wt, a.eid
+	}
+}
+
+// MustFromEdges is FromEdges that panics on error; for tests and generators
+// whose outputs are valid by construction.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Normalized returns a copy of g with weights divided by the minimum edge
+// weight, so the minimum weight is exactly 1 as the paper assumes (§1.5),
+// plus the scale factor to convert distances back. A graph with no edges is
+// returned unchanged with factor 1.
+func (g *Graph) Normalized() (*Graph, float64) {
+	if g.M() == 0 {
+		return g, 1
+	}
+	minW := math.Inf(1)
+	for _, e := range g.Edges {
+		if e.W < minW {
+			minW = e.W
+		}
+	}
+	if minW == 1 {
+		return g, 1
+	}
+	edges := make([]Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		edges[i] = Edge{e.U, e.V, e.W / minW}
+	}
+	return fromCanonical(g.N, edges), minW
+}

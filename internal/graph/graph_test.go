@@ -1,0 +1,338 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || g.M() != 4 || g.Arcs() != 8 {
+		t.Fatalf("n=%d m=%d arcs=%d", g.N, g.M(), g.Arcs())
+	}
+	if w, ok := g.HasEdge(0, 3); !ok || w != 4 {
+		t.Fatalf("edge (0,3): w=%v ok=%v", w, ok)
+	}
+	if w, ok := g.HasEdge(3, 0); !ok || w != 4 {
+		t.Fatalf("edge (3,0): w=%v ok=%v", w, ok)
+	}
+	if _, ok := g.HasEdge(0, 2); ok {
+		t.Fatal("edge (0,2) should not exist")
+	}
+}
+
+func TestFromEdgesValidation(t *testing.T) {
+	cases := []struct {
+		n     int
+		edges []Edge
+		want  error
+	}{
+		{0, nil, ErrEmptyVertex},
+		{-5, nil, ErrEmptyVertex},
+		{3, []Edge{{0, 3, 1}}, ErrVertexRange},
+		{3, []Edge{{-1, 1, 1}}, ErrVertexRange},
+		{3, []Edge{{1, 1, 1}}, ErrSelfLoop},
+		{3, []Edge{{0, 1, 0}}, ErrBadWeight},
+		{3, []Edge{{0, 1, -2}}, ErrBadWeight},
+		{3, []Edge{{0, 1, math.Inf(1)}}, ErrBadWeight},
+		{3, []Edge{{0, 1, math.NaN()}}, ErrBadWeight},
+	}
+	for i, c := range cases {
+		if _, err := FromEdges(c.n, c.edges); !errors.Is(err, c.want) {
+			t.Errorf("case %d: err=%v want %v", i, err, c.want)
+		}
+	}
+}
+
+func TestParallelEdgesKeepMinWeight(t *testing.T) {
+	g, err := FromEdges(2, []Edge{{0, 1, 5}, {1, 0, 3}, {0, 1, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("m=%d want 1", g.M())
+	}
+	if w, _ := g.HasEdge(0, 1); w != 3 {
+		t.Fatalf("w=%v want 3 (minimum of parallel edges)", w)
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	g := Gnm(200, 800, UniformWeights(1, 10), 7)
+	for v := int32(0); int(v) < g.N; v++ {
+		nbr, _ := g.Neighbors(v)
+		for i := 1; i < len(nbr); i++ {
+			if nbr[i] <= nbr[i-1] {
+				t.Fatalf("vertex %d adjacency not strictly sorted: %v", v, nbr)
+			}
+		}
+	}
+}
+
+func TestDegreeSum(t *testing.T) {
+	g := Gnm(100, 300, UnitWeights(), 3)
+	var sum int
+	for v := 0; v < g.N; v++ {
+		sum += g.Degree(int32(v))
+	}
+	if sum != 2*g.M() {
+		t.Fatalf("degree sum %d != 2m %d", sum, 2*g.M())
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1, 2}, {1, 2, 8}})
+	ng, f := g.Normalized()
+	if f != 2 {
+		t.Fatalf("factor=%v", f)
+	}
+	if w, _ := ng.HasEdge(0, 1); w != 1 {
+		t.Fatalf("normalized min weight %v", w)
+	}
+	if w, _ := ng.HasEdge(1, 2); w != 4 {
+		t.Fatalf("normalized max weight %v", w)
+	}
+	// Already normalized graphs are returned as-is.
+	ng2, f2 := ng.Normalized()
+	if f2 != 1 || ng2 != ng {
+		t.Fatal("re-normalization should be identity")
+	}
+}
+
+func TestWeightRangeAndAspect(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1, 1}, {1, 2, 10}, {2, 3, 100}})
+	minW, maxW := g.WeightRange()
+	if minW != 1 || maxW != 100 {
+		t.Fatalf("range [%v,%v]", minW, maxW)
+	}
+	if ar := g.AspectRatioUpperBound(); ar != 300 {
+		t.Fatalf("aspect ratio bound %v want 300", ar)
+	}
+	empty := MustFromEdges(3, nil)
+	if minW, maxW := empty.WeightRange(); minW != 0 || maxW != 0 {
+		t.Fatal("edgeless weight range")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := MustFromEdges(6, []Edge{{0, 1, 1}, {1, 2, 1}, {3, 4, 1}})
+	labels := g.ComponentLabels()
+	want := []int32{0, 0, 0, 3, 3, 5}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels=%v want %v", labels, want)
+		}
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !Path(10, UnitWeights(), 1).IsConnected() {
+		t.Fatal("path reported disconnected")
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		n, m int
+	}{
+		{"path", Path(10, UnitWeights(), 1), 10, 9},
+		{"cycle", Cycle(10, UnitWeights(), 1), 10, 10},
+		{"grid", Grid(4, 5, UnitWeights(), 1), 20, 31},
+		{"tree", Tree(15, 2, UnitWeights(), 1), 15, 14},
+		{"star", Star(8, UnitWeights(), 1), 8, 7},
+		{"complete", Complete(6, UnitWeights(), 1), 6, 15},
+		{"hypercube", Hypercube(4, UnitWeights(), 1), 16, 32},
+	}
+	for _, c := range cases {
+		if c.g.N != c.n || c.g.M() != c.m {
+			t.Errorf("%s: n=%d m=%d want n=%d m=%d", c.name, c.g.N, c.g.M(), c.n, c.m)
+		}
+		if !c.g.IsConnected() {
+			t.Errorf("%s: not connected", c.name)
+		}
+	}
+}
+
+func TestGnmProperties(t *testing.T) {
+	g := Gnm(128, 512, UniformWeights(1, 4), 42)
+	if g.N != 128 {
+		t.Fatalf("n=%d", g.N)
+	}
+	if g.M() != 512 {
+		t.Fatalf("m=%d want 512", g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("Gnm should be connected by construction")
+	}
+	// Clamping.
+	if g := Gnm(10, 3, UnitWeights(), 1); g.M() != 9 {
+		t.Fatalf("m clamped low: %d", g.M())
+	}
+	if g := Gnm(5, 100, UnitWeights(), 1); g.M() != 10 {
+		t.Fatalf("m clamped high: %d", g.M())
+	}
+}
+
+func TestGnmDeterministic(t *testing.T) {
+	a := Gnm(64, 256, UniformWeights(1, 9), 5)
+	b := Gnm(64, 256, UniformWeights(1, 9), 5)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+}
+
+func TestPowerLawConnectedSkewed(t *testing.T) {
+	g := PowerLaw(500, 3, UnitWeights(), 11)
+	if !g.IsConnected() {
+		t.Fatal("powerlaw not connected")
+	}
+	if g.MaxDegree() < 10 {
+		t.Fatalf("max degree %d suspiciously small for preferential attachment", g.MaxDegree())
+	}
+}
+
+func TestGeometricConnected(t *testing.T) {
+	g := Geometric(100, 0.15, 13)
+	if !g.IsConnected() {
+		t.Fatal("geometric not connected")
+	}
+	minW, _ := g.WeightRange()
+	if minW < 1 {
+		t.Fatalf("minW=%v < 1", minW)
+	}
+}
+
+func TestCommunityConnected(t *testing.T) {
+	g := Community(200, 4, 100, 20, UniformWeights(1, 2), 17)
+	if !g.IsConnected() {
+		t.Fatal("community graph not connected")
+	}
+	if g.N != 200 {
+		t.Fatalf("n=%d", g.N)
+	}
+}
+
+func TestWeightFns(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	fns := map[string]WeightFn{
+		"unit":    UnitWeights(),
+		"uniform": UniformWeights(2, 5),
+		"exp":     ExpWeights(3),
+		"geo":     GeometricScaleWeights(10),
+	}
+	for name, fn := range fns {
+		for i := 0; i < 100; i++ {
+			w := fn(r, 0, 1)
+			if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+				t.Fatalf("%s produced invalid weight %v", name, w)
+			}
+		}
+	}
+	if w := UnitWeights()(r, 0, 1); w != 1 {
+		t.Fatalf("unit weight %v", w)
+	}
+	for i := 0; i < 50; i++ {
+		if w := UniformWeights(2, 5)(r, 0, 1); w < 2 || w > 5 {
+			t.Fatalf("uniform out of range: %v", w)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := Gnm(50, 150, UniformWeights(1, 7), 9)
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != g.N || g2.M() != g.M() {
+		t.Fatalf("round trip shape: %d/%d vs %d/%d", g2.N, g2.M(), g.N, g.M())
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != g2.Edges[i] {
+			t.Fatalf("edge %d differs after round trip", i)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",                      // missing p
+		"p 3\ne 0 1 1",          // short p
+		"p 3 1\np 3 1\ne 0 1 1", // duplicate p
+		"e 0 1 1\np 3 1",        // e before p
+		"p 3 2\ne 0 1 1",        // wrong edge count
+		"p 3 1\ne 0 1",          // short e
+		"p 3 1\ne 0 x 1",        // bad vertex
+		"p 3 1\nq 0 1 1",        // unknown record
+		"p x 1\ne 0 1 1",        // bad n
+		"p 3 1\ne 0 1 -1",       // invalid weight (via FromEdges)
+	}
+	for i, s := range cases {
+		if _, err := Decode(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, s)
+		}
+	}
+}
+
+func TestDecodeSkipsComments(t *testing.T) {
+	in := "c hello\n\np 2 1\nc mid\ne 0 1 2.5\n"
+	g, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.HasEdge(0, 1); !ok || w != 2.5 {
+		t.Fatalf("w=%v ok=%v", w, ok)
+	}
+}
+
+func TestFromEdgesQuickNeverPanicsOnValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw%60) + 2
+		m := int(mRaw % 400)
+		r := rand.New(rand.NewSource(seed))
+		edges := make([]Edge, 0, m)
+		for i := 0; i < m; i++ {
+			u := int32(r.Intn(n))
+			v := int32(r.Intn(n))
+			if u == v {
+				continue
+			}
+			edges = append(edges, Edge{u, v, 1 + r.Float64()*9})
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		// CSR invariants.
+		if int(g.Off[n]) != g.Arcs() {
+			return false
+		}
+		var deg int
+		for v := 0; v < n; v++ {
+			deg += g.Degree(int32(v))
+		}
+		return deg == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

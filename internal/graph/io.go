@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is DIMACS-like:
+//
+//	c free-form comment lines
+//	p <n> <m>
+//	e <u> <v> <w>     (m lines, 0-based vertices, float weight)
+
+// ErrFormat is returned (wrapped) by Decode for malformed input.
+var ErrFormat = errors.New("graph: bad format")
+
+// Encode writes g in the text format.
+func Encode(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.N, g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "e %d %d %g\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a graph in the text format.
+func Decode(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var (
+		n, m    int
+		sawP    bool
+		edges   []Edge
+		lineNum int
+	)
+	for sc.Scan() {
+		lineNum++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if sawP {
+				return nil, fmt.Errorf("%w: duplicate p line at %d", ErrFormat, lineNum)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("%w: p line at %d", ErrFormat, lineNum)
+			}
+			var err1, err2 error
+			n, err1 = strconv.Atoi(fields[1])
+			m, err2 = strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || n <= 0 || m < 0 {
+				return nil, fmt.Errorf("%w: p line at %d", ErrFormat, lineNum)
+			}
+			sawP = true
+			edges = make([]Edge, 0, m)
+		case "e":
+			if !sawP {
+				return nil, fmt.Errorf("%w: e before p at line %d", ErrFormat, lineNum)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%w: e line at %d", ErrFormat, lineNum)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("%w: e line at %d", ErrFormat, lineNum)
+			}
+			edges = append(edges, Edge{int32(u), int32(v), w})
+		default:
+			return nil, fmt.Errorf("%w: unknown record %q at line %d", ErrFormat, fields[0], lineNum)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawP {
+		return nil, fmt.Errorf("%w: missing p line", ErrFormat)
+	}
+	if len(edges) != m {
+		return nil, fmt.Errorf("%w: expected %d edges, got %d", ErrFormat, m, len(edges))
+	}
+	return FromEdges(n, edges)
+}

@@ -1,0 +1,97 @@
+package graph
+
+import "math"
+
+// WeightRange returns the minimum and maximum edge weight, or (0, 0) for an
+// edgeless graph.
+func (g *Graph) WeightRange() (minW, maxW float64) {
+	if g.M() == 0 {
+		return 0, 0
+	}
+	minW, maxW = math.Inf(1), math.Inf(-1)
+	for _, e := range g.Edges {
+		if e.W < minW {
+			minW = e.W
+		}
+		if e.W > maxW {
+			maxW = e.W
+		}
+	}
+	return minW, maxW
+}
+
+// AspectRatioUpperBound returns an upper bound on the aspect ratio Λ of the
+// graph — the ratio between the largest and smallest pairwise distance
+// (§1.5). Any distance is at most (n−1)·maxW and at least minW, so
+// Λ ≤ (n−1)·maxW/minW. The hopset driver uses ⌈log₂ Λ⌉ distance scales;
+// using an upper bound only adds empty top scales.
+func (g *Graph) AspectRatioUpperBound() float64 {
+	minW, maxW := g.WeightRange()
+	if minW == 0 {
+		return 1
+	}
+	return float64(g.N-1) * maxW / minW
+}
+
+// ComponentLabels returns, for every vertex, the smallest vertex ID in its
+// connected component (sequential BFS; used by tests and ground truth).
+func (g *Graph) ComponentLabels() []int32 {
+	label := make([]int32, g.N)
+	for i := range label {
+		label[i] = -1
+	}
+	queue := make([]int32, 0, g.N)
+	for s := int32(0); int(s) < g.N; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		label[s] = s
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			nbr, _ := g.Neighbors(v)
+			for _, u := range nbr {
+				if label[u] < 0 {
+					label[u] = s
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return label
+}
+
+// IsConnected reports whether the graph has a single connected component.
+func (g *Graph) IsConnected() bool {
+	if g.N == 0 {
+		return true
+	}
+	labels := g.ComponentLabels()
+	for _, l := range labels {
+		if l != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	maxd := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(int32(v)); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for _, e := range g.Edges {
+		s += e.W
+	}
+	return s
+}

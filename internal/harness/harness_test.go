@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 7} }
+
+// allTables caches the quick experiment run: several tests inspect the
+// same output and the sweep is expensive.
+var allTables []*Table
+
+func tables(t *testing.T) []*Table {
+	t.Helper()
+	if allTables == nil {
+		allTables = All(quickCfg())
+	}
+	return allTables
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	tables := tables(t)
+	if len(tables) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" || tb.Claim == "" {
+			t.Fatalf("table %q missing metadata", tb.ID)
+		}
+		if seen[tb.ID] {
+			t.Fatalf("duplicate experiment id %s", tb.ID)
+		}
+		seen[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: no rows", tb.ID)
+		}
+		for _, r := range tb.Rows {
+			if len(r) != len(tb.Cols) {
+				t.Fatalf("%s: row width %d != %d cols", tb.ID, len(r), len(tb.Cols))
+			}
+		}
+	}
+}
+
+func TestNoFailuresInQuickTables(t *testing.T) {
+	// Every "ok" column must say ok: the theorem inequalities hold.
+	for _, tb := range tables(t) {
+		okCol := -1
+		for i, c := range tb.Cols {
+			if c == "ok" || c == "valid" || c == "deterministic" {
+				okCol = i
+			}
+		}
+		if okCol < 0 {
+			continue
+		}
+		for _, r := range tb.Rows {
+			if r[okCol] == "FAIL" {
+				t.Fatalf("%s: failing row %v", tb.ID, r)
+			}
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID: "EX", Title: "demo", Claim: "c",
+		Cols:  []string{"a", "bb"},
+		Notes: []string{"note"},
+	}
+	tb.AddRow("1", "2")
+	s := tb.String()
+	for _, want := range []string{"== EX: demo ==", "claim: c", "a", "bb", "note"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := map[float64]string{0: "0", 1.5: "1.500", 150: "150", 2e6: "2e+06"}
+	for in, want := range cases {
+		if got := f(in); got != want {
+			t.Fatalf("f(%v) = %q want %q", in, got, want)
+		}
+	}
+	if okFail(true) != "ok" || okFail(false) != "FAIL" {
+		t.Fatal("okFail")
+	}
+	if d(42) != "42" {
+		t.Fatal("d")
+	}
+	if fitSlope(func(i int) (float64, float64) { return float64(i), 2 * float64(i) }, 5) != 2 {
+		t.Fatal("fitSlope on exact line")
+	}
+}
+
+func TestSizesSelector(t *testing.T) {
+	c := Config{Quick: true}
+	if got := c.sizes([]int{1}, []int{2}); got[0] != 1 {
+		t.Fatal("quick sizes")
+	}
+	c.Quick = false
+	if got := c.sizes([]int{1}, []int{2}); got[0] != 2 {
+		t.Fatal("full sizes")
+	}
+}

@@ -1,0 +1,101 @@
+// Package harness regenerates every experiment in EXPERIMENTS.md: the
+// paper has no empirical tables (it is a theory paper), so each experiment
+// measures one quantitative claim of its theorems and lemmas — sizes,
+// stretch, hopbound, work, depth, ledgers — against the stated bound.
+// cmd/experiments prints all tables; bench_test.go exposes one benchmark
+// per experiment.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a header describing the paper claim
+// and rows of measurements.
+type Table struct {
+	ID    string // E1 … E14
+	Title string
+	Claim string // the paper statement being reproduced
+	Cols  []string
+	Rows  [][]string
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f formats a float compactly.
+func f(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1e6 || v < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func d(v int64) string { return fmt.Sprintf("%d", v) }
+
+func okFail(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
+}

@@ -1,0 +1,209 @@
+package hopset
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/adj"
+	"repro/internal/graph"
+	"repro/internal/pram"
+)
+
+// Hopset is the output of the construction: H = ⋃_{k∈[k₀,λ]} H_k (§2),
+// with provenance, optional memory paths (§4), and the per-phase ledger.
+type Hopset struct {
+	// G is the normalized input graph (minimum edge weight 1, §1.5);
+	// ScaleFactor converts normalized distances back to input units.
+	G           *graph.Graph
+	ScaleFactor float64
+
+	Params Params
+	Sched  *Schedule
+
+	Edges []Edge
+	// Paths[i] is the realizing path of Edges[i] in G ∪ H_{<scale}
+	// (RecordPaths mode; nil otherwise). Its weight never exceeds... is
+	// exactly the tight weight and never below the true distance.
+	Paths [][]PathStep
+
+	// EpsFinal is the accumulated per-scale stretch bound ε_λ (Lemma 3.6):
+	// (1+EpsScale)^{#scales} − 1.
+	EpsFinal float64
+
+	Stats []PhaseStats
+
+	tracker *pram.Tracker
+}
+
+// Build runs the full deterministic construction of Theorem 3.7 on g.
+//
+// The input must have at least 2 vertices; weights must be positive (they
+// are normalized so the minimum is 1). The tracker may be nil.
+func Build(g *graph.Graph, p Params, tr *pram.Tracker) (*Hopset, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if g == nil || g.N < 2 {
+		return nil, errors.New("hopset: need a graph with at least two vertices")
+	}
+	ng, factor := g.Normalized()
+	sched, err := NewSchedule(ng.N, ng.AspectRatioUpperBound(), p)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hopset{
+		G:           ng,
+		ScaleFactor: factor,
+		Params:      p,
+		Sched:       sched,
+		tracker:     tr,
+	}
+	if p.RecordPaths {
+		h.Paths = [][]PathStep{}
+	}
+	b := &builder{h: h, sched: sched, params: p}
+
+	prevLo, prevHi := 0, 0
+	epsPrev := 0.0 // ε_{k₀−1} = 0 (§3.3)
+	for k := sched.K0; k <= sched.Lambda; k++ {
+		b.epsPrev = epsPrev
+		lo := len(h.Edges)
+		if err := b.buildScale(k, prevLo, prevHi); err != nil {
+			return nil, err
+		}
+		prevLo, prevHi = lo, len(h.Edges)
+		// Lemma 3.6 / Corollary 3.5: (1+ε_k) = (1+ε_{k−1})(1+ε′).
+		epsPrev = (1+epsPrev)*(1+sched.EpsScale) - 1
+	}
+	h.EpsFinal = epsPrev
+	return h, nil
+}
+
+// Assemble constructs a Hopset from externally built parts. It is used by
+// the Klein–Sairam reduction (Appendix C/D), which maps per-scale hopsets of
+// contracted node graphs back onto the original vertices and adds star
+// edges; the assembled value supports the same queries, checks and
+// path-reporting machinery as a directly built hopset. The graph must
+// already be normalized (minimum edge weight 1).
+func Assemble(g *graph.Graph, sched *Schedule, p Params, scaleFactor float64, edges []Edge, paths [][]PathStep) *Hopset {
+	return &Hopset{
+		G:           g,
+		ScaleFactor: scaleFactor,
+		Params:      p.withDefaults(),
+		Sched:       sched,
+		Edges:       edges,
+		Paths:       paths,
+	}
+}
+
+// addEdge appends a hopset edge (and its memory path in RecordPaths mode)
+// and returns its global index.
+func (h *Hopset) addEdge(e Edge, path []PathStep) int32 {
+	idx := int32(len(h.Edges))
+	h.Edges = append(h.Edges, e)
+	if h.Params.RecordPaths {
+		h.Paths = append(h.Paths, path)
+	}
+	return idx
+}
+
+// Size returns the number of hopset edges.
+func (h *Hopset) Size() int { return len(h.Edges) }
+
+// Extras converts the hopset edges for use with package adj (queries run in
+// G ∪ H, §3.4).
+func (h *Hopset) Extras() []adj.Extra {
+	out := make([]adj.Extra, len(h.Edges))
+	for i, e := range h.Edges {
+		out[i] = adj.Extra{U: e.U, V: e.V, W: e.W}
+	}
+	return out
+}
+
+// ScaleSizes returns, per scale index k, the number of edges H_k
+// contributed (for checking eq. (9)/(10)).
+func (h *Hopset) ScaleSizes() map[int]int {
+	out := make(map[int]int)
+	for _, e := range h.Edges {
+		out[int(e.Scale)]++
+	}
+	return out
+}
+
+// KindCounts returns edge counts by provenance kind.
+func (h *Hopset) KindCounts() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range h.Edges {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Check verifies internal invariants: edge endpoints in range, positive
+// weights, and (in RecordPaths mode) that every memory path runs between
+// its edge's endpoints, only uses base-graph edges and hopset edges of
+// strictly earlier scales, and weighs no more than the edge itself.
+func (h *Hopset) Check() error {
+	for i, e := range h.Edges {
+		if e.U < 0 || int(e.U) >= h.G.N || e.V < 0 || int(e.V) >= h.G.N {
+			return fmt.Errorf("edge %d: endpoint out of range", i)
+		}
+		if !(e.W > 0) {
+			return fmt.Errorf("edge %d: non-positive weight %v", i, e.W)
+		}
+		if !h.Params.RecordPaths {
+			continue
+		}
+		path := h.Paths[i]
+		if len(path) == 0 {
+			return fmt.Errorf("edge %d: empty memory path", i)
+		}
+		cur := e.U
+		var w float64
+		for _, s := range path {
+			w += s.W
+			if s.HEdge >= 0 {
+				he := h.Edges[s.HEdge]
+				if he.Scale >= e.Scale {
+					return fmt.Errorf("edge %d (scale %d): memory path uses hopset edge %d of scale %d",
+						i, e.Scale, s.HEdge, he.Scale)
+				}
+				if !((he.U == cur && he.V == s.To) || (he.V == cur && he.U == s.To)) {
+					return fmt.Errorf("edge %d: step to %d does not match hopset edge %d", i, s.To, s.HEdge)
+				}
+				if he.W != s.W {
+					return fmt.Errorf("edge %d: step weight %v != hopset edge weight %v", i, s.W, he.W)
+				}
+			} else {
+				gw, ok := h.G.HasEdge(cur, s.To)
+				if !ok {
+					return fmt.Errorf("edge %d: step (%d,%d) is not a base-graph edge", i, cur, s.To)
+				}
+				if gw != s.W {
+					return fmt.Errorf("edge %d: step weight %v != graph weight %v", i, s.W, gw)
+				}
+			}
+			cur = s.To
+		}
+		if cur != e.V {
+			return fmt.Errorf("edge %d: memory path ends at %d, want %d", i, cur, e.V)
+		}
+		if w > e.W*(1+1e-9) {
+			return fmt.Errorf("edge %d: memory path weight %v exceeds edge weight %v", i, w, e.W)
+		}
+	}
+	return nil
+}
+
+// MaxMemoryPathLen returns the longest memory path (the measured σ of
+// eq. (20)); 0 when paths are not recorded.
+func (h *Hopset) MaxMemoryPathLen() int {
+	m := 0
+	for _, p := range h.Paths {
+		if len(p) > m {
+			m = len(p)
+		}
+	}
+	return m
+}

@@ -1,0 +1,109 @@
+package hopset
+
+import "fmt"
+
+// Kind classifies a hopset edge by the step that created it.
+type Kind int8
+
+const (
+	// Superclustering edges connect a joining cluster's center to the
+	// ruling cluster's center it was superclustered into (§2.1.1).
+	Superclustering Kind = iota
+	// Interconnection edges connect centers of neighboring clusters that
+	// were not superclustered in the phase (§2.1.2).
+	Interconnection
+	// Star edges come from the Klein–Sairam reduction (Appendix C.3):
+	// node centers to node members along the node's spanning tree.
+	Star
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Superclustering:
+		return "super"
+	case Interconnection:
+		return "interconnect"
+	case Star:
+		return "star"
+	}
+	return fmt.Sprintf("Kind(%d)", int8(k))
+}
+
+// Edge is one hopset edge with its provenance.
+type Edge struct {
+	U, V  int32
+	W     float64
+	Scale int16 // distance scale k it was built for
+	Phase int8  // phase i within the scale (0 for star edges)
+	Kind  Kind
+}
+
+// PathStep is one step of a memory path (§4.1): the realizing path of a
+// hopset edge through G ∪ H_{k−1}. Steps run from Edge.U to Edge.V; the
+// implicit start of step j is Edge.U for j = 0, else step j−1's To.
+type PathStep struct {
+	To    int32   // next vertex
+	W     float64 // step weight
+	HEdge int32   // global hopset edge index, or −1 for a base-graph edge
+}
+
+// PhaseStats is the per-phase ledger used by experiments E6/E13/E14 to
+// check Lemmas 2.5–2.7, Lemma 2.2 and eqs. (8)–(10).
+type PhaseStats struct {
+	Scale int // k
+	Phase int // i
+
+	Clusters       int     // |Pᵢ|
+	Deg            int     // degᵢ
+	Popular        int     // |Wᵢ|
+	Ruling         int     // |Qᵢ|
+	Superclustered int     // clusters absorbed into Pᵢ₊₁ (incl. ruling)
+	Retired        int     // |Uᵢ|
+	SCEdges        int     // superclustering edges added
+	ICEdges        int     // interconnection edges added
+	MaxRad         float64 // measured Rad(Pᵢ₊₁) after the phase
+	RBound         float64 // the paper's Rᵢ₊₁ worst-case bound
+	MinSuperSize   int     // smallest supercluster, in absorbed clusters (Lemma 2.5)
+}
+
+// ReversePath returns the steps of path walked from its end back to start.
+// start is the vertex the forward path begins at.
+func ReversePath(start int32, steps []PathStep) []PathStep {
+	if len(steps) == 0 {
+		return nil
+	}
+	// Vertex sequence: start, steps[0].To, …, steps[len-1].To.
+	out := make([]PathStep, len(steps))
+	for j := len(steps) - 1; j >= 0; j-- {
+		var to int32
+		if j == 0 {
+			to = start
+		} else {
+			to = steps[j-1].To
+		}
+		out[len(steps)-1-j] = PathStep{To: to, W: steps[j].W, HEdge: steps[j].HEdge}
+	}
+	return out
+}
+
+// PathWeight sums the step weights.
+func PathWeight(steps []PathStep) float64 {
+	var w float64
+	for _, s := range steps {
+		w += s.W
+	}
+	return w
+}
+
+// ConcatPaths appends paths (already sharing endpoints) into one.
+func ConcatPaths(parts ...[]PathStep) []PathStep {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]PathStep, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package hopset
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// The hopset text format mirrors the graph format:
+//
+//	c comment
+//	hopset <n> <edges> <epsilon> <kappa> <rho> <beta> <weights> <rescale> <paths>
+//	h <u> <v> <w> <scale> <phase> <kind>
+//	p <edge-index> <steps> <to:w:hedge> …     (RecordPaths mode)
+//
+// A decoded hopset is query-ready against the same (normalized) graph it
+// was built for; Check() verifies consistency after loading.
+
+// ErrFormat is returned (wrapped) by Decode for malformed input.
+var ErrFormat = errors.New("hopset: bad format")
+
+// Encode writes h in the text format. The base graph is not included;
+// pair it with graph.Encode.
+func Encode(w io.Writer, h *Hopset) error {
+	bw := bufio.NewWriter(w)
+	p := h.Params
+	paths := 0
+	if p.RecordPaths {
+		paths = 1
+	}
+	if _, err := fmt.Fprintf(bw, "hopset %d %d %g %d %g %d %d %d %d\n",
+		h.G.N, len(h.Edges), p.Epsilon, p.Kappa, p.Rho, p.EffectiveBeta,
+		int(p.Weights), int(p.Rescale), paths); err != nil {
+		return err
+	}
+	for _, e := range h.Edges {
+		if _, err := fmt.Fprintf(bw, "h %d %d %g %d %d %d\n",
+			e.U, e.V, e.W, e.Scale, e.Phase, int(e.Kind)); err != nil {
+			return err
+		}
+	}
+	if p.RecordPaths {
+		for i, path := range h.Paths {
+			fmt.Fprintf(bw, "p %d %d", i, len(path))
+			for _, s := range path {
+				fmt.Fprintf(bw, " %d:%g:%d", s.To, s.W, s.HEdge)
+			}
+			if _, err := fmt.Fprintln(bw); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a hopset in the text format and attaches it to g (which must
+// be the same normalized graph the hopset was built for). The schedule is
+// re-derived from the stored parameters; Check is run before returning.
+func Decode(r io.Reader, g *graph.Graph) (*Hopset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	var h *Hopset
+	var nEdges int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "hopset":
+			if h != nil {
+				return nil, fmt.Errorf("%w: duplicate header at line %d", ErrFormat, line)
+			}
+			if len(fields) != 10 {
+				return nil, fmt.Errorf("%w: header at line %d", ErrFormat, line)
+			}
+			n, err1 := strconv.Atoi(fields[1])
+			m, err2 := strconv.Atoi(fields[2])
+			eps, err3 := strconv.ParseFloat(fields[3], 64)
+			kappa, err4 := strconv.Atoi(fields[4])
+			rho, err5 := strconv.ParseFloat(fields[5], 64)
+			beta, err6 := strconv.Atoi(fields[6])
+			wm, err7 := strconv.Atoi(fields[7])
+			rm, err8 := strconv.Atoi(fields[8])
+			paths, err9 := strconv.Atoi(fields[9])
+			if err := firstErr(err1, err2, err3, err4, err5, err6, err7, err8, err9); err != nil {
+				return nil, fmt.Errorf("%w: header at line %d: %v", ErrFormat, line, err)
+			}
+			if n != g.N {
+				return nil, fmt.Errorf("%w: hopset built for n=%d, graph has n=%d", ErrFormat, n, g.N)
+			}
+			p := Params{
+				Epsilon: eps, Kappa: kappa, Rho: rho, EffectiveBeta: beta,
+				Weights: WeightMode(wm), Rescale: RescaleMode(rm),
+				RecordPaths: paths == 1,
+			}
+			if err := p.Validate(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			sched, err := NewSchedule(g.N, g.AspectRatioUpperBound(), p)
+			if err != nil {
+				return nil, err
+			}
+			nEdges = m
+			h = Assemble(g, sched, p, 1, make([]Edge, 0, m), nil)
+			if p.RecordPaths {
+				h.Paths = make([][]PathStep, m)
+			}
+		case "h":
+			if h == nil {
+				return nil, fmt.Errorf("%w: edge before header at line %d", ErrFormat, line)
+			}
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("%w: edge at line %d", ErrFormat, line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			scale, err4 := strconv.Atoi(fields[4])
+			phase, err5 := strconv.Atoi(fields[5])
+			kind, err6 := strconv.Atoi(fields[6])
+			if err := firstErr(err1, err2, err3, err4, err5, err6); err != nil {
+				return nil, fmt.Errorf("%w: edge at line %d: %v", ErrFormat, line, err)
+			}
+			h.Edges = append(h.Edges, Edge{
+				U: int32(u), V: int32(v), W: w,
+				Scale: int16(scale), Phase: int8(phase), Kind: Kind(kind),
+			})
+		case "p":
+			if h == nil || !h.Params.RecordPaths {
+				return nil, fmt.Errorf("%w: unexpected path record at line %d", ErrFormat, line)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("%w: path at line %d", ErrFormat, line)
+			}
+			idx, err1 := strconv.Atoi(fields[1])
+			cnt, err2 := strconv.Atoi(fields[2])
+			if err := firstErr(err1, err2); err != nil || idx < 0 || idx >= nEdges || cnt != len(fields)-3 {
+				return nil, fmt.Errorf("%w: path at line %d", ErrFormat, line)
+			}
+			steps := make([]PathStep, cnt)
+			for i, tok := range fields[3:] {
+				parts := strings.Split(tok, ":")
+				if len(parts) != 3 {
+					return nil, fmt.Errorf("%w: path step at line %d", ErrFormat, line)
+				}
+				to, err1 := strconv.Atoi(parts[0])
+				sw, err2 := strconv.ParseFloat(parts[1], 64)
+				he, err3 := strconv.Atoi(parts[2])
+				if err := firstErr(err1, err2, err3); err != nil {
+					return nil, fmt.Errorf("%w: path step at line %d: %v", ErrFormat, line, err)
+				}
+				steps[i] = PathStep{To: int32(to), W: sw, HEdge: int32(he)}
+			}
+			h.Paths[idx] = steps
+		default:
+			return nil, fmt.Errorf("%w: unknown record %q at line %d", ErrFormat, fields[0], line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if h == nil {
+		return nil, fmt.Errorf("%w: missing header", ErrFormat)
+	}
+	if len(h.Edges) != nEdges {
+		return nil, fmt.Errorf("%w: expected %d edges, got %d", ErrFormat, nEdges, len(h.Edges))
+	}
+	if err := h.Check(); err != nil {
+		return nil, fmt.Errorf("hopset: decoded hopset fails validation: %w", err)
+	}
+	return h, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

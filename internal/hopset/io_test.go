@@ -1,0 +1,136 @@
+package hopset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func roundTrip(t *testing.T, h *Hopset) *Hopset {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Decode(&buf, h.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h2
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := graph.Gnm(80, 240, graph.UniformWeights(1, 4), 1)
+	h := build(t, g, defaultParams())
+	h2 := roundTrip(t, h)
+	if len(h2.Edges) != len(h.Edges) {
+		t.Fatalf("edges %d vs %d", len(h2.Edges), len(h.Edges))
+	}
+	for i := range h.Edges {
+		if h.Edges[i] != h2.Edges[i] {
+			t.Fatalf("edge %d: %+v vs %+v", i, h.Edges[i], h2.Edges[i])
+		}
+	}
+	if h2.Params.Epsilon != h.Params.Epsilon || h2.Params.Kappa != 3 {
+		t.Fatalf("params lost: %+v", h2.Params)
+	}
+}
+
+func TestEncodeDecodeWithPaths(t *testing.T) {
+	g := graph.Gnm(60, 180, graph.UniformWeights(1, 3), 2)
+	h := build(t, g, Params{Epsilon: 0.25, RecordPaths: true})
+	h2 := roundTrip(t, h)
+	if len(h2.Paths) != len(h.Paths) {
+		t.Fatalf("paths %d vs %d", len(h2.Paths), len(h.Paths))
+	}
+	for i := range h.Paths {
+		if len(h.Paths[i]) != len(h2.Paths[i]) {
+			t.Fatalf("path %d length differs", i)
+		}
+		for j := range h.Paths[i] {
+			if h.Paths[i][j] != h2.Paths[i][j] {
+				t.Fatalf("path %d step %d differs", i, j)
+			}
+		}
+	}
+	if err := h2.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsWrongGraph(t *testing.T) {
+	g := graph.Gnm(50, 150, graph.UnitWeights(), 3)
+	h := build(t, g, defaultParams())
+	var buf bytes.Buffer
+	if err := Encode(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	other := graph.Path(49, graph.UnitWeights(), 1)
+	if _, err := Decode(&buf, other); err == nil {
+		t.Fatal("decode against a different graph accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeights(), 1)
+	cases := []string{
+		"",                               // no header
+		"h 0 1 1 0 0 0",                  // edge before header
+		"hopset 4 1 0.25 3",              // short header
+		"hopset 9 0 0.25 3 0.33 0 0 0 0", // wrong n
+		"hopset 4 2 0.25 3 0.33 0 0 0 0\nh 0 1 1 0 0 0",                  // wrong edge count
+		"hopset 4 1 0.25 3 0.33 0 0 0 0\nh 0 1 1 0 0",                    // short edge
+		"hopset 4 1 0.25 3 0.33 0 0 0 0\nx 0 1",                          // unknown record
+		"hopset 4 0 0.25 3 0.33 0 0 0 0\np 0 1 1:1:-1",                   // path without RecordPaths
+		"hopset 4 0 5.0 3 0.33 0 0 0 0",                                  // invalid params
+		"hopset 4 0 0.25 3 0.33 0 0 0 0\nhopset 4 0 0.25 3 0.33 0 0 0 0", // dup header
+	}
+	for i, s := range cases {
+		if _, err := Decode(strings.NewReader(s), g); err == nil {
+			t.Errorf("case %d accepted: %q", i, s)
+		}
+	}
+}
+
+func TestDecodeValidatesPaths(t *testing.T) {
+	// A corrupted memory path must be rejected by the post-decode Check.
+	g := graph.Gnm(60, 180, graph.UniformWeights(1, 3), 4)
+	h := build(t, g, Params{Epsilon: 0.25, RecordPaths: true})
+	if h.Size() == 0 {
+		t.Skip("empty hopset")
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first path line's first step weight.
+	s := buf.String()
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "p ") {
+			parts := strings.Fields(l)
+			step := strings.Split(parts[3], ":")
+			step[1] = "0.000001" // wrong weight
+			parts[3] = strings.Join(step, ":")
+			lines[i] = strings.Join(parts, " ")
+			break
+		}
+	}
+	if _, err := Decode(strings.NewReader(strings.Join(lines, "\n")), h.G); err == nil {
+		t.Fatal("corrupted path accepted")
+	}
+}
+
+func TestDecodeSkipsComments(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeights(), 1)
+	in := "c hi\nhopset 4 1 0.25 3 0.33 0 0 0 0\nc mid\nh 0 3 3.5 2 0 1\n"
+	h, err := Decode(strings.NewReader(in), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Size() != 1 || h.Edges[0].W != 3.5 || h.Edges[0].Kind != Interconnection {
+		t.Fatalf("decoded %+v", h.Edges)
+	}
+}

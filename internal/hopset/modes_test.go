@@ -1,0 +1,47 @@
+package hopset
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+func TestBuildUnderRescaleNone(t *testing.T) {
+	// RescaleNone accumulates (1+ε) per scale; soundness must still hold
+	// and the looser accumulated budget must be met at the test budget.
+	g := graph.Gnm(96, 300, graph.UniformWeights(1, 4), 31)
+	h := build(t, g, Params{Epsilon: 0.25, Rescale: RescaleNone})
+	checkSoundness(t, h)
+	if h.EpsFinal <= 0.25 {
+		t.Fatalf("accumulated epsilon %v should exceed the per-scale 0.25", h.EpsFinal)
+	}
+	checkStretch(t, h, h.EpsFinal)
+}
+
+func TestBuildUnderRescaleStrict(t *testing.T) {
+	// The paper's full rescaling: thresholds get enormous and the
+	// theoretical β explodes, but the construction must still run and stay
+	// sound on a tiny instance.
+	g := graph.Gnm(32, 96, graph.UnitWeights(), 33)
+	h := build(t, g, Params{Epsilon: 0.25, Rescale: RescaleStrict})
+	checkSoundness(t, h)
+	if h.Sched.TheoreticalBeta < 1e6 {
+		t.Fatalf("strict theoretical β suspiciously small: %v", h.Sched.TheoreticalBeta)
+	}
+	// Converged distances equal exact (the hopset never shortcuts); allow a
+	// generous target since strict thresholds make G̃ dense.
+	checkStretch(t, h, 1)
+}
+
+func TestRetirePanicsOnDoubleRetirement(t *testing.T) {
+	// White-box: the Lemma 2.10 runtime guard.
+	b := &builder{retired: make([]bool, 4), part: cluster.Singletons(4)}
+	b.retire(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double retirement not caught")
+		}
+	}()
+	b.retire(1)
+}

@@ -1,0 +1,322 @@
+// Package hopset implements the paper's primary contribution (§2–§3): the
+// first deterministic PRAM construction of (1+ε, β)-hopsets with
+// Õ(n^{1+1/κ}) edges per scale, built by superclustering-and-interconnection
+// with ruling sets in place of random sampling.
+package hopset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WeightMode selects how hopset edge weights are assigned.
+type WeightMode int
+
+const (
+	// WeightTight assigns each hopset edge the length of the concrete path
+	// in G_{k−1} discovered for it (the CDist of package limbfs). It never
+	// underestimates the true distance (the soundness invariant of Lemmas
+	// 2.3/2.9) and gives practically useful stretch at feasible scales.
+	WeightTight WeightMode = iota
+	// WeightStrict assigns the paper's closed-form weights verbatim:
+	// superclustering edges get 2((1+ε_{k−1})δᵢ + 2Rᵢ)·log n (§2.1.1) and
+	// interconnection edges get d^{(2β+1)}(C,C′) + 2Rᵢ.
+	WeightStrict
+)
+
+func (m WeightMode) String() string {
+	switch m {
+	case WeightTight:
+		return "tight"
+	case WeightStrict:
+		return "strict"
+	}
+	return fmt.Sprintf("WeightMode(%d)", int(m))
+}
+
+// RescaleMode selects how the target ε is divided among scales and phases
+// (§3.4 "Rescaling").
+type RescaleMode int
+
+const (
+	// RescaleScales divides ε across the ⌈log Λ⌉ distance scales
+	// (ε′ = ε/(2λ), the ε″ = 2λε′ step of §3.4) but keeps the per-phase ε
+	// at ε′. With tight weights the phase-level slack of the worst-case
+	// analysis is not needed empirically; this is the practical default.
+	RescaleScales RescaleMode = iota
+	// RescaleNone uses ε directly everywhere; the multiplicative stretch
+	// may accumulate to (1+ε)^λ.
+	RescaleNone
+	// RescaleStrict applies the paper's full rescaling including the
+	// ε = ε′/(20·log n·(ℓ+1)) phase division. Thresholds become enormous;
+	// meaningful only for tiny inputs or for inspecting the schedule.
+	RescaleStrict
+)
+
+func (m RescaleMode) String() string {
+	switch m {
+	case RescaleScales:
+		return "scales"
+	case RescaleNone:
+		return "none"
+	case RescaleStrict:
+		return "strict"
+	}
+	return fmt.Sprintf("RescaleMode(%d)", int(m))
+}
+
+// Params are the user-facing knobs of the construction (Theorem 3.7: ε, κ,
+// ρ) plus implementation controls.
+type Params struct {
+	// Epsilon is the target stretch slack: the hopset guarantees
+	// (1+Epsilon)-approximate β-hop distances. Must lie in (0, 1).
+	Epsilon float64
+	// Kappa (κ ≥ 2) controls size: each scale's hopset has ≲ n^{1+1/κ}
+	// edges. Default 3.
+	Kappa int
+	// Rho (0 < ρ < 1/2) controls work: ~n^ρ processors per edge/vertex,
+	// degree threshold n^ρ in the fixed-growth phases. Default 1/3.
+	Rho float64
+	// EffectiveBeta caps exploration hops (the hop budget 2β+1 uses this
+	// β). 0 selects max(4, ⌈log₂ n⌉). The theoretical β of eq. (2) is
+	// astronomically large at feasible n; see Schedule.TheoreticalBeta.
+	EffectiveBeta int
+	// Weights selects tight (default) or strict paper-formula edge weights.
+	Weights WeightMode
+	// Rescale selects the ε division strategy (default RescaleScales).
+	Rescale RescaleMode
+	// RecordPaths maintains the §4 memory property: every hopset edge
+	// stores a realizing path in G ∪ H_{k−1}, enabling path reporting.
+	RecordPaths bool
+}
+
+// Errors returned by Params.Validate.
+var (
+	ErrEpsilon = errors.New("hopset: Epsilon must be in (0,1)")
+	ErrKappa   = errors.New("hopset: Kappa must be ≥ 2")
+	ErrRho     = errors.New("hopset: Rho must be in (0, 1/2)")
+)
+
+// withDefaults returns p with zero fields replaced by defaults.
+func (p Params) withDefaults() Params {
+	if p.Kappa == 0 {
+		p.Kappa = 3
+	}
+	if p.Rho == 0 {
+		p.Rho = 1.0 / 3.0
+	}
+	return p
+}
+
+// Validate checks parameter ranges (after defaulting).
+func (p Params) Validate() error {
+	p = p.withDefaults()
+	if !(p.Epsilon > 0 && p.Epsilon < 1) || math.IsNaN(p.Epsilon) {
+		return fmt.Errorf("%w: got %v", ErrEpsilon, p.Epsilon)
+	}
+	if p.Kappa < 2 {
+		return fmt.Errorf("%w: got %d", ErrKappa, p.Kappa)
+	}
+	if !(p.Rho > 0 && p.Rho < 0.5) {
+		return fmt.Errorf("%w: got %v", ErrRho, p.Rho)
+	}
+	if p.EffectiveBeta < 0 {
+		return errors.New("hopset: EffectiveBeta must be ≥ 0")
+	}
+	return nil
+}
+
+// Schedule is the derived parameter schedule for one input graph: phase
+// counts, degree thresholds, scale range, hop budgets, and ε divisions.
+type Schedule struct {
+	N      int
+	Lambda int // top scale index: λ = ⌈log₂ Λ⌉ − 1 (§2)
+	K0     int // bottom scale index: k₀ = ⌊log₂ β⌋ (§2)
+
+	Ell int   // ℓ = ⌊log₂ κρ⌋ + ⌈(κ+1)/(κρ)⌉ − 1 phases per scale (§2.1)
+	I0  int   // last exponential-growth phase (⌊log₂ κρ⌋; −1 if κρ < 1)
+	Deg []int // degᵢ per phase: n^{2^i/κ} then n^ρ (§2.1)
+
+	Beta   int // effective hop parameter; hop budget is 2β+1
+	IDBits int // bits in cluster IDs: ⌈log₂ n⌉ (Appendix B)
+
+	// TheoreticalBeta is the hopbound of eq. (2)/(19) under the chosen
+	// rescale mode, from the recurrence h₀ = 1,
+	// hᵢ₊₁ = (1/ε+2)(hᵢ+1) + 2(i+1)+1 (Lemma 3.4), as a float because it
+	// overflows int64 at practical parameters.
+	TheoreticalBeta float64
+
+	EpsScale float64 // ε′: per-scale stretch factor (1+ε_k) = (1+ε_{k−1})(1+ε′)
+	EpsPhase float64 // ε used in the distance schedule δᵢ = α·(1/ε)^i
+
+	// StretchBudget is the final multiplicative bound the schedule aims
+	// for: (1+EpsScale)^{λ−k₀+1} − 1.
+	StretchBudget float64
+}
+
+// NewSchedule derives the schedule for an n-vertex graph with aspect-ratio
+// upper bound aspect under params p (which must validate).
+func NewSchedule(n int, aspect float64, p Params) (*Schedule, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, errors.New("hopset: need at least two vertices")
+	}
+	s := &Schedule{N: n}
+	s.IDBits = log2ceil(n)
+	if s.IDBits == 0 {
+		s.IDBits = 1
+	}
+
+	kr := float64(p.Kappa) * p.Rho
+	s.I0 = int(math.Floor(math.Log2(kr)))
+	s.Ell = s.I0 + int(math.Ceil(float64(p.Kappa+1)/kr)) - 1
+	if s.Ell < 1 {
+		s.Ell = 1
+	}
+	if s.I0 < -1 {
+		s.I0 = -1
+	}
+
+	s.Deg = make([]int, s.Ell+1)
+	logN := float64(log2ceil(n))
+	for i := 0; i <= s.Ell; i++ {
+		var exp float64
+		if i <= s.I0 {
+			exp = math.Pow(2, float64(i)) / float64(p.Kappa) // n^{2^i/κ}
+		} else {
+			exp = p.Rho // n^ρ
+		}
+		d := int(math.Ceil(math.Pow(float64(n), exp)))
+		if d < 2 {
+			d = 2
+		}
+		s.Deg[i] = d
+	}
+
+	if aspect < 2 {
+		aspect = 2
+	}
+	s.Lambda = int(math.Ceil(math.Log2(aspect))) - 1
+
+	// ε division (§3.4). λ−k₀+1 scales are built, but k₀ depends on β
+	// which depends on ε; use the total scale count λ+1 as the divisor —
+	// it only makes the per-scale ε smaller (sound).
+	scales := s.Lambda + 1
+	if scales < 1 {
+		scales = 1
+	}
+	switch p.Rescale {
+	case RescaleNone:
+		s.EpsScale = p.Epsilon
+		s.EpsPhase = p.Epsilon
+	case RescaleScales:
+		s.EpsScale = p.Epsilon / (2 * float64(scales))
+		// The phase ratio δᵢ₊₁/δᵢ = 1/ε controls segment counts and the
+		// hopbound, not the accumulated stretch; dividing it across scales
+		// would blow the hopbound up to (2λ/ε)^ℓ for no stretch benefit.
+		// Use the caller's ε for the distance schedule.
+		s.EpsPhase = p.Epsilon
+	case RescaleStrict:
+		s.EpsScale = p.Epsilon / (2 * float64(scales))
+		s.EpsPhase = s.EpsScale / (20 * logN * float64(s.Ell+1))
+	default:
+		return nil, fmt.Errorf("hopset: unknown rescale mode %v", p.Rescale)
+	}
+
+	s.TheoreticalBeta = hopboundRecurrence(s.EpsPhase, s.Ell)
+
+	s.Beta = p.EffectiveBeta
+	if s.Beta == 0 {
+		s.Beta = log2ceil(n)
+		if s.Beta < 4 {
+			s.Beta = 4
+		}
+	}
+	if t := s.TheoreticalBeta; t < float64(s.Beta) {
+		s.Beta = int(t)
+		if s.Beta < 1 {
+			s.Beta = 1
+		}
+	}
+	s.K0 = log2floor(s.Beta)
+
+	s.StretchBudget = math.Pow(1+s.EpsScale, float64(s.Lambda-s.K0+1)) - 1
+	return s, nil
+}
+
+// hopboundRecurrence evaluates Lemma 3.4's recurrence h₀=1,
+// hᵢ₊₁ = (1/ε+2)(hᵢ+1) + 2(i+1)+1, returning h_ℓ.
+func hopboundRecurrence(eps float64, ell int) float64 {
+	h := 1.0
+	for i := 0; i < ell; i++ {
+		h = (1/eps+2)*(h+1) + 2*float64(i+1) + 1
+	}
+	return h
+}
+
+// HopBudget returns the exploration hop cap 2β+1 (§2, Lemma 2.1).
+func (s *Schedule) HopBudget() int { return 2*s.Beta + 1 }
+
+// Alpha returns α, the base of the distance schedule δᵢ = α·(1/ε)^i for
+// scale k.
+//
+// §2.1 states α = ℓ·2^{k+1}, but that is inconsistent with the rest of the
+// paper: Lemma 2.8 infers d_G(Cu,Cv) ≤ 2^{k+1} from d ≤ δᵢ (so δᵢ ≤ 2^{k+1}
+// for i < ℓ), and Corollary 3.5 rewrites the additive term
+// 5·α·c(n)·(1/ε)^{ℓ−1} as 10·c(n)·2^k (so α·(1/ε)^{ℓ−1} = 2^{k+1}, up to
+// the ℓ factor). The consistent schedule anchors the top at the scale
+// width: δ_{ℓ−1} = ℓ·2^{k+1}, i.e. α = ℓ·2^{k+1}·ε^{ℓ−1}. With the literal
+// α even δ₀ exceeds the scale width, every cluster is popular in phase 0
+// and each scale degenerates to one giant supercluster, which breaks the
+// hopbound at any feasible β (see DESIGN.md).
+func (s *Schedule) Alpha(k int) float64 {
+	ell := s.Ell
+	if ell < 1 {
+		ell = 1
+	}
+	return float64(ell) * math.Pow(2, float64(k+1)) * math.Pow(s.EpsPhase, float64(ell-1))
+}
+
+// Delta returns δᵢ = α·(1/ε)^i for scale k and phase i (§2.1).
+func (s *Schedule) Delta(k, i int) float64 {
+	return s.Alpha(k) * math.Pow(1/s.EpsPhase, float64(i))
+}
+
+// RBound returns the paper's worst-case radius bound Rᵢ for scale k:
+// R₀ = 0, Rᵢ₊₁ = (2(1+εPrev)δᵢ + 4Rᵢ)·log n + Rᵢ (§2.1, Lemma 2.2).
+func (s *Schedule) RBound(k, i int, epsPrev float64) float64 {
+	logN := float64(log2ceil(s.N))
+	if logN < 1 {
+		logN = 1
+	}
+	r := 0.0
+	for j := 0; j < i; j++ {
+		r = (2*(1+epsPrev)*s.Delta(k, j)+4*r)*logN + r
+	}
+	return r
+}
+
+// SizeBound returns the per-scale size bound of eq. (9): n^{1+1/κ}.
+func SizeBound(n, kappa int) float64 {
+	return math.Pow(float64(n), 1+1/float64(kappa))
+}
+
+func log2ceil(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+func log2floor(n int) int {
+	l := -1
+	for v := 1; v <= n; v <<= 1 {
+		l++
+	}
+	return l
+}

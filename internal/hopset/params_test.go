@@ -1,0 +1,257 @@
+package hopset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustSched(t *testing.T, n int, aspect float64, p Params) *Schedule {
+	t.Helper()
+	s, err := NewSchedule(n, aspect, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPhaseCountFormula(t *testing.T) {
+	// ℓ = ⌊log₂ κρ⌋ + ⌈(κ+1)/(κρ)⌉ − 1 (§2.1).
+	cases := []struct {
+		kappa   int
+		rho     float64
+		wantEll int
+		wantI0  int
+	}{
+		{3, 1.0 / 3.0, 3, 0}, // κρ=1: ⌊log 1⌋=0, ⌈4/1⌉=4 → ℓ=3
+		{2, 0.49, 2, -1},     // κρ=0.98: ⌊log .98⌋=−1, ⌈3/.98⌉=4 → ℓ=2
+		{4, 0.25, 4, 0},      // κρ=1: 0 + ⌈5/1⌉ − 1 = 4
+		{2, 0.25, 5, -1},     // κρ=0.5: −1 + ⌈3/0.5⌉ − 1 = 4? ⌈6⌉=6 → −1+6−1=4
+	}
+	// Recompute the last case exactly: κ=2, ρ=0.25 → κρ=0.5,
+	// ⌊log₂ 0.5⌋ = −1, ⌈3/0.5⌉ = 6 → ℓ = 4.
+	cases[3].wantEll = 4
+	for _, c := range cases {
+		s := mustSched(t, 1024, 1024, Params{Epsilon: 0.25, Kappa: c.kappa, Rho: c.rho})
+		if s.Ell != c.wantEll {
+			t.Errorf("κ=%d ρ=%v: ℓ=%d want %d", c.kappa, c.rho, s.Ell, c.wantEll)
+		}
+		if s.I0 != c.wantI0 {
+			t.Errorf("κ=%d ρ=%v: i0=%d want %d", c.kappa, c.rho, s.I0, c.wantI0)
+		}
+		if len(s.Deg) != s.Ell+1 {
+			t.Errorf("deg schedule length %d want %d", len(s.Deg), s.Ell+1)
+		}
+	}
+}
+
+func TestDegreeSchedule(t *testing.T) {
+	// n=4096, κ=3, ρ=1/3: exponential phase 0 has deg = n^{1/3} = 16;
+	// fixed phases have deg = n^ρ = 16.
+	s := mustSched(t, 4096, 4096, Params{Epsilon: 0.25})
+	for i, deg := range s.Deg {
+		want := 16
+		if deg != want {
+			t.Errorf("phase %d: deg=%d want %d", i, deg, want)
+		}
+	}
+	// κ=2, ρ=0.49: i0=−1, all phases fixed at ⌈n^0.49⌉.
+	s2 := mustSched(t, 1024, 1024, Params{Epsilon: 0.25, Kappa: 2, Rho: 0.49})
+	wantFixed := int(math.Ceil(math.Pow(1024, 0.49)))
+	for i, deg := range s2.Deg {
+		if deg != wantFixed {
+			t.Errorf("phase %d: deg=%d want %d", i, deg, wantFixed)
+		}
+	}
+}
+
+func TestDeltaSchedule(t *testing.T) {
+	s := mustSched(t, 1024, 1024, Params{Epsilon: 0.25})
+	// δᵢ₊₁/δᵢ = 1/ε exactly.
+	for k := s.K0; k <= s.Lambda; k++ {
+		for i := 0; i < s.Ell; i++ {
+			ratio := s.Delta(k, i+1) / s.Delta(k, i)
+			if math.Abs(ratio-1/s.EpsPhase) > 1e-9/s.EpsPhase {
+				t.Fatalf("k=%d i=%d: ratio %v want %v", k, i, ratio, 1/s.EpsPhase)
+			}
+		}
+		// δ_{ℓ−1} = ℓ·2^{k+1}: the scale-width anchoring (see Alpha docs).
+		want := float64(s.Ell) * math.Pow(2, float64(k+1))
+		if got := s.Delta(k, s.Ell-1); math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("k=%d: δ_{ℓ−1}=%v want %v", k, got, want)
+		}
+	}
+}
+
+func TestBetaDefaultsAndCaps(t *testing.T) {
+	s := mustSched(t, 1024, 1024, Params{Epsilon: 0.25})
+	if s.Beta != 10 { // ⌈log₂ 1024⌉
+		t.Fatalf("default β=%d want 10", s.Beta)
+	}
+	if s.HopBudget() != 21 {
+		t.Fatalf("hop budget %d want 2β+1=21", s.HopBudget())
+	}
+	s2 := mustSched(t, 8, 8, Params{Epsilon: 0.25})
+	if s2.Beta != 4 { // floor at 4
+		t.Fatalf("small-n β=%d want 4", s2.Beta)
+	}
+	s3 := mustSched(t, 1024, 1024, Params{Epsilon: 0.25, EffectiveBeta: 17})
+	if s3.Beta != 17 {
+		t.Fatalf("explicit β=%d want 17", s3.Beta)
+	}
+	// k₀ = ⌊log₂ β⌋.
+	if s3.K0 != 4 {
+		t.Fatalf("k0=%d want 4", s3.K0)
+	}
+}
+
+func TestTheoreticalBetaRecurrence(t *testing.T) {
+	// Lemma 3.4 claims hᵢ ≤ (1/ε+5)^i, but its base case is false:
+	// h₁ = (1/ε+2)·2 + 3 = 2/ε+7 > 1/ε+5. The lemma's own inductive step
+	// ((1/ε+3)hᵢ + 2 ≤ (1/ε+5)·hᵢ for hᵢ ≥ 1) proves the corrected bound
+	// hᵢ ≤ 2·(1/ε+5)^i, which we assert; the asymptotic statement
+	// β = O(1/ε)^ℓ of eq. (18) is unaffected.
+	for _, eps := range []float64{0.5, 0.25, 0.1} {
+		prev := 1.0
+		for ell := 1; ell <= 6; ell++ {
+			h := hopboundRecurrence(eps, ell)
+			if h <= prev {
+				t.Fatalf("hopbound not increasing at ℓ=%d", ell)
+			}
+			if bound := 2 * math.Pow(1/eps+5, float64(ell)); h > bound {
+				t.Fatalf("ε=%v ℓ=%d: h=%v exceeds 2·(1/ε+5)^ℓ=%v (corrected Lemma 3.4)", eps, ell, h, bound)
+			}
+			prev = h
+		}
+	}
+}
+
+func TestRescaleModes(t *testing.T) {
+	n, aspect := 1024, 1024.0
+	base := Params{Epsilon: 0.2}
+	none := mustSched(t, n, aspect, withRescale(base, RescaleNone))
+	scales := mustSched(t, n, aspect, withRescale(base, RescaleScales))
+	strict := mustSched(t, n, aspect, withRescale(base, RescaleStrict))
+	if none.EpsScale != 0.2 || none.EpsPhase != 0.2 {
+		t.Fatalf("none: %v %v", none.EpsScale, none.EpsPhase)
+	}
+	if scales.EpsScale >= none.EpsScale {
+		t.Fatal("scales mode must divide the per-scale epsilon")
+	}
+	if scales.EpsPhase != 0.2 {
+		t.Fatalf("scales mode keeps the phase ratio at ε: %v", scales.EpsPhase)
+	}
+	if strict.EpsPhase >= scales.EpsScale {
+		t.Fatal("strict mode must divide the phase epsilon much further")
+	}
+	if strict.TheoreticalBeta <= scales.TheoreticalBeta {
+		t.Fatal("strict rescale must blow the theoretical hopbound up")
+	}
+	// StretchBudget under the default mode stays below ε.
+	if scales.StretchBudget > 0.2 {
+		t.Fatalf("stretch budget %v exceeds ε", scales.StretchBudget)
+	}
+}
+
+func withRescale(p Params, m RescaleMode) Params {
+	p.Rescale = m
+	return p
+}
+
+func TestRBoundMonotone(t *testing.T) {
+	s := mustSched(t, 512, 512, Params{Epsilon: 0.25})
+	for k := s.K0; k <= s.Lambda; k++ {
+		prev := -1.0
+		for i := 0; i <= s.Ell; i++ {
+			r := s.RBound(k, i, 0)
+			if r < prev {
+				t.Fatalf("RBound not monotone at k=%d i=%d", k, i)
+			}
+			prev = r
+		}
+		if s.RBound(k, 0, 0) != 0 {
+			t.Fatal("R₀ must be 0")
+		}
+	}
+}
+
+func TestSizeBoundValues(t *testing.T) {
+	if got := SizeBound(1024, 2); math.Abs(got-math.Pow(1024, 1.5)) > 1e-6 {
+		t.Fatalf("SizeBound = %v", got)
+	}
+	if got := SizeBound(8, 3); math.Abs(got-math.Pow(8, 4.0/3.0)) > 1e-9 {
+		t.Fatalf("SizeBound = %v", got)
+	}
+}
+
+func TestLogHelpers(t *testing.T) {
+	cases := []struct{ n, ceil, floor int }{
+		{1, 0, 0}, {2, 1, 1}, {3, 2, 1}, {4, 2, 2}, {5, 3, 2},
+		{1023, 10, 9}, {1024, 10, 10}, {1025, 11, 10},
+	}
+	for _, c := range cases {
+		if got := log2ceil(c.n); got != c.ceil {
+			t.Errorf("log2ceil(%d)=%d want %d", c.n, got, c.ceil)
+		}
+		if got := log2floor(c.n); got != c.floor {
+			t.Errorf("log2floor(%d)=%d want %d", c.n, got, c.floor)
+		}
+	}
+}
+
+func TestScheduleQuickProperties(t *testing.T) {
+	// For random valid parameters, the schedule must be internally
+	// consistent: ℓ ≥ 1, degᵢ ≥ 2, β ≥ 1, K0 ≤ ⌊log β⌋, λ ≥ 0, budget odd.
+	prop := func(nRaw uint16, eRaw, kRaw, rRaw uint8) bool {
+		n := 4 + int(nRaw%4096)
+		eps := 0.05 + float64(eRaw%18)*0.05
+		kappa := 2 + int(kRaw%5)
+		rho := 0.1 + float64(rRaw%7)*0.05
+		s, err := NewSchedule(n, float64(n), Params{Epsilon: eps, Kappa: kappa, Rho: rho})
+		if err != nil {
+			return false
+		}
+		if s.Ell < 1 || s.Beta < 1 || s.HopBudget()%2 != 1 {
+			return false
+		}
+		for _, deg := range s.Deg {
+			if deg < 2 {
+				return false
+			}
+		}
+		return s.K0 == log2floor(s.Beta) && s.Lambda >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := NewSchedule(1, 4, Params{Epsilon: 0.25}); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := NewSchedule(16, 4, Params{Epsilon: 0.25, Rescale: RescaleMode(99)}); err == nil {
+		t.Fatal("unknown rescale mode accepted")
+	}
+	if _, err := NewSchedule(16, 4, Params{Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if WeightTight.String() != "tight" || WeightStrict.String() != "strict" {
+		t.Fatal("weight mode strings")
+	}
+	if RescaleScales.String() != "scales" || RescaleNone.String() != "none" || RescaleStrict.String() != "strict" {
+		t.Fatal("rescale mode strings")
+	}
+	if WeightMode(9).String() == "" || RescaleMode(9).String() == "" {
+		t.Fatal("unknown mode strings empty")
+	}
+	if Superclustering.String() != "super" || Interconnection.String() != "interconnect" || Star.String() != "star" {
+		t.Fatal("kind strings")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind string")
+	}
+}

@@ -1,0 +1,341 @@
+package hopset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adj"
+	"repro/internal/cluster"
+	"repro/internal/limbfs"
+	"repro/internal/ruling"
+)
+
+// builder holds the state of one scale's construction (§2.1).
+type builder struct {
+	h       *Hopset
+	sched   *Schedule
+	params  Params
+	epsPrev float64 // ε_{k−1}: stretch of G_{k−1} (Lemma 3.6)
+	k       int     // current scale
+
+	a           *adj.Adj // G_{k−1} = G ∪ H_{k−1}
+	extraGlobal []int32  // extra-edge index (in a) -> global hopset edge index
+	part        *cluster.Partition
+	centerDist  []float64    // per vertex: real distance to its cluster center
+	memPath     [][]PathStep // per vertex: realizing path to its center (PR mode)
+	retired     []bool       // Lemma 2.10 bookkeeping: vertex left in some U_j
+}
+
+// buildScale runs the ℓ+1 phases of §2.1 for scale k, appending the edges
+// of H_k to the hopset. prevLo/prevHi delimit H_{k−1} in h.Edges.
+func (b *builder) buildScale(k, prevLo, prevHi int) error {
+	g := b.h.G
+	n := g.N
+	b.k = k
+
+	extras := make([]adj.Extra, 0, prevHi-prevLo)
+	b.extraGlobal = b.extraGlobal[:0]
+	for idx := prevLo; idx < prevHi; idx++ {
+		e := b.h.Edges[idx]
+		extras = append(extras, adj.Extra{U: e.U, V: e.V, W: e.W})
+		b.extraGlobal = append(b.extraGlobal, int32(idx))
+	}
+	b.a = adj.Build(g, extras)
+	b.part = cluster.Singletons(n)
+	b.centerDist = make([]float64, n)
+	b.retired = make([]bool, n)
+	if b.params.RecordPaths {
+		b.memPath = make([][]PathStep, n)
+	}
+
+	for i := 0; i <= b.sched.Ell && b.part.Len() > 0; i++ {
+		st := PhaseStats{
+			Scale: k, Phase: i,
+			Clusters: b.part.Len(), Deg: b.sched.Deg[i],
+			MinSuperSize: -1,
+		}
+		distCap := (1 + b.epsPrev) * b.sched.Delta(k, i)
+		last := i == b.sched.Ell || b.part.Len() == 1
+
+		if last {
+			// Concluding phase (§2.1.2): superclustering is skipped and
+			// every remaining cluster is interconnected with all of its
+			// neighbors (U_ℓ = P_ℓ).
+			if b.part.Len() > 1 {
+				ex := b.explorer(distCap, b.part.Len())
+				recs := ex.Detect()
+				all := func(int32) bool { return true }
+				b.interconnect(i, recs, all, &st)
+			}
+			b.retireAll(&st)
+			b.h.Stats = append(b.h.Stats, st)
+			break
+		}
+
+		ex := b.explorer(distCap, b.sched.Deg[i]+1)
+		recs := ex.Detect()
+
+		// Popular clusters: full record lists (Lemma A.3).
+		var popular []int32
+		for c := int32(0); int(c) < b.part.Len(); c++ {
+			if len(recs[c]) == b.sched.Deg[i]+1 {
+				popular = append(popular, c)
+			}
+		}
+		st.Popular = len(popular)
+
+		var super []bool
+		var newPart *cluster.Partition
+		if len(popular) > 0 {
+			q := ruling.Set(ex, popular, b.sched.IDBits)
+			st.Ruling = len(q)
+			cov := ex.BFS(q, 2*b.sched.IDBits)
+			// Lemma 2.4: every popular cluster must be covered.
+			for _, c := range popular {
+				if cov.Origin[c] < 0 {
+					return fmt.Errorf("hopset: scale %d phase %d: popular cluster %d not superclustered (Lemma 2.4 violated)", k, i, c)
+				}
+			}
+			var err error
+			newPart, super, err = b.applySuperclusters(i, q, cov, &st)
+			if err != nil {
+				return err
+			}
+		} else {
+			newPart = cluster.Empty(n)
+			super = make([]bool, b.part.Len())
+		}
+
+		inU := func(c int32) bool { return !super[c] }
+		b.interconnect(i, recs, inU, &st)
+		for c := int32(0); int(c) < b.part.Len(); c++ {
+			if !super[c] {
+				st.Retired++
+				b.retire(c)
+			}
+		}
+		st.MaxRad = newPart.MaxRad()
+		st.RBound = b.sched.RBound(k, i+1, b.epsPrev)
+		b.h.Stats = append(b.h.Stats, st)
+		b.part = newPart
+	}
+	return nil
+}
+
+// explorer builds the Algorithm 2 explorer for the current phase.
+func (b *builder) explorer(distCap float64, x int) *limbfs.Explorer {
+	return &limbfs.Explorer{
+		A:           b.a,
+		Part:        b.part,
+		CenterDist:  b.centerDist,
+		HopCap:      b.sched.HopBudget(),
+		DistCap:     distCap,
+		X:           x,
+		RecordPaths: b.params.RecordPaths,
+		Tracker:     b.h.tracker,
+	}
+}
+
+// applySuperclusters implements the superclustering step of §2.1.1: grows
+// superclusters around the ruling clusters q from the coverage BFS cov,
+// adds the superclustering edges, and maintains the cluster memory.
+func (b *builder) applySuperclusters(i int, q []int32, cov *limbfs.BFSResult, st *PhaseStats) (*cluster.Partition, []bool, error) {
+	P := b.part.Len()
+	super := make([]bool, P)
+	newIdxOf := make([]int32, P)
+	for c := range newIdxOf {
+		newIdxOf[c] = -1
+	}
+	newPart := cluster.Empty(b.part.N)
+	newMembers := make([][]int32, len(q))
+	absorbed := make([]int, len(q))
+	for qi, c := range q {
+		newIdxOf[c] = int32(qi)
+	}
+
+	// Process detected clusters in pulse order: when cluster c (detected by
+	// a leg from predecessor F at pulse p) is handled, F's members already
+	// carry memory paths to the new center r_root, so the discovery path
+	// r_root → r_c is reverse(memPath[SeedV]) ++ leg ++ memPath[EndV].
+	order := make([]int32, 0, P)
+	for c := int32(0); int(c) < P; c++ {
+		if cov.Origin[c] >= 0 {
+			order = append(order, c)
+		}
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if cov.Pulse[order[x]] != cov.Pulse[order[y]] {
+			return cov.Pulse[order[x]] < cov.Pulse[order[y]]
+		}
+		return order[x] < order[y]
+	})
+
+	scWeightStrict := 2 * ((1+b.epsPrev)*b.sched.Delta(b.k, i) + 2*b.sched.RBound(b.k, i, b.epsPrev)) * float64(log2ceil(b.sched.N))
+
+	for _, c := range order {
+		root := cov.Origin[c]
+		qi := newIdxOf[root]
+		if qi < 0 {
+			return nil, nil, fmt.Errorf("hopset: coverage origin %d is not a ruling cluster", root)
+		}
+		super[c] = true
+		newMembers[qi] = append(newMembers[qi], b.part.Members[c]...)
+		absorbed[qi]++
+		if c == root {
+			continue // the ruling cluster itself: no edge, memory unchanged
+		}
+
+		est := cov.Est[c]   // real r_root → r_c path length
+		var full []PathStep // r_root → r_c
+		if b.params.RecordPaths {
+			leg := b.arcsToSteps(cov.SeedV[c], cov.LegPath[c])
+			full = ConcatPaths(
+				ReversePath(cov.SeedV[c], b.memPath[cov.SeedV[c]]),
+				leg,
+				b.memPath[cov.EndV[c]],
+			)
+		}
+
+		w := est
+		if b.params.Weights == WeightStrict {
+			w = scWeightStrict
+		}
+		edge := Edge{
+			U: b.part.Centers[c], V: b.part.Centers[root], W: w,
+			Scale: int16(b.k), Phase: int8(i), Kind: Superclustering,
+		}
+		var path []PathStep
+		if b.params.RecordPaths {
+			path = ReversePath(b.part.Centers[root], full) // r_c → r_root
+		}
+		b.h.addEdge(edge, path)
+		st.SCEdges++
+
+		// Cluster memory (§4.3): members of c now reach the new center
+		// r_root via r_c; distances grow by est. This must happen before
+		// any pulse-(p+1) cluster whose leg seeds inside c is processed.
+		for _, v := range b.part.Members[c] {
+			b.centerDist[v] += est
+			if b.params.RecordPaths {
+				b.memPath[v] = ConcatPaths(b.memPath[v], path)
+			}
+		}
+	}
+
+	for qi, c := range q {
+		members := newMembers[qi]
+		sort.Slice(members, func(x, y int) bool { return members[x] < members[y] })
+		var rad float64
+		for _, v := range members {
+			if b.centerDist[v] > rad {
+				rad = b.centerDist[v]
+			}
+		}
+		newPart.Add(b.part.Centers[c], members, rad)
+		if st.MinSuperSize < 0 || absorbed[qi] < st.MinSuperSize {
+			st.MinSuperSize = absorbed[qi]
+		}
+	}
+	st.Superclustered = len(order)
+	return newPart, super, nil
+}
+
+// interconnect implements §2.1.2: every cluster in U (selected by inU) adds
+// edges from its center to the centers of its neighbors in U. Each
+// unordered pair is added once, from the side with the smaller center ID
+// (both sides hold complete neighbor lists — they are unpopular, Lemma A.3).
+func (b *builder) interconnect(i int, recs [][]limbfs.Record, inU func(int32) bool, st *PhaseStats) {
+	ri := b.sched.RBound(b.k, i, b.epsPrev)
+	for c := int32(0); int(c) < b.part.Len(); c++ {
+		if !inU(c) {
+			continue
+		}
+		cu := b.part.Centers[c]
+		for _, r := range recs[c] {
+			if r.Src == c || !inU(r.Src) {
+				continue
+			}
+			cv := b.part.Centers[r.Src]
+			if cu >= cv {
+				continue // the other side adds it
+			}
+			w := r.CDist
+			if b.params.Weights == WeightStrict {
+				w = r.BDist + 2*ri
+			}
+			edge := Edge{
+				U: cu, V: cv, W: w,
+				Scale: int16(b.k), Phase: int8(i), Kind: Interconnection,
+			}
+			var path []PathStep
+			if b.params.RecordPaths {
+				// Record r: cluster r.Src's exploration reached c; the leg
+				// runs SeedV (∈ r.Src) → EndV (∈ c). The edge path must run
+				// r_c → r_src: center → EndV, reversed leg, SeedV → center.
+				leg := b.arcsToSteps(r.SeedV, r.Path)
+				path = ConcatPaths(
+					ReversePath(r.EndV, b.memPath[r.EndV]),
+					ReversePath(r.SeedV, leg),
+					b.memPath[r.SeedV],
+				)
+			}
+			b.h.addEdge(edge, path)
+			st.ICEdges++
+		}
+	}
+}
+
+// retire marks a cluster's vertices as left behind in Uᵢ, checking the
+// partition invariant of Lemma 2.10 (no vertex retires twice).
+func (b *builder) retire(c int32) {
+	for _, v := range b.part.Members[c] {
+		if b.retired[v] {
+			panic(fmt.Sprintf("hopset: vertex %d retired twice (Lemma 2.10 violated)", v))
+		}
+		b.retired[v] = true
+	}
+}
+
+func (b *builder) retireAll(st *PhaseStats) {
+	for c := int32(0); int(c) < b.part.Len(); c++ {
+		st.Retired++
+		b.retire(c)
+	}
+}
+
+// arcsToSteps converts a limbfs arc path starting at seed into PathSteps,
+// mapping arc tags to global hopset edge indices.
+func (b *builder) arcsToSteps(seed int32, arcs []int32) []PathStep {
+	if len(arcs) == 0 {
+		return nil
+	}
+	steps := make([]PathStep, len(arcs))
+	for j, arc := range arcs {
+		owner := b.arcOwner(arc)
+		he := int32(-1)
+		if idx, ok := adj.IsExtra(b.a.Tag[arc]); ok {
+			he = b.extraGlobal[idx]
+		}
+		steps[j] = PathStep{To: owner, W: b.a.Wt[arc], HEdge: he}
+	}
+	// Sanity: the walk must start at seed (arc j's sender is the previous
+	// vertex). Verified cheaply via the first arc.
+	if b.a.Nbr[arcs[0]] != seed {
+		panic(fmt.Sprintf("hopset: leg path does not start at seed %d", seed))
+	}
+	return steps
+}
+
+// arcOwner returns the vertex whose adjacency list contains the arc.
+func (b *builder) arcOwner(arc int32) int32 {
+	lo, hi := 0, b.a.N
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.a.Off[mid+1] > arc {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return int32(lo)
+}

@@ -1,0 +1,91 @@
+package integration
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/pram"
+)
+
+// TestSoakLargeGraph is the one deliberately larger end-to-end run in the
+// suite: n = 4096. It validates stretch from sampled sources, the size
+// bound, and PRAM accounting in one pass. Skipped under -short.
+func TestSoakLargeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	eps := 0.25
+	g := graph.Gnm(4096, 16384, graph.UniformWeights(1, 10), 99)
+	tr := pram.New()
+	s, err := core.New(g, core.Options{Epsilon: eps, Tracker: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Hopset()
+	bound := float64(h.Sched.Lambda+1) * math.Pow(float64(g.N), 1+1.0/3.0)
+	if float64(h.Size()) > bound {
+		t.Fatalf("size %d exceeds bound %.0f", h.Size(), bound)
+	}
+	for _, src := range []int32{1, 2047, 4095} {
+		got, err := s.ApproxDistances(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := exact.DijkstraGraph(g, src)
+		worst := 1.0
+		for v := 0; v < g.N; v++ {
+			if want[v] > 0 && !math.IsInf(want[v], 1) {
+				if got[v] < want[v]-1e-6 {
+					t.Fatalf("src %d v %d: undershoot", src, v)
+				}
+				if r := got[v] / want[v]; r > worst {
+					worst = r
+				}
+			}
+		}
+		if worst > 1+eps+1e-9 {
+			t.Fatalf("src %d: stretch %v", src, worst)
+		}
+	}
+	c := tr.Snapshot()
+	if c.Depth == 0 || c.Work == 0 {
+		t.Fatal("tracker empty")
+	}
+	// Depth stays polylog-ish: well under n.
+	if c.Depth > int64(g.N) {
+		t.Fatalf("depth %d is not sublinear in n=%d", c.Depth, g.N)
+	}
+}
+
+// TestSoakHighDiameter validates the regime the paper targets: a graph
+// whose hop diameter is the bottleneck for plain parallel BF.
+func TestSoakHighDiameter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	eps := 0.25
+	g := graph.Grid(48, 48, graph.UniformWeights(1, 3), 5)
+	s, err := core.New(g, core.Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := int32(17*48 + 23)
+	got, err := s.ApproxDistances(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := exact.DijkstraGraph(g, src)
+	for v := 0; v < g.N; v++ {
+		if got[v] < want[v]-1e-6 || got[v] > (1+eps)*want[v]+1e-6 {
+			t.Fatalf("v %d: %v vs %v", v, got[v], want[v])
+		}
+	}
+	// The query budget must be far below the ~94-hop diameter walk count
+	// BF would need times the safety margin... simply: budget < n.
+	if s.HopBudget() >= g.N {
+		t.Fatalf("hop budget %d not sublinear", s.HopBudget())
+	}
+}

@@ -1,0 +1,175 @@
+package limbfs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adj"
+	"repro/internal/cluster"
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+// randomPartition grows disjoint BFS balls around random seeds, leaving
+// some vertices unclustered, and fills CenterDist with exact tree
+// distances so the CDist bookkeeping is verifiable.
+func randomPartition(g *graph.Graph, seeds int, r *rand.Rand) (*cluster.Partition, []float64) {
+	p := cluster.Empty(g.N)
+	centerDist := make([]float64, g.N)
+	owner := make([]int32, g.N)
+	for i := range owner {
+		owner[i] = -1
+	}
+	type item struct {
+		v    int32
+		seed int32
+		d    float64
+	}
+	var frontier []item
+	for s := 0; s < seeds; s++ {
+		v := int32(r.Intn(g.N))
+		if owner[v] >= 0 {
+			continue
+		}
+		owner[v] = v
+		frontier = append(frontier, item{v, v, 0})
+	}
+	members := map[int32][]int32{}
+	dists := map[int32]map[int32]float64{}
+	for _, it := range frontier {
+		members[it.seed] = []int32{it.seed}
+		dists[it.seed] = map[int32]float64{it.seed: 0}
+	}
+	// Limited growth: each ball takes up to 6 extra vertices.
+	taken := map[int32]int{}
+	for len(frontier) > 0 {
+		it := frontier[0]
+		frontier = frontier[1:]
+		if taken[it.seed] >= 6 {
+			continue
+		}
+		nbr, wts := g.Neighbors(it.v)
+		for i, u := range nbr {
+			if owner[u] >= 0 {
+				continue
+			}
+			owner[u] = it.seed
+			taken[it.seed]++
+			members[it.seed] = append(members[it.seed], u)
+			dists[it.seed][u] = it.d + wts[i]
+			frontier = append(frontier, item{u, it.seed, it.d + wts[i]})
+			if taken[it.seed] >= 6 {
+				break
+			}
+		}
+	}
+	for seed, ms := range members {
+		var rad float64
+		for _, v := range ms {
+			centerDist[v] = dists[seed][v]
+			if centerDist[v] > rad {
+				rad = centerDist[v]
+			}
+		}
+		// Members must be sorted for determinism.
+		for i := 1; i < len(ms); i++ {
+			for j := i; j > 0 && ms[j-1] > ms[j]; j-- {
+				ms[j-1], ms[j] = ms[j], ms[j-1]
+			}
+		}
+		p.Add(seed, ms, rad)
+	}
+	return p, centerDist
+}
+
+func TestDetectClusteredMatchesExact(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.Gnm(80, 240, graph.UniformWeights(1, 4), seed)
+		a := adj.Build(g, nil)
+		p, cd := randomPartition(g, 12, r)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		hopCap, distCap := 5, 9.0
+		e := &Explorer{A: a, Part: p, CenterDist: cd, HopCap: hopCap, DistCap: distCap, X: p.Len()}
+		recs := e.Detect()
+		ex := Exact(a, p, hopCap, distCap)
+		for c := 0; c < p.Len(); c++ {
+			got := map[int32]float64{}
+			for _, rec := range recs[c] {
+				got[rec.Src] = rec.BDist
+			}
+			for c2 := 0; c2 < p.Len(); c2++ {
+				want, reach := ex[c][c2], ex[c][c2] <= distCap
+				bd, found := got[int32(c2)]
+				if reach != found {
+					t.Fatalf("seed %d: cluster %d src %d: found=%v want %v", seed, c, c2, found, reach)
+				}
+				if found && math.Abs(bd-want) > 1e-9 {
+					t.Fatalf("seed %d: cluster %d src %d: BDist %v want %v", seed, c, c2, bd, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDetectClusteredCDistRealizable(t *testing.T) {
+	// Every CDist must be at least the true center-to-center distance —
+	// the soundness invariant the hopset's tight weights rely on.
+	r := rand.New(rand.NewSource(42))
+	g := graph.Gnm(70, 200, graph.UniformWeights(1, 5), 42)
+	a := adj.Build(g, nil)
+	p, cd := randomPartition(g, 10, r)
+	e := &Explorer{A: a, Part: p, CenterDist: cd, HopCap: 6, DistCap: 15, X: p.Len()}
+	recs := e.Detect()
+	for c := 0; c < p.Len(); c++ {
+		trueDist, _ := exact.DijkstraGraph(g, p.Centers[c])
+		for _, rec := range recs[c] {
+			if rec.CDist < trueDist[p.Centers[rec.Src]]-1e-9 {
+				t.Fatalf("cluster %d ← src %d: CDist %v below true center distance %v",
+					c, rec.Src, rec.CDist, trueDist[p.Centers[rec.Src]])
+			}
+			if rec.CDist < rec.BDist-1e-9 {
+				t.Fatalf("CDist %v below BDist %v", rec.CDist, rec.BDist)
+			}
+		}
+	}
+}
+
+func TestBFSClusteredLevels(t *testing.T) {
+	// BFS levels on a clustered world must match BFS in the materialized
+	// virtual graph.
+	r := rand.New(rand.NewSource(7))
+	g := graph.Gnm(60, 150, graph.UniformWeights(1, 3), 7)
+	a := adj.Build(g, nil)
+	p, cd := randomPartition(g, 9, r)
+	hopCap, distCap := 4, 6.0
+	e := &Explorer{A: a, Part: p, CenterDist: cd, HopCap: hopCap, DistCap: distCap, X: 1}
+	res := e.BFS([]int32{0}, p.Len())
+	// Reference BFS over the exact virtual graph.
+	ex := Exact(a, p, hopCap, distCap)
+	P := p.Len()
+	level := make([]int32, P)
+	for i := range level {
+		level[i] = -1
+	}
+	level[0] = 0
+	q := []int32{0}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for u := int32(0); int(u) < P; u++ {
+			if u != v && level[u] < 0 && ex[v][u] <= distCap {
+				level[u] = level[v] + 1
+				q = append(q, u)
+			}
+		}
+	}
+	for c := 0; c < P; c++ {
+		if res.Pulse[c] != level[c] {
+			t.Fatalf("cluster %d: pulse %d want %d", c, res.Pulse[c], level[c])
+		}
+	}
+}

@@ -1,0 +1,430 @@
+// Package limbfs implements Algorithm 2 of the paper (Appendix A): parallel
+// limited BFS explorations of the virtual cluster graph G̃ᵢ = (Pᵢ, Ẽ), where
+// clusters C, C′ are adjacent iff their (2β+1)-hop-bounded distance in
+// G_{k−1} is at most (1+ε_{k−1})·δᵢ.
+//
+// Two variants are used by the hopset construction, exactly as in the paper:
+//
+//   - Detect (Appendix A.3.1, x = degᵢ+1, d = 1): every cluster learns the
+//     IDs and bounded distances of up to x nearest clusters, which yields
+//     the popular set Wᵢ (Lemma A.3) and the interconnection neighborhoods.
+//   - BFS (Appendix A.3.2, x = 1, d ≥ 1): a multi-source BFS to depth d in
+//     G̃ᵢ, used by the ruling-set knock-outs (depth 2) and the supercluster
+//     coverage sweep (depth 2·log n); Lemma A.4 semantics — a cluster is
+//     detected at pulse p iff its G̃ᵢ-distance from the sources is p.
+//
+// Records carry two distances. BDist is the paper's boundary distance
+// (explorations start at 0 on every member of the seeding cluster; the
+// pruning threshold DistCap and the hop cap apply to it), which drives all
+// topology decisions. CDist is a sound center-to-center estimate: it starts
+// at CenterDist[seed] and ends with +CenterDist[endpoint], so it is always
+// the exact length of a concrete path in G_{k−1} between the two cluster
+// centers. Tight-weight hopsets use CDist; strict-weight hopsets use the
+// paper's closed-form weights and ignore it (§2.1.1, Lemmas 2.3/2.9).
+package limbfs
+
+import (
+	"math"
+	"slices"
+	"sync/atomic"
+
+	"repro/internal/adj"
+	"repro/internal/cluster"
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+// Record is one exploration record: cluster Src is reachable with boundary
+// distance BDist, and the concrete discovered path implies a center-to-center
+// distance of at most CDist.
+type Record struct {
+	Src   int32   // source cluster index (into the Partition)
+	BDist float64 // boundary distance (paper's distance value)
+	CDist float64 // sound center-to-center path length
+	SeedV int32   // member of Src where this exploration leg started
+	EndV  int32   // member of the aggregating cluster where it ended (-1 pre-aggregation)
+	Path  []int32 // arc indices from SeedV to the holder (RecordPaths mode only)
+}
+
+// Explorer holds the fixed parameters of one exploration (one phase of one
+// scale): the graph G_{k−1}, the partition Pᵢ, thresholds, and bookkeeping.
+type Explorer struct {
+	A          *adj.Adj
+	Part       *cluster.Partition
+	CenterDist []float64 // per vertex; nil means all zero (phase 0)
+	HopCap     int       // 2β+1 in the paper
+	DistCap    float64   // (1+ε_{k−1})·δᵢ in the paper
+	X          int       // number of parallel explorations a vertex carries
+	// RecordPaths makes records carry full arc paths, enabling the
+	// path-reporting construction of §4 (the "memory property").
+	RecordPaths bool
+	Tracker     *pram.Tracker
+}
+
+func (e *Explorer) centerDist(v int32) float64 {
+	if e.CenterDist == nil {
+		return 0
+	}
+	return e.CenterDist[v]
+}
+
+// less is the canonical record order: by boundary distance, then source
+// cluster ID (= center vertex ID, §1.5), then the tight estimate, then seed.
+// A total order makes every selection deterministic.
+func (e *Explorer) less(a, b Record) int {
+	switch {
+	case a.BDist < b.BDist:
+		return -1
+	case a.BDist > b.BDist:
+		return 1
+	}
+	ca, cb := e.Part.Centers[a.Src], e.Part.Centers[b.Src]
+	switch {
+	case ca < cb:
+		return -1
+	case ca > cb:
+		return 1
+	}
+	switch {
+	case a.CDist < b.CDist:
+		return -1
+	case a.CDist > b.CDist:
+		return 1
+	}
+	switch {
+	case a.SeedV < b.SeedV:
+		return -1
+	case a.SeedV > b.SeedV:
+		return 1
+	}
+	return 0
+}
+
+// selectBest sorts cand, removes duplicate sources (keeping the best), and
+// returns up to x records appended to dst[:0].
+func (e *Explorer) selectBest(dst, cand []Record, x int) []Record {
+	slices.SortFunc(cand, e.less)
+	dst = dst[:0]
+	for _, r := range cand {
+		dup := false
+		for _, o := range dst {
+			if o.Src == r.Src {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, r)
+			if len(dst) == x {
+				break
+			}
+		}
+	}
+	return dst
+}
+
+func sameRecs(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].BDist != b[i].BDist ||
+			a[i].CDist != b[i].CDist || a[i].SeedV != b[i].SeedV {
+			return false
+		}
+	}
+	return true
+}
+
+// propagate runs up to HopCap synchronous relaxation rounds of the
+// propagation part of Algorithm 2 over the vertex lists L, in place.
+// It stops early at a fixed point (the remaining rounds cannot change
+// anything, so the result is identical to running all HopCap rounds), and
+// skips vertices whose closed neighborhood did not change in the previous
+// round — their recomputation would reproduce the same list, so the output
+// is identical to the naive schedule while the work tracks the active
+// frontier.
+func (e *Explorer) propagate(L [][]Record) {
+	n := e.A.N
+	nxt := make([][]Record, n)
+	dirty := make([]bool, n) // vertex list changed last round
+	dirtyNxt := make([]bool, n)
+	for v := range dirty {
+		dirty[v] = len(L[v]) > 0
+	}
+	arcs := int64(e.A.Arcs())
+	for round := 0; round < e.HopCap; round++ {
+		var changed atomic.Bool
+		par.ForChunk(n, func(lo, hi int) {
+			var cand []Record
+			anyChange := false
+			for v := lo; v < hi; v++ {
+				active := dirty[v]
+				if !active {
+					for arcI := e.A.Off[v]; arcI < e.A.Off[v+1] && !active; arcI++ {
+						active = dirty[e.A.Nbr[arcI]]
+					}
+				}
+				if !active {
+					// Unchanged inputs: the selection is reproduced as-is.
+					nxt[v] = append(nxt[v][:0], L[v]...)
+					dirtyNxt[v] = false
+					continue
+				}
+				cand = cand[:0]
+				cand = append(cand, L[v]...)
+				for arcI := e.A.Off[v]; arcI < e.A.Off[v+1]; arcI++ {
+					u := e.A.Nbr[arcI]
+					w := e.A.Wt[arcI]
+					for _, r := range L[u] {
+						nb := r.BDist + w
+						if nb > e.DistCap {
+							continue
+						}
+						nr := Record{Src: r.Src, BDist: nb, CDist: r.CDist + w, SeedV: r.SeedV, EndV: -1}
+						if e.RecordPaths {
+							nr.Path = append(append(make([]int32, 0, len(r.Path)+1), r.Path...), arcI)
+						}
+						cand = append(cand, nr)
+					}
+				}
+				sel := e.selectBest(nxt[v][:0], cand, e.X)
+				d := !sameRecs(sel, L[v])
+				dirtyNxt[v] = d
+				if d {
+					anyChange = true
+				}
+				nxt[v] = sel
+			}
+			if anyChange {
+				changed.Store(true)
+			}
+		})
+		e.Tracker.Rounds(1, arcs*int64(e.X))
+		L, nxt = nxt, L
+		dirty, dirtyNxt = dirtyNxt, dirty
+		if !changed.Load() {
+			// Fixed point: the remaining rounds are no-ops.
+			break
+		}
+	}
+	// The caller keeps its original slice header; make sure it holds the
+	// final lists regardless of how many swaps happened.
+	// (L is the final state here; nxt is the stale buffer.)
+	copyLists(nxt, L)
+}
+
+// copyLists makes dst hold the same records as src, reusing dst storage.
+// After propagate's buffer swapping, the caller's original backing array may
+// be either of the two; copying record slices (cheap: headers) fixes it up.
+func copyLists(dst, src [][]Record) {
+	if &dst[0] == &src[0] {
+		return
+	}
+	copy(dst, src)
+}
+
+// seedOwn gives every clustered vertex the record of its own cluster:
+// the initialization of the detection variant (every cluster is a source).
+func (e *Explorer) seedOwn(L [][]Record) {
+	par.For(e.A.N, func(v int) {
+		c := e.Part.ClusterOf[v]
+		if c < 0 {
+			L[v] = L[v][:0]
+			return
+		}
+		L[v] = append(L[v][:0], Record{
+			Src: c, BDist: 0, CDist: e.centerDist(int32(v)), SeedV: int32(v), EndV: -1,
+		})
+	})
+	e.Tracker.Round(int64(e.A.N))
+}
+
+// Detect is the variant of Appendix A.3.1 (d = 1, S = Pᵢ): it returns, for
+// every cluster, up to X records of the nearest clusters (including itself)
+// under the hop and distance caps, satisfying Lemma A.3:
+// a cluster is popular iff its list is full (X = degᵢ+1 records).
+func (e *Explorer) Detect() [][]Record {
+	L := make([][]Record, e.A.N)
+	e.seedOwn(L)
+	e.propagate(L)
+	return e.aggregate(L)
+}
+
+// aggregate is the aggregation part of Algorithm 2: each cluster merges its
+// members' lists; member v's records gain +CenterDist[v] on CDist (the leg
+// from the member up to the cluster center) and record v as EndV.
+func (e *Explorer) aggregate(L [][]Record) [][]Record {
+	P := e.Part.Len()
+	out := make([][]Record, P)
+	var members int64
+	par.For(P, func(c int) {
+		var cand []Record
+		for _, v := range e.Part.Members[c] {
+			for _, r := range L[v] {
+				r.CDist += e.centerDist(v)
+				r.EndV = v
+				cand = append(cand, r)
+			}
+		}
+		out[c] = e.selectBest(nil, cand, e.X)
+	})
+	for c := 0; c < P; c++ {
+		members += int64(len(e.Part.Members[c]))
+	}
+	e.Tracker.Rounds(1, members*int64(e.X))
+	return out
+}
+
+// BFSResult describes a multi-source BFS in G̃ᵢ (Lemma A.4 semantics).
+type BFSResult struct {
+	// Origin[c] is the source cluster whose exploration detected cluster c
+	// (c itself for sources), or -1 if undetected within the depth budget.
+	Origin []int32
+	// Pulse[c] is the G̃ᵢ BFS level at which c was detected (0 = source).
+	Pulse []int32
+	// Est[c] is a sound center-to-center distance estimate from Origin[c]'s
+	// center to c's center along the concrete discovery path.
+	Est []float64
+	// SeedV[c] is the member of the predecessor cluster where the detecting
+	// leg started; EndV[c] the member of c where it ended. The predecessor
+	// cluster is the one SeedV belonged to during this exploration.
+	SeedV, EndV []int32
+	// LegBDist[c] is the boundary length of the detecting leg.
+	LegBDist []float64
+	// LegPath[c] holds the detecting leg's arc path (RecordPaths mode).
+	LegPath [][]int32
+}
+
+// BFS runs the variant of Appendix A.3.2 (x = 1): a BFS to the given depth
+// in G̃ᵢ from the source clusters. Each pulse performs one fresh one-level
+// exploration from the clusters detected in the previous pulse, matching
+// Lemma A.4: cluster detected at pulse p ⇔ d_G̃ᵢ(cluster, sources) = p.
+func (e *Explorer) BFS(sources []int32, depth int) *BFSResult {
+	P := e.Part.Len()
+	res := &BFSResult{
+		Origin:   make([]int32, P),
+		Pulse:    make([]int32, P),
+		Est:      make([]float64, P),
+		SeedV:    make([]int32, P),
+		EndV:     make([]int32, P),
+		LegBDist: make([]float64, P),
+	}
+	if e.RecordPaths {
+		res.LegPath = make([][]int32, P)
+	}
+	for c := 0; c < P; c++ {
+		res.Origin[c] = -1
+		res.Pulse[c] = -1
+		res.SeedV[c] = -1
+		res.EndV[c] = -1
+	}
+	frontier := make([]int32, 0, len(sources))
+	for _, c := range sources {
+		if res.Origin[c] >= 0 {
+			continue
+		}
+		res.Origin[c] = c
+		res.Pulse[c] = 0
+		res.SeedV[c] = e.Part.Centers[c]
+		res.EndV[c] = e.Part.Centers[c]
+		frontier = append(frontier, c)
+	}
+	saveX := e.X
+	e.X = 1
+	defer func() { e.X = saveX }()
+	L := make([][]Record, e.A.N)
+	for p := int32(1); int(p) <= depth && len(frontier) > 0; p++ {
+		// Distribution: seed members of the frontier clusters. The record's
+		// Src carries the *origin* so attribution survives multiple pulses;
+		// CDist starts from the origin-to-frontier-center estimate.
+		inFrontier := make(map[int32]bool, len(frontier))
+		for _, c := range frontier {
+			inFrontier[c] = true
+		}
+		par.For(e.A.N, func(v int) {
+			c := e.Part.ClusterOf[v]
+			if c < 0 || !inFrontier[c] {
+				L[v] = L[v][:0]
+				return
+			}
+			L[v] = append(L[v][:0], Record{
+				Src:   res.Origin[c],
+				BDist: 0,
+				CDist: res.Est[c] + e.centerDist(int32(v)),
+				SeedV: int32(v),
+				EndV:  -1,
+			})
+		})
+		e.Tracker.Round(int64(e.A.N))
+		e.propagate(L)
+		recs := e.aggregate(L)
+		frontier = frontier[:0]
+		for c := int32(0); int(c) < P; c++ {
+			if res.Origin[c] >= 0 || len(recs[c]) == 0 {
+				continue
+			}
+			r := recs[c][0]
+			res.Origin[c] = r.Src
+			res.Pulse[c] = p
+			res.Est[c] = r.CDist
+			res.SeedV[c] = r.SeedV
+			res.EndV[c] = r.EndV
+			res.LegBDist[c] = r.BDist
+			if e.RecordPaths {
+				res.LegPath[c] = r.Path
+			}
+			frontier = append(frontier, c)
+		}
+	}
+	return res
+}
+
+// Exact computes the pairwise hop- and distance-capped boundary distances
+// between all clusters by brute force (one hop-limited multi-source
+// Bellman–Ford per cluster). It materializes the virtual graph G̃ᵢ exactly
+// and is meant for validation on small instances; the construction itself
+// never calls it.
+func Exact(a *adj.Adj, part *cluster.Partition, hopCap int, distCap float64) [][]float64 {
+	P := part.Len()
+	out := make([][]float64, P)
+	par.For(P, func(c int) {
+		dist := make([]float64, a.N)
+		next := make([]float64, a.N)
+		for v := range dist {
+			dist[v] = math.Inf(1)
+		}
+		for _, v := range part.Members[c] {
+			dist[v] = 0
+		}
+		for h := 0; h < hopCap; h++ {
+			copy(next, dist)
+			changed := false
+			for v := 0; v < a.N; v++ {
+				for arc := a.Off[v]; arc < a.Off[v+1]; arc++ {
+					if d := dist[a.Nbr[arc]] + a.Wt[arc]; d < next[v] && d <= distCap {
+						next[v] = d
+						changed = true
+					}
+				}
+			}
+			dist, next = next, dist
+			if !changed {
+				break
+			}
+		}
+		row := make([]float64, P)
+		for i := range row {
+			row[i] = math.Inf(1)
+		}
+		for c2 := 0; c2 < P; c2++ {
+			for _, v := range part.Members[c2] {
+				if dist[v] < row[c2] {
+					row[c2] = dist[v]
+				}
+			}
+		}
+		out[c] = row
+	})
+	return out
+}

@@ -1,0 +1,304 @@
+package limbfs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adj"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+// lineWorld builds a weighted path 0-1-2-...-9 with unit weights and
+// singleton clusters.
+func lineWorld(n int) (*adj.Adj, *cluster.Partition) {
+	g := graph.Path(n, graph.UnitWeights(), 1)
+	return adj.Build(g, nil), cluster.Singletons(n)
+}
+
+func TestDetectSingletonsOnPath(t *testing.T) {
+	a, p := lineWorld(10)
+	e := &Explorer{A: a, Part: p, HopCap: 3, DistCap: 3, X: 4}
+	recs := e.Detect()
+	// Vertex 5 should see clusters {5(0), 2..8 minus itself}: nearest 4 are
+	// 5 (0), 4 (1), 6 (1), 3 (2) — ordering by (dist, center id).
+	got := recs[5]
+	if len(got) != 4 {
+		t.Fatalf("len=%d recs=%v", len(got), got)
+	}
+	wantSrc := []int32{5, 4, 6, 3}
+	wantD := []float64{0, 1, 1, 2}
+	for i := range wantSrc {
+		if got[i].Src != wantSrc[i] || got[i].BDist != wantD[i] {
+			t.Fatalf("rec %d = {src=%d d=%v}, want {src=%d d=%v}",
+				i, got[i].Src, got[i].BDist, wantSrc[i], wantD[i])
+		}
+	}
+}
+
+func TestDetectRespectsHopCap(t *testing.T) {
+	a, p := lineWorld(10)
+	e := &Explorer{A: a, Part: p, HopCap: 1, DistCap: 100, X: 10}
+	recs := e.Detect()
+	// With one hop, vertex 5 sees only itself and direct neighbors.
+	if len(recs[5]) != 3 {
+		t.Fatalf("hop cap violated: %v", recs[5])
+	}
+}
+
+func TestDetectRespectsDistCap(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{graph.E(0, 1, 5), graph.E(1, 2, 1)})
+	a := adj.Build(g, nil)
+	p := cluster.Singletons(3)
+	e := &Explorer{A: a, Part: p, HopCap: 5, DistCap: 2, X: 5}
+	recs := e.Detect()
+	if len(recs[0]) != 1 { // only itself: the 0-1 edge is too long
+		t.Fatalf("dist cap violated: %v", recs[0])
+	}
+	if len(recs[1]) != 2 { // itself and 2
+		t.Fatalf("recs[1]=%v", recs[1])
+	}
+}
+
+func TestDetectMatchesExact(t *testing.T) {
+	g := graph.Gnm(60, 150, graph.UniformWeights(1, 4), 3)
+	a := adj.Build(g, nil)
+	p := cluster.Singletons(60)
+	hopCap, distCap := 4, 6.0
+	e := &Explorer{A: a, Part: p, HopCap: hopCap, DistCap: distCap, X: 60}
+	recs := e.Detect()
+	exact := Exact(a, p, hopCap, distCap)
+	for c := 0; c < p.Len(); c++ {
+		// Every exact-reachable cluster must appear with the same distance.
+		wantCount := 0
+		for c2 := 0; c2 < p.Len(); c2++ {
+			if exact[c][c2] <= distCap {
+				wantCount++
+			}
+		}
+		if len(recs[c]) != wantCount {
+			t.Fatalf("cluster %d: %d records, exact %d", c, len(recs[c]), wantCount)
+		}
+		for _, r := range recs[c] {
+			if math.Abs(r.BDist-exact[c][r.Src]) > 1e-9 {
+				t.Fatalf("cluster %d src %d: BDist=%v exact=%v", c, r.Src, r.BDist, exact[c][r.Src])
+			}
+		}
+	}
+}
+
+func TestCDistSoundness(t *testing.T) {
+	// CDist must never be below the true center-to-center distance.
+	g := graph.Gnm(50, 120, graph.UniformWeights(1, 5), 7)
+	a := adj.Build(g, nil)
+	p := cluster.Singletons(50)
+	e := &Explorer{A: a, Part: p, HopCap: 6, DistCap: 20, X: 50}
+	recs := e.Detect()
+	// For singletons, CDist should equal BDist (no center detours).
+	for c := range recs {
+		for _, r := range recs[c] {
+			if math.Abs(r.CDist-r.BDist) > 1e-9 {
+				t.Fatalf("singleton CDist %v != BDist %v", r.CDist, r.BDist)
+			}
+		}
+	}
+}
+
+func TestCDistWithClusters(t *testing.T) {
+	// Path 0-1-2-3-4-5 (unit). Clusters: {0,1,2} center 1, {3,4,5} center 4.
+	g := graph.Path(6, graph.UnitWeights(), 1)
+	a := adj.Build(g, nil)
+	p := cluster.Empty(6)
+	p.Add(1, []int32{0, 1, 2}, 1)
+	p.Add(4, []int32{3, 4, 5}, 1)
+	cd := []float64{1, 0, 1, 1, 0, 1}
+	e := &Explorer{A: a, Part: p, CenterDist: cd, HopCap: 3, DistCap: 10, X: 3}
+	recs := e.Detect()
+	// Boundary distance between clusters: edge (2,3) = 1.
+	var r *Record
+	for i := range recs[0] {
+		if recs[0][i].Src == 1 {
+			r = &recs[0][i]
+		}
+	}
+	if r == nil {
+		t.Fatal("cluster 1 not detected from cluster 0")
+	}
+	if r.BDist != 1 {
+		t.Fatalf("BDist=%v want 1", r.BDist)
+	}
+	// Center path 1→2→3→4 = 3 = CenterDist[2] + leg + CenterDist[3].
+	if r.CDist != 3 {
+		t.Fatalf("CDist=%v want 3", r.CDist)
+	}
+	// The record describes cluster 1's exploration reaching cluster 0: the
+	// leg starts at a member of cluster 1 (vertex 3) and ends at a member
+	// of cluster 0 (vertex 2).
+	if r.SeedV != 3 || r.EndV != 2 {
+		t.Fatalf("seed=%d end=%d", r.SeedV, r.EndV)
+	}
+}
+
+func TestUnclusteredVerticesRelay(t *testing.T) {
+	// Path 0-1-2. Vertex 1 is unclustered, but the exploration must pass
+	// through it (explorations travel the full graph G_{k−1}).
+	g := graph.Path(3, graph.UnitWeights(), 1)
+	a := adj.Build(g, nil)
+	p := cluster.Empty(3)
+	p.Add(0, []int32{0}, 0)
+	p.Add(2, []int32{2}, 0)
+	e := &Explorer{A: a, Part: p, HopCap: 2, DistCap: 5, X: 2}
+	recs := e.Detect()
+	if len(recs[0]) != 2 || recs[0][1].Src != 1 || recs[0][1].BDist != 2 {
+		t.Fatalf("relay failed: %v", recs[0])
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	// Path of 8 singletons, DistCap 1, HopCap 1: G̃ is the path itself.
+	a, p := lineWorld(8)
+	e := &Explorer{A: a, Part: p, HopCap: 1, DistCap: 1, X: 1}
+	res := e.BFS([]int32{0}, 3)
+	wantPulse := []int32{0, 1, 2, 3, -1, -1, -1, -1}
+	for c, want := range wantPulse {
+		if res.Pulse[c] != want {
+			t.Fatalf("cluster %d pulse=%d want %d", c, res.Pulse[c], want)
+		}
+		if want >= 0 && res.Origin[c] != 0 {
+			t.Fatalf("cluster %d origin=%d", c, res.Origin[c])
+		}
+		if want < 0 && res.Origin[c] != -1 {
+			t.Fatalf("cluster %d should be undetected", c)
+		}
+	}
+	// Est accumulates real distances: cluster 3 is 3 away.
+	if res.Est[3] != 3 {
+		t.Fatalf("est=%v", res.Est[3])
+	}
+}
+
+func TestBFSMultiSourceNearest(t *testing.T) {
+	a, p := lineWorld(9)
+	e := &Explorer{A: a, Part: p, HopCap: 1, DistCap: 1, X: 1}
+	res := e.BFS([]int32{0, 8}, 8)
+	for c := 0; c < 9; c++ {
+		wantOrigin := int32(0)
+		if c > 4 {
+			wantOrigin = 8
+		}
+		if c == 4 { // tie: both at distance 4; origin with smaller center ID wins
+			wantOrigin = 0
+		}
+		if res.Origin[c] != wantOrigin {
+			t.Fatalf("cluster %d origin=%d want %d", c, res.Origin[c], wantOrigin)
+		}
+	}
+}
+
+func TestBFSLegMetadata(t *testing.T) {
+	a, p := lineWorld(5)
+	e := &Explorer{A: a, Part: p, HopCap: 2, DistCap: 2, X: 1}
+	res := e.BFS([]int32{0}, 4)
+	// G̃ edges connect clusters within distance 2: 0→{1,2} pulse 1, {3,4} pulse 2.
+	if res.Pulse[2] != 1 || res.Pulse[4] != 2 {
+		t.Fatalf("pulses=%v", res.Pulse)
+	}
+	// Cluster 4 detected by a leg starting at a pulse-1 cluster's member.
+	seedCluster := p.ClusterOf[res.SeedV[4]]
+	if res.Pulse[seedCluster] != 1 {
+		t.Fatalf("leg for 4 started at cluster with pulse %d", res.Pulse[seedCluster])
+	}
+	if res.EndV[4] != 4 {
+		t.Fatalf("EndV=%d", res.EndV[4])
+	}
+	if res.Est[4] != 4 {
+		t.Fatalf("Est=%v want 4 (real distance)", res.Est[4])
+	}
+}
+
+func TestBFSPathRecording(t *testing.T) {
+	a, p := lineWorld(6)
+	e := &Explorer{A: a, Part: p, HopCap: 2, DistCap: 2, X: 1, RecordPaths: true}
+	res := e.BFS([]int32{0}, 3)
+	for c := 1; c < 6; c++ {
+		if res.Origin[c] < 0 {
+			continue
+		}
+		path := res.LegPath[c]
+		if len(path) == 0 {
+			t.Fatalf("cluster %d: empty leg path", c)
+		}
+		// Walk the path backwards from EndV; it must reach SeedV and its
+		// weights must sum to LegBDist.
+		cur := res.EndV[c]
+		var sum float64
+		for i := len(path) - 1; i >= 0; i-- {
+			arc := path[i]
+			if arc < a.Off[cur] || arc >= a.Off[cur+1] {
+				t.Fatalf("cluster %d: arc %d does not belong to vertex %d", c, arc, cur)
+			}
+			sum += a.Wt[arc]
+			cur = a.Nbr[arc]
+		}
+		if cur != res.SeedV[c] {
+			t.Fatalf("cluster %d: path walks to %d, seed is %d", c, cur, res.SeedV[c])
+		}
+		if math.Abs(sum-res.LegBDist[c]) > 1e-9 {
+			t.Fatalf("cluster %d: path weight %v != leg %v", c, sum, res.LegBDist[c])
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	old := par.Workers()
+	defer par.SetWorkers(old)
+	g := graph.Gnm(300, 1200, graph.UniformWeights(1, 6), 11)
+	a := adj.Build(g, nil)
+	p := cluster.Singletons(300)
+	run := func() [][]Record {
+		e := &Explorer{A: a, Part: p, HopCap: 4, DistCap: 8, X: 6}
+		return e.Detect()
+	}
+	par.SetWorkers(1)
+	ref := run()
+	for _, w := range []int{2, 4, 8} {
+		par.SetWorkers(w)
+		got := run()
+		for c := range ref {
+			if !sameRecs(ref[c], got[c]) {
+				t.Fatalf("workers=%d cluster %d: %v vs %v", w, c, got[c], ref[c])
+			}
+		}
+	}
+}
+
+func TestTrackerCharged(t *testing.T) {
+	a, p := lineWorld(20)
+	tr := pram.New()
+	e := &Explorer{A: a, Part: p, HopCap: 3, DistCap: 3, X: 2, Tracker: tr}
+	e.Detect()
+	if c := tr.Snapshot(); c.Depth == 0 || c.Work == 0 {
+		t.Fatalf("tracker not charged: %v", c)
+	}
+}
+
+func TestExplorationThroughExtras(t *testing.T) {
+	// A hopset edge (extra) shortens hop distance: path 0..4 plus extra
+	// 0-4 w=1.5. With HopCap 1, vertex 4's cluster is visible from 0.
+	g := graph.Path(5, graph.UnitWeights(), 1)
+	a := adj.Build(g, []adj.Extra{{U: 0, V: 4, W: 1.5}})
+	p := cluster.Singletons(5)
+	e := &Explorer{A: a, Part: p, HopCap: 1, DistCap: 2, X: 5}
+	recs := e.Detect()
+	found := false
+	for _, r := range recs[0] {
+		if r.Src == 4 && r.BDist == 1.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("extra edge not used: %v", recs[0])
+	}
+}

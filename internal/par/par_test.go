@@ -1,0 +1,227 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 5000} {
+		got := make([]int, n)
+		For(n, func(i int) { got[i] = i + 1 })
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("n=%d: index %d not visited exactly once (got %d)", n, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachIndexOnce(t *testing.T) {
+	n := 10000
+	counts := make([]int32, n)
+	For(n, func(i int) { counts[i]++ })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForChunkDisjointCover(t *testing.T) {
+	n := 4321
+	seen := make([]int32, n)
+	ForChunk(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	if prev := SetWorkers(3); prev != old {
+		t.Fatalf("SetWorkers returned %d, want %d", prev, old)
+	}
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != 1 {
+		t.Fatalf("Workers() after SetWorkers(0) = %d, want 1", Workers())
+	}
+}
+
+func TestReduceMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := r.Intn(3000)
+		vals := make([]int64, n)
+		var want int64
+		for i := range vals {
+			vals[i] = int64(r.Intn(1000) - 500)
+			want += vals[i]
+		}
+		got := SumInt64(n, func(i int) int64 { return vals[i] })
+		if got != want {
+			t.Fatalf("n=%d: sum=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestReduceDeterministicFloatAcrossWorkers(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	r := rand.New(rand.NewSource(2))
+	n := 10000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Float64()*2e6 - 1e6
+	}
+	sum := func() float64 {
+		return Reduce(n, 0.0, func(i int) float64 { return vals[i] },
+			func(a, b float64) float64 { return a + b })
+	}
+	SetWorkers(1)
+	want := sum()
+	for _, w := range []int{2, 3, 4, 8} {
+		SetWorkers(w)
+		if got := sum(); got != want {
+			t.Fatalf("workers=%d: float sum %v differs from 1-worker %v", w, got, want)
+		}
+	}
+}
+
+func TestMinMaxFloat64(t *testing.T) {
+	vals := []float64{5, -3, 8, 0, 2}
+	if got := MaxFloat64(len(vals), -1, func(i int) float64 { return vals[i] }); got != 8 {
+		t.Fatalf("max=%v", got)
+	}
+	if got := MinFloat64(len(vals), -1, func(i int) float64 { return vals[i] }); got != -3 {
+		t.Fatalf("min=%v", got)
+	}
+	if got := MaxFloat64(0, 42, nil); got != 42 {
+		t.Fatalf("empty max=%v want default", got)
+	}
+	if got := MinFloat64(0, 42, nil); got != 42 {
+		t.Fatalf("empty min=%v want default", got)
+	}
+}
+
+func TestCountIf(t *testing.T) {
+	if got := CountIf(100, func(i int) bool { return i%3 == 0 }); got != 34 {
+		t.Fatalf("CountIf=%d want 34", got)
+	}
+}
+
+func TestExclusiveSumProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		s := make([]int64, len(raw))
+		want := make([]int64, len(raw))
+		var acc int64
+		for i, v := range raw {
+			s[i] = int64(v)
+			want[i] = acc
+			acc += int64(v)
+		}
+		total := ExclusiveSum(s)
+		if total != acc {
+			return false
+		}
+		for i := range s {
+			if s[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveSumLarge(t *testing.T) {
+	n := 100000
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = 1
+	}
+	if total := ExclusiveSum(s); total != int64(n) {
+		t.Fatalf("total=%d", total)
+	}
+	for i := range s {
+		if s[i] != int64(i) {
+			t.Fatalf("s[%d]=%d", i, s[i])
+		}
+	}
+}
+
+func TestExclusiveSumInt32(t *testing.T) {
+	s := []int32{3, 1, 4, 1, 5}
+	total := ExclusiveSumInt32(s)
+	if total != 14 {
+		t.Fatalf("total=%d", total)
+	}
+	want := []int32{0, 3, 4, 8, 9}
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("s=%v want %v", s, want)
+		}
+	}
+}
+
+func TestPack(t *testing.T) {
+	got := Pack(10, func(i int) bool { return i%2 == 1 })
+	want := []int32{1, 3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if got := Pack(0, nil); len(got) != 0 {
+		t.Fatalf("empty pack got %v", got)
+	}
+}
+
+func TestPackLargeAscending(t *testing.T) {
+	n := 50000
+	got := Pack(n, func(i int) bool { return i%7 == 0 })
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not ascending at %d: %d <= %d", i, got[i], got[i-1])
+		}
+	}
+	if int(got[0]) != 0 || len(got) != (n+6)/7 {
+		t.Fatalf("len=%d first=%d", len(got), got[0])
+	}
+}
+
+func TestFixedChunkBoundsCover(t *testing.T) {
+	for _, n := range []int{1, 5, 63, 64, 65, 1000} {
+		k := Chunks(n)
+		prev := 0
+		for c := 0; c < k; c++ {
+			lo, hi := FixedChunkBounds(n, c)
+			if lo != prev {
+				t.Fatalf("n=%d chunk %d: lo=%d want %d", n, c, lo, prev)
+			}
+			prev = hi
+		}
+		if prev != n {
+			t.Fatalf("n=%d: chunks cover up to %d", n, prev)
+		}
+	}
+}

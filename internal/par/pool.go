@@ -1,0 +1,118 @@
+// Package par provides deterministic shared-memory parallel primitives.
+//
+// The package simulates the synchronous CREW PRAM rounds of the paper on a
+// pool of goroutines. Every primitive is deterministic: callers must write
+// only to state owned by their own iteration index (exclusive writes), and
+// all reductions combine partial results in fixed chunk order, so results do
+// not depend on the number of workers or on scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// seqCutoff is the loop size below which For runs sequentially; spawning
+// goroutines for tiny loops costs more than it saves.
+const seqCutoff = 1 << 9
+
+var maxWorkers atomic.Int64
+
+func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetWorkers sets the degree of parallelism used by this package and returns
+// the previous value. Values below 1 are clamped to 1. It is intended for
+// tests and benchmarks that verify scheduling-independence.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// Workers reports the current degree of parallelism.
+func Workers() int { return int(maxWorkers.Load()) }
+
+// For runs fn(i) for every i in [0, n) using up to Workers() goroutines.
+//
+// fn must only write state owned by iteration i; concurrent reads of shared
+// state are allowed (CREW discipline). Under that contract the result is
+// identical to running the loop sequentially.
+func For(n int, fn func(i int)) {
+	ForChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunk partitions [0, n) into disjoint subranges and runs fn(lo, hi) on
+// each, in parallel. Chunks are claimed dynamically for load balance; since
+// chunk contents are fixed, determinism is unaffected.
+func ForChunk(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w == 1 || n < seqCutoff {
+		fn(0, n)
+		return
+	}
+	// Oversplit so stragglers can be balanced away.
+	nchunks := w * 4
+	if nchunks > n {
+		nchunks = n
+	}
+	chunk := (n + nchunks - 1) / nchunks
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Chunks returns the number of fixed partitions used by the deterministic
+// reduction helpers for a loop of size n. It depends only on n, never on the
+// worker count, so reductions are schedule-independent.
+func Chunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	const fixed = 64
+	if n < fixed {
+		return n
+	}
+	return fixed
+}
+
+// FixedChunkBounds returns the half-open bounds of chunk c of Chunks(n)
+// fixed partitions of [0, n).
+func FixedChunkBounds(n, c int) (lo, hi int) {
+	k := Chunks(n)
+	size := (n + k - 1) / k
+	lo = c * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}

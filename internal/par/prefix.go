@@ -1,0 +1,103 @@
+package par
+
+// ExclusiveSum replaces s with its exclusive prefix sums and returns the
+// total. s[i] becomes s[0]+…+s[i-1]; s[0] becomes 0.
+//
+// The computation is the classic two-pass work-efficient parallel scan:
+// per-chunk partial sums, a sequential scan over the (fixed) chunk partials,
+// then a parallel second pass. It is deterministic for integer element
+// types.
+func ExclusiveSum(s []int64) int64 {
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	k := Chunks(n)
+	parts := make([]int64, k)
+	For(k, func(c int) {
+		lo, hi := FixedChunkBounds(n, c)
+		var acc int64
+		for i := lo; i < hi; i++ {
+			acc += s[i]
+		}
+		parts[c] = acc
+	})
+	var total int64
+	for c := 0; c < k; c++ {
+		parts[c], total = total, total+parts[c]
+	}
+	For(k, func(c int) {
+		lo, hi := FixedChunkBounds(n, c)
+		acc := parts[c]
+		for i := lo; i < hi; i++ {
+			s[i], acc = acc, acc+s[i]
+		}
+	})
+	return total
+}
+
+// ExclusiveSumInt32 is ExclusiveSum for int32 slices, returning the total as
+// int64 to guard against overflow of the grand total.
+func ExclusiveSumInt32(s []int32) int64 {
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	k := Chunks(n)
+	parts := make([]int64, k)
+	For(k, func(c int) {
+		lo, hi := FixedChunkBounds(n, c)
+		var acc int64
+		for i := lo; i < hi; i++ {
+			acc += int64(s[i])
+		}
+		parts[c] = acc
+	})
+	var total int64
+	for c := 0; c < k; c++ {
+		parts[c], total = total, total+parts[c]
+	}
+	For(k, func(c int) {
+		lo, hi := FixedChunkBounds(n, c)
+		acc := parts[c]
+		for i := lo; i < hi; i++ {
+			v := int64(s[i])
+			s[i] = int32(acc)
+			acc += v
+		}
+	})
+	return total
+}
+
+// Pack writes the indices i in [0, n) satisfying pred into a fresh slice,
+// in ascending order, using a parallel count + prefix-sum + scatter.
+func Pack(n int, pred func(i int) bool) []int32 {
+	k := Chunks(n)
+	if k == 0 {
+		return nil
+	}
+	counts := make([]int64, k)
+	For(k, func(c int) {
+		lo, hi := FixedChunkBounds(n, c)
+		var cnt int64
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				cnt++
+			}
+		}
+		counts[c] = cnt
+	})
+	total := ExclusiveSum(counts)
+	out := make([]int32, total)
+	For(k, func(c int) {
+		lo, hi := FixedChunkBounds(n, c)
+		at := counts[c]
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				out[at] = int32(i)
+				at++
+			}
+		}
+	})
+	return out
+}

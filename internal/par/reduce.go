@@ -1,0 +1,72 @@
+package par
+
+// Reduce combines get(0) … get(n-1) with combine, starting from the identity
+// id. Partial results are computed over Chunks(n) fixed subranges in
+// parallel and then combined in ascending chunk order, so the result is
+// independent of the worker count even for non-associative-in-practice
+// operations such as floating-point addition.
+func Reduce[T any](n int, id T, get func(i int) T, combine func(a, b T) T) T {
+	k := Chunks(n)
+	if k == 0 {
+		return id
+	}
+	parts := make([]T, k)
+	For(k, func(c int) {
+		lo, hi := FixedChunkBounds(n, c)
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = combine(acc, get(i))
+		}
+		parts[c] = acc
+	})
+	acc := id
+	for c := 0; c < k; c++ {
+		acc = combine(acc, parts[c])
+	}
+	return acc
+}
+
+// MaxFloat64 returns the maximum of get(i) over [0, n), or def when n == 0.
+func MaxFloat64(n int, def float64, get func(i int) float64) float64 {
+	if n == 0 {
+		return def
+	}
+	first := get(0)
+	return Reduce(n-1, first, func(i int) float64 { return get(i + 1) },
+		func(a, b float64) float64 {
+			if b > a {
+				return b
+			}
+			return a
+		})
+}
+
+// MinFloat64 returns the minimum of get(i) over [0, n), or def when n == 0.
+func MinFloat64(n int, def float64, get func(i int) float64) float64 {
+	if n == 0 {
+		return def
+	}
+	first := get(0)
+	return Reduce(n-1, first, func(i int) float64 { return get(i + 1) },
+		func(a, b float64) float64 {
+			if b < a {
+				return b
+			}
+			return a
+		})
+}
+
+// SumInt64 returns the sum of get(i) over [0, n).
+func SumInt64(n int, get func(i int) int64) int64 {
+	return Reduce(n, 0, get, func(a, b int64) int64 { return a + b })
+}
+
+// CountIf returns the number of indices in [0, n) for which pred holds.
+func CountIf(n int, pred func(i int) bool) int64 {
+	return SumInt64(n, func(i int) int64 {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}

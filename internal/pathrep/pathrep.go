@@ -1,0 +1,331 @@
+// Package pathrep implements the path-reporting machinery of §4: given a
+// path-reporting hopset (every hopset edge carries a memory path realizing
+// its weight in G ∪ H_{k−1}, §4.1/§4.3), it computes a (1+ε)-approximate
+// single-source shortest-path tree T = (V, E_T) with E_T ⊆ E — the original
+// graph only — in the peel-down fashion of Algorithm 1:
+//
+//  1. Bellman–Ford from s over G ∪ H to the hop budget gives a tree that
+//     may use hopset edges.
+//  2. For k = λ down to k₀, every tree edge in H_k is replaced by its
+//     memory path (edges of E and of hopsets below scale k); intermediate
+//     path vertices receive distance/parent proposals via a sorted global
+//     array M and adopt the best strictly-improving one.
+//  3. Pointer jumping (§4.2) computes exact distances in the final tree.
+package pathrep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/adj"
+	"repro/internal/bmf"
+	"repro/internal/hopset"
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+// SPT is a (1+ε)-approximate shortest-path tree over the original graph.
+type SPT struct {
+	Source int32
+	// Parent[v] is v's tree parent (-1 at the source and at vertices the
+	// source cannot reach); (Parent[v], v) is always an edge of G.
+	Parent []int32
+	// ParentW[v] is the weight of the parent edge.
+	ParentW []float64
+	// Dist[v] is the exact distance from Source to v inside the tree
+	// (+Inf if unreachable), computed by pointer jumping.
+	Dist []float64
+	// PeelRounds is the number of edge-replacing iterations executed.
+	PeelRounds int
+	// Scale is the weight unit of Dist/ParentW relative to the hopset's
+	// normalized graph (1 from BuildSPT; rescaling wrappers update it).
+	Scale float64
+}
+
+// ErrNoPaths is returned when the hopset was built without RecordPaths.
+var ErrNoPaths = errors.New("pathrep: hopset was built without RecordPaths (no memory property)")
+
+// BuildSPT runs Algorithm 1 on the path-reporting hopset h from the given
+// source. rounds is the Bellman–Ford hop budget over G ∪ H; 0 selects the
+// same budget the stretch experiments use ((2β+1)·(ℓ+2)).
+func BuildSPT(h *hopset.Hopset, source int32, rounds int, tr *pram.Tracker) (*SPT, error) {
+	if !h.Params.RecordPaths {
+		return nil, ErrNoPaths
+	}
+	if source < 0 || int(source) >= h.G.N {
+		return nil, fmt.Errorf("pathrep: source %d out of range", source)
+	}
+	if rounds <= 0 {
+		rounds = h.Sched.HopBudget() * (h.Sched.Ell + 2)
+	}
+	n := h.G.N
+	a := adj.Build(h.G, h.Extras())
+	bf := bmf.Run(a, []int32{source}, rounds, tr)
+
+	// Tree state: parent vertex, the hopset edge implementing the parent
+	// edge (-1 = base-graph edge), parent edge weight, distance estimate.
+	parent := make([]int32, n)
+	parentHE := make([]int32, n)
+	parentW := make([]float64, n)
+	dist := make([]float64, n)
+	for v := 0; v < n; v++ {
+		parent[v] = bf.Parent[v]
+		parentHE[v] = -1
+		dist[v] = bf.Dist[v]
+		if arc := bf.ParentArc[v]; arc >= 0 {
+			parentW[v] = a.Wt[arc]
+			if idx, ok := adj.IsExtra(a.Tag[arc]); ok {
+				parentHE[v] = idx
+			}
+		}
+	}
+
+	spt := &SPT{Source: source, Scale: 1}
+	// Iterations j = 0 … λ−k₀ peel scales λ, λ−1, …, k₀ (§4.1).
+	for k := h.Sched.Lambda; k >= h.Sched.K0; k-- {
+		if peelScale(h, int16(k), parent, parentHE, parentW, dist, tr) {
+			spt.PeelRounds++
+		}
+	}
+	// No hopset edges may remain.
+	for v := 0; v < n; v++ {
+		if parentHE[v] >= 0 {
+			return nil, fmt.Errorf("pathrep: vertex %d still has hopset parent edge after peeling", v)
+		}
+	}
+
+	spt.Parent = parent
+	spt.ParentW = parentW
+	spt.Dist = pointerJump(parent, parentW, source, tr)
+	// Unreachable vertices keep -1 parents and +Inf distances.
+	for v := 0; v < n; v++ {
+		if math.IsInf(dist[v], 1) {
+			spt.Parent[v] = -1
+			spt.ParentW[v] = 0
+		}
+	}
+	return spt, nil
+}
+
+// proposal is one entry of the global array M of §4.1: vertex x can be
+// reached with distance d through pred (whose edge to x is he / a base
+// edge).
+type proposal struct {
+	x    int32
+	d    float64
+	pred int32
+	he   int32
+	w    float64
+}
+
+// peelScale replaces every tree edge of hopset scale k by its memory path.
+// Returns whether any replacement happened.
+func peelScale(h *hopset.Hopset, k int16, parent, parentHE []int32, parentW []float64, dist []float64, tr *pram.Tracker) bool {
+	n := h.G.N
+	var all []proposal
+	replaced := false
+	for v := int32(0); int(v) < n; v++ {
+		he := parentHE[v]
+		if he < 0 || h.Edges[he].Scale != k {
+			continue
+		}
+		replaced = true
+		e := h.Edges[he]
+		steps := h.Paths[he]
+		// Orient the memory path from parent[v] to v.
+		if e.U == parent[v] && e.V == v {
+			// forward
+		} else if e.V == parent[v] && e.U == v {
+			steps = hopset.ReversePath(e.U, steps)
+		} else {
+			panic(fmt.Sprintf("pathrep: tree edge (%d,%d) does not match hopset edge %d endpoints (%d,%d)",
+				parent[v], v, he, e.U, e.V))
+		}
+		// Walk the path, proposing estimates for every vertex on it
+		// (including v itself via the final step, which becomes v's new
+		// parent edge — eliminating the scale-k edge).
+		cur := parent[v]
+		dp := dist[parent[v]]
+		for _, s := range steps {
+			dp += s.W
+			all = append(all, proposal{x: s.To, d: dp, pred: cur, he: s.HEdge, w: s.W})
+			cur = s.To
+		}
+		// Unconditional replacement for v: its scale-k parent edge must go.
+		last := steps[len(steps)-1]
+		prev := parent[v]
+		if len(steps) > 1 {
+			prev = steps[len(steps)-2].To
+		}
+		parent[v] = prev
+		parentHE[v] = last.HEdge
+		parentW[v] = last.W
+		if dp < dist[v] {
+			dist[v] = dp
+		}
+	}
+	if !replaced {
+		return false
+	}
+	// The array M: sorted by vertex, then distance, then predecessor
+	// (deterministic total order); each vertex adopts the first entry for
+	// it when it strictly improves its estimate (§4.1).
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		if a.pred != b.pred {
+			return a.pred < b.pred
+		}
+		return a.he < b.he
+	})
+	tr.Rounds(int64(log2ceil(len(all))+1), int64(len(all)))
+	for i := 0; i < len(all); {
+		p := all[i]
+		for i < len(all) && all[i].x == p.x {
+			i++
+		}
+		if p.d < dist[p.x] {
+			dist[p.x] = p.d
+			parent[p.x] = p.pred
+			parentHE[p.x] = p.he
+			parentW[p.x] = p.w
+		}
+	}
+	return true
+}
+
+// pointerJump computes exact tree distances by the doubling procedure of
+// §4.2: for log n iterations, d'(v) += d'(q(v)); q(v) = q(q(v)).
+func pointerJump(parent []int32, parentW []float64, source int32, tr *pram.Tracker) []float64 {
+	n := len(parent)
+	d := make([]float64, n)
+	q := make([]int32, n)
+	par.For(n, func(v int) {
+		if parent[v] < 0 || int32(v) == source {
+			q[v] = int32(v)
+			d[v] = 0
+		} else {
+			q[v] = parent[v]
+			d[v] = parentW[v]
+		}
+	})
+	d2 := make([]float64, n)
+	q2 := make([]int32, n)
+	for iter := 0; iter <= log2ceil(n)+1; iter++ {
+		moved := false
+		par.For(n, func(v int) {
+			d2[v] = d[v] + d[q[v]]
+			q2[v] = q[q[v]]
+		})
+		for v := 0; v < n; v++ {
+			if q2[v] != q[v] {
+				moved = true
+				break
+			}
+		}
+		copy(d, d2)
+		copy(q, q2)
+		tr.Rounds(2, int64(n))
+		if !moved {
+			break
+		}
+	}
+	// Vertices whose chain does not end at the source are unreachable.
+	for v := 0; v < n; v++ {
+		if q[v] != source {
+			d[v] = math.Inf(1)
+		}
+	}
+	return d
+}
+
+// Validate checks that the SPT is a well-formed tree over the original
+// graph rooted at the source: parent edges exist in g with the recorded
+// weight, parent chains reach the source acyclically, and Dist is
+// consistent with the parent weights.
+func (t *SPT) Validate(h *hopset.Hopset) error {
+	g := h.G
+	n := g.N
+	if int(t.Source) >= n {
+		return fmt.Errorf("source out of range")
+	}
+	for v := int32(0); int(v) < n; v++ {
+		p := t.Parent[v]
+		if v == t.Source {
+			if p != -1 {
+				return fmt.Errorf("source has parent %d", p)
+			}
+			continue
+		}
+		if p < 0 {
+			if !math.IsInf(t.Dist[v], 1) {
+				return fmt.Errorf("vertex %d has no parent but finite distance %v", v, t.Dist[v])
+			}
+			continue
+		}
+		w, ok := g.HasEdge(p, v)
+		if !ok {
+			return fmt.Errorf("tree edge (%d,%d) is not in the original graph", p, v)
+		}
+		w *= t.Scale
+		if math.Abs(w-t.ParentW[v]) > 1e-9*math.Max(1, w) {
+			return fmt.Errorf("tree edge (%d,%d): weight %v recorded %v", p, v, w, t.ParentW[v])
+		}
+		if math.Abs(t.Dist[p]+w-t.Dist[v]) > 1e-6 {
+			return fmt.Errorf("vertex %d: Dist %v != Dist[parent] %v + w %v", v, t.Dist[v], t.Dist[p], w)
+		}
+	}
+	// Acyclicity: chains terminate at the source.
+	for v := int32(0); int(v) < n; v++ {
+		if t.Parent[v] < 0 {
+			continue
+		}
+		steps := 0
+		for cur := v; cur != t.Source; cur = t.Parent[cur] {
+			if t.Parent[cur] < 0 {
+				return fmt.Errorf("chain from %d dead-ends at %d", v, cur)
+			}
+			steps++
+			if steps > n {
+				return fmt.Errorf("cycle in parent pointers reachable from %d", v)
+			}
+		}
+	}
+	return nil
+}
+
+// PathTo returns the tree path from the source to v (nil when unreachable).
+func (t *SPT) PathTo(v int32) []int32 {
+	if math.IsInf(t.Dist[v], 1) {
+		return nil
+	}
+	var rev []int32
+	for cur := v; ; cur = t.Parent[cur] {
+		rev = append(rev, cur)
+		if cur == t.Source {
+			break
+		}
+		if len(rev) > len(t.Parent) {
+			return nil
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func log2ceil(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,219 @@
+package pathrep
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/hopset"
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+func buildPR(t *testing.T, g *graph.Graph, eps float64) *hopset.Hopset {
+	t.Helper()
+	h, err := hopset.Build(g, hopset.Params{Epsilon: eps, RecordPaths: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func checkSPT(t *testing.T, h *hopset.Hopset, s int32, eps float64) *SPT {
+	t.Helper()
+	spt, err := BuildSPT(h, s, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spt.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	ex, _ := exact.DijkstraGraph(h.G, s)
+	for v := 0; v < h.G.N; v++ {
+		if math.IsInf(ex[v], 1) {
+			if !math.IsInf(spt.Dist[v], 1) {
+				t.Fatalf("vertex %d unreachable in G but has tree distance %v", v, spt.Dist[v])
+			}
+			continue
+		}
+		if math.IsInf(spt.Dist[v], 1) {
+			t.Fatalf("vertex %d reachable in G (d=%v) but not in tree", v, ex[v])
+		}
+		if spt.Dist[v] < ex[v]-1e-9 {
+			t.Fatalf("vertex %d: tree distance %v below exact %v", v, spt.Dist[v], ex[v])
+		}
+		if spt.Dist[v] > (1+eps)*ex[v]+1e-9 {
+			t.Fatalf("vertex %d: tree distance %v exceeds (1+ε)·%v", v, spt.Dist[v], ex[v])
+		}
+	}
+	return spt
+}
+
+func TestSPTOnVariedGraphs(t *testing.T) {
+	eps := 0.25
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.Path(96, graph.UnitWeights(), 1)},
+		{"grid", graph.Grid(9, 9, graph.UniformWeights(1, 3), 2)},
+		{"gnm", graph.Gnm(100, 320, graph.UniformWeights(1, 5), 3)},
+		{"powerlaw", graph.PowerLaw(90, 2, graph.UniformWeights(1, 2), 4)},
+		{"tree", graph.Tree(70, 3, graph.UnitWeights(), 5)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := buildPR(t, c.g, eps)
+			checkSPT(t, h, 0, eps)
+			checkSPT(t, h, int32(c.g.N/2), eps)
+		})
+	}
+}
+
+func TestSPTPathsMatchDistances(t *testing.T) {
+	g := graph.Gnm(80, 240, graph.UniformWeights(1, 4), 7)
+	h := buildPR(t, g, 0.3)
+	spt := checkSPT(t, h, 0, 0.3)
+	for v := int32(0); int(v) < g.N; v++ {
+		path := spt.PathTo(v)
+		if path == nil {
+			continue
+		}
+		if path[0] != 0 || path[len(path)-1] != v {
+			t.Fatalf("path endpoints %v", path)
+		}
+		var sum float64
+		for i := 1; i < len(path); i++ {
+			w, ok := h.G.HasEdge(path[i-1], path[i])
+			if !ok {
+				t.Fatalf("path step (%d,%d) not a graph edge", path[i-1], path[i])
+			}
+			sum += w
+		}
+		if math.Abs(sum-spt.Dist[v]) > 1e-6 {
+			t.Fatalf("vertex %d: path weight %v != Dist %v", v, sum, spt.Dist[v])
+		}
+	}
+}
+
+func TestSPTErrNoPaths(t *testing.T) {
+	g := graph.Path(32, graph.UnitWeights(), 1)
+	h, err := hopset.Build(g, hopset.Params{Epsilon: 0.25}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildSPT(h, 0, 0, nil); err != ErrNoPaths {
+		t.Fatalf("err=%v want ErrNoPaths", err)
+	}
+}
+
+func TestSPTSourceOutOfRange(t *testing.T) {
+	g := graph.Path(16, graph.UnitWeights(), 1)
+	h := buildPR(t, g, 0.25)
+	if _, err := BuildSPT(h, 99, 0, nil); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := BuildSPT(h, -1, 0, nil); err == nil {
+		t.Fatal("negative source accepted")
+	}
+}
+
+func TestSPTDisconnectedGraph(t *testing.T) {
+	g := graph.MustFromEdges(6, []graph.Edge{
+		graph.E(0, 1, 1), graph.E(1, 2, 2), graph.E(3, 4, 1), graph.E(4, 5, 1),
+	})
+	h := buildPR(t, g, 0.25)
+	spt, err := BuildSPT(h, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spt.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int32{3, 4, 5} {
+		if !math.IsInf(spt.Dist[v], 1) || spt.Parent[v] != -1 {
+			t.Fatalf("vertex %d in other component: dist=%v parent=%d", v, spt.Dist[v], spt.Parent[v])
+		}
+	}
+}
+
+func TestSPTDeterministicAcrossWorkers(t *testing.T) {
+	old := par.Workers()
+	defer par.SetWorkers(old)
+	g := graph.Gnm(120, 400, graph.UniformWeights(1, 6), 9)
+	par.SetWorkers(1)
+	hRef := buildPR(t, g, 0.25)
+	ref, err := BuildSPT(hRef, 3, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		par.SetWorkers(w)
+		h := buildPR(t, g, 0.25)
+		spt, err := BuildSPT(h, 3, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N; v++ {
+			if spt.Parent[v] != ref.Parent[v] || spt.Dist[v] != ref.Dist[v] {
+				t.Fatalf("workers=%d vertex %d: (%d,%v) vs (%d,%v)",
+					w, v, spt.Parent[v], spt.Dist[v], ref.Parent[v], ref.Dist[v])
+			}
+		}
+	}
+}
+
+func TestSPTWithStrictWeights(t *testing.T) {
+	// Strict-weight hopsets carry memory paths that can be lighter than the
+	// edge weights; the peeled tree must still be valid and approximate.
+	g := graph.Gnm(64, 200, graph.UniformWeights(1, 3), 11)
+	h, err := hopset.Build(g, hopset.Params{Epsilon: 0.25, RecordPaths: true, Weights: hopset.WeightStrict}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt, err := BuildSPT(h, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spt.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	// The peeled tree realizes concrete graph paths, so distances can only
+	// be at least exact.
+	ex, _ := exact.DijkstraGraph(h.G, 0)
+	for v := 0; v < g.N; v++ {
+		if !math.IsInf(ex[v], 1) && spt.Dist[v] < ex[v]-1e-9 {
+			t.Fatalf("vertex %d below exact", v)
+		}
+	}
+}
+
+func TestPointerJumpExactOnKnownTree(t *testing.T) {
+	// Build a tiny hopset-free case and verify pointer jumping against a
+	// sequential walk.
+	g := graph.Tree(64, 2, graph.UniformWeights(1, 5), 13)
+	h := buildPR(t, g, 0.25)
+	spt := checkSPT(t, h, 0, 0.25)
+	for v := int32(0); int(v) < g.N; v++ {
+		var want float64
+		for cur := v; cur != 0; cur = spt.Parent[cur] {
+			want += spt.ParentW[cur]
+		}
+		if math.Abs(spt.Dist[v]-want) > 1e-9 {
+			t.Fatalf("vertex %d: dist %v, sequential walk %v", v, spt.Dist[v], want)
+		}
+	}
+}
+
+func TestSPTTrackerCharged(t *testing.T) {
+	g := graph.Gnm(60, 180, graph.UnitWeights(), 15)
+	h := buildPR(t, g, 0.25)
+	tr := pram.New()
+	if _, err := BuildSPT(h, 0, 0, tr); err != nil {
+		t.Fatal(err)
+	}
+	if c := tr.Snapshot(); c.Depth == 0 || c.Work == 0 {
+		t.Fatalf("tracker not charged: %v", c)
+	}
+}

@@ -1,0 +1,120 @@
+package pathrep
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hopset"
+)
+
+// buildTinySPT returns a validated SPT over a small graph for corruption
+// tests.
+func buildTinySPT(t *testing.T) (*hopset.Hopset, *SPT) {
+	t.Helper()
+	g := graph.Gnm(50, 150, graph.UniformWeights(1, 4), 21)
+	h, err := hopset.Build(g, hopset.Params{Epsilon: 0.25, RecordPaths: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spt, err := BuildSPT(h, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spt.Validate(h); err != nil {
+		t.Fatal(err)
+	}
+	return h, spt
+}
+
+func TestValidateCatchesNonTreeEdge(t *testing.T) {
+	h, spt := buildTinySPT(t)
+	// Point a vertex at a non-adjacent parent.
+	for v := int32(1); int(v) < h.G.N; v++ {
+		p := spt.Parent[v]
+		if p < 0 {
+			continue
+		}
+		for cand := int32(0); int(cand) < h.G.N; cand++ {
+			if cand == v || cand == p {
+				continue
+			}
+			if _, ok := h.G.HasEdge(cand, v); !ok {
+				spt.Parent[v] = cand
+				if spt.Validate(h) == nil {
+					t.Fatal("non-edge parent accepted")
+				}
+				return
+			}
+		}
+	}
+	t.Skip("graph too dense for the corruption")
+}
+
+func TestValidateCatchesWrongWeight(t *testing.T) {
+	_, spt := buildTinySPT(t)
+	h, _ := buildTinySPT(t)
+	for v := range spt.ParentW {
+		if spt.Parent[v] >= 0 {
+			spt.ParentW[v] += 0.5
+			break
+		}
+	}
+	if spt.Validate(h) == nil {
+		t.Fatal("wrong weight accepted")
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	h, spt := buildTinySPT(t)
+	// Make two adjacent vertices point at each other (if an edge exists).
+	for _, e := range h.G.Edges {
+		u, v := e.U, e.V
+		if u == spt.Source || v == spt.Source {
+			continue
+		}
+		spt.Parent[u], spt.ParentW[u] = v, e.W
+		spt.Parent[v], spt.ParentW[v] = u, e.W
+		spt.Dist[u] = spt.Dist[v] + e.W // keep local consistency plausible
+		err := spt.Validate(h)
+		if err == nil {
+			t.Fatal("cycle accepted")
+		}
+		return
+	}
+}
+
+func TestValidateCatchesParentlessReachable(t *testing.T) {
+	h, spt := buildTinySPT(t)
+	for v := int32(1); int(v) < h.G.N; v++ {
+		if spt.Parent[v] >= 0 && !math.IsInf(spt.Dist[v], 1) {
+			spt.Parent[v] = -1 // claims unreachable but has finite distance
+			if spt.Validate(h) == nil {
+				t.Fatal("finite-distance orphan accepted")
+			}
+			return
+		}
+	}
+}
+
+func TestValidateCatchesBadSource(t *testing.T) {
+	h, spt := buildTinySPT(t)
+	spt.Source = int32(h.G.N) + 7
+	if spt.Validate(h) == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestPathToGuardAgainstCorruptPointers(t *testing.T) {
+	_, spt := buildTinySPT(t)
+	// Self-loop in parents: PathTo must bail out rather than spin.
+	for v := int32(1); int(v) < len(spt.Parent); v++ {
+		if spt.Parent[v] >= 0 {
+			spt.Parent[v] = v
+			if got := spt.PathTo(v); got != nil {
+				t.Fatal("corrupt pointer chain returned a path")
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package pram accounts CREW PRAM complexity — depth (synchronous rounds)
+// and work (total operations) — for the algorithms in this repository.
+//
+// The paper (§1.5.1) charges one unit of depth per synchronous round and one
+// unit of work per read/write performed by any processor. The Go
+// implementation executes rounds on a goroutine pool (package par); each
+// primitive reports the depth and work that the idealized PRAM schedule
+// would incur, so the complexity claims of Theorems 3.7/3.8/4.5/4.6 can be
+// measured directly (experiments E3 and E5).
+package pram
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Tracker accumulates PRAM depth and work. A nil *Tracker is valid and all
+// of its methods are no-ops, so instrumentation can be disabled by passing
+// nil.
+type Tracker struct {
+	depth atomic.Int64
+	work  atomic.Int64
+	// maxProc tracks the largest number of processors any single round
+	// asked for; work/depth is a lower bound on processors.
+	maxProc atomic.Int64
+}
+
+// New returns a fresh tracker.
+func New() *Tracker { return &Tracker{} }
+
+// AddDepth charges d synchronous rounds. Calls from concurrent goroutines
+// within one logical round should be avoided; primitives charge depth at
+// their (single-threaded) synchronization points.
+func (t *Tracker) AddDepth(d int64) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.depth.Add(d)
+}
+
+// AddWork charges w units of work (reads/writes across all processors).
+func (t *Tracker) AddWork(w int64) {
+	if t == nil || w <= 0 {
+		return
+	}
+	t.work.Add(w)
+}
+
+// Round charges one round of depth in which p processors each perform one
+// operation: depth += 1, work += p.
+func (t *Tracker) Round(p int64) {
+	if t == nil {
+		return
+	}
+	t.depth.Add(1)
+	t.work.Add(p)
+	t.observeProc(p)
+}
+
+// Rounds charges d rounds, each with p active processors.
+func (t *Tracker) Rounds(d, p int64) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.depth.Add(d)
+	t.work.Add(d * p)
+	t.observeProc(p)
+}
+
+func (t *Tracker) observeProc(p int64) {
+	for {
+		cur := t.maxProc.Load()
+		if p <= cur || t.maxProc.CompareAndSwap(cur, p) {
+			return
+		}
+	}
+}
+
+// Counts is a snapshot of accumulated complexity.
+type Counts struct {
+	Depth int64 // synchronous PRAM rounds
+	Work  int64 // total operations
+	Proc  int64 // max processors requested in any single round
+}
+
+// Snapshot returns the current counters. Safe on a nil tracker.
+func (t *Tracker) Snapshot() Counts {
+	if t == nil {
+		return Counts{}
+	}
+	return Counts{Depth: t.depth.Load(), Work: t.work.Load(), Proc: t.maxProc.Load()}
+}
+
+// Reset zeroes the counters.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.depth.Store(0)
+	t.work.Store(0)
+	t.maxProc.Store(0)
+}
+
+// Sub returns the counters accumulated since the snapshot from.
+func (t *Tracker) Sub(from Counts) Counts {
+	s := t.Snapshot()
+	return Counts{Depth: s.Depth - from.Depth, Work: s.Work - from.Work, Proc: s.Proc}
+}
+
+func (c Counts) String() string {
+	return fmt.Sprintf("depth=%d work=%d proc=%d", c.Depth, c.Work, c.Proc)
+}

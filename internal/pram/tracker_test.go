@@ -1,0 +1,87 @@
+package pram
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilTrackerSafe(t *testing.T) {
+	var tr *Tracker
+	tr.AddDepth(5)
+	tr.AddWork(5)
+	tr.Round(10)
+	tr.Rounds(2, 3)
+	tr.Reset()
+	if s := tr.Snapshot(); s.Depth != 0 || s.Work != 0 {
+		t.Fatalf("nil tracker snapshot = %v", s)
+	}
+}
+
+func TestCounting(t *testing.T) {
+	tr := New()
+	tr.AddDepth(3)
+	tr.AddWork(10)
+	tr.Round(7)
+	tr.Rounds(2, 5)
+	s := tr.Snapshot()
+	if s.Depth != 3+1+2 {
+		t.Fatalf("depth=%d", s.Depth)
+	}
+	if s.Work != 10+7+10 {
+		t.Fatalf("work=%d", s.Work)
+	}
+	if s.Proc != 7 {
+		t.Fatalf("proc=%d", s.Proc)
+	}
+}
+
+func TestNegativeIgnored(t *testing.T) {
+	tr := New()
+	tr.AddDepth(-1)
+	tr.AddWork(-1)
+	tr.Rounds(-1, 100)
+	if s := tr.Snapshot(); s.Depth != 0 || s.Work != 0 {
+		t.Fatalf("negative charges not ignored: %v", s)
+	}
+}
+
+func TestSubAndReset(t *testing.T) {
+	tr := New()
+	tr.Rounds(4, 2)
+	base := tr.Snapshot()
+	tr.Rounds(3, 5)
+	d := tr.Sub(base)
+	if d.Depth != 3 || d.Work != 15 {
+		t.Fatalf("sub = %v", d)
+	}
+	tr.Reset()
+	if s := tr.Snapshot(); s.Depth != 0 || s.Work != 0 || s.Proc != 0 {
+		t.Fatalf("after reset: %v", s)
+	}
+}
+
+func TestConcurrentWork(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.AddWork(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := tr.Snapshot(); s.Work != 16000 {
+		t.Fatalf("work=%d want 16000", s.Work)
+	}
+}
+
+func TestString(t *testing.T) {
+	tr := New()
+	tr.Round(2)
+	if got := tr.Snapshot().String(); got != "depth=1 work=2 proc=2" {
+		t.Fatalf("String() = %q", got)
+	}
+}

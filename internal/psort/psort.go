@@ -1,0 +1,107 @@
+// Package psort provides the deterministic parallel sorter used wherever
+// the paper invokes the AKS sorting network [AKS83] (Algorithm 3, the
+// Klein–Sairam edge grouping, and the path-reporting array M).
+//
+// AKS matters to the paper only as a black-box O(log n)-depth comparator
+// sorter; behaviourally any deterministic sorter is equivalent. We use a
+// parallel stable merge sort (per-chunk stable sort, then pairwise stable
+// merge rounds preferring the left run), account its PRAM depth as
+// O(log² n), and require callers to supply a total order when canonical
+// output matters.
+package psort
+
+import (
+	"slices"
+
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+// Sort sorts s in place using cmp (negative: a before b; zero: equal —
+// stable). The result equals slices.SortStableFunc for every worker count.
+func Sort[T any](s []T, cmp func(a, b T) int, tr *pram.Tracker) {
+	n := len(s)
+	if n < 2 {
+		return
+	}
+	w := par.Workers()
+	if w == 1 || n < 1<<12 {
+		slices.SortStableFunc(s, cmp)
+		chargeDepth(n, tr)
+		return
+	}
+	// Fixed run count independent of worker count: determinism is free
+	// because merges are stable, but fixed runs also keep the merge tree
+	// shape canonical.
+	runs := 1
+	for runs < w {
+		runs <<= 1
+	}
+	if runs > n {
+		runs = n
+	}
+	bounds := make([]int, runs+1)
+	for i := 0; i <= runs; i++ {
+		bounds[i] = i * n / runs
+	}
+	par.For(runs, func(i int) {
+		slices.SortStableFunc(s[bounds[i]:bounds[i+1]], cmp)
+	})
+	buf := make([]T, n)
+	src, dst := s, buf
+	for width := 1; width < runs; width <<= 1 {
+		par.For((runs+2*width-1)/(2*width), func(pair int) {
+			lo := bounds[min(pair*2*width, runs)]
+			mid := bounds[min(pair*2*width+width, runs)]
+			hi := bounds[min(pair*2*width+2*width, runs)]
+			mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi], cmp)
+		})
+		src, dst = dst, src
+	}
+	if &src[0] != &s[0] {
+		copy(s, src)
+	}
+	chargeDepth(n, tr)
+}
+
+// mergeInto stably merges a and b into out (len(out) == len(a)+len(b)),
+// preferring elements of a on ties.
+func mergeInto[T any](out, a, b []T, cmp func(x, y T) int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(b[j], a[i]) < 0 {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}
+
+func chargeDepth(n int, tr *pram.Tracker) {
+	// O(log² n) depth, O(n log n) work: the budget of a parallel merge
+	// sort; the AKS network the paper cites achieves O(log n) depth with
+	// the same work, so charging log² n is conservative.
+	l := log2ceil(n)
+	tr.Rounds(int64(l*l+1), int64(n))
+	tr.AddWork(int64(n) * int64(l))
+}
+
+func log2ceil(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

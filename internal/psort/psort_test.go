@@ -1,0 +1,109 @@
+package psort
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+func intCmp(a, b int) int { return a - b }
+
+func TestSortSmall(t *testing.T) {
+	for _, s := range [][]int{{}, {1}, {2, 1}, {3, 1, 2}, {5, 4, 3, 2, 1}} {
+		got := slices.Clone(s)
+		Sort(got, intCmp, nil)
+		want := slices.Clone(s)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestSortLargeMatchesStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := 200000
+	s := make([]int, n)
+	for i := range s {
+		s[i] = r.Intn(1000)
+	}
+	got := slices.Clone(s)
+	Sort(got, intCmp, nil)
+	want := slices.Clone(s)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatal("large sort mismatch")
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	type kv struct{ k, v int }
+	r := rand.New(rand.NewSource(2))
+	n := 100000
+	s := make([]kv, n)
+	for i := range s {
+		s[i] = kv{r.Intn(50), i}
+	}
+	got := slices.Clone(s)
+	Sort(got, func(a, b kv) int { return a.k - b.k }, nil)
+	for i := 1; i < n; i++ {
+		if got[i-1].k > got[i].k {
+			t.Fatal("not sorted")
+		}
+		if got[i-1].k == got[i].k && got[i-1].v > got[i].v {
+			t.Fatalf("not stable at %d: (%v, %v)", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestSortDeterministicAcrossWorkers(t *testing.T) {
+	old := par.Workers()
+	defer par.SetWorkers(old)
+	r := rand.New(rand.NewSource(3))
+	n := 100000
+	base := make([]int, n)
+	for i := range base {
+		base[i] = r.Intn(100)
+	}
+	par.SetWorkers(1)
+	ref := slices.Clone(base)
+	Sort(ref, intCmp, nil)
+	for _, w := range []int{2, 3, 8} {
+		par.SetWorkers(w)
+		s := slices.Clone(base)
+		Sort(s, intCmp, nil)
+		if !slices.Equal(s, ref) {
+			t.Fatalf("workers=%d output differs", w)
+		}
+	}
+}
+
+func TestSortQuickProperty(t *testing.T) {
+	f := func(s []int16) bool {
+		got := make([]int, len(s))
+		for i, v := range s {
+			got[i] = int(v)
+		}
+		Sort(got, intCmp, nil)
+		return slices.IsSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortChargesTracker(t *testing.T) {
+	tr := pram.New()
+	s := make([]int, 10000)
+	for i := range s {
+		s[i] = -i
+	}
+	Sort(s, intCmp, tr)
+	if c := tr.Snapshot(); c.Depth == 0 || c.Work == 0 {
+		t.Fatalf("tracker not charged: %v", c)
+	}
+}

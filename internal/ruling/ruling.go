@@ -1,0 +1,71 @@
+// Package ruling implements Algorithm 4 of the paper (Appendix B): the
+// deterministic construction of a (3, 2·log n)-ruling set for a set W of
+// clusters with respect to the virtual graph G̃ᵢ, following
+// [AGLP89, SEW13, KMW18].
+//
+// The divide-and-conquer recursion of the paper partitions candidates by
+// the bits of their IDs (the center vertex IDs, §1.5) from the most
+// significant bit down; all invocations of one recursion level run in
+// parallel, and knock-out explorations from different invocations are
+// shared (Figure 9). Executed bottom-up, level h processes bit h−1: the
+// surviving candidates whose bit is 0 knock out every surviving candidate
+// with bit 1 within G̃ᵢ-distance 2. Lemma B.2 gives 3-separation; Lemma B.3
+// gives the 2·log n ruling radius.
+package ruling
+
+import (
+	"repro/internal/limbfs"
+)
+
+// Set computes a (3, 2·idBits)-ruling set for the candidate clusters W with
+// respect to the virtual graph G̃ᵢ defined by the Explorer's thresholds
+// (clusters adjacent iff boundary distance ≤ DistCap within HopCap hops).
+//
+// idBits must satisfy 2^idBits > max vertex ID; the paper uses exactly
+// log₂ n bits (n a power of two). The result is sorted by cluster index and
+// deterministic.
+func Set(e *limbfs.Explorer, w []int32, idBits int) []int32 {
+	if len(w) == 0 {
+		return nil
+	}
+	surviving := make(map[int32]bool, len(w))
+	for _, c := range w {
+		surviving[c] = true
+	}
+	bit := func(c int32, b int) int {
+		return int(e.Part.Centers[c]>>uint(b)) & 1
+	}
+	for h := 1; h <= idBits; h++ {
+		b := h - 1
+		var sources, targets []int32
+		// Iterate in cluster-index order for determinism.
+		for c := int32(0); int(c) < e.Part.Len(); c++ {
+			if !surviving[c] {
+				continue
+			}
+			if bit(c, b) == 0 {
+				sources = append(sources, c)
+			} else {
+				targets = append(targets, c)
+			}
+		}
+		if len(sources) == 0 || len(targets) == 0 {
+			continue
+		}
+		// One shared knock-out exploration to depth 2 from all sources
+		// (across all same-level recursive invocations, as in the paper).
+		res := e.BFS(sources, 2)
+		for _, c := range targets {
+			if res.Origin[c] >= 0 && res.Pulse[c] >= 1 {
+				delete(surviving, c)
+			}
+		}
+	}
+	out := make([]int32, 0, len(surviving))
+	for c := int32(0); int(c) < e.Part.Len(); c++ {
+		if surviving[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package ruling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adj"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/limbfs"
+	"repro/internal/par"
+)
+
+func idBitsFor(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// virtualDist computes all-pairs BFS distances in the virtual graph G̃
+// materialized from exact boundary distances.
+func virtualDist(a *adj.Adj, p *cluster.Partition, hopCap int, distCap float64) [][]int {
+	P := p.Len()
+	bd := limbfs.Exact(a, p, hopCap, distCap)
+	adjMat := make([][]bool, P)
+	for i := range adjMat {
+		adjMat[i] = make([]bool, P)
+		for j := 0; j < P; j++ {
+			adjMat[i][j] = i != j && bd[i][j] <= distCap
+		}
+	}
+	dist := make([][]int, P)
+	for s := 0; s < P; s++ {
+		d := make([]int, P)
+		for i := range d {
+			d[i] = math.MaxInt32
+		}
+		d[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for u := 0; u < P; u++ {
+				if adjMat[v][u] && d[u] == math.MaxInt32 {
+					d[u] = d[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		dist[s] = d
+	}
+	return dist
+}
+
+func checkRulingSet(t *testing.T, a *adj.Adj, p *cluster.Partition, hopCap int, distCap float64, w, q []int32, idBits int) {
+	t.Helper()
+	dist := virtualDist(a, p, hopCap, distCap)
+	inQ := make(map[int32]bool)
+	for _, c := range q {
+		inQ[c] = true
+	}
+	// Q ⊆ W.
+	inW := make(map[int32]bool)
+	for _, c := range w {
+		inW[c] = true
+	}
+	for _, c := range q {
+		if !inW[c] {
+			t.Fatalf("ruling cluster %d not in candidate set", c)
+		}
+	}
+	// 3-separation: pairwise virtual distance ≥ 3 (Lemma B.2).
+	for i := 0; i < len(q); i++ {
+		for j := i + 1; j < len(q); j++ {
+			if dist[q[i]][q[j]] < 3 {
+				t.Fatalf("clusters %d,%d at virtual distance %d < 3", q[i], q[j], dist[q[i]][q[j]])
+			}
+		}
+	}
+	// Ruling: every W cluster within 2·idBits of some Q cluster (Lemma B.3).
+	for _, c := range w {
+		best := math.MaxInt32
+		for _, r := range q {
+			if dist[c][r] < best {
+				best = dist[c][r]
+			}
+		}
+		if best > 2*idBits {
+			t.Fatalf("cluster %d at virtual distance %d > %d from ruling set", c, best, 2*idBits)
+		}
+	}
+}
+
+func TestRulingSetOnPath(t *testing.T) {
+	n := 16
+	g := graph.Path(n, graph.UnitWeights(), 1)
+	a := adj.Build(g, nil)
+	p := cluster.Singletons(n)
+	e := &limbfs.Explorer{A: a, Part: p, HopCap: 1, DistCap: 1, X: 1}
+	w := make([]int32, n)
+	for i := range w {
+		w[i] = int32(i)
+	}
+	q := Set(e, w, idBitsFor(n))
+	if len(q) == 0 {
+		t.Fatal("empty ruling set")
+	}
+	checkRulingSet(t, a, p, 1, 1, w, q, idBitsFor(n))
+}
+
+func TestRulingSetOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		n := 64
+		g := graph.Gnm(n, 160, graph.UniformWeights(1, 4), seed)
+		a := adj.Build(g, nil)
+		p := cluster.Singletons(n)
+		hopCap, distCap := 3, 4.0
+		e := &limbfs.Explorer{A: a, Part: p, HopCap: hopCap, DistCap: distCap, X: 1}
+		// Candidates: even-indexed clusters.
+		var w []int32
+		for i := int32(0); int(i) < n; i += 2 {
+			w = append(w, i)
+		}
+		q := Set(e, w, idBitsFor(n))
+		if len(q) == 0 {
+			t.Fatalf("seed %d: empty ruling set", seed)
+		}
+		checkRulingSet(t, a, p, hopCap, distCap, w, q, idBitsFor(n))
+	}
+}
+
+func TestRulingSetEmptyCandidates(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeights(), 1)
+	e := &limbfs.Explorer{A: adj.Build(g, nil), Part: cluster.Singletons(4), HopCap: 1, DistCap: 1, X: 1}
+	if q := Set(e, nil, 2); q != nil {
+		t.Fatalf("want nil, got %v", q)
+	}
+}
+
+func TestRulingSetSingleCandidate(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeights(), 1)
+	e := &limbfs.Explorer{A: adj.Build(g, nil), Part: cluster.Singletons(4), HopCap: 1, DistCap: 1, X: 1}
+	q := Set(e, []int32{2}, 2)
+	if len(q) != 1 || q[0] != 2 {
+		t.Fatalf("got %v", q)
+	}
+}
+
+func TestRulingSetDeterministicAcrossWorkers(t *testing.T) {
+	old := par.Workers()
+	defer par.SetWorkers(old)
+	n := 128
+	g := graph.Gnm(n, 400, graph.UniformWeights(1, 3), 9)
+	a := adj.Build(g, nil)
+	p := cluster.Singletons(n)
+	w := make([]int32, n)
+	for i := range w {
+		w[i] = int32(i)
+	}
+	run := func() []int32 {
+		e := &limbfs.Explorer{A: a, Part: p, HopCap: 2, DistCap: 3, X: 1}
+		return Set(e, w, idBitsFor(n))
+	}
+	par.SetWorkers(1)
+	ref := run()
+	for _, wk := range []int{2, 8} {
+		par.SetWorkers(wk)
+		got := run()
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: len %d vs %d", wk, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: %v vs %v", wk, got, ref)
+			}
+		}
+	}
+}
+
+func TestRulingSetDenseClique(t *testing.T) {
+	// In a clique every pair is virtually adjacent: the ruling set must be
+	// a single cluster (3-separation forbids two).
+	n := 32
+	g := graph.Complete(n, graph.UnitWeights(), 1)
+	a := adj.Build(g, nil)
+	p := cluster.Singletons(n)
+	e := &limbfs.Explorer{A: a, Part: p, HopCap: 1, DistCap: 1, X: 1}
+	w := make([]int32, n)
+	for i := range w {
+		w[i] = int32(i)
+	}
+	q := Set(e, w, idBitsFor(n))
+	if len(q) != 1 {
+		t.Fatalf("clique ruling set size %d, want 1 (%v)", len(q), q)
+	}
+}

@@ -1,0 +1,420 @@
+// Package scaling implements the Klein–Sairam weight reduction of
+// Appendices C and D ([KS97], as adapted by [EN19] and this paper): it
+// removes the dependence of the hopbound and running time on the aspect
+// ratio Λ.
+//
+// For every relevant scale k (one where some edge weight lies in
+// ((ε/n)·2^k, 2^{k+1}]), the graph 𝒢ₖ is formed by contracting all edges of
+// weight ≤ (ε/n)·2^k into *nodes* (deterministic parallel connected
+// components, package conncomp) and deleting edges heavier than 2^{k+1}.
+// Each node gets a designated center chosen by the largest-child rule over
+// the laminar node family (Appendix C.3), which keeps the total number of
+// *star edges* — center-to-member edges along the node spanning trees —
+// below n·log n (Lemma C.1 / eq. (24)). A hopset is built for each 𝒢ₖ with
+// the core construction; its edges for the scales covering (2^k, 2^{k+1}]
+// are mapped back to node centers and joined with the stars into one
+// aspect-ratio-free hopset (Theorems C.2/C.3).
+//
+// Deviations from the paper, both documented in DESIGN.md:
+//   - Node-edge padding uses 2(|X|+|Y|)·(ε/n)·2^k instead of
+//     (|X|+|Y|)·(ε/n)·2^k, and star edges weigh the tree walk through the
+//     component root (root-distance sums) instead of the direct tree path.
+//     Both changes keep every weight realizable by a concrete walk in G
+//     (soundness, which the direct tree path would break for our walks)
+//     and only add O(ε·2^k/n)-scale slack per edge.
+//   - In RecordPaths mode the realizing paths are eagerly expanded to
+//     original-graph edges (Appendix D stores them lazily per scale); this
+//     trades memory for a much simpler peeling step, which Appendix D's
+//     three-step replacement then performs in one pass.
+package scaling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/conncomp"
+	"repro/internal/graph"
+	"repro/internal/hopset"
+	"repro/internal/pram"
+)
+
+// Params configures the reduction.
+type Params struct {
+	// Epsilon is the final stretch target. The contraction slack and the
+	// per-scale hopsets are built with ε/6 and ε/2 respectively, following
+	// the (1+6ε) composition loss of the reduction ([EN19] Lemma 4.3).
+	Epsilon       float64
+	Kappa         int
+	Rho           float64
+	EffectiveBeta int
+	// RecordPaths assembles a path-reporting hopset (Appendix D): every
+	// edge carries a realizing path of original-graph edges, so
+	// pathrep.BuildSPT works on the result directly.
+	RecordPaths bool
+}
+
+// Result is the assembled aspect-ratio-free hopset plus the reduction's
+// ledgers.
+type Result struct {
+	// H is queried exactly like a directly built hopset (its graph is the
+	// normalized original graph).
+	H *hopset.Hopset
+
+	Stars          int   // |S|: star edges (eq. (24): ≤ n·log₂ n)
+	RelevantScales int   // |K| (eq. (25))
+	NodeCount      int64 // Σₖ non-isolated nodes (eq. (26): O(n·log n))
+	NodeEdgeCount  int64 // Σₖ node-graph edges (eq. (27): O(|E|·log n))
+	MappedEdges    int   // hopset edges mapped back from node graphs
+}
+
+// Build runs the reduction on g.
+func Build(g *graph.Graph, p Params, tr *pram.Tracker) (*Result, error) {
+	if g == nil || g.N < 2 {
+		return nil, errors.New("scaling: need a graph with at least two vertices")
+	}
+	hp := hopset.Params{
+		Epsilon: p.Epsilon, Kappa: p.Kappa, Rho: p.Rho,
+		EffectiveBeta: p.EffectiveBeta, RecordPaths: p.RecordPaths,
+	}
+	if err := hp.Validate(); err != nil {
+		return nil, err
+	}
+	ng, factor := g.Normalized()
+	sched, err := hopset.NewSchedule(ng.N, ng.AspectRatioUpperBound(), hp)
+	if err != nil {
+		return nil, err
+	}
+	n := ng.N
+	epsContract := p.Epsilon / 6
+
+	res := &Result{}
+	b := &ksBuilder{
+		g: ng, n: n, p: p, tr: tr,
+		prevLabel:  make([]int32, n),
+		nodeCenter: make([]int32, n),
+		nodeSize:   make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		b.prevLabel[v] = int32(v)
+		b.nodeCenter[v] = int32(v)
+		b.nodeSize[v] = 1
+	}
+
+	var edges []hopset.Edge
+	var paths [][]hopset.PathStep
+	add := func(e hopset.Edge, path []hopset.PathStep) {
+		edges = append(edges, e)
+		if p.RecordPaths {
+			paths = append(paths, path)
+		}
+	}
+
+	for k := sched.K0; k <= sched.Lambda; k++ {
+		t := epsContract / float64(n) * math.Pow(2, float64(k))
+		hi := math.Pow(2, float64(k+1))
+		if !b.relevant(t, hi) {
+			continue
+		}
+		res.RelevantScales++
+		if err := b.enterScale(k, t, hi, res, add); err != nil {
+			return nil, err
+		}
+	}
+
+	res.H = hopset.Assemble(ng, sched, hp, factor, edges, paths)
+	return res, nil
+}
+
+type ksBuilder struct {
+	g  *graph.Graph
+	n  int
+	p  Params
+	tr *pram.Tracker
+
+	// Laminar node state, carried between relevant scales: the node of a
+	// vertex is identified by its previous component label; its center and
+	// size are tracked per vertex for O(1) lookup.
+	prevLabel  []int32
+	nodeCenter []int32
+	nodeSize   []int32
+}
+
+// relevant reports whether any edge weight lies in (t, hi] — the relevance
+// test of Appendix C.4.
+func (b *ksBuilder) relevant(t, hi float64) bool {
+	for _, e := range b.g.Edges {
+		if e.W > t && e.W <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// enterScale processes one relevant scale: updates the laminar node family
+// and stars, builds the node graph and its hopset, and maps edges back.
+func (b *ksBuilder) enterScale(k int, t, hi float64, res *Result, add func(hopset.Edge, []hopset.PathStep)) error {
+	f := conncomp.Build(b.g, t, b.tr)
+	rootDist := f.RootDist(b.tr)
+
+	// --- Node family update + star edges (Appendix C.3). ---
+	// Children of each new component, in deterministic order.
+	childrenOf := map[int32][]int32{} // new label -> distinct prev labels
+	seen := map[[2]int32]bool{}
+	for v := 0; v < b.n; v++ {
+		key := [2]int32{f.Label[v], b.prevLabel[v]}
+		if !seen[key] {
+			seen[key] = true
+			childrenOf[f.Label[v]] = append(childrenOf[f.Label[v]], b.prevLabel[v])
+		}
+	}
+	newLabels := make([]int32, 0, len(childrenOf))
+	for l := range childrenOf {
+		newLabels = append(newLabels, l)
+	}
+	sort.Slice(newLabels, func(i, j int) bool { return newLabels[i] < newLabels[j] })
+
+	centerOfLabel := make(map[int32]int32, len(newLabels))
+	sizeOfLabel := make(map[int32]int32, len(newLabels))
+	for _, l := range newLabels {
+		children := childrenOf[l]
+		sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+		// Largest child (ties: smaller center ID) donates its center.
+		best := children[0]
+		for _, c := range children[1:] {
+			if b.nodeSize[c] > b.nodeSize[best] ||
+				(b.nodeSize[c] == b.nodeSize[best] && b.nodeCenter[c] < b.nodeCenter[best]) {
+				best = c
+			}
+		}
+		center := b.nodeCenter[best]
+		var size int32
+		for _, c := range children {
+			size += b.nodeSize[c]
+		}
+		centerOfLabel[l] = center
+		sizeOfLabel[l] = size
+		if len(children) == 1 {
+			continue // unchanged node: no new stars
+		}
+		// Star edges to every vertex outside the largest child.
+		for v := int32(0); int(v) < b.n; v++ {
+			if f.Label[v] != l || b.prevLabel[v] == best {
+				continue
+			}
+			w := rootDist[v] + rootDist[center]
+			if w <= 0 {
+				continue // v is the center itself (cannot happen: center ∈ best)
+			}
+			var path []hopset.PathStep
+			if b.p.RecordPaths {
+				path = treeWalk(f, center, v)
+			}
+			add(hopset.Edge{
+				U: center, V: v, W: w,
+				Scale: int16(k), Kind: hopset.Star,
+			}, path)
+			res.Stars++
+		}
+	}
+	// Commit the laminar state.
+	for v := 0; v < b.n; v++ {
+		l := f.Label[v]
+		b.prevLabel[v] = l
+		b.nodeCenter[v] = centerOfLabel[l]
+		b.nodeSize[v] = sizeOfLabel[l]
+	}
+
+	// --- Node graph (eq. (21), with the factor-2 padding). ---
+	type pair = [2]int32
+	minEdge := map[pair]graph.Edge{}
+	for _, e := range b.g.Edges {
+		if e.W <= t || e.W > hi {
+			continue
+		}
+		lu, lv := f.Label[e.U], f.Label[e.V]
+		if lu == lv {
+			continue
+		}
+		if lu > lv {
+			lu, lv = lv, lu
+		}
+		key := pair{lu, lv}
+		if cur, ok := minEdge[key]; !ok || e.W < cur.W ||
+			(e.W == cur.W && (e.U < cur.U || (e.U == cur.U && e.V < cur.V))) {
+			minEdge[key] = e
+		}
+	}
+	if len(minEdge) == 0 {
+		return nil // no inter-node edges at this scale
+	}
+	// Non-isolated node labels, re-indexed densely and deterministically.
+	labelSet := map[int32]bool{}
+	for key := range minEdge {
+		labelSet[key[0]] = true
+		labelSet[key[1]] = true
+	}
+	labels := make([]int32, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	idxOf := make(map[int32]int32, len(labels))
+	for i, l := range labels {
+		idxOf[l] = int32(i)
+	}
+	res.NodeCount += int64(len(labels))
+
+	keys := make([]pair, 0, len(minEdge))
+	for key := range minEdge {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	nodeEdges := make([]graph.Edge, 0, len(keys))
+	for _, key := range keys {
+		orig := minEdge[key]
+		pad := 2 * float64(sizeOfLabel[key[0]]+sizeOfLabel[key[1]]) * t
+		nodeEdges = append(nodeEdges, graph.E(idxOf[key[0]], idxOf[key[1]], orig.W+pad))
+	}
+	res.NodeEdgeCount += int64(len(nodeEdges))
+	if len(labels) < 2 {
+		return nil
+	}
+	nodeGraph, err := graph.FromEdges(len(labels), nodeEdges)
+	if err != nil {
+		return fmt.Errorf("scaling: scale %d node graph: %w", k, err)
+	}
+
+	// --- Per-scale hopset (Appendix C.4.2) and mapping back. ---
+	hp := hopset.Params{
+		Epsilon: b.p.Epsilon / 2, Kappa: b.p.Kappa, Rho: b.p.Rho,
+		EffectiveBeta: b.p.EffectiveBeta, RecordPaths: b.p.RecordPaths,
+	}
+	hk, err := hopset.Build(nodeGraph, hp, b.tr)
+	if err != nil {
+		return fmt.Errorf("scaling: scale %d hopset: %w", k, err)
+	}
+	fk := hk.ScaleFactor
+	// Node-graph scales covering original distances (2^k, 2^{k+1}]
+	// (widened one scale each way for the contraction distortion).
+	lo := math.Pow(2, float64(k)) / fk
+	kkLo := int(math.Floor(math.Log2(lo))) - 1
+	kkHi := int(math.Floor(math.Log2(lo*2))) + 1
+
+	exp := &expander{b: b, f: f, hk: hk, fk: fk,
+		labels: labels, minEdge: minEdge, centerOfLabel: centerOfLabel,
+		memo: map[int32][]hopset.PathStep{}}
+	for i, e := range hk.Edges {
+		if int(e.Scale) < kkLo || int(e.Scale) > kkHi {
+			continue
+		}
+		cu := centerOfLabel[labels[e.U]]
+		cv := centerOfLabel[labels[e.V]]
+		if cu == cv {
+			continue
+		}
+		var path []hopset.PathStep
+		if b.p.RecordPaths {
+			path = exp.edgePath(int32(i))
+		}
+		add(hopset.Edge{
+			U: cu, V: cv, W: e.W * fk,
+			Scale: int16(k), Phase: e.Phase, Kind: e.Kind,
+		}, path)
+		res.MappedEdges++
+	}
+	return nil
+}
+
+// treeWalk returns the original-graph walk from a to b through their common
+// component root in the forest f, as PathSteps (weights in original units).
+func treeWalk(f *conncomp.Forest, a, b int32) []hopset.PathStep {
+	if a == b {
+		return nil
+	}
+	up := f.TreePath(a)   // a … root
+	down := f.TreePath(b) // b … root
+	// Trim the common suffix (keep one shared vertex): shortens the walk to
+	// the actual tree path; pure optimization, both are sound.
+	for len(up) >= 2 && len(down) >= 2 && up[len(up)-2] == down[len(down)-2] {
+		up = up[:len(up)-1]
+		down = down[:len(down)-1]
+	}
+	var steps []hopset.PathStep
+	for i := 0; i+1 < len(up); i++ {
+		steps = append(steps, hopset.PathStep{To: up[i+1], W: f.ParentW[up[i]], HEdge: -1})
+	}
+	for i := len(down) - 1; i >= 1; i-- {
+		steps = append(steps, hopset.PathStep{To: down[i-1], W: f.ParentW[down[i-1]], HEdge: -1})
+	}
+	return steps
+}
+
+// expander lazily expands node-graph hopset edges into original-graph
+// paths (Appendix D's memory arrays, eagerly materialized).
+type expander struct {
+	b             *ksBuilder
+	f             *conncomp.Forest
+	hk            *hopset.Hopset
+	fk            float64
+	labels        []int32
+	minEdge       map[[2]int32]graph.Edge
+	centerOfLabel map[int32]int32
+	memo          map[int32][]hopset.PathStep
+}
+
+// edgePath returns the original-graph path realizing node-hopset edge idx,
+// oriented from center(U) to center(V), weights in original units.
+func (x *expander) edgePath(idx int32) []hopset.PathStep {
+	if p, ok := x.memo[idx]; ok {
+		return p
+	}
+	e := x.hk.Edges[idx]
+	var out []hopset.PathStep
+	cur := e.U // node-graph vertex
+	for _, s := range x.hk.Paths[idx] {
+		if s.HEdge >= 0 {
+			sub := x.edgePath(s.HEdge)
+			se := x.hk.Edges[s.HEdge]
+			if se.U == cur { // forward
+				out = append(out, sub...)
+			} else {
+				start := x.centerOfLabel[x.labels[se.U]]
+				out = append(out, hopset.ReversePath(start, sub)...)
+			}
+		} else {
+			out = append(out, x.basePath(cur, s.To)...)
+		}
+		cur = s.To
+	}
+	x.memo[idx] = out
+	return out
+}
+
+// basePath expands the node-graph base edge (a, b) — node indices — into
+// center(a) → x → y → center(b) with tree walks on both sides.
+func (x *expander) basePath(a, b int32) []hopset.PathStep {
+	la, lb := x.labels[a], x.labels[b]
+	key := [2]int32{la, lb}
+	if la > lb {
+		key = [2]int32{lb, la}
+	}
+	orig, ok := x.minEdge[key]
+	if !ok {
+		panic(fmt.Sprintf("scaling: no realizing edge for node pair (%d,%d)", la, lb))
+	}
+	// Orient the original edge: its endpoint inside node a first.
+	eu, ev := orig.U, orig.V
+	if x.f.Label[eu] != la {
+		eu, ev = ev, eu
+	}
+	steps := treeWalk(x.f, x.centerOfLabel[la], eu)
+	steps = append(steps, hopset.PathStep{To: ev, W: orig.W, HEdge: -1})
+	return append(steps, treeWalk(x.f, ev, x.centerOfLabel[lb])...)
+}

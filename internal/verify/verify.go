@@ -1,0 +1,247 @@
+// Package verify provides independent checkers for every guarantee the
+// paper proves. They are deliberately implemented against ground truth
+// (exact Dijkstra, materialized virtual graphs) rather than sharing code
+// with the construction, so a bug in the construction cannot hide inside
+// its own verifier. Used by the test suite, the experiment harness, and
+// cmd/verify.
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adj"
+	"repro/internal/bmf"
+	"repro/internal/cluster"
+	"repro/internal/exact"
+	"repro/internal/hopset"
+	"repro/internal/limbfs"
+	"repro/internal/pathrep"
+)
+
+// Report is the outcome of a verification pass.
+type Report struct {
+	Checked int     // individual facts checked
+	Worst   float64 // worst observed ratio where applicable (e.g. stretch)
+}
+
+// Soundness verifies the no-shortcut invariant (Lemmas 2.3/2.9): every
+// hopset edge weighs at least the true distance between its endpoints in
+// the normalized base graph. This is the property that makes d_{G∪H} = d_G.
+func Soundness(h *hopset.Hopset) (Report, error) {
+	rep := Report{Worst: 1}
+	byU := map[int32][]hopset.Edge{}
+	for _, e := range h.Edges {
+		byU[e.U] = append(byU[e.U], e)
+	}
+	for u, es := range byU {
+		dist, _ := exact.DijkstraGraph(h.G, u)
+		for _, e := range es {
+			rep.Checked++
+			if e.W < dist[e.V]-1e-9 {
+				return rep, fmt.Errorf("edge (%d,%d) kind=%v scale=%d: weight %v below exact distance %v",
+					e.U, e.V, e.Kind, e.Scale, e.W, dist[e.V])
+			}
+			if dist[e.V] > 0 {
+				if r := e.W / dist[e.V]; r > rep.Worst {
+					rep.Worst = r
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Stretch verifies Theorem 3.8's upper bound: from every given source, the
+// budget-round Bellman–Ford distances over G ∪ H are within (1+eps) of
+// exact, and never below exact. Returns the worst observed ratio.
+func Stretch(h *hopset.Hopset, eps float64, budget int, sources []int32) (Report, error) {
+	rep := Report{Worst: 1}
+	a := adj.Build(h.G, h.Extras())
+	for _, s := range sources {
+		ref, _ := exact.DijkstraGraph(h.G, s)
+		res := bmf.Run(a, []int32{s}, budget, nil)
+		for v := 0; v < h.G.N; v++ {
+			if math.IsInf(ref[v], 1) {
+				if !math.IsInf(res.Dist[v], 1) {
+					return rep, fmt.Errorf("source %d: vertex %d reachable only through the hopset", s, v)
+				}
+				continue
+			}
+			rep.Checked++
+			if res.Dist[v] < ref[v]-1e-9 {
+				return rep, fmt.Errorf("source %d vertex %d: %v undershoots exact %v", s, v, res.Dist[v], ref[v])
+			}
+			if ref[v] > 0 {
+				if r := res.Dist[v] / ref[v]; r > rep.Worst {
+					rep.Worst = r
+				}
+			}
+		}
+	}
+	if rep.Worst > 1+eps+1e-9 {
+		return rep, fmt.Errorf("stretch %.6f exceeds 1+ε = %.6f at budget %d", rep.Worst, 1+eps, budget)
+	}
+	return rep, nil
+}
+
+// SizeBounds verifies eq. (9)/(10): per-scale sizes ≤ n^{1+1/κ} and the
+// total ≤ ⌈log Λ⌉·n^{1+1/κ}. Star edges (weight reduction) are checked
+// against the n·log n bound of eq. (24) instead.
+func SizeBounds(h *hopset.Hopset) (Report, error) {
+	rep := Report{}
+	kappa := h.Params.Kappa
+	if kappa == 0 {
+		kappa = 3
+	}
+	perScale := map[int]int{}
+	stars := 0
+	for _, e := range h.Edges {
+		if e.Kind == hopset.Star {
+			stars++
+			continue
+		}
+		perScale[int(e.Scale)]++
+	}
+	bound := hopset.SizeBound(h.G.N, kappa)
+	for k, cnt := range perScale {
+		rep.Checked++
+		// The weight-reduction mapping may fold up to a handful of
+		// node-graph scales into one original scale; allow 4×.
+		if float64(cnt) > 4*bound {
+			return rep, fmt.Errorf("scale %d: %d edges exceed 4·n^{1+1/κ} = %.0f", k, cnt, 4*bound)
+		}
+	}
+	if sb := float64(h.G.N) * math.Log2(float64(h.G.N)); float64(stars) > sb {
+		return rep, fmt.Errorf("star edges %d exceed n·log n = %.0f (eq. 24)", stars, sb)
+	}
+	total := float64(len(h.Edges))
+	if tb := float64(h.Sched.Lambda+1)*bound + float64(h.G.N)*math.Log2(float64(h.G.N)); total > 4*tb {
+		return rep, fmt.Errorf("total size %d exceeds 4·(⌈logΛ⌉·n^{1+1/κ} + n·log n) = %.0f", len(h.Edges), 4*tb)
+	}
+	return rep, nil
+}
+
+// SPT verifies a shortest-path tree against the hopset's graph: structure
+// (via spt.Validate) plus the (1+eps) distance guarantee against Dijkstra.
+// Distances must be in the tree's unit scale (spt.Scale × normalized).
+func SPT(h *hopset.Hopset, spt *pathrep.SPT, eps float64) (Report, error) {
+	rep := Report{Worst: 1}
+	if err := spt.Validate(h); err != nil {
+		return rep, err
+	}
+	ref, _ := exact.DijkstraGraph(h.G, spt.Source)
+	scale := spt.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	for v := 0; v < h.G.N; v++ {
+		if math.IsInf(ref[v], 1) {
+			continue
+		}
+		rep.Checked++
+		want := ref[v] * scale
+		if spt.Dist[v] < want-1e-6*math.Max(1, want) {
+			return rep, fmt.Errorf("vertex %d: tree distance %v below exact %v", v, spt.Dist[v], want)
+		}
+		if want > 0 {
+			if r := spt.Dist[v] / want; r > rep.Worst {
+				rep.Worst = r
+			}
+		}
+	}
+	if rep.Worst > 1+eps+1e-9 {
+		return rep, fmt.Errorf("tree stretch %.6f exceeds 1+ε", rep.Worst)
+	}
+	return rep, nil
+}
+
+// RulingSet verifies Corollary B.4 against the *materialized* virtual graph
+// (brute-force boundary distances): q must be 3-separated and must rule w
+// within radius 2·idBits. Intended for small instances.
+func RulingSet(e *limbfs.Explorer, w, q []int32, idBits int) (Report, error) {
+	rep := Report{}
+	bd := limbfs.Exact(e.A, e.Part, e.HopCap, e.DistCap)
+	P := e.Part.Len()
+	// BFS distances in G̃.
+	virt := func(s int32) []int {
+		d := make([]int, P)
+		for i := range d {
+			d[i] = math.MaxInt32
+		}
+		d[s] = 0
+		queue := []int32{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for u := int32(0); int(u) < P; u++ {
+				if u != v && d[u] == math.MaxInt32 && bd[v][u] <= e.DistCap {
+					d[u] = d[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		return d
+	}
+	dist := make(map[int32][]int, len(q))
+	for _, c := range q {
+		dist[c] = virt(c)
+	}
+	for i := 0; i < len(q); i++ {
+		for j := i + 1; j < len(q); j++ {
+			rep.Checked++
+			if dist[q[i]][q[j]] < 3 {
+				return rep, fmt.Errorf("ruling clusters %d and %d at virtual distance %d < 3", q[i], q[j], dist[q[i]][q[j]])
+			}
+		}
+	}
+	for _, c := range w {
+		rep.Checked++
+		best := math.MaxInt32
+		for _, r := range q {
+			if dist[r][c] < best {
+				best = dist[r][c]
+			}
+		}
+		if best > 2*idBits {
+			return rep, fmt.Errorf("candidate %d at virtual distance %d > 2·%d from the ruling set", c, best, idBits)
+		}
+	}
+	return rep, nil
+}
+
+// Partition verifies the structural invariants of a cluster partition.
+func Partition(p *cluster.Partition) (Report, error) {
+	return Report{Checked: p.Len()}, p.Validate()
+}
+
+// All runs Structure (h.Check), Soundness, SizeBounds and Stretch with the
+// solver-default budget from three spread sources. The returned Worst is
+// the worst observed *stretch* (Soundness's weight-to-distance ratio is a
+// different quantity — legitimately above 1+ε — and is only reported by
+// Soundness directly).
+func All(h *hopset.Hopset, eps float64) (Report, error) {
+	total := Report{Worst: 1}
+	if err := h.Check(); err != nil {
+		return total, fmt.Errorf("structure: %w", err)
+	}
+	rep, err := Soundness(h)
+	if err != nil {
+		return total, fmt.Errorf("soundness: %w", err)
+	}
+	total.Checked += rep.Checked
+	rep, err = SizeBounds(h)
+	if err != nil {
+		return total, fmt.Errorf("size: %w", err)
+	}
+	total.Checked += rep.Checked
+	n := h.G.N
+	budget := h.Sched.HopBudget() * (h.Sched.Ell + 2) * 6
+	rep, err = Stretch(h, eps, budget, []int32{0, int32(n / 2), int32(n - 1)})
+	if err != nil {
+		return total, fmt.Errorf("stretch: %w", err)
+	}
+	total.Checked += rep.Checked
+	total.Worst = rep.Worst
+	return total, nil
+}

@@ -1,0 +1,156 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adj"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/hopset"
+	"repro/internal/limbfs"
+	"repro/internal/pathrep"
+	"repro/internal/ruling"
+	"repro/internal/scaling"
+)
+
+func buildH(t *testing.T, g *graph.Graph, p hopset.Params) *hopset.Hopset {
+	t.Helper()
+	h, err := hopset.Build(g, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestAllPassesOnGoodHopset(t *testing.T) {
+	g := graph.Gnm(100, 300, graph.UniformWeights(1, 5), 1)
+	h := buildH(t, g, hopset.Params{Epsilon: 0.25})
+	rep, err := All(h, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checked == 0 {
+		t.Fatal("nothing checked")
+	}
+	if rep.Worst > 1.25 {
+		t.Fatalf("worst ratio %v", rep.Worst)
+	}
+}
+
+func TestSoundnessCatchesShortcut(t *testing.T) {
+	g := graph.Gnm(60, 180, graph.UniformWeights(2, 9), 2)
+	h := buildH(t, g, hopset.Params{Epsilon: 0.25})
+	if h.Size() == 0 {
+		t.Skip("empty hopset")
+	}
+	h.Edges[0].W = 1e-6 // an illegal shortcut
+	if _, err := Soundness(h); err == nil {
+		t.Fatal("shortcut not caught")
+	} else if !strings.Contains(err.Error(), "below exact distance") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestStretchCatchesTightBudget(t *testing.T) {
+	// With a 1-round budget the hopset cannot serve far pairs: Stretch must
+	// report the violation rather than pass vacuously.
+	g := graph.Path(128, graph.UnitWeights(), 1)
+	h := buildH(t, g, hopset.Params{Epsilon: 0.25})
+	if _, err := Stretch(h, 0.25, 1, []int32{64}); err == nil {
+		t.Fatal("unreachable budget accepted")
+	}
+}
+
+func TestSizeBoundsCatchInflation(t *testing.T) {
+	g := graph.Gnm(64, 200, graph.UnitWeights(), 3)
+	h := buildH(t, g, hopset.Params{Epsilon: 0.25})
+	// Duplicate the edges far past the bound.
+	e := h.Edges
+	for i := 0; i < 60; i++ {
+		h.Edges = append(h.Edges, e...)
+	}
+	if _, err := SizeBounds(h); err == nil {
+		t.Fatal("size inflation not caught")
+	}
+}
+
+func TestSPTVerifier(t *testing.T) {
+	g := graph.Gnm(80, 240, graph.UniformWeights(1, 4), 4)
+	h := buildH(t, g, hopset.Params{Epsilon: 0.25, RecordPaths: true})
+	spt, err := pathrep.BuildSPT(h, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SPT(h, spt, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a distance: must be caught.
+	for v := range spt.Dist {
+		if spt.Parent[v] >= 0 {
+			spt.Dist[v] *= 3
+			break
+		}
+	}
+	if _, err := SPT(h, spt, 0.25); err == nil {
+		t.Fatal("corrupted SPT accepted")
+	}
+}
+
+func TestRulingSetVerifier(t *testing.T) {
+	n := 48
+	g := graph.Gnm(n, 120, graph.UniformWeights(1, 3), 5)
+	a := adj.Build(g, nil)
+	p := cluster.Singletons(n)
+	e := &limbfs.Explorer{A: a, Part: p, HopCap: 2, DistCap: 3, X: 1}
+	w := make([]int32, n)
+	for i := range w {
+		w[i] = int32(i)
+	}
+	idBits := 6
+	q := ruling.Set(e, w, idBits)
+	if _, err := RulingSet(e, w, q, idBits); err != nil {
+		t.Fatal(err)
+	}
+	// Adding an adjacent cluster breaks 3-separation.
+	if len(q) > 0 {
+		bad := append(append([]int32{}, q...), findNeighbor(t, e, q[0]))
+		if _, err := RulingSet(e, w, bad, idBits); err == nil {
+			t.Fatal("separation violation not caught")
+		}
+	}
+}
+
+func findNeighbor(t *testing.T, e *limbfs.Explorer, c int32) int32 {
+	t.Helper()
+	bd := limbfs.Exact(e.A, e.Part, e.HopCap, e.DistCap)
+	for u := int32(0); int(u) < e.Part.Len(); u++ {
+		if u != c && bd[c][u] <= e.DistCap {
+			return u
+		}
+	}
+	t.Skip("no neighbor found")
+	return -1
+}
+
+func TestPartitionVerifier(t *testing.T) {
+	p := cluster.Singletons(5)
+	if _, err := Partition(p); err != nil {
+		t.Fatal(err)
+	}
+	p.ClusterOf[2] = 4 // corrupt
+	if _, err := Partition(p); err == nil {
+		t.Fatal("corruption not caught")
+	}
+}
+
+func TestAllOnWeightReducedHopset(t *testing.T) {
+	g := graph.Gnm(72, 220, graph.GeometricScaleWeights(10), 6)
+	r, err := scaling.Build(g, scaling.Params{Epsilon: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := All(r.H, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
