@@ -1,4 +1,4 @@
-// Benchmarks regenerating every experiment of EXPERIMENTS.md (E1–E14; run
+// Benchmarks regenerating every experiment of EXPERIMENTS.md (E1–E17; run
 // with -benchtime=1x — each iteration performs a full sweep), plus
 // micro-benchmarks of the substrate operations. Metrics reported via
 // b.ReportMetric are the headline numbers recorded in EXPERIMENTS.md; the
@@ -149,6 +149,8 @@ func BenchmarkE16BetaSensitivity(b *testing.B) {
 	t := runExperiment(b, harness.E16BetaSensitivity)
 	reportWorst(b, t, "max stretch", "max-stretch")
 }
+
+func BenchmarkE17Oracle(b *testing.B) { runExperiment(b, harness.E17Oracle) }
 
 // --- Micro-benchmarks of the substrates and core operations. ---
 

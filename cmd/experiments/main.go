@@ -1,7 +1,8 @@
 // Command experiments regenerates every experiment table of
-// EXPERIMENTS.md (E1–E14), the reproduction of the paper's theorem-level
-// claims. -quick runs the reduced sweeps used in tests; the default runs
-// the full sweeps recorded in EXPERIMENTS.md (several minutes).
+// EXPERIMENTS.md (E1–E17), the reproduction of the paper's theorem-level
+// claims plus the oracle engine checks. -quick runs the reduced sweeps
+// used in tests; the default runs the full sweeps recorded in
+// EXPERIMENTS.md (several minutes).
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		{"E11", harness.E11HopReduction}, {"E12", harness.E12Speedup},
 		{"E13", harness.E13Radii}, {"E14", harness.E14Ledger},
 		{"E15", harness.E15WeightModes}, {"E16", harness.E16BetaSensitivity},
+		{"E17", harness.E17Oracle},
 	}
 	want := map[string]bool{}
 	if *only != "" {

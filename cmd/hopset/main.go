@@ -1,6 +1,6 @@
-// Command hopset builds a deterministic (1+ε, β)-hopset for a graph and
-// prints its statistics: size per scale and kind, the parameter schedule,
-// the per-phase ledger, and PRAM depth/work accounting.
+// Command hopset builds a deterministic (1+ε, β)-hopset through the oracle
+// engine and prints its statistics: size per scale and kind, the parameter
+// schedule, the per-phase ledger, and PRAM depth/work accounting.
 //
 // Usage:
 //
@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hopset"
 	"repro/internal/pram"
+	"repro/oracle"
 )
 
 func main() {
@@ -38,6 +40,7 @@ func main() {
 		verbose = flag.Bool("v", false, "print the per-phase ledger")
 		outG    = flag.String("out-graph", "", "write the (normalized) graph to this file")
 		outH    = flag.String("out-hopset", "", "write the hopset to this file (verify with cmd/verify)")
+		outS    = flag.String("out-snapshot", "", "write an engine snapshot (serve with cmd/serve -snapshot)")
 	)
 	flag.Parse()
 
@@ -45,18 +48,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	p := hopset.Params{
-		Epsilon: *eps, Kappa: *kappa, Rho: *rho, EffectiveBeta: *beta,
-		RecordPaths: *paths,
+	tr := pram.New()
+	opts := []oracle.Option{
+		oracle.WithEpsilon(*eps), oracle.WithKappa(*kappa), oracle.WithRho(*rho),
+		oracle.WithEffectiveBeta(*beta), oracle.WithTracker(tr),
+	}
+	if *paths {
+		opts = append(opts, oracle.WithPathReporting())
 	}
 	if *strict {
-		p.Weights = hopset.WeightStrict
+		opts = append(opts, oracle.WithStrictWeights())
 	}
-	tr := pram.New()
-	h, err := hopset.Build(g, p, tr)
+	eng, err := oracle.New(g, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	h := eng.Hopset()
 
 	fmt.Printf("graph: n=%d m=%d aspect≤%.3g\n", g.N, g.M(), g.AspectRatioUpperBound())
 	s := h.Sched
@@ -83,12 +90,17 @@ func main() {
 	}
 	fmt.Printf("pram: %v\n", tr.Snapshot())
 	if *outG != "" {
-		if err := writeFile(*outG, func(f *os.File) error { return graph.Encode(f, h.G) }); err != nil {
+		if err := writeFile(*outG, func(f io.Writer) error { return graph.Encode(f, h.G) }); err != nil {
 			log.Fatal(err)
 		}
 	}
 	if *outH != "" {
-		if err := writeFile(*outH, func(f *os.File) error { return hopset.Encode(f, h) }); err != nil {
+		if err := writeFile(*outH, func(f io.Writer) error { return hopset.Encode(f, h) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *outS != "" {
+		if err := writeFile(*outS, eng.SaveSnapshot); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -102,7 +114,7 @@ func main() {
 	}
 }
 
-func writeFile(path string, write func(*os.File) error) error {
+func writeFile(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

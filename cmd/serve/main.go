@@ -1,0 +1,110 @@
+// Command serve runs the distance-oracle engine as an HTTP/JSON service —
+// the build-once / query-many deployment the hopset construction is made
+// for: one deterministic build, then concurrent approximate-distance and
+// path queries over GET /dist, /path, /stats and /healthz.
+//
+//	serve -n 4096 -m 16384 -eps 0.25 -addr :8080
+//	serve -in graph.txt -paths -batch 2ms
+//	serve -snapshot oracle.snap            # skip the build entirely
+//
+// With -save-snapshot the freshly built engine is persisted first, so the
+// next start can use -snapshot and come up without rebuilding.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/graph"
+	"repro/oracle"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		in    = flag.String("in", "", "input graph file (empty: generate gnm)")
+		n     = flag.Int("n", 4096, "vertices (generated)")
+		m     = flag.Int("m", 16384, "edges (generated)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		eps   = flag.Float64("eps", 0.25, "stretch target ε")
+		paths = flag.Bool("paths", true, "record memory paths (enables /path)")
+		cache = flag.Int("cache", 256, "distance-vector LRU capacity")
+		batch = flag.Duration("batch", 0, "dist-query coalescing window (0 = off)")
+		snap  = flag.String("snapshot", "", "load a SaveSnapshot file instead of building")
+		save  = flag.String("save-snapshot", "", "persist the built engine to this file")
+	)
+	flag.Parse()
+
+	serveOpts := []oracle.Option{
+		oracle.WithDistCache(*cache),
+		oracle.WithBatchWindow(*batch),
+	}
+
+	var eng *oracle.Engine
+	start := time.Now()
+	switch {
+	case *snap != "":
+		f, err := os.Open(*snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err = oracle.LoadSnapshot(f, serveOpts...)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded snapshot %s in %v", *snap, time.Since(start).Round(time.Millisecond))
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := append(buildOpts(*eps, *paths), serveOpts...)
+		eng, err = oracle.LoadGraph(f, opts...)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		g := graph.Gnm(*n, *m, graph.UniformWeights(1, 8), *seed)
+		var err error
+		eng, err = oracle.New(g, append(buildOpts(*eps, *paths), serveOpts...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	h := eng.Hopset()
+	log.Printf("engine ready in %v: n=%d m=%d hopset=%d edges, query budget %d rounds",
+		time.Since(start).Round(time.Millisecond), h.G.N, h.G.M(), h.Size(), eng.HopBudget())
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.SaveSnapshot(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("snapshot written to %s", *save)
+	}
+
+	log.Printf("listening on %s (GET /dist /path /stats /healthz)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, oracle.NewHandler(eng)))
+}
+
+func buildOpts(eps float64, paths bool) []oracle.Option {
+	opts := []oracle.Option{oracle.WithEpsilon(eps)}
+	if paths {
+		opts = append(opts, oracle.WithPathReporting())
+	}
+	return opts
+}

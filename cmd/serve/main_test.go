@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/oracle"
+)
+
+// TestServeDistEndToEnd wires the same pipeline as main() — generate a
+// graph, build the engine, mount the handler — and answers a /dist
+// request over real HTTP.
+func TestServeDistEndToEnd(t *testing.T) {
+	g := graph.Gnm(256, 1024, graph.UniformWeights(1, 8), 1)
+	eng, err := oracle.New(g, append(buildOpts(0.25, true), oracle.WithDistCache(64))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(oracle.NewHandler(eng))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/dist?source=0&target=255")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Source int32    `json:"source"`
+		Target int32    `json:"target"`
+		Dist   *float64 `json:"dist"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Source != 0 || out.Target != 255 {
+		t.Errorf("echoed vertices %d→%d", out.Source, out.Target)
+	}
+	if out.Dist == nil || *out.Dist <= 0 {
+		t.Errorf("dist = %v, want a positive finite distance", out.Dist)
+	}
+}
+
+// TestServeSnapshotRestart exercises the -save-snapshot → -snapshot
+// restart path: the revived engine answers identically over HTTP.
+func TestServeSnapshotRestart(t *testing.T) {
+	g := graph.Gnm(200, 800, graph.UniformWeights(1, 8), 2)
+	eng, err := oracle.New(g, buildOpts(0.25, false)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "oracle.snap")
+	f, err := os.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revived, err := oracle.LoadSnapshot(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.DistTo(0, 199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := revived.DistTo(0, 199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("revived DistTo = %v, want %v", got, want)
+	}
+}

@@ -1,7 +1,8 @@
 // Command sssp computes deterministic (1+ε)-approximate single-source
-// shortest paths (Theorem 3.8) and compares them against exact Dijkstra:
-// it prints the measured stretch distribution, the hop budget used, and —
-// with -spt — extracts and validates a (1+ε)-shortest-path tree (§4).
+// shortest paths (Theorem 3.8) through the oracle engine and compares them
+// against exact Dijkstra: it prints the measured stretch distribution, the
+// hop budget used, and — with -spt — extracts and validates a
+// (1+ε)-shortest-path tree (§4).
 package main
 
 import (
@@ -11,10 +12,10 @@ import (
 	"math"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/pram"
+	"repro/oracle"
 )
 
 func main() {
@@ -54,21 +55,26 @@ func main() {
 	}
 
 	tr := pram.New()
-	solver, err := core.New(g, core.Options{
-		Epsilon: *eps, PathReporting: *spt, WeightReduction: *ks, Tracker: tr,
-	})
+	opts := []oracle.Option{oracle.WithEpsilon(*eps), oracle.WithTracker(tr)}
+	if *spt {
+		opts = append(opts, oracle.WithPathReporting())
+	}
+	if *ks {
+		opts = append(opts, oracle.WithWeightReduction())
+	}
+	eng, err := oracle.New(g, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	build := tr.Snapshot()
 	fmt.Printf("graph: n=%d m=%d | hopset: %d edges | build %v\n",
-		g.N, g.M(), solver.Hopset().Size(), build)
+		g.N, g.M(), eng.Hopset().Size(), build)
 
 	sources := make([]int32, *nsrc)
 	for i := range sources {
 		sources[i] = int32((*src + i*g.N / *nsrc) % g.N)
 	}
-	rows, err := solver.ApproxMultiSource(sources)
+	rows, err := eng.MultiSource(sources)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,10 +83,10 @@ func main() {
 		reportStretch(fmt.Sprintf("source %d", s), rows[i], ref, *eps)
 	}
 	fmt.Printf("query budget: %d rounds | pram after queries: %v\n",
-		solver.HopBudget(), tr.Snapshot())
+		eng.HopBudget(), tr.Snapshot())
 
 	if *spt {
-		tree, err := solver.SPT(sources[0])
+		tree, err := eng.Tree(sources[0])
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -90,7 +96,7 @@ func main() {
 				edges++
 			}
 		}
-		fmt.Printf("SPT: %d tree edges (all in E), peel rounds %d\n", edges, tree.PeelRounds)
+		fmt.Printf("SPT: %d tree edges (all in E)\n", edges)
 		ref, _ := exact.DijkstraGraph(g, sources[0])
 		reportStretch("SPT", tree.Dist, ref, *eps)
 	}

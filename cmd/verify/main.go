@@ -1,10 +1,12 @@
 // Command verify validates a hopset artifact against its graph: structural
 // checks, the no-shortcut invariant (Lemmas 2.3/2.9), size ledgers
 // (eqs. 9/10/24), and the (1+ε) stretch guarantee (Theorem 3.8) — all
-// against independently computed ground truth. With no input files it
-// builds a fresh hopset and verifies it (a self-test).
+// against independently computed ground truth. It accepts a graph+hopset
+// pair, an oracle engine snapshot, or — with no input files — builds a
+// fresh engine and verifies its hopset (a self-test).
 //
 //	verify -graph g.txt -hopset h.txt -eps 0.25
+//	verify -snapshot oracle.snap -eps 0.25
 //	verify -n 1024 -m 4096 -eps 0.25
 package main
 
@@ -17,6 +19,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hopset"
 	"repro/internal/verify"
+	"repro/oracle"
 )
 
 func main() {
@@ -25,6 +28,7 @@ func main() {
 	var (
 		graphFile  = flag.String("graph", "", "graph file (text format)")
 		hopsetFile = flag.String("hopset", "", "hopset file (text format)")
+		snapFile   = flag.String("snapshot", "", "oracle engine snapshot (from cmd/serve or cmd/hopset)")
 		n          = flag.Int("n", 512, "vertices for the self-test graph")
 		m          = flag.Int("m", 2048, "edges for the self-test graph")
 		seed       = flag.Int64("seed", 1, "self-test seed")
@@ -34,6 +38,18 @@ func main() {
 
 	var h *hopset.Hopset
 	switch {
+	case *snapFile != "":
+		f, err := os.Open(*snapFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := oracle.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		h = eng.Hopset()
+		fmt.Printf("loaded snapshot: graph n=%d m=%d, hopset %d edges\n", h.G.N, h.G.M(), h.Size())
 	case *graphFile != "" && *hopsetFile != "":
 		gf, err := os.Open(*graphFile)
 		if err != nil {
@@ -57,14 +73,14 @@ func main() {
 		fmt.Printf("loaded: graph n=%d m=%d, hopset %d edges\n", g.N, g.M(), h.Size())
 	case *graphFile == "" && *hopsetFile == "":
 		g := graph.Gnm(*n, *m, graph.UniformWeights(1, 8), *seed)
-		var err error
-		h, err = hopset.Build(g, hopset.Params{Epsilon: *eps}, nil)
+		eng, err := oracle.New(g, oracle.WithEpsilon(*eps))
 		if err != nil {
 			log.Fatal(err)
 		}
+		h = eng.Hopset()
 		fmt.Printf("self-test: built hopset with %d edges for n=%d m=%d\n", h.Size(), g.N, g.M())
 	default:
-		log.Fatal("provide both -graph and -hopset, or neither")
+		log.Fatal("provide both -graph and -hopset, or neither (or -snapshot)")
 	}
 
 	rep, err := verify.All(h, *eps)

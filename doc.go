@@ -4,10 +4,13 @@
 //	"Deterministic PRAM Approximate Shortest Paths in Polylogarithmic Time
 //	 and Slightly Super-Linear Work", SPAA 2021 (arXiv:2009.14729).
 //
-// The library lives under internal/: package internal/core is the public
-// facade (build a deterministic hopset, query (1+ε)-approximate distances
-// and shortest-path trees); DESIGN.md maps every paper component to its
-// package; EXPERIMENTS.md records the measured reproduction of every
-// theorem-level claim. The benchmarks in bench_test.go regenerate each
-// experiment (run with -benchtime=1x).
+// Package oracle is the public facade: a build-once / query-many distance
+// oracle — build a deterministic hopset once, then serve concurrent
+// (1+ε)-approximate distance, path and shortest-path-tree queries with
+// LRU caching, query batching, snapshots and an HTTP handler (cmd/serve).
+// The algorithmic layers live under internal/, wrapped by internal/core.
+// DESIGN.md maps every paper component to its package; EXPERIMENTS.md
+// records the measured reproduction of every theorem-level claim. The
+// benchmarks in bench_test.go regenerate each experiment (run with
+// -benchtime=1x).
 package repro

@@ -1,34 +1,35 @@
-// Quickstart: build a deterministic hopset for a random graph, query
-// (1+ε)-approximate single-source distances, and compare with exact
-// Dijkstra — the minimal end-to-end use of the library (Theorems 3.7/3.8).
+// Quickstart: build a distance-oracle engine over a random graph, query
+// (1+ε)-approximate distances through the public oracle API, and compare
+// with exact Dijkstra — the minimal end-to-end use of the library
+// (Theorems 3.7/3.8). The second query hits the engine's LRU cache.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/graph"
+	"repro/oracle"
 )
 
 func main() {
 	// A connected random graph: 2 000 vertices, 8 000 weighted edges.
 	g := graph.Gnm(2000, 8000, graph.UniformWeights(1, 10), 42)
 
-	// Build the deterministic hopset (ε = 0.25: distances within 25%).
-	solver, err := core.New(g, core.Options{Epsilon: 0.25})
+	// Build the engine once (ε = 0.25: distances within 25%); every query
+	// afterwards reuses the deterministic hopset built here.
+	eng, err := oracle.New(g, oracle.WithEpsilon(0.25))
 	if err != nil {
 		log.Fatal(err)
 	}
+	h := eng.Hopset()
 	fmt.Printf("hopset: %d edges over a graph with %d edges (β=%d, %d scales)\n",
-		solver.Hopset().Size(), g.M(),
-		solver.Hopset().Sched.Beta,
-		solver.Hopset().Sched.Lambda-solver.Hopset().Sched.K0+1)
+		h.Size(), g.M(), h.Sched.Beta, h.Sched.Lambda-h.Sched.K0+1)
 
 	// Approximate distances from vertex 0 — a hop-limited Bellman–Ford
 	// over G ∪ H, the paper's query procedure.
-	dist, err := solver.ApproxDistances(0)
+	dist, err := eng.Dist(0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,5 +45,13 @@ func main() {
 		}
 	}
 	fmt.Printf("max stretch vs Dijkstra: %.4f (guarantee: ≤ 1.25)\n", worst)
-	fmt.Printf("sample: d(0, %d) ≈ %.1f (exact %.1f)\n", g.N-1, dist[g.N-1], ref[g.N-1])
+
+	// Scalar queries against the same source are cache hits.
+	d, err := eng.DistTo(0, int32(g.N-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.Stats()
+	fmt.Printf("sample: d(0, %d) ≈ %.1f (exact %.1f) | dist cache: %d hits / %d misses\n",
+		g.N-1, d, ref[g.N-1], st.DistCache.Hits, st.DistCache.Misses)
 }

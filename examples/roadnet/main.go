@@ -11,9 +11,9 @@ import (
 
 	"repro/internal/adj"
 	"repro/internal/bmf"
-	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/graph"
+	"repro/oracle"
 )
 
 func main() {
@@ -22,14 +22,14 @@ func main() {
 	g := graph.Grid(rows, cols, graph.UniformWeights(1, 3), 7)
 	fmt.Printf("road network: %d intersections, %d segments\n", g.N, g.M())
 
-	solver, err := core.New(g, core.Options{Epsilon: 0.25})
+	eng, err := oracle.New(g, oracle.WithEpsilon(0.25))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Three depots in different corners.
 	depots := []int32{0, int32(rows*cols - 1), int32(rows/2*cols + cols/2)}
-	nearest, err := solver.NearestSource(depots)
+	nearest, err := eng.Nearest(depots)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func main() {
 	src := int32(17*cols + 29) // an ordinary intersection, not a depot/center
 	exactSrc, _ := exact.DijkstraGraph(g, src)
 	plain := bmf.RoundsToApprox(adj.Build(g, nil), []int32{src}, exactSrc, 0.25, g.N, nil)
-	h := solver.Hopset()
+	h := eng.Hopset()
 	with := bmf.RoundsToApprox(adj.Build(h.G, h.Extras()), []int32{src}, exactSrc, 0.25, g.N, nil)
 	fmt.Printf("Bellman–Ford rounds to 1.25-approx from %d: %d without hopset, %d with (%.1fx fewer)\n",
 		src, plain, with, float64(plain)/float64(with))

@@ -8,9 +8,9 @@ import (
 	"log"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/graph"
+	"repro/oracle"
 )
 
 func main() {
@@ -18,17 +18,19 @@ func main() {
 	g := graph.PowerLaw(3000, 3, graph.UniformWeights(1, 4), 99)
 	fmt.Printf("social graph: %d users, %d ties, max degree %d\n", g.N, g.M(), g.MaxDegree())
 
-	solver, err := core.New(g, core.Options{Epsilon: 0.25})
+	eng, err := oracle.New(g, oracle.WithEpsilon(0.25))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 8 landmark users spread over the ID space.
+	// 8 landmark users spread over the ID space. The engine computes the
+	// rows concurrently and caches each landmark's vector, so re-querying
+	// any landmark later is a cache hit.
 	landmarks := make([]int32, 8)
 	for i := range landmarks {
 		landmarks[i] = int32(i * g.N / len(landmarks))
 	}
-	sketch, err := solver.ApproxMultiSource(landmarks)
+	sketch, err := eng.MultiSource(landmarks)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,4 +59,8 @@ func main() {
 	}
 	ref, _ := exact.DijkstraGraph(g, u)
 	fmt.Printf("triangulated upper bound d(%d,%d) ≤ %.1f (exact %.1f)\n", u, v, upper, ref[v])
+
+	st := eng.Stats()
+	fmt.Printf("engine: %d multi-source queries, dist cache %d/%d entries\n",
+		st.MultiQueries, st.DistCache.Len, st.DistCache.Cap)
 }

@@ -9,9 +9,9 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/graph"
+	"repro/oracle"
 )
 
 func main() {
@@ -21,19 +21,19 @@ func main() {
 	minW, maxW := g.WeightRange()
 	fmt.Printf("graph: n=%d m=%d weights in [%.2g, %.2g]\n", g.N, g.M(), minW, maxW)
 
-	solver, err := core.New(g, core.Options{
-		Epsilon:         0.5,
-		PathReporting:   true,
-		WeightReduction: true,
-	})
+	eng, err := oracle.New(g,
+		oracle.WithEpsilon(0.5),
+		oracle.WithPathReporting(),
+		oracle.WithWeightReduction(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	r := solver.Reduction()
+	r := eng.Solver().Reduction()
 	fmt.Printf("reduction: %d relevant scales, %d star edges, %d mapped hopset edges\n",
 		r.RelevantScales, r.Stars, r.MappedEdges)
 
-	tree, err := solver.SPT(0)
+	tree, err := eng.Tree(0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,9 +54,13 @@ func main() {
 	}
 	fmt.Printf("SPT: %d edges (⊆ E), max stretch %.4f (≤ 1.5 guaranteed)\n", edges, worst)
 
-	// Read an actual route out of the tree.
+	// Read an actual route out of the engine; the tree built above is
+	// cached, so this Path call only walks parent pointers.
 	dest := int32(g.N - 1)
-	route := tree.PathTo(dest)
+	route, length, err := eng.Path(0, dest)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("route 0 → %d: %d hops, length %.1f (exact %.1f)\n",
-		dest, len(route)-1, tree.Dist[dest], ref[dest])
+		dest, len(route)-1, length, ref[dest])
 }

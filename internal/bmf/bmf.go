@@ -7,12 +7,38 @@ package bmf
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/adj"
 	"repro/internal/par"
 	"repro/internal/pram"
 )
+
+// scratch holds the double-buffered relaxation state of one exploration.
+// Run draws it from a sync.Pool, so a steady stream of concurrent queries
+// reuses buffers instead of allocating three O(n) arrays per call. The
+// Result arrays themselves are always freshly allocated — they escape to
+// the caller (and into caches).
+type scratch struct {
+	ndist   []float64
+	nparent []int32
+	nparc   []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// grow (re)sizes the buffers for an n-vertex exploration.
+func (sc *scratch) grow(n int) {
+	if cap(sc.ndist) < n {
+		sc.ndist = make([]float64, n)
+		sc.nparent = make([]int32, n)
+		sc.nparc = make([]int32, n)
+	}
+	sc.ndist = sc.ndist[:n]
+	sc.nparent = sc.nparent[:n]
+	sc.nparc = sc.nparc[:n]
+}
 
 // Result of one exploration.
 type Result struct {
@@ -36,6 +62,9 @@ type Result struct {
 // given sources over a. Ties are broken deterministically by
 // (distance, parent vertex, arc index), so the result — including the
 // shortest-path forest — is schedule-independent.
+//
+// Run is safe for concurrent use: a is only read, and all mutable state
+// is either freshly allocated or drawn from a pool per call.
 func Run(a *adj.Adj, sources []int32, maxRounds int, tr *pram.Tracker) *Result {
 	n := a.N
 	res := &Result{
@@ -51,9 +80,10 @@ func Run(a *adj.Adj, sources []int32, maxRounds int, tr *pram.Tracker) *Result {
 	for _, s := range sources {
 		res.Dist[s] = 0
 	}
-	ndist := make([]float64, n)
-	nparent := make([]int32, n)
-	nparc := make([]int32, n)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	sc.grow(n)
+	ndist, nparent, nparc := sc.ndist, sc.nparent, sc.nparc
 	arcs := int64(a.Arcs())
 	for round := 0; round < maxRounds; round++ {
 		var changed atomic.Bool

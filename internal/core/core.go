@@ -18,11 +18,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/adj"
 	"repro/internal/bmf"
 	"repro/internal/graph"
 	"repro/internal/hopset"
+	"repro/internal/par"
 	"repro/internal/pathrep"
 	"repro/internal/pram"
 	"repro/internal/scaling"
@@ -58,6 +61,11 @@ type Options struct {
 }
 
 // Solver answers approximate shortest-path queries over a fixed graph.
+//
+// After New returns, every field is immutable: queries only read the
+// hopset and the combined G ∪ H adjacency, and all per-query state is
+// freshly allocated or pooled, so a Solver is safe for concurrent use and
+// concurrent queries return bit-identical results to sequential ones.
 type Solver struct {
 	opts Options
 	h    *hopset.Hopset
@@ -70,6 +78,10 @@ type Solver struct {
 // ErrNeedPathReporting is returned by SPT when the solver was built
 // without Options.PathReporting.
 var ErrNeedPathReporting = errors.New("core: SPT queries require Options.PathReporting")
+
+// ErrVertexOutOfRange is wrapped by every query that receives a vertex id
+// outside [0, n).
+var ErrVertexOutOfRange = errors.New("core: vertex out of range")
 
 // New builds the hopset for g and returns a query-ready solver.
 func New(g *graph.Graph, opts Options) (*Solver, error) {
@@ -108,6 +120,33 @@ func New(g *graph.Graph, opts Options) (*Solver, error) {
 	return s, nil
 }
 
+// Attach wraps an already-built hopset (typically decoded from a snapshot
+// via hopset.Decode) in a query-ready Solver without rebuilding anything.
+// Build-shaping options are recovered from h.Params; tr may be nil.
+// Hopsets assembled by the Klein–Sairam reduction are not supported: their
+// query budget depends on reduction state the hopset does not carry.
+func Attach(h *hopset.Hopset, tr *pram.Tracker) (*Solver, error) {
+	if h == nil || h.Sched == nil {
+		return nil, errors.New("core: Attach needs a hopset with a schedule")
+	}
+	if h.Assembled {
+		return nil, errors.New("core: Attach does not support assembled (Klein–Sairam) hopsets; their query budget is not recoverable from the hopset")
+	}
+	s := &Solver{
+		opts: Options{
+			Epsilon: h.Params.Epsilon, Kappa: h.Params.Kappa, Rho: h.Params.Rho,
+			EffectiveBeta: h.Params.EffectiveBeta,
+			PathReporting: h.Params.RecordPaths,
+			StrictWeights: h.Params.Weights == hopset.WeightStrict,
+			Tracker:       tr,
+		},
+		h: h,
+	}
+	s.budget = h.Sched.HopBudget() * (h.Sched.Ell + 2)
+	s.a = adj.Build(h.G, h.Extras())
+	return s, nil
+}
+
 // Hopset exposes the underlying hopset (provenance, ledger, schedule).
 func (s *Solver) Hopset() *hopset.Hopset { return s.h }
 
@@ -130,7 +169,9 @@ func (s *Solver) ApproxDistances(source int32) ([]float64, error) {
 
 // ApproxMultiSource answers the aMSSD problem of Theorem 3.8: approximate
 // distances from every source in S, as |S| parallel hop-limited
-// Bellman–Ford explorations. Row i corresponds to sources[i].
+// Bellman–Ford explorations. Row i corresponds to sources[i]. The rows are
+// computed concurrently (they are independent explorations over immutable
+// state), and the output is identical to running them one at a time.
 func (s *Solver) ApproxMultiSource(sources []int32) ([][]float64, error) {
 	for _, src := range sources {
 		if err := s.checkVertex(src); err != nil {
@@ -138,10 +179,41 @@ func (s *Solver) ApproxMultiSource(sources []int32) ([][]float64, error) {
 		}
 	}
 	out := make([][]float64, len(sources))
-	for i, src := range sources {
-		res := bmf.Run(s.a, []int32{src}, s.budget, s.opts.Tracker)
+	row := func(i int) {
+		res := bmf.Run(s.a, []int32{sources[i]}, s.budget, s.opts.Tracker)
 		out[i] = s.rescale(res.Dist)
 	}
+	// Each row already parallelizes internally (bmf.Run uses par.For), so
+	// the outer pool only overlaps per-round synchronization gaps and the
+	// small-n regime where the inner loop runs sequentially. A fraction of
+	// the worker budget keeps total goroutines near the core count instead
+	// of Workers², and bounds how many O(n) row buffers are live at once.
+	workers := par.Workers()/4 + 1
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers <= 1 {
+		for i := range sources {
+			row(i)
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sources) {
+					return
+				}
+				row(i)
+			}
+		}()
+	}
+	wg.Wait()
 	return out, nil
 }
 
@@ -171,7 +243,7 @@ func (s *Solver) SPT(source int32) (*pathrep.SPT, error) {
 	if err := s.checkVertex(source); err != nil {
 		return nil, err
 	}
-	spt, err := pathrep.BuildSPT(s.h, source, s.budget, s.opts.Tracker)
+	spt, err := pathrep.BuildSPTOn(s.h, s.a, source, s.budget, s.opts.Tracker)
 	if err != nil {
 		return nil, err
 	}
@@ -209,9 +281,15 @@ func (s *Solver) ApproxPath(u, v int32) ([]int32, float64, error) {
 	return path, tree.Dist[v], nil
 }
 
+// N returns the number of vertices of the underlying graph.
+func (s *Solver) N() int { return s.h.G.N }
+
+// PathReporting reports whether the solver supports SPT and path queries.
+func (s *Solver) PathReporting() bool { return s.opts.PathReporting }
+
 func (s *Solver) checkVertex(v int32) error {
 	if v < 0 || int(v) >= s.h.G.N {
-		return fmt.Errorf("core: vertex %d out of range [0,%d)", v, s.h.G.N)
+		return fmt.Errorf("%w: vertex %d not in [0,%d)", ErrVertexOutOfRange, v, s.h.G.N)
 	}
 	return nil
 }

@@ -38,7 +38,7 @@ func All(cfg Config) []*Table {
 		E5Depth(cfg), E6Phases(cfg), E7Stars(cfg), E8PathReport(cfg),
 		E9KleinSairam(cfg), E10Derand(cfg), E11HopReduction(cfg),
 		E12Speedup(cfg), E13Radii(cfg), E14Ledger(cfg),
-		E15WeightModes(cfg), E16BetaSensitivity(cfg),
+		E15WeightModes(cfg), E16BetaSensitivity(cfg), E17Oracle(cfg),
 	}
 }
 

@@ -21,8 +21,8 @@ func tables(t *testing.T) []*Table {
 
 func TestAllExperimentsRunQuick(t *testing.T) {
 	tables := tables(t)
-	if len(tables) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tb := range tables {

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/oracle"
+)
+
+// E17Oracle: the engine layer of package oracle — build-once/query-many.
+// Many goroutines hammer Engine.Dist over a shared engine; every answer
+// must be bit-identical to the sequential Solver's, and re-queried sources
+// must be served by the LRU cache (hits ≥ workers·srcs − srcs).
+func E17Oracle(cfg Config) *Table {
+	t := &Table{
+		ID: "E17", Title: "oracle engine: concurrent queries vs sequential solver",
+		Claim: "Engine is deterministic under concurrency; repeats hit the LRU",
+		Cols:  []string{"n", "m", "srcs", "workers", "hits", "misses", "ok"},
+	}
+	const workers = 8
+	for _, n := range cfg.sizes([]int{256}, []int{512, 1024, 2048}) {
+		g := graph.Gnm(n, 4*n, graph.UniformWeights(1, 8), cfg.Seed+int64(n))
+		eng, err := oracle.New(g, oracle.WithEpsilon(0.25), oracle.WithDistCache(64))
+		if err != nil {
+			t.AddRow(d(int64(n)), err.Error(), "", "", "", "", okFail(false))
+			continue
+		}
+		solver, err := core.New(g, core.Options{Epsilon: 0.25})
+		if err != nil {
+			t.AddRow(d(int64(n)), err.Error(), "", "", "", "", okFail(false))
+			continue
+		}
+		srcs := defaultSources(n)
+		ref := make([][]float64, len(srcs))
+		for i, s := range srcs {
+			ref[i], _ = solver.ApproxDistances(s)
+		}
+
+		identical := true
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := range srcs {
+					j := (i + w) % len(srcs) // stagger access order per worker
+					got, err := eng.Dist(srcs[j])
+					ok := err == nil && len(got) == len(ref[j])
+					for v := 0; ok && v < len(got); v++ {
+						ok = got[v] == ref[j][v]
+					}
+					if !ok {
+						mu.Lock()
+						identical = false
+						mu.Unlock()
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// A second, sequential pass must be all cache hits: every source
+		// is resident (cap 64 ≫ |srcs|) after the hammer above.
+		before := eng.Stats().DistCache.Hits
+		for i, s := range srcs {
+			got, err := eng.Dist(s)
+			if err != nil || len(got) != len(ref[i]) {
+				identical = false
+				continue
+			}
+			for v := range got {
+				if got[v] != ref[i][v] {
+					identical = false
+					break
+				}
+			}
+		}
+		st := eng.Stats()
+		cacheOK := st.DistCache.Hits-before == int64(len(srcs))
+		t.AddRow(d(int64(n)), d(int64(g.M())), d(int64(len(srcs))), d(workers),
+			d(st.DistCache.Hits), d(st.DistCache.Misses), okFail(identical && cacheOK))
+	}
+	return t
+}

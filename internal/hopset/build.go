@@ -22,13 +22,20 @@ type Hopset struct {
 
 	Edges []Edge
 	// Paths[i] is the realizing path of Edges[i] in G ∪ H_{<scale}
-	// (RecordPaths mode; nil otherwise). Its weight never exceeds... is
-	// exactly the tight weight and never below the true distance.
+	// (RecordPaths mode; nil otherwise). Its weight never exceeds the
+	// edge weight Edges[i].W — in WeightTight mode it equals it exactly —
+	// and is never below the true distance between the endpoints.
 	Paths [][]PathStep
 
 	// EpsFinal is the accumulated per-scale stretch bound ε_λ (Lemma 3.6):
 	// (1+EpsScale)^{#scales} − 1.
 	EpsFinal float64
+
+	// Assembled marks hopsets put together from externally built parts
+	// (the Klein–Sairam reduction). Their schedule is not recoverable
+	// from Params alone, so Encode refuses them and query engines must
+	// not re-derive hop budgets for them.
+	Assembled bool
 
 	Stats []PhaseStats
 
@@ -94,6 +101,7 @@ func Assemble(g *graph.Graph, sched *Schedule, p Params, scaleFactor float64, ed
 		Sched:       sched,
 		Edges:       edges,
 		Paths:       paths,
+		Assembled:   true,
 	}
 }
 

@@ -25,8 +25,13 @@ import (
 var ErrFormat = errors.New("hopset: bad format")
 
 // Encode writes h in the text format. The base graph is not included;
-// pair it with graph.Encode.
+// pair it with graph.Encode. Assembled (Klein–Sairam) hopsets are
+// refused: Decode re-derives the schedule from the stored parameters,
+// which is only valid for natively built hopsets.
 func Encode(w io.Writer, h *Hopset) error {
+	if h.Assembled {
+		return errors.New("hopset: cannot encode an assembled (Klein–Sairam) hopset; its schedule is not recoverable from parameters")
+	}
 	bw := bufio.NewWriter(w)
 	p := h.Params
 	paths := 0
@@ -111,6 +116,10 @@ func Decode(r io.Reader, g *graph.Graph) (*Hopset, error) {
 			}
 			nEdges = m
 			h = Assemble(g, sched, p, 1, make([]Edge, 0, m), nil)
+			// Encode refuses assembled hopsets, so anything being decoded
+			// was built natively: the schedule re-derived above is its
+			// real schedule, and query budgets may be recomputed from it.
+			h.Assembled = false
 			if p.RecordPaths {
 				h.Paths = make([][]PathStep, m)
 			}

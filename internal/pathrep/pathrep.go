@@ -50,7 +50,18 @@ var ErrNoPaths = errors.New("pathrep: hopset was built without RecordPaths (no m
 // BuildSPT runs Algorithm 1 on the path-reporting hopset h from the given
 // source. rounds is the Bellman–Ford hop budget over G ∪ H; 0 selects the
 // same budget the stretch experiments use ((2β+1)·(ℓ+2)).
+//
+// BuildSPT rebuilds the G ∪ H adjacency on every call; query engines that
+// hold a prebuilt adjacency should use BuildSPTOn instead.
 func BuildSPT(h *hopset.Hopset, source int32, rounds int, tr *pram.Tracker) (*SPT, error) {
+	return BuildSPTOn(h, nil, source, rounds, tr)
+}
+
+// BuildSPTOn is BuildSPT over a caller-supplied adjacency a, which must be
+// adj.Build(h.G, h.Extras()) (nil rebuilds it). The adjacency and hopset
+// are only read, and all per-query state is freshly allocated, so
+// concurrent calls sharing a are safe and return identical trees.
+func BuildSPTOn(h *hopset.Hopset, a *adj.Adj, source int32, rounds int, tr *pram.Tracker) (*SPT, error) {
 	if !h.Params.RecordPaths {
 		return nil, ErrNoPaths
 	}
@@ -61,7 +72,9 @@ func BuildSPT(h *hopset.Hopset, source int32, rounds int, tr *pram.Tracker) (*SP
 		rounds = h.Sched.HopBudget() * (h.Sched.Ell + 2)
 	}
 	n := h.G.N
-	a := adj.Build(h.G, h.Extras())
+	if a == nil {
+		a = adj.Build(h.G, h.Extras())
+	}
 	bf := bmf.Run(a, []int32{source}, rounds, tr)
 
 	// Tree state: parent vertex, the hopset edge implementing the parent

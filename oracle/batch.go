@@ -1,0 +1,93 @@
+package oracle
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// distBatcher coalesces cache-missing Dist queries: the first miss arms a
+// timer; every miss arriving within the window joins the pending set; when
+// the timer fires, all distinct pending sources are answered by one
+// multi-source exploration (the aMSSD query of Theorem 3.8) and the rows
+// are committed to the cache once and fanned out to every waiter.
+type distBatcher struct {
+	window time.Duration
+	run    func([]int32) ([][]float64, error)
+	commit func(int32, []float64)
+
+	mu      sync.Mutex
+	pending map[int32][]chan<- distResult
+	timer   *time.Timer
+
+	batches  atomic.Int64
+	batched  atomic.Int64
+	maxBatch atomic.Int64
+}
+
+type distResult struct {
+	dist []float64
+	err  error
+}
+
+func newDistBatcher(window time.Duration, run func([]int32) ([][]float64, error), commit func(int32, []float64)) *distBatcher {
+	return &distBatcher{
+		window:  window,
+		run:     run,
+		commit:  commit,
+		pending: make(map[int32][]chan<- distResult),
+	}
+}
+
+// enqueue registers a query for src and blocks until its batch is flushed.
+func (b *distBatcher) enqueue(src int32) ([]float64, error) {
+	ch := make(chan distResult, 1)
+	b.mu.Lock()
+	b.pending[src] = append(b.pending[src], ch)
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.window, b.flush)
+	}
+	b.mu.Unlock()
+	r := <-ch
+	return r.dist, r.err
+}
+
+func (b *distBatcher) flush() {
+	b.mu.Lock()
+	pending := b.pending
+	b.pending = make(map[int32][]chan<- distResult)
+	b.timer = nil
+	b.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+
+	srcs := make([]int32, 0, len(pending))
+	var waiters int64
+	for s, chans := range pending {
+		srcs = append(srcs, s)
+		waiters += int64(len(chans))
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	b.batches.Add(1)
+	b.batched.Add(waiters)
+	for {
+		cur := b.maxBatch.Load()
+		if int64(len(srcs)) <= cur || b.maxBatch.CompareAndSwap(cur, int64(len(srcs))) {
+			break
+		}
+	}
+
+	rows, err := b.run(srcs)
+	for i, s := range srcs {
+		var d []float64
+		if err == nil {
+			d = rows[i]
+			b.commit(s, d)
+		}
+		for _, ch := range pending[s] {
+			ch <- distResult{dist: d, err: err}
+		}
+	}
+}

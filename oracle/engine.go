@@ -1,0 +1,342 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/hopset"
+)
+
+// Engine is a build-once / query-many distance oracle. All methods are
+// safe for concurrent use: the hopset and adjacency built by the
+// constructor are immutable, per-query scratch is pooled, and concurrent
+// queries return bit-identical results to sequential ones (the underlying
+// construction and queries are fully deterministic).
+//
+// Cached results — the slices returned by Dist and MultiSource and the
+// Trees returned by Tree — are shared between callers and must be treated
+// as read-only.
+type Engine struct {
+	solver *core.Solver
+	n      int
+
+	distCache *lru[[]float64]
+	treeCache *lru[*Tree]
+	batcher   *distBatcher
+
+	distFlight flight[[]float64]
+	treeFlight flight[*Tree]
+
+	distQueries    atomic.Int64
+	multiQueries   atomic.Int64
+	nearestQueries atomic.Int64
+	pathQueries    atomic.Int64
+	treeQueries    atomic.Int64
+}
+
+func newEngine(solver *core.Solver, cfg config) *Engine {
+	e := &Engine{
+		solver:    solver,
+		n:         solver.N(),
+		distCache: newLRU[[]float64](cfg.distCache),
+		treeCache: newLRU[*Tree](cfg.treeCache),
+	}
+	if cfg.batchWindow > 0 {
+		e.batcher = newDistBatcher(cfg.batchWindow, solver.ApproxMultiSource, e.distCache.add)
+	}
+	return e
+}
+
+// N returns the number of vertices the engine serves.
+func (e *Engine) N() int {
+	if e == nil || e.solver == nil {
+		return 0
+	}
+	return e.n
+}
+
+// Hopset exposes the underlying hopset (size, schedule, ledger) for
+// in-module inspection and verification tooling.
+func (e *Engine) Hopset() *hopset.Hopset {
+	if e == nil || e.solver == nil {
+		return nil
+	}
+	return e.solver.Hopset()
+}
+
+// HopBudget returns the per-query Bellman–Ford round budget (0 on an
+// unbuilt engine).
+func (e *Engine) HopBudget() int {
+	if e == nil || e.solver == nil {
+		return 0
+	}
+	return e.solver.HopBudget()
+}
+
+// Solver exposes the wrapped solver, for in-module callers that need the
+// lower-level API (e.g. NearestSource reference comparisons in tests).
+func (e *Engine) Solver() *core.Solver {
+	if e == nil {
+		return nil
+	}
+	return e.solver
+}
+
+func (e *Engine) ready() error {
+	if e == nil || e.solver == nil {
+		return ErrNotBuilt
+	}
+	return nil
+}
+
+func (e *Engine) checkVertex(v int32) error {
+	if v < 0 || int(v) >= e.n {
+		return fmt.Errorf("%w: vertex %d not in [0,%d)", ErrVertexOutOfRange, v, e.n)
+	}
+	return nil
+}
+
+// Dist returns (1+ε)-approximate distances from source to every vertex
+// (+Inf for unreachable ones). The vector is served from the LRU cache
+// when possible; on a miss it is computed — coalesced with concurrent
+// misses when a batch window is configured — and cached. The returned
+// slice is shared: do not modify it.
+func (e *Engine) Dist(source int32) ([]float64, error) {
+	if err := e.ready(); err != nil {
+		return nil, err
+	}
+	if err := e.checkVertex(source); err != nil {
+		return nil, err
+	}
+	e.distQueries.Add(1)
+	if d, ok := e.distCache.get(source); ok {
+		return d, nil
+	}
+	if e.batcher != nil {
+		return e.batcher.enqueue(source)
+	}
+	return e.distFlight.do(source, func() ([]float64, error) {
+		d, err := e.solver.ApproxDistances(source)
+		if err != nil {
+			return nil, err
+		}
+		e.distCache.add(source, d)
+		return d, nil
+	})
+}
+
+// DistTo returns the (1+ε)-approximate distance from source to target
+// (+Inf when unreachable).
+func (e *Engine) DistTo(source, target int32) (float64, error) {
+	if err := e.ready(); err != nil {
+		return 0, err
+	}
+	if err := e.checkVertex(target); err != nil {
+		return 0, err
+	}
+	d, err := e.Dist(source)
+	if err != nil {
+		return 0, err
+	}
+	return d[target], nil
+}
+
+// MultiSource answers the aMSSD query of Theorem 3.8: row i is the
+// (1+ε)-approximate distance vector of sources[i]. Cached rows are reused;
+// the remaining sources share one multi-source call whose rows are
+// computed concurrently. Rows are shared: do not modify them.
+func (e *Engine) MultiSource(sources []int32) ([][]float64, error) {
+	if err := e.ready(); err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, ErrNeedSources
+	}
+	for _, s := range sources {
+		if err := e.checkVertex(s); err != nil {
+			return nil, err
+		}
+	}
+	e.multiQueries.Add(1)
+	out := make([][]float64, len(sources))
+	var missing []int32
+	missIdx := make(map[int32][]int)
+	for i, s := range sources {
+		if d, ok := e.distCache.get(s); ok {
+			out[i] = d
+			continue
+		}
+		if len(missIdx[s]) == 0 {
+			missing = append(missing, s)
+		}
+		missIdx[s] = append(missIdx[s], i)
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+	rows, err := e.solver.ApproxMultiSource(missing)
+	if err != nil {
+		return nil, err
+	}
+	for j, s := range missing {
+		e.distCache.add(s, rows[j])
+		for _, i := range missIdx[s] {
+			out[i] = rows[j]
+		}
+	}
+	return out, nil
+}
+
+// Nearest returns, per vertex, the approximate distance to the nearest of
+// the given sources, as one joint exploration (never cached — the result
+// depends on the whole source set).
+func (e *Engine) Nearest(sources []int32) ([]float64, error) {
+	if err := e.ready(); err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, ErrNeedSources
+	}
+	for _, s := range sources {
+		if err := e.checkVertex(s); err != nil {
+			return nil, err
+		}
+	}
+	e.nearestQueries.Add(1)
+	return e.solver.NearestSource(sources)
+}
+
+// Tree returns a (1+ε)-approximate shortest-path tree rooted at source,
+// with every tree edge drawn from the original graph (Theorem 4.6).
+// Requires WithPathReporting. Trees are cached and shared: read-only.
+func (e *Engine) Tree(source int32) (*Tree, error) {
+	if err := e.ready(); err != nil {
+		return nil, err
+	}
+	if !e.solver.PathReporting() {
+		return nil, ErrNeedPathReporting
+	}
+	if err := e.checkVertex(source); err != nil {
+		return nil, err
+	}
+	e.treeQueries.Add(1)
+	if t, ok := e.treeCache.get(source); ok {
+		return t, nil
+	}
+	return e.treeFlight.do(source, func() (*Tree, error) {
+		spt, err := e.solver.SPT(source)
+		if err != nil {
+			return nil, err
+		}
+		t := &Tree{
+			Source:  spt.Source,
+			Parent:  spt.Parent,
+			ParentW: spt.ParentW,
+			Dist:    spt.Dist,
+		}
+		e.treeCache.add(source, t)
+		return t, nil
+	})
+}
+
+// Path returns a concrete u–v path in the original graph whose length is
+// within (1+ε) of the true distance, together with that length. The path
+// is read out of the (cached) shortest-path tree rooted at u; a nil path
+// with +Inf length means v is unreachable. Requires WithPathReporting.
+func (e *Engine) Path(u, v int32) ([]int32, float64, error) {
+	if err := e.ready(); err != nil {
+		return nil, 0, err
+	}
+	if err := e.checkVertex(v); err != nil {
+		return nil, 0, err
+	}
+	t, err := e.Tree(u)
+	if err != nil {
+		return nil, 0, err
+	}
+	e.pathQueries.Add(1)
+	path := t.PathTo(v)
+	if path == nil {
+		return nil, math.Inf(1), nil
+	}
+	return path, t.Dist[v], nil
+}
+
+// Stats is a point-in-time snapshot of the engine's query, cache and
+// batching counters.
+type Stats struct {
+	DistQueries    int64 `json:"dist_queries"`
+	MultiQueries   int64 `json:"multi_queries"`
+	NearestQueries int64 `json:"nearest_queries"`
+	PathQueries    int64 `json:"path_queries"`
+	TreeQueries    int64 `json:"tree_queries"`
+
+	DistCache CacheStats `json:"dist_cache"`
+	TreeCache CacheStats `json:"tree_cache"`
+
+	Batches         int64 `json:"batches"`
+	BatchedQueries  int64 `json:"batched_queries"`
+	LargestBatch    int64 `json:"largest_batch"`
+	BatchWindowNano int64 `json:"batch_window_ns"`
+}
+
+// Stats returns the engine's counters. Safe on a nil engine.
+func (e *Engine) Stats() Stats {
+	if e == nil || e.solver == nil {
+		return Stats{}
+	}
+	st := Stats{
+		DistQueries:    e.distQueries.Load(),
+		MultiQueries:   e.multiQueries.Load(),
+		NearestQueries: e.nearestQueries.Load(),
+		PathQueries:    e.pathQueries.Load(),
+		TreeQueries:    e.treeQueries.Load(),
+		DistCache:      e.distCache.stats(),
+		TreeCache:      e.treeCache.stats(),
+	}
+	if e.batcher != nil {
+		st.Batches = e.batcher.batches.Load()
+		st.BatchedQueries = e.batcher.batched.Load()
+		st.LargestBatch = e.batcher.maxBatch.Load()
+		st.BatchWindowNano = int64(e.batcher.window)
+	}
+	return st
+}
+
+// Tree is a (1+ε)-approximate shortest-path tree whose edges all belong
+// to the original graph. Instances returned by Engine.Tree are cached and
+// shared between callers: treat every field as read-only.
+type Tree struct {
+	Source int32
+	// Parent[v] is v's tree parent (-1 at the source and at unreachable
+	// vertices); (Parent[v], v) is always an edge of the original graph.
+	Parent []int32
+	// ParentW[v] is the weight of the parent edge, in input units.
+	ParentW []float64
+	// Dist[v] is the exact distance from Source to v inside the tree
+	// (+Inf when unreachable); it is (1+ε)-approximate vs the graph.
+	Dist []float64
+}
+
+// PathTo returns the tree path from the source to v (nil if unreachable).
+func (t *Tree) PathTo(v int32) []int32 {
+	if math.IsInf(t.Dist[v], 1) {
+		return nil
+	}
+	var rev []int32
+	for cur := v; ; cur = t.Parent[cur] {
+		rev = append(rev, cur)
+		if cur == t.Source {
+			break
+		}
+		if len(rev) > len(t.Parent) {
+			return nil
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

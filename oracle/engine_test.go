@@ -1,0 +1,244 @@
+package oracle
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func testGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	return graph.Gnm(n, 4*n, graph.UniformWeights(1, 8), 42)
+}
+
+// TestConcurrentDistMatchesSequential is the determinism-under-concurrency
+// guarantee: many goroutines hammering Engine.Dist must observe results
+// bit-identical to the sequential Solver's (run with -race).
+func TestConcurrentDistMatchesSequential(t *testing.T) {
+	g := testGraph(t, 400)
+	eng, err := New(g, WithEpsilon(0.25), WithDistCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := core.New(g, core.Options{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int32{0, 7, 99, 200, 399}
+	ref := make(map[int32][]float64, len(sources))
+	for _, s := range sources {
+		d, err := solver.ApproxDistances(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[s] = d
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i := range sources {
+					s := sources[(i+w)%len(sources)]
+					got, err := eng.Dist(s)
+					if err != nil {
+						errs <- err
+						return
+					}
+					want := ref[s]
+					for v := range want {
+						if got[v] != want[v] {
+							t.Errorf("worker %d: Dist(%d)[%d] = %v, sequential %v", w, s, v, got[v], want[v])
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := eng.Stats()
+	if st.DistQueries != workers*3*int64(len(sources)) {
+		t.Errorf("DistQueries = %d, want %d", st.DistQueries, workers*3*len(sources))
+	}
+	if st.DistCache.Hits == 0 {
+		t.Error("expected cache hits from repeated concurrent queries")
+	}
+}
+
+// TestConcurrentPathMatchesSequential hammers Path/Tree concurrently and
+// compares against the sequential Solver's SPTs.
+func TestConcurrentPathMatchesSequential(t *testing.T) {
+	g := testGraph(t, 250)
+	eng, err := New(g, WithEpsilon(0.3), WithPathReporting(), WithTreeCache(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := core.New(g, core.Options{Epsilon: 0.3, PathReporting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := []int32{0, 100, 249}
+	refDist := make(map[int32][]float64, len(roots))
+	for _, s := range roots {
+		spt, err := solver.SPT(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refDist[s] = spt.Dist
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, u := range roots {
+				tr, err := eng.Tree(roots[(i+w)%len(roots)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := refDist[tr.Source]
+				for v := range want {
+					if tr.Dist[v] != want[v] {
+						t.Errorf("Tree(%d).Dist[%d] = %v, sequential %v", tr.Source, v, tr.Dist[v], want[v])
+						return
+					}
+				}
+				v := int32((int(u) + 31*w) % eng.N())
+				path, length, err := eng.Path(u, v)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if math.IsInf(length, 1) {
+					if path != nil {
+						t.Errorf("Path(%d,%d): unreachable but non-nil path", u, v)
+					}
+					continue
+				}
+				if len(path) == 0 || path[0] != u || path[len(path)-1] != v {
+					t.Errorf("Path(%d,%d) endpoints wrong: %v", u, v, path)
+					return
+				}
+				if length != refDist[u][v] {
+					t.Errorf("Path(%d,%d) length %v, sequential %v", u, v, length, refDist[u][v])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestMultiSourceUsesAndFillsCache(t *testing.T) {
+	g := testGraph(t, 200)
+	eng, err := New(g, WithDistCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := eng.MultiSource([]int32{1, 5, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Duplicate sources share one computed row.
+	if &rows[1][0] != &rows[2][0] {
+		t.Error("duplicate sources should share the same cached row")
+	}
+	// A following Dist on any of them is a hit.
+	before := eng.Stats().DistCache.Hits
+	if _, err := eng.Dist(9); err != nil {
+		t.Fatal(err)
+	}
+	if hits := eng.Stats().DistCache.Hits - before; hits != 1 {
+		t.Errorf("Dist after MultiSource: %d hits, want 1", hits)
+	}
+	// And MultiSource itself reuses cached rows.
+	d1, err := eng.Dist(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := eng.MultiSource([]int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0][0] != &d1[0] {
+		t.Error("MultiSource should serve cached row for source 1")
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	g := testGraph(t, 50)
+	eng, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Dist(-1); !errors.Is(err, ErrVertexOutOfRange) {
+		t.Errorf("Dist(-1): %v, want ErrVertexOutOfRange", err)
+	}
+	if _, err := eng.Dist(50); !errors.Is(err, ErrVertexOutOfRange) {
+		t.Errorf("Dist(50): %v, want ErrVertexOutOfRange", err)
+	}
+	if _, err := eng.DistTo(0, 99); !errors.Is(err, ErrVertexOutOfRange) {
+		t.Errorf("DistTo(0,99): %v, want ErrVertexOutOfRange", err)
+	}
+	if _, _, err := eng.Path(0, 1); !errors.Is(err, ErrNeedPathReporting) {
+		t.Errorf("Path without WithPathReporting: %v, want ErrNeedPathReporting", err)
+	}
+	if _, err := eng.Tree(0); !errors.Is(err, ErrNeedPathReporting) {
+		t.Errorf("Tree without WithPathReporting: %v, want ErrNeedPathReporting", err)
+	}
+	if _, err := eng.MultiSource(nil); !errors.Is(err, ErrNeedSources) {
+		t.Errorf("MultiSource(nil): %v, want ErrNeedSources", err)
+	}
+	if _, err := eng.Nearest(nil); !errors.Is(err, ErrNeedSources) {
+		t.Errorf("Nearest(nil): %v, want ErrNeedSources", err)
+	}
+
+	var zero Engine
+	if _, err := zero.Dist(0); !errors.Is(err, ErrNotBuilt) {
+		t.Errorf("zero-value engine: %v, want ErrNotBuilt", err)
+	}
+	var nilEng *Engine
+	if _, err := nilEng.Dist(0); !errors.Is(err, ErrNotBuilt) {
+		t.Errorf("nil engine: %v, want ErrNotBuilt", err)
+	}
+	if got := nilEng.Stats(); got != (Stats{}) {
+		t.Errorf("nil engine Stats() = %+v, want zero", got)
+	}
+}
+
+func TestNewFromEdges(t *testing.T) {
+	eng, err := NewFromEdges(4, []Edge{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.DistTo(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path graph: exact distance 3; ε=0.25 allows up to 3.75.
+	if d < 3 || d > 3.75 {
+		t.Errorf("DistTo(0,3) = %v, want within [3, 3.75]", d)
+	}
+	if eng.N() != 4 {
+		t.Errorf("N() = %d", eng.N())
+	}
+}

@@ -1,0 +1,28 @@
+package oracle
+
+import "errors"
+
+// Typed errors returned by Engine queries. Match them with errors.Is; the
+// wrapped messages carry the offending values.
+var (
+	// ErrNotBuilt is returned by queries on a zero-value or nil Engine;
+	// Engines must come from New, NewFromEdges, LoadGraph or LoadSnapshot.
+	ErrNotBuilt = errors.New("oracle: engine not built")
+
+	// ErrVertexOutOfRange is wrapped by every query that receives a vertex
+	// id outside [0, n).
+	ErrVertexOutOfRange = errors.New("oracle: vertex out of range")
+
+	// ErrNeedPathReporting is returned by Path and Tree when the engine was
+	// built without WithPathReporting.
+	ErrNeedPathReporting = errors.New("oracle: path and tree queries require WithPathReporting")
+
+	// ErrNeedSources is returned by MultiSource and Nearest on an empty
+	// source set.
+	ErrNeedSources = errors.New("oracle: need at least one source")
+
+	// ErrSnapshotUnsupported is returned by SaveSnapshot for engines built
+	// with WithWeightReduction: their query budget depends on reduction
+	// state the snapshot format does not carry.
+	ErrSnapshotUnsupported = errors.New("oracle: snapshots are not supported with WithWeightReduction")
+)

@@ -1,0 +1,106 @@
+package oracle
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hopset"
+)
+
+// Snapshot format: one header line framing two length-delimited sections,
+// each in its existing text format (internal/graph.Encode and
+// internal/hopset.Encode):
+//
+//	oraclesnap 1 <scaleFactor> <graphBytes> <hopsetBytes>\n
+//	<graph section><hopset section>
+//
+// The graph section holds the normalized graph the hopset was built for;
+// scaleFactor restores distances to input units. The hopset schedule is
+// re-derived from the stored parameters on load, and the decoded hopset is
+// re-validated, so a snapshot is query-ready without repeating the build.
+
+const snapshotMagic = "oraclesnap"
+
+// SaveSnapshot persists the engine's graph and hopset so LoadSnapshot can
+// revive a query-ready engine without rebuilding. Engines built with
+// WithWeightReduction return ErrSnapshotUnsupported.
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	if err := e.ready(); err != nil {
+		return err
+	}
+	if e.solver.Reduction() != nil {
+		return ErrSnapshotUnsupported
+	}
+	h := e.solver.Hopset()
+	var gb, hb bytes.Buffer
+	if err := graph.Encode(&gb, h.G); err != nil {
+		return err
+	}
+	if err := hopset.Encode(&hb, h); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s 1 %g %d %d\n", snapshotMagic, h.ScaleFactor, gb.Len(), hb.Len()); err != nil {
+		return err
+	}
+	if _, err := w.Write(gb.Bytes()); err != nil {
+		return err
+	}
+	_, err := w.Write(hb.Bytes())
+	return err
+}
+
+// LoadSnapshot revives an engine from a SaveSnapshot stream. Build-shaping
+// options (epsilon, kappa, …) are recovered from the snapshot itself;
+// serving options (caches, batch window, tracker) are taken from options.
+func LoadSnapshot(r io.Reader, options ...Option) (*Engine, error) {
+	cfg := defaultConfig()
+	for _, o := range options {
+		o(&cfg)
+	}
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("oracle: reading snapshot header: %w", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 5 || fields[0] != snapshotMagic {
+		return nil, fmt.Errorf("oracle: not a snapshot (header %q)", strings.TrimSpace(header))
+	}
+	if fields[1] != "1" {
+		return nil, fmt.Errorf("oracle: unsupported snapshot version %s", fields[1])
+	}
+	scale, err1 := strconv.ParseFloat(fields[2], 64)
+	glen, err2 := strconv.Atoi(fields[3])
+	hlen, err3 := strconv.Atoi(fields[4])
+	if err1 != nil || err2 != nil || err3 != nil || scale <= 0 || glen < 0 || hlen < 0 {
+		return nil, fmt.Errorf("oracle: malformed snapshot header %q", strings.TrimSpace(header))
+	}
+	gbuf := make([]byte, glen)
+	if _, err := io.ReadFull(br, gbuf); err != nil {
+		return nil, fmt.Errorf("oracle: reading snapshot graph: %w", err)
+	}
+	g, err := graph.Decode(bytes.NewReader(gbuf))
+	if err != nil {
+		return nil, err
+	}
+	hbuf := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hbuf); err != nil {
+		return nil, fmt.Errorf("oracle: reading snapshot hopset: %w", err)
+	}
+	h, err := hopset.Decode(bytes.NewReader(hbuf), g)
+	if err != nil {
+		return nil, err
+	}
+	h.ScaleFactor = scale
+	solver, err := core.Attach(h, cfg.opts.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(solver, cfg), nil
+}

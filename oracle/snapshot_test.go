@@ -1,0 +1,117 @@
+package oracle
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSnapshotRoundTrip: a revived engine must answer every query
+// bit-identically to the engine that wrote the snapshot — including path
+// queries, whose memory paths travel with the hopset.
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := graph.Gnm(300, 1200, graph.UniformWeights(2, 9), 7)
+	eng, err := New(g, WithEpsilon(0.3), WithPathReporting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != eng.N() {
+		t.Fatalf("revived N = %d, want %d", got.N(), eng.N())
+	}
+	if got.HopBudget() != eng.HopBudget() {
+		t.Errorf("revived HopBudget = %d, want %d", got.HopBudget(), eng.HopBudget())
+	}
+	for _, s := range []int32{0, 100, 299} {
+		want, err := eng.Dist(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := got.Dist(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if d[v] != want[v] {
+				t.Fatalf("revived Dist(%d)[%d] = %v, want %v", s, v, d[v], want[v])
+			}
+		}
+	}
+	wantPath, wantLen, err := eng.Path(0, 299)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPath, gotLen, err := got.Path(0, 299)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLen != wantLen || len(gotPath) != len(wantPath) {
+		t.Fatalf("revived Path(0,299) = %d hops/%v, want %d hops/%v",
+			len(gotPath), gotLen, len(wantPath), wantLen)
+	}
+	for i := range wantPath {
+		if gotPath[i] != wantPath[i] {
+			t.Fatalf("revived path diverges at hop %d", i)
+		}
+	}
+}
+
+// TestSnapshotRescaling: a graph whose minimum weight ≠ 1 exercises the
+// scale-factor round trip (the hopset stores normalized distances).
+func TestSnapshotRescaling(t *testing.T) {
+	g := graph.Gnm(150, 600, graph.UniformWeights(10, 80), 3)
+	eng, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := eng.Dist(0)
+	d, _ := got.Dist(0)
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("rescaled Dist(0)[%d] = %v, want %v", v, d[v], want[v])
+		}
+	}
+}
+
+func TestSnapshotUnsupportedForWeightReduction(t *testing.T) {
+	g := graph.Gnm(120, 500, graph.GeometricScaleWeights(12), 5)
+	eng, err := New(g, WithEpsilon(0.5), WithWeightReduction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveSnapshot(&bytes.Buffer{}); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Errorf("SaveSnapshot = %v, want ErrSnapshotUnsupported", err)
+	}
+}
+
+func TestLoadSnapshotRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not a snapshot\n",
+		"oraclesnap 99 1 0 0\n",
+		"oraclesnap 1 1 5 5\nxx", // truncated sections
+	} {
+		if _, err := LoadSnapshot(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadSnapshot(%q) succeeded", in)
+		}
+	}
+}
