@@ -6,9 +6,12 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"math"
+	"os"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/adj"
 	"repro/internal/baseline"
@@ -21,6 +24,7 @@ import (
 	"repro/internal/pathrep"
 	"repro/internal/pram"
 	"repro/internal/psort"
+	"repro/internal/relax"
 	"repro/internal/scaling"
 )
 
@@ -263,6 +267,85 @@ func BenchmarkParallelSort(b *testing.B) {
 			}
 			return 0
 		}, nil)
+	}
+}
+
+// BenchmarkRelaxDenseVsSparse compares the dense reference kernel against
+// the adaptive frontier-sparse engine on the workloads the engine exists
+// for (narrow-frontier single-source scans) and on a dense random graph
+// (where the engine should fall back to dense rounds and lose nothing).
+// With BENCH_RELAX_JSON=<path> it writes the measurements as JSON — the
+// CI benchmark job uploads that file as the BENCH_relax artifact.
+func BenchmarkRelaxDenseVsSparse(b *testing.B) {
+	type measurement struct {
+		Workload     string  `json:"workload"`
+		N            int     `json:"n"`
+		Arcs         int     `json:"arcs"`
+		Rounds       int     `json:"rounds"`
+		DenseMS      float64 `json:"dense_ms"`
+		SparseMS     float64 `json:"sparse_ms"`
+		DenseArcs    int64   `json:"dense_scanned_arcs"`
+		SparseArcs   int64   `json:"sparse_scanned_arcs"`
+		ArcReduction float64 `json:"arc_reduction"`
+		Speedup      float64 `json:"wall_speedup"`
+	}
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid-128x128", graph.Grid(128, 128, graph.UniformWeights(1, 3), 7)},
+		{"roadnet-96x96", graph.Grid(96, 96, graph.UniformWeights(1, 3), 7)},
+		{"gnm-8192", graph.Gnm(8192, 32768, graph.UniformWeights(1, 8), 42)},
+	}
+	var out []measurement
+	for _, wl := range workloads {
+		a := adj.Build(wl.g, nil)
+		src := []int32{int32(wl.g.N / 3)}
+		var m measurement
+		b.Run(wl.name, func(b *testing.B) {
+			var denseNS, sparseNS int64
+			var dense, sparse *relax.Result
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				dense = relax.Run(a, src, wl.g.N, relax.Options{ForceDense: true})
+				denseNS += time.Since(start).Nanoseconds()
+				start = time.Now()
+				sparse = relax.Run(a, src, wl.g.N, relax.Options{})
+				sparseNS += time.Since(start).Nanoseconds()
+			}
+			for v := 0; v < wl.g.N; v++ {
+				if dense.Dist[v] != sparse.Dist[v] || dense.Parent[v] != sparse.Parent[v] ||
+					dense.ParentArc[v] != sparse.ParentArc[v] {
+					b.Fatalf("vertex %d: sparse result differs from dense", v)
+				}
+			}
+			m = measurement{
+				Workload:     wl.name,
+				N:            wl.g.N,
+				Arcs:         a.Arcs(),
+				Rounds:       dense.Rounds,
+				DenseMS:      float64(denseNS) / float64(b.N) / 1e6,
+				SparseMS:     float64(sparseNS) / float64(b.N) / 1e6,
+				DenseArcs:    dense.Stats.ScannedArcs,
+				SparseArcs:   sparse.Stats.ScannedArcs,
+				ArcReduction: float64(dense.Stats.ScannedArcs) / math.Max(1, float64(sparse.Stats.ScannedArcs)),
+				Speedup:      float64(denseNS) / math.Max(1, float64(sparseNS)),
+			}
+			b.ReportMetric(m.ArcReduction, "arc-reduction")
+			b.ReportMetric(m.Speedup, "wall-speedup")
+		})
+		if m.N != 0 { // zero when -bench filtering skipped this workload
+			out = append(out, m)
+		}
+	}
+	if path := os.Getenv("BENCH_RELAX_JSON"); path != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

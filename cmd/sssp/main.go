@@ -11,6 +11,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/exact"
 	"repro/internal/graph"
@@ -31,20 +32,39 @@ func main() {
 		ks   = flag.Bool("ks", false, "Klein–Sairam weight reduction (wide weights)")
 		spt  = flag.Bool("spt", false, "also extract a (1+ε)-SPT (§4)")
 		nsrc = flag.Int("sources", 1, "number of sources (aMSSD)")
+		prof = flag.String("cpuprofile", "", "write a CPU profile of build+queries to this file")
 	)
 	flag.Parse()
+
+	// fatal stops the CPU profile (a no-op when none is running) before
+	// exiting, so error paths never leave a truncated profile behind.
+	fatal := func(v ...any) {
+		pprof.StopCPUProfile()
+		log.Fatal(v...)
+	}
+	if *prof != "" {
+		f, err := os.Create(*prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var g *graph.Graph
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		var derr error
 		g, derr = graph.Decode(f)
 		f.Close()
 		if derr != nil {
-			log.Fatal(derr)
+			fatal(derr)
 		}
 	} else {
 		wf := graph.UniformWeights(1, 8)
@@ -64,7 +84,7 @@ func main() {
 	}
 	eng, err := oracle.New(g, opts...)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	build := tr.Snapshot()
 	fmt.Printf("graph: n=%d m=%d | hopset: %d edges | build %v\n",
@@ -76,7 +96,7 @@ func main() {
 	}
 	rows, err := eng.MultiSource(sources)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	for i, s := range sources {
 		ref, _ := exact.DijkstraGraph(g, s)
@@ -84,11 +104,14 @@ func main() {
 	}
 	fmt.Printf("query budget: %d rounds | pram after queries: %v\n",
 		eng.HopBudget(), tr.Snapshot())
+	rs := eng.Stats().Relax
+	fmt.Printf("relax engine: %d explorations, %d arcs scanned (%.0f/query), rounds %d dense / %d sparse\n",
+		rs.Explorations, rs.ScannedArcs, rs.ArcsPerExploration, rs.DenseRounds, rs.SparseRounds)
 
 	if *spt {
 		tree, err := eng.Tree(sources[0])
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		edges := 0
 		for v := range tree.Parent {

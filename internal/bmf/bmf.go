@@ -1,62 +1,28 @@
-// Package bmf implements the hop-limited parallel Bellman–Ford exploration
-// the paper uses to answer queries over G ∪ H (§3.4): each synchronous
-// round relaxes every arc once; after r rounds, Dist[v] is exactly the
-// r-hop-bounded distance d^{(r)}(sources, v). With a (1+ε, β)-hopset, β
-// rounds give (1+ε)-approximate distances (Theorem 3.8).
+// Package bmf is the hop-limited parallel Bellman–Ford query surface the
+// paper uses over G ∪ H (§3.4): each synchronous round relaxes every arc
+// once; after r rounds, Dist[v] is exactly the r-hop-bounded distance
+// d^{(r)}(sources, v). With a (1+ε, β)-hopset, β rounds give
+// (1+ε)-approximate distances (Theorem 3.8).
+//
+// Since the frontier-sparse refactor the actual relaxation lives in
+// internal/relax; this package is the thin historical entry point. New
+// code that needs per-round control or engine statistics should use
+// package relax directly.
 package bmf
 
 import (
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/adj"
 	"repro/internal/par"
 	"repro/internal/pram"
+	"repro/internal/relax"
 )
 
-// scratch holds the double-buffered relaxation state of one exploration.
-// Run draws it from a sync.Pool, so a steady stream of concurrent queries
-// reuses buffers instead of allocating three O(n) arrays per call. The
-// Result arrays themselves are always freshly allocated — they escape to
-// the caller (and into caches).
-type scratch struct {
-	ndist   []float64
-	nparent []int32
-	nparc   []int32
-}
-
-var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
-
-// grow (re)sizes the buffers for an n-vertex exploration.
-func (sc *scratch) grow(n int) {
-	if cap(sc.ndist) < n {
-		sc.ndist = make([]float64, n)
-		sc.nparent = make([]int32, n)
-		sc.nparc = make([]int32, n)
-	}
-	sc.ndist = sc.ndist[:n]
-	sc.nparent = sc.nparent[:n]
-	sc.nparc = sc.nparc[:n]
-}
-
-// Result of one exploration.
-type Result struct {
-	// Dist[v] is the hop-bounded distance from the nearest source
-	// (+Inf when unreached within the round budget).
-	Dist []float64
-	// Parent[v] is the predecessor on the discovered path (-1 at sources
-	// and unreached vertices).
-	Parent []int32
-	// ParentArc[v] is the arc (index into the adjacency) connecting
-	// Parent[v] to v, or -1. Its tag identifies graph vs hopset edges.
-	ParentArc []int32
-	// Rounds actually executed before convergence or the cap.
-	Rounds int
-	// Converged reports whether a fixed point was reached before the cap
-	// (true ⇒ Dist is the exact unbounded distance in the explored graph).
-	Converged bool
-}
+// Result of one exploration. It is the relaxation engine's result type;
+// see relax.Result for the field and Stats documentation.
+type Result = relax.Result
 
 // Run executes up to maxRounds synchronous Bellman–Ford rounds from the
 // given sources over a. Ties are broken deterministically by
@@ -66,71 +32,23 @@ type Result struct {
 // Run is safe for concurrent use: a is only read, and all mutable state
 // is either freshly allocated or drawn from a pool per call.
 func Run(a *adj.Adj, sources []int32, maxRounds int, tr *pram.Tracker) *Result {
-	n := a.N
-	res := &Result{
-		Dist:      make([]float64, n),
-		Parent:    make([]int32, n),
-		ParentArc: make([]int32, n),
-	}
-	for v := 0; v < n; v++ {
-		res.Dist[v] = math.Inf(1)
-		res.Parent[v] = -1
-		res.ParentArc[v] = -1
-	}
-	for _, s := range sources {
-		res.Dist[s] = 0
-	}
-	sc := scratchPool.Get().(*scratch)
-	defer scratchPool.Put(sc)
-	sc.grow(n)
-	ndist, nparent, nparc := sc.ndist, sc.nparent, sc.nparc
-	arcs := int64(a.Arcs())
-	for round := 0; round < maxRounds; round++ {
-		var changed atomic.Bool
-		par.For(n, func(v int) {
-			bd, bp, ba := res.Dist[v], res.Parent[v], res.ParentArc[v]
-			for arc := a.Off[v]; arc < a.Off[v+1]; arc++ {
-				u := a.Nbr[arc]
-				d := res.Dist[u] + a.Wt[arc]
-				if d < bd || (d == bd && (u < bp || (u == bp && arc < ba))) {
-					bd, bp, ba = d, u, arc
-				}
-			}
-			ndist[v], nparent[v], nparc[v] = bd, bp, ba
-			if bd != res.Dist[v] || bp != res.Parent[v] || ba != res.ParentArc[v] {
-				changed.Store(true)
-			}
-		})
-		tr.Rounds(1, arcs)
-		copy(res.Dist, ndist)
-		copy(res.Parent, nparent)
-		copy(res.ParentArc, nparc)
-		res.Rounds = round + 1
-		if !changed.Load() {
-			res.Converged = true
-			break
-		}
-	}
-	return res
+	return relax.Run(a, sources, maxRounds, relax.Options{Tracker: tr})
 }
 
 // RoundsToApprox returns the smallest round budget r ≤ maxRounds such that
 // the r-hop-bounded distances from the sources are within a (1+eps) factor
 // of the reference distances ref for every vertex ref reaches, or −1 if
 // maxRounds rounds do not suffice. It measures the empirical hopbound of a
-// hopset (experiments E2/E11).
+// hopset (experiments E2/E11). The tracker, when non-nil, is charged the
+// arcs the engine actually scanned — with the frontier-sparse kernel that
+// is usually far below r·m.
 func RoundsToApprox(a *adj.Adj, sources []int32, ref []float64, eps float64, maxRounds int, tr *pram.Tracker) int {
-	n := a.N
-	dist := make([]float64, n)
-	for v := range dist {
-		dist[v] = math.Inf(1)
-	}
-	for _, s := range sources {
-		dist[s] = 0
-	}
+	e := relax.Start(a, sources, relax.Options{Tracker: tr})
+	defer e.Finish()
 	within := func() bool {
-		ok := true
-		par.ForChunk(n, func(lo, hi int) {
+		dist := e.Dist()
+		var bad atomic.Bool
+		par.ForChunk(len(dist), func(lo, hi int) {
 			good := true
 			for v := lo; v < hi; v++ {
 				if math.IsInf(ref[v], 1) {
@@ -142,57 +60,22 @@ func RoundsToApprox(a *adj.Adj, sources []int32, ref []float64, eps float64, max
 				}
 			}
 			if !good {
-				ok = false
+				bad.Store(true)
 			}
 		})
-		return ok
+		return !bad.Load()
 	}
 	if within() {
 		return 0
 	}
-	next := make([]float64, n)
-	arcs := int64(a.Arcs())
 	for round := 1; round <= maxRounds; round++ {
-		var changed atomic.Bool
-		par.For(n, func(v int) {
-			best := dist[v]
-			for arc := a.Off[v]; arc < a.Off[v+1]; arc++ {
-				if d := dist[a.Nbr[arc]] + a.Wt[arc]; d < best {
-					best = d
-				}
-			}
-			next[v] = best
-			if best != dist[v] {
-				changed.Store(true)
-			}
-		})
-		tr.Rounds(1, arcs)
-		copy(dist, next)
+		changed := e.Step()
 		if within() {
 			return round
 		}
-		if !changed.Load() {
+		if !changed {
 			return -1 // converged without reaching the target approximation
 		}
 	}
 	return -1
-}
-
-// PathTo returns the vertex path from the nearest source to v along parent
-// pointers, or nil if v is unreached.
-func (r *Result) PathTo(v int32) []int32 {
-	if math.IsInf(r.Dist[v], 1) {
-		return nil
-	}
-	var rev []int32
-	for cur := v; cur >= 0; cur = r.Parent[cur] {
-		rev = append(rev, cur)
-		if len(rev) > len(r.Dist) {
-			return nil // cycle guard: cannot happen with positive weights
-		}
-	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
 }

@@ -22,12 +22,12 @@ import (
 	"sync/atomic"
 
 	"repro/internal/adj"
-	"repro/internal/bmf"
 	"repro/internal/graph"
 	"repro/internal/hopset"
 	"repro/internal/par"
 	"repro/internal/pathrep"
 	"repro/internal/pram"
+	"repro/internal/relax"
 	"repro/internal/scaling"
 )
 
@@ -73,6 +73,9 @@ type Solver struct {
 	a    *adj.Adj
 	// budget is the default query hop budget.
 	budget int
+	// relaxCtr accumulates the relaxation engine's scanned-arc and
+	// kernel-choice statistics across every query this solver answers.
+	relaxCtr relax.Counters
 }
 
 // ErrNeedPathReporting is returned by SPT when the solver was built
@@ -156,6 +159,19 @@ func (s *Solver) Reduction() *scaling.Result { return s.ks }
 // HopBudget returns the query-time round budget the solver uses.
 func (s *Solver) HopBudget() int { return s.budget }
 
+// RelaxStats returns the relaxation engine's cumulative per-query
+// accounting: explorations answered, arcs actually scanned, and how many
+// rounds ran on the dense vs the frontier-sparse kernel.
+func (s *Solver) RelaxStats() relax.CounterSnapshot { return s.relaxCtr.Snapshot() }
+
+// run executes one engine exploration with the solver's instrumentation.
+func (s *Solver) run(sources []int32) *relax.Result {
+	return relax.Run(s.a, sources, s.budget, relax.Options{
+		Tracker:  s.opts.Tracker,
+		Counters: &s.relaxCtr,
+	})
+}
+
 // ApproxDistances returns (1+ε)-approximate distances from source to every
 // vertex, in the input graph's weight units (+Inf for unreachable
 // vertices). This is the (1+ε)-aSSSD query of Theorem 3.8.
@@ -163,7 +179,7 @@ func (s *Solver) ApproxDistances(source int32) ([]float64, error) {
 	if err := s.checkVertex(source); err != nil {
 		return nil, err
 	}
-	res := bmf.Run(s.a, []int32{source}, s.budget, s.opts.Tracker)
+	res := s.run([]int32{source})
 	return s.rescale(res.Dist), nil
 }
 
@@ -180,10 +196,10 @@ func (s *Solver) ApproxMultiSource(sources []int32) ([][]float64, error) {
 	}
 	out := make([][]float64, len(sources))
 	row := func(i int) {
-		res := bmf.Run(s.a, []int32{sources[i]}, s.budget, s.opts.Tracker)
+		res := s.run([]int32{sources[i]})
 		out[i] = s.rescale(res.Dist)
 	}
-	// Each row already parallelizes internally (bmf.Run uses par.For), so
+	// Each row already parallelizes internally (relax.Run uses par.For), so
 	// the outer pool only overlaps per-round synchronization gaps and the
 	// small-n regime where the inner loop runs sequentially. A fraction of
 	// the worker budget keeps total goroutines near the core count instead
@@ -228,7 +244,7 @@ func (s *Solver) NearestSource(sources []int32) ([]float64, error) {
 			return nil, err
 		}
 	}
-	res := bmf.Run(s.a, sources, s.budget, s.opts.Tracker)
+	res := s.run(sources)
 	return s.rescale(res.Dist), nil
 }
 
@@ -247,6 +263,7 @@ func (s *Solver) SPT(source int32) (*pathrep.SPT, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.relaxCtr.Add(spt.Relax)
 	spt.Dist = s.rescale(spt.Dist)
 	for v := range spt.ParentW {
 		spt.ParentW[v] *= s.h.ScaleFactor

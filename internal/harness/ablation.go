@@ -4,10 +4,10 @@ import (
 	"math"
 
 	"repro/internal/adj"
-	"repro/internal/bmf"
 	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/hopset"
+	"repro/internal/relax"
 )
 
 // E15WeightModes: ablation of the tight-vs-strict edge-weight design
@@ -39,7 +39,7 @@ func E15WeightModes(cfg Config) *Table {
 			sound := true
 			a := adj.Build(h.G, h.Extras())
 			ref, _ := exact.DijkstraGraph(h.G, 0)
-			res := bmf.Run(a, []int32{0}, h.G.N+1, nil)
+			res := relax.Run(a, []int32{0}, h.G.N+1, relax.Options{})
 			for v := 0; v < h.G.N; v++ {
 				if !math.IsInf(ref[v], 1) && res.Dist[v] < ref[v]-1e-9 {
 					sound = false

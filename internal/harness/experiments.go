@@ -13,6 +13,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/pathrep"
 	"repro/internal/pram"
+	"repro/internal/relax"
 	"repro/internal/scaling"
 )
 
@@ -49,7 +50,7 @@ func maxStretchAt(g *graph.Graph, extras []adj.Extra, budget int, srcs []int32) 
 	worst = 1
 	for _, s := range srcs {
 		ref, _ := exact.DijkstraGraph(g, s)
-		res := bmf.Run(a, []int32{s}, budget, nil)
+		res := relax.Run(a, []int32{s}, budget, relax.Options{})
 		for v := 0; v < g.N; v++ {
 			if math.IsInf(ref[v], 1) || ref[v] == 0 {
 				continue
@@ -203,7 +204,7 @@ func E4SSSP(cfg Config) *Table {
 			rounds := 0
 			for _, s := range srcs {
 				ref, _ := exact.DijkstraGraph(h.G, s)
-				res := bmf.Run(a, []int32{s}, budgetOf(h), nil)
+				res := relax.Run(a, []int32{s}, budgetOf(h), relax.Options{})
 				if res.Rounds > rounds {
 					rounds = res.Rounds
 				}

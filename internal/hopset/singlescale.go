@@ -24,6 +24,10 @@ type builder struct {
 	centerDist  []float64    // per vertex: real distance to its cluster center
 	memPath     [][]PathStep // per vertex: realizing path to its center (PR mode)
 	retired     []bool       // Lemma 2.10 bookkeeping: vertex left in some U_j
+	// exScratch is handed to every phase's explorer so the per-vertex
+	// record lists of the limited-BFS engine are allocated once per build
+	// instead of once per Detect/BFS call.
+	exScratch *limbfs.Scratch
 }
 
 // buildScale runs the ℓ+1 phases of §2.1 for scale k, appending the edges
@@ -122,8 +126,13 @@ func (b *builder) buildScale(k, prevLo, prevHi int) error {
 	return nil
 }
 
-// explorer builds the Algorithm 2 explorer for the current phase.
+// explorer builds the Algorithm 2 explorer for the current phase. All
+// phases share the builder's exploration scratch: the frontier-sparse
+// engine's record lists survive across Detect/BFS calls and phases.
 func (b *builder) explorer(distCap float64, x int) *limbfs.Explorer {
+	if b.exScratch == nil {
+		b.exScratch = &limbfs.Scratch{}
+	}
 	return &limbfs.Explorer{
 		A:           b.a,
 		Part:        b.part,
@@ -133,6 +142,7 @@ func (b *builder) explorer(distCap float64, x int) *limbfs.Explorer {
 		X:           x,
 		RecordPaths: b.params.RecordPaths,
 		Tracker:     b.h.tracker,
+		Scratch:     b.exScratch,
 	}
 }
 

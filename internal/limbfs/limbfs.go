@@ -26,12 +26,12 @@ package limbfs
 import (
 	"math"
 	"slices"
-	"sync/atomic"
 
 	"repro/internal/adj"
 	"repro/internal/cluster"
 	"repro/internal/par"
 	"repro/internal/pram"
+	"repro/internal/relax"
 )
 
 // Record is one exploration record: cluster Src is reachable with boundary
@@ -59,6 +59,50 @@ type Explorer struct {
 	// path-reporting construction of §4 (the "memory property").
 	RecordPaths bool
 	Tracker     *pram.Tracker
+	// Scratch, when shared between successive explorers (the hopset
+	// builder hands one across phases and scales), reuses the per-vertex
+	// record lists instead of reallocating them per Detect/BFS call. A nil
+	// Scratch is created on first use.
+	Scratch *Scratch
+}
+
+// Scratch holds the reusable buffers of an exploration: the per-vertex
+// record lists (tracking which entries may be nonempty so acquisition
+// only clears those) and propagate's worklist and per-slot selection
+// buffers. Sharing one Scratch keeps repeated explorations (the
+// ruling-set knock-outs issue many) allocation-free on the hot path.
+type Scratch struct {
+	lists [][]Record
+	stale []int32
+	// propagate round state: scan worklist, per-slot new selections and
+	// change flags.
+	work    []int32
+	newRecs [][]Record
+	wchg    []bool
+}
+
+// acquireLists returns an all-empty [][]Record of length n, reusing the
+// scratch buffers across calls.
+func (e *Explorer) acquireLists() [][]Record {
+	if e.Scratch == nil {
+		e.Scratch = &Scratch{}
+	}
+	s := e.Scratch
+	n := e.A.N
+	for _, v := range s.stale {
+		s.lists[v] = s.lists[v][:0]
+	}
+	s.stale = s.stale[:0]
+	if len(s.lists) < n {
+		s.lists = append(s.lists, make([][]Record, n-len(s.lists))...)
+	}
+	return s.lists[:n]
+}
+
+// releaseLists records which entries of the acquired lists may be
+// nonempty; the next acquireLists clears exactly those.
+func (e *Explorer) releaseLists(stale []int32) {
+	e.Scratch.stale = append(e.Scratch.stale, stale...)
 }
 
 func (e *Explorer) centerDist(v int32) float64 {
@@ -138,39 +182,56 @@ func sameRecs(a, b []Record) bool {
 
 // propagate runs up to HopCap synchronous relaxation rounds of the
 // propagation part of Algorithm 2 over the vertex lists L, in place.
-// It stops early at a fixed point (the remaining rounds cannot change
-// anything, so the result is identical to running all HopCap rounds), and
-// skips vertices whose closed neighborhood did not change in the previous
-// round — their recomputation would reproduce the same list, so the output
-// is identical to the naive schedule while the work tracks the active
-// frontier.
-func (e *Explorer) propagate(L [][]Record) {
+//
+// It runs on the frontier-sparse discipline of internal/relax: each round
+// recomputes only the closed neighborhood F ∪ N(F) of the vertices F
+// whose list changed in the previous round (initially the seeded
+// vertices). selectBest is an idempotent top-x selection, so a vertex
+// with unchanged inputs reproduces its list exactly — the output is
+// bit-identical to the naive all-vertices schedule while the work tracks
+// the active frontier, and the tracker is charged only for arcs actually
+// scanned. It stops early at a fixed point (the remaining rounds cannot
+// change anything, so the result is identical to running all HopCap
+// rounds).
+//
+// seed is the initial frontier (every vertex with a nonempty list); nil
+// derives it by scanning L. Returns every vertex whose list was seeded or
+// modified, so callers reusing L across explorations know what to clear.
+func (e *Explorer) propagate(L [][]Record, seed []int32) (touched []int32) {
 	n := e.A.N
-	nxt := make([][]Record, n)
-	dirty := make([]bool, n) // vertex list changed last round
-	dirtyNxt := make([]bool, n)
-	for v := range dirty {
-		dirty[v] = len(L[v]) > 0
+	var front []int32
+	var frontArcs int64
+	if seed != nil {
+		front = append(front, seed...)
+	} else {
+		for v := 0; v < n; v++ {
+			if len(L[v]) > 0 {
+				front = append(front, int32(v))
+			}
+		}
 	}
-	arcs := int64(e.A.Arcs())
-	for round := 0; round < e.HopCap; round++ {
-		var changed atomic.Bool
-		par.ForChunk(n, func(lo, hi int) {
+	for _, v := range front {
+		frontArcs += int64(e.A.Off[v+1] - e.A.Off[v])
+	}
+	touched = append(touched, front...)
+	ss := relax.GetScanSet(n)
+	defer relax.PutScanSet(ss)
+	sc := e.Scratch // non-nil: every caller went through acquireLists
+	for round := 0; round < e.HopCap && len(front) > 0; round++ {
+		ss.Reset(n)
+		ss.MarkNeighbors(e.A, front, true)
+		var scanArcs int64
+		sc.work, scanArcs = ss.Collect(e.A, sc.work[:0])
+		work := sc.work
+		if len(sc.newRecs) < len(work) {
+			sc.newRecs = append(sc.newRecs, make([][]Record, len(work)-len(sc.newRecs))...)
+			sc.wchg = append(sc.wchg, make([]bool, len(work)-len(sc.wchg))...)
+		}
+		newRecs, wchg := sc.newRecs, sc.wchg
+		par.ForChunk(len(work), func(lo, hi int) {
 			var cand []Record
-			anyChange := false
-			for v := lo; v < hi; v++ {
-				active := dirty[v]
-				if !active {
-					for arcI := e.A.Off[v]; arcI < e.A.Off[v+1] && !active; arcI++ {
-						active = dirty[e.A.Nbr[arcI]]
-					}
-				}
-				if !active {
-					// Unchanged inputs: the selection is reproduced as-is.
-					nxt[v] = append(nxt[v][:0], L[v]...)
-					dirtyNxt[v] = false
-					continue
-				}
+			for i := lo; i < hi; i++ {
+				v := work[i]
 				cand = cand[:0]
 				cand = append(cand, L[v]...)
 				for arcI := e.A.Off[v]; arcI < e.A.Off[v+1]; arcI++ {
@@ -188,40 +249,26 @@ func (e *Explorer) propagate(L [][]Record) {
 						cand = append(cand, nr)
 					}
 				}
-				sel := e.selectBest(nxt[v][:0], cand, e.X)
-				d := !sameRecs(sel, L[v])
-				dirtyNxt[v] = d
-				if d {
-					anyChange = true
-				}
-				nxt[v] = sel
-			}
-			if anyChange {
-				changed.Store(true)
+				sel := e.selectBest(newRecs[i][:0], cand, e.X)
+				newRecs[i] = sel
+				wchg[i] = !sameRecs(sel, L[v])
 			}
 		})
-		e.Tracker.Rounds(1, arcs*int64(e.X))
-		L, nxt = nxt, L
-		dirty, dirtyNxt = dirtyNxt, dirty
-		if !changed.Load() {
-			// Fixed point: the remaining rounds are no-ops.
-			break
+		e.Tracker.Rounds(1, frontArcs+scanArcs*int64(e.X))
+		// Commit after the synchronous barrier; the next frontier is the
+		// changed vertices in worklist order — sorted, deterministic.
+		front = front[:0]
+		frontArcs = 0
+		for i, v := range work {
+			if wchg[i] {
+				L[v] = append(L[v][:0], newRecs[i]...)
+				front = append(front, v)
+				frontArcs += int64(e.A.Off[v+1] - e.A.Off[v])
+				touched = append(touched, v)
+			}
 		}
 	}
-	// The caller keeps its original slice header; make sure it holds the
-	// final lists regardless of how many swaps happened.
-	// (L is the final state here; nxt is the stale buffer.)
-	copyLists(nxt, L)
-}
-
-// copyLists makes dst hold the same records as src, reusing dst storage.
-// After propagate's buffer swapping, the caller's original backing array may
-// be either of the two; copying record slices (cheap: headers) fixes it up.
-func copyLists(dst, src [][]Record) {
-	if &dst[0] == &src[0] {
-		return
-	}
-	copy(dst, src)
+	return touched
 }
 
 // seedOwn gives every clustered vertex the record of its own cluster:
@@ -245,9 +292,10 @@ func (e *Explorer) seedOwn(L [][]Record) {
 // under the hop and distance caps, satisfying Lemma A.3:
 // a cluster is popular iff its list is full (X = degᵢ+1 records).
 func (e *Explorer) Detect() [][]Record {
-	L := make([][]Record, e.A.N)
+	L := e.acquireLists()
 	e.seedOwn(L)
-	e.propagate(L)
+	touched := e.propagate(L, nil)
+	e.releaseLists(touched)
 	return e.aggregate(L)
 }
 
@@ -333,32 +381,35 @@ func (e *Explorer) BFS(sources []int32, depth int) *BFSResult {
 	saveX := e.X
 	e.X = 1
 	defer func() { e.X = saveX }()
-	L := make([][]Record, e.A.N)
+	L := e.acquireLists()
+	var seeded []int32
 	for p := int32(1); int(p) <= depth && len(frontier) > 0; p++ {
-		// Distribution: seed members of the frontier clusters. The record's
-		// Src carries the *origin* so attribution survives multiple pulses;
-		// CDist starts from the origin-to-frontier-center estimate.
-		inFrontier := make(map[int32]bool, len(frontier))
+		// Distribution: seed the members of the frontier clusters (their
+		// lists are the only nonempty ones — the previous pulse cleared
+		// everything it touched). The record's Src carries the *origin* so
+		// attribution survives multiple pulses; CDist starts from the
+		// origin-to-frontier-center estimate.
+		seeded = seeded[:0]
 		for _, c := range frontier {
-			inFrontier[c] = true
-		}
-		par.For(e.A.N, func(v int) {
-			c := e.Part.ClusterOf[v]
-			if c < 0 || !inFrontier[c] {
-				L[v] = L[v][:0]
-				return
+			for _, v := range e.Part.Members[c] {
+				L[v] = append(L[v][:0], Record{
+					Src:   res.Origin[c],
+					BDist: 0,
+					CDist: res.Est[c] + e.centerDist(v),
+					SeedV: v,
+					EndV:  -1,
+				})
+				seeded = append(seeded, v)
 			}
-			L[v] = append(L[v][:0], Record{
-				Src:   res.Origin[c],
-				BDist: 0,
-				CDist: res.Est[c] + e.centerDist(int32(v)),
-				SeedV: int32(v),
-				EndV:  -1,
-			})
-		})
-		e.Tracker.Round(int64(e.A.N))
-		e.propagate(L)
+		}
+		e.Tracker.Round(int64(len(seeded)))
+		touched := e.propagate(L, seeded)
 		recs := e.aggregate(L)
+		// Clear every touched list so the next pulse (or the next
+		// exploration reusing the scratch) starts from empty lists.
+		for _, v := range touched {
+			L[v] = L[v][:0]
+		}
 		frontier = frontier[:0]
 		for c := int32(0); int(c) < P; c++ {
 			if res.Origin[c] >= 0 || len(recs[c]) == 0 {

@@ -20,10 +20,10 @@ import (
 	"sort"
 
 	"repro/internal/adj"
-	"repro/internal/bmf"
 	"repro/internal/hopset"
 	"repro/internal/par"
 	"repro/internal/pram"
+	"repro/internal/relax"
 )
 
 // SPT is a (1+ε)-approximate shortest-path tree over the original graph.
@@ -42,6 +42,9 @@ type SPT struct {
 	// Scale is the weight unit of Dist/ParentW relative to the hopset's
 	// normalized graph (1 from BuildSPT; rescaling wrappers update it).
 	Scale float64
+	// Relax is the scanned-arc/kernel accounting of the underlying
+	// Bellman–Ford exploration over G ∪ H.
+	Relax relax.Stats
 }
 
 // ErrNoPaths is returned when the hopset was built without RecordPaths.
@@ -75,7 +78,7 @@ func BuildSPTOn(h *hopset.Hopset, a *adj.Adj, source int32, rounds int, tr *pram
 	if a == nil {
 		a = adj.Build(h.G, h.Extras())
 	}
-	bf := bmf.Run(a, []int32{source}, rounds, tr)
+	bf := relax.Run(a, []int32{source}, rounds, relax.Options{Tracker: tr})
 
 	// Tree state: parent vertex, the hopset edge implementing the parent
 	// edge (-1 = base-graph edge), parent edge weight, distance estimate.
@@ -95,7 +98,7 @@ func BuildSPTOn(h *hopset.Hopset, a *adj.Adj, source int32, rounds int, tr *pram
 		}
 	}
 
-	spt := &SPT{Source: source, Scale: 1}
+	spt := &SPT{Source: source, Scale: 1, Relax: bf.Stats}
 	// Iterations j = 0 … λ−k₀ peel scales λ, λ−1, …, k₀ (§4.1).
 	for k := h.Sched.Lambda; k >= h.Sched.K0; k-- {
 		if peelScale(h, int16(k), parent, parentHE, parentW, dist, tr) {

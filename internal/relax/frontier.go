@@ -1,0 +1,161 @@
+package relax
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adj"
+	"repro/internal/par"
+)
+
+// ScanSet is a reusable deterministic scan-set builder: a vertex bitset
+// marked in parallel (idempotent atomic OR — the final set is independent
+// of scheduling) and collected into a worklist sorted by vertex id. It is
+// the shared frontier substrate of the relaxation kernels and of the
+// limited-BFS explorations in the hopset build.
+//
+// A summary bitset (one bit per 64-vertex word) tracks which words are
+// nonzero, so Reset and Collect cost is proportional to the marked words
+// (plus Θ(n/4096) for the summary itself), not to n — narrow frontiers
+// on huge graphs stay cheap.
+type ScanSet struct {
+	bits []uint64
+	sum  []uint64 // sum[w>>6] bit w&63 set ⇔ bits[w] may be nonzero
+}
+
+// Reset clears the set and sizes it for n vertices.
+func (s *ScanSet) Reset(n int) {
+	words := (n + 63) / 64
+	sumWords := (words + 63) / 64
+	if cap(s.bits) < words {
+		s.bits = make([]uint64, words)
+		s.sum = make([]uint64, sumWords)
+		return
+	}
+	if len(s.bits) != words {
+		// Resizing exposes words the summary of the previous size did not
+		// cover; clear everything once.
+		s.bits = s.bits[:words]
+		clear(s.bits)
+		s.sum = append(s.sum[:0], make([]uint64, sumWords)...)
+		return
+	}
+	// Clear only the words the summary says are dirty.
+	for si, sw := range s.sum {
+		base := si << 6
+		for sw != 0 {
+			s.bits[base+bits.TrailingZeros64(sw)] = 0
+			sw &= sw - 1
+		}
+	}
+	clear(s.sum)
+}
+
+// Mark adds v to the set. Safe for concurrent use; marking is idempotent.
+func (s *ScanSet) Mark(v int32) {
+	w, mask := v>>6, uint64(1)<<(uint(v)&63)
+	if atomic.LoadUint64(&s.bits[w])&mask != 0 {
+		return
+	}
+	if atomic.OrUint64(&s.bits[w], mask) == 0 {
+		// This marker turned the word nonzero (the atomic OR serializes, so
+		// exactly one does): record it in the summary.
+		atomic.OrUint64(&s.sum[w>>6], uint64(1)<<(uint(w)&63))
+	}
+}
+
+// MarkNeighbors marks every neighbor of every frontier vertex (and, when
+// includeSelf is set, the frontier vertices themselves). The scan set it
+// produces is exactly the vertices whose round-(r+1) state can differ
+// from their round-r state when frontier is the set of round-r changes.
+func (s *ScanSet) MarkNeighbors(a *adj.Adj, frontier []int32, includeSelf bool) {
+	par.ForChunk(len(frontier), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := frontier[i]
+			if includeSelf {
+				s.Mark(u)
+			}
+			for arc := a.Off[u]; arc < a.Off[u+1]; arc++ {
+				s.Mark(a.Nbr[arc])
+			}
+		}
+	})
+}
+
+// Collect appends the marked vertices in increasing vertex order to dst
+// and returns it together with their summed degree (the arcs a pull-style
+// rescan of the set will traverse). The order — and therefore everything
+// downstream — is independent of the marking schedule.
+func (s *ScanSet) Collect(a *adj.Adj, dst []int32) ([]int32, int64) {
+	var arcs int64
+	for si, sw := range s.sum {
+		sbase := si << 6
+		for sw != 0 {
+			wi := sbase + bits.TrailingZeros64(sw)
+			sw &= sw - 1
+			word := s.bits[wi]
+			base := int32(wi) << 6
+			for word != 0 {
+				v := base + int32(bits.TrailingZeros64(word))
+				word &= word - 1
+				dst = append(dst, v)
+				arcs += int64(a.Off[v+1] - a.Off[v])
+			}
+		}
+	}
+	return dst, arcs
+}
+
+var scanSetPool = sync.Pool{New: func() any { return new(ScanSet) }}
+
+// GetScanSet returns a pooled ScanSet reset for n vertices.
+func GetScanSet(n int) *ScanSet {
+	s := scanSetPool.Get().(*ScanSet)
+	s.Reset(n)
+	return s
+}
+
+// PutScanSet returns a ScanSet to the pool.
+func PutScanSet(s *ScanSet) { scanSetPool.Put(s) }
+
+// Counters accumulates engine statistics across explorations. All methods
+// are safe for concurrent use; a nil *Counters is valid and ignores Adds.
+type Counters struct {
+	explorations atomic.Int64
+	scannedArcs  atomic.Int64
+	denseRounds  atomic.Int64
+	sparseRounds atomic.Int64
+}
+
+// Add folds one exploration's Stats into the counters. Safe on nil.
+func (c *Counters) Add(st Stats) {
+	if c == nil {
+		return
+	}
+	c.explorations.Add(1)
+	c.scannedArcs.Add(st.ScannedArcs)
+	c.denseRounds.Add(st.DenseRounds)
+	c.sparseRounds.Add(st.SparseRounds)
+}
+
+// CounterSnapshot is a point-in-time copy of a Counters.
+type CounterSnapshot struct {
+	Explorations int64
+	ScannedArcs  int64
+	DenseRounds  int64
+	SparseRounds int64
+}
+
+// Snapshot returns the current totals. Safe on nil.
+func (c *Counters) Snapshot() CounterSnapshot {
+	if c == nil {
+		return CounterSnapshot{}
+	}
+	return CounterSnapshot{
+		Explorations: c.explorations.Load(),
+		ScannedArcs:  c.scannedArcs.Load(),
+		DenseRounds:  c.denseRounds.Load(),
+		SparseRounds: c.sparseRounds.Load(),
+	}
+}

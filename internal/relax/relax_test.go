@@ -1,0 +1,246 @@
+package relax
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adj"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/pram"
+)
+
+// naiveRun is an independent reference implementation of the documented
+// semantics — double-buffered full scans with (distance, parent, arc)
+// tie-breaking — deliberately sharing no code with the engine, so an
+// engine bug cannot hide inside its own reference.
+func naiveRun(a *adj.Adj, sources []int32, maxRounds int) *Result {
+	n := a.N
+	res := &Result{
+		Dist:      make([]float64, n),
+		Parent:    make([]int32, n),
+		ParentArc: make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		res.Dist[v] = math.Inf(1)
+		res.Parent[v] = -1
+		res.ParentArc[v] = -1
+	}
+	for _, s := range sources {
+		res.Dist[s] = 0
+	}
+	nd := make([]float64, n)
+	np := make([]int32, n)
+	na := make([]int32, n)
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			bd, bp, ba := res.Dist[v], res.Parent[v], res.ParentArc[v]
+			for arc := a.Off[v]; arc < a.Off[v+1]; arc++ {
+				u := a.Nbr[arc]
+				d := res.Dist[u] + a.Wt[arc]
+				if d < bd || (d == bd && (u < bp || (u == bp && arc < ba))) {
+					bd, bp, ba = d, u, arc
+				}
+			}
+			nd[v], np[v], na[v] = bd, bp, ba
+			if bd != res.Dist[v] || bp != res.Parent[v] || ba != res.ParentArc[v] {
+				changed = true
+			}
+		}
+		copy(res.Dist, nd)
+		copy(res.Parent, np)
+		copy(res.ParentArc, na)
+		res.Rounds = round + 1
+		if !changed {
+			res.Converged = true
+			break
+		}
+	}
+	return res
+}
+
+func sameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Rounds != want.Rounds || got.Converged != want.Converged {
+		t.Fatalf("%s: rounds/converged %d/%v, want %d/%v",
+			label, got.Rounds, got.Converged, want.Rounds, want.Converged)
+	}
+	for v := range want.Dist {
+		if got.Dist[v] != want.Dist[v] || got.Parent[v] != want.Parent[v] ||
+			got.ParentArc[v] != want.ParentArc[v] {
+			t.Fatalf("%s: vertex %d label (%v,%d,%d), want (%v,%d,%d)",
+				label, v, got.Dist[v], got.Parent[v], got.ParentArc[v],
+				want.Dist[v], want.Parent[v], want.ParentArc[v])
+		}
+	}
+}
+
+// propertyGraphs builds the workload mix of the acceptance criteria:
+// random Gnm, grid, and power-law topologies across seeds.
+func propertyGraphs(seed int64) []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnm", graph.Gnm(300, 900, graph.UniformWeights(1, 7), seed)},
+		{"grid", graph.Grid(18, 16, graph.UniformWeights(1, 3), seed)},
+		{"powerlaw", graph.PowerLaw(256, 3, graph.UnitWeights(), seed)},
+		{"disconnected", graph.Gnm(200, 220, graph.UniformWeights(1, 4), seed)},
+	}
+}
+
+// TestSparseBitIdenticalToDense is the engine's central property: over
+// random graph families, seeds, worker counts, source sets and round
+// budgets, the adaptive and the always-sparse engines produce results
+// bit-identical to the dense reference kernel (and to an independent
+// naive implementation).
+func TestSparseBitIdenticalToDense(t *testing.T) {
+	old := par.Workers()
+	defer par.SetWorkers(old)
+	for seed := int64(0); seed < 3; seed++ {
+		for _, gc := range propertyGraphs(seed) {
+			a := adj.Build(gc.g, nil)
+			n := gc.g.N
+			sourceSets := [][]int32{
+				{0},
+				{int32(n / 2)},
+				{0, int32(n - 1), int32(n / 3)},
+				{int32(n - 1), int32(n - 1)}, // duplicates must be harmless
+			}
+			for _, srcs := range sourceSets {
+				for _, budget := range []int{1, 3, n} {
+					want := naiveRun(a, srcs, budget)
+					for _, workers := range []int{1, 4} {
+						par.SetWorkers(workers)
+						dense := Run(a, srcs, budget, Options{ForceDense: true})
+						sparse := Run(a, srcs, budget, Options{DenseFraction: 1.5})
+						adaptive := Run(a, srcs, budget, Options{})
+						label := func(kind string) string {
+							return gc.name + "/" + kind
+						}
+						sameResult(t, label("dense-vs-naive"), dense, want)
+						sameResult(t, label("sparse-vs-naive"), sparse, want)
+						sameResult(t, label("adaptive-vs-naive"), adaptive, want)
+						if sparse.Stats.DenseRounds != 0 {
+							t.Fatalf("%s: always-sparse engine ran %d dense rounds",
+								gc.name, sparse.Stats.DenseRounds)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSparseScansFewerArcs checks the point of the engine: on a
+// high-diameter (narrow-frontier) workload the sparse kernel scans far
+// fewer arcs than the dense reference.
+func TestSparseScansFewerArcs(t *testing.T) {
+	g := graph.Grid(48, 48, graph.UniformWeights(1, 3), 7)
+	a := adj.Build(g, nil)
+	dense := Run(a, []int32{0}, g.N, Options{ForceDense: true})
+	sparse := Run(a, []int32{0}, g.N, Options{})
+	sameResult(t, "grid", sparse, dense)
+	if sparse.Stats.ScannedArcs*2 > dense.Stats.ScannedArcs {
+		t.Fatalf("sparse scanned %d arcs, dense %d — want ≥2× fewer",
+			sparse.Stats.ScannedArcs, dense.Stats.ScannedArcs)
+	}
+}
+
+func TestExplorationStepping(t *testing.T) {
+	g := graph.Path(30, graph.UnitWeights(), 1)
+	a := adj.Build(g, nil)
+	e := Start(a, []int32{0}, Options{})
+	steps := 0
+	for e.Step() {
+		steps++
+		if d := e.Dist(); d[steps] != float64(steps) {
+			t.Fatalf("after %d steps, dist[%d]=%v", steps, steps, d[steps])
+		}
+	}
+	res := e.Finish()
+	if !res.Converged || res.Rounds != steps+1 {
+		t.Fatalf("converged=%v rounds=%d steps=%d", res.Converged, res.Rounds, steps)
+	}
+	if res.Dist[29] != 29 {
+		t.Fatalf("dist[29]=%v", res.Dist[29])
+	}
+	// Finish is idempotent and Counters see exactly one exploration.
+	if again := e.Finish(); again != res {
+		t.Fatal("Finish not idempotent")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	g := graph.Grid(12, 12, graph.UnitWeights(), 3)
+	a := adj.Build(g, nil)
+	var c Counters
+	for i := 0; i < 3; i++ {
+		Run(a, []int32{int32(i)}, g.N, Options{Counters: &c})
+	}
+	s := c.Snapshot()
+	if s.Explorations != 3 || s.ScannedArcs == 0 || s.DenseRounds+s.SparseRounds == 0 {
+		t.Fatalf("counters: %+v", s)
+	}
+	// A nil Counters must be a no-op.
+	var nilc *Counters
+	nilc.Add(Stats{ScannedArcs: 1})
+	if got := nilc.Snapshot(); got != (CounterSnapshot{}) {
+		t.Fatalf("nil counters: %+v", got)
+	}
+}
+
+func TestTrackerChargesScannedArcs(t *testing.T) {
+	g := graph.Grid(20, 20, graph.UnitWeights(), 1)
+	a := adj.Build(g, nil)
+	tr := pram.New()
+	res := Run(a, []int32{0}, g.N, Options{Tracker: tr})
+	c := tr.Snapshot()
+	if c.Depth != int64(res.Rounds) {
+		t.Fatalf("depth %d != rounds %d", c.Depth, res.Rounds)
+	}
+	if c.Work != res.Stats.ScannedArcs {
+		t.Fatalf("work %d != scanned arcs %d", c.Work, res.Stats.ScannedArcs)
+	}
+}
+
+func TestEmptySources(t *testing.T) {
+	g := graph.Path(5, graph.UnitWeights(), 1)
+	a := adj.Build(g, nil)
+	for _, opts := range []Options{{}, {ForceDense: true}} {
+		res := Run(a, nil, 10, opts)
+		if !res.Converged {
+			t.Fatal("empty-source run must converge immediately")
+		}
+		for v := range res.Dist {
+			if !math.IsInf(res.Dist[v], 1) || res.Parent[v] != -1 {
+				t.Fatalf("vertex %d: %v/%d", v, res.Dist[v], res.Parent[v])
+			}
+		}
+	}
+}
+
+// FuzzSparseMatchesDense derives a small random graph and source set from
+// the fuzz input and asserts bit-identical sparse/dense results.
+func FuzzSparseMatchesDense(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(90), uint8(0))
+	f.Add(int64(99), uint8(7), uint8(3), uint8(5))
+	f.Add(int64(-5), uint8(200), uint8(255), uint8(128))
+	f.Fuzz(func(t *testing.T, seed int64, nb, mb, sb uint8) {
+		n := int(nb)%120 + 2
+		m := int(mb) * 2
+		g := graph.Gnm(n, m, graph.UniformWeights(1, 9), seed)
+		a := adj.Build(g, nil)
+		srcs := []int32{int32(int(sb) % n)}
+		if sb%3 == 0 {
+			srcs = append(srcs, int32(n-1))
+		}
+		want := Run(a, srcs, n, Options{ForceDense: true})
+		got := Run(a, srcs, n, Options{DenseFraction: 1.5})
+		sameResult(t, "fuzz", got, want)
+	})
+}

@@ -11,12 +11,12 @@ import (
 	"math"
 
 	"repro/internal/adj"
-	"repro/internal/bmf"
 	"repro/internal/cluster"
 	"repro/internal/exact"
 	"repro/internal/hopset"
 	"repro/internal/limbfs"
 	"repro/internal/pathrep"
+	"repro/internal/relax"
 )
 
 // Report is the outcome of a verification pass.
@@ -60,7 +60,7 @@ func Stretch(h *hopset.Hopset, eps float64, budget int, sources []int32) (Report
 	a := adj.Build(h.G, h.Extras())
 	for _, s := range sources {
 		ref, _ := exact.DijkstraGraph(h.G, s)
-		res := bmf.Run(a, []int32{s}, budget, nil)
+		res := relax.Run(a, []int32{s}, budget, relax.Options{})
 		for v := 0; v < h.G.N; v++ {
 			if math.IsInf(ref[v], 1) {
 				if !math.IsInf(res.Dist[v], 1) {

@@ -264,6 +264,20 @@ func (e *Engine) Path(u, v int32) ([]int32, float64, error) {
 	return path, t.Dist[v], nil
 }
 
+// RelaxStats is the relaxation engine's cumulative per-query accounting:
+// how many explorations ran, how many arcs they actually scanned, and how
+// the adaptive engine split its rounds between the dense full-scan kernel
+// and the frontier-sparse kernel. ArcsPerExploration is the average
+// scanned-arc cost of one query-time exploration — the number the
+// frontier-sparse engine drives down on low-frontier workloads.
+type RelaxStats struct {
+	Explorations       int64   `json:"explorations"`
+	ScannedArcs        int64   `json:"scanned_arcs"`
+	DenseRounds        int64   `json:"dense_rounds"`
+	SparseRounds       int64   `json:"sparse_rounds"`
+	ArcsPerExploration float64 `json:"arcs_per_exploration"`
+}
+
 // Stats is a point-in-time snapshot of the engine's query, cache and
 // batching counters.
 type Stats struct {
@@ -280,6 +294,8 @@ type Stats struct {
 	BatchedQueries  int64 `json:"batched_queries"`
 	LargestBatch    int64 `json:"largest_batch"`
 	BatchWindowNano int64 `json:"batch_window_ns"`
+
+	Relax RelaxStats `json:"relax"`
 }
 
 // Stats returns the engine's counters. Safe on a nil engine.
@@ -295,6 +311,16 @@ func (e *Engine) Stats() Stats {
 		TreeQueries:    e.treeQueries.Load(),
 		DistCache:      e.distCache.stats(),
 		TreeCache:      e.treeCache.stats(),
+	}
+	rs := e.solver.RelaxStats()
+	st.Relax = RelaxStats{
+		Explorations: rs.Explorations,
+		ScannedArcs:  rs.ScannedArcs,
+		DenseRounds:  rs.DenseRounds,
+		SparseRounds: rs.SparseRounds,
+	}
+	if rs.Explorations > 0 {
+		st.Relax.ArcsPerExploration = float64(rs.ScannedArcs) / float64(rs.Explorations)
 	}
 	if e.batcher != nil {
 		st.Batches = e.batcher.batches.Load()

@@ -133,6 +133,15 @@ func TestServerPathAndStats(t *testing.T) {
 	if st.Engine.PathQueries < 1 || st.Engine.TreeQueries < 1 {
 		t.Errorf("stats engine %+v", st.Engine)
 	}
+	// The relaxation engine's per-query scanned-arc accounting must be
+	// served: the tree query above ran at least one exploration.
+	rx := st.Engine.Relax
+	if rx.Explorations < 1 || rx.ScannedArcs <= 0 || rx.ArcsPerExploration <= 0 {
+		t.Errorf("stats relax %+v", rx)
+	}
+	if rx.DenseRounds+rx.SparseRounds <= 0 {
+		t.Errorf("stats relax rounds %+v", rx)
+	}
 }
 
 func TestServerErrors(t *testing.T) {
