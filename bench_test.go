@@ -26,6 +26,7 @@ import (
 	"repro/internal/psort"
 	"repro/internal/relax"
 	"repro/internal/scaling"
+	"repro/internal/testkit"
 )
 
 var benchCfg = harness.Config{Quick: true, Seed: 1}
@@ -159,7 +160,7 @@ func BenchmarkE17Oracle(b *testing.B) { runExperiment(b, harness.E17Oracle) }
 // --- Micro-benchmarks of the substrates and core operations. ---
 
 func benchGraph(n int) *graph.Graph {
-	return graph.Gnm(n, 4*n, graph.UniformWeights(1, 8), 42)
+	return testkit.Dense(n, 42)
 }
 
 func BenchmarkHopsetBuild(b *testing.B) {
@@ -188,7 +189,7 @@ func BenchmarkHopsetBuildPathReporting(b *testing.B) {
 }
 
 func BenchmarkKleinSairamBuild(b *testing.B) {
-	g := graph.Gnm(256, 1024, graph.GeometricScaleWeights(12), 42)
+	g := testkit.Wide(256, 42)
 	for i := 0; i < b.N; i++ {
 		if _, err := scaling.Build(g, scaling.Params{Epsilon: 0.5}, nil); err != nil {
 			b.Fatal(err)
@@ -289,39 +290,36 @@ func BenchmarkRelaxDenseVsSparse(b *testing.B) {
 		ArcReduction float64 `json:"arc_reduction"`
 		Speedup      float64 `json:"wall_speedup"`
 	}
-	workloads := []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"grid-128x128", graph.Grid(128, 128, graph.UniformWeights(1, 3), 7)},
-		{"roadnet-96x96", graph.Grid(96, 96, graph.UniformWeights(1, 3), 7)},
-		{"gnm-8192", graph.Gnm(8192, 32768, graph.UniformWeights(1, 8), 42)},
+	workloads := []testkit.NamedGraph{
+		{Name: "grid-128x128", G: testkit.Grid(128*128, 7)},
+		{Name: "roadnet-96x96", G: testkit.Grid(96*96, 7)},
+		{Name: "gnm-8192", G: testkit.Dense(8192, 42)},
 	}
 	var out []measurement
 	for _, wl := range workloads {
-		a := adj.Build(wl.g, nil)
-		src := []int32{int32(wl.g.N / 3)}
+		a := adj.Build(wl.G, nil)
+		src := []int32{int32(wl.G.N / 3)}
 		var m measurement
-		b.Run(wl.name, func(b *testing.B) {
+		b.Run(wl.Name, func(b *testing.B) {
 			var denseNS, sparseNS int64
 			var dense, sparse *relax.Result
 			for i := 0; i < b.N; i++ {
 				start := time.Now()
-				dense = relax.Run(a, src, wl.g.N, relax.Options{ForceDense: true})
+				dense = relax.Run(a, src, wl.G.N, relax.Options{ForceDense: true})
 				denseNS += time.Since(start).Nanoseconds()
 				start = time.Now()
-				sparse = relax.Run(a, src, wl.g.N, relax.Options{})
+				sparse = relax.Run(a, src, wl.G.N, relax.Options{})
 				sparseNS += time.Since(start).Nanoseconds()
 			}
-			for v := 0; v < wl.g.N; v++ {
+			for v := 0; v < wl.G.N; v++ {
 				if dense.Dist[v] != sparse.Dist[v] || dense.Parent[v] != sparse.Parent[v] ||
 					dense.ParentArc[v] != sparse.ParentArc[v] {
 					b.Fatalf("vertex %d: sparse result differs from dense", v)
 				}
 			}
 			m = measurement{
-				Workload:     wl.name,
-				N:            wl.g.N,
+				Workload:     wl.Name,
+				N:            wl.G.N,
 				Arcs:         a.Arcs(),
 				Rounds:       dense.Rounds,
 				DenseMS:      float64(denseNS) / float64(b.N) / 1e6,

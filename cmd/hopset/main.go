@@ -14,6 +14,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/graph"
@@ -41,6 +42,8 @@ func main() {
 		outG    = flag.String("out-graph", "", "write the (normalized) graph to this file")
 		outH    = flag.String("out-hopset", "", "write the hopset to this file (verify with cmd/verify)")
 		outS    = flag.String("out-snapshot", "", "write an engine snapshot (serve with cmd/serve -snapshot)")
+		snapDir = flag.String("snapshot-dir", "", "write the snapshot into this registry directory as <name>.snap")
+		name    = flag.String("name", "", "graph name inside -snapshot-dir (default: the generator name)")
 	)
 	flag.Parse()
 
@@ -103,6 +106,24 @@ func main() {
 		if err := writeFile(*outS, eng.SaveSnapshot); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *snapDir != "" {
+		// Target a named slot in a cmd/serve -snapshot-dir registry
+		// directory: serve picks the graph up by file name, and
+		// POST /graphs/<name>/reload hot-swaps it after a rewrite.
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		slot := *name
+		if slot == "" {
+			slot = *gen
+		}
+		path := filepath.Join(*snapDir, slot+".snap")
+		if err := writeFile(path, eng.SaveSnapshot); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot: %s (serve -snapshot-dir %s; reload with POST /graphs/%s/reload)\n",
+			path, *snapDir, slot)
 	}
 	if *verbose {
 		fmt.Println("phase ledger:")

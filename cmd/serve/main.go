@@ -1,21 +1,41 @@
-// Command serve runs the distance-oracle engine as an HTTP/JSON service —
-// the build-once / query-many deployment the hopset construction is made
-// for: one deterministic build, then concurrent approximate-distance and
-// path queries over GET /dist, /path, /stats and /healthz.
+// Command serve runs the multi-graph distance-oracle registry as an
+// HTTP/JSON service — the build-once / query-many deployment the hopset
+// construction is made for, scaled to many resident graphs: engines build
+// in the background off the request path, each graph exposes its own
+// readiness, and POST /graphs/{name}/reload hot-swaps a rebuilt or
+// re-snapshotted engine with zero downtime (in-flight queries drain on the
+// old version's refcount).
 //
-//	serve -n 4096 -m 16384 -eps 0.25 -addr :8080
-//	serve -in graph.txt -paths -batch 2ms
-//	serve -snapshot oracle.snap            # skip the build entirely
+//	serve -n 4096 -m 16384 -eps 0.25 -addr :8080     # one generated graph, "default"
+//	serve -in graph.txt -paths -batch 2ms            # one graph from a file
+//	serve -snapshot oracle.snap                      # revive "default" from a snapshot
+//	serve -snapshot-dir snapshots/                   # every snapshots/<name>.snap, by name
 //
-// With -save-snapshot the freshly built engine is persisted first, so the
-// next start can use -snapshot and come up without rebuilding.
+// Routes (see oracle.NewRegistryHandler):
+//
+//	GET  /graphs                    all graphs + aggregate stats
+//	GET  /graphs/{name}/ready       per-graph readiness (200/503)
+//	GET  /graphs/{name}/dist?source=S[&target=T]
+//	GET  /graphs/{name}/path?from=U&to=V
+//	GET  /graphs/{name}/stats
+//	POST /graphs/{name}/reload      rebuild + hot swap
+//	GET  /healthz                   process liveness
+//
+// The legacy single-graph routes /dist and /path redirect to the
+// "default" graph. With -save-snapshot the built default engine is
+// persisted once ready, so the next start can come up via -snapshot (or
+// -snapshot-dir) without rebuilding.
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/graph"
@@ -26,79 +46,158 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		in    = flag.String("in", "", "input graph file (empty: generate gnm)")
-		n     = flag.Int("n", 4096, "vertices (generated)")
-		m     = flag.Int("m", 16384, "edges (generated)")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		eps   = flag.Float64("eps", 0.25, "stretch target ε")
-		paths = flag.Bool("paths", true, "record memory paths (enables /path)")
-		cache = flag.Int("cache", 256, "distance-vector LRU capacity")
-		batch = flag.Duration("batch", 0, "dist-query coalescing window (0 = off)")
-		snap  = flag.String("snapshot", "", "load a SaveSnapshot file instead of building")
-		save  = flag.String("save-snapshot", "", "persist the built engine to this file")
+		addr    = flag.String("addr", ":8080", "listen address")
+		in      = flag.String("in", "", "input graph file (empty: generate gnm)")
+		n       = flag.Int("n", 4096, "vertices (generated)")
+		m       = flag.Int("m", 16384, "edges (generated)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		eps     = flag.Float64("eps", 0.25, "stretch target ε")
+		paths   = flag.Bool("paths", true, "record memory paths (enables /path)")
+		cache   = flag.Int("cache", 256, "distance-vector LRU capacity")
+		batch   = flag.Duration("batch", 0, "dist-query coalescing window (0 = off)")
+		snap    = flag.String("snapshot", "", "snapshot file for the \"default\" graph")
+		snapDir = flag.String("snapshot-dir", "", "serve every <name>.snap in this directory by name")
+		save    = flag.String("save-snapshot", "", "persist the built default engine to this file once ready")
+		workers = flag.Int("build-workers", 0, "bound on concurrent background builds (0 = auto)")
+		budget  = flag.Int64("mem-budget", 0, "memory budget in bytes for resident engines (0 = unlimited)")
 	)
 	flag.Parse()
 
-	serveOpts := []oracle.Option{
-		oracle.WithDistCache(*cache),
-		oracle.WithBatchWindow(*batch),
+	reg := oracle.NewRegistry(oracle.RegistryConfig{
+		BuildWorkers: *workers,
+		MemoryBudget: *budget,
+		EngineOptions: []oracle.Option{
+			oracle.WithDistCache(*cache),
+			oracle.WithBatchWindow(*batch),
+		},
+	})
+	defer reg.Close()
+
+	var names []string
+	add := func(name string, src oracle.EngineSource) {
+		if err := reg.Add(name, src); err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, name)
 	}
 
-	var eng *oracle.Engine
-	start := time.Now()
+	if *snapDir != "" {
+		loaded, err := addSnapshotDir(reg, *snapDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, loaded...)
+	}
+
 	switch {
 	case *snap != "":
-		f, err := os.Open(*snap)
-		if err != nil {
-			log.Fatal(err)
-		}
-		eng, err = oracle.LoadSnapshot(f, serveOpts...)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("loaded snapshot %s in %v", *snap, time.Since(start).Round(time.Millisecond))
+		add("default", oracle.SnapshotSource(*snap))
 	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts := append(buildOpts(*eps, *paths), serveOpts...)
-		eng, err = oracle.LoadGraph(f, opts...)
+		g, err := graph.Decode(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-	default:
+		add("default", oracle.GraphSource(g, buildOpts(*eps, *paths)...))
+	case *snapDir == "":
 		g := graph.Gnm(*n, *m, graph.UniformWeights(1, 8), *seed)
-		var err error
-		eng, err = oracle.New(g, append(buildOpts(*eps, *paths), serveOpts...)...)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	h := eng.Hopset()
-	log.Printf("engine ready in %v: n=%d m=%d hopset=%d edges, query budget %d rounds",
-		time.Since(start).Round(time.Millisecond), h.G.N, h.G.M(), h.Size(), eng.HopBudget())
-
-	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := eng.SaveSnapshot(f); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("snapshot written to %s", *save)
+		add("default", oracle.GraphSource(g, buildOpts(*eps, *paths)...))
 	}
 
-	log.Printf("listening on %s (GET /dist /path /stats /healthz)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, oracle.NewHandler(eng)))
+	// Builds run off the request path: serve immediately, log readiness as
+	// each graph lands, and persist the default engine once it is up.
+	for _, name := range names {
+		go func(name string) {
+			start := time.Now()
+			if err := reg.WaitReady(context.Background(), name); err != nil {
+				log.Printf("graph %q failed: %v", name, err)
+				return
+			}
+			gi, err := reg.Info(name)
+			if err != nil {
+				return
+			}
+			log.Printf("graph %q ready in %v: n=%d hopset=%d edges, ~%d MiB",
+				name, time.Since(start).Round(time.Millisecond),
+				gi.N, gi.HopsetEdges, gi.MemoryBytes>>20)
+			if name == "default" && *save != "" {
+				if err := saveSnapshot(reg, *save); err != nil {
+					log.Printf("save-snapshot: %v", err)
+				} else {
+					log.Printf("snapshot written to %s", *save)
+				}
+			}
+		}(name)
+	}
+
+	rh := oracle.NewRegistryHandler(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/graphs", rh)
+	mux.Handle("/graphs/", rh)
+	mux.Handle("/healthz", rh)
+	mux.Handle("/stats", rh)
+	// Legacy single-graph routes target the default graph.
+	mux.HandleFunc("/dist", redirectDefault)
+	mux.HandleFunc("/path", redirectDefault)
+
+	log.Printf("listening on %s (%d graphs: GET /graphs /graphs/{name}/dist|path|stats|ready, POST /graphs/{name}/reload)",
+		*addr, len(names))
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// addSnapshotDir registers every <name>.snap in dir on the registry under
+// its file name and returns the names. Builds (snapshot loads) run in the
+// background; callers follow readiness per graph.
+func addSnapshotDir(reg *oracle.Registry, dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no *.snap files in %s", dir)
+	}
+	var names []string
+	for _, path := range matches {
+		name := strings.TrimSuffix(filepath.Base(path), ".snap")
+		if err := reg.Add(name, oracle.SnapshotSource(path)); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// redirectDefault maps the legacy /dist and /path routes onto the default
+// graph's registry routes, preserving the query string.
+func redirectDefault(w http.ResponseWriter, r *http.Request) {
+	target := "/graphs/default" + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+}
+
+// saveSnapshot persists the current default engine through a refcounted
+// handle, so a concurrent reload cannot swap it mid-write.
+func saveSnapshot(reg *oracle.Registry, path string) error {
+	h, err := reg.Acquire("default")
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := h.Engine().SaveSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildOpts(eps float64, paths bool) []oracle.Option {

@@ -2,7 +2,9 @@
 // shortest paths (Theorem 3.8) through the oracle engine and compares them
 // against exact Dijkstra: it prints the measured stretch distribution, the
 // hop budget used, and — with -spt — extracts and validates a
-// (1+ε)-shortest-path tree (§4).
+// (1+ε)-shortest-path tree (§4). With -snapshot-dir it queries a named
+// engine from a registry snapshot directory (the cmd/serve -snapshot-dir
+// layout) instead of building one.
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 
 	"repro/internal/exact"
@@ -23,16 +26,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sssp: ")
 	var (
-		in   = flag.String("in", "", "input graph file (empty: generate gnm)")
-		n    = flag.Int("n", 1024, "vertices (generated)")
-		m    = flag.Int("m", 4096, "edges (generated)")
-		seed = flag.Int64("seed", 1, "generator seed")
-		src  = flag.Int("source", 0, "source vertex")
-		eps  = flag.Float64("eps", 0.25, "stretch target ε")
-		ks   = flag.Bool("ks", false, "Klein–Sairam weight reduction (wide weights)")
-		spt  = flag.Bool("spt", false, "also extract a (1+ε)-SPT (§4)")
-		nsrc = flag.Int("sources", 1, "number of sources (aMSSD)")
-		prof = flag.String("cpuprofile", "", "write a CPU profile of build+queries to this file")
+		in      = flag.String("in", "", "input graph file (empty: generate gnm)")
+		n       = flag.Int("n", 1024, "vertices (generated)")
+		m       = flag.Int("m", 4096, "edges (generated)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		src     = flag.Int("source", 0, "source vertex")
+		eps     = flag.Float64("eps", 0.25, "stretch target ε")
+		ks      = flag.Bool("ks", false, "Klein–Sairam weight reduction (wide weights)")
+		spt     = flag.Bool("spt", false, "also extract a (1+ε)-SPT (§4)")
+		nsrc    = flag.Int("sources", 1, "number of sources (aMSSD)")
+		prof    = flag.String("cpuprofile", "", "write a CPU profile of build+queries to this file")
+		snapDir = flag.String("snapshot-dir", "", "load the engine from <snapshot-dir>/<graph>.snap instead of building")
+		gname   = flag.String("graph", "default", "graph name inside -snapshot-dir")
 	)
 	flag.Parse()
 
@@ -52,6 +57,28 @@ func main() {
 			log.Fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	tr := pram.New()
+
+	if *snapDir != "" {
+		path := filepath.Join(*snapDir, *gname+".snap")
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		eng, err := oracle.LoadSnapshot(f, oracle.WithTracker(tr))
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		h := eng.Hopset()
+		fmt.Printf("graph %q from %s: n=%d m=%d | hopset: %d edges\n",
+			*gname, path, h.G.N, h.G.M(), h.Size())
+		// The snapshot's stored graph is normalized; engine answers are in
+		// input units, so the Dijkstra reference must be rescaled to match.
+		queryAndReport(eng, h.G, h.ScaleFactor, *src, *nsrc, *eps, *spt, tr, fatal)
+		return
 	}
 
 	var g *graph.Graph
@@ -74,7 +101,6 @@ func main() {
 		g = graph.Gnm(*n, *m, wf, *seed)
 	}
 
-	tr := pram.New()
 	opts := []oracle.Option{oracle.WithEpsilon(*eps), oracle.WithTracker(tr)}
 	if *spt {
 		opts = append(opts, oracle.WithPathReporting())
@@ -89,10 +115,17 @@ func main() {
 	build := tr.Snapshot()
 	fmt.Printf("graph: n=%d m=%d | hopset: %d edges | build %v\n",
 		g.N, g.M(), eng.Hopset().Size(), build)
+	queryAndReport(eng, g, 1, *src, *nsrc, *eps, *spt, tr, fatal)
+}
 
-	sources := make([]int32, *nsrc)
+// queryAndReport runs the aMSSD queries and prints stretch and accounting.
+// refScale converts the Dijkstra reference on g into the engine's output
+// units (1 when g is the input graph, ScaleFactor for normalized snapshot
+// graphs).
+func queryAndReport(eng *oracle.Engine, g *graph.Graph, refScale float64, src, nsrc int, eps float64, spt bool, tr *pram.Tracker, fatal func(...any)) {
+	sources := make([]int32, nsrc)
 	for i := range sources {
-		sources[i] = int32((*src + i*g.N / *nsrc) % g.N)
+		sources[i] = int32((src + i*g.N/nsrc) % g.N)
 	}
 	rows, err := eng.MultiSource(sources)
 	if err != nil {
@@ -100,7 +133,7 @@ func main() {
 	}
 	for i, s := range sources {
 		ref, _ := exact.DijkstraGraph(g, s)
-		reportStretch(fmt.Sprintf("source %d", s), rows[i], ref, *eps)
+		reportStretch(fmt.Sprintf("source %d", s), rows[i], ref, refScale, eps)
 	}
 	fmt.Printf("query budget: %d rounds | pram after queries: %v\n",
 		eng.HopBudget(), tr.Snapshot())
@@ -108,7 +141,7 @@ func main() {
 	fmt.Printf("relax engine: %d explorations, %d arcs scanned (%.0f/query), rounds %d dense / %d sparse\n",
 		rs.Explorations, rs.ScannedArcs, rs.ArcsPerExploration, rs.DenseRounds, rs.SparseRounds)
 
-	if *spt {
+	if spt {
 		tree, err := eng.Tree(sources[0])
 		if err != nil {
 			fatal(err)
@@ -121,17 +154,17 @@ func main() {
 		}
 		fmt.Printf("SPT: %d tree edges (all in E)\n", edges)
 		ref, _ := exact.DijkstraGraph(g, sources[0])
-		reportStretch("SPT", tree.Dist, ref, *eps)
+		reportStretch("SPT", tree.Dist, ref, refScale, eps)
 	}
 }
 
-func reportStretch(label string, got, ref []float64, eps float64) {
+func reportStretch(label string, got, ref []float64, refScale, eps float64) {
 	worst, sum, cnt := 1.0, 0.0, 0
 	for v := range got {
 		if math.IsInf(ref[v], 1) || ref[v] == 0 {
 			continue
 		}
-		r := got[v] / ref[v]
+		r := got[v] / (ref[v] * refScale)
 		if r > worst {
 			worst = r
 		}

@@ -1,0 +1,102 @@
+// Multigraph: the registry serving three regions at once — background
+// builds with live progress, queries against whichever graphs are already
+// resident, a zero-downtime hot reload, and eviction under a memory
+// budget. This is the multi-tenant deployment shape the hopset's
+// build-once/query-many economics are made for: one deterministic build
+// per region, then every query is a cheap hop-bounded exploration.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/testkit"
+	"repro/oracle"
+)
+
+func main() {
+	// A memory budget that fits roughly two of the three regions keeps
+	// the least-recently-used one cold — it rebuilds on demand.
+	probe, err := oracle.New(testkit.Grid(2048, 1), oracle.WithEpsilon(0.25))
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := 5 * probe.MemoryBytes() / 2
+
+	reg := oracle.NewRegistry(oracle.RegistryConfig{
+		MemoryBudget:  budget,
+		EngineOptions: []oracle.Option{oracle.WithDistCache(64)},
+	})
+	defer reg.Close()
+
+	// Three regions, three graph families, all building in the background
+	// on the bounded build pool. The version counter makes each reload of
+	// "bayarea" observable.
+	var bayareaBuilds atomic.Int64
+	if err := reg.Add("bayarea", func(ctx context.Context, opts ...oracle.Option) (*oracle.Engine, error) {
+		seed := bayareaBuilds.Add(1)
+		return oracle.New(testkit.Grid(2048, seed), append(opts, oracle.WithEpsilon(0.25))...)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := reg.Add("social", oracle.GraphSource(testkit.Social(2000, 7), oracle.WithEpsilon(0.25))); err != nil {
+		log.Fatal(err)
+	}
+	if err := reg.Add("mesh", oracle.GraphSource(testkit.Geometric(1500, 9), oracle.WithEpsilon(0.25))); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	for _, name := range []string{"bayarea", "social", "mesh"} {
+		if err := reg.WaitReady(ctx, name); err != nil {
+			log.Fatal(err)
+		}
+		gi, _ := reg.Info(name)
+		fmt.Printf("%-8s ready: version %d, n=%d, hopset %d edges, ~%d KiB\n",
+			gi.Name, gi.Version, gi.N, gi.HopsetEdges, gi.MemoryBytes>>10)
+	}
+
+	// Query by name. With the budget above, one region may be evicted —
+	// WaitReady warms it back up on demand.
+	d, err := reg.DistTo("bayarea", 0, 2047)
+	if err != nil {
+		if err = reg.WaitReady(ctx, "bayarea"); err == nil {
+			d, err = reg.DistTo("bayarea", 0, 2047)
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bayarea: d(0, 2047) ≈ %.1f\n", d)
+
+	// Hot reload: a consistent handle pins one engine version while the
+	// replacement builds; the swap is atomic and drains on refcounts.
+	before, _ := reg.Info("bayarea")
+	if err := reg.Reload("bayarea"); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		gi, err := reg.Info("bayarea")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if gi.Version > before.Version {
+			fmt.Printf("bayarea hot-swapped: version %d → %d, zero downtime\n",
+				before.Version, gi.Version)
+			break
+		}
+		// The old engine keeps answering mid-reload.
+		if _, err := reg.DistTo("bayarea", 0, 1); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	st := reg.Stats()
+	fmt.Printf("registry: %d graphs (%d ready, %d evicted), %d queries, %d builds, %d reloads, %d evictions, ~%d KiB resident (budget %d KiB)\n",
+		st.Graphs, st.Ready, st.Evicted, st.Queries, st.BuildsDone, st.Reloads, st.Evictions,
+		st.MemoryBytes>>10, budget>>10)
+}

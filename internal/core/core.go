@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -58,6 +59,10 @@ type Options struct {
 	StrictWeights bool
 	// Tracker, when non-nil, accumulates PRAM depth/work accounting.
 	Tracker *pram.Tracker
+	// Progress, when non-nil, receives a report after every completed
+	// hopset scale during New/NewCtx. It is called from the building
+	// goroutine; keep it fast.
+	Progress func(hopset.Progress)
 }
 
 // Solver answers approximate shortest-path queries over a fixed graph.
@@ -88,16 +93,33 @@ var ErrVertexOutOfRange = errors.New("core: vertex out of range")
 
 // New builds the hopset for g and returns a query-ready solver.
 func New(g *graph.Graph, opts Options) (*Solver, error) {
+	return NewCtx(context.Background(), g, opts)
+}
+
+// NewCtx is New with cooperative cancellation: the hopset construction —
+// the dominant cost — checks ctx between scales and aborts with ctx.Err()
+// when it is canceled. Registry-style callers use this to take builds off
+// the request path and cancel ones nobody needs anymore.
+func NewCtx(ctx context.Context, g *graph.Graph, opts Options) (*Solver, error) {
 	if opts.WeightReduction && opts.StrictWeights {
 		return nil, errors.New("core: StrictWeights is not supported with WeightReduction")
 	}
 	s := &Solver{opts: opts}
 	if opts.WeightReduction {
+		// The reduction builds many per-scale hopsets internally; it does
+		// not thread a context yet, so cancellation is checked at its
+		// boundaries only.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := scaling.Build(g, scaling.Params{
 			Epsilon: opts.Epsilon, Kappa: opts.Kappa, Rho: opts.Rho,
 			EffectiveBeta: opts.EffectiveBeta, RecordPaths: opts.PathReporting,
 		}, opts.Tracker)
 		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		s.ks = r
@@ -108,11 +130,11 @@ func New(g *graph.Graph, opts Options) (*Solver, error) {
 		if opts.StrictWeights {
 			wm = hopset.WeightStrict
 		}
-		h, err := hopset.Build(g, hopset.Params{
+		h, err := hopset.BuildCtx(ctx, g, hopset.Params{
 			Epsilon: opts.Epsilon, Kappa: opts.Kappa, Rho: opts.Rho,
 			EffectiveBeta: opts.EffectiveBeta, RecordPaths: opts.PathReporting,
 			Weights: wm,
-		}, opts.Tracker)
+		}, opts.Tracker, opts.Progress)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package hopset
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,11 +43,36 @@ type Hopset struct {
 	tracker *pram.Tracker
 }
 
+// Progress is one build-progress report: which scale of [K0, Lambda] the
+// construction just finished and how many hopset edges exist so far. The
+// final report of a successful build has Done set.
+type Progress struct {
+	// Scale is the scale index k whose H_k was just completed.
+	Scale int
+	// K0 and Lambda delimit the scale range, so (Scale−K0+1)/(Lambda−K0+1)
+	// is the fraction of scales finished.
+	K0, Lambda int
+	// Edges is the hopset size after this scale.
+	Edges int
+	// Done marks the last report of a completed build.
+	Done bool
+}
+
 // Build runs the full deterministic construction of Theorem 3.7 on g.
 //
 // The input must have at least 2 vertices; weights must be positive (they
 // are normalized so the minimum is 1). The tracker may be nil.
 func Build(g *graph.Graph, p Params, tr *pram.Tracker) (*Hopset, error) {
+	return BuildCtx(context.Background(), g, p, tr, nil)
+}
+
+// BuildCtx is Build with cooperative cancellation and progress reporting:
+// the context is checked between scales (the construction's natural
+// checkpoints — each scale is one bounded unit of work), and progress,
+// when non-nil, is called after every completed scale from the building
+// goroutine. A canceled build returns ctx.Err() wrapped with the scale it
+// stopped at; no partial hopset escapes.
+func BuildCtx(ctx context.Context, g *graph.Graph, p Params, tr *pram.Tracker, progress func(Progress)) (*Hopset, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -74,6 +100,9 @@ func Build(g *graph.Graph, p Params, tr *pram.Tracker) (*Hopset, error) {
 	prevLo, prevHi := 0, 0
 	epsPrev := 0.0 // ε_{k₀−1} = 0 (§3.3)
 	for k := sched.K0; k <= sched.Lambda; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hopset: build canceled before scale %d: %w", k, err)
+		}
 		b.epsPrev = epsPrev
 		lo := len(h.Edges)
 		if err := b.buildScale(k, prevLo, prevHi); err != nil {
@@ -82,6 +111,12 @@ func Build(g *graph.Graph, p Params, tr *pram.Tracker) (*Hopset, error) {
 		prevLo, prevHi = lo, len(h.Edges)
 		// Lemma 3.6 / Corollary 3.5: (1+ε_k) = (1+ε_{k−1})(1+ε′).
 		epsPrev = (1+epsPrev)*(1+sched.EpsScale) - 1
+		if progress != nil {
+			progress(Progress{
+				Scale: k, K0: sched.K0, Lambda: sched.Lambda,
+				Edges: len(h.Edges), Done: k == sched.Lambda,
+			})
+		}
 	}
 	h.EpsFinal = epsPrev
 	return h, nil

@@ -1,6 +1,8 @@
 package hopset
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/pram"
+	"repro/internal/testkit"
 )
 
 func defaultParams() Params {
@@ -91,26 +94,69 @@ func checkStretch(t *testing.T, h *Hopset, eps float64) (maxRounds int) {
 }
 
 func TestBuildSmallGraphs(t *testing.T) {
-	cases := []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"path64", graph.Path(64, graph.UnitWeights(), 1)},
-		{"cycle50", graph.Cycle(50, graph.UniformWeights(1, 3), 2)},
-		{"grid8x8", graph.Grid(8, 8, graph.UnitWeights(), 3)},
-		{"gnm", graph.Gnm(96, 300, graph.UniformWeights(1, 4), 4)},
-		{"tree", graph.Tree(80, 2, graph.UniformWeights(1, 8), 5)},
-		{"powerlaw", graph.PowerLaw(90, 2, graph.UnitWeights(), 6)},
+	// Small instances of the shared testkit families, including the
+	// path/cycle hop-diameter adversaries.
+	cases := []testkit.NamedGraph{
+		{Name: "path64", G: testkit.Path(64)},
+		{Name: "cycle50", G: testkit.Cycle(50, 2)},
+		{Name: "grid8x8", G: testkit.Grid(64, 3)},
+		{Name: "gnm", G: testkit.Gnm(96, 4)},
+		{Name: "tree", G: testkit.Tree(80, 5)},
+		{Name: "powerlaw", G: testkit.Social(90, 6)},
 	}
 	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			h := build(t, c.g, defaultParams())
+		t.Run(c.Name, func(t *testing.T) {
+			h := build(t, c.G, defaultParams())
 			if err := h.Check(); err != nil {
 				t.Fatal(err)
 			}
 			checkSoundness(t, h)
 			checkStretch(t, h, 0.25)
 		})
+	}
+}
+
+// TestBuildCtxProgressAndCancel covers the registry-facing build seam:
+// per-scale progress reports and cooperative cancellation.
+func TestBuildCtxProgressAndCancel(t *testing.T) {
+	g := testkit.Gnm(96, 21)
+	var events []Progress
+	h, err := BuildCtx(context.Background(), g, defaultParams(), nil, func(p Progress) {
+		events = append(events, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress reports")
+	}
+	last := events[len(events)-1]
+	if !last.Done || last.Scale != last.Lambda || last.Edges != h.Size() {
+		t.Fatalf("final report %+v for hopset of %d edges", last, h.Size())
+	}
+	for i, p := range events {
+		if p.K0 != h.Sched.K0 || p.Lambda != h.Sched.Lambda {
+			t.Fatalf("report %d: range [%d,%d], want [%d,%d]", i, p.K0, p.Lambda, h.Sched.K0, h.Sched.Lambda)
+		}
+		if i > 0 && p.Scale != events[i-1].Scale+1 {
+			t.Fatalf("reports out of order: %+v", events)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildCtx(ctx, g, defaultParams(), nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled build: %v", err)
+	}
+	// Cancel mid-build, from the first progress report.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	_, err = BuildCtx(ctx2, g, defaultParams(), nil, func(Progress) { cancel2() })
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-build cancel: %v", err)
+	}
+	if err == nil {
+		t.Skip("single-scale schedule: build finished before the cancellation checkpoint")
 	}
 }
 

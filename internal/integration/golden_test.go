@@ -1,0 +1,109 @@
+package integration
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/adj"
+	"repro/internal/graph"
+	"repro/internal/hopset"
+	"repro/internal/par"
+	"repro/internal/relax"
+	"repro/internal/testkit"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden determinism corpus under testdata/golden")
+
+// goldenCase is one corpus entry: a fixed (family, n, seed) instance and a
+// fixed source set. The expectation file pins the full (dist, parent, arc)
+// labeling of the hopset-accelerated exploration, with distances in hex
+// float so the check is bit-exact.
+type goldenCase struct {
+	name    string
+	g       *graph.Graph
+	sources []int32
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"gnm-96-s1", testkit.Gnm(96, 1), []int32{0}},
+		{"grid-100-s2", testkit.Grid(100, 2), []int32{0}},
+		{"social-90-s3", testkit.Social(90, 3), []int32{5}},
+		{"path-64", testkit.Path(64), []int32{0}},
+		{"sparse-80-s4", testkit.Sparse(80, 4), []int32{0, 79}},
+		{"wide-80-s5", testkit.Wide(80, 5), []int32{0}},
+	}
+}
+
+// renderGolden builds the hopset for c.g, runs the engine exploration, and
+// serializes the full labeling. Everything on this path is required to be
+// deterministic in the worker count; any nondeterminism shows up as a
+// byte-level diff against the committed file.
+func renderGolden(t *testing.T, c goldenCase) string {
+	t.Helper()
+	h, err := hopset.Build(c.g, hopset.Params{Epsilon: 0.3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := adj.Build(h.G, h.Extras())
+	budget := h.Sched.HopBudget() * (h.Sched.Ell + 2)
+	res := relax.Run(a, c.sources, budget, relax.Options{})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "golden 1 %s n=%d m=%d hopset=%d sources=%v rounds=%d converged=%v\n",
+		c.name, h.G.N, h.G.M(), h.Size(), c.sources, res.Rounds, res.Converged)
+	for v := 0; v < h.G.N; v++ {
+		// %x prints the float bit-exactly; parent/arc pin the forest.
+		fmt.Fprintf(&b, "%d %x %d %d\n", v, res.Dist[v], res.Parent[v], res.ParentArc[v])
+	}
+	return b.String()
+}
+
+// TestGoldenCorpus asserts two things per corpus entry:
+//
+//  1. worker-count independence: rendering with 1, 2 and 8 workers yields
+//     byte-identical output (the PRAM determinism claim, end to end);
+//  2. history stability: the output matches the committed golden file, so
+//     any change to tie-breaking, scheduling or the construction that
+//     silently alters results fails CI. Regenerate deliberately with
+//     `go test ./internal/integration -run TestGoldenCorpus -update`.
+func TestGoldenCorpus(t *testing.T) {
+	oldWorkers := par.Workers()
+	defer par.SetWorkers(oldWorkers)
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			par.SetWorkers(1)
+			want := renderGolden(t, c)
+			for _, w := range []int{2, 8} {
+				par.SetWorkers(w)
+				if got := renderGolden(t, c); got != want {
+					t.Fatalf("workers=%d: output differs from workers=1", w)
+				}
+			}
+			par.SetWorkers(oldWorkers)
+
+			path := filepath.Join("testdata", "golden", c.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			fixed, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden file (run with -update to create): %v", err)
+			}
+			if string(fixed) != want {
+				t.Fatalf("%s: output differs from committed golden file; if the change is intentional, regenerate with -update", c.name)
+			}
+		})
+	}
+}

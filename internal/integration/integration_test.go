@@ -20,26 +20,13 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hopset"
 	"repro/internal/pathrep"
+	"repro/internal/testkit"
 )
 
-type workload struct {
-	name string
-	g    *graph.Graph
-	wide bool // weights span many scales (KS territory)
-}
-
-func workloads(seed int64) []workload {
-	return []workload{
-		{"gnm", graph.Gnm(120, 420, graph.UniformWeights(1, 6), seed), false},
-		{"grid", graph.Grid(10, 12, graph.UniformWeights(1, 3), seed), false},
-		{"powerlaw", graph.PowerLaw(110, 3, graph.UnitWeights(), seed), false},
-		{"geometric", graph.Geometric(90, 0.16, seed), false},
-		{"community", graph.Community(120, 4, 60, 25, graph.UniformWeights(1, 4), seed), false},
-		{"tree", graph.Tree(100, 2, graph.UniformWeights(1, 8), seed), false},
-		{"cycle", graph.Cycle(100, graph.UniformWeights(1, 2), seed), false},
-		{"hypercube", graph.Hypercube(7, graph.UniformWeights(1, 5), seed), false},
-		{"wide", graph.Gnm(100, 300, graph.GeometricScaleWeights(11), seed), true},
-	}
+// workloads is the cross-family integration mix, drawn from the shared
+// deterministic testkit so every suite exercises the same instances.
+func workloads(seed int64) []testkit.NamedGraph {
+	return testkit.Mix(120, seed)
 }
 
 // validateSolver checks soundness and stretch of ApproxDistances against
@@ -71,12 +58,12 @@ func TestMatrixDefaultMode(t *testing.T) {
 	for _, w := range workloads(3) {
 		for _, eps := range []float64{0.5, 0.25} {
 			w, eps := w, eps
-			t.Run(fmt.Sprintf("%s/eps=%v", w.name, eps), func(t *testing.T) {
-				s, err := core.New(w.g, core.Options{Epsilon: eps})
+			t.Run(fmt.Sprintf("%s/eps=%v", w.Name, eps), func(t *testing.T) {
+				s, err := core.New(w.G, core.Options{Epsilon: eps})
 				if err != nil {
 					t.Fatal(err)
 				}
-				validateSolver(t, w.g, s, eps)
+				validateSolver(t, w.G, s, eps)
 			})
 		}
 	}
@@ -84,25 +71,25 @@ func TestMatrixDefaultMode(t *testing.T) {
 
 func TestMatrixPathReporting(t *testing.T) {
 	for _, w := range workloads(5) {
-		if w.wide {
+		if w.Wide {
 			continue // covered by the KS matrix below
 		}
 		w := w
-		t.Run(w.name, func(t *testing.T) {
+		t.Run(w.Name, func(t *testing.T) {
 			eps := 0.3
-			s, err := core.New(w.g, core.Options{Epsilon: eps, PathReporting: true})
+			s, err := core.New(w.G, core.Options{Epsilon: eps, PathReporting: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			spt, err := s.SPT(int32(w.g.N / 3))
+			spt, err := s.SPT(int32(w.G.N / 3))
 			if err != nil {
 				t.Fatal(err)
 			}
 			if err := spt.Validate(s.Hopset()); err != nil {
 				t.Fatal(err)
 			}
-			want, _ := exact.DijkstraGraph(w.g, int32(w.g.N/3))
-			for v := 0; v < w.g.N; v++ {
+			want, _ := exact.DijkstraGraph(w.G, int32(w.G.N/3))
+			for v := 0; v < w.G.N; v++ {
 				if math.IsInf(want[v], 1) {
 					continue
 				}
@@ -117,13 +104,13 @@ func TestMatrixPathReporting(t *testing.T) {
 func TestMatrixWeightReduction(t *testing.T) {
 	for _, w := range workloads(7) {
 		w := w
-		t.Run(w.name, func(t *testing.T) {
+		t.Run(w.Name, func(t *testing.T) {
 			eps := 0.5
-			s, err := core.New(w.g, core.Options{Epsilon: eps, WeightReduction: true})
+			s, err := core.New(w.G, core.Options{Epsilon: eps, WeightReduction: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			validateSolver(t, w.g, s, eps)
+			validateSolver(t, w.G, s, eps)
 		})
 	}
 }
@@ -133,8 +120,8 @@ func TestMatrixStrictWeights(t *testing.T) {
 	// budgets is looser by design; only the lower bound is asserted).
 	for _, w := range workloads(9) {
 		w := w
-		t.Run(w.name, func(t *testing.T) {
-			s, err := core.New(w.g, core.Options{Epsilon: 0.25, StrictWeights: true})
+		t.Run(w.Name, func(t *testing.T) {
+			s, err := core.New(w.G, core.Options{Epsilon: 0.25, StrictWeights: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -142,8 +129,8 @@ func TestMatrixStrictWeights(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, _ := exact.DijkstraGraph(w.g, 0)
-			for v := 0; v < w.g.N; v++ {
+			want, _ := exact.DijkstraGraph(w.G, 0)
+			for v := 0; v < w.G.N; v++ {
 				if !math.IsInf(want[v], 1) && got[v] < want[v]-1e-6 {
 					t.Fatalf("v %d: %v undershoots %v", v, got[v], want[v])
 				}

@@ -1,13 +1,20 @@
 package integration
 
 import (
+	"context"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/pram"
+	"repro/internal/testkit"
+	"repro/oracle"
 )
 
 // TestSoakLargeGraph is the one deliberately larger end-to-end run in the
@@ -57,6 +64,140 @@ func TestSoakLargeGraph(t *testing.T) {
 	// Depth stays polylog-ish: well under n.
 	if c.Depth > int64(g.N) {
 		t.Fatalf("depth %d is not sublinear in n=%d", c.Depth, g.N)
+	}
+}
+
+// TestSoakRegistry drives the full serving lifecycle in a loop — build,
+// query, hot reload, evict, rebuild on demand — across three resident
+// graphs under a memory budget that can only hold two of them, with
+// concurrent queriers checking every answer bit-exactly against fixed
+// references. Every source rebuilds the same deterministic engine, so any
+// mixed or stale answer is a hard failure. Skipped under -short.
+func TestSoakRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	const n = 140
+	graphs := map[string]int64{"road": 1, "social": 2, "mesh": 3}
+	families := map[string]func(int, int64) *graph.Graph{
+		"road":   testkit.Grid,
+		"social": testkit.Social,
+		"mesh":   testkit.Gnm,
+	}
+	refs := make(map[string][]float64)
+	var engineBytes int64
+	for name, seed := range graphs {
+		eng, err := oracle.New(families[name](n, seed), oracle.WithEpsilon(0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refs[name], err = eng.Dist(0); err != nil {
+			t.Fatal(err)
+		}
+		if b := eng.MemoryBytes(); b > engineBytes {
+			engineBytes = b
+		}
+	}
+
+	// Budget fits roughly two of the three engines: the LRU graph cycles
+	// through eviction and demand-driven rebuild while queries keep
+	// flowing to the resident ones.
+	r := oracle.NewRegistry(oracle.RegistryConfig{MemoryBudget: 5 * engineBytes / 2})
+	defer r.Close()
+	for name, seed := range graphs {
+		name, seed := name, seed
+		src := func(ctx context.Context, opts ...oracle.Option) (*oracle.Engine, error) {
+			return oracle.New(families[name](n, seed), append(opts, oracle.WithEpsilon(0.3))...)
+		}
+		if err := r.Add(name, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := []string{"road", "social", "mesh"}
+	for _, name := range names {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if err := r.WaitReady(ctx, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cancel()
+	}
+
+	var wrong atomic.Int64
+	const (
+		queriers = 6
+		rounds   = 10
+	)
+	var wg sync.WaitGroup
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < rounds*len(names); i++ {
+				name := names[(q+i)%len(names)]
+				d, err := r.Dist(name, 0)
+				if err != nil {
+					// Evicted graphs are legal misses: the acquire already
+					// re-enqueued the rebuild; wait for it and retry once.
+					ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+					werr := r.WaitReady(ctx, name)
+					cancel()
+					if werr != nil {
+						t.Errorf("%s never came back: %v (query error %v)", name, werr, err)
+						return
+					}
+					if d, err = r.Dist(name, 0); err != nil {
+						// A second miss is possible if the budget evicted it
+						// again immediately; it is not a correctness failure.
+						continue
+					}
+				}
+				want := refs[name]
+				for v := range want {
+					if d[v] != want[v] {
+						wrong.Add(1)
+						break
+					}
+				}
+			}
+		}(q)
+	}
+	// Reloader: hot-swap each graph in turn while the queriers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if err := r.Reload(names[i%len(names)]); err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	if w := wrong.Load(); w != 0 {
+		t.Fatalf("%d answers deviated from the deterministic reference", w)
+	}
+	st := r.Stats()
+	if st.BuildsDone < int64(len(names)) || st.Reloads == 0 {
+		t.Fatalf("soak did not exercise the lifecycle: %+v", st)
+	}
+	t.Logf("soak stats: %+v", st)
+
+	r.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if r.Stats().Draining == 0 && runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak after soak: draining=%d goroutines=%d (baseline %d)",
+				r.Stats().Draining, runtime.NumGoroutine(), baseline)
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

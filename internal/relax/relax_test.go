@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/pram"
+	"repro/internal/testkit"
 )
 
 // naiveRun is an independent reference implementation of the documented
@@ -76,20 +77,15 @@ func sameResult(t *testing.T, label string, got, want *Result) {
 	}
 }
 
-// propertyGraphs builds the workload mix of the acceptance criteria:
-// random Gnm, grid, and power-law topologies across seeds.
-func propertyGraphs(seed int64) []struct {
-	name string
-	g    *graph.Graph
-} {
-	return []struct {
-		name string
-		g    *graph.Graph
-	}{
-		{"gnm", graph.Gnm(300, 900, graph.UniformWeights(1, 7), seed)},
-		{"grid", graph.Grid(18, 16, graph.UniformWeights(1, 3), seed)},
-		{"powerlaw", graph.PowerLaw(256, 3, graph.UnitWeights(), seed)},
-		{"disconnected", graph.Gnm(200, 220, graph.UniformWeights(1, 4), seed)},
+// propertyGraphs builds the workload mix of the acceptance criteria from
+// the shared deterministic testkit: random Gnm, grid, power-law, and a
+// near-tree narrow-frontier adversary, across seeds.
+func propertyGraphs(seed int64) []testkit.NamedGraph {
+	return []testkit.NamedGraph{
+		{Name: "gnm", G: testkit.Gnm(300, seed)},
+		{Name: "grid", G: testkit.Grid(288, seed)},
+		{Name: "powerlaw", G: testkit.Social(256, seed)},
+		{Name: "sparse", G: testkit.Sparse(200, seed)},
 	}
 }
 
@@ -103,8 +99,8 @@ func TestSparseBitIdenticalToDense(t *testing.T) {
 	defer par.SetWorkers(old)
 	for seed := int64(0); seed < 3; seed++ {
 		for _, gc := range propertyGraphs(seed) {
-			a := adj.Build(gc.g, nil)
-			n := gc.g.N
+			a := adj.Build(gc.G, nil)
+			n := gc.G.N
 			sourceSets := [][]int32{
 				{0},
 				{int32(n / 2)},
@@ -120,14 +116,14 @@ func TestSparseBitIdenticalToDense(t *testing.T) {
 						sparse := Run(a, srcs, budget, Options{DenseFraction: 1.5})
 						adaptive := Run(a, srcs, budget, Options{})
 						label := func(kind string) string {
-							return gc.name + "/" + kind
+							return gc.Name + "/" + kind
 						}
 						sameResult(t, label("dense-vs-naive"), dense, want)
 						sameResult(t, label("sparse-vs-naive"), sparse, want)
 						sameResult(t, label("adaptive-vs-naive"), adaptive, want)
 						if sparse.Stats.DenseRounds != 0 {
 							t.Fatalf("%s: always-sparse engine ran %d dense rounds",
-								gc.name, sparse.Stats.DenseRounds)
+								gc.Name, sparse.Stats.DenseRounds)
 						}
 					}
 				}

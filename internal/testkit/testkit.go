@@ -1,0 +1,132 @@
+// Package testkit is the shared deterministic workload kit: one seeded
+// generator per graph family, with sizes derived from a single n knob, so
+// every test and benchmark in the repository draws its instances from the
+// same place instead of hand-rolling (generator, size, weights, seed)
+// tuples. Everything is pure: the same (family, n, seed) always yields the
+// same graph, byte for byte, which is what the golden determinism corpus
+// and the cross-worker-count tests rely on.
+//
+// Families and what they stand in for:
+//
+//	Gnm        sparse Erdős–Rényi — the default random workload
+//	Dense      denser G(n, 4n) — benchmark/harness staple
+//	Sparse     near-tree G(n, 1.1n) — almost no redundancy
+//	Grid       2D grid — road networks (high diameter, low degree)
+//	Social     preferential attachment — social graphs (skewed degrees)
+//	Geometric  random geometric — wireless/sensor topologies
+//	Community  planted partition — clustered social graphs
+//	Tree       complete binary tree — hierarchy, unique paths
+//	Path       the n-path — adversarial hop diameter
+//	Cycle      the n-cycle — adversarial + two-path redundancy
+//	Hypercube  log-diameter dense symmetry
+//	Wide       weights across many powers of two — multi-scale/KS territory
+package testkit
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// NamedGraph pairs a family name with a generated instance.
+type NamedGraph struct {
+	Name string
+	G    *graph.Graph
+	// Wide marks weight distributions spanning many scales (the
+	// Klein–Sairam weight-reduction territory).
+	Wide bool
+}
+
+// Gnm returns the sparse random staple: G(n, 3.5n) with weights U(1,6).
+func Gnm(n int, seed int64) *graph.Graph {
+	return graph.Gnm(n, 3*n+n/2, graph.UniformWeights(1, 6), seed)
+}
+
+// Dense returns the denser benchmark staple: G(n, 4n) with weights U(1,8).
+func Dense(n int, seed int64) *graph.Graph {
+	return graph.Gnm(n, 4*n, graph.UniformWeights(1, 8), seed)
+}
+
+// Sparse returns a near-tree G(n, 1.1n) with weights U(1,4): long shortest
+// paths with almost no redundancy, a narrow-frontier adversary.
+func Sparse(n int, seed int64) *graph.Graph {
+	return graph.Gnm(n, n+n/10, graph.UniformWeights(1, 4), seed)
+}
+
+// Grid returns a near-square 2D grid with about n vertices and weights
+// U(1,3) — the road-network stand-in.
+func Grid(n int, seed int64) *graph.Graph {
+	rows := int(math.Sqrt(float64(n)))
+	if rows < 2 {
+		rows = 2
+	}
+	cols := (n + rows - 1) / rows
+	if cols < 2 {
+		cols = 2
+	}
+	return graph.Grid(rows, cols, graph.UniformWeights(1, 3), seed)
+}
+
+// Social returns a preferential-attachment graph with unit weights — the
+// social-network stand-in (skewed degrees, low diameter).
+func Social(n int, seed int64) *graph.Graph {
+	return graph.PowerLaw(n, 3, graph.UnitWeights(), seed)
+}
+
+// Geometric returns a random geometric graph with a radius that keeps the
+// expected degree roughly constant across n.
+func Geometric(n int, seed int64) *graph.Graph {
+	return graph.Geometric(n, 1.75/math.Sqrt(float64(n)), seed)
+}
+
+// Community returns a planted-partition graph: 4 communities, n/2
+// intra-community and n/5 inter-community random edges, weights U(1,4).
+func Community(n int, seed int64) *graph.Graph {
+	return graph.Community(n, 4, n/2, n/5, graph.UniformWeights(1, 4), seed)
+}
+
+// Tree returns a complete binary tree with weights U(1,8).
+func Tree(n int, seed int64) *graph.Graph {
+	return graph.Tree(n, 2, graph.UniformWeights(1, 8), seed)
+}
+
+// Path returns the unit-weight n-path — the hop-diameter adversary.
+func Path(n int) *graph.Graph {
+	return graph.Path(n, graph.UnitWeights(), 1)
+}
+
+// Cycle returns the n-cycle with weights U(1,2).
+func Cycle(n int, seed int64) *graph.Graph {
+	return graph.Cycle(n, graph.UniformWeights(1, 2), seed)
+}
+
+// Hypercube returns the ⌊log₂ n⌋-dimensional hypercube, weights U(1,5).
+func Hypercube(n int, seed int64) *graph.Graph {
+	dim := 1
+	for 1<<(dim+1) <= n {
+		dim++
+	}
+	return graph.Hypercube(dim, graph.UniformWeights(1, 5), seed)
+}
+
+// Wide returns G(n, 3n) with weights spread across 11 powers of two —
+// exercises the multi-scale machinery and the Klein–Sairam reduction.
+func Wide(n int, seed int64) *graph.Graph {
+	return graph.Gnm(n, 3*n, graph.GeometricScaleWeights(11), seed)
+}
+
+// Mix returns the full cross-family workload suite at size n — the
+// integration-matrix mix. Every instance is deterministic in (n, seed).
+func Mix(n int, seed int64) []NamedGraph {
+	return []NamedGraph{
+		{Name: "gnm", G: Gnm(n, seed)},
+		{Name: "grid", G: Grid(n, seed)},
+		{Name: "powerlaw", G: Social(n, seed)},
+		{Name: "geometric", G: Geometric(3*n/4, seed)},
+		{Name: "community", G: Community(n, seed)},
+		{Name: "tree", G: Tree(n-n/6, seed)},
+		{Name: "cycle", G: Cycle(n-n/6, seed)},
+		{Name: "hypercube", G: Hypercube(n, seed)},
+		{Name: "wide", G: Wide(n-n/6, seed), Wide: true},
+	}
+}

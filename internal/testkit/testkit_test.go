@@ -1,0 +1,80 @@
+package testkit
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// encode serializes a graph for byte-level comparison.
+func encode(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFamiliesDeterministic is the kit's core contract: the same
+// (family, n, seed) yields byte-identical graphs, and a different seed
+// yields a different instance for the randomized families.
+func TestFamiliesDeterministic(t *testing.T) {
+	for _, ng := range Mix(120, 3) {
+		t.Run(ng.Name, func(t *testing.T) {
+			if ng.G.N == 0 || ng.G.M() == 0 {
+				t.Fatalf("empty graph: n=%d m=%d", ng.G.N, ng.G.M())
+			}
+		})
+	}
+	a := Mix(120, 3)
+	b := Mix(120, 3)
+	for i := range a {
+		if got, want := encode(t, b[i].G), encode(t, a[i].G); !bytes.Equal(got, want) {
+			t.Fatalf("%s: same (n, seed) produced different graphs", a[i].Name)
+		}
+	}
+	// Seeded families must actually vary with the seed.
+	for _, pair := range []struct {
+		name string
+		a, b *graph.Graph
+	}{
+		{"gnm", Gnm(100, 1), Gnm(100, 2)},
+		{"grid", Grid(100, 1), Grid(100, 2)},
+		{"social", Social(100, 1), Social(100, 2)},
+		{"geometric", Geometric(100, 1), Geometric(100, 2)},
+		{"wide", Wide(100, 1), Wide(100, 2)},
+	} {
+		if bytes.Equal(encode(t, pair.a), encode(t, pair.b)) {
+			t.Fatalf("%s: seeds 1 and 2 produced identical graphs", pair.name)
+		}
+	}
+}
+
+// TestFamiliesConnected guards the generators' connectivity guarantees:
+// every family must produce one component (tests rely on full
+// reachability).
+func TestFamiliesConnected(t *testing.T) {
+	for _, ng := range Mix(96, 7) {
+		seen := make([]bool, ng.G.N)
+		stack := []int32{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for i := ng.G.Off[v]; i < ng.G.Off[v+1]; i++ {
+				u := ng.G.Nbr[i]
+				if !seen[u] {
+					seen[u] = true
+					count++
+					stack = append(stack, u)
+				}
+			}
+		}
+		if count != ng.G.N {
+			t.Fatalf("%s: %d of %d vertices reachable", ng.Name, count, ng.G.N)
+		}
+	}
+}

@@ -21,6 +21,10 @@ import (
 type Engine struct {
 	solver *core.Solver
 	n      int
+	// memBytes is the resident-size estimate, computed once at
+	// construction (the walk over recorded memory paths is O(total path
+	// steps) — too slow for per-stats-poll recomputation under locks).
+	memBytes int64
 
 	distCache *lru[[]float64]
 	treeCache *lru[*Tree]
@@ -46,6 +50,7 @@ func newEngine(solver *core.Solver, cfg config) *Engine {
 	if cfg.batchWindow > 0 {
 		e.batcher = newDistBatcher(cfg.batchWindow, solver.ApproxMultiSource, e.distCache.add)
 	}
+	e.memBytes = estimateMemoryBytes(solver)
 	return e
 }
 
@@ -82,6 +87,40 @@ func (e *Engine) Solver() *core.Solver {
 		return nil
 	}
 	return e.solver
+}
+
+// MemoryBytes returns the estimated resident size of the engine's
+// immutable state: the G ∪ H CSR adjacency (per arc: neighbor, weight,
+// tag), the hopset edge list and recorded memory paths, and the graph's
+// own edge arrays. Cache contents are excluded — they are bounded by the
+// configured LRU capacities and recycled. The Registry evicts cold graphs
+// against this estimate. The value is computed once at construction.
+func (e *Engine) MemoryBytes() int64 {
+	if e == nil || e.solver == nil {
+		return 0
+	}
+	return e.memBytes
+}
+
+func estimateMemoryBytes(solver *core.Solver) int64 {
+	h := solver.Hopset()
+	const (
+		arcBytes  = 4 + 8 + 4 // Nbr int32 + Wt float64 + Tag int32
+		edgeBytes = 4 + 4 + 8 // U, V int32 + W float64 (graph edge)
+		hopBytes  = 32        // hopset.Edge: endpoints, weight, provenance
+		stepBytes = 16        // hopset.PathStep
+	)
+	n := int64(h.G.N)
+	arcs := int64(2 * h.G.M()) // graph arcs, both directions
+	extra := int64(2 * h.Size())
+	bytes := (n + 1) * 4                  // CSR offsets
+	bytes += (arcs + extra) * arcBytes    // combined adjacency
+	bytes += int64(h.G.M()) * edgeBytes   // graph edge list
+	bytes += int64(h.Size()) * hopBytes   // hopset edges
+	for _, p := range h.Paths {
+		bytes += int64(len(p)) * stepBytes
+	}
+	return bytes
 }
 
 func (e *Engine) ready() error {

@@ -25,11 +25,13 @@
 package oracle
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/hopset"
 	"repro/internal/pram"
 )
 
@@ -42,9 +44,17 @@ type Edge struct {
 // config is the resolved option set of a constructor call.
 type config struct {
 	opts        core.Options
+	buildCtx    context.Context
 	distCache   int
 	treeCache   int
 	batchWindow time.Duration
+}
+
+func (c *config) ctx() context.Context {
+	if c.buildCtx != nil {
+		return c.buildCtx
+	}
+	return context.Background()
 }
 
 func defaultConfig() config {
@@ -102,6 +112,32 @@ func WithBatchWindow(window time.Duration) Option {
 	return func(c *config) { c.batchWindow = window }
 }
 
+// BuildProgress is one report from an engine build: the hopset scale just
+// completed, the scale range [K0, Lambda], and the edge count so far. The
+// final report of a successful build has Done set.
+type BuildProgress struct {
+	Scale, K0, Lambda int
+	Edges             int
+	Done              bool
+}
+
+// WithBuildContext makes the construction cooperative: the hopset build
+// checks ctx between scales and New/NewFromEdges/LoadGraph return ctx's
+// error when it is canceled. The Registry uses this to cancel background
+// builds; it has no effect on queries.
+func WithBuildContext(ctx context.Context) Option {
+	return func(c *config) { c.buildCtx = ctx }
+}
+
+// WithBuildProgress registers a callback invoked from the building
+// goroutine after every completed hopset scale. Keep it fast; it is on the
+// build path.
+func WithBuildProgress(fn func(BuildProgress)) Option {
+	return func(c *config) {
+		c.opts.Progress = func(p hopset.Progress) { fn(BuildProgress(p)) }
+	}
+}
+
 // New builds an Engine for an already-constructed graph. It is the
 // in-module constructor used by the cmd/ binaries and examples; external
 // callers use NewFromEdges or LoadGraph.
@@ -110,7 +146,7 @@ func New(g *graph.Graph, options ...Option) (*Engine, error) {
 	for _, o := range options {
 		o(&cfg)
 	}
-	solver, err := core.New(g, cfg.opts)
+	solver, err := core.NewCtx(cfg.ctx(), g, cfg.opts)
 	if err != nil {
 		return nil, err
 	}

@@ -81,6 +81,154 @@ func NewHandler(e *Engine) http.Handler {
 	return mux
 }
 
+// NewRegistryHandler exposes a Registry over HTTP/JSON — the multi-graph
+// serving surface of cmd/serve:
+//
+//	GET  /graphs                      → {"graphs":[…], "stats":{…}}
+//	GET  /graphs/{name}               → per-graph status (build progress, version, …)
+//	GET  /graphs/{name}/ready         → 200 when ready, 503 otherwise (per-graph readiness)
+//	GET  /graphs/{name}/dist?source=S[&target=T]
+//	GET  /graphs/{name}/path?from=U&to=V
+//	GET  /graphs/{name}/stats         → status + engine counters
+//	POST /graphs/{name}/reload        → 202; rebuilds in the background and hot-swaps
+//	GET  /stats                       → aggregate registry stats
+//	GET  /healthz                     → 200 ok (process liveness)
+//
+// Unknown graphs map to 404; graphs that are pending/building/failed/
+// evicted map to 503 (retryable); vertex-range and path-reporting errors
+// to 400. Every query runs through a refcounted engine handle, so answers
+// are never mixed across hot-reload versions; /dist responses carry the
+// engine version that produced them.
+func NewRegistryHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, map[string]any{"graphs": r.List(), "stats": r.Stats()})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Stats())
+	})
+	mux.HandleFunc("GET /graphs/{name}", func(w http.ResponseWriter, req *http.Request) {
+		gi, err := r.Info(req.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, gi)
+	})
+	mux.HandleFunc("GET /graphs/{name}/ready", func(w http.ResponseWriter, req *http.Request) {
+		gi, err := r.Info(req.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if gi.Status != StatusReady {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			writeJSON(w, gi)
+			return
+		}
+		writeJSON(w, gi)
+	})
+	mux.HandleFunc("GET /graphs/{name}/dist", func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		source, err := vertexParam(req, "source")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		h, err := r.Acquire(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer h.Release()
+		if t := req.URL.Query().Get("target"); t != "" {
+			target, err := vertexParam(req, "target")
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			d, err := h.Engine().DistTo(source, target)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, map[string]any{
+				"graph": name, "version": h.Version(),
+				"source": source, "target": target, "dist": jsonDist(d),
+			})
+			return
+		}
+		dist, err := h.Engine().Dist(source)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out := make([]any, len(dist))
+		for i, d := range dist {
+			out[i] = jsonDist(d)
+		}
+		writeJSON(w, map[string]any{
+			"graph": name, "version": h.Version(), "source": source, "dist": out,
+		})
+	})
+	mux.HandleFunc("GET /graphs/{name}/path", func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		from, err1 := vertexParam(req, "from")
+		to, err2 := vertexParam(req, "to")
+		if err := errors.Join(err1, err2); err != nil {
+			writeError(w, err)
+			return
+		}
+		h, err := r.Acquire(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer h.Release()
+		path, length, err := h.Engine().Path(from, to)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"graph": name, "version": h.Version(),
+			"from": from, "to": to, "path": path, "length": jsonDist(length),
+		})
+	})
+	mux.HandleFunc("GET /graphs/{name}/stats", func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		gi, err := r.Info(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out := map[string]any{"graph": gi}
+		if st, err := r.EngineStats(name); err == nil {
+			out["engine"] = st
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("POST /graphs/{name}/reload", func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		if err := r.Reload(name); err != nil {
+			writeError(w, err)
+			return
+		}
+		gi, err := r.Info(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, gi)
+	})
+	return mux
+}
+
 // vertexParam parses a required vertex-id query parameter.
 func vertexParam(r *http.Request, name string) (int32, error) {
 	raw := r.URL.Query().Get(name)
@@ -120,7 +268,11 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, ErrNeedPathReporting),
 		errors.Is(err, ErrNeedSources):
 		status = http.StatusBadRequest
-	case errors.Is(err, ErrNotBuilt):
+	case errors.Is(err, ErrUnknownGraph):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrNotBuilt),
+		errors.Is(err, ErrGraphNotReady),
+		errors.Is(err, ErrRegistryClosed):
 		status = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
