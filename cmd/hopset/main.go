@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hopset [flags]            # generate a graph
-//	hopset -in graph.txt      # or read one (format: p n m / e u v w)
+//	hopset -in road.gr        # or read one (any graphio format, auto-detected)
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"repro/graphio"
 	"repro/internal/graph"
 	"repro/internal/hopset"
 	"repro/internal/pram"
@@ -27,7 +28,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hopset: ")
 	var (
-		in      = flag.String("in", "", "input graph file (empty: generate)")
+		in      = flag.String("in", "", "input graph file, any supported format (empty: generate)")
 		gen     = flag.String("gen", "gnm", "generator: gnm|grid|path|powerlaw|geometric")
 		n       = flag.Int("n", 1024, "vertices (generated graphs)")
 		m       = flag.Int("m", 4096, "edges (gnm)")
@@ -39,7 +40,7 @@ func main() {
 		strict  = flag.Bool("strict", false, "paper's closed-form edge weights")
 		paths   = flag.Bool("paths", false, "record memory paths (§4)")
 		verbose = flag.Bool("v", false, "print the per-phase ledger")
-		outG    = flag.String("out-graph", "", "write the (normalized) graph to this file")
+		outG    = flag.String("out-graph", "", "write the (normalized) graph to this file (format by extension: .csrg/.gr/.metis/…)")
 		outH    = flag.String("out-hopset", "", "write the hopset to this file (verify with cmd/verify)")
 		outS    = flag.String("out-snapshot", "", "write an engine snapshot (serve with cmd/serve -snapshot)")
 		snapDir = flag.String("snapshot-dir", "", "write the snapshot into this registry directory as <name>.snap")
@@ -93,7 +94,7 @@ func main() {
 	}
 	fmt.Printf("pram: %v\n", tr.Snapshot())
 	if *outG != "" {
-		if err := writeFile(*outG, func(f io.Writer) error { return graph.Encode(f, h.G) }); err != nil {
+		if err := graphio.EncodeFile(*outG, h.G); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -149,12 +150,12 @@ func writeFile(path string, write func(io.Writer) error) error {
 
 func loadOrGen(in, gen string, n, m int, seed int64) (*graph.Graph, error) {
 	if in != "" {
-		f, err := os.Open(in)
+		g, format, err := graphio.LoadFile(in)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return graph.Decode(f)
+		log.Printf("loaded %s (%s format)", in, format)
+		return g, nil
 	}
 	switch gen {
 	case "gnm":

@@ -7,9 +7,15 @@
 // old version's refcount).
 //
 //	serve -n 4096 -m 16384 -eps 0.25 -addr :8080     # one generated graph, "default"
-//	serve -in graph.txt -paths -batch 2ms            # one graph from a file
+//	serve -in USA-road-d.NY.gr -paths                # one graph from any graphio format
 //	serve -snapshot oracle.snap                      # revive "default" from a snapshot
 //	serve -snapshot-dir snapshots/                   # every snapshots/<name>.snap, by name
+//	serve -graph-dir datasets/                       # every raw graph file, built in background
+//
+// -graph-dir registers every supported dataset file (DIMACS .gr, edge
+// lists, METIS, legacy text, .csrg — each optionally .gz) under its base
+// name; engines build in the background and the file is re-read on every
+// POST /graphs/{name}/reload.
 //
 // Routes (see oracle.NewRegistryHandler):
 //
@@ -19,25 +25,35 @@
 //	GET  /graphs/{name}/path?from=U&to=V
 //	GET  /graphs/{name}/stats
 //	POST /graphs/{name}/reload      rebuild + hot swap
-//	GET  /healthz                   process liveness
+//	GET  /healthz                   registry aggregate status (503 until a graph serves)
 //
 // The legacy single-graph routes /dist and /path redirect to the
 // "default" graph. With -save-snapshot the built default engine is
 // persisted once ready, so the next start can come up via -snapshot (or
 // -snapshot-dir) without rebuilding.
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops accepting,
+// in-flight HTTP requests drain (bounded by -drain), and the registry
+// closes — canceling background builds and retiring engines.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/graphio"
 	"repro/internal/graph"
 	"repro/oracle"
 )
@@ -46,20 +62,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		in      = flag.String("in", "", "input graph file (empty: generate gnm)")
-		n       = flag.Int("n", 4096, "vertices (generated)")
-		m       = flag.Int("m", 16384, "edges (generated)")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		eps     = flag.Float64("eps", 0.25, "stretch target ε")
-		paths   = flag.Bool("paths", true, "record memory paths (enables /path)")
-		cache   = flag.Int("cache", 256, "distance-vector LRU capacity")
-		batch   = flag.Duration("batch", 0, "dist-query coalescing window (0 = off)")
-		snap    = flag.String("snapshot", "", "snapshot file for the \"default\" graph")
-		snapDir = flag.String("snapshot-dir", "", "serve every <name>.snap in this directory by name")
-		save    = flag.String("save-snapshot", "", "persist the built default engine to this file once ready")
-		workers = flag.Int("build-workers", 0, "bound on concurrent background builds (0 = auto)")
-		budget  = flag.Int64("mem-budget", 0, "memory budget in bytes for resident engines (0 = unlimited)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		in       = flag.String("in", "", "input graph file, any supported format (empty: generate gnm)")
+		n        = flag.Int("n", 4096, "vertices (generated)")
+		m        = flag.Int("m", 16384, "edges (generated)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		eps      = flag.Float64("eps", 0.25, "stretch target ε")
+		paths    = flag.Bool("paths", true, "record memory paths (enables /path)")
+		cache    = flag.Int("cache", 256, "distance-vector LRU capacity")
+		batch    = flag.Duration("batch", 0, "dist-query coalescing window (0 = off)")
+		snap     = flag.String("snapshot", "", "snapshot file for the \"default\" graph")
+		snapDir  = flag.String("snapshot-dir", "", "serve every <name>.snap in this directory by name")
+		graphDir = flag.String("graph-dir", "", "serve every supported raw graph file in this directory by name")
+		save     = flag.String("save-snapshot", "", "persist the built default engine to this file once ready")
+		workers  = flag.Int("build-workers", 0, "bound on concurrent background builds (0 = auto)")
+		budget   = flag.Int64("mem-budget", 0, "memory budget in bytes for resident engines (0 = unlimited)")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain bound for in-flight requests")
 	)
 	flag.Parse()
 
@@ -88,22 +106,27 @@ func main() {
 		}
 		names = append(names, loaded...)
 	}
+	if *graphDir != "" {
+		loaded, err := addGraphDir(reg, *graphDir, buildOpts(*eps, *paths))
+		if err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, loaded...)
+	}
 
 	switch {
 	case *snap != "":
 		add("default", oracle.SnapshotSource(*snap))
 	case *in != "":
-		f, err := os.Open(*in)
+		// Eager load: a missing or malformed -in file aborts startup
+		// (fail-fast), while the hopset build still runs in the background.
+		g, format, err := graphio.LoadFile(*in)
 		if err != nil {
 			log.Fatal(err)
 		}
-		g, err := graph.Decode(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+		log.Printf("loaded %s (%s format): n=%d m=%d", *in, format, g.N, g.M())
 		add("default", oracle.GraphSource(g, buildOpts(*eps, *paths)...))
-	case *snapDir == "":
+	case *snapDir == "" && *graphDir == "":
 		g := graph.Gnm(*n, *m, graph.UniformWeights(1, 8), *seed)
 		add("default", oracle.GraphSource(g, buildOpts(*eps, *paths)...))
 	}
@@ -134,6 +157,23 @@ func main() {
 		}(name)
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: newMux(reg)}
+	log.Printf("listening on %s (%d graphs: GET /graphs /graphs/{name}/dist|path|stats|ready, POST /graphs/{name}/reload)",
+		ln.Addr(), len(names))
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := runServer(ctx, srv, ln, reg, *drain); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly")
+}
+
+// newMux mounts the registry handler plus the legacy single-graph routes.
+func newMux(reg *oracle.Registry) http.Handler {
 	rh := oracle.NewRegistryHandler(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/graphs", rh)
@@ -143,10 +183,30 @@ func main() {
 	// Legacy single-graph routes target the default graph.
 	mux.HandleFunc("/dist", redirectDefault)
 	mux.HandleFunc("/path", redirectDefault)
+	return mux
+}
 
-	log.Printf("listening on %s (%d graphs: GET /graphs /graphs/{name}/dist|path|stats|ready, POST /graphs/{name}/reload)",
-		*addr, len(names))
-	log.Fatal(http.ListenAndServe(*addr, mux))
+// runServer serves on ln until ctx is canceled (SIGINT/SIGTERM in main),
+// then shuts down gracefully: stop accepting, drain in-flight requests
+// for up to drain, close the registry (cancels builds, retires engines
+// once in-flight queries release their handles).
+func runServer(ctx context.Context, srv *http.Server, ln net.Listener, reg *oracle.Registry, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // listener died before any signal
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining (up to %v)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	reg.Close()
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("drain deadline exceeded after %v", drain)
+	}
+	return err
 }
 
 // addSnapshotDir registers every <name>.snap in dir on the registry under
@@ -169,6 +229,61 @@ func addSnapshotDir(reg *oracle.Registry, dir string) ([]string, error) {
 		names = append(names, name)
 	}
 	return names, nil
+}
+
+// addGraphDir registers every supported raw graph file in dir under its
+// base name (extensions stripped, including .gz). The graphs build in the
+// background through oracle.FileSource, so a directory of DIMACS road
+// networks or .csrg containers becomes a running multi-graph service with
+// one flag. When a converted container sits next to its text original
+// (road.gr and road.csrg — the natural state after running graphconv in
+// place), the .csrg wins; other same-name collisions keep the
+// lexicographically first file with a logged warning.
+func addGraphDir(reg *oracle.Registry, dir string, buildOpts []oracle.Option) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, ent := range entries {
+		if !ent.IsDir() && graphio.SupportedPath(ent.Name()) {
+			files = append(files, ent.Name())
+		}
+	}
+	sort.Strings(files)
+	chosen := map[string]string{} // name → file
+	for _, file := range files {
+		name := graphName(file)
+		prev, dup := chosen[name]
+		switch {
+		case !dup:
+			chosen[name] = file
+		case graphio.FormatForPath(file) == graphio.FormatCSRG &&
+			graphio.FormatForPath(prev) != graphio.FormatCSRG:
+			log.Printf("graph-dir: %s shadows %s (container preferred)", file, prev)
+			chosen[name] = file
+		default:
+			log.Printf("graph-dir: skipping %s (name %q already taken by %s)", file, name, prev)
+		}
+	}
+	names := make([]string, 0, len(chosen))
+	for name, file := range chosen {
+		if err := reg.Add(name, oracle.FileSource(filepath.Join(dir, file), buildOpts...)); err != nil {
+			return nil, fmt.Errorf("register %s: %w", file, err)
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no supported graph files in %s", dir)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// graphName strips the format extensions off a dataset file name.
+func graphName(base string) string {
+	base = strings.TrimSuffix(base, ".gz")
+	return strings.TrimSuffix(base, filepath.Ext(base))
 }
 
 // redirectDefault maps the legacy /dist and /path routes onto the default

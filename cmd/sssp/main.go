@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"runtime/pprof"
 
+	"repro/graphio"
 	"repro/internal/exact"
 	"repro/internal/graph"
 	"repro/internal/pram"
@@ -26,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sssp: ")
 	var (
-		in      = flag.String("in", "", "input graph file (empty: generate gnm)")
+		in      = flag.String("in", "", "input graph file, any supported format (empty: generate gnm)")
 		n       = flag.Int("n", 1024, "vertices (generated)")
 		m       = flag.Int("m", 4096, "edges (generated)")
 		seed    = flag.Int64("seed", 1, "generator seed")
@@ -83,13 +84,8 @@ func main() {
 
 	var g *graph.Graph
 	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
-		}
 		var derr error
-		g, derr = graph.Decode(f)
-		f.Close()
+		g, _, derr = graphio.LoadFile(*in)
 		if derr != nil {
 			fatal(derr)
 		}

@@ -5,7 +5,7 @@
 // pair, an oracle engine snapshot, or — with no input files — builds a
 // fresh engine and verifies its hopset (a self-test).
 //
-//	verify -graph g.txt -hopset h.txt -eps 0.25
+//	verify -graph road.gr -hopset h.txt -eps 0.25   # graph in any graphio format
 //	verify -snapshot oracle.snap -eps 0.25
 //	verify -n 1024 -m 4096 -eps 0.25
 package main
@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"repro/graphio"
 	"repro/internal/graph"
 	"repro/internal/hopset"
 	"repro/internal/verify"
@@ -26,7 +27,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("verify: ")
 	var (
-		graphFile  = flag.String("graph", "", "graph file (text format)")
+		graphFile  = flag.String("graph", "", "graph file (any supported format)")
 		hopsetFile = flag.String("hopset", "", "hopset file (text format)")
 		snapFile   = flag.String("snapshot", "", "oracle engine snapshot (from cmd/serve or cmd/hopset)")
 		n          = flag.Int("n", 512, "vertices for the self-test graph")
@@ -51,12 +52,7 @@ func main() {
 		h = eng.Hopset()
 		fmt.Printf("loaded snapshot: graph n=%d m=%d, hopset %d edges\n", h.G.N, h.G.M(), h.Size())
 	case *graphFile != "" && *hopsetFile != "":
-		gf, err := os.Open(*graphFile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		g, err := graph.Decode(gf)
-		gf.Close()
+		g, _, err := graphio.LoadFile(*graphFile)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,10 @@
 // oracle — build a deterministic hopset once, then serve concurrent
 // (1+ε)-approximate distance, path and shortest-path-tree queries with
 // LRU caching, query batching, snapshots and an HTTP handler (cmd/serve).
+// Package graphio is the ingestion layer: chunk-parallel deterministic
+// parsers for DIMACS/edge-list/METIS/legacy datasets and the mmap-able
+// .csrg binary container (cmd/graphconv converts, cmd/serve -graph-dir
+// serves a directory of datasets).
 // The algorithmic layers live under internal/, wrapped by internal/core.
 // DESIGN.md maps every paper component to its package; EXPERIMENTS.md
 // records the measured reproduction of every theorem-level claim. The

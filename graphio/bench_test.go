@@ -1,0 +1,116 @@
+package graphio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/testkit"
+)
+
+// BenchmarkLoadCSRGvsText measures the ingestion formats against each
+// other on one mid-sized dense graph: chunk-parallel text parsing (the
+// legacy and DIMACS codecs) versus the binary container through both the
+// portable reader and the zero-copy mmap open. With
+// BENCH_GRAPHIO_JSON=<path> the measurements land in a JSON file that CI
+// uploads as the BENCH_graphio artifact. The mmap row's allocs/op is the
+// zero-copy acceptance number: it stays flat no matter how many edges the
+// file holds.
+func BenchmarkLoadCSRGvsText(b *testing.B) {
+	type measurement struct {
+		Loader  string  `json:"loader"`
+		N       int     `json:"n"`
+		M       int     `json:"m"`
+		Bytes   int64   `json:"file_bytes"`
+		MS      float64 `json:"load_ms"`
+		MBPerS  float64 `json:"mb_per_s"`
+		Speedup float64 `json:"speedup_vs_legacy_text"`
+	}
+	g := testkit.Dense(60_000, 13)
+	dir := b.TempDir()
+	files := map[string]string{
+		"legacy-text": filepath.Join(dir, "g.txt"),
+		"dimacs-text": filepath.Join(dir, "g.gr"),
+		"csrg":        filepath.Join(dir, "g.csrg"),
+	}
+	for _, path := range files {
+		if err := EncodeFile(path, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	loaders := []struct {
+		name string
+		path string
+		load func(path string) error
+	}{
+		{"legacy-text", files["legacy-text"], func(path string) error {
+			_, _, err := LoadFile(path)
+			return err
+		}},
+		{"dimacs-text", files["dimacs-text"], func(path string) error {
+			_, _, err := LoadFile(path)
+			return err
+		}},
+		{"csrg-readerat", files["csrg"], func(path string) error {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			st, err := f.Stat()
+			if err != nil {
+				return err
+			}
+			_, err = ReadCSRG(f, st.Size())
+			return err
+		}},
+		{"csrg-mmap", files["csrg"], func(path string) error {
+			m, err := OpenCSRG(path)
+			if err != nil {
+				return err
+			}
+			return m.Close()
+		}},
+	}
+	var out []measurement
+	for _, l := range loaders {
+		st, err := os.Stat(l.path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(l.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var total int64
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				if err := l.load(l.path); err != nil {
+					b.Fatal(err)
+				}
+				total += time.Since(start).Nanoseconds()
+			}
+			ms := float64(total) / float64(b.N) / 1e6
+			out = append(out, measurement{
+				Loader: l.name, N: g.N, M: g.M(), Bytes: st.Size(),
+				MS:     ms,
+				MBPerS: float64(st.Size()) / (1 << 20) / (ms / 1e3),
+			})
+		})
+	}
+	if path := os.Getenv("BENCH_GRAPHIO_JSON"); path != "" && len(out) > 0 {
+		base := out[0].MS // legacy-text
+		for i := range out {
+			out[i].Speedup = base / out[i].MS
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", path)
+	}
+}

@@ -1,0 +1,223 @@
+package graphio
+
+// Deterministic chunk-parallel parsing scaffold shared by the text
+// parsers. The input is split into byte ranges that depend only on the
+// bytes themselves (fixed-size targets advanced to the next newline), each
+// chunk is parsed into its own result slot by a small worker pool, and the
+// slots are merged in chunk order — so the edge stream handed to
+// graph.FromEdges is identical for every worker count.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// parseChunkSize is the target bytes per parser chunk. A variable so the
+// determinism tests can force multi-chunk parses on small inputs; chunk
+// boundaries are a pure function of the input bytes either way.
+var parseChunkSize = 256 << 10
+
+// lineChunks splits data into newline-aligned [lo, hi) byte ranges of
+// roughly parseChunkSize bytes. Boundaries depend only on data.
+func lineChunks(data []byte) [][2]int {
+	if len(data) == 0 {
+		return nil
+	}
+	var bounds [][2]int
+	start := 0
+	for target := parseChunkSize; target < len(data); target += parseChunkSize {
+		if target <= start {
+			continue
+		}
+		nl := bytes.IndexByte(data[target:], '\n')
+		if nl < 0 {
+			break
+		}
+		end := target + nl + 1
+		bounds = append(bounds, [2]int{start, end})
+		start = end
+	}
+	if start < len(data) {
+		bounds = append(bounds, [2]int{start, len(data)})
+	}
+	return bounds
+}
+
+// forChunks runs fn(c) for every chunk index on up to workers goroutines
+// (0 = the par budget). fn must write only its own slot.
+func forChunks(workers, n int, fn func(c int)) {
+	if workers <= 0 {
+		workers = par.Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return
+	}
+	if workers <= 1 {
+		for c := 0; c < n; c++ {
+			fn(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= n {
+					return
+				}
+				fn(c)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// chunkResult is one chunk's parse output. Merging concatenates edges in
+// chunk order and reports the error of the lowest-index failing chunk.
+type chunkResult struct {
+	edges []graph.Edge
+	recs  int // edge records consumed (arcs / adjacency pairs)
+	maxV  int32
+	nodes int // SNAP "# Nodes:" hint (edge lists); 0 = absent
+	err   error
+}
+
+// parseText drives the shared two-phase parse: split into chunks, count
+// lines per chunk (so every chunk knows its global starting line number
+// for error messages), parse in parallel, merge in order.
+func parseText(data []byte, workers int, parse func(chunk []byte, firstLine int, res *chunkResult)) ([]graph.Edge, *chunkResult, error) {
+	bounds := lineChunks(data)
+	n := len(bounds)
+	if n == 0 {
+		return nil, &chunkResult{}, nil
+	}
+	counts := make([]int, n)
+	forChunks(workers, n, func(c int) {
+		counts[c] = countLines(data[bounds[c][0]:bounds[c][1]])
+	})
+	firstLine := make([]int, n)
+	line := 1
+	for c := 0; c < n; c++ {
+		firstLine[c] = line
+		line += counts[c]
+	}
+	results := make([]chunkResult, n)
+	forChunks(workers, n, func(c int) {
+		parse(data[bounds[c][0]:bounds[c][1]], firstLine[c], &results[c])
+	})
+
+	merged := &chunkResult{maxV: -1}
+	total := 0
+	for c := range results {
+		r := &results[c]
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		total += len(r.edges)
+		merged.recs += r.recs
+		if r.maxV > merged.maxV {
+			merged.maxV = r.maxV
+		}
+		if merged.nodes == 0 {
+			merged.nodes = r.nodes
+		}
+	}
+	edges := make([]graph.Edge, 0, total)
+	for c := range results {
+		edges = append(edges, results[c].edges...)
+	}
+	return edges, merged, nil
+}
+
+// countLines counts the lines of chunk; a trailing segment with no final
+// newline counts as one line.
+func countLines(chunk []byte) int {
+	n := bytes.Count(chunk, []byte{'\n'})
+	if len(chunk) > 0 && chunk[len(chunk)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// nextLine splits off the first line of data (without its newline).
+func nextLine(data []byte) (line, rest []byte) {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		return data[:i], data[i+1:]
+	}
+	return data, nil
+}
+
+// trimSpace trims ASCII whitespace from both ends without allocating.
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' }
+
+// fieldsOf splits a line on whitespace and commas (so CSV edge lists fall
+// out for free) without allocating the field contents.
+func fieldsOf(line []byte) [][]byte {
+	var out [][]byte
+	return appendFields(out, line)
+}
+
+func appendFields(out [][]byte, line []byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (isSpace(line[i]) || line[i] == ',') {
+			i++
+		}
+		start := i
+		for i < len(line) && !isSpace(line[i]) && line[i] != ',' {
+			i++
+		}
+		if i > start {
+			out = append(out, line[start:i])
+		}
+	}
+	return out
+}
+
+// bstr views b as a string without copying. Safe because the parsers only
+// pass it to strconv, which does not retain it.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// lineErr builds a position-carrying parse error wrapping ErrFormat.
+func lineErr(f Format, line int, format string, args ...any) error {
+	return fmt.Errorf("%w: %s line %d: %s", ErrFormat, f, line, fmt.Sprintf(format, args...))
+}
+
+// build funnels the merged edge stream through graph.FromEdges, wrapping
+// any validation failure so it matches both ErrFormat and the specific
+// graph error (ErrBadWeight, ErrVertexRange, …).
+func build(n int, edges []graph.Edge) (*graph.Graph, error) {
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrFormat, err)
+	}
+	return g, nil
+}

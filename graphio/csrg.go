@@ -1,0 +1,512 @@
+package graphio
+
+// The .csrg container: the repository's versioned binary CSR graph
+// format, designed so a multi-graph registry can cold-start at disk
+// bandwidth. The five sections are exactly the storage of graph.Graph
+// (CSR offsets, neighbors, weights, edge ids, and the canonical edge
+// list), little-endian, 8-byte aligned, each protected by a CRC-32C — so
+// on little-endian hosts OpenCSRG can mmap the file and alias the graph's
+// slices straight into the page cache: no per-edge parsing, no per-edge
+// allocation.
+//
+// Layout (all integers little-endian):
+//
+//	off   size  field
+//	0     4     magic "CSRG"
+//	4     4     version (currently 1)
+//	8     8     n    vertices
+//	16    8     m    undirected edges
+//	24    8     arcs directed arcs (= 2m)
+//	32    8     flags (reserved, 0)
+//	40    120   5 section descriptors {offset u64, length u64, crc32c u32, pad u32}
+//	            in order: off[(n+1)·u32] nbr[arcs·u32] wt[arcs·f64]
+//	                      eid[arcs·u32] edges[m·{u32,u32,f64}]
+//	160   4     crc32c of bytes [0,160)
+//	164   4     pad (0)
+//	168   …     sections, each 8-byte aligned
+//
+// Readers fully validate: header CRC, section bounds/lengths against the
+// file size before any allocation, per-section CRCs, and the structural
+// CSR invariants (sorted strict adjacency, arc↔edge agreement, canonical
+// sorted edge list, positive finite weights) — a malformed or truncated
+// file yields an error, never a panic and never an invalid graph.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+const (
+	csrgMagic      = "CSRG"
+	csrgVersion    = 1
+	csrgSections   = 5
+	csrgHeaderSize = 168
+	csrgCRCOffset  = 160
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// leHost reports whether this machine is little-endian; only then can the
+// on-disk bytes alias Go slices.
+var leHost = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// edgeCastable reports whether graph.Edge has the exact {u32,u32,f64}
+// layout the edges section stores, making a byte-level cast valid.
+var edgeCastable = unsafe.Sizeof(graph.Edge{}) == 16 &&
+	unsafe.Offsetof(graph.Edge{}.U) == 0 &&
+	unsafe.Offsetof(graph.Edge{}.V) == 4 &&
+	unsafe.Offsetof(graph.Edge{}.W) == 8
+
+type csrgSection struct {
+	off, length int64
+	crc         uint32
+}
+
+type csrgHeader struct {
+	n, m, arcs int
+	sec        [csrgSections]csrgSection
+}
+
+func align8(x int64) int64 { return (x + 7) &^ 7 }
+
+// sectionLengths returns the expected byte length of every section.
+func sectionLengths(n, m, arcs int64) [csrgSections]int64 {
+	return [csrgSections]int64{4 * (n + 1), 4 * arcs, 8 * arcs, 4 * arcs, 16 * m}
+}
+
+// --- byte views -----------------------------------------------------------
+
+func i32bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+}
+
+func f64bytes(s []float64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+}
+
+func edgebytes(s []graph.Edge) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 16*len(s))
+}
+
+func bytesToI32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func bytesToF64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func bytesToEdges(b []byte) []graph.Edge {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*graph.Edge)(unsafe.Pointer(&b[0])), len(b)/16)
+}
+
+// sectionViews returns the five section payloads of g as little-endian
+// byte slices. On little-endian hosts the views alias g's storage (no
+// copy); otherwise they are freshly encoded.
+func sectionViews(g *graph.Graph) [csrgSections][]byte {
+	if leHost && edgeCastable {
+		return [csrgSections][]byte{
+			i32bytes(g.Off), i32bytes(g.Nbr), f64bytes(g.Wt), i32bytes(g.EID), edgebytes(g.Edges),
+		}
+	}
+	var out [csrgSections][]byte
+	out[0] = encodeI32(g.Off)
+	out[1] = encodeI32(g.Nbr)
+	out[2] = encodeF64(g.Wt)
+	out[3] = encodeI32(g.EID)
+	buf := make([]byte, 16*len(g.Edges))
+	for i, e := range g.Edges {
+		binary.LittleEndian.PutUint32(buf[16*i:], uint32(e.U))
+		binary.LittleEndian.PutUint32(buf[16*i+4:], uint32(e.V))
+		binary.LittleEndian.PutUint64(buf[16*i+8:], math.Float64bits(e.W))
+	}
+	out[4] = buf
+	return out
+}
+
+func encodeI32(s []int32) []byte {
+	buf := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return buf
+}
+
+func encodeF64(s []float64) []byte {
+	buf := make([]byte, 8*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// --- writer ---------------------------------------------------------------
+
+// WriteCSRG writes g as a .csrg container. The output is deterministic:
+// the same graph always produces the same bytes.
+func WriteCSRG(w io.Writer, g *graph.Graph) error {
+	views := sectionViews(g)
+	var hdr [csrgHeaderSize]byte
+	copy(hdr[0:4], csrgMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], csrgVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.N))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(g.M()))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(g.Arcs()))
+	cur := int64(csrgHeaderSize)
+	for i, v := range views {
+		cur = align8(cur)
+		d := hdr[40+24*i:]
+		binary.LittleEndian.PutUint64(d[0:], uint64(cur))
+		binary.LittleEndian.PutUint64(d[8:], uint64(len(v)))
+		binary.LittleEndian.PutUint32(d[16:], crc32.Checksum(v, castagnoli))
+		cur += int64(len(v))
+	}
+	binary.LittleEndian.PutUint32(hdr[csrgCRCOffset:], crc32.Checksum(hdr[:csrgCRCOffset], castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var pad [8]byte
+	written := int64(csrgHeaderSize)
+	for _, v := range views {
+		if p := align8(written) - written; p > 0 {
+			if _, err := w.Write(pad[:p]); err != nil {
+				return err
+			}
+			written += p
+		}
+		if _, err := w.Write(v); err != nil {
+			return err
+		}
+		written += int64(len(v))
+	}
+	return nil
+}
+
+// --- reader ---------------------------------------------------------------
+
+func csrgErr(format string, args ...any) error {
+	return fmt.Errorf("%w: csrg: %s", ErrFormat, fmt.Sprintf(format, args...))
+}
+
+// parseCSRGHeader validates the fixed header against the total size and
+// returns the decoded section table.
+func parseCSRGHeader(hdr []byte, size int64) (csrgHeader, error) {
+	if len(hdr) < csrgHeaderSize {
+		return csrgHeader{}, csrgErr("truncated header (%d bytes)", len(hdr))
+	}
+	if string(hdr[0:4]) != csrgMagic {
+		return csrgHeader{}, csrgErr("bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != csrgVersion {
+		return csrgHeader{}, csrgErr("unsupported version %d", v)
+	}
+	if got, want := binary.LittleEndian.Uint32(hdr[csrgCRCOffset:]), crc32.Checksum(hdr[:csrgCRCOffset], castagnoli); got != want {
+		return csrgHeader{}, csrgErr("header checksum mismatch")
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	m := binary.LittleEndian.Uint64(hdr[16:])
+	arcs := binary.LittleEndian.Uint64(hdr[24:])
+	if n == 0 || n > math.MaxInt32 || m > math.MaxInt32 || arcs != 2*m {
+		return csrgHeader{}, csrgErr("implausible counts n=%d m=%d arcs=%d", n, m, arcs)
+	}
+	out := csrgHeader{n: int(n), m: int(m), arcs: int(arcs)}
+	want := sectionLengths(int64(n), int64(m), int64(arcs))
+	for i := 0; i < csrgSections; i++ {
+		d := hdr[40+24*i:]
+		off := binary.LittleEndian.Uint64(d[0:])
+		length := binary.LittleEndian.Uint64(d[8:])
+		if int64(length) != want[i] {
+			return csrgHeader{}, csrgErr("section %d length %d, want %d", i, length, want[i])
+		}
+		if off%8 != 0 || off < csrgHeaderSize || off > uint64(size) || uint64(size)-off < length {
+			return csrgHeader{}, csrgErr("section %d out of bounds (off %d len %d size %d)", i, off, length, size)
+		}
+		out.sec[i] = csrgSection{off: int64(off), length: int64(length), crc: binary.LittleEndian.Uint32(d[16:])}
+	}
+	return out, nil
+}
+
+// graphFromViews validates the five decoded sections and assembles the
+// graph. The slices are retained.
+func graphFromViews(h csrgHeader, off, nbr []int32, wt []float64, eid []int32, edges []graph.Edge) (*graph.Graph, error) {
+	g := &graph.Graph{N: h.n, Off: off, Nbr: nbr, Wt: wt, EID: eid, Edges: edges}
+	if err := validateCSR(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// validateCSR checks every structural invariant graph.FromEdges
+// guarantees, in parallel over fixed chunks (deterministic error choice).
+func validateCSR(g *graph.Graph) error {
+	n, m := g.N, len(g.Edges)
+	if g.Off[0] != 0 || int(g.Off[n]) != len(g.Nbr) {
+		return csrgErr("offset fence broken")
+	}
+	for v := 0; v < n; v++ {
+		if g.Off[v+1] < g.Off[v] {
+			return csrgErr("offsets not monotone at vertex %d", v)
+		}
+	}
+	errs := make([]error, par.Chunks(n))
+	par.For(len(errs), func(c int) {
+		lo, hi := par.FixedChunkBounds(n, c)
+		for v := lo; v < hi; v++ {
+			for i := int(g.Off[v]); i < int(g.Off[v+1]); i++ {
+				nb := g.Nbr[i]
+				if nb < 0 || int(nb) >= n || int(nb) == v {
+					errs[c] = csrgErr("vertex %d: neighbor %d out of range", v, nb)
+					return
+				}
+				if i > int(g.Off[v]) && g.Nbr[i-1] >= nb {
+					errs[c] = csrgErr("vertex %d: adjacency not strictly sorted", v)
+					return
+				}
+				id := g.EID[i]
+				if id < 0 || int(id) >= m {
+					errs[c] = csrgErr("vertex %d: edge id %d out of range", v, id)
+					return
+				}
+				e := g.Edges[id]
+				u, w := int32(v), nb
+				if u > w {
+					u, w = w, u
+				}
+				if e.U != u || e.V != w || e.W != g.Wt[i] {
+					errs[c] = csrgErr("vertex %d: arc %d disagrees with edge %d", v, i, id)
+					return
+				}
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	errs = make([]error, par.Chunks(m))
+	par.For(len(errs), func(c int) {
+		lo, hi := par.FixedChunkBounds(m, c)
+		for i := lo; i < hi; i++ {
+			e := g.Edges[i]
+			if e.U < 0 || e.V <= e.U || int(e.V) >= n {
+				errs[c] = csrgErr("edge %d: bad endpoints (%d,%d)", i, e.U, e.V)
+				return
+			}
+			if !(e.W > 0) || math.IsInf(e.W, 0) || math.IsNaN(e.W) {
+				errs[c] = csrgErr("edge %d: bad weight %v", i, e.W)
+				return
+			}
+			if i > 0 {
+				// Reading the previous chunk's last edge is a concurrent
+				// read of immutable data — CREW-safe.
+				p := g.Edges[i-1]
+				if p.U > e.U || p.U == e.U && p.V >= e.V {
+					errs[c] = csrgErr("edge list not in canonical order at %d", i)
+					return
+				}
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSRG reads a .csrg container through io.ReaderAt — the portable
+// (and big-endian-safe) path: sections are copied into fresh slices. Use
+// OpenCSRG for the zero-copy mmap open.
+func ReadCSRG(r io.ReaderAt, size int64) (*graph.Graph, error) {
+	hdr := make([]byte, csrgHeaderSize)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, csrgErr("reading header: %v", err)
+	}
+	h, err := parseCSRGHeader(hdr, size)
+	if err != nil {
+		return nil, err
+	}
+	read := func(i int) ([]byte, error) {
+		if h.sec[i].length == 0 {
+			// An edgeless graph has empty sections; ReadAt at EOF would
+			// error on the zero-length read.
+			if h.sec[i].crc != 0 {
+				return nil, csrgErr("section %d checksum mismatch", i)
+			}
+			return nil, nil
+		}
+		buf := make([]byte, h.sec[i].length)
+		if _, err := r.ReadAt(buf, h.sec[i].off); err != nil {
+			return nil, csrgErr("reading section %d: %v", i, err)
+		}
+		if crc32.Checksum(buf, castagnoli) != h.sec[i].crc {
+			return nil, csrgErr("section %d checksum mismatch", i)
+		}
+		return buf, nil
+	}
+	var raw [csrgSections][]byte
+	for i := range raw {
+		if raw[i], err = read(i); err != nil {
+			return nil, err
+		}
+	}
+	var (
+		off, nbr, eid []int32
+		wt            []float64
+		edges         []graph.Edge
+	)
+	if leHost && edgeCastable {
+		// The buffers were freshly allocated (8-byte aligned), so the typed
+		// views alias them directly.
+		off, nbr, eid = bytesToI32(raw[0]), bytesToI32(raw[1]), bytesToI32(raw[3])
+		wt = bytesToF64(raw[2])
+		edges = bytesToEdges(raw[4])
+	} else {
+		off, nbr, eid = decodeI32(raw[0]), decodeI32(raw[1]), decodeI32(raw[3])
+		wt = decodeF64(raw[2])
+		edges = make([]graph.Edge, h.m)
+		for i := range edges {
+			b := raw[4][16*i:]
+			edges[i] = graph.Edge{
+				U: int32(binary.LittleEndian.Uint32(b)),
+				V: int32(binary.LittleEndian.Uint32(b[4:])),
+				W: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+			}
+		}
+	}
+	return graphFromViews(h, off, nbr, wt, eid, edges)
+}
+
+func decodeI32(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func decodeF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Mapped is an opened .csrg container. The Graph aliases the mapping when
+// ZeroCopy reports true, so it must not be used after Close; LoadFile
+// instead ties the mapping's lifetime to the graph via a GC cleanup.
+type Mapped struct {
+	g     *graph.Graph
+	zero  bool
+	unmap func() error
+}
+
+// Graph returns the contained graph (valid until Close when ZeroCopy).
+func (m *Mapped) Graph() *graph.Graph { return m.g }
+
+// ZeroCopy reports whether the graph's storage aliases the file mapping.
+func (m *Mapped) ZeroCopy() bool { return m.zero }
+
+// Close releases the mapping. Idempotent.
+func (m *Mapped) Close() error {
+	u := m.unmap
+	m.unmap = nil
+	if u != nil {
+		return u()
+	}
+	return nil
+}
+
+// OpenCSRG opens path zero-copy when the platform allows (unix mmap,
+// little-endian host): the graph's CSR slices alias the read-only file
+// mapping, so opening costs the header parse, the checksum scans, and the
+// structural validation — no per-edge decoding or allocation. Elsewhere
+// it falls back to ReadCSRG. Checksums and structure are always verified.
+func OpenCSRG(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if size < csrgHeaderSize {
+		f.Close()
+		return nil, csrgErr("file too small (%d bytes)", size)
+	}
+	if leHost && edgeCastable {
+		if data, unmap, err := mapFile(f, size); err == nil {
+			f.Close() // the mapping outlives the descriptor
+			g, perr := parseMapped(data, size)
+			if perr != nil {
+				unmap()
+				return nil, perr
+			}
+			return &Mapped{g: g, zero: true, unmap: unmap}, nil
+		}
+	}
+	defer f.Close()
+	g, err := ReadCSRG(f, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapped{g: g, unmap: func() error { return nil }}, nil
+}
+
+// parseMapped builds the zero-copy graph over one mapped byte range.
+func parseMapped(data []byte, size int64) (*graph.Graph, error) {
+	h, err := parseCSRGHeader(data[:csrgHeaderSize], size)
+	if err != nil {
+		return nil, err
+	}
+	view := func(i int) ([]byte, error) {
+		s := data[h.sec[i].off : h.sec[i].off+h.sec[i].length]
+		if crc32.Checksum(s, castagnoli) != h.sec[i].crc {
+			return nil, csrgErr("section %d checksum mismatch", i)
+		}
+		return s, nil
+	}
+	var raw [csrgSections][]byte
+	for i := range raw {
+		if raw[i], err = view(i); err != nil {
+			return nil, err
+		}
+	}
+	return graphFromViews(h,
+		bytesToI32(raw[0]), bytesToI32(raw[1]), bytesToF64(raw[2]), bytesToI32(raw[3]), bytesToEdges(raw[4]))
+}

@@ -1,0 +1,129 @@
+package graphio
+
+// DIMACS shortest-path format (.gr), as used by the 9th DIMACS
+// Implementation Challenge road networks — the benchmark family of the
+// hopset/SSSP experimental literature.
+//
+//	c free-form comments
+//	p sp <n> <m>
+//	a <u> <v> <w>     (m arc lines, 1-based vertices)
+//
+// The challenge files list both directions of every road segment; the
+// canonicalization in graph.FromEdges collapses them (and any parallel
+// arcs, keeping the lightest), so a .gr file loads as the intended simple
+// undirected graph. "e <u> <v> [w]" edge lines (DIMACS clique heritage)
+// are accepted too; self loops are dropped.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// WriteDIMACS writes g as a DIMACS .gr file, one "a" line per undirected
+// edge (so the header's m counts undirected edges).
+func WriteDIMACS(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "c graphio export\np sp %d %d\n", g.N, g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "a %d %d %g\n", e.U+1, e.V+1, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func decodeDIMACS(data []byte, cfg config) (*graph.Graph, error) {
+	header, headLine, body, ok := scanHeader(data, legacyComment)
+	if !ok {
+		return nil, fmt.Errorf("%w: missing \"p sp\" line", ErrFormat)
+	}
+	f := fieldsOf(header)
+	if len(f) == 0 { // e.g. a line of bare commas: non-blank, zero fields
+		return nil, lineErr(FormatDIMACS, headLine, "malformed line")
+	}
+	if string(f[0]) != "p" {
+		return nil, lineErr(FormatDIMACS, headLine, "arc before \"p sp\" header")
+	}
+	if len(f) != 4 || string(f[1]) != "sp" {
+		return nil, lineErr(FormatDIMACS, headLine, "p line wants \"p sp <n> <m>\"")
+	}
+	n, err1 := strconv.Atoi(bstr(f[2]))
+	m, err2 := strconv.Atoi(bstr(f[3]))
+	if err1 != nil || err2 != nil || n <= 0 || m < 0 {
+		return nil, lineErr(FormatDIMACS, headLine, "bad p line")
+	}
+
+	edges, merged, err := parseText(data[body:], cfg.workers, func(chunk []byte, firstLine int, res *chunkResult) {
+		parseDIMACSChunk(chunk, headLine+firstLine, res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if merged.recs != m {
+		return nil, fmt.Errorf("%w: expected %d arc lines, got %d", ErrFormat, m, merged.recs)
+	}
+	return build(n, edges)
+}
+
+func parseDIMACSChunk(chunk []byte, firstLine int, res *chunkResult) {
+	line := firstLine
+	var fbuf [][]byte
+	for len(chunk) > 0 {
+		var raw []byte
+		raw, chunk = nextLine(chunk)
+		raw = trimSpace(raw)
+		no := line
+		line++
+		if len(raw) == 0 || raw[0] == 'c' {
+			continue
+		}
+		fbuf = appendFields(fbuf[:0], raw)
+		if len(fbuf) == 0 {
+			res.err = lineErr(FormatDIMACS, no, "malformed line")
+			return
+		}
+		switch string(fbuf[0]) {
+		case "a", "e":
+			w := 1.0
+			switch len(fbuf) {
+			case 4:
+				var err error
+				if w, err = strconv.ParseFloat(bstr(fbuf[3]), 64); err != nil {
+					res.err = lineErr(FormatDIMACS, no, "bad weight %q", string(fbuf[3]))
+					return
+				}
+			case 3:
+				if string(fbuf[0]) == "a" {
+					res.err = lineErr(FormatDIMACS, no, "a line wants \"a <u> <v> <w>\"")
+					return
+				}
+			default:
+				res.err = lineErr(FormatDIMACS, no, "arc line wants 2 vertices and a weight")
+				return
+			}
+			u, err1 := strconv.ParseInt(bstr(fbuf[1]), 10, 32)
+			v, err2 := strconv.ParseInt(bstr(fbuf[2]), 10, 32)
+			if err1 != nil || err2 != nil || u < 1 || v < 1 {
+				res.err = lineErr(FormatDIMACS, no, "bad 1-based vertex pair")
+				return
+			}
+			res.recs++
+			if u == v {
+				continue // self loop: never on a shortest path
+			}
+			res.edges = append(res.edges, graph.Edge{U: int32(u - 1), V: int32(v - 1), W: w})
+		case "p":
+			res.err = lineErr(FormatDIMACS, no, "duplicate p line")
+			return
+		default:
+			res.err = lineErr(FormatDIMACS, no, "unknown record %q", string(fbuf[0]))
+			return
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package graphio
+
+// Whitespace/CSV edge lists — the lingua franca of web/social datasets
+// (SNAP, KONECT, Network Repository):
+//
+//	# comment ("%" works too); a SNAP-style "# Nodes: N Edges: M"
+//	#   comment pins the vertex count, covering trailing isolated vertices
+//	u v       (0-based vertices, weight 1)
+//	u,v,w     (comma separation works per-line, so .csv loads too)
+//
+// Without a Nodes: hint, n is inferred as max vertex + 1. Self loops are
+// dropped; duplicate edges collapse to the lightest.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteEdgeList writes g as "u v w" lines with a SNAP-style header
+// comment, so a round trip preserves the exact vertex count.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# Nodes: %d Edges: %d\n", g.N, g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func decodeEdgeList(data []byte, cfg config) (*graph.Graph, error) {
+	edges, merged, err := parseText(data, cfg.workers, parseEdgeListChunk)
+	if err != nil {
+		return nil, err
+	}
+	// The Nodes: hint covers trailing isolated vertices, but real SNAP
+	// files have non-contiguous ids whose max exceeds the node count
+	// (web-Google: 875713 nodes, max id 916427) — take the larger.
+	n := max(merged.nodes, int(merged.maxV)+1)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: empty edge list (no edges, no \"# Nodes:\" hint)", ErrFormat)
+	}
+	return build(n, edges)
+}
+
+func parseEdgeListChunk(chunk []byte, firstLine int, res *chunkResult) {
+	line := firstLine
+	res.maxV = -1
+	var fbuf [][]byte
+	for len(chunk) > 0 {
+		var raw []byte
+		raw, chunk = nextLine(chunk)
+		raw = trimSpace(raw)
+		no := line
+		line++
+		if len(raw) == 0 {
+			continue
+		}
+		if raw[0] == '#' || raw[0] == '%' {
+			if res.nodes == 0 {
+				res.nodes = nodesHint(raw)
+			}
+			continue
+		}
+		fbuf = appendFields(fbuf[:0], raw)
+		if len(fbuf) != 2 && len(fbuf) != 3 {
+			res.err = lineErr(FormatEdgeList, no, "want \"u v [w]\", got %d fields", len(fbuf))
+			return
+		}
+		u, err1 := strconv.ParseInt(bstr(fbuf[0]), 10, 32)
+		v, err2 := strconv.ParseInt(bstr(fbuf[1]), 10, 32)
+		if err1 != nil || err2 != nil {
+			res.err = lineErr(FormatEdgeList, no, "bad vertex pair")
+			return
+		}
+		w := 1.0
+		if len(fbuf) == 3 {
+			var err error
+			if w, err = strconv.ParseFloat(bstr(fbuf[2]), 64); err != nil {
+				res.err = lineErr(FormatEdgeList, no, "bad weight %q", string(fbuf[2]))
+				return
+			}
+		}
+		res.recs++
+		if m := int32(max(u, v)); m > res.maxV {
+			res.maxV = m
+		}
+		if u == v {
+			continue
+		}
+		res.edges = append(res.edges, graph.Edge{U: int32(u), V: int32(v), W: w})
+	}
+}
+
+// nodesHint extracts N from a SNAP-style "# Nodes: N Edges: M" comment.
+func nodesHint(comment []byte) int {
+	f := fieldsOf(comment)
+	for i := 0; i+1 < len(f); i++ {
+		tok := strings.TrimSuffix(strings.ToLower(bstr(f[i])), ":")
+		if tok == "nodes" || tok == "#nodes" {
+			if n, err := strconv.Atoi(strings.TrimSuffix(bstr(f[i+1]), ":")); err == nil && n > 0 {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// DecodeEdgeList reads an edge list from r (see FormatEdgeList).
+func DecodeEdgeList(r io.Reader) (*graph.Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeEdgeList(data, config{})
+}

@@ -1,0 +1,153 @@
+package graphio
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// Format identifies one on-disk graph representation.
+type Format int
+
+const (
+	// FormatUnknown means detection failed; Decode refuses it.
+	FormatUnknown Format = iota
+	// FormatLegacy is the repository's original text format:
+	// "p <n> <m>" then m lines "e <u> <v> <w>" with 0-based vertices.
+	// Readable forever; new artifacts should prefer FormatCSRG.
+	FormatLegacy
+	// FormatDIMACS is the 9th DIMACS Implementation Challenge shortest-path
+	// format (.gr): "p sp <n> <m>" then arc lines "a <u> <v> <w>" with
+	// 1-based vertices. Each undirected edge may appear as one or two arcs;
+	// parallel arcs collapse to the lightest.
+	FormatDIMACS
+	// FormatEdgeList is a whitespace- or comma-separated edge list:
+	// "u v [w]" per line, 0-based vertices, weight defaulting to 1.
+	// A SNAP-style "# Nodes: N Edges: M" comment pins the vertex count;
+	// otherwise n is inferred as max vertex + 1.
+	FormatEdgeList
+	// FormatMETIS is the METIS/Chaco adjacency format: a "n m [fmt [ncon]]"
+	// header, then one line per vertex listing its (1-based) neighbors,
+	// with edge weights when fmt enables them.
+	FormatMETIS
+	// FormatCSRG is the repository's versioned binary CSR container,
+	// openable zero-copy via mmap (see WriteCSRG/OpenCSRG).
+	FormatCSRG
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatLegacy:
+		return "legacy"
+	case FormatDIMACS:
+		return "dimacs"
+	case FormatEdgeList:
+		return "edgelist"
+	case FormatMETIS:
+		return "metis"
+	case FormatCSRG:
+		return "csrg"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseFormat maps a format name (as printed by Format.String) back to the
+// Format; it returns FormatUnknown for anything else.
+func ParseFormat(s string) Format {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "legacy", "text", "txt":
+		return FormatLegacy
+	case "dimacs", "gr":
+		return FormatDIMACS
+	case "edgelist", "el", "edges", "csv", "tsv":
+		return FormatEdgeList
+	case "metis", "graph":
+		return FormatMETIS
+	case "csrg", "bin", "binary":
+		return FormatCSRG
+	}
+	return FormatUnknown
+}
+
+// FormatForPath maps a file name to a Format by extension (a trailing .gz
+// is stripped first). It is the dispatch used when writing: the content
+// sniffing of DetectFormat takes precedence when reading.
+func FormatForPath(path string) Format {
+	base := strings.ToLower(filepath.Base(path))
+	base = strings.TrimSuffix(base, ".gz")
+	switch filepath.Ext(base) {
+	case ".csrg":
+		return FormatCSRG
+	case ".gr", ".dimacs":
+		return FormatDIMACS
+	case ".graph", ".metis":
+		return FormatMETIS
+	case ".el", ".edges", ".csv", ".tsv", ".wel":
+		return FormatEdgeList
+	case ".txt":
+		return FormatLegacy
+	}
+	return FormatUnknown
+}
+
+// SupportedPath reports whether path's extension names a format this
+// package can read (including a trailing .gz).
+func SupportedPath(path string) bool { return FormatForPath(path) != FormatUnknown }
+
+// gzipMagic prefixes every gzip stream.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// DetectFormat sniffs the graph format from the (decompressed) leading
+// bytes of a file, falling back to the file-name extension for formats that
+// cannot be distinguished by content (METIS adjacency vs. bare edge lists).
+// name may be empty when the data came from a stream.
+//
+// Precedence: binary magic, then a DIMACS/legacy "p" header line, then the
+// extension, then "first significant line is numeric" → edge list.
+func DetectFormat(name string, data []byte) Format {
+	if len(data) >= 4 && string(data[:4]) == csrgMagic {
+		return FormatCSRG
+	}
+	ext := FormatForPath(name)
+	if ext == FormatMETIS || ext == FormatCSRG {
+		return ext
+	}
+	// Scan the first few significant lines for a header giveaway.
+	rest := data
+	for lines := 0; len(rest) > 0 && lines < 64; lines++ {
+		var line []byte
+		line, rest = nextLine(rest)
+		line = trimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		switch line[0] {
+		case 'c': // DIMACS/legacy comment
+			continue
+		case '#', '%': // edge-list / METIS comment
+			continue
+		case 'p':
+			f := fieldsOf(line)
+			if len(f) >= 2 && string(f[1]) == "sp" {
+				return FormatDIMACS
+			}
+			return FormatLegacy
+		case 'a':
+			return FormatDIMACS
+		case 'e':
+			return FormatLegacy
+		}
+		if isNumericStart(line[0]) {
+			if ext != FormatUnknown {
+				return ext
+			}
+			return FormatEdgeList
+		}
+		return FormatUnknown
+	}
+	return ext
+}
+
+func isNumericStart(b byte) bool {
+	return b >= '0' && b <= '9' || b == '-' || b == '+' || b == '.'
+}

@@ -1,0 +1,100 @@
+package graphio
+
+// Native fuzz targets, one per parser. Two invariants:
+//
+//  1. no input panics — parsers return errors, never crash;
+//  2. every accepted input round-trips through the .csrg writer
+//     bit-identically: parse → WriteCSRG → ReadCSRG → WriteCSRG yields
+//     the same bytes (the container is a faithful, deterministic image
+//     of whatever any parser accepts).
+//
+// The committed sample files under testdata/ double as the seed corpus;
+// `go test` runs every seed even without -fuzz.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// assertCSRGRoundTrip is invariant (2).
+func assertCSRGRoundTrip(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	var img1 bytes.Buffer
+	if err := WriteCSRG(&img1, g); err != nil {
+		t.Fatalf("WriteCSRG rejected an accepted graph: %v", err)
+	}
+	g2, err := ReadCSRG(bytes.NewReader(img1.Bytes()), int64(img1.Len()))
+	if err != nil {
+		t.Fatalf("ReadCSRG rejected its own writer's output: %v", err)
+	}
+	var img2 bytes.Buffer
+	if err := WriteCSRG(&img2, g2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img1.Bytes(), img2.Bytes()) {
+		t.Fatal("csrg round trip is not bit-identical")
+	}
+}
+
+func fuzzParser(f *testing.F, format Format, sample string, extra ...string) {
+	if data, err := os.ReadFile(filepath.Join("testdata", sample)); err == nil {
+		f.Add(data)
+	}
+	for _, s := range extra {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, _, err := DecodeBytes(data, WithFormat(format), WithWorkers(2))
+		if err != nil {
+			return
+		}
+		assertCSRGRoundTrip(t, g)
+	})
+}
+
+func FuzzDIMACS(f *testing.F) {
+	fuzzParser(f, FormatDIMACS, "sample.gr",
+		"p sp 2 1\na 1 2 3\n", "c x\np sp 3 0\n", "p sp 1 0", "a 1 2 3\n")
+}
+
+func FuzzLegacy(f *testing.F) {
+	fuzzParser(f, FormatLegacy, "sample.txt",
+		"p 2 1\ne 0 1 2\n", "p 1 0\n", "e 0 1 1\n", "p 2 1\ne 0 1 1e300\n")
+}
+
+func FuzzEdgeList(f *testing.F) {
+	fuzzParser(f, FormatEdgeList, "sample.el",
+		"0 1\n", "0,1,2.5\n", "# Nodes: 9 Edges: 1\n0 1\n", "1 1\n", "-1 0\n")
+}
+
+func FuzzMETIS(f *testing.F) {
+	fuzzParser(f, FormatMETIS, "sample.metis",
+		"2 1\n2\n1\n", "3 2 011 2\n1 1 2\n1 1 1 3\n1 1 2\n", "2 1 1\n2 5\n1 5\n", "1 0\n\n")
+}
+
+// FuzzCSRG feeds arbitrary bytes to the binary reader: it must never
+// panic, and anything it accepts must re-encode bit-identically.
+func FuzzCSRG(f *testing.F) {
+	g, err := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2.5}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := WriteCSRG(&img, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img.Bytes())
+	f.Add(img.Bytes()[:csrgHeaderSize])
+	f.Add([]byte(csrgMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCSRG(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		assertCSRGRoundTrip(t, got)
+	})
+}

@@ -1,0 +1,263 @@
+// Package graphio is the ingestion layer between on-disk graph datasets
+// and the oracle engine: streaming, chunk-parallel parsers for the common
+// text formats (DIMACS .gr, whitespace/CSV edge lists, METIS adjacency,
+// and the repository's legacy "p/e" format), transparent gzip handling,
+// and a versioned binary CSR container (.csrg) that opens zero-copy via
+// mmap so cold-starting a multi-graph registry is bounded by disk
+// bandwidth instead of parse speed.
+//
+// Everything is deterministic: parsing splits the input into fixed
+// byte-chunks that depend only on the bytes (never on the worker count),
+// parses chunks in parallel, and merges results in chunk order before the
+// canonical edge sort — so the resulting graph (and any re-encoding of it)
+// is byte-identical across 1, 2, or 64 parser workers, the same
+// discipline as internal/relax.
+//
+//	g, format, err := graphio.LoadFile("USA-road-d.NY.gr")   // auto-detect
+//	err = graphio.EncodeFile("ny.csrg", g)                    // convert
+//	g2, _, err := graphio.LoadFile("ny.csrg")                 // zero-copy
+//
+// Self loops in DIMACS, edge-list, and METIS inputs are dropped (they
+// never lie on shortest paths and the paper's model excludes them);
+// parallel edges collapse to the lightest. The legacy format keeps its
+// original strict behavior.
+package graphio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/graph"
+)
+
+// ErrFormat is wrapped by every parse error for malformed input.
+var ErrFormat = errors.New("graphio: bad format")
+
+// config is the resolved option set of a decode call.
+type config struct {
+	workers int
+	format  Format
+}
+
+// Option configures a Decode/LoadFile call.
+type Option func(*config)
+
+// WithWorkers bounds the parser's chunk workers (0 = the internal/par
+// worker budget). The parsed graph is byte-identical for every value.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithFormat skips auto-detection and parses as f.
+func WithFormat(f Format) Option { return func(c *config) { c.format = f } }
+
+func resolve(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// LoadFile reads the graph stored at path, auto-detecting the format
+// (including a .gz layer). A .csrg file is opened zero-copy via mmap when
+// the platform allows; the mapping is released when the returned graph is
+// garbage-collected. One lifetime caveat follows for zero-copy graphs:
+// the mapping's lifetime tracks the *graph.Graph object, so keep the
+// graph itself alive for as long as any of its slices (Edges, Off, …) is
+// retained — a bare slice kept past the last reference to the graph
+// would point into unmapped memory. Callers that need explicit control
+// use OpenCSRG and Close themselves.
+func LoadFile(path string, opts ...Option) (*graph.Graph, Format, error) {
+	cfg := resolve(opts)
+	head := make([]byte, 8)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, FormatUnknown, err
+	}
+	nh, err := io.ReadFull(f, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		f.Close()
+		return nil, FormatUnknown, err
+	}
+	head = head[:nh]
+	// Plain (non-gzipped) .csrg goes through the zero-copy open; everything
+	// else is slurped and decoded from memory.
+	if !bytes.HasPrefix(head, gzipMagic) &&
+		(cfg.format == FormatCSRG || cfg.format == FormatUnknown && DetectFormat(path, head) == FormatCSRG) {
+		f.Close()
+		m, err := OpenCSRG(path)
+		if err != nil {
+			return nil, FormatCSRG, err
+		}
+		g := m.Graph()
+		// Tie the mapping's lifetime to the graph: when the last reference
+		// to g goes away the cleanup unmaps. The cleanup argument must not
+		// reach g (an arg that references ptr pins it forever and the
+		// cleanup never runs), so detach the bare unmap closure — it holds
+		// only the mapped byte slice, which lives outside the GC heap.
+		if unmap := m.unmap; unmap != nil {
+			m.unmap = nil // the graph owns the mapping now
+			runtime.AddCleanup(g, func(u func() error) { u() }, unmap)
+		}
+		return g, FormatCSRG, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, FormatUnknown, err
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return nil, FormatUnknown, err
+	}
+	return decodeBytes(path, data, cfg)
+}
+
+// Decode reads one graph from r, auto-detecting the format unless
+// WithFormat pins it. The whole stream is buffered: the text parsers are
+// chunk-parallel over memory.
+func Decode(r io.Reader, opts ...Option) (*graph.Graph, Format, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, FormatUnknown, err
+	}
+	return DecodeBytes(data, opts...)
+}
+
+// DecodeBytes parses one graph from data (see Decode).
+func DecodeBytes(data []byte, opts ...Option) (*graph.Graph, Format, error) {
+	return decodeBytes("", data, resolve(opts))
+}
+
+func decodeBytes(name string, data []byte, cfg config) (*graph.Graph, Format, error) {
+	if bytes.HasPrefix(data, gzipMagic) {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, FormatUnknown, fmt.Errorf("%w: gzip: %v", ErrFormat, err)
+		}
+		plain, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, FormatUnknown, fmt.Errorf("%w: gzip: %v", ErrFormat, err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, FormatUnknown, fmt.Errorf("%w: gzip: %v", ErrFormat, err)
+		}
+		data = plain
+	}
+	f := cfg.format
+	if f == FormatUnknown {
+		f = DetectFormat(name, data)
+	}
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch f {
+	case FormatLegacy:
+		g, err = decodeLegacy(data, cfg)
+	case FormatDIMACS:
+		g, err = decodeDIMACS(data, cfg)
+	case FormatEdgeList:
+		g, err = decodeEdgeList(data, cfg)
+	case FormatMETIS:
+		g, err = decodeMETIS(data, cfg)
+	case FormatCSRG:
+		g, err = ReadCSRG(bytes.NewReader(data), int64(len(data)))
+	default:
+		return nil, FormatUnknown, fmt.Errorf("%w: cannot detect format", ErrFormat)
+	}
+	return g, f, err
+}
+
+// Encode writes g to w in the given text or binary format. Writing the
+// legacy format warns once per process: it exists for old artifacts
+// (including engine snapshots); new files should be .csrg (or DIMACS for
+// interchange).
+func Encode(w io.Writer, g *graph.Graph, f Format) error {
+	switch f {
+	case FormatLegacy:
+		warnLegacyOnce()
+		return EncodeLegacy(w, g)
+	case FormatDIMACS:
+		return WriteDIMACS(w, g)
+	case FormatEdgeList:
+		return WriteEdgeList(w, g)
+	case FormatMETIS:
+		return WriteMETIS(w, g)
+	case FormatCSRG:
+		return WriteCSRG(w, g)
+	}
+	return fmt.Errorf("graphio: cannot encode format %q", f)
+}
+
+// EncodeFile writes g to path in the format implied by the extension
+// (FormatForPath; unknown extensions get the legacy text format). A
+// trailing .gz compresses text formats transparently; .csrg.gz is refused
+// because a compressed container cannot be mmapped.
+func EncodeFile(path string, g *graph.Graph) error {
+	return EncodeFileAs(path, g, FormatUnknown)
+}
+
+// EncodeFileAs is EncodeFile with the format pinned explicitly
+// (FormatUnknown falls back to the extension). The .gz handling and the
+// .csrg.gz refusal apply the same way.
+//
+// The write is atomic: bytes land in a temp file in the same directory
+// and rename into place. That makes "overwrite the dataset, reload the
+// graph" safe even while the old file is being served through a live
+// mmap — readers of the old inode keep their pages; nothing is ever
+// truncated or mutated under them.
+func EncodeFileAs(path string, g *graph.Graph, f Format) error {
+	if f == FormatUnknown {
+		f = FormatForPath(path)
+	}
+	if f == FormatUnknown {
+		f = FormatLegacy
+	}
+	gz := hasGzSuffix(path)
+	if gz && f == FormatCSRG {
+		return errors.New("graphio: refusing to gzip a .csrg container (it could not be mmapped)")
+	}
+	out, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := out.Name()
+	fail := func(err error) error {
+		out.Close()
+		os.Remove(tmp)
+		return err
+	}
+	var w io.Writer = out
+	var zw *gzip.Writer
+	if gz {
+		zw = gzip.NewWriter(out)
+		w = zw
+	}
+	if err := Encode(w, g, f); err != nil {
+		return fail(err)
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func hasGzSuffix(path string) bool {
+	return len(path) > 3 && path[len(path)-3:] == ".gz"
+}

@@ -1,0 +1,363 @@
+package graphio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/testkit"
+)
+
+// sampleWant is the graph every testdata/sample.* file encodes.
+func sampleWant(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(5, []graph.Edge{
+		{U: 0, V: 1, W: 1.5}, {U: 0, V: 2, W: 2}, {U: 1, V: 2, W: 1},
+		{U: 1, V: 3, W: 4}, {U: 2, V: 4, W: 2.5}, {U: 3, V: 4, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sameGraph(t *testing.T, got, want *graph.Graph, label string) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("%s: n=%d want %d", label, got.N, want.N)
+	}
+	if !reflect.DeepEqual(got.Edges, want.Edges) {
+		t.Fatalf("%s: edge lists differ:\n got %v\nwant %v", label, got.Edges, want.Edges)
+	}
+	if !reflect.DeepEqual(got.Off, want.Off) || !reflect.DeepEqual(got.Nbr, want.Nbr) ||
+		!reflect.DeepEqual(got.Wt, want.Wt) || !reflect.DeepEqual(got.EID, want.EID) {
+		t.Fatalf("%s: CSR arrays differ", label)
+	}
+}
+
+// TestSamplesAgree parses every sample file — one graph, five formats —
+// and demands identical results with the right detected format.
+func TestSamplesAgree(t *testing.T) {
+	want := sampleWant(t)
+	cases := map[string]Format{
+		"sample.gr":    FormatDIMACS,
+		"sample.el":    FormatEdgeList,
+		"sample.csv":   FormatEdgeList,
+		"sample.metis": FormatMETIS,
+		"sample.txt":   FormatLegacy,
+	}
+	for name, wantF := range cases {
+		g, f, err := LoadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f != wantF {
+			t.Errorf("%s: detected %s, want %s", name, f, wantF)
+		}
+		sameGraph(t, g, want, name)
+	}
+}
+
+// TestGzipTransparent gzips a sample and expects the same graph back,
+// both from bytes and through LoadFile with a .gz name.
+func TestGzipTransparent(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "sample.gr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	zw.Write(raw)
+	zw.Close()
+
+	g, f, err := DecodeBytes(zbuf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != FormatDIMACS {
+		t.Fatalf("format %s", f)
+	}
+	sameGraph(t, g, sampleWant(t), "gz bytes")
+
+	path := filepath.Join(t.TempDir(), "sample.gr.gz")
+	if err := os.WriteFile(path, zbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g2, f2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != FormatDIMACS {
+		t.Fatalf("format %s", f2)
+	}
+	sameGraph(t, g2, sampleWant(t), "gz file")
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want Format
+	}{
+		{"", "p sp 3 1\na 1 2 5\n", FormatDIMACS},
+		{"", "c x\nc y\np 3 1\ne 0 1 5\n", FormatLegacy},
+		{"", "0 1 5\n", FormatEdgeList},
+		{"", "# comment\n0 1\n", FormatEdgeList},
+		{"x.metis", "3 2\n2 3\n1 3\n1 2\n", FormatMETIS},
+		{"x.graph", "% c\n3 2\n", FormatMETIS},
+		{"x.metis.gz", "3 2\n", FormatMETIS},
+		{"", "hello world\n", FormatUnknown},
+		{"", "", FormatUnknown},
+		{"x.gr", "", FormatDIMACS}, // extension fallback
+	}
+	for i, c := range cases {
+		if got := DetectFormat(c.name, []byte(c.data)); got != c.want {
+			t.Errorf("case %d (%q, %q): got %s want %s", i, c.name, c.data, got, c.want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCSRG(&buf, sampleWant(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got := DetectFormat("", buf.Bytes()); got != FormatCSRG {
+		t.Errorf("csrg magic: got %s", got)
+	}
+}
+
+// TestWorkerCountByteIdentical is the acceptance check for the parsers'
+// determinism discipline: a fixed input parses to byte-identical graphs
+// (compared via the deterministic .csrg image) for every worker count,
+// with the chunk size shrunk so the input really spans many chunks.
+func TestWorkerCountByteIdentical(t *testing.T) {
+	old := parseChunkSize
+	parseChunkSize = 1 << 9
+	defer func() { parseChunkSize = old }()
+
+	g := testkit.Gnm(600, 11)
+	encoders := map[Format]func(*bytes.Buffer) error{
+		FormatLegacy:   func(b *bytes.Buffer) error { return EncodeLegacy(b, g) },
+		FormatDIMACS:   func(b *bytes.Buffer) error { return WriteDIMACS(b, g) },
+		FormatEdgeList: func(b *bytes.Buffer) error { return WriteEdgeList(b, g) },
+		FormatMETIS:    func(b *bytes.Buffer) error { return WriteMETIS(b, g) },
+	}
+	for f, enc := range encoders {
+		var buf bytes.Buffer
+		if err := enc(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() < 4*parseChunkSize {
+			t.Fatalf("%s: input too small (%d bytes) to exercise chunking", f, buf.Len())
+		}
+		var baseline []byte
+		for _, workers := range []int{1, 2, 8} {
+			got, gf, err := DecodeBytes(buf.Bytes(), WithFormat(f), WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", f, workers, err)
+			}
+			if gf != f {
+				t.Fatalf("format echo %s != %s", gf, f)
+			}
+			var img bytes.Buffer
+			if err := WriteCSRG(&img, got); err != nil {
+				t.Fatal(err)
+			}
+			if baseline == nil {
+				baseline = img.Bytes()
+				sameGraph(t, got, g, f.String())
+				continue
+			}
+			if !bytes.Equal(baseline, img.Bytes()) {
+				t.Fatalf("%s: workers=%d parse differs from workers=1", f, workers)
+			}
+		}
+	}
+}
+
+// TestLegacyRoundTrip ports the old internal/graph codec test: encode,
+// decode, compare.
+func TestLegacyRoundTrip(t *testing.T) {
+	g := graph.Gnm(50, 150, graph.UniformWeights(1, 7), 9)
+	var buf bytes.Buffer
+	if err := EncodeLegacy(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := DecodeLegacy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g2, g, "legacy round trip")
+}
+
+// TestLegacyDecodeErrors ports the old malformed-input table.
+func TestLegacyDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",                      // missing p
+		"p 3\ne 0 1 1",          // short p
+		"p 3 1\np 3 1\ne 0 1 1", // duplicate p
+		"e 0 1 1\np 3 1",        // e before p
+		"p 3 2\ne 0 1 1",        // wrong edge count
+		"p 3 1\ne 0 1",          // short e
+		"p 3 1\ne 0 x 1",        // bad vertex
+		"p 3 1\nq 0 1 1",        // unknown record
+		"p x 1\ne 0 1 1",        // bad n
+		"p 3 1\ne 0 1 -1",       // invalid weight (via FromEdges)
+	}
+	for i, s := range cases {
+		if _, err := DecodeLegacy(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, s)
+		}
+	}
+}
+
+func TestLegacyDecodeSkipsComments(t *testing.T) {
+	in := "c hello\n\np 2 1\nc mid\ne 0 1 2.5\n"
+	g, err := DecodeLegacy(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.HasEdge(0, 1); !ok || w != 2.5 {
+		t.Fatalf("w=%v ok=%v", w, ok)
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []struct {
+		f    Format
+		data string
+	}{
+		{FormatDIMACS, "p sp 3 2\na 1 2 5\n"},         // arc-count mismatch
+		{FormatDIMACS, "p sp 3 1\na 0 2 5\n"},         // 0 is not a 1-based vertex
+		{FormatDIMACS, "p sp 3 1\na 1 2\n"},           // a-line without weight
+		{FormatDIMACS, "a 1 2 5\np sp 3 1\n"},         // arcs before header
+		{FormatDIMACS, "p sp 3 1\np sp 3 1\na 1 2 5"}, // duplicate header
+		{FormatDIMACS, "p sp 3 1\na 1 2 x\n"},         // bad weight
+		{FormatEdgeList, "0 1 2 3\n"},                 // too many fields
+		{FormatEdgeList, "0\n"},                       // too few fields
+		{FormatEdgeList, "0 x\n"},                     // bad vertex
+		{FormatEdgeList, "# only comments\n"},         // no edges, no hint
+		{FormatEdgeList, "0 1 -3\n"},                  // bad weight (FromEdges)
+		{FormatMETIS, "2 1 001\n2\n1 5\n"},            // missing pair weight
+		{FormatMETIS, "2 1\n2\n1\n1\n"},               // more vertex lines than n
+		{FormatMETIS, "2 2\n2\n1\n"},                  // entry count != 2m
+		{FormatMETIS, "2 1\n3\n1\n"},                  // neighbor out of range
+		{FormatMETIS, "x 1\n"},                        // bad header
+		{FormatMETIS, ""},                             // empty
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeBytes([]byte(c.data), WithFormat(c.f)); err == nil {
+			t.Errorf("case %d (%s %q): expected error", i, c.f, c.data)
+		} else if !errors.Is(err, ErrFormat) {
+			t.Errorf("case %d: error %v does not wrap ErrFormat", i, err)
+		}
+	}
+}
+
+// TestSelfLoopsAndParallelEdges: the dataset formats drop self loops and
+// collapse parallel edges to the lightest, matching FromEdges semantics.
+func TestSelfLoopsAndParallelEdges(t *testing.T) {
+	in := "p sp 3 4\na 1 1 9\na 1 2 5\na 2 1 3\na 2 3 1\n"
+	g, _, err := DecodeBytes([]byte(in), WithFormat(FormatDIMACS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("m=%d want 2", g.M())
+	}
+	if w, ok := g.HasEdge(0, 1); !ok || w != 3 {
+		t.Fatalf("parallel arcs should keep the lightest: w=%v ok=%v", w, ok)
+	}
+}
+
+// TestEdgeListNodesHint: the SNAP header preserves trailing isolated
+// vertices that plain inference would drop.
+func TestEdgeListNodesHint(t *testing.T) {
+	g, _, err := DecodeBytes([]byte("# Nodes: 7 Edges: 1\n0 1\n"), WithFormat(FormatEdgeList))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 7 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	g2, _, err := DecodeBytes([]byte("0 1\n"), WithFormat(FormatEdgeList))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N != 2 {
+		t.Fatalf("inferred n=%d want 2", g2.N)
+	}
+	// Real SNAP files have non-contiguous ids exceeding the node count
+	// (web-Google: 875713 nodes, max id 916427): the max must win.
+	g3, _, err := DecodeBytes([]byte("# Nodes: 3 Edges: 2\n0 1\n1 5\n"), WithFormat(FormatEdgeList))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.N != 6 {
+		t.Fatalf("sparse-id SNAP list: n=%d want 6", g3.N)
+	}
+}
+
+// TestMETISVariants exercises unweighted files, vertex weights/sizes
+// skipping, and isolated vertices (empty lines).
+func TestMETISVariants(t *testing.T) {
+	// Unweighted triangle plus an isolated vertex 4.
+	g, _, err := DecodeBytes([]byte("4 3\n2 3\n1 3\n1 2\n\n"), WithFormat(FormatMETIS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	if w, ok := g.HasEdge(0, 1); !ok || w != 1 {
+		t.Fatalf("unweighted default: w=%v ok=%v", w, ok)
+	}
+	// fmt 011, ncon 2: skip two vertex weights per line, then weighted pairs.
+	in := "3 2 011 2\n7 8 2 1.5\n7 8 1 1.5 3 2.5\n7 8 2 2.5\n"
+	g2, _, err := DecodeBytes([]byte(in), WithFormat(FormatMETIS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != 2 {
+		t.Fatalf("m=%d want 2", g2.M())
+	}
+	if w, ok := g2.HasEdge(1, 2); !ok || w != 2.5 {
+		t.Fatalf("weighted pair: w=%v ok=%v", w, ok)
+	}
+}
+
+// TestEncodeFileFormats writes a graph through every extension and loads
+// it back.
+func TestEncodeFileFormats(t *testing.T) {
+	g := testkit.Grid(100, 5)
+	dir := t.TempDir()
+	for _, name := range []string{"g.txt", "g.gr", "g.el", "g.metis", "g.csrg", "g.gr.gz"} {
+		path := filepath.Join(dir, name)
+		if err := EncodeFile(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, _, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameGraph(t, got, g, name)
+	}
+	if err := EncodeFile(filepath.Join(dir, "g.csrg.gz"), g); err == nil {
+		t.Fatal("expected refusal to gzip .csrg")
+	}
+}
+
+func TestParseFormatNames(t *testing.T) {
+	for _, f := range []Format{FormatLegacy, FormatDIMACS, FormatEdgeList, FormatMETIS, FormatCSRG} {
+		if got := ParseFormat(f.String()); got != f {
+			t.Errorf("ParseFormat(%q) = %s", f.String(), got)
+		}
+	}
+	if ParseFormat("nope") != FormatUnknown {
+		t.Error("unknown name should map to FormatUnknown")
+	}
+}

@@ -1,0 +1,160 @@
+package graphio
+
+// The legacy codec: the repository's original text format, folded in from
+// internal/graph so there is exactly one copy of the parsing and
+// validation logic. Old files stay readable forever; writes through
+// Encode(…, FormatLegacy) warn once per process.
+//
+//	c free-form comment lines
+//	p <n> <m>
+//	e <u> <v> <w>     (m lines, 0-based vertices, float weight)
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+var legacyWarn sync.Once
+
+func warnLegacyOnce() {
+	legacyWarn.Do(func() {
+		fmt.Fprintln(os.Stderr, "graphio: warning: the legacy text format is deprecated; write .csrg (or DIMACS .gr) instead")
+	})
+}
+
+// EncodeLegacy writes g in the legacy text format, byte-identical to the
+// historical internal/graph.Encode — engine snapshots embed this section,
+// so the bytes are load-bearing.
+//
+// Deprecated: new artifacts should use Encode with FormatCSRG (or
+// FormatDIMACS for interchange); EncodeLegacy remains for snapshot
+// sections and old tooling.
+func EncodeLegacy(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.N, g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "e %d %d %g\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeLegacy reads a graph in the legacy text format.
+func DecodeLegacy(r io.Reader) (*graph.Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeLegacy(data, config{})
+}
+
+// scanHeader returns the first significant line of data (skipping blanks
+// and lines isComment accepts), its 1-based line number, and the byte
+// offset just past it. ok is false when data has no significant line.
+func scanHeader(data []byte, isComment func([]byte) bool) (line []byte, lineNo, rest int, ok bool) {
+	off := 0
+	no := 0
+	for off < len(data) {
+		l, r := nextLine(data[off:])
+		no++
+		next := len(data) - len(r)
+		t := trimSpace(l)
+		if len(t) > 0 && !isComment(t) {
+			return t, no, next, true
+		}
+		off = next
+	}
+	return nil, no, off, false
+}
+
+func legacyComment(line []byte) bool { return line[0] == 'c' }
+
+func decodeLegacy(data []byte, cfg config) (*graph.Graph, error) {
+	header, headLine, body, ok := scanHeader(data, legacyComment)
+	if !ok {
+		return nil, fmt.Errorf("%w: missing p line", ErrFormat)
+	}
+	f := fieldsOf(header)
+	if len(f) == 0 { // e.g. a line of bare commas: non-blank, zero fields
+		return nil, lineErr(FormatLegacy, headLine, "malformed line")
+	}
+	switch string(f[0]) {
+	case "p":
+	case "e":
+		return nil, lineErr(FormatLegacy, headLine, "e before p")
+	default:
+		return nil, lineErr(FormatLegacy, headLine, "unknown record %q", string(f[0]))
+	}
+	if len(f) != 3 {
+		return nil, lineErr(FormatLegacy, headLine, "p line wants \"p <n> <m>\"")
+	}
+	n, err1 := strconv.Atoi(bstr(f[1]))
+	m, err2 := strconv.Atoi(bstr(f[2]))
+	if err1 != nil || err2 != nil || n <= 0 || m < 0 {
+		return nil, lineErr(FormatLegacy, headLine, "bad p line")
+	}
+
+	edges, merged, err := parseText(data[body:], cfg.workers, func(chunk []byte, firstLine int, res *chunkResult) {
+		parseLegacyChunk(chunk, headLine+firstLine, res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if merged.recs != m {
+		return nil, fmt.Errorf("%w: expected %d edges, got %d", ErrFormat, m, merged.recs)
+	}
+	return build(n, edges)
+}
+
+// parseLegacyChunk parses one newline-aligned chunk of e-lines. firstLine
+// is the global 1-based line number of the chunk's first line.
+func parseLegacyChunk(chunk []byte, firstLine int, res *chunkResult) {
+	line := firstLine
+	var fbuf [][]byte
+	for len(chunk) > 0 {
+		var raw []byte
+		raw, chunk = nextLine(chunk)
+		raw = trimSpace(raw)
+		no := line
+		line++
+		if len(raw) == 0 || raw[0] == 'c' {
+			continue
+		}
+		fbuf = appendFields(fbuf[:0], raw)
+		if len(fbuf) == 0 {
+			res.err = lineErr(FormatLegacy, no, "malformed line")
+			return
+		}
+		switch string(fbuf[0]) {
+		case "e":
+			if len(fbuf) != 4 {
+				res.err = lineErr(FormatLegacy, no, "e line wants \"e <u> <v> <w>\"")
+				return
+			}
+			u, err1 := strconv.ParseInt(bstr(fbuf[1]), 10, 32)
+			v, err2 := strconv.ParseInt(bstr(fbuf[2]), 10, 32)
+			w, err3 := strconv.ParseFloat(bstr(fbuf[3]), 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				res.err = lineErr(FormatLegacy, no, "bad e line")
+				return
+			}
+			res.edges = append(res.edges, graph.Edge{U: int32(u), V: int32(v), W: w})
+			res.recs++
+		case "p":
+			res.err = lineErr(FormatLegacy, no, "duplicate p line")
+			return
+		default:
+			res.err = lineErr(FormatLegacy, no, "unknown record %q", string(fbuf[0]))
+			return
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package graphio
+
+// METIS/Chaco adjacency format (.graph/.metis) — the input of the graph
+// partitioners whose benchmark suites (Walshaw, DIMACS-10) are standard
+// SSSP workloads:
+//
+//	% comments
+//	<n> <m> [fmt [ncon]]          header; m counts undirected edges
+//	<adjacency of vertex 1>       one line per vertex, 1-based neighbors
+//	…                             (an empty line is an isolated vertex)
+//
+// fmt is up to three digits — vertex sizes, vertex weights, edge weights
+// (e.g. "001" = edge weights: lines hold <nbr> <w> pairs). Vertex sizes
+// and weights are parsed and discarded; edge weights default to 1. Every
+// edge appears in both endpoints' lines; asymmetric duplicate weights
+// collapse to the lightest. Self loops are dropped.
+//
+// Because the vertex id is the line number, the chunk-parallel parse
+// first counts data lines per chunk, prefix-sums the counts to give every
+// chunk its starting vertex, and only then parses — two passes, still
+// byte-deterministic for any worker count.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// WriteMETIS writes g in METIS adjacency format with edge weights
+// (fmt 001). Weights print as %g, which round-trips floats exactly but is
+// nonstandard for tools expecting integers.
+func WriteMETIS(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d 001\n", g.N, g.M()); err != nil {
+		return err
+	}
+	for v := 0; v < g.N; v++ {
+		nbr, wt := g.Neighbors(int32(v))
+		for i := range nbr {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d %g", nbr[i]+1, wt[i]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeMETIS reads a METIS adjacency file from r.
+func DecodeMETIS(r io.Reader) (*graph.Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return decodeMETIS(data, config{})
+}
+
+type metisHeader struct {
+	n, m     int
+	vsize    bool // leading vertex-size field per line
+	vweights int  // vertex weights per line (ncon when enabled)
+	eweights bool // (nbr, weight) pairs instead of bare neighbors
+}
+
+func metisComment(line []byte) bool { return line[0] == '%' }
+
+func decodeMETIS(data []byte, cfg config) (*graph.Graph, error) {
+	header, headLine, body, ok := scanHeader(data, metisComment)
+	if !ok {
+		return nil, fmt.Errorf("%w: missing METIS header line", ErrFormat)
+	}
+	hdr, err := parseMETISHeader(header, headLine)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: fixed chunks, count lines and data (non-comment) lines per
+	// chunk so pass 2 knows each chunk's starting vertex id.
+	rest := data[body:]
+	bounds := lineChunks(rest)
+	nc := len(bounds)
+	lineCounts := make([]int, nc)
+	dataCounts := make([]int, nc)
+	forChunks(cfg.workers, nc, func(c int) {
+		chunk := rest[bounds[c][0]:bounds[c][1]]
+		lines, datas := 0, 0
+		for len(chunk) > 0 {
+			var raw []byte
+			raw, chunk = nextLine(chunk)
+			lines++
+			t := trimSpace(raw)
+			if len(t) == 0 || !metisComment(t) {
+				datas++ // empty lines are isolated vertices
+			}
+		}
+		lineCounts[c] = lines
+		dataCounts[c] = datas
+	})
+	firstLine := make([]int, nc)
+	firstVertex := make([]int, nc)
+	line, vert := headLine+1, 0
+	for c := 0; c < nc; c++ {
+		firstLine[c] = line
+		firstVertex[c] = vert
+		line += lineCounts[c]
+		vert += dataCounts[c]
+	}
+
+	// Pass 2: parse each chunk's adjacency lines.
+	results := make([]chunkResult, nc)
+	forChunks(cfg.workers, nc, func(c int) {
+		parseMETISChunk(rest[bounds[c][0]:bounds[c][1]], firstLine[c], firstVertex[c], hdr, &results[c])
+	})
+	merged := chunkResult{}
+	total := 0
+	for c := range results {
+		if results[c].err != nil {
+			return nil, results[c].err
+		}
+		total += len(results[c].edges)
+		merged.recs += results[c].recs
+	}
+	if merged.recs != 2*hdr.m {
+		return nil, fmt.Errorf("%w: adjacency lists hold %d entries, want 2·m = %d", ErrFormat, merged.recs, 2*hdr.m)
+	}
+	edges := make([]graph.Edge, 0, total)
+	for c := range results {
+		edges = append(edges, results[c].edges...)
+	}
+	return build(hdr.n, edges)
+}
+
+func parseMETISHeader(header []byte, headLine int) (metisHeader, error) {
+	f := fieldsOf(header)
+	if len(f) < 2 || len(f) > 4 {
+		return metisHeader{}, lineErr(FormatMETIS, headLine, "header wants \"n m [fmt [ncon]]\"")
+	}
+	n, err1 := strconv.Atoi(bstr(f[0]))
+	m, err2 := strconv.Atoi(bstr(f[1]))
+	if err1 != nil || err2 != nil || n <= 0 || m < 0 {
+		return metisHeader{}, lineErr(FormatMETIS, headLine, "bad header counts")
+	}
+	hdr := metisHeader{n: n, m: m}
+	if len(f) >= 3 {
+		bits := bstr(f[2])
+		if len(bits) > 3 {
+			return metisHeader{}, lineErr(FormatMETIS, headLine, "bad fmt field %q", bits)
+		}
+		for len(bits) < 3 {
+			bits = "0" + bits
+		}
+		for _, b := range bits {
+			if b != '0' && b != '1' {
+				return metisHeader{}, lineErr(FormatMETIS, headLine, "bad fmt field %q", bstr(f[2]))
+			}
+		}
+		hdr.vsize = bits[0] == '1'
+		hdr.eweights = bits[2] == '1'
+		if bits[1] == '1' {
+			hdr.vweights = 1
+		}
+	}
+	if len(f) == 4 {
+		ncon, err := strconv.Atoi(bstr(f[3]))
+		if err != nil || ncon < 0 {
+			return metisHeader{}, lineErr(FormatMETIS, headLine, "bad ncon field")
+		}
+		if hdr.vweights > 0 {
+			hdr.vweights = ncon
+		}
+	}
+	return hdr, nil
+}
+
+func parseMETISChunk(chunk []byte, firstLine, firstVertex int, hdr metisHeader, res *chunkResult) {
+	line, vertex := firstLine, firstVertex
+	var fbuf [][]byte
+	for len(chunk) > 0 {
+		var raw []byte
+		raw, chunk = nextLine(chunk)
+		no := line
+		line++
+		t := trimSpace(raw)
+		if len(t) > 0 && metisComment(t) {
+			continue
+		}
+		v := vertex
+		vertex++
+		if v >= hdr.n {
+			if len(t) == 0 {
+				continue // tolerate trailing blank lines
+			}
+			res.err = lineErr(FormatMETIS, no, "more than n=%d vertex lines", hdr.n)
+			return
+		}
+		if len(t) == 0 {
+			continue // isolated vertex
+		}
+		fbuf = appendFields(fbuf[:0], t)
+		i := 0
+		if hdr.vsize {
+			i++
+		}
+		i += hdr.vweights
+		if i > len(fbuf) {
+			res.err = lineErr(FormatMETIS, no, "truncated vertex-size/weight fields")
+			return
+		}
+		for ; i < len(fbuf); i++ {
+			nbr, err := strconv.ParseInt(bstr(fbuf[i]), 10, 32)
+			if err != nil || nbr < 1 || int(nbr) > hdr.n {
+				res.err = lineErr(FormatMETIS, no, "bad neighbor %q", string(fbuf[i]))
+				return
+			}
+			w := 1.0
+			if hdr.eweights {
+				i++
+				if i >= len(fbuf) {
+					res.err = lineErr(FormatMETIS, no, "neighbor %d missing its edge weight", nbr)
+					return
+				}
+				if w, err = strconv.ParseFloat(bstr(fbuf[i]), 64); err != nil {
+					res.err = lineErr(FormatMETIS, no, "bad edge weight %q", string(fbuf[i]))
+					return
+				}
+			}
+			res.recs++
+			if int(nbr-1) == v {
+				continue // self loop
+			}
+			res.edges = append(res.edges, graph.Edge{U: int32(v), V: int32(nbr - 1), W: w})
+		}
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package graphio
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile is unavailable on this platform; OpenCSRG falls back to the
+// portable ReadCSRG path.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("graphio: mmap unsupported on this platform")
+}

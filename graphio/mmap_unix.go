@@ -1,0 +1,22 @@
+//go:build unix
+
+package graphio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared. The returned release
+// function unmaps; the caller may close f immediately (the mapping holds
+// its own reference to the pages).
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,8 @@
+# Nodes: 5 Edges: 6
+# tiny shared test graph
+0 1 1.5
+0 2 2
+1 2 1
+1 3 4
+2 4 2.5
+3 4 1

@@ -1,11 +1,9 @@
 package graph
 
 import (
-	"bytes"
 	"errors"
 	"math"
 	"math/rand"
-	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -253,56 +251,8 @@ func TestWeightFns(t *testing.T) {
 	}
 }
 
-func TestEncodeDecodeRoundTrip(t *testing.T) {
-	g := Gnm(50, 150, UniformWeights(1, 7), 9)
-	var buf bytes.Buffer
-	if err := Encode(&buf, g); err != nil {
-		t.Fatal(err)
-	}
-	g2, err := Decode(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if g2.N != g.N || g2.M() != g.M() {
-		t.Fatalf("round trip shape: %d/%d vs %d/%d", g2.N, g2.M(), g.N, g.M())
-	}
-	for i := range g.Edges {
-		if g.Edges[i] != g2.Edges[i] {
-			t.Fatalf("edge %d differs after round trip", i)
-		}
-	}
-}
-
-func TestDecodeErrors(t *testing.T) {
-	cases := []string{
-		"",                      // missing p
-		"p 3\ne 0 1 1",          // short p
-		"p 3 1\np 3 1\ne 0 1 1", // duplicate p
-		"e 0 1 1\np 3 1",        // e before p
-		"p 3 2\ne 0 1 1",        // wrong edge count
-		"p 3 1\ne 0 1",          // short e
-		"p 3 1\ne 0 x 1",        // bad vertex
-		"p 3 1\nq 0 1 1",        // unknown record
-		"p x 1\ne 0 1 1",        // bad n
-		"p 3 1\ne 0 1 -1",       // invalid weight (via FromEdges)
-	}
-	for i, s := range cases {
-		if _, err := Decode(strings.NewReader(s)); err == nil {
-			t.Errorf("case %d: expected error for %q", i, s)
-		}
-	}
-}
-
-func TestDecodeSkipsComments(t *testing.T) {
-	in := "c hello\n\np 2 1\nc mid\ne 0 1 2.5\n"
-	g, err := Decode(strings.NewReader(in))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if w, ok := g.HasEdge(0, 1); !ok || w != 2.5 {
-		t.Fatalf("w=%v ok=%v", w, ok)
-	}
-}
+// The text codec round-trip and error tests moved to package graphio,
+// which owns the (legacy) text format now.
 
 func TestFromEdgesQuickNeverPanicsOnValid(t *testing.T) {
 	f := func(seed int64, nRaw uint8, mRaw uint16) bool {

@@ -25,7 +25,7 @@ import (
 var ErrFormat = errors.New("hopset: bad format")
 
 // Encode writes h in the text format. The base graph is not included;
-// pair it with graph.Encode. Assembled (Klein–Sairam) hopsets are
+// pair it with graphio.EncodeLegacy. Assembled (Klein–Sairam) hopsets are
 // refused: Decode re-derives the schedule from the stored parameters,
 // which is only valid for natively built hopsets.
 func Encode(w io.Writer, h *Hopset) error {

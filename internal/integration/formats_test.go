@@ -1,0 +1,122 @@
+package integration
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/graphio"
+	"repro/internal/graph"
+	"repro/internal/testkit"
+)
+
+// formatCodecs enumerates every graphio format as (encode, decode) pairs
+// usable in-memory.
+func formatCodecs() map[graphio.Format]func(g *graph.Graph) (*graph.Graph, error) {
+	roundTrip := func(f graphio.Format) func(g *graph.Graph) (*graph.Graph, error) {
+		return func(g *graph.Graph) (*graph.Graph, error) {
+			var buf bytes.Buffer
+			var err error
+			switch f {
+			case graphio.FormatLegacy:
+				err = graphio.EncodeLegacy(&buf, g)
+			default:
+				err = graphio.Encode(&buf, g, f)
+			}
+			if err != nil {
+				return nil, err
+			}
+			out, _, err := graphio.DecodeBytes(buf.Bytes(), graphio.WithFormat(f))
+			return out, err
+		}
+	}
+	return map[graphio.Format]func(g *graph.Graph) (*graph.Graph, error){
+		graphio.FormatLegacy:   roundTrip(graphio.FormatLegacy),
+		graphio.FormatDIMACS:   roundTrip(graphio.FormatDIMACS),
+		graphio.FormatEdgeList: roundTrip(graphio.FormatEdgeList),
+		graphio.FormatMETIS:    roundTrip(graphio.FormatMETIS),
+		graphio.FormatCSRG:     roundTrip(graphio.FormatCSRG),
+	}
+}
+
+// TestFormatsRoundTripFamilies is the cross-family property test: every
+// testkit workload graph survives every format bit-exactly (CSR arrays
+// and canonical edge list), so nothing downstream — hopset build, relax
+// engine, golden corpus — can tell how a graph entered the system.
+func TestFormatsRoundTripFamilies(t *testing.T) {
+	codecs := formatCodecs()
+	for _, ng := range testkit.Mix(140, 9) {
+		for f, rt := range codecs {
+			got, err := rt(ng.G)
+			if err != nil {
+				t.Fatalf("%s via %s: %v", ng.Name, f, err)
+			}
+			if got.N != ng.G.N || !reflect.DeepEqual(got.Edges, ng.G.Edges) ||
+				!reflect.DeepEqual(got.Off, ng.G.Off) || !reflect.DeepEqual(got.Nbr, ng.G.Nbr) ||
+				!reflect.DeepEqual(got.Wt, ng.G.Wt) || !reflect.DeepEqual(got.EID, ng.G.EID) {
+				t.Fatalf("%s via %s: graph differs after round trip", ng.Name, f)
+			}
+		}
+	}
+}
+
+// TestGoldenCorpusThroughFormats pushes every golden-corpus graph through
+// text → .csrg → engine and demands the committed golden (dist, parent,
+// arc) vectors verbatim: ingestion must not perturb a single bit of the
+// hopset-accelerated exploration.
+func TestGoldenCorpusThroughFormats(t *testing.T) {
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			// DIMACS text → .csrg → graph, the full ingestion pipeline.
+			var text bytes.Buffer
+			if err := graphio.Encode(&text, c.g, graphio.FormatDIMACS); err != nil {
+				t.Fatal(err)
+			}
+			parsed, _, err := graphio.DecodeBytes(text.Bytes(), graphio.WithFormat(graphio.FormatDIMACS))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			path := filepath.Join(dir, c.name+".csrg")
+			if err := graphio.EncodeFile(path, parsed); err != nil {
+				t.Fatal(err)
+			}
+			m, err := graphio.OpenCSRG(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+
+			got := renderGolden(t, goldenCase{name: c.name, g: m.Graph(), sources: c.sources})
+			fixed, err := os.ReadFile(filepath.Join("testdata", "golden", c.name+".golden"))
+			if err != nil {
+				t.Fatalf("reading golden file: %v", err)
+			}
+			if string(fixed) != got {
+				t.Fatalf("%s: distances changed after text → .csrg ingestion", c.name)
+			}
+		})
+	}
+}
+
+// TestSnapshotStillLoadsLegacySection guards the snapshot container's
+// byte format across the codec move into graphio: a snapshot written now
+// must embed the exact legacy graph section older binaries wrote.
+func TestSnapshotStillLoadsLegacySection(t *testing.T) {
+	g := testkit.Gnm(80, 4)
+	var legacy bytes.Buffer
+	if err := graphio.EncodeLegacy(&legacy, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graphio.DecodeLegacy(io.Reader(bytes.NewReader(legacy.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Edges, g.Edges) {
+		t.Fatal("legacy codec no longer round-trips")
+	}
+}

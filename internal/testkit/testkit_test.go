@@ -4,14 +4,16 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/graphio"
 	"repro/internal/graph"
 )
 
-// encode serializes a graph for byte-level comparison.
+// encode serializes a graph (as a deterministic .csrg image) for
+// byte-level comparison.
 func encode(t *testing.T, g *graph.Graph) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := graph.Encode(&buf, g); err != nil {
+	if err := graphio.WriteCSRG(&buf, g); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()

@@ -1,0 +1,36 @@
+package oracle
+
+import (
+	"context"
+
+	"repro/graphio"
+)
+
+// FileSource builds each engine version from the graph file at path — the
+// raw-dataset counterpart of SnapshotSource, and the source behind
+// cmd/serve -graph-dir. Every supported graphio format works (DIMACS .gr,
+// edge lists, METIS, legacy text, .csrg, each optionally gzipped); a
+// .csrg container opens zero-copy, so the registry's cold start is
+// bounded by disk bandwidth plus the hopset build. The file is re-read on
+// every Reload, making "replace the file, POST a reload" the same
+// zero-downtime refresh path snapshots have.
+//
+// Replace files by rename, never by truncating in place: a served .csrg
+// is a live read-only mapping, and an in-place rewrite would change
+// bytes under the old engine while it still answers queries. graphio's
+// EncodeFile/EncodeFileAs (and therefore cmd/graphconv and cmd/hopset
+// -out-graph) already write atomically via temp-file + rename, so the
+// standard tooling is safe; only hand-rolled `cp`/shell redirection over
+// a served file is not.
+func FileSource(path string, buildOpts ...Option) EngineSource {
+	return func(ctx context.Context, opts ...Option) (*Engine, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		g, _, err := graphio.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return New(g, append(append([]Option{}, buildOpts...), opts...)...)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"io"
 	"time"
 
+	"repro/graphio"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hopset"
@@ -167,10 +168,12 @@ func NewFromEdges(n int, edges []Edge, options ...Option) (*Engine, error) {
 	return New(g, options...)
 }
 
-// LoadGraph builds an Engine over a graph read from r in the repository's
-// DIMACS-like text format ("p n m" header, "e u v w" edges).
+// LoadGraph builds an Engine over a graph read from r in any supported
+// text or binary format (auto-detected by graphio: DIMACS .gr, edge
+// lists, METIS adjacency, the legacy "p/e" text format, or a .csrg
+// container, each optionally gzipped).
 func LoadGraph(r io.Reader, options ...Option) (*Engine, error) {
-	g, err := graph.Decode(r)
+	g, _, err := graphio.Decode(r)
 	if err != nil {
 		return nil, err
 	}

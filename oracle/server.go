@@ -92,7 +92,10 @@ func NewHandler(e *Engine) http.Handler {
 //	GET  /graphs/{name}/stats         → status + engine counters
 //	POST /graphs/{name}/reload        → 202; rebuilds in the background and hot-swaps
 //	GET  /stats                       → aggregate registry stats
-//	GET  /healthz                     → 200 ok (process liveness)
+//	GET  /healthz                     → registry aggregate status:
+//	     200 {"status":"ok",…} once any graph serves (or none are registered),
+//	     503 {"status":"starting",…} while every graph is still building,
+//	     503 {"status":"failed",…} when every graph failed for good
 //
 // Unknown graphs map to 404; graphs that are pending/building/failed/
 // evicted map to 503 (retryable); vertex-range and path-reporting errors
@@ -102,8 +105,17 @@ func NewHandler(e *Engine) http.Handler {
 func NewRegistryHandler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		w.Write([]byte("ok\n"))
+		st := r.Stats()
+		status, code := "ok", http.StatusOK
+		switch {
+		case st.Graphs > 0 && st.Ready == 0 && st.Failed == st.Graphs:
+			status, code = "failed", http.StatusServiceUnavailable
+		case st.Graphs > 0 && st.Ready == 0:
+			status, code = "starting", http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]any{"status": status, "registry": st})
 	})
 	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, map[string]any{"graphs": r.List(), "stats": r.Stats()})

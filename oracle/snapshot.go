@@ -8,13 +8,13 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/graphio"
 	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/hopset"
 )
 
 // Snapshot format: one header line framing two length-delimited sections,
-// each in its existing text format (internal/graph.Encode and
+// each in its existing text format (the graphio legacy codec and
 // internal/hopset.Encode):
 //
 //	oraclesnap 1 <scaleFactor> <graphBytes> <hopsetBytes>\n
@@ -39,7 +39,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) error {
 	}
 	h := e.solver.Hopset()
 	var gb, hb bytes.Buffer
-	if err := graph.Encode(&gb, h.G); err != nil {
+	if err := graphio.EncodeLegacy(&gb, h.G); err != nil {
 		return err
 	}
 	if err := hopset.Encode(&hb, h); err != nil {
@@ -85,7 +85,7 @@ func LoadSnapshot(r io.Reader, options ...Option) (*Engine, error) {
 	if _, err := io.ReadFull(br, gbuf); err != nil {
 		return nil, fmt.Errorf("oracle: reading snapshot graph: %w", err)
 	}
-	g, err := graph.Decode(bytes.NewReader(gbuf))
+	g, err := graphio.DecodeLegacy(bytes.NewReader(gbuf))
 	if err != nil {
 		return nil, err
 	}
