@@ -8,10 +8,16 @@
 //	graphconv -in web-Google.txt.gz -out web.csrg    # gzipped SNAP edge list
 //	graphconv -in ny.csrg                            # inspect: header, sections, stats
 //	graphconv -in a.metis -out a.gr                  # METIS → DIMACS
+//	graphconv -in ny.gr -out ny.csrg -partition 4    # ny.shard<i>.csrg + ny.shards.json
 //
 // The output format follows the -out extension (override with -to). With
 // no -out, graphconv prints the detected format and graph statistics —
 // for .csrg files including the section table and checksum verification.
+//
+// With -partition K (or -shard-target-bytes) the graph is split by the
+// deterministic edge-cut partitioner into K shard containers plus a
+// manifest next to -out; cmd/serve -graph-dir picks the set up as one
+// sharded graph whose engines never hold the whole graph at once.
 package main
 
 import (
@@ -20,10 +26,13 @@ import (
 	"log"
 	"math"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/graphio"
 	"repro/internal/graph"
+	"repro/internal/partition"
 )
 
 func main() {
@@ -35,6 +44,8 @@ func main() {
 		from    = flag.String("from", "", "override input format: legacy|dimacs|edgelist|metis|csrg")
 		to      = flag.String("to", "", "override output format (default: by -out extension)")
 		workers = flag.Int("workers", 0, "parser chunk workers (0 = auto); output is identical for every value")
+		partK   = flag.Int("partition", 0, "write a sharded container set with K shards (<out base>.shard<i>.csrg + manifest)")
+		partTgt = flag.Int64("shard-target-bytes", 0, "derive the shard count from a per-shard engine memory target")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -61,6 +72,14 @@ func main() {
 		*in, format, g.N, g.M(), g.Arcs(), loadTime.Round(time.Microsecond))
 	printStats(g)
 
+	if *partK > 0 || *partTgt > 0 {
+		if *out == "" {
+			log.Fatal("-partition/-shard-target-bytes need -out (the base path for the shard files)")
+		}
+		writeShards(g, *out, *partK, *partTgt)
+		return
+	}
+
 	if *out == "" {
 		return
 	}
@@ -79,6 +98,32 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d bytes) in %v\n", *out, st.Size(), time.Since(start).Round(time.Microsecond))
+}
+
+// writeShards runs the deterministic partitioner and persists the sharded
+// container set next to out (whose .csrg extension, if any, is stripped to
+// form the set name).
+func writeShards(g *graph.Graph, out string, k int, target int64) {
+	if k <= 0 {
+		k = partition.KForTarget(g.N, g.M(), target)
+	}
+	start := time.Now()
+	res := partition.Partition(g, k)
+	fmt.Printf("partitioned into %d shards in %v: %d boundary vertices, %d cut edges (%.2f%% of m), %d propagation rounds\n",
+		res.K, time.Since(start).Round(time.Microsecond), len(res.Boundary), len(res.CutEdges),
+		100*float64(len(res.CutEdges))/float64(g.M()), res.Rounds)
+	for i, sh := range res.Shards {
+		fmt.Printf("  shard %d: n=%d m=%d boundary=%d\n", i, sh.G.N, sh.G.M(), len(sh.Boundary))
+	}
+	dir := filepath.Dir(out)
+	name := strings.TrimSuffix(filepath.Base(out), ".csrg")
+	start = time.Now()
+	manifest, err := graphio.WriteShards(dir, name, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (+%d shard containers) in %v\n",
+		manifest, res.K, time.Since(start).Round(time.Microsecond))
 }
 
 // printStats summarizes the loaded graph: degree distribution, weight

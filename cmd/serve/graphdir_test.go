@@ -42,7 +42,7 @@ func TestServeGraphDirEndToEnd(t *testing.T) {
 
 	reg := oracle.NewRegistry(oracle.RegistryConfig{})
 	defer reg.Close()
-	names, err := addGraphDir(reg, dir, buildOpts(0.25, false))
+	names, err := addGraphDir(reg, dir, 0.25, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestHealthzStarting(t *testing.T) {
 	reg := oracle.NewRegistry(oracle.RegistryConfig{})
 	defer reg.Close()
 	release := make(chan struct{})
-	err := reg.Add("slow", func(ctx context.Context, opts ...oracle.Option) (*oracle.Engine, error) {
+	err := reg.Add("slow", func(ctx context.Context, opts ...oracle.Option) (oracle.Backend, error) {
 		<-release
 		return oracle.NewFromEdges(2, []oracle.Edge{{U: 0, V: 1, W: 1}}, opts...)
 	})

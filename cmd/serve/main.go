@@ -48,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 	"syscall"
@@ -56,6 +57,7 @@ import (
 	"repro/graphio"
 	"repro/internal/graph"
 	"repro/oracle"
+	"repro/shard"
 )
 
 func main() {
@@ -78,6 +80,8 @@ func main() {
 		workers  = flag.Int("build-workers", 0, "bound on concurrent background builds (0 = auto)")
 		budget   = flag.Int64("mem-budget", 0, "memory budget in bytes for resident engines (0 = unlimited)")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain bound for in-flight requests")
+		inflight = flag.Int("max-inflight", 0, "admission limit on concurrently served dist/path queries; excess gets 429 + Retry-After (0 = unlimited)")
+		shardTgt = flag.Int64("shard-target-bytes", 0, "serve graphs sharded, with the shard count derived from this per-shard engine memory target (0 = monolithic)")
 	)
 	flag.Parse()
 
@@ -107,11 +111,21 @@ func main() {
 		names = append(names, loaded...)
 	}
 	if *graphDir != "" {
-		loaded, err := addGraphDir(reg, *graphDir, buildOpts(*eps, *paths))
+		loaded, err := addGraphDir(reg, *graphDir, *eps, *paths, *shardTgt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		names = append(names, loaded...)
+	}
+
+	// defaultSource picks the backend shape for an in-memory graph: one
+	// monolithic engine, or — under -shard-target-bytes — a sharded
+	// oracle whose K is derived from the target.
+	defaultSource := func(g *graph.Graph) oracle.EngineSource {
+		if *shardTgt > 0 {
+			return shard.Source(g, shardConfig(*eps, *paths, *shardTgt))
+		}
+		return oracle.GraphSource(g, buildOpts(*eps, *paths)...)
 	}
 
 	switch {
@@ -125,10 +139,10 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("loaded %s (%s format): n=%d m=%d", *in, format, g.N, g.M())
-		add("default", oracle.GraphSource(g, buildOpts(*eps, *paths)...))
+		add("default", defaultSource(g))
 	case *snapDir == "" && *graphDir == "":
 		g := graph.Gnm(*n, *m, graph.UniformWeights(1, 8), *seed)
-		add("default", oracle.GraphSource(g, buildOpts(*eps, *paths)...))
+		add("default", defaultSource(g))
 	}
 
 	// Builds run off the request path: serve immediately, log readiness as
@@ -161,7 +175,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: newMux(reg)}
+	srv := &http.Server{Handler: withAdmission(newMux(reg), *inflight)}
 	log.Printf("listening on %s (%d graphs: GET /graphs /graphs/{name}/dist|path|stats|ready, POST /graphs/{name}/reload)",
 		ln.Addr(), len(names))
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -231,22 +245,33 @@ func addSnapshotDir(reg *oracle.Registry, dir string) ([]string, error) {
 	return names, nil
 }
 
-// addGraphDir registers every supported raw graph file in dir under its
-// base name (extensions stripped, including .gz). The graphs build in the
-// background through oracle.FileSource, so a directory of DIMACS road
-// networks or .csrg containers becomes a running multi-graph service with
-// one flag. When a converted container sits next to its text original
-// (road.gr and road.csrg — the natural state after running graphconv in
-// place), the .csrg wins; other same-name collisions keep the
-// lexicographically first file with a logged warning.
-func addGraphDir(reg *oracle.Registry, dir string, buildOpts []oracle.Option) ([]string, error) {
+// addGraphDir registers every supported dataset in dir under its base
+// name (extensions stripped, including .gz): raw graph files in any
+// graphio format, plus `<name>.shards.json` sharded container sets
+// written by graphconv -partition. Raw graphs build through
+// oracle.FileSource (or shard.FileSource when shardTarget > 0, which
+// partitions them in memory); manifests always open sharded. Collision
+// precedence for one name: sharded manifest > .csrg container > first
+// file lexicographically, each shadow logged. Registration runs in
+// sorted name order, so build scheduling, logs, and the /graphs listing
+// are deterministic across runs (map iteration order used to leak here).
+func addGraphDir(reg *oracle.Registry, dir string, eps float64, paths bool, shardTarget int64) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var files []string
 	for _, ent := range entries {
-		if !ent.IsDir() && graphio.SupportedPath(ent.Name()) {
+		if ent.IsDir() {
+			continue
+		}
+		// Shard containers (<name>.shard<i>.csrg) belong to their
+		// manifest; registering them individually would duplicate every
+		// shard as a standalone graph.
+		if shardContainerRE.MatchString(ent.Name()) {
+			continue
+		}
+		if graphio.SupportedPath(ent.Name()) || graphio.IsShardManifestPath(ent.Name()) {
 			files = append(files, ent.Name())
 		}
 	}
@@ -258,6 +283,11 @@ func addGraphDir(reg *oracle.Registry, dir string, buildOpts []oracle.Option) ([
 		switch {
 		case !dup:
 			chosen[name] = file
+		case graphio.IsShardManifestPath(file) && !graphio.IsShardManifestPath(prev):
+			log.Printf("graph-dir: %s shadows %s (sharded manifest preferred)", file, prev)
+			chosen[name] = file
+		case graphio.IsShardManifestPath(prev):
+			log.Printf("graph-dir: skipping %s (name %q already taken by manifest %s)", file, name, prev)
 		case graphio.FormatForPath(file) == graphio.FormatCSRG &&
 			graphio.FormatForPath(prev) != graphio.FormatCSRG:
 			log.Printf("graph-dir: %s shadows %s (container preferred)", file, prev)
@@ -267,23 +297,94 @@ func addGraphDir(reg *oracle.Registry, dir string, buildOpts []oracle.Option) ([
 		}
 	}
 	names := make([]string, 0, len(chosen))
-	for name, file := range chosen {
-		if err := reg.Add(name, oracle.FileSource(filepath.Join(dir, file), buildOpts...)); err != nil {
+	for name := range chosen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		file := chosen[name]
+		path := filepath.Join(dir, file)
+		var src oracle.EngineSource
+		switch {
+		case graphio.IsShardManifestPath(file), shardTarget > 0:
+			src = shard.FileSource(path, shardConfig(eps, paths, shardTarget))
+		default:
+			src = oracle.FileSource(path, buildOpts(eps, paths)...)
+		}
+		if err := reg.Add(name, src); err != nil {
 			return nil, fmt.Errorf("register %s: %w", file, err)
 		}
-		names = append(names, name)
 	}
 	if len(names) == 0 {
 		return nil, fmt.Errorf("no supported graph files in %s", dir)
 	}
-	sort.Strings(names)
 	return names, nil
 }
 
-// graphName strips the format extensions off a dataset file name.
+// withAdmission bounds concurrently served dist/path queries with a
+// semaphore: requests beyond limit are refused immediately with 429 and
+// a Retry-After hint instead of queueing without bound, so overload
+// degrades predictably instead of piling latency onto every client.
+// Status and listing routes are never limited. limit ≤ 0 disables.
+func withAdmission(h http.Handler, limit int) http.Handler {
+	if limit <= 0 {
+		return h
+	}
+	sem := make(chan struct{}, limit)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !isQueryRoute(r.URL.Path) {
+			h.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			h.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "query capacity exhausted (-max-inflight)", http.StatusTooManyRequests)
+		}
+	})
+}
+
+// isQueryRoute marks the engine-work routes the admission limiter guards:
+// legacy /dist and /path plus their /graphs/{name}/… forms. The /graphs
+// form requires a name segment between /graphs/ and the verb, so the
+// status route of a graph that happens to be named "dist" or "path"
+// (GET /graphs/dist) is never limited.
+func isQueryRoute(p string) bool {
+	if p == "/dist" || p == "/path" {
+		return true
+	}
+	rest, ok := strings.CutPrefix(p, "/graphs/")
+	if !ok {
+		return false
+	}
+	name, verb, ok := strings.Cut(rest, "/")
+	return ok && name != "" && (verb == "dist" || verb == "path")
+}
+
+// shardContainerRE matches per-shard container files written by
+// graphio.WriteShards.
+var shardContainerRE = regexp.MustCompile(`\.shard\d+\.csrg$`)
+
+// graphName strips the format extensions off a dataset file name
+// (including the sharded-manifest suffix).
 func graphName(base string) string {
+	if graphio.IsShardManifestPath(base) {
+		return graphio.ShardManifestName(base)
+	}
 	base = strings.TrimSuffix(base, ".gz")
 	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// shardConfig maps the serve flags onto a shard build configuration.
+func shardConfig(eps float64, paths bool, targetBytes int64) shard.Config {
+	return shard.Config{
+		TargetBytes:   targetBytes,
+		EpsilonLocal:  eps,
+		PathReporting: paths,
+	}
 }
 
 // redirectDefault maps the legacy /dist and /path routes onto the default
@@ -304,11 +405,15 @@ func saveSnapshot(reg *oracle.Registry, path string) error {
 		return err
 	}
 	defer h.Release()
+	eng, ok := h.Engine().(*oracle.Engine)
+	if !ok {
+		return errors.New("default graph is not a snapshottable monolithic engine")
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := h.Engine().SaveSnapshot(f); err != nil {
+	if err := eng.SaveSnapshot(f); err != nil {
 		f.Close()
 		return err
 	}

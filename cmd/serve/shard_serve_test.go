@@ -1,0 +1,192 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/graphio"
+	"repro/internal/partition"
+	"repro/internal/testkit"
+	"repro/oracle"
+	"repro/shard"
+)
+
+// TestServeShardedGraphDir wires the sharded half of -graph-dir: a
+// manifest written by graphconv -partition is registered as one graph,
+// reports its shard count through /graphs/{name}, and answers
+// /graphs/{name}/dist byte-identically to a shard.Open oracle over the
+// same container set. A same-name .csrg decoy must be shadowed by the
+// manifest.
+func TestServeShardedGraphDir(t *testing.T) {
+	dir := t.TempDir()
+	g := testkit.Grid(196, 4)
+	res := partition.Partition(g, 3)
+	manPath, err := graphio.WriteShards(dir, "grid", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decoy under the same logical name: the manifest must win.
+	if err := graphio.EncodeFile(dir+"/grid.csrg", testkit.Path(30)); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := oracle.NewRegistry(oracle.RegistryConfig{})
+	defer reg.Close()
+	names, err := addGraphDir(reg, dir, 0.25, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The logical graph registers once, from the manifest; the per-shard
+	// containers must not appear as standalone graphs.
+	if len(names) != 1 || names[0] != "grid" {
+		t.Fatalf("names = %v, want exactly [grid]", names)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := reg.WaitReady(ctx, "grid"); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := shard.Open(context.Background(), manPath,
+		shard.Config{EpsilonLocal: 0.25, PathReporting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDist, err := want.Dist(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(newMux(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/graphs/grid/dist?source=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dist status %d", resp.StatusCode)
+	}
+	var out struct {
+		Dist []*float64 `json:"dist"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Dist) != g.N {
+		t.Fatalf("%d dists, want %d (manifest must shadow the decoy .csrg)", len(out.Dist), g.N)
+	}
+	for v, d := range out.Dist {
+		if d == nil || *d != wantDist[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, d, wantDist[v])
+		}
+	}
+
+	gi, err := reg.Info("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Shards != 3 {
+		t.Fatalf("Info.Shards = %d, want 3", gi.Shards)
+	}
+}
+
+// TestAdmissionLimiter drives the -max-inflight semaphore: with limit 1
+// and one query parked inside the handler, a second query gets 429 +
+// Retry-After immediately, while status routes pass untouched; after the
+// first query finishes, capacity frees up again.
+func TestAdmissionLimiter(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	inner := http.NewServeMux()
+	inner.HandleFunc("/graphs/g/dist", func(w http.ResponseWriter, r *http.Request) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+		w.Write([]byte("ok"))
+	})
+	inner.HandleFunc("/graphs", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("listing"))
+	})
+	srv := httptest.NewServer(withAdmission(inner, 1))
+	defer srv.Close()
+
+	firstDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/graphs/g/dist?source=0")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("status %s", resp.Status)
+			}
+		}
+		firstDone <- err
+	}()
+	<-entered
+
+	// Saturated: the next query is refused with 429 + Retry-After.
+	resp, err := http.Get(srv.URL + "/graphs/g/dist?source=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated query: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Status routes are never limited.
+	resp, err = http.Get(srv.URL + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("listing under saturation: %d", resp.StatusCode)
+	}
+
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("parked query: %v", err)
+	}
+	// Capacity freed: queries flow again.
+	resp, err = http.Get(srv.URL + "/graphs/g/dist?source=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after release: %d", resp.StatusCode)
+	}
+}
+
+// TestIsQueryRoute pins the limiter's route classification, including the
+// graph-named-"dist" corner: status routes are never limited.
+func TestIsQueryRoute(t *testing.T) {
+	for p, want := range map[string]bool{
+		"/dist":                true,
+		"/path":                true,
+		"/graphs/ny/dist":      true,
+		"/graphs/ny/path":      true,
+		"/graphs":              false,
+		"/graphs/dist":         false, // a graph literally named "dist"
+		"/graphs/path":         false,
+		"/graphs/ny/stats":     false,
+		"/graphs/ny/ready":     false,
+		"/healthz":             false,
+		"/graphs/ny/dist/deep": false,
+	} {
+		if got := isQueryRoute(p); got != want {
+			t.Errorf("isQueryRoute(%q) = %v, want %v", p, got, want)
+		}
+	}
+}

@@ -36,7 +36,7 @@ func main() {
 	// on the bounded build pool. The version counter makes each reload of
 	// "bayarea" observable.
 	var bayareaBuilds atomic.Int64
-	if err := reg.Add("bayarea", func(ctx context.Context, opts ...oracle.Option) (*oracle.Engine, error) {
+	if err := reg.Add("bayarea", func(ctx context.Context, opts ...oracle.Option) (oracle.Backend, error) {
 		seed := bayareaBuilds.Add(1)
 		return oracle.New(testkit.Grid(2048, seed), append(opts, oracle.WithEpsilon(0.25))...)
 	}); err != nil {

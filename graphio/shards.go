@@ -1,0 +1,239 @@
+package graphio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// ShardManifestSuffix names the sidecar that ties a set of per-shard
+// .csrg containers back into one logical graph.
+const ShardManifestSuffix = ".shards.json"
+
+// shardManifestVersion is bumped on incompatible manifest changes.
+const shardManifestVersion = 1
+
+// ErrManifest is wrapped by every shard-manifest validation failure.
+var ErrManifest = errors.New("graphio: bad shard manifest")
+
+// ShardManifest describes one logical graph stored as K shard containers
+// plus the cut edges between them — the partitioned counterpart of a
+// single .csrg file. The shard files live next to the manifest; File
+// entries are relative to the manifest's directory. Together with the
+// per-shard vertex maps and cut edges, the manifest carries everything a
+// sharded oracle needs to rebuild the boundary overlay without ever
+// materializing the whole graph in one place.
+type ShardManifest struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	N       int    `json:"n"` // vertices of the logical graph
+	M       int    `json:"m"` // edges of the logical graph (intra + cut)
+	K       int    `json:"k"`
+
+	Shards   []ShardEntry `json:"shards"`
+	CutEdges []CutEdge    `json:"cut_edges"`
+}
+
+// ShardEntry is one shard: its container file and the local→global vertex
+// map (ascending; local ID i is global vertex Vertices[i]).
+type ShardEntry struct {
+	File     string  `json:"file"`
+	N        int     `json:"n"`
+	M        int     `json:"m"`
+	Vertices []int32 `json:"vertices"`
+}
+
+// CutEdge is one inter-shard edge in global vertex IDs.
+type CutEdge struct {
+	U int32   `json:"u"`
+	V int32   `json:"v"`
+	W float64 `json:"w"`
+}
+
+// IsShardManifestPath reports whether path names a shard manifest.
+func IsShardManifestPath(path string) bool {
+	return strings.HasSuffix(filepath.Base(path), ShardManifestSuffix)
+}
+
+// ShardManifestName strips the manifest suffix off a file name, yielding
+// the logical graph name.
+func ShardManifestName(path string) string {
+	return strings.TrimSuffix(filepath.Base(path), ShardManifestSuffix)
+}
+
+// WriteShards persists a partitioned graph under dir: one
+// `<name>.shard<i>.csrg` container per shard plus the `<name>.shards.json`
+// manifest, every file written atomically (temp + rename). It returns the
+// manifest path. The output is deterministic: the partitioner is, the
+// container encoding is, and the manifest is marshaled from sorted data.
+func WriteShards(dir, name string, res *partition.Result) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return "", fmt.Errorf("graphio: bad shard set name %q", name)
+	}
+	man := &ShardManifest{
+		Version: shardManifestVersion,
+		Name:    name,
+		N:       res.N,
+		K:       res.K,
+	}
+	for i, sh := range res.Shards {
+		file := fmt.Sprintf("%s.shard%d.csrg", name, i)
+		if err := EncodeFileAs(filepath.Join(dir, file), sh.G, FormatCSRG); err != nil {
+			return "", fmt.Errorf("graphio: shard %d: %w", i, err)
+		}
+		man.Shards = append(man.Shards, ShardEntry{
+			File:     file,
+			N:        sh.G.N,
+			M:        sh.G.M(),
+			Vertices: sh.Vertices,
+		})
+		man.M += sh.G.M()
+	}
+	man.M += len(res.CutEdges)
+	man.CutEdges = make([]CutEdge, len(res.CutEdges))
+	for i, e := range res.CutEdges {
+		man.CutEdges[i] = CutEdge{U: e.U, V: e.V, W: e.W}
+	}
+
+	path := filepath.Join(dir, name+ShardManifestSuffix)
+	data, err := json.MarshalIndent(man, "", " ")
+	if err != nil {
+		return "", err
+	}
+	tmp, err := os.CreateTemp(dir, name+".shards.tmp*")
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadShardManifest reads and validates a shard manifest. Validation is
+// structural — vertex maps must partition [0, N) ascending, cut edges must
+// join distinct shards with positive weights — so a corrupted or
+// hand-edited manifest fails here rather than as a wrong answer later.
+// Shard containers are not opened; callers load them on demand via
+// (*ShardManifest).LoadShard.
+func LoadShardManifest(path string) (*ShardManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	man := &ShardManifest{}
+	if err := json.Unmarshal(data, man); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrManifest, err)
+	}
+	if err := man.validate(); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+func (m *ShardManifest) validate() error {
+	if m.Version != shardManifestVersion {
+		return fmt.Errorf("%w: version %d (want %d)", ErrManifest, m.Version, shardManifestVersion)
+	}
+	if m.K != len(m.Shards) || m.K < 1 {
+		return fmt.Errorf("%w: k=%d with %d shard entries", ErrManifest, m.K, len(m.Shards))
+	}
+	if m.N < 1 {
+		return fmt.Errorf("%w: n=%d", ErrManifest, m.N)
+	}
+	part := make([]int32, m.N)
+	for i := range part {
+		part[i] = -1
+	}
+	covered := 0
+	for i, sh := range m.Shards {
+		if sh.File == "" || filepath.Base(sh.File) != sh.File {
+			return fmt.Errorf("%w: shard %d file %q (need a bare file name)", ErrManifest, i, sh.File)
+		}
+		if sh.N != len(sh.Vertices) || sh.N == 0 {
+			return fmt.Errorf("%w: shard %d: n=%d with %d vertices", ErrManifest, i, sh.N, len(sh.Vertices))
+		}
+		if !sort.SliceIsSorted(sh.Vertices, func(a, b int) bool { return sh.Vertices[a] < sh.Vertices[b] }) {
+			return fmt.Errorf("%w: shard %d vertex map not ascending", ErrManifest, i)
+		}
+		for _, gv := range sh.Vertices {
+			if gv < 0 || int(gv) >= m.N {
+				return fmt.Errorf("%w: shard %d vertex %d outside [0,%d)", ErrManifest, i, gv, m.N)
+			}
+			if part[gv] != -1 {
+				return fmt.Errorf("%w: vertex %d in shards %d and %d", ErrManifest, gv, part[gv], i)
+			}
+			part[gv] = int32(i)
+			covered++
+		}
+	}
+	if covered != m.N {
+		return fmt.Errorf("%w: shards cover %d of %d vertices", ErrManifest, covered, m.N)
+	}
+	for _, e := range m.CutEdges {
+		if e.U < 0 || int(e.U) >= m.N || e.V < 0 || int(e.V) >= m.N {
+			return fmt.Errorf("%w: cut edge (%d,%d) out of range", ErrManifest, e.U, e.V)
+		}
+		if part[e.U] == part[e.V] {
+			return fmt.Errorf("%w: cut edge (%d,%d) inside shard %d", ErrManifest, e.U, e.V, part[e.U])
+		}
+		if !(e.W > 0) {
+			return fmt.Errorf("%w: cut edge (%d,%d) weight %v", ErrManifest, e.U, e.V, e.W)
+		}
+	}
+	return nil
+}
+
+// Part reconstructs the vertex→shard assignment from the vertex maps.
+func (m *ShardManifest) Part() []int32 {
+	part := make([]int32, m.N)
+	for i, sh := range m.Shards {
+		for _, gv := range sh.Vertices {
+			part[gv] = int32(i)
+		}
+	}
+	return part
+}
+
+// LoadShard opens shard i's container relative to baseDir (the manifest's
+// directory), zero-copy when the platform allows, and checks that its
+// vertex count matches the manifest.
+func (m *ShardManifest) LoadShard(baseDir string, i int, opts ...Option) (*ShardGraph, error) {
+	if i < 0 || i >= len(m.Shards) {
+		return nil, fmt.Errorf("%w: shard %d of %d", ErrManifest, i, len(m.Shards))
+	}
+	ent := m.Shards[i]
+	g, _, err := LoadFile(filepath.Join(baseDir, ent.File), opts...)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: shard %d (%s): %w", i, ent.File, err)
+	}
+	if g.N != ent.N || g.M() != ent.M {
+		return nil, fmt.Errorf("%w: shard %d (%s): container is n=%d m=%d, manifest says n=%d m=%d",
+			ErrManifest, i, ent.File, g.N, g.M(), ent.N, ent.M)
+	}
+	return &ShardGraph{G: g, Vertices: ent.Vertices}, nil
+}
+
+// ShardGraph pairs one loaded shard subgraph with its local→global vertex
+// map.
+type ShardGraph struct {
+	G        *graph.Graph
+	Vertices []int32
+}

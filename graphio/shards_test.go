@@ -1,0 +1,141 @@
+package graphio
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/testkit"
+)
+
+// TestWriteShardsRoundTrip partitions a graph, writes the sharded
+// container set, reloads it through the manifest, and checks that every
+// shard subgraph, vertex map, and cut edge survives bit-identically.
+func TestWriteShardsRoundTrip(t *testing.T) {
+	g := testkit.Grid(400, 3)
+	res := partition.Partition(g, 4)
+	dir := t.TempDir()
+
+	path, err := WriteShards(dir, "grid", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsShardManifestPath(path) || ShardManifestName(path) != "grid" {
+		t.Fatalf("manifest path %q", path)
+	}
+
+	man, err := LoadShardManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.K != res.K || man.N != res.N || man.M != g.M() {
+		t.Fatalf("manifest shape: k=%d n=%d m=%d, want k=%d n=%d m=%d",
+			man.K, man.N, man.M, res.K, res.N, g.M())
+	}
+	if !reflect.DeepEqual(man.Part(), res.Part) {
+		t.Fatal("reconstructed Part differs from the partitioner's")
+	}
+	if len(man.CutEdges) != len(res.CutEdges) {
+		t.Fatalf("cut edges: %d, want %d", len(man.CutEdges), len(res.CutEdges))
+	}
+	for i, ce := range man.CutEdges {
+		e := res.CutEdges[i]
+		if ce.U != e.U || ce.V != e.V || ce.W != e.W {
+			t.Fatalf("cut edge %d: %+v vs %+v", i, ce, e)
+		}
+	}
+	for i := range man.Shards {
+		sg, err := man.LoadShard(dir, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sg.Vertices, res.Shards[i].Vertices) {
+			t.Fatalf("shard %d vertex map differs", i)
+		}
+		if !reflect.DeepEqual(sg.G.Edges, res.Shards[i].G.Edges) ||
+			!reflect.DeepEqual(sg.G.Off, res.Shards[i].G.Off) {
+			t.Fatalf("shard %d graph differs after container round-trip", i)
+		}
+	}
+}
+
+// TestLoadShardManifestRejectsCorruption walks the validation surface:
+// every structural lie in the manifest must fail loudly at load time.
+func TestLoadShardManifestRejectsCorruption(t *testing.T) {
+	g := testkit.Gnm(120, 7)
+	res := partition.Partition(g, 2)
+	dir := t.TempDir()
+	path, err := WriteShards(dir, "gnm", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name, from, to string) {
+		t.Helper()
+		mangled := strings.Replace(string(good), from, to, 1)
+		if mangled == string(good) {
+			t.Fatalf("%s: replacement %q not found in manifest", name, from)
+		}
+		bad := filepath.Join(dir, "bad"+ShardManifestSuffix)
+		if err := os.WriteFile(bad, []byte(mangled), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadShardManifest(bad); err == nil {
+			t.Fatalf("%s: corrupted manifest loaded without error", name)
+		}
+	}
+	corrupt("version", `"version": 1`, `"version": 99`)
+	corrupt("k-mismatch", `"k": 2`, `"k": 3`)
+	corrupt("n-shrunk", `"n": 120`, `"n": 60`)
+
+	// A truncated shard container must fail at LoadShard with a manifest
+	// mismatch or container error, never a silent wrong graph.
+	man, err := LoadShardManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh0 := filepath.Join(dir, man.Shards[0].File)
+	data, err := os.ReadFile(sh0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sh0, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := man.LoadShard(dir, 0); err == nil {
+		t.Fatal("truncated shard container loaded without error")
+	}
+}
+
+// TestWriteShardsK1 pins the degenerate single-shard layout: one
+// container holding the whole graph and an empty cut set.
+func TestWriteShardsK1(t *testing.T) {
+	g := testkit.Social(90, 2)
+	res := partition.Partition(g, 1)
+	dir := t.TempDir()
+	path, err := WriteShards(dir, "soc", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := LoadShardManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.K != 1 || len(man.CutEdges) != 0 || man.Shards[0].N != g.N {
+		t.Fatalf("K=1 manifest: %+v", man)
+	}
+	sg, err := man.LoadShard(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sg.G.Edges, g.Edges) {
+		t.Fatal("single shard differs from input graph")
+	}
+}

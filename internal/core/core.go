@@ -270,6 +270,45 @@ func (s *Solver) NearestSource(sources []int32) ([]float64, error) {
 	return s.rescale(res.Dist), nil
 }
 
+// NearestSourceOffsets is NearestSource with a per-source starting cost:
+// the returned value at v approximates min_i offsets[i] + d(sources[i], v).
+// It behaves exactly like attaching a virtual super-source to sources[i]
+// by an edge of weight offsets[i] — the continuation query a sharded
+// router needs when a search enters this solver's graph with the cost to
+// reach its boundary already paid. Offsets must be non-negative (+Inf
+// skips the source; at least one must be finite for a non-trivial answer).
+// Offsets and results are in input-graph units.
+func (s *Solver) NearestSourceOffsets(sources []int32, offsets []float64) ([]float64, error) {
+	if len(sources) == 0 {
+		return nil, errors.New("core: need at least one source")
+	}
+	if len(sources) != len(offsets) {
+		return nil, fmt.Errorf("core: %d sources with %d offsets", len(sources), len(offsets))
+	}
+	for i, src := range sources {
+		if err := s.checkVertex(src); err != nil {
+			return nil, err
+		}
+		if math.IsNaN(offsets[i]) || offsets[i] < 0 {
+			return nil, fmt.Errorf("core: offset %v for source %d (need non-negative)", offsets[i], src)
+		}
+	}
+	// Internal distances are in normalized units; map the offsets in and
+	// the labels back out (+Inf is preserved by the division).
+	scaled := offsets
+	if s.h.ScaleFactor != 1 {
+		scaled = make([]float64, len(offsets))
+		for i, o := range offsets {
+			scaled[i] = o / s.h.ScaleFactor
+		}
+	}
+	res := relax.RunOffsets(s.a, sources, scaled, s.budget, relax.Options{
+		Tracker:  s.opts.Tracker,
+		Counters: &s.relaxCtr,
+	})
+	return s.rescale(res.Dist), nil
+}
+
 // SPT computes a (1+ε)-approximate shortest-path tree rooted at source,
 // with tree edges drawn from the original graph (Theorem 4.6 / D.2).
 // Requires Options.PathReporting. Distances in the returned tree are in

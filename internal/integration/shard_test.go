@@ -1,0 +1,297 @@
+package integration
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/testkit"
+	"repro/oracle"
+	"repro/shard"
+)
+
+const shardEps = 0.3
+
+// renderSharded builds a sharded oracle over c.g at shard count k and
+// serializes the partition plus the routed answers (dist vectors in hex
+// float, stitched paths) — the byte-level determinism surface.
+func renderSharded(t *testing.T, c goldenCase, k int) string {
+	t.Helper()
+	res := partition.Partition(c.g, k)
+	o, err := shard.Build(context.Background(), c.g, shard.Config{
+		K: k, EpsilonLocal: shardEps, EpsilonOverlay: shardEps, PathReporting: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards %s k=%d boundary=%d cut=%d rounds=%d\n",
+		c.name, res.K, len(res.Boundary), len(res.CutEdges), res.Rounds)
+	for v, p := range res.Part {
+		fmt.Fprintf(&b, "p %d %d %d\n", v, p, res.LocalID[v])
+	}
+	for _, src := range c.sources {
+		d, err := o.Dist(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range d {
+			fmt.Fprintf(&b, "d %d %d %x\n", src, v, d[v])
+		}
+		path, length, err := o.Path(src, int32(c.g.N-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "path %d %v %x\n", src, path, length)
+	}
+	return b.String()
+}
+
+// TestShardedDeterminism is the sharded half of the golden determinism
+// claim: for every golden-corpus instance and K ∈ {1, 2, 4}, the
+// partitioner output and every routed answer (dist, path) are
+// byte-identical across 1, 2 and 8 workers.
+func TestShardedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded determinism matrix skipped in -short mode")
+	}
+	oldWorkers := par.Workers()
+	defer par.SetWorkers(oldWorkers)
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, k := range []int{1, 2, 4} {
+				par.SetWorkers(1)
+				want := renderSharded(t, c, k)
+				for _, w := range []int{2, 8} {
+					par.SetWorkers(w)
+					if got := renderSharded(t, c, k); got != want {
+						t.Fatalf("k=%d workers=%d: output differs from workers=1", k, w)
+					}
+				}
+				par.SetWorkers(oldWorkers)
+			}
+		})
+	}
+}
+
+// TestShardedK1MatchesMonolithic pins the K = 1 contract on the golden
+// corpus: a single-shard oracle must answer bit-identically to the
+// monolithic engine built from the same graph with the same parameters.
+func TestShardedK1MatchesMonolithic(t *testing.T) {
+	for _, c := range goldenCases() {
+		mono, err := oracle.New(c.g, oracle.WithEpsilon(shardEps), oracle.WithPathReporting())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := shard.Build(context.Background(), c.g, shard.Config{
+			K: 1, EpsilonLocal: shardEps, PathReporting: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range c.sources {
+			want, err := mono.Dist(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := o.Dist(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s src %d: K=1 sharded dist differs from monolithic", c.name, src)
+			}
+			wp, wl, err := mono.Path(src, int32(c.g.N-1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gp, gl, err := o.Path(src, int32(c.g.N-1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wl != gl || !reflect.DeepEqual(gp, wp) {
+				t.Fatalf("%s src %d: K=1 sharded path differs from monolithic", c.name, src)
+			}
+		}
+	}
+}
+
+// TestShardedStretchBound asserts the composed end-to-end guarantee
+// (1+ε_local)(1+ε_overlay)(1+ε_local) against exact Dijkstra on the
+// shared testkit sharding workload.
+func TestShardedStretchBound(t *testing.T) {
+	bound := (1 + shardEps) * (1 + shardEps) * (1 + shardEps)
+	for _, pc := range testkit.Partitioned(225, 7) {
+		o, err := shard.Build(context.Background(), pc.G, shard.Config{
+			K: pc.K, EpsilonLocal: shardEps, EpsilonOverlay: shardEps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := o.Stats()
+		if st.Sharded == nil || math.Abs(st.Sharded.StretchBound-bound) > 1e-12 {
+			t.Fatalf("%s: surfaced stretch bound %+v, want %v", pc.Name, st.Sharded, bound)
+		}
+		for _, src := range []int32{0, int32(pc.G.N / 3)} {
+			got, err := o.Dist(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := exact.DijkstraGraph(pc.G, src)
+			worst := 1.0
+			for v := 0; v < pc.G.N; v++ {
+				if math.IsInf(want[v], 1) {
+					if !math.IsInf(got[v], 1) {
+						t.Fatalf("%s src %d v %d: phantom reachability", pc.Name, src, v)
+					}
+					continue
+				}
+				if got[v] < want[v]-1e-9*math.Max(1, want[v]) {
+					t.Fatalf("%s src %d v %d: undershoot %v < %v", pc.Name, src, v, got[v], want[v])
+				}
+				if want[v] > 0 {
+					if r := got[v] / want[v]; r > worst {
+						worst = r
+					}
+				}
+			}
+			if worst > bound+1e-9 {
+				t.Fatalf("%s src %d: observed stretch %v exceeds composed bound %v", pc.Name, src, worst, bound)
+			}
+		}
+	}
+}
+
+// TestSoakShardedRegistry serves a sharded graph through the registry
+// under a memory budget smaller than the monolithic engine's footprint,
+// with a second graph forcing eviction pressure and a reloader hot-
+// swapping versions, while queriers verify every answer bit-exactly —
+// the "bigger than one engine" serving claim, end to end. Skipped under
+// -short.
+func TestSoakShardedRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const n = 900
+	g := testkit.Grid(n, 13)
+	cfg := shard.Config{K: 2, EpsilonLocal: 0.3, EpsilonOverlay: 0.3}
+
+	mono, err := oracle.New(g, oracle.WithEpsilon(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := shard.Build(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoBytes, shardBytes := mono.MemoryBytes(), sharded.MemoryBytes()
+	if shardBytes >= monoBytes {
+		t.Fatalf("sharded footprint %d is not below the monolithic %d; the budget premise fails",
+			shardBytes, monoBytes)
+	}
+	refSharded, err := sharded.Dist(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	side := testkit.Gnm(200, 4)
+	sideEng, err := oracle.New(side, oracle.WithEpsilon(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSide, err := sideEng.Dist(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The budget holds the sharded graph but not both graphs — and is
+	// strictly below what the monolithic engine would need — so the LRU
+	// loser cycles through eviction and demand rebuild.
+	budget := shardBytes + sideEng.MemoryBytes()/2
+	if budget >= monoBytes {
+		budget = monoBytes - 1
+	}
+	r := oracle.NewRegistry(oracle.RegistryConfig{MemoryBudget: budget})
+	defer r.Close()
+	if err := r.Add("grid", shard.Source(g, cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("side", oracle.GraphSource(side, oracle.WithEpsilon(0.3))); err != nil {
+		t.Fatal(err)
+	}
+	refs := map[string][]float64{"grid": refSharded, "side": refSide}
+	for name := range refs {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		if err := r.WaitReady(ctx, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cancel()
+	}
+
+	var wrong, failed atomic.Int64
+	names := []string{"grid", "side"}
+	var wg sync.WaitGroup
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				name := names[(q+i)%len(names)]
+				d, err := r.Dist(name, 0)
+				if err != nil {
+					// An eviction is a legal miss; the acquire re-enqueued
+					// the rebuild. Wait and retry — only a graph that never
+					// comes back counts as a failed query.
+					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+					werr := r.WaitReady(ctx, name)
+					cancel()
+					if werr != nil {
+						failed.Add(1)
+						return
+					}
+					if d, err = r.Dist(name, 0); err != nil {
+						continue
+					}
+				}
+				if !reflect.DeepEqual(d, refs[name]) {
+					wrong.Add(1)
+				}
+			}
+		}(q)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := r.Reload(names[i%len(names)]); err != nil {
+				failed.Add(1)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	if f := failed.Load(); f != 0 {
+		t.Fatalf("%d queries failed outright", f)
+	}
+	if w := wrong.Load(); w != 0 {
+		t.Fatalf("%d answers deviated from the deterministic reference", w)
+	}
+	st := r.Stats()
+	if st.Reloads == 0 || st.BuildsDone < 2 {
+		t.Fatalf("soak did not exercise the lifecycle: %+v", st)
+	}
+	t.Logf("sharded soak: budget=%d mono=%d sharded=%d stats=%+v",
+		budget, monoBytes, shardBytes, st)
+}

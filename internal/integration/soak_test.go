@@ -108,7 +108,7 @@ func TestSoakRegistry(t *testing.T) {
 	defer r.Close()
 	for name, seed := range graphs {
 		name, seed := name, seed
-		src := func(ctx context.Context, opts ...oracle.Option) (*oracle.Engine, error) {
+		src := func(ctx context.Context, opts ...oracle.Option) (oracle.Backend, error) {
 			return oracle.New(families[name](n, seed), append(opts, oracle.WithEpsilon(0.3))...)
 		}
 		if err := r.Add(name, src); err != nil {

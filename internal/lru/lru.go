@@ -1,0 +1,99 @@
+// Package lru is the shared mutex-guarded LRU used by the oracle engine's
+// per-source caches and the shard router's distance-vector cache: one
+// implementation, one stats shape, counted the same way everywhere.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of one cache.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Len       int   `json:"len"`
+	Cap       int   `json:"cap"`
+}
+
+// Cache is a mutex-guarded LRU map from a source vertex to a cached query
+// result. A capacity of 0 disables storage but still counts misses, so
+// stats stay meaningful for cache-less configurations; a nil *Cache is a
+// fully disabled cache (all methods no-ops), so callers never branch on
+// configuration.
+type Cache[V any] struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recent; values are *entry[V]
+	items     map[int32]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type entry[V any] struct {
+	key int32
+	val V
+}
+
+// New returns a cache holding up to capacity entries (negative clamps
+// to 0: disabled storage, counted misses).
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache[V]{cap: capacity, ll: list.New(), items: make(map[int32]*list.Element)}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache[V]) Get(key int32) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses++
+	return zero, false
+}
+
+// Add inserts or refreshes key, evicting the least recently used entries
+// over capacity.
+func (c *Cache[V]) Add(key int32, val V) {
+	if c == nil || c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*entry[V]).key)
+		c.evictions++
+	}
+	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
+}
+
+// Snapshot returns the cache counters. Safe on a nil cache.
+func (c *Cache[V]) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Len: c.ll.Len(), Cap: c.cap,
+	}
+}

@@ -1,0 +1,288 @@
+// Package partition implements the deterministic edge-cut graph
+// partitioner behind the shard subsystem: it splits one graph into K
+// vertex-disjoint shards plus the cut edges between them, so a sharded
+// oracle can build one engine per shard and stitch queries through a
+// boundary overlay.
+//
+// Shards are grown by synchronous label propagation — multi-source BFS
+// from K deterministic seeds, one hop layer per round — with the same
+// bit-identical tie-breaking discipline as internal/relax: a vertex joins
+// the lowest-numbered region among its already-assigned neighbors, rounds
+// are chunk-parallel with exclusive writes and double buffering, and
+// nothing depends on the worker count. The same (graph, K) always yields
+// the same Part array, byte for byte, on 1 or 64 workers.
+//
+// Vertices in components that contain no seed are assigned by a
+// deterministic fallback (contiguous ID blocks), so the partition is
+// always total.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// MaxShards caps K: more shards than this stops paying for itself (the
+// overlay grows quadratically in boundary size) and bounds KForTarget's
+// search.
+const MaxShards = 1024
+
+// Shard is one vertex-disjoint piece of the partitioned graph.
+type Shard struct {
+	// G is the induced subgraph on the shard's vertices, re-indexed to
+	// local IDs 0..len(Vertices)-1.
+	G *graph.Graph
+	// Vertices maps local ID -> global ID, ascending. With K = 1 this is
+	// the identity, so the single shard's graph is bit-identical to the
+	// input.
+	Vertices []int32
+	// Boundary lists the local IDs of this shard's boundary vertices
+	// (endpoints of cut edges), ascending.
+	Boundary []int32
+}
+
+// Result is a complete deterministic partition of one graph.
+type Result struct {
+	K int // number of shards (after clamping to [1, min(n, MaxShards)])
+	N int // vertices of the input graph
+
+	// Part[v] is the shard of global vertex v.
+	Part []int32
+	// LocalID[v] is v's index inside Shards[Part[v]].Vertices.
+	LocalID []int32
+
+	Shards []Shard
+
+	// Boundary is the global boundary vertex set (endpoints of cut
+	// edges), ascending. The overlay graph is built on exactly these.
+	Boundary []int32
+	// CutEdges are the input edges whose endpoints fall in different
+	// shards, in canonical (U < V, sorted) order.
+	CutEdges []graph.Edge
+
+	// Rounds is the number of propagation rounds until the labeling
+	// stabilized; Fallback counts vertices assigned by the contiguous-
+	// block fallback (unreachable from every seed).
+	Rounds   int
+	Fallback int
+}
+
+// Seeds returns the K deterministic seed vertices for an n-vertex graph:
+// evenly spaced over the ID range, seed i = floor(i·n/K). They are
+// pairwise distinct whenever K ≤ n.
+func Seeds(n, k int) []int32 {
+	seeds := make([]int32, k)
+	for i := 0; i < k; i++ {
+		seeds[i] = int32(int64(i) * int64(n) / int64(k))
+	}
+	return seeds
+}
+
+// Partition splits g into k shards. k is clamped to [1, min(n, MaxShards)];
+// the effective value is Result.K.
+func Partition(g *graph.Graph, k int) *Result {
+	n := g.N
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if k > MaxShards {
+		k = MaxShards
+	}
+
+	owner := make([]int32, n)
+	next := make([]int32, n)
+	for v := range owner {
+		owner[v] = -1
+	}
+	for i, s := range Seeds(n, k) {
+		owner[s] = int32(i)
+	}
+
+	res := &Result{K: k, N: n, Part: owner}
+	// Synchronous hop rounds: an unassigned vertex adopts the smallest
+	// region label among its assigned neighbors. Reads go to the previous
+	// round's labels only (double buffer), writes are exclusive per
+	// vertex, so chunk scheduling cannot change the outcome.
+	unassigned := n - k
+	for unassigned > 0 {
+		par.ForChunk(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if owner[v] >= 0 {
+					next[v] = owner[v]
+					continue
+				}
+				best := int32(-1)
+				for arc := g.Off[v]; arc < g.Off[v+1]; arc++ {
+					if o := owner[g.Nbr[arc]]; o >= 0 && (best < 0 || o < best) {
+						best = o
+					}
+				}
+				next[v] = best
+			}
+		})
+		owner, next = next, owner
+		res.Rounds++
+		left := 0
+		for v := 0; v < n; v++ {
+			if owner[v] < 0 {
+				left++
+			}
+		}
+		if left == unassigned {
+			break // no seed can reach the rest: disconnected remainder
+		}
+		unassigned = left
+	}
+	// Contiguous-block fallback for seedless components.
+	for v := 0; v < n; v++ {
+		if owner[v] < 0 {
+			owner[v] = int32(int64(v) * int64(k) / int64(n))
+			res.Fallback++
+		}
+	}
+	res.Part = owner
+
+	res.extract(g)
+	return res
+}
+
+// extract builds the per-shard subgraphs, local ID maps, cut edge list and
+// boundary sets from the final Part array.
+func (res *Result) extract(g *graph.Graph) {
+	n, k := res.N, res.K
+	res.LocalID = make([]int32, n)
+	verts := make([][]int32, k)
+	for v := 0; v < n; v++ {
+		s := res.Part[v]
+		res.LocalID[v] = int32(len(verts[s]))
+		verts[s] = append(verts[s], int32(v)) // ascending by construction
+	}
+
+	localEdges := make([][]graph.Edge, k)
+	isBoundary := make([]bool, n)
+	for _, e := range g.Edges {
+		su, sv := res.Part[e.U], res.Part[e.V]
+		if su == sv {
+			localEdges[su] = append(localEdges[su], graph.Edge{
+				U: res.LocalID[e.U], V: res.LocalID[e.V], W: e.W,
+			})
+			continue
+		}
+		res.CutEdges = append(res.CutEdges, e)
+		isBoundary[e.U] = true
+		isBoundary[e.V] = true
+	}
+	for v := int32(0); int(v) < n; v++ {
+		if isBoundary[v] {
+			res.Boundary = append(res.Boundary, v)
+		}
+	}
+
+	res.Shards = make([]Shard, k)
+	par.For(k, func(i int) {
+		sg, err := graph.FromEdges(len(verts[i]), localEdges[i])
+		if err != nil {
+			// Local edges are re-indexed valid input edges; this cannot
+			// fail on a well-formed graph.
+			panic(fmt.Sprintf("partition: shard %d subgraph: %v", i, err))
+		}
+		res.Shards[i] = Shard{G: sg, Vertices: verts[i]}
+	})
+	for _, b := range res.Boundary {
+		s := res.Part[b]
+		res.Shards[s].Boundary = append(res.Shards[s].Boundary, res.LocalID[b])
+	}
+}
+
+// Validate checks the structural invariants tests rely on: Part/LocalID
+// consistency, ascending vertex maps, shard graphs matching the induced
+// subgraphs' sizes, and boundary/cut agreement.
+func (res *Result) Validate(g *graph.Graph) error {
+	if res.K != len(res.Shards) {
+		return fmt.Errorf("K=%d but %d shards", res.K, len(res.Shards))
+	}
+	total := 0
+	for i, sh := range res.Shards {
+		if sh.G == nil || sh.G.N != len(sh.Vertices) {
+			return fmt.Errorf("shard %d: graph n=%d vs %d vertices", i, sh.G.N, len(sh.Vertices))
+		}
+		if len(sh.Vertices) == 0 {
+			return fmt.Errorf("shard %d empty", i)
+		}
+		total += len(sh.Vertices)
+		if !sort.SliceIsSorted(sh.Vertices, func(a, b int) bool { return sh.Vertices[a] < sh.Vertices[b] }) {
+			return fmt.Errorf("shard %d: vertex map not ascending", i)
+		}
+		for l, gv := range sh.Vertices {
+			if res.Part[gv] != int32(i) || res.LocalID[gv] != int32(l) {
+				return fmt.Errorf("vertex %d: Part/LocalID disagree with shard %d map", gv, i)
+			}
+		}
+	}
+	if total != res.N {
+		return fmt.Errorf("shards cover %d of %d vertices", total, res.N)
+	}
+	intra := 0
+	for _, sh := range res.Shards {
+		intra += sh.G.M()
+	}
+	if intra+len(res.CutEdges) != g.M() {
+		return fmt.Errorf("edges: %d intra + %d cut != %d", intra, len(res.CutEdges), g.M())
+	}
+	for _, e := range res.CutEdges {
+		if res.Part[e.U] == res.Part[e.V] {
+			return fmt.Errorf("cut edge (%d,%d) inside shard %d", e.U, e.V, res.Part[e.U])
+		}
+	}
+	seen := make(map[int32]bool, len(res.Boundary))
+	for _, b := range res.Boundary {
+		seen[b] = true
+	}
+	for _, e := range res.CutEdges {
+		if !seen[e.U] || !seen[e.V] {
+			return fmt.Errorf("cut edge (%d,%d) endpoint missing from boundary", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// EstimateEngineBytes approximates the resident size of one oracle engine
+// over an (n, m) graph before building it: the CSR adjacency over graph
+// plus hopset arcs, the edge list, and a hopset of ≈ 4·n^{1+1/κ} edges
+// with the default κ = 3. It deliberately leans pessimistic — the shard
+// planner uses it to pick K before any engine exists.
+func EstimateEngineBytes(n, m int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	hop := int64(4 * math.Pow(float64(n), 1+1.0/3.0))
+	arcs := int64(2*m) + 2*hop
+	return 4*int64(n+1) + 16*arcs + 16*int64(m) + 32*hop
+}
+
+// KForTarget returns the smallest shard count K such that one shard's
+// estimated engine footprint (EstimateEngineBytes over ≈ n/K vertices and
+// m/K edges) fits target bytes, capped at min(n, MaxShards). target ≤ 0
+// means "no target": K = 1.
+func KForTarget(n, m int, target int64) int {
+	if target <= 0 || n <= 0 {
+		return 1
+	}
+	max := n
+	if max > MaxShards {
+		max = MaxShards
+	}
+	for k := 1; k < max; k++ {
+		if EstimateEngineBytes((n+k-1)/k, (m+k-1)/k) <= target {
+			return k
+		}
+	}
+	return max
+}

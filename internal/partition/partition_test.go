@@ -1,0 +1,140 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/testkit"
+)
+
+// TestPartitionValid checks structural invariants across the testkit
+// families and several K.
+func TestPartitionValid(t *testing.T) {
+	for _, ng := range testkit.Mix(240, 3) {
+		for _, k := range []int{1, 2, 4, 7} {
+			res := Partition(ng.G, k)
+			if res.K != k {
+				t.Fatalf("%s K=%d: clamped to %d", ng.Name, k, res.K)
+			}
+			if err := res.Validate(ng.G); err != nil {
+				t.Fatalf("%s K=%d: %v", ng.Name, k, err)
+			}
+		}
+	}
+}
+
+// TestPartitionIdentityK1 pins the K = 1 contract the sharded oracle's
+// exact-match guarantee rests on: one shard, identity vertex map, the
+// shard graph bit-identical to the input, no boundary.
+func TestPartitionIdentityK1(t *testing.T) {
+	g := testkit.Gnm(300, 5)
+	res := Partition(g, 1)
+	if res.K != 1 || len(res.Shards) != 1 || len(res.Boundary) != 0 || len(res.CutEdges) != 0 {
+		t.Fatalf("K=1 shape: K=%d shards=%d boundary=%d cut=%d",
+			res.K, len(res.Shards), len(res.Boundary), len(res.CutEdges))
+	}
+	sg := res.Shards[0].G
+	for l, gv := range res.Shards[0].Vertices {
+		if int32(l) != gv {
+			t.Fatalf("vertex map not identity at %d -> %d", l, gv)
+		}
+	}
+	if !reflect.DeepEqual(sg.Edges, g.Edges) || !reflect.DeepEqual(sg.Off, g.Off) ||
+		!reflect.DeepEqual(sg.Nbr, g.Nbr) || !reflect.DeepEqual(sg.Wt, g.Wt) {
+		t.Fatal("K=1 shard graph differs from input graph")
+	}
+}
+
+// TestPartitionDeterministic requires byte-identical output across worker
+// counts — the partitioner inherits the relax engine's discipline.
+func TestPartitionDeterministic(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	for _, ng := range testkit.Mix(200, 9) {
+		want := Partition(ng.G, 4)
+		for _, w := range []int{2, 8} {
+			par.SetWorkers(w)
+			got := Partition(ng.G, 4)
+			if !reflect.DeepEqual(got.Part, want.Part) ||
+				!reflect.DeepEqual(got.Boundary, want.Boundary) ||
+				!reflect.DeepEqual(got.CutEdges, want.CutEdges) {
+				t.Fatalf("%s: workers=%d output differs from workers=1", ng.Name, w)
+			}
+			for i := range want.Shards {
+				if !reflect.DeepEqual(got.Shards[i].G.Edges, want.Shards[i].G.Edges) {
+					t.Fatalf("%s: workers=%d shard %d graph differs", ng.Name, w, i)
+				}
+			}
+		}
+		par.SetWorkers(1)
+	}
+}
+
+// TestPartitionDisconnected exercises the fallback: a graph of two
+// components where all seeds land in the first still covers everything.
+func TestPartitionDisconnected(t *testing.T) {
+	// Vertices 0..9 form a path; 10..19 a separate path. Seeds for K=2 at
+	// 0 and 10 land one per component; K=5 puts several seeds per
+	// component — either way coverage must be total.
+	var edges []graph.Edge
+	for v := int32(0); v < 9; v++ {
+		edges = append(edges, graph.E(v, v+1, 1))
+	}
+	for v := int32(10); v < 19; v++ {
+		edges = append(edges, graph.E(v, v+1, 1))
+	}
+	g := graph.MustFromEdges(20, edges)
+	for _, k := range []int{2, 5} {
+		res := Partition(g, k)
+		if err := res.Validate(g); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+	}
+	// One isolated vertex, no seed reaches it -> fallback must kick in.
+	g2 := graph.MustFromEdges(3, []graph.Edge{graph.E(0, 1, 1)})
+	res := Partition(g2, 2)
+	if err := res.Validate(g2); err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback == 0 {
+		t.Fatal("expected the isolated vertex to be assigned by fallback")
+	}
+}
+
+// TestKForTarget checks monotonicity and the no-target fast path.
+func TestKForTarget(t *testing.T) {
+	if k := KForTarget(10000, 40000, 0); k != 1 {
+		t.Fatalf("no target: K=%d", k)
+	}
+	whole := EstimateEngineBytes(10000, 40000)
+	if k := KForTarget(10000, 40000, whole); k != 1 {
+		t.Fatalf("target = whole estimate: K=%d", k)
+	}
+	k4 := KForTarget(10000, 40000, whole/4)
+	if k4 < 2 {
+		t.Fatalf("quarter target: K=%d", k4)
+	}
+	if k8 := KForTarget(10000, 40000, whole/8); k8 < k4 {
+		t.Fatalf("tighter target shrank K: %d < %d", k8, k4)
+	}
+}
+
+// TestPartitionedCases runs the shared testkit sharding workload through
+// the partitioner: exactly K non-empty shards, boundary within the
+// family's bound, structurally valid.
+func TestPartitionedCases(t *testing.T) {
+	for _, c := range testkit.Partitioned(256, 6) {
+		res := Partition(c.G, c.K)
+		if err := res.Validate(c.G); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if len(res.Shards) != c.K {
+			t.Fatalf("%s: %d shards, want %d", c.Name, len(res.Shards), c.K)
+		}
+		if len(res.Boundary) > c.MaxBoundary {
+			t.Fatalf("%s: %d boundary vertices exceed the family bound %d",
+				c.Name, len(res.Boundary), c.MaxBoundary)
+		}
+	}
+}

@@ -152,9 +152,62 @@ type Exploration struct {
 	frontArcs int64
 }
 
+// StartOffsets is Start with a per-source initial label: source i begins
+// at offsets[i] instead of 0. Semantically the exploration behaves as if a
+// virtual super-source were attached to every source by an edge of weight
+// offsets[i] — the primitive sharded routers need to continue a search
+// into a shard with the cost already paid to reach its boundary. Sources
+// with a +Inf offset are skipped entirely (an unreachable boundary vertex
+// seeds nothing); a vertex listed twice keeps its smallest offset.
+// Offset sources keep Parent = -1, like ordinary sources.
+func StartOffsets(a *adj.Adj, sources []int32, offsets []float64, opts Options) *Exploration {
+	e := begin(a, opts)
+	res, sc := e.res, e.sc
+	for i, s := range sources {
+		off := offsets[i]
+		if math.IsInf(off, 1) {
+			continue
+		}
+		if math.IsInf(res.Dist[s], 1) {
+			sc.front = append(sc.front, s)
+			e.frontArcs += int64(a.Off[s+1] - a.Off[s])
+		}
+		if off < res.Dist[s] {
+			res.Dist[s] = off
+		}
+	}
+	return e
+}
+
+// RunOffsets is Run with per-source initial labels (see StartOffsets).
+func RunOffsets(a *adj.Adj, sources []int32, offsets []float64, maxRounds int, opts Options) *Result {
+	e := StartOffsets(a, sources, offsets, opts)
+	for e.res.Rounds < maxRounds {
+		if !e.Step() {
+			break
+		}
+	}
+	return e.Finish()
+}
+
 // Start initializes an exploration from the given sources. The adjacency
 // is only read; concurrent explorations over a shared adjacency are safe.
 func Start(a *adj.Adj, sources []int32, opts Options) *Exploration {
+	e := begin(a, opts)
+	// The sources are the initial frontier: their labels "changed" at
+	// initialization, so round 1 needs to rescan exactly their
+	// neighborhoods.
+	for _, s := range sources {
+		e.res.Dist[s] = 0
+		e.sc.front = append(e.sc.front, s)
+		e.frontArcs += int64(a.Off[s+1] - a.Off[s])
+	}
+	return e
+}
+
+// begin allocates the result arrays and pooled scratch of an exploration
+// with an empty frontier; Start/StartOffsets seed it.
+func begin(a *adj.Adj, opts Options) *Exploration {
 	n := a.N
 	res := &Result{
 		Dist:      make([]float64, n),
@@ -179,15 +232,7 @@ func Start(a *adj.Adj, sources []int32, opts Options) *Exploration {
 	if e.denseFrac <= 0 {
 		e.denseFrac = DefaultDenseFraction
 	}
-	// The sources are the initial frontier: their labels "changed" at
-	// initialization, so round 1 needs to rescan exactly their
-	// neighborhoods.
 	sc.front = sc.front[:0]
-	for _, s := range sources {
-		res.Dist[s] = 0
-		sc.front = append(sc.front, s)
-		e.frontArcs += int64(a.Off[s+1] - a.Off[s])
-	}
 	return e
 }
 

@@ -240,3 +240,58 @@ func FuzzSparseMatchesDense(f *testing.F) {
 		sameResult(t, "fuzz", got, want)
 	})
 }
+
+// TestRunOffsets checks the offset-seeded exploration against its virtual
+// super-source semantics: RunOffsets(sources, offsets) must produce exactly
+// the labels of Run on a graph with one extra vertex attached to every
+// source by an edge of weight offsets[i] (distances shifted by nothing —
+// the super-source is at distance 0), with +Inf offsets dropping their
+// source and duplicate sources keeping the smallest offset.
+func TestRunOffsets(t *testing.T) {
+	g := testkit.Grid(144, 7)
+	a := adj.Build(g, nil)
+
+	// Reference: augmented graph with super-source s* = n.
+	sources := []int32{3, 77, 140, 77}
+	offsets := []float64{2.5, 0.75, math.Inf(1), 4.0}
+	var aug []graph.Edge
+	for _, e := range g.Edges {
+		aug = append(aug, e)
+	}
+	super := int32(g.N)
+	aug = append(aug, graph.E(3, super, 2.5), graph.E(77, super, 0.75))
+	ga := graph.MustFromEdges(g.N+1, aug)
+	ref := Run(adj.Build(ga, nil), []int32{super}, 4*g.N, Options{})
+
+	got := RunOffsets(a, sources, offsets, 4*g.N, Options{})
+	if !got.Converged {
+		t.Fatal("offset exploration did not converge")
+	}
+	for v := 0; v < g.N; v++ {
+		if got.Dist[v] != ref.Dist[v] {
+			t.Fatalf("vertex %d: offset dist %v, super-source dist %v", v, got.Dist[v], ref.Dist[v])
+		}
+	}
+	// Offset sources stay parentless, like ordinary sources.
+	if got.Parent[77] != -1 || got.Dist[77] != 0.75 {
+		t.Fatalf("source 77: (dist,parent) = (%v,%d), want (0.75,-1)", got.Dist[77], got.Parent[77])
+	}
+	if !math.IsInf(RunOffsets(a, []int32{5}, []float64{math.Inf(1)}, g.N, Options{}).Dist[5], 1) {
+		t.Fatal("+Inf offset seeded its source")
+	}
+}
+
+// TestRunOffsetsDeterministic pins worker-count independence of the
+// offset-seeded path, same discipline as the zero-offset engine.
+func TestRunOffsetsDeterministic(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	g := testkit.Gnm(600, 11)
+	a := adj.Build(g, nil)
+	sources := []int32{0, 17, 599, 301}
+	offsets := []float64{0, 3.25, 1.5, math.Inf(1)}
+	want := RunOffsets(a, sources, offsets, 64, Options{})
+	for _, w := range []int{2, 8} {
+		par.SetWorkers(w)
+		sameResult(t, "offsets", RunOffsets(a, sources, offsets, 64, Options{}), want)
+	}
+}

@@ -115,6 +115,44 @@ func Wide(n int, seed int64) *graph.Graph {
 	return graph.Gnm(n, 3*n, graph.GeometricScaleWeights(11), seed)
 }
 
+// PartitionCase is one shared sharding workload: a family instance, the
+// shard count to split it into, and the family's structural expectations.
+// The partitioner always yields exactly K non-empty shards (every seed
+// keeps itself), so the expectation surface is the boundary: MaxBoundary
+// is a loose per-family upper bound on boundary vertices — tight-ish for
+// geometry-like families (a grid's balanced cut is O(K·√n)), and the
+// whole vertex set for expanders, where a small boundary is impossible
+// and sharding is expected not to pay.
+type PartitionCase struct {
+	Name string
+	G    *graph.Graph
+	K    int
+	// MaxBoundary bounds len(partition.Result.Boundary) for this case.
+	MaxBoundary int
+}
+
+// Partitioned returns the shared sharding workload at size n: the cases
+// partition, shard, and the integration suite all draw from, so the three
+// layers agree on what a "reasonable" partition looks like. Deterministic
+// in (n, seed).
+func Partitioned(n int, seed int64) []PartitionCase {
+	side := int(math.Sqrt(float64(n)))
+	gridBound := func(k int) int {
+		b := 6 * k * (side + 2) // ≤ a few cut rows/columns per shard
+		if b > n {
+			b = n
+		}
+		return b
+	}
+	return []PartitionCase{
+		{Name: "grid-k2", G: Grid(n, seed), K: 2, MaxBoundary: gridBound(2)},
+		{Name: "grid-k4", G: Grid(n, seed), K: 4, MaxBoundary: gridBound(4)},
+		{Name: "community-k4", G: Community(n, seed), K: 4, MaxBoundary: n},
+		{Name: "gnm-k2", G: Gnm(n, seed), K: 2, MaxBoundary: n},
+		{Name: "tree-k4", G: Tree(n, seed), K: 4, MaxBoundary: n / 2},
+	}
+}
+
 // Mix returns the full cross-family workload suite at size n — the
 // integration-matrix mix. Every instance is deterministic in (n, seed).
 func Mix(n int, seed int64) []NamedGraph {

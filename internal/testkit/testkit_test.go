@@ -80,3 +80,28 @@ func TestFamiliesConnected(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionedDeterministic pins the shared sharding workload: same
+// (n, seed) must always yield the same instances and bounds.
+func TestPartitionedDeterministic(t *testing.T) {
+	a, b := Partitioned(128, 3), Partitioned(128, 3)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("case counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].K != b[i].K || a[i].MaxBoundary != b[i].MaxBoundary {
+			t.Fatalf("case %d metadata differs", i)
+		}
+		if a[i].G.N != b[i].G.N || a[i].G.M() != b[i].G.M() {
+			t.Fatalf("%s: instance shape differs across calls", a[i].Name)
+		}
+		for e := range a[i].G.Edges {
+			if a[i].G.Edges[e] != b[i].G.Edges[e] {
+				t.Fatalf("%s: edge %d differs across calls", a[i].Name, e)
+			}
+		}
+		if a[i].K < 2 || a[i].MaxBoundary <= 0 || a[i].MaxBoundary > a[i].G.N {
+			t.Fatalf("%s: implausible bounds K=%d MaxBoundary=%d", a[i].Name, a[i].K, a[i].MaxBoundary)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package oracle
+
+// Backend is the query surface the Registry serves: anything that answers
+// the engine's query set over one logical graph. The monolithic *Engine is
+// the canonical implementation; package shard provides a sharded one that
+// stitches K per-shard engines through a boundary overlay. The registry,
+// Handle, and HTTP layers only see this interface, so a sharded graph is
+// registered, hot-reloaded, evicted, and queried exactly like a monolithic
+// one — /graphs/{name}/dist and /path are shape-identical for clients.
+//
+// Implementations must be immutable after construction and safe for
+// concurrent use, and must answer deterministically: the same query on the
+// same built backend returns bit-identical results regardless of
+// concurrency or worker count. The slices and trees returned by queries
+// may be cached and shared — callers treat them as read-only.
+type Backend interface {
+	// N is the number of vertices of the logical graph.
+	N() int
+	// MemoryBytes estimates the resident size; the registry evicts
+	// against the sum of these.
+	MemoryBytes() int64
+	// Describe reports structural facts for status endpoints.
+	Describe() BackendInfo
+
+	Dist(source int32) ([]float64, error)
+	DistTo(source, target int32) (float64, error)
+	MultiSource(sources []int32) ([][]float64, error)
+	Nearest(sources []int32) ([]float64, error)
+	Path(u, v int32) ([]int32, float64, error)
+	Tree(source int32) (*Tree, error)
+
+	Stats() Stats
+}
+
+// BackendInfo describes a resident backend for GraphInfo and the status
+// endpoints.
+type BackendInfo struct {
+	// HopsetEdges is the total hopset size (for a sharded backend: summed
+	// over shard engines plus the overlay engine).
+	HopsetEdges int
+	// Shards is the shard count of a sharded backend, 0 for a monolithic
+	// engine.
+	Shards int
+}
+
+// ShardStats is the sharded-backend section of Stats: shape of the
+// partition and overlay, router traffic split, and the end-to-end stretch
+// accounting. The composed bound is
+//
+//	(1+ε_local) · (1+ε_overlay) · (1+ε_local)
+//
+// — source-shard leg, overlay hop, destination-shard leg — and every
+// routed answer is within it of the true distance.
+type ShardStats struct {
+	Shards           int `json:"shards"`
+	BoundaryVertices int `json:"boundary_vertices"`
+	OverlayEdges     int `json:"overlay_edges"`
+	CutEdges         int `json:"cut_edges"`
+
+	EpsilonLocal   float64 `json:"epsilon_local"`
+	EpsilonOverlay float64 `json:"epsilon_overlay"`
+	// StretchBound is the composed end-to-end guarantee above.
+	StretchBound float64 `json:"stretch_bound"`
+
+	// RoutedQueries crossed the overlay; LocalQueries were answered
+	// entirely inside the source shard (single-shard graphs, or K = 1).
+	RoutedQueries int64 `json:"routed_queries"`
+	LocalQueries  int64 `json:"local_queries"`
+
+	// RouterCache is the router's per-source cache of assembled global
+	// distance vectors (distinct from the per-shard engine caches summed
+	// into Stats.DistCache).
+	RouterCache CacheStats `json:"router_cache"`
+}
+
+// Describe implements Backend for the monolithic engine.
+func (e *Engine) Describe() BackendInfo {
+	info := BackendInfo{}
+	if h := e.Hopset(); h != nil {
+		info.HopsetEdges = h.Size()
+	}
+	return info
+}
+
+var _ Backend = (*Engine)(nil)

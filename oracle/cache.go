@@ -1,85 +1,14 @@
 package oracle
 
 import (
-	"container/list"
 	"sync"
+
+	"repro/internal/lru"
 )
 
-// CacheStats is a point-in-time snapshot of one engine cache.
-type CacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-	Len       int   `json:"len"`
-	Cap       int   `json:"cap"`
-}
-
-// lru is a mutex-guarded LRU map from a source vertex to a cached query
-// result. A capacity of 0 disables storage but still counts misses, so
-// Stats stay meaningful for cache-less engines.
-type lru[V any] struct {
-	mu        sync.Mutex
-	cap       int
-	ll        *list.List // front = most recent; values are *lruEntry[V]
-	items     map[int32]*list.Element
-	hits      int64
-	misses    int64
-	evictions int64
-}
-
-type lruEntry[V any] struct {
-	key int32
-	val V
-}
-
-func newLRU[V any](capacity int) *lru[V] {
-	if capacity < 0 {
-		capacity = 0
-	}
-	return &lru[V]{cap: capacity, ll: list.New(), items: make(map[int32]*list.Element)}
-}
-
-func (c *lru[V]) get(key int32) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.hits++
-		c.ll.MoveToFront(el)
-		return el.Value.(*lruEntry[V]).val, true
-	}
-	c.misses++
-	var zero V
-	return zero, false
-}
-
-func (c *lru[V]) add(key int32, val V) {
-	if c.cap == 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry[V]).val = val
-		c.ll.MoveToFront(el)
-		return
-	}
-	for c.ll.Len() >= c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.items, back.Value.(*lruEntry[V]).key)
-		c.evictions++
-	}
-	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
-}
-
-func (c *lru[V]) stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		Len: c.ll.Len(), Cap: c.cap,
-	}
-}
+// CacheStats is a point-in-time snapshot of one engine cache (the shared
+// internal/lru stats shape).
+type CacheStats = lru.Stats
 
 // flight deduplicates concurrent identical computations: while one
 // goroutine computes the value for a key, later arrivals wait and share

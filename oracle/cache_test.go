@@ -6,62 +6,6 @@ import (
 	"testing"
 )
 
-func TestLRUHitMissEvict(t *testing.T) {
-	c := newLRU[int](2)
-	if _, ok := c.get(1); ok {
-		t.Fatal("empty cache returned a value")
-	}
-	c.add(1, 10)
-	c.add(2, 20)
-	if v, ok := c.get(1); !ok || v != 10 {
-		t.Fatalf("get(1) = %v,%v", v, ok)
-	}
-	// 1 is now most-recent; adding 3 must evict 2.
-	c.add(3, 30)
-	if _, ok := c.get(2); ok {
-		t.Fatal("2 should have been evicted (LRU)")
-	}
-	if v, ok := c.get(1); !ok || v != 10 {
-		t.Fatalf("1 should survive, got %v,%v", v, ok)
-	}
-	if v, ok := c.get(3); !ok || v != 30 {
-		t.Fatalf("get(3) = %v,%v", v, ok)
-	}
-	st := c.stats()
-	if st.Hits != 3 || st.Misses != 2 || st.Evictions != 1 || st.Len != 2 || st.Cap != 2 {
-		t.Errorf("stats = %+v", st)
-	}
-}
-
-func TestLRUUpdateExisting(t *testing.T) {
-	c := newLRU[int](2)
-	c.add(1, 10)
-	c.add(2, 20)
-	c.add(1, 11) // update, not insert: no eviction
-	if st := c.stats(); st.Evictions != 0 || st.Len != 2 {
-		t.Errorf("stats after update = %+v", st)
-	}
-	if v, _ := c.get(1); v != 11 {
-		t.Errorf("get(1) = %v after update", v)
-	}
-	// The update refreshed 1, so adding 3 evicts 2.
-	c.add(3, 30)
-	if _, ok := c.get(2); ok {
-		t.Error("2 should have been evicted after 1 was refreshed")
-	}
-}
-
-func TestLRUDisabled(t *testing.T) {
-	c := newLRU[int](0)
-	c.add(1, 10)
-	if _, ok := c.get(1); ok {
-		t.Fatal("disabled cache stored a value")
-	}
-	if st := c.stats(); st.Misses != 1 || st.Len != 0 || st.Cap != 0 {
-		t.Errorf("stats = %+v", st)
-	}
-}
-
 func TestEngineCacheEviction(t *testing.T) {
 	g := testGraph(t, 100)
 	eng, err := New(g, WithDistCache(2))

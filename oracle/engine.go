@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hopset"
+	"repro/internal/lru"
 )
 
 // Engine is a build-once / query-many distance oracle. All methods are
@@ -26,8 +27,8 @@ type Engine struct {
 	// steps) — too slow for per-stats-poll recomputation under locks).
 	memBytes int64
 
-	distCache *lru[[]float64]
-	treeCache *lru[*Tree]
+	distCache *lru.Cache[[]float64]
+	treeCache *lru.Cache[*Tree]
 	batcher   *distBatcher
 
 	distFlight flight[[]float64]
@@ -44,11 +45,11 @@ func newEngine(solver *core.Solver, cfg config) *Engine {
 	e := &Engine{
 		solver:    solver,
 		n:         solver.N(),
-		distCache: newLRU[[]float64](cfg.distCache),
-		treeCache: newLRU[*Tree](cfg.treeCache),
+		distCache: lru.New[[]float64](cfg.distCache),
+		treeCache: lru.New[*Tree](cfg.treeCache),
 	}
 	if cfg.batchWindow > 0 {
-		e.batcher = newDistBatcher(cfg.batchWindow, solver.ApproxMultiSource, e.distCache.add)
+		e.batcher = newDistBatcher(cfg.batchWindow, solver.ApproxMultiSource, e.distCache.Add)
 	}
 	e.memBytes = estimateMemoryBytes(solver)
 	return e
@@ -150,7 +151,7 @@ func (e *Engine) Dist(source int32) ([]float64, error) {
 		return nil, err
 	}
 	e.distQueries.Add(1)
-	if d, ok := e.distCache.get(source); ok {
+	if d, ok := e.distCache.Get(source); ok {
 		return d, nil
 	}
 	if e.batcher != nil {
@@ -161,7 +162,7 @@ func (e *Engine) Dist(source int32) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.distCache.add(source, d)
+		e.distCache.Add(source, d)
 		return d, nil
 	})
 }
@@ -203,7 +204,7 @@ func (e *Engine) MultiSource(sources []int32) ([][]float64, error) {
 	var missing []int32
 	missIdx := make(map[int32][]int)
 	for i, s := range sources {
-		if d, ok := e.distCache.get(s); ok {
+		if d, ok := e.distCache.Get(s); ok {
 			out[i] = d
 			continue
 		}
@@ -220,7 +221,7 @@ func (e *Engine) MultiSource(sources []int32) ([][]float64, error) {
 		return nil, err
 	}
 	for j, s := range missing {
-		e.distCache.add(s, rows[j])
+		e.distCache.Add(s, rows[j])
 		for _, i := range missIdx[s] {
 			out[i] = rows[j]
 		}
@@ -247,6 +248,29 @@ func (e *Engine) Nearest(sources []int32) ([]float64, error) {
 	return e.solver.NearestSource(sources)
 }
 
+// NearestWithOffsets is Nearest with a per-source starting cost: the value
+// at v approximates min_i offsets[i] + d(sources[i], v), as if a virtual
+// super-source were attached to sources[i] by an edge of weight
+// offsets[i]. A +Inf offset skips its source. This is the continuation
+// primitive the sharded router uses to carry a search across shard
+// boundaries; like Nearest, results are never cached (they depend on the
+// whole seeded set).
+func (e *Engine) NearestWithOffsets(sources []int32, offsets []float64) ([]float64, error) {
+	if err := e.ready(); err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, ErrNeedSources
+	}
+	for _, s := range sources {
+		if err := e.checkVertex(s); err != nil {
+			return nil, err
+		}
+	}
+	e.nearestQueries.Add(1)
+	return e.solver.NearestSourceOffsets(sources, offsets)
+}
+
 // Tree returns a (1+ε)-approximate shortest-path tree rooted at source,
 // with every tree edge drawn from the original graph (Theorem 4.6).
 // Requires WithPathReporting. Trees are cached and shared: read-only.
@@ -261,7 +285,7 @@ func (e *Engine) Tree(source int32) (*Tree, error) {
 		return nil, err
 	}
 	e.treeQueries.Add(1)
-	if t, ok := e.treeCache.get(source); ok {
+	if t, ok := e.treeCache.Get(source); ok {
 		return t, nil
 	}
 	return e.treeFlight.do(source, func() (*Tree, error) {
@@ -275,7 +299,7 @@ func (e *Engine) Tree(source int32) (*Tree, error) {
 			ParentW: spt.ParentW,
 			Dist:    spt.Dist,
 		}
-		e.treeCache.add(source, t)
+		e.treeCache.Add(source, t)
 		return t, nil
 	})
 }
@@ -335,6 +359,11 @@ type Stats struct {
 	BatchWindowNano int64 `json:"batch_window_ns"`
 
 	Relax RelaxStats `json:"relax"`
+
+	// Sharded is set only by sharded backends (package shard): partition
+	// shape, overlay size, router traffic split, and the composed stretch
+	// bound. Monolithic engines leave it nil.
+	Sharded *ShardStats `json:"sharded,omitempty"`
 }
 
 // Stats returns the engine's counters. Safe on a nil engine.
@@ -348,8 +377,8 @@ func (e *Engine) Stats() Stats {
 		NearestQueries: e.nearestQueries.Load(),
 		PathQueries:    e.pathQueries.Load(),
 		TreeQueries:    e.treeQueries.Load(),
-		DistCache:      e.distCache.stats(),
-		TreeCache:      e.treeCache.stats(),
+		DistCache:      e.distCache.Snapshot(),
+		TreeCache:      e.treeCache.Snapshot(),
 	}
 	rs := e.solver.RelaxStats()
 	st.Relax = RelaxStats{

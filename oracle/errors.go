@@ -25,4 +25,9 @@ var (
 	// with WithWeightReduction: their query budget depends on reduction
 	// state the snapshot format does not carry.
 	ErrSnapshotUnsupported = errors.New("oracle: snapshots are not supported with WithWeightReduction")
+
+	// ErrUnsupported is wrapped by Backend operations a particular backend
+	// cannot answer (e.g. Tree on a sharded oracle). The HTTP layer maps
+	// it to 501.
+	ErrUnsupported = errors.New("oracle: operation not supported by this backend")
 )

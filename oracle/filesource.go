@@ -23,7 +23,7 @@ import (
 // standard tooling is safe; only hand-rolled `cp`/shell redirection over
 // a served file is not.
 func FileSource(path string, buildOpts ...Option) EngineSource {
-	return func(ctx context.Context, opts ...Option) (*Engine, error) {
+	return func(ctx context.Context, opts ...Option) (Backend, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,162 @@
+package oracle
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/graphio"
+	"repro/internal/graph"
+)
+
+// waitInfo polls Info until cond holds or the deadline passes.
+func waitInfo(t *testing.T, r *Registry, name string, cond func(GraphInfo) bool) GraphInfo {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		gi, err := r.Info(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cond(gi) {
+			return gi
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never held; last info %+v", gi)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFileSourceReloadFailurePaths drives the two dataset failure modes a
+// live service meets — source file deleted, source file truncated — each
+// between reloads: the reload must fail, the previous engine version must
+// keep serving bit-identical answers, and the error must surface in the
+// graph's status (registry Info and the /graphs/{name} HTTP endpoint)
+// until a good file and a successful reload clear it.
+func TestFileSourceReloadFailurePaths(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "city.csrg")
+	g := graph.Gnm(150, 600, graph.UniformWeights(1, 8), 21)
+	if err := graphio.EncodeFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegistry(RegistryConfig{})
+	defer r.Close()
+	if err := r.Add("city", FileSource(path, WithEpsilon(0.3))); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(context.Background(), "city"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := r.Dist("city", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := r.Info("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewRegistryHandler(r))
+	defer srv.Close()
+
+	check := func(stage string) {
+		t.Helper()
+		gi := waitInfo(t, r, "city", func(gi GraphInfo) bool { return gi.Error != "" && !gi.Reloading })
+		if gi.Status != StatusReady || gi.Version != v1.Version {
+			t.Fatalf("%s: status %s version %d, want ready v%d (old engine must keep serving)",
+				stage, gi.Status, gi.Version, v1.Version)
+		}
+		d, err := r.Dist("city", 0)
+		if err != nil {
+			t.Fatalf("%s: query through failed reload: %v", stage, err)
+		}
+		if !reflect.DeepEqual(d, ref) {
+			t.Fatalf("%s: answers changed under a failed reload", stage)
+		}
+		// The HTTP status surface carries the same error.
+		resp, err := http.Get(srv.URL + "/graphs/city")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out GraphInfo
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Error == "" || out.Status != StatusReady {
+			t.Fatalf("%s: /graphs/city = %+v, want ready with a surfaced error", stage, out)
+		}
+	}
+
+	// Failure 1: the dataset disappears between reloads.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload("city"); err != nil {
+		t.Fatal(err)
+	}
+	check("deleted")
+
+	// Failure 2: a truncated dataset lands (replaced by rename, the only
+	// safe way to swap a served container — see the FileSource contract).
+	good := encodeToBytes(t, g)
+	writeByRename(t, path, good[:len(good)/2])
+	if err := r.Reload("city"); err != nil {
+		t.Fatal(err)
+	}
+	check("truncated")
+
+	// Recovery: a good file and one more reload publish a new version and
+	// clear the error.
+	if err := graphio.EncodeFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload("city"); err != nil {
+		t.Fatal(err)
+	}
+	gi := waitInfo(t, r, "city", func(gi GraphInfo) bool { return gi.Error == "" && gi.Version > v1.Version })
+	if gi.Status != StatusReady {
+		t.Fatalf("recovery: %+v", gi)
+	}
+	d, err := r.Dist("city", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, ref) {
+		t.Fatal("recovered engine deviates from the deterministic reference")
+	}
+}
+
+func encodeToBytes(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	p := filepath.Join(dir, "tmp.csrg")
+	if err := graphio.EncodeFile(p, g); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeByRename(t *testing.T, path string, data []byte) {
+	t.Helper()
+	tmp := path + ".next"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -48,20 +48,21 @@ const (
 	StatusEvicted  GraphStatus = "evicted"
 )
 
-// EngineSource produces one engine version for a registered graph. It is
+// EngineSource produces one backend version for a registered graph. It is
 // invoked for the initial background build and again on every Reload, so
 // it must be re-invokable: re-read the snapshot file, or rebuild from the
 // retained graph. The options carry the registry's serving configuration
 // plus build context/progress plumbing and must be forwarded to the
 // constructor; ctx is the same context for sources that load rather than
-// build.
-type EngineSource func(ctx context.Context, opts ...Option) (*Engine, error)
+// build. Most sources return a monolithic *Engine; package shard returns
+// its sharded Oracle — the registry serves both identically.
+type EngineSource func(ctx context.Context, opts ...Option) (Backend, error)
 
 // SnapshotSource loads each engine version from a SaveSnapshot file —
 // the zero-downtime refresh path: overwrite the file, POST a reload, and
 // the registry swaps in the new engine once it is resident.
 func SnapshotSource(path string) EngineSource {
-	return func(ctx context.Context, opts ...Option) (*Engine, error) {
+	return func(ctx context.Context, opts ...Option) (Backend, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -79,25 +80,26 @@ func SnapshotSource(path string) EngineSource {
 // options are applied after buildOpts, so its build context and progress
 // plumbing always win.
 func GraphSource(g *graph.Graph, buildOpts ...Option) EngineSource {
-	return func(ctx context.Context, opts ...Option) (*Engine, error) {
+	return func(ctx context.Context, opts ...Option) (Backend, error) {
 		return New(g, append(append([]Option{}, buildOpts...), opts...)...)
 	}
 }
 
 // EdgesSource is GraphSource for callers holding an edge list.
 func EdgesSource(n int, edges []Edge, buildOpts ...Option) EngineSource {
-	return func(ctx context.Context, opts ...Option) (*Engine, error) {
+	return func(ctx context.Context, opts ...Option) (Backend, error) {
 		return NewFromEdges(n, edges, append(append([]Option{}, buildOpts...), opts...)...)
 	}
 }
 
-// Handle is a refcounted lease on one engine version. Queries that must be
-// internally consistent acquire a handle once and run every read through
-// it: a concurrent hot reload publishes the next version to new acquirers
-// but never swaps an engine out from under a held handle. Release returns
-// the lease; the engine is retired only after the last lease is gone.
+// Handle is a refcounted lease on one backend version. Queries that must
+// be internally consistent acquire a handle once and run every read
+// through it: a concurrent hot reload publishes the next version to new
+// acquirers but never swaps a backend out from under a held handle.
+// Release returns the lease; the backend is retired only after the last
+// lease is gone.
 type Handle struct {
-	eng     *Engine
+	eng     Backend
 	version int64
 	refs    atomic.Int64
 	drained chan struct{}
@@ -106,14 +108,15 @@ type Handle struct {
 	onDrained func()
 }
 
-func newHandle(eng *Engine, version int64, onDrained func()) *Handle {
+func newHandle(eng Backend, version int64, onDrained func()) *Handle {
 	h := &Handle{eng: eng, version: version, drained: make(chan struct{}), onDrained: onDrained}
 	h.refs.Store(1) // the publisher's reference
 	return h
 }
 
-// Engine returns the pinned engine. Valid until Release.
-func (h *Handle) Engine() *Engine { return h.eng }
+// Engine returns the pinned backend. Valid until Release. Callers needing
+// engine-only surface (e.g. SaveSnapshot) type-assert to *Engine.
+func (h *Handle) Engine() Backend { return h.eng }
 
 // Version identifies the engine generation: it increments on every
 // successful build or reload of the graph, so two answers carry the same
@@ -264,14 +267,14 @@ func (r *Registry) Add(name string, src EngineSource) error {
 	return nil
 }
 
-// AddReady registers an already-built engine under name, immediately
-// ready. Reload re-publishes the same engine; use Add with a source for
+// AddReady registers an already-built backend under name, immediately
+// ready. Reload re-publishes the same backend; use Add with a source for
 // rebuildable graphs.
-func (r *Registry) AddReady(name string, eng *Engine) error {
+func (r *Registry) AddReady(name string, eng Backend) error {
 	if eng == nil {
 		return errors.New("oracle: AddReady needs an engine")
 	}
-	return r.Add(name, func(context.Context, ...Option) (*Engine, error) { return eng, nil })
+	return r.Add(name, func(context.Context, ...Option) (Backend, error) { return eng, nil })
 }
 
 // Remove unregisters a graph: its in-flight build (if any) is canceled and
@@ -379,7 +382,7 @@ func (r *Registry) runBuild(e *graphEntry, ctx context.Context) {
 
 // finishBuild publishes a new engine version (or records the failure) and
 // releases the previous version for draining.
-func (r *Registry) finishBuild(e *graphEntry, eng *Engine, err error) {
+func (r *Registry) finishBuild(e *graphEntry, eng Backend, err error) {
 	var old *Handle
 	e.mu.Lock()
 	e.building = false
@@ -611,8 +614,10 @@ type GraphInfo struct {
 	// Progress is the latest build-progress report while building.
 	Progress *BuildProgress `json:"build_progress,omitempty"`
 
-	N           int   `json:"n,omitempty"`
-	HopsetEdges int   `json:"hopset_edges,omitempty"`
+	N           int `json:"n,omitempty"`
+	HopsetEdges int `json:"hopset_edges,omitempty"`
+	// Shards is the shard count of a sharded backend (0 = monolithic).
+	Shards      int   `json:"shards,omitempty"`
 	MemoryBytes int64 `json:"memory_bytes,omitempty"`
 	Queries     int64 `json:"queries"`
 	LastUsed    int64 `json:"last_used,omitempty"` // logical clock tick
@@ -648,9 +653,9 @@ func (r *Registry) info(e *graphEntry) GraphInfo {
 	if e.handle != nil {
 		eng := e.handle.Engine()
 		gi.N = eng.N()
-		if h := eng.Hopset(); h != nil {
-			gi.HopsetEdges = h.Size()
-		}
+		d := eng.Describe()
+		gi.HopsetEdges = d.HopsetEdges
+		gi.Shards = d.Shards
 		gi.MemoryBytes = eng.MemoryBytes()
 	}
 	return gi

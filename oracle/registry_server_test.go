@@ -101,7 +101,7 @@ func TestRegistryHandlerRoutes(t *testing.T) {
 	t.Cleanup(r2.Close)
 	block := make(chan struct{})
 	defer close(block)
-	if err := r2.Add("cold", func(ctx context.Context, opts ...Option) (*Engine, error) {
+	if err := r2.Add("cold", func(ctx context.Context, opts ...Option) (Backend, error) {
 		select {
 		case <-block:
 		case <-ctx.Done():

@@ -87,7 +87,7 @@ func TestRegistryBuildFailureAndRecovery(t *testing.T) {
 	boom := errors.New("disk on fire")
 	var fail atomic.Bool
 	fail.Store(true)
-	src := func(ctx context.Context, opts ...Option) (*Engine, error) {
+	src := func(ctx context.Context, opts ...Option) (Backend, error) {
 		if fail.Load() {
 			return nil, boom
 		}
@@ -117,7 +117,7 @@ func TestRegistryBuildFailureAndRecovery(t *testing.T) {
 func TestRegistryBuildCancellation(t *testing.T) {
 	r := NewRegistry(RegistryConfig{BuildWorkers: 1})
 	started := make(chan struct{})
-	src := func(ctx context.Context, opts ...Option) (*Engine, error) {
+	src := func(ctx context.Context, opts ...Option) (Backend, error) {
 		close(started)
 		<-ctx.Done() // a build that never finishes on its own
 		return nil, ctx.Err()
@@ -152,7 +152,7 @@ func TestRegistryReloadMidBuildReReadsSource(t *testing.T) {
 	firstStarted := make(chan struct{})
 	gate := make(chan struct{})
 	var builds atomic.Int64
-	src := func(ctx context.Context, opts ...Option) (*Engine, error) {
+	src := func(ctx context.Context, opts ...Option) (Backend, error) {
 		seed := content.Load() // "open the file" at build start
 		if builds.Add(1) == 1 {
 			close(firstStarted)
@@ -289,7 +289,7 @@ func TestRegistryConformanceHotReload(t *testing.T) {
 
 	r := NewRegistry(RegistryConfig{BuildWorkers: 2})
 	var builds atomic.Int64
-	hotSrc := func(ctx context.Context, opts ...Option) (*Engine, error) {
+	hotSrc := func(ctx context.Context, opts ...Option) (Backend, error) {
 		v := builds.Add(1)
 		return New(registryGraph(n, seeds[(v-1)%2]), append(opts, WithEpsilon(0.3))...)
 	}
@@ -500,7 +500,7 @@ func TestRegistryWaitReadyContext(t *testing.T) {
 	defer r.Close()
 	block := make(chan struct{})
 	defer close(block)
-	src := func(ctx context.Context, opts ...Option) (*Engine, error) {
+	src := func(ctx context.Context, opts ...Option) (Backend, error) {
 		select {
 		case <-block:
 		case <-ctx.Done():

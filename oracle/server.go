@@ -282,6 +282,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrUnknownGraph):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrUnsupported):
+		status = http.StatusNotImplemented
 	case errors.Is(err, ErrNotBuilt),
 		errors.Is(err, ErrGraphNotReady),
 		errors.Is(err, ErrRegistryClosed):

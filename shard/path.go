@@ -1,0 +1,195 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"repro/oracle"
+)
+
+// Path returns a concrete u–v path in the original graph together with
+// its exact length, stitched across shard seams: a source-shard tree
+// path to the best boundary exit, the overlay path between boundary
+// vertices (cut edges emitted verbatim, intra-shard overlay hops expanded
+// through that shard's tree), and a destination-shard tree path. A nil
+// path with +Inf length means v is unreachable. Requires a
+// Config.PathReporting build.
+//
+// The boundary pair is chosen as the deterministic lexicographic argmin
+// of (routed value, exit vertex, entry vertex) over the distance proxies,
+// and the same-shard local path wins ties against routing out and back.
+func (o *Oracle) Path(u, v int32) ([]int32, float64, error) {
+	if err := o.checkVertex(u); err != nil {
+		return nil, 0, err
+	}
+	if err := o.checkVertex(v); err != nil {
+		return nil, 0, err
+	}
+	if !o.pathReporting {
+		return nil, 0, oracle.ErrNeedPathReporting
+	}
+	o.pathQueries.Add(1)
+
+	su, sv := o.part[u], o.part[v]
+	lu, lv := o.localID[u], o.localID[v]
+
+	localLen := math.Inf(1)
+	if su == sv {
+		path, length, err := o.shards[su].eng.Path(lu, lv)
+		if err != nil {
+			return nil, 0, err
+		}
+		if path != nil {
+			localLen = length
+			// Routing out of the shard and back only wins when the
+			// overlay proxy is strictly better; ties keep the local path.
+			best, b1, b2, err := o.bestCrossing(u, v)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !(best < localLen) {
+				o.localOnly.Add(1)
+				return o.globalize(su, path), length, nil
+			}
+			return o.stitch(u, v, b1, b2)
+		}
+	}
+	best, b1, b2, err := o.bestCrossing(u, v)
+	if err != nil {
+		return nil, 0, err
+	}
+	if math.IsInf(best, 1) {
+		return nil, math.Inf(1), nil
+	}
+	return o.stitch(u, v, b1, b2)
+}
+
+// bestCrossing returns the lexicographic argmin boundary pair (exit b1 in
+// u's shard, entry b2 in v's shard, both global IDs) of the routed
+// distance proxy, or +Inf when no finite crossing exists.
+//
+// It deliberately uses the full per-pair overlay rows (one MultiSource
+// over the source shard's boundary) rather than the Dist router's single
+// offset-seeded exploration: the joint exploration collapses the min over
+// b1 and cannot say which exit realized it, and recovering the pair in
+// two stages would cost another (1+ε_overlay) in the provable path bound.
+// The rows land in the overlay engine's LRU, so repeated Path queries out
+// of the same shard amortize to cache lookups.
+func (o *Oracle) bestCrossing(u, v int32) (float64, int32, int32, error) {
+	inf := math.Inf(1)
+	src, dst := &o.shards[o.part[u]], &o.shards[o.part[v]]
+	if o.overlay == nil || len(src.boundaryLocal) == 0 || len(dst.boundaryLocal) == 0 {
+		return inf, -1, -1, nil
+	}
+	du, err := src.eng.Dist(o.localID[u])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// Undirected graph: the v→b₂ vector doubles as b₂→v.
+	dv, err := dst.eng.Dist(o.localID[v])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rows, err := o.overlay.MultiSource(src.boundaryOv)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	best, b1, b2 := inf, int32(-1), int32(-1)
+	for i, bl := range src.boundaryLocal {
+		c1 := du[bl]
+		if math.IsInf(c1, 1) {
+			continue
+		}
+		row := rows[i]
+		for j, bl2 := range dst.boundaryLocal {
+			c2 := dv[bl2]
+			if math.IsInf(c2, 1) {
+				continue
+			}
+			if total := c1 + row[dst.boundaryOv[j]] + c2; total < best {
+				best, b1, b2 = total, o.boundary[src.boundaryOv[i]], o.boundary[dst.boundaryOv[j]]
+			}
+		}
+	}
+	return best, b1, b2, nil
+}
+
+// stitch materializes the routed u→b1→…→b2→v path and returns it with its
+// exact summed length.
+func (o *Oracle) stitch(u, v, b1, b2 int32) ([]int32, float64, error) {
+	su := o.part[u]
+	seg, length, err := o.shards[su].eng.Path(o.localID[u], o.localID[b1])
+	if err != nil {
+		return nil, 0, err
+	}
+	if seg == nil {
+		return nil, 0, fmt.Errorf("shard: chosen exit %d unreachable from %d in shard %d", b1, u, su)
+	}
+	out := o.globalize(su, seg)
+
+	ovPath, _, err := o.overlay.Path(o.ovIDOf(b1), o.ovIDOf(b2))
+	if err != nil {
+		return nil, 0, err
+	}
+	if ovPath == nil {
+		return nil, 0, fmt.Errorf("shard: overlay lost the %d→%d crossing", b1, b2)
+	}
+	for i := 1; i < len(ovPath); i++ {
+		x, y := o.boundary[ovPath[i-1]], o.boundary[ovPath[i]]
+		if sx := o.part[x]; sx == o.part[y] {
+			sub, subLen, err := o.shards[sx].eng.Path(o.localID[x], o.localID[y])
+			if err != nil {
+				return nil, 0, err
+			}
+			if sub == nil {
+				return nil, 0, fmt.Errorf("shard: overlay hop %d→%d not realizable in shard %d", x, y, sx)
+			}
+			out = append(out, o.globalize(sx, sub)[1:]...)
+			length += subLen
+			continue
+		}
+		w, ok := o.cutW[cutKey(x, y)]
+		if !ok {
+			return nil, 0, fmt.Errorf("shard: overlay hop %d→%d is not a cut edge", x, y)
+		}
+		out = append(out, y)
+		length += w
+	}
+
+	sv := o.part[v]
+	tail, tailLen, err := o.shards[sv].eng.Path(o.localID[b2], o.localID[v])
+	if err != nil {
+		return nil, 0, err
+	}
+	if tail == nil {
+		return nil, 0, fmt.Errorf("shard: target %d unreachable from entry %d in shard %d", v, b2, sv)
+	}
+	out = append(out, o.globalize(sv, tail)[1:]...)
+	length += tailLen
+	o.routed.Add(1)
+	return out, length, nil
+}
+
+// ovIDOf maps a global boundary vertex to its overlay ID by binary search
+// over the ascending boundary list.
+func (o *Oracle) ovIDOf(gv int32) int32 {
+	lo, hi := 0, len(o.boundary)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if o.boundary[mid] < gv {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// globalize maps a shard-local vertex path to global IDs.
+func (o *Oracle) globalize(s int32, path []int32) []int32 {
+	out := make([]int32, len(path))
+	for i, l := range path {
+		out[i] = o.shards[s].vertices[l]
+	}
+	return out
+}

@@ -1,0 +1,334 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/graphio"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/testkit"
+	"repro/oracle"
+)
+
+const (
+	epsLocal   = 0.25
+	epsOverlay = 0.25
+)
+
+func composedBound() float64 { return (1 + epsLocal) * (1 + epsOverlay) * (1 + epsLocal) }
+
+// pathBound is the worst-case stretch of a stitched Path: one extra
+// (1+ε_overlay)(1+ε_local) on top of the Dist bound from expanding
+// overlay hops through per-shard trees (see package doc).
+func pathBound() float64 { return composedBound() * (1 + epsOverlay) * (1 + epsLocal) }
+
+func buildSharded(t *testing.T, g *graph.Graph, k int) *Oracle {
+	t.Helper()
+	o, err := Build(context.Background(), g, Config{
+		K: k, EpsilonLocal: epsLocal, EpsilonOverlay: epsOverlay, PathReporting: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// TestK1MatchesMonolithic pins the exact-match contract: a K = 1 sharded
+// oracle answers bit-identically to the monolithic engine over the same
+// graph, for dist vectors and paths alike.
+func TestK1MatchesMonolithic(t *testing.T) {
+	for _, ng := range testkit.Mix(120, 5) {
+		mono, err := oracle.New(ng.G, oracle.WithEpsilon(epsLocal), oracle.WithPathReporting())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := buildSharded(t, ng.G, 1)
+		if sh.Describe().Shards != 1 {
+			t.Fatalf("%s: K=1 built %d shards", ng.Name, sh.Describe().Shards)
+		}
+		for _, src := range []int32{0, int32(ng.G.N / 2)} {
+			want, err := mono.Dist(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sh.Dist(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s src %d: K=1 dist vector differs from monolithic", ng.Name, src)
+			}
+		}
+		u, v := int32(0), int32(ng.G.N-1)
+		wp, wl, err := mono.Path(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp, gl, err := sh.Path(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gl != wl || !reflect.DeepEqual(gp, wp) {
+			t.Fatalf("%s: K=1 path differs from monolithic (%v/%v vs %v/%v)", ng.Name, gp, gl, wp, wl)
+		}
+	}
+}
+
+// TestRoutedStretch checks the composed end-to-end guarantee against
+// exact Dijkstra on every testkit family, for K in {2, 4}: no undershoot
+// (answers are realizable path lengths) and stretch within
+// (1+εl)(1+εo)(1+εl).
+func TestRoutedStretch(t *testing.T) {
+	bound := composedBound()
+	for _, ng := range testkit.Mix(150, 11) {
+		for _, k := range []int{2, 4} {
+			o := buildSharded(t, ng.G, k)
+			for _, src := range []int32{0, int32(ng.G.N - 1)} {
+				got, err := o.Dist(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _ := exact.DijkstraGraph(ng.G, src)
+				for v := 0; v < ng.G.N; v++ {
+					if math.IsInf(want[v], 1) {
+						if !math.IsInf(got[v], 1) {
+							t.Fatalf("%s K=%d src %d: vertex %d reported reachable", ng.Name, k, src, v)
+						}
+						continue
+					}
+					if got[v] < want[v]-1e-9*math.Max(1, want[v]) {
+						t.Fatalf("%s K=%d src %d v %d: undershoot %v < %v", ng.Name, k, src, v, got[v], want[v])
+					}
+					if want[v] > 0 && got[v] > bound*want[v]+1e-9 {
+						t.Fatalf("%s K=%d src %d v %d: stretch %v > %v", ng.Name, k, src, v, got[v]/want[v], bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStitchedPaths validates stitched Path answers: every consecutive
+// pair is an edge of the original graph, the reported length is the exact
+// sum of edge weights, endpoints match, and the length is within the
+// documented path bound of exact.
+func TestStitchedPaths(t *testing.T) {
+	for _, ng := range []testkit.NamedGraph{
+		{Name: "grid", G: testkit.Grid(196, 3)},
+		{Name: "gnm", G: testkit.Gnm(160, 8)},
+		{Name: "community", G: testkit.Community(160, 4)},
+	} {
+		for _, k := range []int{2, 4} {
+			o := buildSharded(t, ng.G, k)
+			exactD, _ := exact.DijkstraGraph(ng.G, 0)
+			for _, v := range []int32{1, int32(ng.G.N / 2), int32(ng.G.N - 1)} {
+				path, length, err := o.Path(0, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.IsInf(exactD[v], 1) {
+					if path != nil {
+						t.Fatalf("%s K=%d: path to unreachable %d", ng.Name, k, v)
+					}
+					continue
+				}
+				if path == nil || path[0] != 0 || path[len(path)-1] != v {
+					t.Fatalf("%s K=%d: bad endpoints %v", ng.Name, k, path)
+				}
+				var sum float64
+				for i := 1; i < len(path); i++ {
+					w, ok := ng.G.HasEdge(path[i-1], path[i])
+					if !ok {
+						t.Fatalf("%s K=%d: (%d,%d) is not an edge of G", ng.Name, k, path[i-1], path[i])
+					}
+					sum += w
+				}
+				if math.Abs(sum-length) > 1e-6*math.Max(1, sum) {
+					t.Fatalf("%s K=%d: reported length %v, path sums to %v", ng.Name, k, length, sum)
+				}
+				if length > pathBound()*exactD[v]+1e-9 {
+					t.Fatalf("%s K=%d v %d: path stretch %v > %v", ng.Name, k, v, length/exactD[v], pathBound())
+				}
+			}
+		}
+	}
+}
+
+// TestDisconnectedShards exercises a graph whose components end up in
+// different shards: no overlay, cross-component distances stay +Inf, and
+// within-component answers are still served.
+func TestDisconnectedShards(t *testing.T) {
+	var edges []graph.Edge
+	for v := int32(0); v < 9; v++ {
+		edges = append(edges, graph.E(v, v+1, 1))
+	}
+	for v := int32(10); v < 19; v++ {
+		edges = append(edges, graph.E(v, v+1, 2))
+	}
+	g := graph.MustFromEdges(20, edges)
+	o := buildSharded(t, g, 2)
+	d, err := o.Dist(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[9] != 9 {
+		t.Fatalf("within-component dist = %v, want 9", d[9])
+	}
+	if !math.IsInf(d[15], 1) {
+		t.Fatalf("cross-component dist = %v, want +Inf", d[15])
+	}
+	if p, l, err := o.Path(0, 15); err != nil || p != nil || !math.IsInf(l, 1) {
+		t.Fatalf("cross-component path = (%v, %v, %v)", p, l, err)
+	}
+}
+
+// TestOpenMatchesBuild writes a sharded container set and checks that the
+// oracle opened from the manifest answers bit-identically to the one
+// built in memory from the same graph — the offline/online paths may not
+// diverge.
+func TestOpenMatchesBuild(t *testing.T) {
+	g := testkit.Grid(225, 9)
+	res := partition.Partition(g, 4)
+	dir := t.TempDir()
+	manPath, err := graphio.WriteShards(dir, "grid", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 4, EpsilonLocal: epsLocal, EpsilonOverlay: epsOverlay, PathReporting: true}
+	built, err := Build(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := Open(context.Background(), manPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []int32{0, 100, 224} {
+		want, err := built.Dist(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := opened.Dist(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("src %d: opened oracle differs from built oracle", src)
+		}
+	}
+	wp, wl, err := built.Path(3, 221)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, gl, err := opened.Path(3, 221)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gl != wl || !reflect.DeepEqual(gp, wp) {
+		t.Fatal("opened oracle path differs from built oracle")
+	}
+}
+
+// TestBackendSurface covers the Backend odds and ends: stats shape,
+// unsupported Tree, vertex validation, MemoryBytes.
+func TestBackendSurface(t *testing.T) {
+	g := testkit.Gnm(140, 2)
+	o := buildSharded(t, g, 3)
+	if _, err := o.Dist(-1); !errors.Is(err, oracle.ErrVertexOutOfRange) {
+		t.Fatalf("Dist(-1): %v", err)
+	}
+	if _, err := o.Tree(0); !errors.Is(err, oracle.ErrUnsupported) {
+		t.Fatalf("Tree: %v", err)
+	}
+	if _, err := o.MultiSource(nil); !errors.Is(err, oracle.ErrNeedSources) {
+		t.Fatalf("MultiSource(nil): %v", err)
+	}
+	if _, err := o.Dist(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Dist(0); err != nil { // cache hit path
+		t.Fatal(err)
+	}
+	st := o.Stats()
+	if st.Sharded == nil || st.Sharded.Shards != 3 {
+		t.Fatalf("Sharded stats: %+v", st.Sharded)
+	}
+	wantBound := composedBound()
+	if math.Abs(st.Sharded.StretchBound-wantBound) > 1e-12 {
+		t.Fatalf("StretchBound %v, want %v", st.Sharded.StretchBound, wantBound)
+	}
+	if st.DistQueries != 2 { // Dist(-1) not counted; two Dist(0) are
+		t.Fatalf("DistQueries = %d, want 2", st.DistQueries)
+	}
+	if st.Sharded.RoutedQueries+st.Sharded.LocalQueries == 0 {
+		t.Fatal("router counted no queries")
+	}
+	if o.MemoryBytes() <= 0 || o.N() != g.N {
+		t.Fatalf("MemoryBytes=%d N=%d", o.MemoryBytes(), o.N())
+	}
+	// Nearest agrees with the elementwise min of routed vectors.
+	rows, err := o.MultiSource([]int32{0, 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := o.Nearest([]int32{0, 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range near {
+		if want := math.Min(rows[0][v], rows[1][v]); near[v] != want {
+			t.Fatalf("Nearest[%d] = %v, want %v", v, near[v], want)
+		}
+	}
+}
+
+// TestRegistryServesSharded registers a sharded source on the registry
+// and checks the shared Handle lifecycle: readiness, queries, Info shape
+// (Shards set), and hot reload producing identical answers.
+func TestRegistryServesSharded(t *testing.T) {
+	g := testkit.Grid(196, 6)
+	r := oracle.NewRegistry(oracle.RegistryConfig{})
+	defer r.Close()
+	cfg := Config{K: 4, EpsilonLocal: epsLocal, EpsilonOverlay: epsOverlay, PathReporting: true}
+	if err := r.Add("grid", Source(g, cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(context.Background(), "grid"); err != nil {
+		t.Fatal(err)
+	}
+	gi, err := r.Info("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Shards != 4 || gi.N != g.N || gi.HopsetEdges == 0 {
+		t.Fatalf("Info: %+v", gi)
+	}
+	before, err := r.Dist("grid", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload("grid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(context.Background(), "grid"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := r.Dist("grid", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("reload changed deterministic answers")
+	}
+	if _, _, err := r.Path("grid", 0, 195); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Tree("grid", 0); !errors.Is(err, oracle.ErrUnsupported) {
+		t.Fatalf("registry Tree on sharded: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+
+	"repro/graphio"
+	"repro/internal/graph"
+	"repro/oracle"
+)
+
+// Open assembles a sharded oracle from a `<name>.shards.json` manifest
+// written by graphio.WriteShards (cmd/graphconv -partition): each shard
+// container is opened zero-copy where the platform allows, one engine is
+// built per shard, and the boundary overlay is reconstructed from the
+// manifest's cut edges — the whole graph is never materialized in one
+// place. cfg.K and cfg.TargetBytes are ignored; the manifest fixes the
+// partition.
+func Open(ctx context.Context, manifestPath string, cfg Config, opts ...oracle.Option) (*Oracle, error) {
+	man, err := graphio.LoadShardManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(manifestPath)
+	pieces := make([]piece, man.K)
+	for i := range man.Shards {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sg, err := man.LoadShard(dir, i)
+		if err != nil {
+			return nil, err
+		}
+		pieces[i] = piece{g: sg.G, vertices: sg.Vertices}
+	}
+	part := man.Part()
+	localID := make([]int32, man.N)
+	for _, p := range pieces {
+		for l, gv := range p.vertices {
+			localID[gv] = int32(l)
+		}
+	}
+	cut := make([]graph.Edge, len(man.CutEdges))
+	for i, e := range man.CutEdges {
+		cut[i] = graph.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	return assemble(ctx, cfg, man.N, part, localID, pieces, cut, opts...)
+}
+
+// Source is the registry integration for a retained graph: every build
+// (initial or reload) re-partitions g and rebuilds the sharded oracle.
+// One registry build-pool slot covers the whole sharded build; shard
+// engines parallelize inside it per cfg.BuildParallel.
+func Source(g *graph.Graph, cfg Config) oracle.EngineSource {
+	return func(ctx context.Context, opts ...oracle.Option) (oracle.Backend, error) {
+		return Build(ctx, g, cfg, opts...)
+	}
+}
+
+// FileSource is the registry integration for on-disk datasets, the
+// sharded counterpart of oracle.FileSource: the path is re-read on every
+// reload. A `*.shards.json` manifest opens the prebuilt sharded container
+// set; any other supported graphio format is loaded whole and partitioned
+// in memory per cfg (K, or TargetBytes).
+func FileSource(path string, cfg Config) oracle.EngineSource {
+	return func(ctx context.Context, opts ...oracle.Option) (oracle.Backend, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if graphio.IsShardManifestPath(path) {
+			return Open(ctx, path, cfg, opts...)
+		}
+		g, _, err := graphio.LoadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		return Build(ctx, g, cfg, opts...)
+	}
+}
