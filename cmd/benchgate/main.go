@@ -1,0 +1,139 @@
+// Command benchgate is the CI trajectory gate for the batch benchmarks
+// (ROADMAP item 5): it compares a freshly measured BENCH_batch.json
+// against the committed baseline and exits non-zero when the batched
+// kernel or the batched hopset build regressed beyond the tolerance.
+//
+//	benchgate -current BENCH_batch.json -baseline bench/BENCH_batch.baseline.json
+//
+// What is gated, and why these metrics:
+//
+//   - kernel[].arc_reduction — scanned arcs are deterministic counters,
+//     identical on every machine, so any drop at all is a real kernel
+//     regression; the tolerance only absorbs intentional re-baselining
+//     slack.
+//   - hopset_build[].build_speedup — the batched build wall-clock,
+//     expressed as the record-path/lane-path ratio measured in the same
+//     process on the same machine, so the number is portable across CI
+//     hosts. A ratio drop beyond the tolerance means the batched build
+//     got slower relative to the code it replaced: the build fails.
+//
+// Raw wall-clock milliseconds and the serve-layer QPS numbers are
+// reported in the artifact but not gated — they track machine speed, not
+// code, and would flake across runners.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type kernelRow struct {
+	Workload     string  `json:"workload"`
+	ArcReduction float64 `json:"arc_reduction"`
+	WallSpeedup  float64 `json:"wall_speedup"`
+}
+
+type buildRow struct {
+	Family       string  `json:"family"`
+	BuildSpeedup float64 `json:"build_speedup"`
+}
+
+type doc struct {
+	Kernel      []kernelRow `json:"kernel"`
+	HopsetBuild []buildRow  `json:"hopset_build"`
+}
+
+func load(path string) (doc, error) {
+	var d doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// gate checks cur >= base*(1-tol) and returns a failure line, or "" when
+// the metric holds.
+func gate(what string, cur, base, tol float64) string {
+	floor := base * (1 - tol)
+	if cur >= floor {
+		return ""
+	}
+	return fmt.Sprintf("FAIL %-40s %.3f < %.3f (baseline %.3f, tolerance %.0f%%)",
+		what, cur, floor, base, tol*100)
+}
+
+// compare evaluates every gated baseline metric against the current run
+// and returns the failures. A baseline row missing from the current run
+// fails too: silently dropping a workload would hide a regression.
+func compare(cur, base doc, tol float64) []string {
+	var failures []string
+	kernels := map[string]kernelRow{}
+	for _, r := range cur.Kernel {
+		kernels[r.Workload] = r
+	}
+	for _, b := range base.Kernel {
+		c, ok := kernels[b.Workload]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("FAIL kernel workload %q missing from current run", b.Workload))
+			continue
+		}
+		if f := gate("kernel/"+b.Workload+" arc_reduction", c.ArcReduction, b.ArcReduction, tol); f != "" {
+			failures = append(failures, f)
+		}
+	}
+	builds := map[string]buildRow{}
+	for _, r := range cur.HopsetBuild {
+		builds[r.Family] = r
+	}
+	for _, b := range base.HopsetBuild {
+		c, ok := builds[b.Family]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("FAIL hopset_build family %q missing from current run", b.Family))
+			continue
+		}
+		if f := gate("hopset_build/"+b.Family+" build_speedup", c.BuildSpeedup, b.BuildSpeedup, tol); f != "" {
+			failures = append(failures, f)
+		}
+	}
+	return failures
+}
+
+func main() {
+	var (
+		current  = flag.String("current", "BENCH_batch.json", "freshly measured batch benchmark JSON")
+		baseline = flag.String("baseline", "bench/BENCH_batch.baseline.json", "committed baseline JSON")
+		tol      = flag.Float64("tolerance", 0.15, "allowed fractional regression before failing")
+	)
+	flag.Parse()
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	for _, r := range cur.Kernel {
+		fmt.Printf("kernel/%-12s arc_reduction=%.2f wall_speedup=%.2f\n", r.Workload, r.ArcReduction, r.WallSpeedup)
+	}
+	for _, r := range cur.HopsetBuild {
+		fmt.Printf("hopset_build/%-12s build_speedup=%.2f\n", r.Family, r.BuildSpeedup)
+	}
+	failures := compare(cur, base, *tol)
+	for _, f := range failures {
+		fmt.Println(f)
+	}
+	if len(failures) > 0 {
+		fmt.Printf("benchgate: %d regression(s) beyond %.0f%% tolerance\n", len(failures), *tol*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all gated metrics within tolerance")
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompare(t *testing.T) {
+	base := doc{
+		Kernel: []kernelRow{
+			{Workload: "grid-block", ArcReduction: 6.8},
+			{Workload: "gnm-spread", ArcReduction: 35.0},
+		},
+		HopsetBuild: []buildRow{{Family: "grid-2304", BuildSpeedup: 1.6}},
+	}
+	t.Run("within tolerance passes", func(t *testing.T) {
+		cur := doc{
+			Kernel: []kernelRow{
+				{Workload: "grid-block", ArcReduction: 6.0}, // -12%, inside 15%
+				{Workload: "gnm-spread", ArcReduction: 36.0},
+			},
+			HopsetBuild: []buildRow{{Family: "grid-2304", BuildSpeedup: 1.5}},
+		}
+		if fails := compare(cur, base, 0.15); len(fails) != 0 {
+			t.Fatalf("unexpected failures: %v", fails)
+		}
+	})
+	t.Run("arc reduction regression fails", func(t *testing.T) {
+		cur := doc{
+			Kernel: []kernelRow{
+				{Workload: "grid-block", ArcReduction: 4.0}, // -41%
+				{Workload: "gnm-spread", ArcReduction: 35.0},
+			},
+			HopsetBuild: []buildRow{{Family: "grid-2304", BuildSpeedup: 1.6}},
+		}
+		fails := compare(cur, base, 0.15)
+		if len(fails) != 1 || !strings.Contains(fails[0], "grid-block") {
+			t.Fatalf("failures = %v, want one grid-block arc_reduction failure", fails)
+		}
+	})
+	t.Run("build speedup regression fails", func(t *testing.T) {
+		cur := doc{
+			Kernel: []kernelRow{
+				{Workload: "grid-block", ArcReduction: 6.8},
+				{Workload: "gnm-spread", ArcReduction: 35.0},
+			},
+			HopsetBuild: []buildRow{{Family: "grid-2304", BuildSpeedup: 1.0}}, // -37%
+		}
+		fails := compare(cur, base, 0.15)
+		if len(fails) != 1 || !strings.Contains(fails[0], "build_speedup") {
+			t.Fatalf("failures = %v, want one build_speedup failure", fails)
+		}
+	})
+	t.Run("missing workload fails", func(t *testing.T) {
+		cur := doc{
+			Kernel:      []kernelRow{{Workload: "grid-block", ArcReduction: 6.8}},
+			HopsetBuild: []buildRow{{Family: "grid-2304", BuildSpeedup: 1.6}},
+		}
+		fails := compare(cur, base, 0.15)
+		if len(fails) != 1 || !strings.Contains(fails[0], "gnm-spread") {
+			t.Fatalf("failures = %v, want one missing-workload failure", fails)
+		}
+	})
+}

@@ -23,6 +23,7 @@
 //	GET  /graphs/{name}/ready       per-graph readiness (200/503)
 //	GET  /graphs/{name}/dist?source=S[&target=T]
 //	GET  /graphs/{name}/path?from=U&to=V
+//	POST /graphs/{name}/matrix      many-to-many S×T distance matrix
 //	GET  /graphs/{name}/stats
 //	POST /graphs/{name}/reload      rebuild + hot swap
 //	GET  /healthz                   registry aggregate status (503 until a graph serves)
@@ -348,10 +349,12 @@ func withAdmission(h http.Handler, limit int) http.Handler {
 }
 
 // isQueryRoute marks the engine-work routes the admission limiter guards:
-// legacy /dist and /path plus their /graphs/{name}/… forms. The /graphs
-// form requires a name segment between /graphs/ and the verb, so the
-// status route of a graph that happens to be named "dist" or "path"
-// (GET /graphs/dist) is never limited.
+// legacy /dist and /path plus their /graphs/{name}/… forms, and the
+// many-to-many /graphs/{name}/matrix endpoint (an S×T matrix is the most
+// engine work a single request can ask for, so it must sit under the same
+// admission cap). The /graphs form requires a name segment between
+// /graphs/ and the verb, so the status route of a graph that happens to be
+// named "dist" or "path" (GET /graphs/dist) is never limited.
 func isQueryRoute(p string) bool {
 	if p == "/dist" || p == "/path" {
 		return true
@@ -361,7 +364,7 @@ func isQueryRoute(p string) bool {
 		return false
 	}
 	name, verb, ok := strings.Cut(rest, "/")
-	return ok && name != "" && (verb == "dist" || verb == "path")
+	return ok && name != "" && (verb == "dist" || verb == "path" || verb == "matrix")
 }
 
 // shardContainerRE matches per-shard container files written by

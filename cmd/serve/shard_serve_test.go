@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -95,6 +96,42 @@ func TestServeShardedGraphDir(t *testing.T) {
 	if gi.Shards != 3 {
 		t.Fatalf("Info.Shards = %d, want 3", gi.Shards)
 	}
+
+	// The many-to-many endpoint works on the sharded backend (K=3) and
+	// every entry equals the corresponding per-pair answer.
+	sources := []int32{0, 97, 195}
+	targets := []int32{195, 0, 98}
+	body, _ := json.Marshal(map[string]any{"sources": sources, "targets": targets})
+	mresp, err := http.Post(srv.URL+"/graphs/grid/matrix", "application/json",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("matrix status %d", mresp.StatusCode)
+	}
+	var mout struct {
+		Matrix [][]*float64 `json:"matrix"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&mout); err != nil {
+		t.Fatal(err)
+	}
+	if len(mout.Matrix) != len(sources) {
+		t.Fatalf("matrix has %d rows, want %d", len(mout.Matrix), len(sources))
+	}
+	for i, s := range sources {
+		for j, tv := range targets {
+			wd, err := want.DistTo(s, tv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := mout.Matrix[i][j]
+			if got == nil || *got != wd {
+				t.Fatalf("sharded matrix[%d][%d] (s=%d t=%d) = %v, want %v", i, j, s, tv, got, wd)
+			}
+		}
+	}
 }
 
 // TestAdmissionLimiter drives the -max-inflight semaphore: with limit 1
@@ -177,9 +214,11 @@ func TestIsQueryRoute(t *testing.T) {
 		"/path":                true,
 		"/graphs/ny/dist":      true,
 		"/graphs/ny/path":      true,
+		"/graphs/ny/matrix":    true,
 		"/graphs":              false,
 		"/graphs/dist":         false, // a graph literally named "dist"
 		"/graphs/path":         false,
+		"/graphs/matrix":       false, // a graph literally named "matrix"
 		"/graphs/ny/stats":     false,
 		"/graphs/ny/ready":     false,
 		"/healthz":             false,

@@ -19,13 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/adj"
 	"repro/internal/graph"
 	"repro/internal/hopset"
-	"repro/internal/par"
 	"repro/internal/pathrep"
 	"repro/internal/pram"
 	"repro/internal/relax"
@@ -206,52 +203,24 @@ func (s *Solver) ApproxDistances(source int32) ([]float64, error) {
 }
 
 // ApproxMultiSource answers the aMSSD problem of Theorem 3.8: approximate
-// distances from every source in S, as |S| parallel hop-limited
-// Bellman–Ford explorations. Row i corresponds to sources[i]. The rows are
-// computed concurrently (they are independent explorations over immutable
-// state), and the output is identical to running them one at a time.
+// distances from every source in S. Row i corresponds to sources[i]. The
+// rows run on the word-parallel batched kernel — up to relax.MaxBatch
+// sources share each graph traversal — and are bit-identical to running
+// them one at a time.
 func (s *Solver) ApproxMultiSource(sources []int32) ([][]float64, error) {
 	for _, src := range sources {
 		if err := s.checkVertex(src); err != nil {
 			return nil, err
 		}
 	}
+	lanes := relax.RunBatch(s.a, sources, s.budget, relax.Options{
+		Tracker:  s.opts.Tracker,
+		Counters: &s.relaxCtr,
+	})
 	out := make([][]float64, len(sources))
-	row := func(i int) {
-		res := s.run([]int32{sources[i]})
+	for i, res := range lanes {
 		out[i] = s.rescale(res.Dist)
 	}
-	// Each row already parallelizes internally (relax.Run uses par.For), so
-	// the outer pool only overlaps per-round synchronization gaps and the
-	// small-n regime where the inner loop runs sequentially. A fraction of
-	// the worker budget keeps total goroutines near the core count instead
-	// of Workers², and bounds how many O(n) row buffers are live at once.
-	workers := par.Workers()/4 + 1
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	if workers <= 1 {
-		for i := range sources {
-			row(i)
-		}
-		return out, nil
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(sources) {
-					return
-				}
-				row(i)
-			}
-		}()
-	}
-	wg.Wait()
 	return out, nil
 }
 
@@ -283,7 +252,7 @@ func (s *Solver) NearestSourceOffsets(sources []int32, offsets []float64) ([]flo
 		return nil, errors.New("core: need at least one source")
 	}
 	if len(sources) != len(offsets) {
-		return nil, fmt.Errorf("core: %d sources with %d offsets", len(sources), len(offsets))
+		return nil, fmt.Errorf("%w: %d sources with %d offsets", relax.ErrLengthMismatch, len(sources), len(offsets))
 	}
 	for i, src := range sources {
 		if err := s.checkVertex(src); err != nil {
@@ -302,10 +271,13 @@ func (s *Solver) NearestSourceOffsets(sources []int32, offsets []float64) ([]flo
 			scaled[i] = o / s.h.ScaleFactor
 		}
 	}
-	res := relax.RunOffsets(s.a, sources, scaled, s.budget, relax.Options{
+	res, err := relax.RunOffsets(s.a, sources, scaled, s.budget, relax.Options{
 		Tracker:  s.opts.Tracker,
 		Counters: &s.relaxCtr,
 	})
+	if err != nil {
+		return nil, err
+	}
 	return s.rescale(res.Dist), nil
 }
 

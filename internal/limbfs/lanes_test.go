@@ -1,0 +1,122 @@
+package limbfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adj"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// sameRecords is bit-exact record equality, EndV included (aggregate
+// output), since the lane path promises the record path bit for bit.
+func sameRecords(t *testing.T, label string, got, want [][]Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d clusters, want %d", label, len(got), len(want))
+	}
+	for c := range want {
+		if len(got[c]) != len(want[c]) {
+			t.Fatalf("%s: cluster %d has %d records, want %d\n got %v\nwant %v",
+				label, c, len(got[c]), len(want[c]), got[c], want[c])
+		}
+		for i, w := range want[c] {
+			g := got[c][i]
+			if g.Src != w.Src || g.BDist != w.BDist || g.CDist != w.CDist ||
+				g.SeedV != w.SeedV || g.EndV != w.EndV {
+				t.Fatalf("%s: cluster %d record %d = %+v, want %+v", label, c, i, g, w)
+			}
+		}
+	}
+}
+
+// TestDetectLanesMatchRecordPath pins the tentpole equivalence: Detect on
+// the word-parallel lane path is bit-identical to the record path across
+// partitions (singleton and clustered), X values, and worker counts.
+func TestDetectLanesMatchRecordPath(t *testing.T) {
+	oldW := par.Workers()
+	defer par.SetWorkers(oldW)
+	defer func() { DisableLanes = false }()
+	type world struct {
+		name string
+		a    *adj.Adj
+		p    *cluster.Partition
+		cd   []float64
+	}
+	var worlds []world
+	{
+		a, p := lineWorld(40)
+		worlds = append(worlds, world{"path-singletons", a, p, nil})
+	}
+	{
+		g := graph.Gnm(60, 180, graph.UniformWeights(1, 4), 9)
+		worlds = append(worlds, world{"gnm-singletons", adj.Build(g, nil), cluster.Singletons(60), nil})
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.Gnm(90, 270, graph.UniformWeights(1, 5), seed)
+		p, cd := randomPartition(g, 14, r)
+		worlds = append(worlds, world{"gnm-clustered", adj.Build(g, nil), p, cd})
+	}
+	for _, wd := range worlds {
+		P := wd.p.Len()
+		for _, x := range []int{1, 3, P} {
+			e := &Explorer{A: wd.a, Part: wd.p, CenterDist: wd.cd, HopCap: 4, DistCap: 8, X: x}
+			DisableLanes = true
+			want := e.Detect()
+			DisableLanes = false
+			for _, workers := range []int{1, 2, 8} {
+				par.SetWorkers(workers)
+				e2 := &Explorer{A: wd.a, Part: wd.p, CenterDist: wd.cd, HopCap: 4, DistCap: 8, X: x}
+				sameRecords(t, wd.name, e2.Detect(), want)
+				// And through a shared scratch, back to back, to exercise
+				// the all-zero lane invariant across reuses.
+				sameRecords(t, wd.name+"/reuse", e2.Detect(), want)
+			}
+			par.SetWorkers(oldW)
+		}
+	}
+}
+
+// TestBFSLanesMatchRecordPath pins the per-pulse lane dispatch of BFS
+// against the record path: identical Origin/Pulse/Est/Seed/End/LegBDist
+// for every cluster, across depths, source sets and worker counts.
+func TestBFSLanesMatchRecordPath(t *testing.T) {
+	oldW := par.Workers()
+	defer par.SetWorkers(oldW)
+	defer func() { DisableLanes = false }()
+	for seed := int64(0); seed < 3; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.Gnm(90, 270, graph.UniformWeights(1, 5), seed)
+		a := adj.Build(g, nil)
+		p, cd := randomPartition(g, 14, r)
+		P := int32(p.Len())
+		sourceSets := [][]int32{{0}, {0, P - 1, P / 2}}
+		for _, sources := range sourceSets {
+			for _, depth := range []int{1, 2, 6} {
+				e := &Explorer{A: a, Part: p, CenterDist: cd, HopCap: 4, DistCap: 9, X: 5}
+				DisableLanes = true
+				want := e.BFS(sources, depth)
+				DisableLanes = false
+				for _, workers := range []int{1, 8} {
+					par.SetWorkers(workers)
+					e2 := &Explorer{A: a, Part: p, CenterDist: cd, HopCap: 4, DistCap: 9, X: 5}
+					got := e2.BFS(sources, depth)
+					for c := 0; c < int(P); c++ {
+						if got.Origin[c] != want.Origin[c] || got.Pulse[c] != want.Pulse[c] ||
+							got.Est[c] != want.Est[c] || got.SeedV[c] != want.SeedV[c] ||
+							got.EndV[c] != want.EndV[c] || got.LegBDist[c] != want.LegBDist[c] {
+							t.Fatalf("seed %d depth %d workers %d cluster %d:\n got origin=%d pulse=%d est=%v seed=%d end=%d leg=%v\nwant origin=%d pulse=%d est=%v seed=%d end=%d leg=%v",
+								seed, depth, workers, c,
+								got.Origin[c], got.Pulse[c], got.Est[c], got.SeedV[c], got.EndV[c], got.LegBDist[c],
+								want.Origin[c], want.Pulse[c], want.Est[c], want.SeedV[c], want.EndV[c], want.LegBDist[c])
+						}
+					}
+				}
+				par.SetWorkers(oldW)
+			}
+		}
+	}
+}

@@ -79,6 +79,9 @@ type Scratch struct {
 	work    []int32
 	newRecs [][]Record
 	wchg    []bool
+	// laneSc is the word-parallel lane state (lanes.go), created on first
+	// lane-path exploration.
+	laneSc *laneScratch
 }
 
 // acquireLists returns an all-empty [][]Record of length n, reusing the
@@ -292,6 +295,9 @@ func (e *Explorer) seedOwn(L [][]Record) {
 // under the hop and distance caps, satisfying Lemma A.3:
 // a cluster is popular iff its list is full (X = degᵢ+1 records).
 func (e *Explorer) Detect() [][]Record {
+	if e.useLanes(e.Part.Len()) {
+		return e.detectLanes()
+	}
 	L := e.acquireLists()
 	e.seedOwn(L)
 	touched := e.propagate(L, nil)
@@ -383,32 +389,50 @@ func (e *Explorer) BFS(sources []int32, depth int) *BFSResult {
 	defer func() { e.X = saveX }()
 	L := e.acquireLists()
 	var seeded []int32
+	laneOf := make(map[int32]int)
+	var laneSrc []int32
 	for p := int32(1); int(p) <= depth && len(frontier) > 0; p++ {
-		// Distribution: seed the members of the frontier clusters (their
-		// lists are the only nonempty ones — the previous pulse cleared
-		// everything it touched). The record's Src carries the *origin* so
-		// attribution survives multiple pulses; CDist starts from the
-		// origin-to-frontier-center estimate.
-		seeded = seeded[:0]
+		// One lane per distinct origin among the frontier clusters: when
+		// they fit a word, the whole pulse runs on the lane path.
+		laneSrc = laneSrc[:0]
+		clear(laneOf)
 		for _, c := range frontier {
-			for _, v := range e.Part.Members[c] {
-				L[v] = append(L[v][:0], Record{
-					Src:   res.Origin[c],
-					BDist: 0,
-					CDist: res.Est[c] + e.centerDist(v),
-					SeedV: v,
-					EndV:  -1,
-				})
-				seeded = append(seeded, v)
+			o := res.Origin[c]
+			if _, ok := laneOf[o]; !ok {
+				laneOf[o] = len(laneSrc)
+				laneSrc = append(laneSrc, o)
 			}
 		}
-		e.Tracker.Round(int64(len(seeded)))
-		touched := e.propagate(L, seeded)
-		recs := e.aggregate(L)
-		// Clear every touched list so the next pulse (or the next
-		// exploration reusing the scratch) starts from empty lists.
-		for _, v := range touched {
-			L[v] = L[v][:0]
+		var recs [][]Record
+		if e.useLanes(len(laneSrc)) {
+			recs = e.bfsPulseLanes(res, frontier, laneSrc, laneOf)
+		} else {
+			// Distribution: seed the members of the frontier clusters (their
+			// lists are the only nonempty ones — the previous pulse cleared
+			// everything it touched). The record's Src carries the *origin* so
+			// attribution survives multiple pulses; CDist starts from the
+			// origin-to-frontier-center estimate.
+			seeded = seeded[:0]
+			for _, c := range frontier {
+				for _, v := range e.Part.Members[c] {
+					L[v] = append(L[v][:0], Record{
+						Src:   res.Origin[c],
+						BDist: 0,
+						CDist: res.Est[c] + e.centerDist(v),
+						SeedV: v,
+						EndV:  -1,
+					})
+					seeded = append(seeded, v)
+				}
+			}
+			e.Tracker.Round(int64(len(seeded)))
+			touched := e.propagate(L, seeded)
+			recs = e.aggregate(L)
+			// Clear every touched list so the next pulse (or the next
+			// exploration reusing the scratch) starts from empty lists.
+			for _, v := range touched {
+				L[v] = L[v][:0]
+			}
 		}
 		frontier = frontier[:0]
 		for c := int32(0); int(c) < P; c++ {

@@ -1,0 +1,349 @@
+package relax
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"repro/internal/adj"
+	"repro/internal/par"
+)
+
+// MaxBatch is the number of sources one ExplorationBatch carries: one bit
+// of a machine word per source lane.
+const MaxBatch = 64
+
+// ExplorationBatch relaxes up to MaxBatch sources in lock-step over one
+// shared traversal of the adjacency. Per vertex it keeps a 64-bit
+// seed-membership word — bit l set ⇔ lane l's label at the vertex changed
+// last round — plus per-lane (dist, parent, arc) labels, so a single
+// frontier-sparse scan of N(F) answers every lane whose frontier touches
+// it. Each lane computes bit for bit the labels the sequential
+// Exploration computes for its source: the fold per (vertex, lane) is the
+// same lexicographic minimum over the same candidate set, the per-round
+// synchronous semantics are unchanged, and the dense/sparse kernel choice
+// (made once per round for the union frontier) never affects labels —
+// only which arcs are rescanned to compute them.
+//
+// ScannedArcs accounting is per traversal, not per lane: a batched sparse
+// round charges frontier marking plus scan-set degree once, a batched
+// dense round charges m once. That is the point of the kernel — the arc
+// array is streamed one time for all live lanes, the per-lane folds are
+// register-width operations on data the shared scan already loaded — and
+// it is what the BatchedSeeds counter makes auditable: arcs saved vs
+// sequential ≈ ScannedArcs · (BatchedSeeds − 1) on workloads whose seed
+// frontiers overlap.
+type ExplorationBatch struct {
+	a         *adj.Adj
+	opts      Options
+	denseFrac float64
+	arcs      int64
+	k         int       // lanes in this batch, 1 ≤ k ≤ MaxBatch
+	lane      []*Result // per-lane results, filled by Finish
+	live      uint64    // lanes that have not yet converged
+	rounds    int
+	stats     Stats
+	sc        *batchScratch
+	frontArcs int64 // summed degree of the union frontier
+}
+
+// batchScratch is the pooled mutable state of one batch. The label arrays
+// are vertex-major ([v*k+l]) so one vertex's lanes share cache lines
+// during the fold. front obeys an all-zero-between-uses invariant: Step
+// clears the previous frontier's words before writing the new ones and
+// Finish clears the final frontier, so a pooled front array never needs
+// an O(n) wipe.
+type batchScratch struct {
+	front     []uint64 // per-vertex lane-changed words (previous round)
+	frontList []int32  // vertices with front[v] != 0, sorted
+	scan      ScanSet
+	work      []int32
+	wmask     []uint64  // per-work-slot changed-lane words
+	dist      []float64 // labels, [v*k+l]
+	parent    []int32
+	parc      []int32
+	wdist     []float64 // staged labels, [slot*k+l]
+	wpar      []int32
+	warc      []int32
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (sc *batchScratch) grow(n, k int) {
+	if cap(sc.front) < n {
+		sc.front = make([]uint64, n) // zeroed; the invariant keeps it so
+		sc.wmask = make([]uint64, n)
+	}
+	sc.front = sc.front[:n]
+	sc.wmask = sc.wmask[:n]
+	if cap(sc.dist) < n*k {
+		sc.dist = make([]float64, n*k)
+		sc.parent = make([]int32, n*k)
+		sc.parc = make([]int32, n*k)
+		sc.wdist = make([]float64, n*k)
+		sc.wpar = make([]int32, n*k)
+		sc.warc = make([]int32, n*k)
+	}
+	sc.dist = sc.dist[:n*k]
+	sc.parent = sc.parent[:n*k]
+	sc.parc = sc.parc[:n*k]
+	sc.wdist = sc.wdist[:n*k]
+	sc.wpar = sc.wpar[:n*k]
+	sc.warc = sc.warc[:n*k]
+	sc.frontList = sc.frontList[:0]
+}
+
+// StartBatch initializes a batched exploration with one lane per source.
+// It errors when the batch is empty or exceeds MaxBatch; RunBatch chunks
+// arbitrary source lists so most callers never see either.
+func StartBatch(a *adj.Adj, sources []int32, opts Options) (*ExplorationBatch, error) {
+	k := len(sources)
+	if k == 0 {
+		return nil, fmt.Errorf("relax: empty batch")
+	}
+	if k > MaxBatch {
+		return nil, fmt.Errorf("relax: batch of %d sources exceeds MaxBatch=%d", k, MaxBatch)
+	}
+	n := a.N
+	e := &ExplorationBatch{
+		a:         a,
+		opts:      opts,
+		denseFrac: opts.DenseFraction,
+		arcs:      int64(a.Arcs()),
+		k:         k,
+		lane:      make([]*Result, k),
+	}
+	if e.denseFrac <= 0 {
+		e.denseFrac = DefaultDenseFraction
+	}
+	for l := range e.lane {
+		e.lane[l] = &Result{}
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.grow(n, k)
+	e.sc = sc
+	dist, parent, parc := sc.dist, sc.parent, sc.parc
+	par.ForChunk(n, func(lo, hi int) {
+		for i := lo * k; i < hi*k; i++ {
+			dist[i] = math.Inf(1)
+			parent[i] = -1
+			parc[i] = -1
+		}
+	})
+	// Seed each lane at its source; the union of the seeds is the initial
+	// frontier. Duplicate sources share a vertex but not a lane.
+	for l, s := range sources {
+		if sc.front[s] == 0 {
+			sc.frontList = append(sc.frontList, s)
+			e.frontArcs += int64(a.Off[s+1] - a.Off[s])
+		}
+		sc.front[s] |= 1 << uint(l)
+		dist[int(s)*k+l] = 0
+	}
+	if k == MaxBatch {
+		e.live = ^uint64(0)
+	} else {
+		e.live = 1<<uint(k) - 1
+	}
+	return e, nil
+}
+
+// Rounds returns the number of synchronous rounds executed so far.
+func (e *ExplorationBatch) Rounds() int { return e.rounds }
+
+// Live returns the lane word of not-yet-converged lanes.
+func (e *ExplorationBatch) Live() uint64 { return e.live }
+
+// Step executes one synchronous round for every live lane and reports
+// whether any lane's label changed anywhere. Lanes whose frontier emptied
+// this round are marked converged with their per-lane round count; a
+// false return means every lane reached its fixed point.
+//
+// Correctness of the shared sparse scan: the union scan set N(F) is a
+// superset of each lane's own N(F_l) (marking ignores lanes), and folding
+// a vertex against a neighbor whose lane-l label did not change last
+// round cannot improve its lane-l label (fold idempotence, exactly the
+// sequential kernel's frontier invariant applied per lane). The per-arc
+// lane mask front[u] therefore skips only no-op folds, and each lane's
+// labels match its sequential exploration bit for bit.
+func (e *ExplorationBatch) Step() bool {
+	a, sc, k := e.a, e.sc, e.k
+	n := a.N
+	var work []int32 // nil ⇒ dense round over all n vertices
+	var scanned int64
+	if e.opts.ForceDense || float64(e.frontArcs) > e.denseFrac*float64(e.arcs) {
+		scanned = e.arcs
+		e.stats.DenseRounds++
+	} else {
+		markArcs := e.frontArcs
+		sc.scan.Reset(n)
+		sc.scan.MarkNeighbors(a, sc.frontList, false)
+		var scanArcs int64
+		sc.work, scanArcs = sc.scan.Collect(a, sc.work[:0])
+		work = sc.work
+		scanned = markArcs + scanArcs
+		e.stats.SparseRounds++
+	}
+	count := n
+	if work != nil {
+		count = len(work)
+	}
+	dist, parent, parc := sc.dist, sc.parent, sc.parc
+	wdist, wpar, warc, wmask, front := sc.wdist, sc.wpar, sc.warc, sc.wmask, sc.front
+	par.ForChunk(count, func(lo, hi int) {
+		// Per-lane fold registers, lazily loaded per vertex under `seen`
+		// so untouched lanes cost nothing.
+		var bd [MaxBatch]float64
+		var bp, ba [MaxBatch]int32
+		for i := lo; i < hi; i++ {
+			v := int32(i)
+			if work != nil {
+				v = work[i]
+			}
+			vb := int(v) * k
+			var seen, chg uint64
+			for arc := a.Off[v]; arc < a.Off[v+1]; arc++ {
+				u := a.Nbr[arc]
+				m := front[u]
+				if m == 0 {
+					continue
+				}
+				ub := int(u) * k
+				w := a.Wt[arc]
+				for ; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros64(m)
+					bit := uint64(1) << uint(l)
+					if seen&bit == 0 {
+						seen |= bit
+						bd[l], bp[l], ba[l] = dist[vb+l], parent[vb+l], parc[vb+l]
+					}
+					if d := dist[ub+l] + w; d < bd[l] || (d == bd[l] && (u < bp[l] || (u == bp[l] && arc < ba[l]))) {
+						bd[l], bp[l], ba[l] = d, u, arc
+						chg |= bit
+					}
+				}
+			}
+			wmask[i] = chg
+			if chg != 0 {
+				wb := i * k
+				for m := chg; m != 0; m &= m - 1 {
+					l := bits.TrailingZeros64(m)
+					wdist[wb+l], wpar[wb+l], warc[wb+l] = bd[l], bp[l], ba[l]
+				}
+			}
+		}
+	})
+	// Sequential commit: retire the old frontier words, install the staged
+	// labels, and rebuild the frontier in scan order (sorted for sparse
+	// rounds, vertex order for dense rounds — deterministic either way).
+	for _, v := range sc.frontList {
+		front[v] = 0
+	}
+	newFront := sc.frontList[:0]
+	var fa int64
+	var changedLanes uint64
+	for i := 0; i < count; i++ {
+		m := wmask[i]
+		if m == 0 {
+			continue
+		}
+		v := int32(i)
+		if work != nil {
+			v = work[i]
+		}
+		front[v] = m
+		changedLanes |= m
+		newFront = append(newFront, v)
+		fa += int64(a.Off[v+1] - a.Off[v])
+		wb, vb := i*k, int(v)*k
+		for ; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			dist[vb+l], parent[vb+l], parc[vb+l] = wdist[wb+l], wpar[wb+l], warc[wb+l]
+		}
+	}
+	sc.frontList = newFront
+	e.frontArcs = fa
+	e.rounds++
+	e.stats.ScannedArcs += scanned
+	e.opts.Tracker.Rounds(1, scanned)
+	// A lane converges the round its frontier empties — the same round its
+	// sequential exploration would return false from Step.
+	for m := e.live &^ changedLanes; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros64(m)
+		e.lane[l].Rounds = e.rounds
+		e.lane[l].Converged = true
+	}
+	e.live &= changedLanes
+	return changedLanes != 0
+}
+
+// Finish detaches the per-lane Results, publishes the batch's Stats to
+// the configured Counters (one exploration, k BatchedSeeds), and releases
+// the pooled scratch. Idempotent; the batch must not be stepped
+// afterwards. Per-lane Result.Stats stay zero — the scanned-arc cost of a
+// batch is shared and reported once, not attributed per lane.
+func (e *ExplorationBatch) Finish() []*Result {
+	if e.sc == nil {
+		return e.lane
+	}
+	sc, k := e.sc, e.k
+	n := e.a.N
+	for m := e.live; m != 0; m &= m - 1 {
+		e.lane[bits.TrailingZeros64(m)].Rounds = e.rounds
+	}
+	for l := 0; l < k; l++ {
+		e.lane[l].Dist = make([]float64, n)
+		e.lane[l].Parent = make([]int32, n)
+		e.lane[l].ParentArc = make([]int32, n)
+	}
+	lane, dist, parent, parc := e.lane, sc.dist, sc.parent, sc.parc
+	par.ForChunk(n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			vb := v * k
+			for l := 0; l < k; l++ {
+				lane[l].Dist[v] = dist[vb+l]
+				lane[l].Parent[v] = parent[vb+l]
+				lane[l].ParentArc[v] = parc[vb+l]
+			}
+		}
+	})
+	// Restore the all-zero front invariant before pooling.
+	for _, v := range sc.frontList {
+		sc.front[v] = 0
+	}
+	sc.frontList = sc.frontList[:0]
+	e.stats.BatchedSeeds = int64(k)
+	e.opts.Counters.Add(e.stats)
+	batchScratchPool.Put(sc)
+	e.sc = nil
+	return e.lane
+}
+
+// Stats returns the shared accounting of the batch so far (final after
+// Finish).
+func (e *ExplorationBatch) Stats() Stats { return e.stats }
+
+// RunBatch runs up to maxRounds synchronous rounds for every source and
+// returns one Result per source, each bit-identical to
+// Run(a, []int32{sources[i]}, maxRounds, opts). Sources are processed in
+// chunks of MaxBatch lanes; an empty source list returns an empty slice.
+// Safe for concurrent use like Run: the adjacency is only read and all
+// mutable state is pooled or freshly allocated per call.
+func RunBatch(a *adj.Adj, sources []int32, maxRounds int, opts Options) []*Result {
+	out := make([]*Result, 0, len(sources))
+	for lo := 0; lo < len(sources); lo += MaxBatch {
+		hi := min(lo+MaxBatch, len(sources))
+		e, err := StartBatch(a, sources[lo:hi], opts)
+		if err != nil {
+			panic(err) // unreachable: chunks are 1..MaxBatch lanes
+		}
+		for e.rounds < maxRounds {
+			if !e.Step() {
+				break
+			}
+		}
+		out = append(out, e.Finish()...)
+	}
+	return out
+}

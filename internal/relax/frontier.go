@@ -126,6 +126,7 @@ type Counters struct {
 	scannedArcs  atomic.Int64
 	denseRounds  atomic.Int64
 	sparseRounds atomic.Int64
+	batchedSeeds atomic.Int64
 }
 
 // Add folds one exploration's Stats into the counters. Safe on nil.
@@ -137,6 +138,7 @@ func (c *Counters) Add(st Stats) {
 	c.scannedArcs.Add(st.ScannedArcs)
 	c.denseRounds.Add(st.DenseRounds)
 	c.sparseRounds.Add(st.SparseRounds)
+	c.batchedSeeds.Add(st.BatchedSeeds)
 }
 
 // CounterSnapshot is a point-in-time copy of a Counters.
@@ -145,6 +147,10 @@ type CounterSnapshot struct {
 	ScannedArcs  int64
 	DenseRounds  int64
 	SparseRounds int64
+	// BatchedSeeds sums the lane counts of batched explorations; sequential
+	// explorations contribute 0, so BatchedSeeds/Explorations understates
+	// mean batch occupancy when the workload mixes both.
+	BatchedSeeds int64
 }
 
 // Snapshot returns the current totals. Safe on nil.
@@ -157,5 +163,6 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		ScannedArcs:  c.scannedArcs.Load(),
 		DenseRounds:  c.denseRounds.Load(),
 		SparseRounds: c.sparseRounds.Load(),
+		BatchedSeeds: c.batchedSeeds.Load(),
 	}
 }

@@ -30,6 +30,8 @@
 package relax
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sync"
 
@@ -37,6 +39,12 @@ import (
 	"repro/internal/par"
 	"repro/internal/pram"
 )
+
+// ErrLengthMismatch reports a sources/offsets length disagreement in
+// StartOffsets/RunOffsets. It is a typed error (not a panic) because the
+// lengths come from query payloads in the sharded serving path — a
+// malformed request must not kill the process.
+var ErrLengthMismatch = errors.New("relax: sources and offsets lengths differ")
 
 // DefaultDenseFraction is the frontier-arc fraction of m above which a
 // round runs the dense full-scan kernel.
@@ -68,6 +76,11 @@ type Stats struct {
 	// DenseRounds and SparseRounds count rounds by kernel.
 	DenseRounds  int64
 	SparseRounds int64
+	// BatchedSeeds is the number of source lanes this exploration carried:
+	// 0 for the sequential kernels, 1..MaxBatch for an ExplorationBatch.
+	// ScannedArcs of a batch is shared across all its lanes, so the
+	// sequential-equivalent work is roughly ScannedArcs · BatchedSeeds.
+	BatchedSeeds int64
 }
 
 // Result of one exploration.
@@ -160,7 +173,13 @@ type Exploration struct {
 // with a +Inf offset are skipped entirely (an unreachable boundary vertex
 // seeds nothing); a vertex listed twice keeps its smallest offset.
 // Offset sources keep Parent = -1, like ordinary sources.
-func StartOffsets(a *adj.Adj, sources []int32, offsets []float64, opts Options) *Exploration {
+// StartOffsets returns ErrLengthMismatch when the two slices disagree in
+// length — checked before any scratch is acquired, so the error path
+// leaks nothing.
+func StartOffsets(a *adj.Adj, sources []int32, offsets []float64, opts Options) (*Exploration, error) {
+	if len(sources) != len(offsets) {
+		return nil, fmt.Errorf("%w: %d sources, %d offsets", ErrLengthMismatch, len(sources), len(offsets))
+	}
 	e := begin(a, opts)
 	res, sc := e.res, e.sc
 	for i, s := range sources {
@@ -176,18 +195,21 @@ func StartOffsets(a *adj.Adj, sources []int32, offsets []float64, opts Options) 
 			res.Dist[s] = off
 		}
 	}
-	return e
+	return e, nil
 }
 
 // RunOffsets is Run with per-source initial labels (see StartOffsets).
-func RunOffsets(a *adj.Adj, sources []int32, offsets []float64, maxRounds int, opts Options) *Result {
-	e := StartOffsets(a, sources, offsets, opts)
+func RunOffsets(a *adj.Adj, sources []int32, offsets []float64, maxRounds int, opts Options) (*Result, error) {
+	e, err := StartOffsets(a, sources, offsets, opts)
+	if err != nil {
+		return nil, err
+	}
 	for e.res.Rounds < maxRounds {
 		if !e.Step() {
 			break
 		}
 	}
-	return e.Finish()
+	return e.Finish(), nil
 }
 
 // Start initializes an exploration from the given sources. The adjacency

@@ -263,7 +263,10 @@ func TestRunOffsets(t *testing.T) {
 	ga := graph.MustFromEdges(g.N+1, aug)
 	ref := Run(adj.Build(ga, nil), []int32{super}, 4*g.N, Options{})
 
-	got := RunOffsets(a, sources, offsets, 4*g.N, Options{})
+	got, err := RunOffsets(a, sources, offsets, 4*g.N, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !got.Converged {
 		t.Fatal("offset exploration did not converge")
 	}
@@ -276,7 +279,11 @@ func TestRunOffsets(t *testing.T) {
 	if got.Parent[77] != -1 || got.Dist[77] != 0.75 {
 		t.Fatalf("source 77: (dist,parent) = (%v,%d), want (0.75,-1)", got.Dist[77], got.Parent[77])
 	}
-	if !math.IsInf(RunOffsets(a, []int32{5}, []float64{math.Inf(1)}, g.N, Options{}).Dist[5], 1) {
+	infRes, err := RunOffsets(a, []int32{5}, []float64{math.Inf(1)}, g.N, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(infRes.Dist[5], 1) {
 		t.Fatal("+Inf offset seeded its source")
 	}
 }
@@ -289,9 +296,16 @@ func TestRunOffsetsDeterministic(t *testing.T) {
 	a := adj.Build(g, nil)
 	sources := []int32{0, 17, 599, 301}
 	offsets := []float64{0, 3.25, 1.5, math.Inf(1)}
-	want := RunOffsets(a, sources, offsets, 64, Options{})
+	want, err := RunOffsets(a, sources, offsets, 64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, w := range []int{2, 8} {
 		par.SetWorkers(w)
-		sameResult(t, "offsets", RunOffsets(a, sources, offsets, 64, Options{}), want)
+		got, err := RunOffsets(a, sources, offsets, 64, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "offsets", got, want)
 	}
 }

@@ -32,6 +32,15 @@ type Backend interface {
 	Stats() Stats
 }
 
+// MatrixBackend is the optional many-to-many surface: backends that can
+// answer an S×T distance matrix in one call implement it (both *Engine and
+// the sharded oracle do). The registry type-asserts; a backend without it
+// gets ErrUnsupported → 501 from the HTTP layer.
+type MatrixBackend interface {
+	// Matrix returns out[i][j] = approximate dist(sources[i], targets[j]).
+	Matrix(sources, targets []int32) ([][]float64, error)
+}
+
 // BackendInfo describes a resident backend for GraphInfo and the status
 // endpoints.
 type BackendInfo struct {

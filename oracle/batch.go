@@ -5,25 +5,59 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/relax"
 )
 
-// distBatcher coalesces cache-missing Dist queries: the first miss arms a
-// timer; every miss arriving within the window joins the pending set; when
-// the timer fires, all distinct pending sources are answered by one
-// multi-source exploration (the aMSSD query of Theorem 3.8) and the rows
-// are committed to the cache once and fanned out to every waiter.
+// occupancyBuckets is the batch-size histogram shape reported by Stats:
+// distinct sources per flushed batch, bucketed as
+// 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64.
+const occupancyBuckets = 7
+
+func occupancyBucket(size int) int {
+	switch {
+	case size <= 1:
+		return 0
+	case size == 2:
+		return 1
+	case size <= 4:
+		return 2
+	case size <= 8:
+		return 3
+	case size <= 16:
+		return 4
+	case size <= 32:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// distBatcher coalesces cache-missing Dist/MultiSource queries: the first
+// miss arms a timer; every miss arriving within the window joins the
+// pending set; when the timer fires — or as soon as relax.MaxBatch
+// distinct sources are pending, a full kernel word — all distinct pending
+// sources are answered by one batched multi-source exploration and the
+// rows are committed to the cache once and fanned out to every waiter.
 type distBatcher struct {
 	window time.Duration
 	run    func([]int32) ([][]float64, error)
 	commit func(int32, []float64)
 
 	mu      sync.Mutex
-	pending map[int32][]chan<- distResult
+	pending map[int32][]waiter
 	timer   *time.Timer
 
-	batches  atomic.Int64
-	batched  atomic.Int64
-	maxBatch atomic.Int64
+	batches   atomic.Int64
+	batched   atomic.Int64
+	maxBatch  atomic.Int64
+	waitNano  atomic.Int64 // total time waiters spent parked before their flush started
+	occupancy [occupancyBuckets]atomic.Int64
+}
+
+type waiter struct {
+	ch chan<- distResult
+	at time.Time
 }
 
 type distResult struct {
@@ -36,42 +70,106 @@ func newDistBatcher(window time.Duration, run func([]int32) ([][]float64, error)
 		window:  window,
 		run:     run,
 		commit:  commit,
-		pending: make(map[int32][]chan<- distResult),
+		pending: make(map[int32][]waiter),
 	}
+}
+
+// add registers one waiter for src under the lock and reports whether the
+// pending set just reached a full kernel word.
+func (b *distBatcher) add(src int32, ch chan<- distResult, now time.Time) (full bool) {
+	b.pending[src] = append(b.pending[src], waiter{ch: ch, at: now})
+	if b.timer == nil {
+		b.timer = time.AfterFunc(b.window, b.flush)
+	}
+	return len(b.pending) == relax.MaxBatch
+}
+
+// flushEarly fires the flush without waiting out the window: a full
+// kernel word gains nothing from more waiting. Racing with the timer is
+// benign — flush swaps the pending set under the lock, so a duplicate
+// invocation sees an empty set (or flushes later arrivals, which is just
+// a smaller batch).
+func (b *distBatcher) flushEarly() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	go b.flush()
 }
 
 // enqueue registers a query for src and blocks until its batch is flushed.
 func (b *distBatcher) enqueue(src int32) ([]float64, error) {
 	ch := make(chan distResult, 1)
 	b.mu.Lock()
-	b.pending[src] = append(b.pending[src], ch)
-	if b.timer == nil {
-		b.timer = time.AfterFunc(b.window, b.flush)
+	if b.add(src, ch, time.Now()) {
+		b.flushEarly()
 	}
 	b.mu.Unlock()
 	r := <-ch
 	return r.dist, r.err
 }
 
+// enqueueMany registers one query per source under a single lock
+// acquisition — the MultiSource coalescing path — and blocks until every
+// row is in. Row i answers srcs[i]; duplicate sources are answered by the
+// same exploration. The first error wins.
+func (b *distBatcher) enqueueMany(srcs []int32) ([][]float64, error) {
+	chans := make([]chan distResult, len(srcs))
+	now := time.Now()
+	b.mu.Lock()
+	full := false
+	for i, s := range srcs {
+		chans[i] = make(chan distResult, 1)
+		full = b.add(s, chans[i], now) || full
+	}
+	if full {
+		b.flushEarly()
+	}
+	b.mu.Unlock()
+	rows := make([][]float64, len(srcs))
+	var firstErr error
+	for i, ch := range chans {
+		r := <-ch
+		rows[i] = r.dist
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rows, nil
+}
+
 func (b *distBatcher) flush() {
 	b.mu.Lock()
 	pending := b.pending
-	b.pending = make(map[int32][]chan<- distResult)
-	b.timer = nil
+	b.pending = make(map[int32][]waiter)
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
 	b.mu.Unlock()
 	if len(pending) == 0 {
 		return
 	}
 
+	now := time.Now()
 	srcs := make([]int32, 0, len(pending))
 	var waiters int64
-	for s, chans := range pending {
+	var waited time.Duration
+	for s, ws := range pending {
 		srcs = append(srcs, s)
-		waiters += int64(len(chans))
+		waiters += int64(len(ws))
+		for _, w := range ws {
+			waited += now.Sub(w.at)
+		}
 	}
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
 	b.batches.Add(1)
 	b.batched.Add(waiters)
+	b.waitNano.Add(int64(waited))
+	b.occupancy[occupancyBucket(len(srcs))].Add(1)
 	for {
 		cur := b.maxBatch.Load()
 		if int64(len(srcs)) <= cur || b.maxBatch.CompareAndSwap(cur, int64(len(srcs))) {
@@ -86,8 +184,17 @@ func (b *distBatcher) flush() {
 			d = rows[i]
 			b.commit(s, d)
 		}
-		for _, ch := range pending[s] {
-			ch <- distResult{dist: d, err: err}
+		for _, w := range pending[s] {
+			w.ch <- distResult{dist: d, err: err}
 		}
 	}
+}
+
+// occupancySnapshot returns the histogram as a slice for Stats.
+func (b *distBatcher) occupancySnapshot() []int64 {
+	out := make([]int64, occupancyBuckets)
+	for i := range out {
+		out[i] = b.occupancy[i].Load()
+	}
+	return out
 }

@@ -39,6 +39,7 @@ type Engine struct {
 	nearestQueries atomic.Int64
 	pathQueries    atomic.Int64
 	treeQueries    atomic.Int64
+	matrixQueries  atomic.Int64
 }
 
 func newEngine(solver *core.Solver, cfg config) *Engine {
@@ -216,14 +217,84 @@ func (e *Engine) MultiSource(sources []int32) ([][]float64, error) {
 	if len(missing) == 0 {
 		return out, nil
 	}
-	rows, err := e.solver.ApproxMultiSource(missing)
+	var rows [][]float64
+	var err error
+	if e.batcher != nil {
+		// Coalesce with concurrent Dist/MultiSource misses: the batcher
+		// commits rows to the cache itself.
+		rows, err = e.batcher.enqueueMany(missing)
+	} else {
+		rows, err = e.solver.ApproxMultiSource(missing)
+	}
 	if err != nil {
 		return nil, err
 	}
 	for j, s := range missing {
-		e.distCache.Add(s, rows[j])
+		if e.batcher == nil {
+			e.distCache.Add(s, rows[j])
+		}
 		for _, i := range missIdx[s] {
 			out[i] = rows[j]
+		}
+	}
+	return out, nil
+}
+
+// Matrix computes the S×T distance matrix: out[i][j] is the
+// (1+ε)-approximate distance from sources[i] to targets[j]. All rows of
+// one call run on the word-parallel batched kernel (up to relax.MaxBatch
+// sources per graph traversal), bypassing the batching window — a matrix
+// call is already a batch. Full rows are served from / committed to the
+// distance cache, so a matrix query warms the same cache point queries
+// hit. Every entry equals the corresponding DistTo answer bit for bit.
+func (e *Engine) Matrix(sources, targets []int32) ([][]float64, error) {
+	if err := e.ready(); err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 || len(targets) == 0 {
+		return nil, ErrNeedSources
+	}
+	for _, s := range sources {
+		if err := e.checkVertex(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range targets {
+		if err := e.checkVertex(t); err != nil {
+			return nil, err
+		}
+	}
+	e.matrixQueries.Add(1)
+	full := make([][]float64, len(sources))
+	var missing []int32
+	missIdx := make(map[int32][]int)
+	for i, s := range sources {
+		if d, ok := e.distCache.Get(s); ok {
+			full[i] = d
+			continue
+		}
+		if len(missIdx[s]) == 0 {
+			missing = append(missing, s)
+		}
+		missIdx[s] = append(missIdx[s], i)
+	}
+	if len(missing) > 0 {
+		rows, err := e.solver.ApproxMultiSource(missing)
+		if err != nil {
+			return nil, err
+		}
+		for j, s := range missing {
+			e.distCache.Add(s, rows[j])
+			for _, i := range missIdx[s] {
+				full[i] = rows[j]
+			}
+		}
+	}
+	out := make([][]float64, len(sources))
+	for i, row := range full {
+		out[i] = make([]float64, len(targets))
+		for j, t := range targets {
+			out[i][j] = row[t]
 		}
 	}
 	return out, nil
@@ -339,6 +410,11 @@ type RelaxStats struct {
 	DenseRounds        int64   `json:"dense_rounds"`
 	SparseRounds       int64   `json:"sparse_rounds"`
 	ArcsPerExploration float64 `json:"arcs_per_exploration"`
+	// BatchedSeeds sums the source lanes of batched explorations (one
+	// k-lane batch counts as one exploration carrying k seeds); the
+	// sequential-equivalent scanned-arc cost of a batch is roughly
+	// ScannedArcs · lanes, so this is the audit trail of the batching win.
+	BatchedSeeds int64 `json:"batched_seeds"`
 }
 
 // Stats is a point-in-time snapshot of the engine's query, cache and
@@ -349,6 +425,7 @@ type Stats struct {
 	NearestQueries int64 `json:"nearest_queries"`
 	PathQueries    int64 `json:"path_queries"`
 	TreeQueries    int64 `json:"tree_queries"`
+	MatrixQueries  int64 `json:"matrix_queries"`
 
 	DistCache CacheStats `json:"dist_cache"`
 	TreeCache CacheStats `json:"tree_cache"`
@@ -357,6 +434,14 @@ type Stats struct {
 	BatchedQueries  int64 `json:"batched_queries"`
 	LargestBatch    int64 `json:"largest_batch"`
 	BatchWindowNano int64 `json:"batch_window_ns"`
+	// BatchWaitNano is the total time coalesced queries spent parked in
+	// the batching window before their batch ran — the latency price paid
+	// for the shared traversals.
+	BatchWaitNano int64 `json:"batch_wait_ns"`
+	// BatchOccupancy is a histogram of distinct sources per flushed batch,
+	// buckets 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64. Mass in the high buckets
+	// means the window is actually coalescing.
+	BatchOccupancy []int64 `json:"batch_occupancy,omitempty"`
 
 	Relax RelaxStats `json:"relax"`
 
@@ -377,6 +462,7 @@ func (e *Engine) Stats() Stats {
 		NearestQueries: e.nearestQueries.Load(),
 		PathQueries:    e.pathQueries.Load(),
 		TreeQueries:    e.treeQueries.Load(),
+		MatrixQueries:  e.matrixQueries.Load(),
 		DistCache:      e.distCache.Snapshot(),
 		TreeCache:      e.treeCache.Snapshot(),
 	}
@@ -386,6 +472,7 @@ func (e *Engine) Stats() Stats {
 		ScannedArcs:  rs.ScannedArcs,
 		DenseRounds:  rs.DenseRounds,
 		SparseRounds: rs.SparseRounds,
+		BatchedSeeds: rs.BatchedSeeds,
 	}
 	if rs.Explorations > 0 {
 		st.Relax.ArcsPerExploration = float64(rs.ScannedArcs) / float64(rs.Explorations)
@@ -395,6 +482,8 @@ func (e *Engine) Stats() Stats {
 		st.BatchedQueries = e.batcher.batched.Load()
 		st.LargestBatch = e.batcher.maxBatch.Load()
 		st.BatchWindowNano = int64(e.batcher.window)
+		st.BatchWaitNano = e.batcher.waitNano.Load()
+		st.BatchOccupancy = e.batcher.occupancySnapshot()
 	}
 	return st
 }

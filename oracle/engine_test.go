@@ -3,6 +3,7 @@ package oracle
 import (
 	"errors"
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -220,7 +221,7 @@ func TestTypedErrors(t *testing.T) {
 	if _, err := nilEng.Dist(0); !errors.Is(err, ErrNotBuilt) {
 		t.Errorf("nil engine: %v, want ErrNotBuilt", err)
 	}
-	if got := nilEng.Stats(); got != (Stats{}) {
+	if got := nilEng.Stats(); !reflect.DeepEqual(got, Stats{}) {
 		t.Errorf("nil engine Stats() = %+v, want zero", got)
 	}
 }

@@ -1,6 +1,10 @@
 package oracle
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/relax"
+)
 
 // Typed errors returned by Engine queries. Match them with errors.Is; the
 // wrapped messages carry the offending values.
@@ -31,3 +35,9 @@ var (
 	// it to 501.
 	ErrUnsupported = errors.New("oracle: operation not supported by this backend")
 )
+
+// ErrOffsetsMismatch is the relax layer's typed error for a nearest-source
+// query whose sources and offsets slices differ in length, re-exported so
+// oracle callers can match it without importing internal/relax. The HTTP
+// layer maps it to 400.
+var ErrOffsetsMismatch = relax.ErrLengthMismatch

@@ -1,0 +1,287 @@
+package oracle
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEngineMatrixMatchesDistTo pins the /matrix contract at the engine
+// layer: every matrix entry equals the corresponding DistTo answer bit for
+// bit, duplicate sources are deduplicated, and the rows land in the same
+// distance cache point queries hit.
+func TestEngineMatrixMatchesDistTo(t *testing.T) {
+	g := testGraph(t, 260)
+	eng, err := New(g, WithDistCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int32{0, 17, 99, 17, 255} // 17 twice: dedup path
+	targets := []int32{5, 0, 123, 259}
+	mat, err := eng.Matrix(sources, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mat) != len(sources) {
+		t.Fatalf("matrix has %d rows, want %d", len(mat), len(sources))
+	}
+	for i, s := range sources {
+		if len(mat[i]) != len(targets) {
+			t.Fatalf("row %d has %d cols, want %d", i, len(mat[i]), len(targets))
+		}
+		for j, tv := range targets {
+			want, err := eng.DistTo(s, tv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mat[i][j] != want && !(math.IsInf(mat[i][j], 1) && math.IsInf(want, 1)) {
+				t.Errorf("matrix[%d][%d] (s=%d t=%d) = %v, want DistTo %v", i, j, s, tv, mat[i][j], want)
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.MatrixQueries != 1 {
+		t.Errorf("MatrixQueries = %d, want 1", st.MatrixQueries)
+	}
+	// 4 distinct sources on a 64-batch kernel: one batched exploration, and
+	// every distinct source counted as a batched seed.
+	if st.Relax.BatchedSeeds < 4 {
+		t.Errorf("Relax.BatchedSeeds = %d, want >= 4", st.Relax.BatchedSeeds)
+	}
+	// The matrix warmed the cache: a follow-up Dist on any matrix source is
+	// a pure hit.
+	hitsBefore := st.DistCache.Hits
+	if _, err := eng.Dist(99); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().DistCache.Hits; got != hitsBefore+1 {
+		t.Errorf("Dist after Matrix: hits %d → %d, want a cache hit", hitsBefore, got)
+	}
+
+	if _, err := eng.Matrix(nil, targets); !errors.Is(err, ErrNeedSources) {
+		t.Errorf("Matrix(nil, targets) err = %v, want ErrNeedSources", err)
+	}
+	if _, err := eng.Matrix(sources, nil); !errors.Is(err, ErrNeedSources) {
+		t.Errorf("Matrix(sources, nil) err = %v, want ErrNeedSources", err)
+	}
+	if _, err := eng.Matrix([]int32{-1}, targets); !errors.Is(err, ErrVertexOutOfRange) {
+		t.Errorf("Matrix bad source err = %v, want ErrVertexOutOfRange", err)
+	}
+	if _, err := eng.Matrix(sources, []int32{9999}); !errors.Is(err, ErrVertexOutOfRange) {
+		t.Errorf("Matrix bad target err = %v, want ErrVertexOutOfRange", err)
+	}
+}
+
+// noMatrixBackend exposes only the required Backend surface: embedding
+// the interface (not *Engine) promotes exactly its methods, so the
+// MatrixBackend assertion fails.
+type noMatrixBackend struct{ Backend }
+
+// TestRegistryMatrixUnsupportedBackend: a backend without the optional
+// MatrixBackend surface answers Registry.Matrix with ErrUnsupported, which
+// the HTTP layer maps to 501.
+func TestRegistryMatrixUnsupportedBackend(t *testing.T) {
+	eng, err := New(registryGraph(60, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(RegistryConfig{})
+	defer r.Close()
+	if err := r.AddReady("plain", noMatrixBackend{eng}); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, r, "plain")
+	if _, err := r.Matrix("plain", []int32{0}, []int32{1}); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("Matrix on matrix-less backend err = %v, want ErrUnsupported", err)
+	}
+
+	srv := httptest.NewServer(NewRegistryHandler(r))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/graphs/plain/matrix", "application/json",
+		bytes.NewBufferString(`{"sources":[0],"targets":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("matrix on matrix-less backend: status %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestServerMatrixEndToEnd drives POST /graphs/{name}/matrix over HTTP and
+// checks the answers against per-pair /dist, plus the error statuses.
+func TestServerMatrixEndToEnd(t *testing.T) {
+	r, srv := newRegistryServer(t)
+
+	sources := []int32{0, 7, 42}
+	targets := []int32{1, 0, 99}
+	body, _ := json.Marshal(map[string]any{"sources": sources, "targets": targets})
+	resp, err := http.Post(srv.URL+"/graphs/road/matrix", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Graph   string       `json:"graph"`
+		Version int64        `json:"version"`
+		Sources []int32      `json:"sources"`
+		Targets []int32      `json:"targets"`
+		Matrix  [][]*float64 `json:"matrix"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("matrix status %d", resp.StatusCode)
+	}
+	if out.Graph != "road" || out.Version < 1 || len(out.Matrix) != len(sources) {
+		t.Fatalf("matrix envelope %+v", out)
+	}
+	for i, s := range sources {
+		for j, tv := range targets {
+			want, err := r.DistTo("road", s, tv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := out.Matrix[i][j]
+			switch {
+			case got == nil:
+				if !math.IsInf(want, 1) {
+					t.Errorf("matrix[%d][%d] null, want %v", i, j, want)
+				}
+			case *got != want:
+				t.Errorf("matrix[%d][%d] = %v, want %v", i, j, *got, want)
+			}
+		}
+	}
+
+	// The endpoint shows up in per-graph stats.
+	var stats struct {
+		Engine Stats `json:"engine"`
+	}
+	sresp, err := http.Get(srv.URL + "/graphs/road/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Engine.MatrixQueries != 1 {
+		t.Errorf("stats MatrixQueries = %d, want 1", stats.Engine.MatrixQueries)
+	}
+
+	for _, tc := range []struct {
+		name, url, body string
+		want            int
+	}{
+		{"garbage body", srv.URL + "/graphs/road/matrix", `{"sources":`, http.StatusBadRequest},
+		{"bad vertex", srv.URL + "/graphs/road/matrix", `{"sources":[0],"targets":[100000]}`, http.StatusBadRequest},
+		{"empty sources", srv.URL + "/graphs/road/matrix", `{"sources":[],"targets":[1]}`, http.StatusBadRequest},
+		{"unknown graph", srv.URL + "/graphs/nope/matrix", `{"sources":[0],"targets":[1]}`, http.StatusNotFound},
+	} {
+		resp, err := http.Post(tc.url, "application/json", bytes.NewBufferString(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestNearestOffsetsMismatchSurfaced pins the typed error for mismatched
+// sources/offsets all the way through the oracle surface: what used to be
+// a relax-layer panic is now ErrOffsetsMismatch (mapped to 400 by the HTTP
+// layer's writeError).
+func TestNearestOffsetsMismatchSurfaced(t *testing.T) {
+	eng, err := New(registryGraph(50, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.NearestWithOffsets([]int32{1, 2, 3}, []float64{0, 1})
+	if !errors.Is(err, ErrOffsetsMismatch) {
+		t.Fatalf("NearestWithOffsets mismatch err = %v, want ErrOffsetsMismatch", err)
+	}
+}
+
+// TestBatcherTelemetryUnderRace is the coalescing soak for -race: many
+// goroutines slam overlapping sources through the batching window, every
+// answer must be the exact vector for its own source (zero cross-seed
+// mixing), and the new telemetry — occupancy histogram, waiter wait time —
+// must be consistent with the batch counters.
+func TestBatcherTelemetryUnderRace(t *testing.T) {
+	g := testGraph(t, 220)
+	eng, err := New(g, WithBatchWindow(10*time.Millisecond), WithDistCache(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// References computed source by source up front, outside the batcher.
+	refEng, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int32{2, 19, 63, 101, 150, 219}
+	ref := make(map[int32][]float64)
+	for _, s := range sources {
+		d, err := refEng.Dist(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[s] = d
+	}
+
+	const rounds = 3
+	var wg sync.WaitGroup
+	for round := 0; round < rounds; round++ {
+		for _, s := range sources {
+			wg.Add(1)
+			go func(s int32) {
+				defer wg.Done()
+				got, err := eng.Dist(s)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for v := range got {
+					if got[v] != ref[s][v] {
+						t.Errorf("cross-seed mixing: Dist(%d)[%d] = %v, want %v", s, v, got[v], ref[s][v])
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait() // cache is disabled, so every round re-enters the batcher
+	}
+
+	st := eng.Stats()
+	if st.Batches < int64(rounds) {
+		t.Errorf("Batches = %d, want >= %d (cache disabled, %d rounds)", st.Batches, rounds, rounds)
+	}
+	if st.BatchedQueries != int64(rounds*len(sources)) {
+		t.Errorf("BatchedQueries = %d, want %d", st.BatchedQueries, rounds*len(sources))
+	}
+	if len(st.BatchOccupancy) != occupancyBuckets {
+		t.Fatalf("BatchOccupancy has %d buckets, want %d", len(st.BatchOccupancy), occupancyBuckets)
+	}
+	var occ int64
+	for _, c := range st.BatchOccupancy {
+		occ += c
+	}
+	if occ != st.Batches {
+		t.Errorf("occupancy histogram sums to %d, want Batches = %d", occ, st.Batches)
+	}
+	if st.BatchWaitNano <= 0 {
+		t.Errorf("BatchWaitNano = %d, want > 0 (waiters parked on a 10ms window)", st.BatchWaitNano)
+	}
+	if st.LargestBatch < 2 || st.LargestBatch > int64(len(sources)) {
+		t.Errorf("LargestBatch = %d out of [2,%d]", st.LargestBatch, len(sources))
+	}
+}

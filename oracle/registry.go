@@ -571,6 +571,21 @@ func (r *Registry) MultiSource(name string, sources []int32) ([][]float64, error
 	return h.Engine().MultiSource(sources)
 }
 
+// Matrix serves the many-to-many distance matrix for the named graph.
+// Backends that do not implement MatrixBackend get ErrUnsupported.
+func (r *Registry) Matrix(name string, sources, targets []int32) ([][]float64, error) {
+	h, err := r.Acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Release()
+	mb, ok := h.Engine().(MatrixBackend)
+	if !ok {
+		return nil, fmt.Errorf("%w: matrix", ErrUnsupported)
+	}
+	return mb.Matrix(sources, targets)
+}
+
 // WaitReady blocks until the named graph is ready (nil), its build fails
 // (the build error), or ctx is done (ctx.Err()). A graph that fails and is
 // then reloaded successfully still resolves to nil on the later build.

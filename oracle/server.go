@@ -3,10 +3,34 @@ package oracle
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"strconv"
 )
+
+// maxMatrixBody bounds a /matrix request body; at 8 bytes a vertex id even
+// a full 64×64 ETA-matrix request is far under 1 MiB.
+const maxMatrixBody = 1 << 20
+
+// matrixRequest is the POST /graphs/{name}/matrix body.
+type matrixRequest struct {
+	Sources []int32 `json:"sources"`
+	Targets []int32 `json:"targets"`
+}
+
+// jsonMatrix maps every +Inf entry to null, row by row.
+func jsonMatrix(rows [][]float64) [][]any {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		r := make([]any, len(row))
+		for j, d := range row {
+			r[j] = jsonDist(d)
+		}
+		out[i] = r
+	}
+	return out
+}
 
 // NewHandler exposes an Engine over HTTP/JSON — the traffic-facing surface
 // served by cmd/serve:
@@ -89,6 +113,7 @@ func NewHandler(e *Engine) http.Handler {
 //	GET  /graphs/{name}/ready         → 200 when ready, 503 otherwise (per-graph readiness)
 //	GET  /graphs/{name}/dist?source=S[&target=T]
 //	GET  /graphs/{name}/path?from=U&to=V
+//	POST /graphs/{name}/matrix        → {"sources":[…],"targets":[…]} ⇒ S×T matrix
 //	GET  /graphs/{name}/stats         → status + engine counters
 //	POST /graphs/{name}/reload        → 202; rebuilds in the background and hot-swaps
 //	GET  /stats                       → aggregate registry stats
@@ -211,6 +236,36 @@ func NewRegistryHandler(r *Registry) http.Handler {
 			"from": from, "to": to, "path": path, "length": jsonDist(length),
 		})
 	})
+	mux.HandleFunc("POST /graphs/{name}/matrix", func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		var body matrixRequest
+		req.Body = http.MaxBytesReader(w, req.Body, maxMatrixBody)
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeError(w, &badRequestError{msg: "bad matrix body: " + err.Error()})
+			return
+		}
+		h, err := r.Acquire(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer h.Release()
+		mb, ok := h.Engine().(MatrixBackend)
+		if !ok {
+			writeError(w, fmt.Errorf("%w: matrix", ErrUnsupported))
+			return
+		}
+		rows, err := mb.Matrix(body.Sources, body.Targets)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"graph": name, "version": h.Version(),
+			"sources": body.Sources, "targets": body.Targets,
+			"matrix": jsonMatrix(rows),
+		})
+	})
 	mux.HandleFunc("GET /graphs/{name}/stats", func(w http.ResponseWriter, req *http.Request) {
 		name := req.PathValue("name")
 		gi, err := r.Info(name)
@@ -278,7 +333,8 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.As(err, &bad),
 		errors.Is(err, ErrVertexOutOfRange),
 		errors.Is(err, ErrNeedPathReporting),
-		errors.Is(err, ErrNeedSources):
+		errors.Is(err, ErrNeedSources),
+		errors.Is(err, ErrOffsetsMismatch):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrUnknownGraph):
 		status = http.StatusNotFound

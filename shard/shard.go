@@ -142,6 +142,7 @@ type Oracle struct {
 	multiQueries   atomic.Int64
 	nearestQueries atomic.Int64
 	pathQueries    atomic.Int64
+	matrixQueries  atomic.Int64
 	routed         atomic.Int64
 	localOnly      atomic.Int64
 }
@@ -520,6 +521,41 @@ func (o *Oracle) MultiSource(sources []int32) ([][]float64, error) {
 	return out, nil
 }
 
+// Matrix implements oracle.MatrixBackend: out[i][j] is the routed
+// approximate distance from sources[i] to targets[j]. Each distinct source
+// is routed once — through the router's per-source LRU, so a repeated or
+// overlapping matrix reuses assembled global vectors — and the S×T block
+// is a projection of those vectors, identical to per-pair DistTo answers.
+func (o *Oracle) Matrix(sources, targets []int32) ([][]float64, error) {
+	if len(sources) == 0 || len(targets) == 0 {
+		return nil, oracle.ErrNeedSources
+	}
+	for _, s := range sources {
+		if err := o.checkVertex(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range targets {
+		if err := o.checkVertex(t); err != nil {
+			return nil, err
+		}
+	}
+	o.matrixQueries.Add(1)
+	out := make([][]float64, len(sources))
+	for i, s := range sources {
+		d, err := o.Dist(s)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(targets))
+		for j, t := range targets {
+			row[j] = d[t]
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
 // Nearest implements oracle.Backend: the approximate distance to the
 // nearest source, per vertex. It runs one joint routed pass — per-shard
 // local Nearest over that shard's own sources, one overlay exploration
@@ -649,6 +685,24 @@ func (o *Oracle) Stats() oracle.Stats {
 		st.Relax.ScannedArcs += s.Relax.ScannedArcs
 		st.Relax.DenseRounds += s.Relax.DenseRounds
 		st.Relax.SparseRounds += s.Relax.SparseRounds
+		st.Relax.BatchedSeeds += s.Relax.BatchedSeeds
+		st.Batches += s.Batches
+		st.BatchedQueries += s.BatchedQueries
+		st.BatchWaitNano += s.BatchWaitNano
+		if s.LargestBatch > st.LargestBatch {
+			st.LargestBatch = s.LargestBatch
+		}
+		if s.BatchWindowNano > st.BatchWindowNano {
+			st.BatchWindowNano = s.BatchWindowNano
+		}
+		if len(s.BatchOccupancy) > 0 {
+			if st.BatchOccupancy == nil {
+				st.BatchOccupancy = make([]int64, len(s.BatchOccupancy))
+			}
+			for i, c := range s.BatchOccupancy {
+				st.BatchOccupancy[i] += c
+			}
+		}
 	}
 	for _, sh := range o.shards {
 		acc(sh.eng.Stats())
@@ -667,6 +721,7 @@ func (o *Oracle) Stats() oracle.Stats {
 	st.MultiQueries = o.multiQueries.Load()
 	st.NearestQueries = o.nearestQueries.Load()
 	st.PathQueries = o.pathQueries.Load()
+	st.MatrixQueries = o.matrixQueries.Load()
 	st.Sharded = &oracle.ShardStats{
 		Shards:           o.k,
 		BoundaryVertices: len(o.boundary),
@@ -682,4 +737,7 @@ func (o *Oracle) Stats() oracle.Stats {
 	return st
 }
 
-var _ oracle.Backend = (*Oracle)(nil)
+var (
+	_ oracle.Backend       = (*Oracle)(nil)
+	_ oracle.MatrixBackend = (*Oracle)(nil)
+)

@@ -287,6 +287,58 @@ func TestBackendSurface(t *testing.T) {
 	}
 }
 
+// TestShardedMatrixMatchesDistTo pins the sharded many-to-many surface:
+// Matrix on a K=3 oracle equals per-pair DistTo bit for bit (each distinct
+// source routed once through the router cache), counts as one matrix
+// query, and rejects bad inputs with the shared typed errors.
+func TestShardedMatrixMatchesDistTo(t *testing.T) {
+	g := testkit.Grid(196, 11)
+	o := buildSharded(t, g, 3)
+	sources := []int32{0, 98, 0, 195} // duplicate source: router cache path
+	targets := []int32{195, 1, 99}
+	mat, err := o.Matrix(sources, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sources {
+		for j, tv := range targets {
+			want, err := o.DistTo(s, tv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mat[i][j] != want {
+				t.Fatalf("matrix[%d][%d] (s=%d t=%d) = %v, want DistTo %v", i, j, s, tv, mat[i][j], want)
+			}
+		}
+	}
+	if st := o.Stats(); st.MatrixQueries != 1 {
+		t.Fatalf("MatrixQueries = %d, want 1", st.MatrixQueries)
+	}
+	if _, err := o.Matrix(nil, targets); !errors.Is(err, oracle.ErrNeedSources) {
+		t.Fatalf("Matrix(nil, targets): %v", err)
+	}
+	if _, err := o.Matrix(sources, []int32{int32(g.N)}); !errors.Is(err, oracle.ErrVertexOutOfRange) {
+		t.Fatalf("Matrix bad target: %v", err)
+	}
+	// The registry's Matrix path reaches the sharded backend through the
+	// MatrixBackend assertion.
+	r := oracle.NewRegistry(oracle.RegistryConfig{})
+	defer r.Close()
+	if err := r.AddReady("grid", o); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(context.Background(), "grid"); err != nil {
+		t.Fatal(err)
+	}
+	viaReg, err := r.Matrix("grid", sources, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaReg, mat) {
+		t.Fatal("registry Matrix differs from direct sharded Matrix")
+	}
+}
+
 // TestRegistryServesSharded registers a sharded source on the registry
 // and checks the shared Handle lifecycle: readiness, queries, Info shape
 // (Shards set), and hot reload producing identical answers.
