@@ -17,6 +17,15 @@
 //     hosts. A ratio drop beyond the tolerance means the batched build
 //     got slower relative to the code it replaced: the build fails.
 //
+// With -loadsim-current/-loadsim-baseline the serve-path tail-latency
+// comparison is gated too:
+//
+//   - dist_p99_improvement — the hot-pair-cache p99 improvement factor a
+//     loadsim -compare run measures (pre p99 / post p99, both runs in
+//     the same process on the same machine, so the ratio is portable).
+//     Falling below the baseline floor beyond the tolerance means the
+//     serve-path optimizations stopped paying for themselves.
+//
 // Raw wall-clock milliseconds and the serve-layer QPS numbers are
 // reported in the artifact but not gated — they track machine speed, not
 // code, and would flake across runners.
@@ -43,6 +52,43 @@ type buildRow struct {
 type doc struct {
 	Kernel      []kernelRow `json:"kernel"`
 	HopsetBuild []buildRow  `json:"hopset_build"`
+}
+
+// loadsimDoc is the slice of a loadsim -compare report (or its committed
+// baseline floor) that benchgate gates.
+type loadsimDoc struct {
+	Profile            string  `json:"profile"`
+	DistP99Improvement float64 `json:"dist_p99_improvement"`
+}
+
+func loadLoadsim(path string) (loadsimDoc, error) {
+	var d loadsimDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// compareLoadsim gates the tail-latency improvement factor. A current
+// report without the metric (e.g. a non-compare loadsim run) fails:
+// gating nothing silently would hide a regression.
+func compareLoadsim(cur, base loadsimDoc, tol float64) []string {
+	var failures []string
+	if base.DistP99Improvement <= 0 {
+		return failures // baseline gates nothing
+	}
+	if cur.DistP99Improvement <= 0 {
+		return append(failures, "FAIL loadsim dist_p99_improvement missing from current run (need a -compare report)")
+	}
+	if f := gate("loadsim/"+cur.Profile+" dist_p99_improvement",
+		cur.DistP99Improvement, base.DistP99Improvement, tol); f != "" {
+		failures = append(failures, f)
+	}
+	return failures
 }
 
 func load(path string) (doc, error) {
@@ -106,28 +152,58 @@ func compare(cur, base doc, tol float64) []string {
 
 func main() {
 	var (
-		current  = flag.String("current", "BENCH_batch.json", "freshly measured batch benchmark JSON")
-		baseline = flag.String("baseline", "bench/BENCH_batch.baseline.json", "committed baseline JSON")
-		tol      = flag.Float64("tolerance", 0.15, "allowed fractional regression before failing")
+		current   = flag.String("current", "", "freshly measured batch benchmark JSON")
+		baseline  = flag.String("baseline", "", "committed batch baseline JSON")
+		lsCurrent = flag.String("loadsim-current", "", "freshly measured loadsim -compare JSON")
+		lsBase    = flag.String("loadsim-baseline", "", "committed loadsim baseline JSON")
+		tol       = flag.Float64("tolerance", 0.15, "allowed fractional regression before failing")
 	)
 	flag.Parse()
-	cur, err := load(*current)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+	if *current == "" && *lsCurrent == "" {
+		// Bare invocation keeps the original batch-gate default.
+		*current, *baseline = "BENCH_batch.json", "bench/BENCH_batch.baseline.json"
 	}
-	base, err := load(*baseline)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+	var failures []string
+	if *current != "" {
+		if *baseline == "" {
+			*baseline = "bench/BENCH_batch.baseline.json"
+		}
+		cur, err := load(*current)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		base, err := load(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		for _, r := range cur.Kernel {
+			fmt.Printf("kernel/%-12s arc_reduction=%.2f wall_speedup=%.2f\n", r.Workload, r.ArcReduction, r.WallSpeedup)
+		}
+		for _, r := range cur.HopsetBuild {
+			fmt.Printf("hopset_build/%-12s build_speedup=%.2f\n", r.Family, r.BuildSpeedup)
+		}
+		failures = append(failures, compare(cur, base, *tol)...)
 	}
-	for _, r := range cur.Kernel {
-		fmt.Printf("kernel/%-12s arc_reduction=%.2f wall_speedup=%.2f\n", r.Workload, r.ArcReduction, r.WallSpeedup)
+	if *lsCurrent != "" {
+		if *lsBase == "" {
+			*lsBase = "bench/BENCH_loadsim.baseline.json"
+		}
+		cur, err := loadLoadsim(*lsCurrent)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		base, err := loadLoadsim(*lsBase)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("loadsim/%-12s dist_p99_improvement=%.2f (floor %.2f)\n",
+			cur.Profile, cur.DistP99Improvement, base.DistP99Improvement)
+		failures = append(failures, compareLoadsim(cur, base, *tol)...)
 	}
-	for _, r := range cur.HopsetBuild {
-		fmt.Printf("hopset_build/%-12s build_speedup=%.2f\n", r.Family, r.BuildSpeedup)
-	}
-	failures := compare(cur, base, *tol)
 	for _, f := range failures {
 		fmt.Println(f)
 	}

@@ -62,3 +62,35 @@ func TestCompare(t *testing.T) {
 		}
 	})
 }
+
+func TestCompareLoadsim(t *testing.T) {
+	base := loadsimDoc{Profile: "zipf-hot", DistP99Improvement: 1.5}
+	t.Run("above floor passes", func(t *testing.T) {
+		if fails := compareLoadsim(loadsimDoc{Profile: "zipf-hot", DistP99Improvement: 6.2}, base, 0.15); len(fails) != 0 {
+			t.Fatalf("unexpected failures: %v", fails)
+		}
+	})
+	t.Run("within tolerance passes", func(t *testing.T) {
+		// floor = 1.5 * 0.85 = 1.275
+		if fails := compareLoadsim(loadsimDoc{Profile: "zipf-hot", DistP99Improvement: 1.3}, base, 0.15); len(fails) != 0 {
+			t.Fatalf("unexpected failures: %v", fails)
+		}
+	})
+	t.Run("regression fails", func(t *testing.T) {
+		fails := compareLoadsim(loadsimDoc{Profile: "zipf-hot", DistP99Improvement: 1.1}, base, 0.15)
+		if len(fails) != 1 || !strings.Contains(fails[0], "dist_p99_improvement") {
+			t.Fatalf("failures = %v, want one improvement-factor failure", fails)
+		}
+	})
+	t.Run("missing metric fails", func(t *testing.T) {
+		fails := compareLoadsim(loadsimDoc{Profile: "zipf-hot"}, base, 0.15)
+		if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+			t.Fatalf("failures = %v, want one missing-metric failure", fails)
+		}
+	})
+	t.Run("empty baseline gates nothing", func(t *testing.T) {
+		if fails := compareLoadsim(loadsimDoc{}, loadsimDoc{}, 0.15); len(fails) != 0 {
+			t.Fatalf("unexpected failures: %v", fails)
+		}
+	})
+}

@@ -1,0 +1,707 @@
+// Command loadsim is the serve-path workload replayer: it drives an
+// in-process oracle.Registry (or a live serve instance over HTTP)
+// with an open-loop arrival process — Poisson or bursty inter-arrivals,
+// Zipf-skewed source popularity, hot-graph imbalance, reload storms,
+// eviction pressure — and reports the latency distribution clients
+// would actually see: per-route p50/p90/p99/p999 over raw samples
+// (response time = queue wait + service time), queue depth, cache hit
+// rates, stale-served and rejected counts.
+//
+//	loadsim -profile zipf-hot -duration 10s -rate 2000
+//	loadsim -profile reload-storm -rate 1000
+//	loadsim -profile eviction -graphs 3
+//	loadsim -profile zipf-hot -compare -out BENCH_loadsim.json
+//	loadsim -url http://localhost:8080 -graph default -rate 500
+//
+// Profiles:
+//
+//	zipf-hot      one graph, Zipf(1.2)-skewed sources, pure /dist — the
+//	              steady-state point-lookup workload the hot-pair cache
+//	              is built for
+//	uniform       one graph, uniform sources — the cache-hostile floor
+//	mixed         Zipf sources, 80/15/5 dist/path/matrix, bursty
+//	              arrivals — a production-shaped blend
+//	reload-storm  zipf-hot plus a hot reload every -reload-every — the
+//	              stale-while-revalidate stress
+//	eviction      several graphs under a memory budget sized for fewer —
+//	              availability under eviction pressure
+//
+// -compare runs the chosen profile twice on identical fresh registries —
+// once without the hot-pair cache ("pre"), once with it ("post") — and
+// reports the dist p99 improvement factor. That same-process ratio is
+// what cmd/benchgate gates (portable across machines, unlike raw
+// wall-clock).
+//
+// The workload stream is seeded and fully deterministic; timings are
+// not. All latencies are microseconds.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/oracle"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadsim: ")
+	var (
+		profile  = flag.String("profile", "zipf-hot", "workload profile: zipf-hot | uniform | mixed | reload-storm | eviction")
+		duration = flag.Duration("duration", 10*time.Second, "load duration per run")
+		rate     = flag.Float64("rate", 500, "mean arrival rate, queries/s (open loop)")
+		warmup   = flag.Duration("warmup", 2*time.Second, "initial window whose samples are discarded (cold caches and build-up are not steady state)")
+		clients  = flag.Int("clients", 8, "concurrent service workers (server-side concurrency model)")
+		n        = flag.Int("n", 4096, "vertices of the generated graph(s)")
+		m        = flag.Int("m", 16384, "edges of the generated graph(s)")
+		eps      = flag.Float64("eps", 0.25, "stretch target ε")
+		cache    = flag.Int("cache", 64, "engine distance-row LRU capacity")
+		hot      = flag.Int("hot-cache", 4096, "registry hot-pair cache capacity (0 = off; -compare overrides per run)")
+		zipfS    = flag.Float64("zipf-s", 1.2, "Zipf skew of source popularity")
+		graphs   = flag.Int("graphs", 3, "graph count (eviction profile)")
+		reload   = flag.Duration("reload-every", 400*time.Millisecond, "hot-reload interval (reload-storm profile)")
+		seed     = flag.Int64("seed", 1, "workload and graph seed")
+		compare  = flag.Bool("compare", false, "run pre (no hot cache) and post (hot cache) on fresh registries and report the improvement factor")
+		url      = flag.String("url", "", "drive a live serve instance at this base URL instead of an in-process registry")
+		graphN   = flag.String("graph", "default", "graph name to query (HTTP target)")
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := simConfig{
+		profile: *profile, duration: *duration, rate: *rate, clients: *clients,
+		warmup: *warmup,
+		n: *n, m: *m, eps: *eps, cache: *cache, hotCache: *hot, zipfS: *zipfS,
+		graphs: 1, reloadEvery: 0, seed: *seed,
+	}
+	if cfg.warmup >= cfg.duration {
+		cfg.warmup = cfg.duration / 5
+	}
+	switch *profile {
+	case "zipf-hot":
+	case "uniform":
+		cfg.zipfS = 0
+	case "mixed":
+		cfg.pathFrac, cfg.matrixFrac = 0.15, 0.05
+		cfg.bursty = true
+	case "reload-storm":
+		cfg.reloadEvery = *reload
+	case "eviction":
+		cfg.graphs = *graphs
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+
+	var report any
+	switch {
+	case *url != "":
+		res, err := runHTTP(cfg, *url, *graphN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report = res
+	case *compare:
+		pre := cfg
+		pre.hotCache = 0
+		post := cfg
+		if post.hotCache <= 0 {
+			post.hotCache = 4096
+		}
+		log.Printf("compare: pre run (%s, hot-pair cache off)", cfg.profile)
+		preRes, err := runInProcess(pre)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("compare: post run (%s, hot-pair cache %d)", cfg.profile, post.hotCache)
+		postRes, err := runInProcess(post)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report = compareReport{
+			Profile: cfg.profile,
+			Pre:     preRes,
+			Post:    postRes,
+			DistP99Improvement: ratio(
+				preRes.Routes["dist"].P99Us,
+				postRes.Routes["dist"].P99Us),
+			DistP50Improvement: ratio(
+				preRes.Routes["dist"].P50Us,
+				postRes.Routes["dist"].P50Us),
+		}
+	default:
+		res, err := runInProcess(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report = res
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("report written to %s", *out)
+}
+
+func ratio(pre, post int64) float64 {
+	if post <= 0 || pre <= 0 {
+		return 0
+	}
+	return float64(pre) / float64(post)
+}
+
+// simConfig is one fully-resolved run.
+type simConfig struct {
+	profile               string
+	duration              time.Duration
+	warmup                time.Duration
+	rate                  float64
+	clients               int
+	n, m                  int
+	eps                   float64
+	cache, hotCache       int
+	zipfS                 float64
+	graphs                int
+	reloadEvery           time.Duration
+	seed                  int64
+	pathFrac, matrixFrac  float64
+	bursty                bool
+}
+
+// job is one scheduled arrival. at is the scheduled arrival instant —
+// latency is measured from it, so time spent queued behind a saturated
+// worker pool counts, exactly as a client would experience it.
+type job struct {
+	at       time.Time
+	op       int // 0 dist, 1 path, 2 matrix
+	g        int
+	src, dst int32
+}
+
+const (
+	opDist = iota
+	opPath
+	opMatrix
+)
+
+var opNames = [...]string{"dist", "path", "matrix"}
+
+// workload generates the deterministic arrival stream for cfg.
+type workload struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	gZipf *rand.Zipf
+	cfg   simConfig
+}
+
+func newWorkload(cfg simConfig) *workload {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	w := &workload{rng: rng, cfg: cfg}
+	if cfg.zipfS > 1 {
+		w.zipf = rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.n-1))
+	}
+	if cfg.graphs > 1 {
+		// Hot-shard imbalance: graph popularity is itself Zipf-skewed.
+		w.gZipf = rand.NewZipf(rng, 1.4, 1, uint64(cfg.graphs-1))
+	}
+	return w
+}
+
+func (w *workload) source() int32 {
+	if w.zipf != nil {
+		return int32(w.zipf.Uint64())
+	}
+	return int32(w.rng.Intn(w.cfg.n))
+}
+
+func (w *workload) graph() int {
+	if w.gZipf != nil {
+		return int(w.gZipf.Uint64())
+	}
+	return 0
+}
+
+func (w *workload) next() job {
+	j := job{g: w.graph(), src: w.source(), dst: int32(w.rng.Intn(w.cfg.n))}
+	r := w.rng.Float64()
+	switch {
+	case r < w.cfg.matrixFrac:
+		j.op = opMatrix
+	case r < w.cfg.matrixFrac+w.cfg.pathFrac:
+		j.op = opPath
+	}
+	return j
+}
+
+// interarrival returns the wait before the next arrival. Poisson by
+// default; bursty alternates 200ms of 4× rate with 300ms of silence
+// (the generator folds the silence into the first wait of each burst).
+func (w *workload) interarrival() time.Duration {
+	r := w.cfg.rate
+	if w.cfg.bursty {
+		r *= 4 // within-burst rate; burst windows are cut by the generator
+	}
+	return time.Duration(w.rng.ExpFloat64() / r * float64(time.Second))
+}
+
+// target abstracts where queries land: the in-process registry or a
+// live HTTP server. stale reports a stale-while-revalidate answer;
+// unavailable a not-ready graph (503-class); rejected an admission 429.
+type target interface {
+	dist(g int, source int32) (stale, unavailable, rejected bool, err error)
+	path(g int, u, v int32) (unavailable bool, err error)
+	matrix(g int, s, t []int32) (unavailable bool, err error)
+}
+
+// RouteStats is the latency summary of one route, from raw samples —
+// exact order statistics, not histogram buckets.
+type RouteStats struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  int64   `json:"p50_us"`
+	P90Us  int64   `json:"p90_us"`
+	P99Us  int64   `json:"p99_us"`
+	P999Us int64   `json:"p999_us"`
+	MaxUs  int64   `json:"max_us"`
+}
+
+// Result is one run's report.
+type Result struct {
+	Profile    string  `json:"profile"`
+	DurationS  float64 `json:"duration_s"`
+	WarmupS    float64 `json:"warmup_s"`
+	TargetRate float64 `json:"target_rate_qps"`
+	HotCache   int     `json:"hot_cache"`
+	EngineLRU  int     `json:"engine_lru"`
+	N          int     `json:"n"`
+	Graphs     int     `json:"graphs,omitempty"`
+
+	Arrivals    int64 `json:"arrivals"`
+	// Measured counts the post-warmup samples the route stats are built
+	// from; warmup arrivals execute but are not recorded.
+	Measured    int64 `json:"measured"`
+	Errors      int64 `json:"errors"`
+	Unavailable int64 `json:"unavailable"`
+	Rejected    int64 `json:"rejected"`
+	StaleServed int64 `json:"stale_served"`
+
+	Routes map[string]RouteStats `json:"routes"`
+
+	QueueMaxDepth  int     `json:"queue_max_depth"`
+	QueueMeanDepth float64 `json:"queue_mean_depth"`
+
+	HotPair      *oracle.HotPairStats `json:"hot_pair,omitempty"`
+	CacheHitRate float64              `json:"engine_cache_hit_rate,omitempty"`
+	Reloads      int64                `json:"reloads,omitempty"`
+	Evictions    int64                `json:"evictions,omitempty"`
+}
+
+type compareReport struct {
+	Profile            string  `json:"profile"`
+	Pre                *Result `json:"pre"`
+	Post               *Result `json:"post"`
+	DistP99Improvement float64 `json:"dist_p99_improvement"`
+	DistP50Improvement float64 `json:"dist_p50_improvement"`
+}
+
+// drive replays cfg's workload against tgt and collects the report.
+// reloadFn (optional) is invoked every cfg.reloadEvery during the run.
+func drive(cfg simConfig, tgt target, reloadFn func()) *Result {
+	w := newWorkload(cfg)
+	queue := make(chan job, 65536)
+	res := &Result{
+		Profile: cfg.profile, DurationS: cfg.duration.Seconds(),
+		WarmupS:    cfg.warmup.Seconds(),
+		TargetRate: cfg.rate, HotCache: cfg.hotCache, EngineLRU: cfg.cache,
+		N: cfg.n, Routes: map[string]RouteStats{},
+	}
+	if cfg.graphs > 1 {
+		res.Graphs = cfg.graphs
+	}
+
+	var (
+		errors      atomic.Int64
+		unavailable atomic.Int64
+		rejected    atomic.Int64
+		stale       atomic.Int64
+	)
+	// Warmup cutoff: arrivals scheduled before it are executed (they
+	// load the system and warm the caches) but excluded from the stats —
+	// cold-start build-up is not the steady state the gates compare.
+	cutoff := time.Now().Add(cfg.warmup)
+
+	// Per-worker sample slices: lock-free during the run, merged after.
+	samples := make([][3][]int64, cfg.clients)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := range queue {
+				var (
+					isStale, isUnavail, isRej bool
+					err                       error
+				)
+				switch j.op {
+				case opDist:
+					isStale, isUnavail, isRej, err = tgt.dist(j.g, j.src)
+				case opPath:
+					isUnavail, err = tgt.path(j.g, j.src, j.dst)
+				case opMatrix:
+					s, t := matrixBlock(j, cfg.n)
+					isUnavail, err = tgt.matrix(j.g, s, t)
+				}
+				lat := time.Since(j.at)
+				switch {
+				case isRej:
+					rejected.Add(1)
+				case isUnavail:
+					unavailable.Add(1)
+				case err != nil:
+					errors.Add(1)
+				default:
+					if isStale {
+						stale.Add(1)
+					}
+					if j.at.After(cutoff) {
+						samples[c][j.op] = append(samples[c][j.op], lat.Microseconds())
+					}
+				}
+			}
+		}(c)
+	}
+
+	// Queue-depth sampler.
+	stopSample := make(chan struct{})
+	var depthMax, depthSum, depthCnt int64
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopSample:
+				return
+			case <-t.C:
+				d := int64(len(queue))
+				if d > depthMax {
+					depthMax = d
+				}
+				depthSum += d
+				depthCnt++
+			}
+		}
+	}()
+
+	// Reload storm.
+	stopReload := make(chan struct{})
+	var reloadWG sync.WaitGroup
+	if reloadFn != nil && cfg.reloadEvery > 0 {
+		reloadWG.Add(1)
+		go func() {
+			defer reloadWG.Done()
+			t := time.NewTicker(cfg.reloadEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopReload:
+					return
+				case <-t.C:
+					reloadFn()
+					res.Reloads++
+				}
+			}
+		}()
+	}
+
+	// Open-loop generator: arrivals are stamped with their scheduled
+	// instant, so queue wait behind saturated workers is charged to the
+	// response time — the open-loop discipline that makes tail latency
+	// honest (closed-loop generators self-throttle and hide it).
+	deadline := time.Now().Add(cfg.duration)
+	next := time.Now()
+	burstEnd := next.Add(200 * time.Millisecond)
+	for next.Before(deadline) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		j := w.next()
+		j.at = next
+		queue <- j
+		res.Arrivals++
+		next = next.Add(w.interarrival())
+		if cfg.bursty && next.After(burstEnd) {
+			next = burstEnd.Add(300 * time.Millisecond) // silence window
+			burstEnd = next.Add(200 * time.Millisecond)
+		}
+	}
+	close(queue)
+	wg.Wait()
+	close(stopSample)
+	sampleWG.Wait()
+	if reloadFn != nil && cfg.reloadEvery > 0 {
+		close(stopReload)
+		reloadWG.Wait()
+	}
+
+	for op := range opNames {
+		var all []int64
+		for c := range samples {
+			all = append(all, samples[c][op]...)
+		}
+		if len(all) == 0 {
+			continue
+		}
+		res.Routes[opNames[op]] = summarize(all)
+		res.Measured += int64(len(all))
+	}
+	res.Errors = errors.Load()
+	res.Unavailable = unavailable.Load()
+	res.Rejected = rejected.Load()
+	res.StaleServed = stale.Load()
+	res.QueueMaxDepth = int(depthMax)
+	if depthCnt > 0 {
+		res.QueueMeanDepth = float64(depthSum) / float64(depthCnt)
+	}
+	return res
+}
+
+// matrixBlock derives a deterministic 8×8 id block from the job's seeds
+// (workload generation must stay on the generator's single rng; workers
+// only expand what the job already pins).
+func matrixBlock(j job, n int) ([]int32, []int32) {
+	s := make([]int32, 8)
+	t := make([]int32, 8)
+	for i := range s {
+		s[i] = (j.src + int32(i)) % int32(n)
+		t[i] = (j.dst + int32(i)) % int32(n)
+	}
+	return s, t
+}
+
+func summarize(us []int64) RouteStats {
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	var sum int64
+	for _, v := range us {
+		sum += v
+	}
+	pct := func(q float64) int64 {
+		idx := int(q*float64(len(us))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(us) {
+			idx = len(us) - 1
+		}
+		return us[idx]
+	}
+	return RouteStats{
+		Count:  int64(len(us)),
+		MeanUs: float64(sum) / float64(len(us)),
+		P50Us:  pct(0.50),
+		P90Us:  pct(0.90),
+		P99Us:  pct(0.99),
+		P999Us: pct(0.999),
+		MaxUs:  us[len(us)-1],
+	}
+}
+
+// ---- in-process target ----
+
+type registryTarget struct {
+	reg   *oracle.Registry
+	names []string
+}
+
+func (t *registryTarget) dist(g int, source int32) (stale, unavailable, rejected bool, err error) {
+	res, err := t.reg.DistSWR(t.names[g], source)
+	if err != nil {
+		if errors.Is(err, oracle.ErrGraphNotReady) {
+			return false, true, false, nil
+		}
+		return false, false, false, err
+	}
+	return res.Stale, false, false, nil
+}
+
+func (t *registryTarget) path(g int, u, v int32) (bool, error) {
+	_, _, err := t.reg.Path(t.names[g], u, v)
+	if err != nil {
+		if errors.Is(err, oracle.ErrGraphNotReady) {
+			return true, nil
+		}
+		return false, err
+	}
+	return false, nil
+}
+
+func (t *registryTarget) matrix(g int, s, tv []int32) (bool, error) {
+	_, err := t.reg.Matrix(t.names[g], s, tv)
+	if err != nil {
+		if errors.Is(err, oracle.ErrGraphNotReady) {
+			return true, nil
+		}
+		return false, err
+	}
+	return false, nil
+}
+
+// runInProcess builds cfg.graphs engines in a fresh registry and drives
+// the workload at them.
+func runInProcess(cfg simConfig) (*Result, error) {
+	needPaths := cfg.pathFrac > 0
+	rcfg := oracle.RegistryConfig{
+		HotPairCache:  cfg.hotCache,
+		EngineOptions: []oracle.Option{oracle.WithDistCache(cfg.cache)},
+	}
+	if cfg.graphs > 1 {
+		// Eviction pressure: budget for roughly 1.5 of the N identical
+		// engines, measured off a probe build.
+		probe, err := buildProbe(cfg, needPaths)
+		if err != nil {
+			return nil, err
+		}
+		rcfg.MemoryBudget = probe.MemoryBytes() * 3 / 2
+	}
+	reg := oracle.NewRegistry(rcfg)
+	defer reg.Close()
+
+	names := make([]string, cfg.graphs)
+	for i := range names {
+		names[i] = fmt.Sprintf("g%d", i)
+		g := graph.Gnm(cfg.n, cfg.m, graph.UniformWeights(1, 8), cfg.seed+int64(i))
+		opts := []oracle.Option{oracle.WithEpsilon(cfg.eps)}
+		if needPaths {
+			opts = append(opts, oracle.WithPathReporting())
+		}
+		if err := reg.Add(names[i], oracle.GraphSource(g, opts...)); err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	for _, name := range names {
+		if err := reg.WaitReady(ctx, name); err != nil {
+			return nil, fmt.Errorf("build %s: %w", name, err)
+		}
+	}
+
+	tgt := &registryTarget{reg: reg, names: names}
+	var reloadFn func()
+	if cfg.reloadEvery > 0 {
+		reloadFn = func() { reg.Reload(names[0]) }
+	}
+	res := drive(cfg, tgt, reloadFn)
+
+	st := reg.Stats()
+	res.HotPair = st.HotPair
+	res.Evictions = st.Evictions
+	if es, err := reg.EngineStats(names[0]); err == nil {
+		if tot := es.DistCache.Hits + es.DistCache.Misses; tot > 0 {
+			res.CacheHitRate = float64(es.DistCache.Hits) / float64(tot)
+		}
+	}
+	return res, nil
+}
+
+func buildProbe(cfg simConfig, paths bool) (*oracle.Engine, error) {
+	g := graph.Gnm(cfg.n, cfg.m, graph.UniformWeights(1, 8), cfg.seed)
+	opts := []oracle.Option{oracle.WithEpsilon(cfg.eps)}
+	if paths {
+		opts = append(opts, oracle.WithPathReporting())
+	}
+	return oracle.New(g, opts...)
+}
+
+// ---- HTTP target ----
+
+type httpTarget struct {
+	base, graph string
+	client      *http.Client
+}
+
+func (t *httpTarget) do(req *http.Request) (unavail, rejected bool, err error) {
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+		return false, false, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return false, true, nil
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return true, false, nil
+	default:
+		return false, false, fmt.Errorf("status %s", resp.Status)
+	}
+}
+
+func (t *httpTarget) dist(_ int, source int32) (stale, unavailable, rejected bool, err error) {
+	u := fmt.Sprintf("%s/graphs/%s/dist?source=%d", t.base, t.graph, source)
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return false, false, false, err
+	}
+	unavailable, rejected, err = t.do(req)
+	return false, unavailable, rejected, err
+}
+
+func (t *httpTarget) path(_ int, u, v int32) (bool, error) {
+	url := fmt.Sprintf("%s/graphs/%s/path?from=%d&to=%d", t.base, t.graph, u, v)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	unavail, _, err := t.do(req)
+	return unavail, err
+}
+
+func (t *httpTarget) matrix(_ int, s, tv []int32) (bool, error) {
+	body, err := json.Marshal(map[string]any{"sources": s, "targets": tv})
+	if err != nil {
+		return false, err
+	}
+	u := fmt.Sprintf("%s/graphs/%s/matrix", t.base, t.graph)
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	unavail, _, err := t.do(req)
+	return unavail, err
+}
+
+func runHTTP(cfg simConfig, base, graph string) (*Result, error) {
+	tgt := &httpTarget{base: base, graph: graph, client: &http.Client{Timeout: 30 * time.Second}}
+	// Probe readiness once so a cold server doesn't drown the report in
+	// 503s.
+	if _, _, _, err := tgt.dist(0, 0); err != nil {
+		return nil, fmt.Errorf("probe %s: %w", base, err)
+	}
+	return drive(cfg, tgt, nil), nil
+}

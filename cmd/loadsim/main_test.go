@@ -1,0 +1,98 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSummarizeExactPercentiles pins the order statistics on a known
+// distribution: 99 fast samples and 1 slow one.
+func TestSummarizeExactPercentiles(t *testing.T) {
+	us := make([]int64, 0, 100)
+	for i := 0; i < 99; i++ {
+		us = append(us, 100)
+	}
+	us = append(us, 50_000)
+	s := summarize(us)
+	if s.Count != 100 || s.P50Us != 100 || s.P90Us != 100 || s.MaxUs != 50_000 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P999Us != 50_000 {
+		t.Fatalf("p999 = %d, want the tail sample", s.P999Us)
+	}
+	if s.MeanUs < 590 || s.MeanUs > 610 {
+		t.Fatalf("mean = %.1f, want ≈599", s.MeanUs)
+	}
+}
+
+// TestWorkloadDeterminism: the same seed replays the same stream — the
+// property that makes pre/post -compare runs see identical workloads.
+func TestWorkloadDeterminism(t *testing.T) {
+	cfg := simConfig{profile: "mixed", rate: 100, n: 1000, graphs: 3,
+		zipfS: 1.2, pathFrac: 0.15, matrixFrac: 0.05, seed: 7}
+	a, b := newWorkload(cfg), newWorkload(cfg)
+	for i := 0; i < 2000; i++ {
+		ja, jb := a.next(), b.next()
+		if ja != jb {
+			t.Fatalf("job %d diverged: %+v vs %+v", i, ja, jb)
+		}
+		da, db := a.interarrival(), b.interarrival()
+		if da != db {
+			t.Fatalf("interarrival %d diverged: %v vs %v", i, da, db)
+		}
+	}
+}
+
+// TestWorkloadZipfSkew: with s=1.2 the most popular source must dominate
+// a uniform pick by a wide margin.
+func TestWorkloadZipfSkew(t *testing.T) {
+	cfg := simConfig{rate: 100, n: 4096, graphs: 1, zipfS: 1.2, seed: 1}
+	w := newWorkload(cfg)
+	counts := map[int32]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[w.source()]++
+	}
+	if top := counts[0]; top < draws/20 {
+		t.Fatalf("top source drew %d of %d, want heavy skew (uniform would be ~%d)", top, draws, draws/4096)
+	}
+	// Uniform profile (zipfS = 0) must not skew.
+	w = newWorkload(simConfig{rate: 100, n: 4096, graphs: 1, seed: 1})
+	counts = map[int32]int{}
+	for i := 0; i < draws; i++ {
+		counts[w.source()]++
+	}
+	for s, c := range counts {
+		if c > draws/100 {
+			t.Fatalf("uniform source %d drew %d of %d", s, c, draws)
+		}
+	}
+}
+
+// TestMatrixBlockInRange: expanded matrix ids stay inside [0, n).
+func TestMatrixBlockInRange(t *testing.T) {
+	s, tv := matrixBlock(job{src: 1020, dst: 1023}, 1024)
+	if len(s) != 8 || len(tv) != 8 {
+		t.Fatalf("block sizes %d×%d", len(s), len(tv))
+	}
+	for _, v := range append(append([]int32{}, s...), tv...) {
+		if v < 0 || v >= 1024 {
+			t.Fatalf("id %d out of range", v)
+		}
+	}
+}
+
+// TestInterarrivalMean: Poisson inter-arrivals must average 1/rate.
+func TestInterarrivalMean(t *testing.T) {
+	cfg := simConfig{rate: 1000, n: 10, graphs: 1, seed: 3}
+	w := newWorkload(cfg)
+	var sum time.Duration
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		sum += w.interarrival()
+	}
+	mean := sum / draws
+	if mean < 900*time.Microsecond || mean > 1100*time.Microsecond {
+		t.Fatalf("mean interarrival %v, want ≈1ms", mean)
+	}
+}

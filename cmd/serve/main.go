@@ -39,10 +39,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -51,11 +54,13 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/graphio"
+	"repro/internal/admission"
 	"repro/internal/graph"
 	"repro/oracle"
 	"repro/shard"
@@ -81,7 +86,8 @@ func main() {
 		workers  = flag.Int("build-workers", 0, "bound on concurrent background builds (0 = auto)")
 		budget   = flag.Int64("mem-budget", 0, "memory budget in bytes for resident engines (0 = unlimited)")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain bound for in-flight requests")
-		inflight = flag.Int("max-inflight", 0, "admission limit on concurrently served dist/path queries; excess gets 429 + Retry-After (0 = unlimited)")
+		inflight = flag.Int("max-inflight", 0, "admission limit on in-flight query cost units (a /matrix costs sources×targets); excess gets 429 + Retry-After (0 = unlimited)")
+		hotCache = flag.Int("hot-cache", 4096, "registry hot-pair result cache capacity in rows; /dist serves stale rows across hot reloads while the new engine warms (0 = off)")
 		shardTgt = flag.Int64("shard-target-bytes", 0, "serve graphs sharded, with the shard count derived from this per-shard engine memory target (0 = monolithic)")
 	)
 	flag.Parse()
@@ -89,6 +95,7 @@ func main() {
 	reg := oracle.NewRegistry(oracle.RegistryConfig{
 		BuildWorkers: *workers,
 		MemoryBudget: *budget,
+		HotPairCache: *hotCache,
 		EngineOptions: []oracle.Option{
 			oracle.WithDistCache(*cache),
 			oracle.WithBatchWindow(*batch),
@@ -322,30 +329,64 @@ func addGraphDir(reg *oracle.Registry, dir string, eps float64, paths bool, shar
 	return names, nil
 }
 
-// withAdmission bounds concurrently served dist/path queries with a
-// semaphore: requests beyond limit are refused immediately with 429 and
-// a Retry-After hint instead of queueing without bound, so overload
+// withAdmission bounds in-flight query work with a weighted admission
+// limiter: -max-inflight counts cost units, a point query (/dist, /path)
+// is 1 unit and an S×T /matrix is S·T units — the engine work it buys —
+// so one big matrix cannot occupy the same admission slot as a scalar
+// lookup. Requests beyond the limit are refused immediately with 429 and
+// a Retry-After derived from the observed drain rate (see
+// internal/admission) instead of queueing without bound, so overload
 // degrades predictably instead of piling latency onto every client.
 // Status and listing routes are never limited. limit ≤ 0 disables.
 func withAdmission(h http.Handler, limit int) http.Handler {
-	if limit <= 0 {
+	lim := admission.New(limit)
+	if lim == nil {
 		return h
 	}
-	sem := make(chan struct{}, limit)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !isQueryRoute(r.URL.Path) {
 			h.ServeHTTP(w, r)
 			return
 		}
-		select {
-		case sem <- struct{}{}:
-			defer func() { <-sem }()
-			h.ServeHTTP(w, r)
-		default:
-			w.Header().Set("Retry-After", "1")
+		cost := requestCost(r)
+		if !lim.TryAcquire(cost) {
+			secs := int64(lim.RetryAfter(cost) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 			http.Error(w, "query capacity exhausted (-max-inflight)", http.StatusTooManyRequests)
+			return
 		}
+		defer lim.Release(cost)
+		h.ServeHTTP(w, r)
 	})
+}
+
+// maxCostPeek bounds how much of a /matrix body the admission layer
+// reads to price the request; it matches the handler's own body cap.
+const maxCostPeek = 1 << 20
+
+// requestCost prices one admitted request in cost units. Matrix bodies
+// are peeked (and restored for the handler): an unparseable or empty
+// body prices at 1 and is then rejected downstream with a 400 — pricing
+// must never consume the body for good or invent cost out of garbage.
+func requestCost(r *http.Request) int64 {
+	if !strings.HasSuffix(r.URL.Path, "/matrix") || r.Body == nil {
+		return 1
+	}
+	body, _ := io.ReadAll(io.LimitReader(r.Body, maxCostPeek))
+	r.Body.Close()
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	var req struct {
+		Sources []int32 `json:"sources"`
+		Targets []int32 `json:"targets"`
+	}
+	if json.Unmarshal(body, &req) != nil {
+		return 1
+	}
+	cost := int64(len(req.Sources)) * int64(len(req.Targets))
+	if cost < 1 {
+		return 1
+	}
+	return cost
 }
 
 // isQueryRoute marks the engine-work routes the admission limiter guards:

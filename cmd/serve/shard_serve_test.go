@@ -229,3 +229,32 @@ func TestIsQueryRoute(t *testing.T) {
 		}
 	}
 }
+
+// TestRequestCostMatrix pins the admission pricing: a point query is 1
+// unit, an S×T matrix is S·T units — and pricing must peek the body
+// without consuming it (the handler still needs to decode it).
+func TestRequestCostMatrix(t *testing.T) {
+	if got := requestCost(httptest.NewRequest("GET", "/graphs/g/dist?source=0", nil)); got != 1 {
+		t.Fatalf("dist cost = %d, want 1", got)
+	}
+	body := `{"sources":[1,2,3],"targets":[4,5,6,7]}`
+	req := httptest.NewRequest("POST", "/graphs/g/matrix", bytes.NewBufferString(body))
+	if got := requestCost(req); got != 12 {
+		t.Fatalf("matrix cost = %d, want 12 (3×4)", got)
+	}
+	restored := new(bytes.Buffer)
+	if _, err := restored.ReadFrom(req.Body); err != nil {
+		t.Fatal(err)
+	}
+	if restored.String() != body {
+		t.Fatalf("body not restored after pricing: %q", restored.String())
+	}
+	// Garbage bodies price at 1 — the handler rejects them with a 400.
+	if got := requestCost(httptest.NewRequest("POST", "/graphs/g/matrix", bytes.NewBufferString("not json"))); got != 1 {
+		t.Fatalf("garbage matrix cost = %d, want 1", got)
+	}
+	// Empty source/target lists never price at 0.
+	if got := requestCost(httptest.NewRequest("POST", "/graphs/g/matrix", bytes.NewBufferString(`{"sources":[],"targets":[]}`))); got != 1 {
+		t.Fatalf("empty matrix cost = %d, want 1", got)
+	}
+}

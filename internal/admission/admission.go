@@ -1,0 +1,202 @@
+// Package admission is the serve-path overload gate: a weighted
+// admission limiter that refuses work beyond a configured number of
+// in-flight cost units instead of queueing it, plus a drain-rate
+// estimator that turns "how fast is capacity freeing up" into an honest
+// Retry-After hint.
+//
+// Costs are per-request work units: a point query (/dist, /path) is 1
+// unit, a many-to-many /matrix of S sources × T targets is S·T units —
+// the engine work it actually buys. A fixed per-request semaphore would
+// let one 64×64 matrix occupy the same admission slot as one scalar
+// lookup, so under load a handful of matrix calls could monopolize the
+// engines while the limiter still reported headroom.
+//
+// Refused requests get a Retry-After derived from the observed drain
+// rate (cost units released per second over a short sliding window)
+// rather than a constant: when the server is draining 500 units/s a
+// refused unit-cost query can retry almost immediately, while a refused
+// 4096-unit matrix behind a saturated server is told to back off for the
+// seconds it will actually take for that much capacity to free up.
+// Clients should add jitter (see the README) so synchronized retries do
+// not re-stampede the exact Retry-After boundary.
+package admission
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ringSeconds is the sliding window of the drain-rate estimator. Small on
+// purpose: admission decisions should track the last few seconds of
+// behaviour, not the lifetime average.
+const ringSeconds = 8
+
+// Limiter admits work up to a fixed number of concurrently in-flight
+// cost units. A nil *Limiter admits everything (all methods are
+// nil-safe no-ops), so callers never branch on configuration.
+type Limiter struct {
+	limit    int64
+	inflight atomic.Int64
+	rejected atomic.Int64
+	admitted atomic.Int64
+
+	// Drain-rate ring: one slot per wall-clock second, holding the cost
+	// units released during that second. Slots are lazily reset when the
+	// second rolls over; the reset races are benign (the estimate is an
+	// approximation by design).
+	ring [ringSeconds]ringSlot
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+type ringSlot struct {
+	sec   atomic.Int64
+	units atomic.Int64
+}
+
+// New returns a limiter admitting up to limit in-flight cost units, or
+// nil (unlimited) when limit ≤ 0.
+func New(limit int) *Limiter {
+	if limit <= 0 {
+		return nil
+	}
+	return &Limiter{limit: int64(limit), now: time.Now}
+}
+
+// Limit returns the configured capacity (0 for a nil limiter).
+func (l *Limiter) Limit() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.limit
+}
+
+// Inflight returns the currently admitted cost units.
+func (l *Limiter) Inflight() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.inflight.Load()
+}
+
+// TryAcquire admits cost units if they fit, without blocking. cost is
+// clamped to [1, limit]: a request costing more than the whole capacity
+// (an oversized matrix) is admitted when the limiter is otherwise empty
+// rather than being unadmittable forever.
+func (l *Limiter) TryAcquire(cost int64) bool {
+	if l == nil {
+		return true
+	}
+	cost = l.clamp(cost)
+	for {
+		cur := l.inflight.Load()
+		if cur+cost > l.limit {
+			l.rejected.Add(1)
+			return false
+		}
+		if l.inflight.CompareAndSwap(cur, cur+cost) {
+			l.admitted.Add(1)
+			return true
+		}
+	}
+}
+
+// Release returns cost units and credits them to the drain-rate window.
+// Must be called exactly once per successful TryAcquire, with the same
+// cost.
+func (l *Limiter) Release(cost int64) {
+	if l == nil {
+		return
+	}
+	cost = l.clamp(cost)
+	l.inflight.Add(-cost)
+	sec := l.now().Unix()
+	slot := &l.ring[sec%ringSeconds]
+	if old := slot.sec.Load(); old != sec {
+		if slot.sec.CompareAndSwap(old, sec) {
+			slot.units.Store(0)
+		}
+	}
+	slot.units.Add(cost)
+}
+
+// drainRate returns the observed cost units released per second over the
+// last few complete seconds (0 when nothing has drained recently).
+func (l *Limiter) drainRate() float64 {
+	sec := l.now().Unix()
+	var units int64
+	var seconds int64
+	for i := range l.ring {
+		s := l.ring[i].sec.Load()
+		// Current partial second excluded: it would bias the rate low
+		// right after a second rolls over.
+		if s >= sec-int64(ringSeconds)+1 && s < sec {
+			units += l.ring[i].units.Load()
+			seconds++
+		}
+	}
+	if seconds == 0 || units == 0 {
+		return 0
+	}
+	return float64(units) / float64(seconds)
+}
+
+// RetryAfter estimates how long a refused request of the given cost
+// should wait before retrying: the units that must drain before it fits,
+// divided by the observed drain rate, clamped to [1s, 30s]. With no
+// recent drain observations it returns 1s — the optimistic constant the
+// old fixed hint used.
+func (l *Limiter) RetryAfter(cost int64) time.Duration {
+	if l == nil {
+		return 0
+	}
+	cost = l.clamp(cost)
+	need := l.inflight.Load() + cost - l.limit
+	if need <= 0 {
+		return time.Second
+	}
+	rate := l.drainRate()
+	if rate <= 0 {
+		return time.Second
+	}
+	secs := time.Duration(float64(time.Second) * float64(need) / rate)
+	if secs < time.Second {
+		return time.Second
+	}
+	if secs > 30*time.Second {
+		return 30 * time.Second
+	}
+	return secs.Round(time.Second)
+}
+
+// Stats is a point-in-time snapshot of the limiter.
+type Stats struct {
+	Limit    int64 `json:"limit"`
+	Inflight int64 `json:"inflight"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Stats returns the limiter counters (zero for a nil limiter).
+func (l *Limiter) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	return Stats{
+		Limit:    l.limit,
+		Inflight: l.inflight.Load(),
+		Admitted: l.admitted.Load(),
+		Rejected: l.rejected.Load(),
+	}
+}
+
+func (l *Limiter) clamp(cost int64) int64 {
+	if cost < 1 {
+		return 1
+	}
+	if cost > l.limit {
+		return l.limit
+	}
+	return cost
+}

@@ -1,0 +1,141 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock pins the limiter's notion of "now" for drain-rate tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestNilLimiterAdmitsEverything(t *testing.T) {
+	var l *Limiter = New(0)
+	if l != nil {
+		t.Fatal("New(0) should be nil (unlimited)")
+	}
+	if !l.TryAcquire(1_000_000) {
+		t.Fatal("nil limiter refused")
+	}
+	l.Release(1_000_000)
+	if l.RetryAfter(1) != 0 || l.Inflight() != 0 || l.Limit() != 0 {
+		t.Fatal("nil limiter methods not no-ops")
+	}
+}
+
+// TestWeightedAdmission: costs count against the limit as units, not
+// requests — a 6-unit matrix and a 4-unit matrix fill a 10-unit limiter,
+// a 1-unit query is then refused, and releasing the 6 re-admits it.
+func TestWeightedAdmission(t *testing.T) {
+	l := New(10)
+	if !l.TryAcquire(6) || !l.TryAcquire(4) {
+		t.Fatal("initial acquires refused")
+	}
+	if l.TryAcquire(1) {
+		t.Fatal("acquire beyond limit admitted")
+	}
+	if got := l.Inflight(); got != 10 {
+		t.Fatalf("inflight = %d, want 10", got)
+	}
+	l.Release(6)
+	if !l.TryAcquire(1) {
+		t.Fatal("acquire after release refused")
+	}
+	st := l.Stats()
+	if st.Admitted != 3 || st.Rejected != 1 || st.Inflight != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestOversizedCostClamped: a request costing more than the whole limit
+// is clamped to the limit — admittable on an empty limiter, never
+// permanently starved.
+func TestOversizedCostClamped(t *testing.T) {
+	l := New(8)
+	if !l.TryAcquire(100) {
+		t.Fatal("oversized request on empty limiter refused")
+	}
+	if l.TryAcquire(1) {
+		t.Fatal("limiter should be full")
+	}
+	l.Release(100)
+	if got := l.Inflight(); got != 0 {
+		t.Fatalf("inflight after symmetric release = %d, want 0", got)
+	}
+}
+
+// TestRetryAfterFromDrainRate: the hint tracks the observed drain. With
+// ~100 units/s draining and 50 units needed, the wait is 1s (clamped
+// floor); with 5 units/s and 50 needed it is ~10s.
+func TestRetryAfterFromDrainRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := New(50)
+	l.now = clk.now
+
+	// Saturate.
+	if !l.TryAcquire(50) {
+		t.Fatal("saturating acquire refused")
+	}
+	// No drain observed yet: optimistic 1s default.
+	if got := l.RetryAfter(1); got != time.Second {
+		t.Fatalf("retry-after with no history = %v, want 1s", got)
+	}
+	// Drain 5 units/s for 4 seconds (re-acquiring to stay saturated).
+	for i := 0; i < 4; i++ {
+		clk.advance(time.Second)
+		l.Release(5)
+		if !l.TryAcquire(5) {
+			t.Fatal("re-acquire refused")
+		}
+	}
+	clk.advance(time.Second)
+	// Need 50 units at ~5 units/s ≈ 10s.
+	got := l.RetryAfter(50)
+	if got < 5*time.Second || got > 20*time.Second {
+		t.Fatalf("retry-after = %v, want ≈10s", got)
+	}
+	// A cheap query needs only 1 unit ≈ 1s at 5 units/s (floor 1s).
+	if got := l.RetryAfter(1); got != time.Second {
+		t.Fatalf("cheap retry-after = %v, want 1s", got)
+	}
+}
+
+// TestConcurrentAcquireRelease races admissions (run with -race): the
+// invariant inflight ∈ [0, limit] must hold throughout and settle at 0.
+func TestConcurrentAcquireRelease(t *testing.T) {
+	l := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(cost int64) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if l.TryAcquire(cost) {
+					if in := l.Inflight(); in < 0 || in > 16 {
+						t.Errorf("inflight %d out of [0,16]", in)
+					}
+					l.Release(cost)
+				}
+			}
+		}(int64(g%3 + 1))
+	}
+	wg.Wait()
+	if got := l.Inflight(); got != 0 {
+		t.Fatalf("inflight settled at %d, want 0", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package hist is a fixed-bucket, allocation-free latency histogram for
+// the serving path: Observe is a handful of atomic adds (safe from any
+// number of goroutines, never allocates, never locks), and Snapshot folds
+// the buckets into the p50/p90/p99/p999 summary the stats endpoints
+// expose. No external dependencies.
+//
+// Buckets are log-linear (HDR-style): values are recorded in microseconds,
+// each power-of-two octave is split into 4 linear quarters, so every
+// bucket's width is at most 25% of its lower bound — quantile estimates
+// are conservative (bucket upper bound) and within ~25% of exact, which
+// is plenty to see a tail move by 1.5×.
+package hist
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Bucket layout: values are microseconds, capped at maxOctave octaves.
+//   - v in [0,4):  bucket v (exact)
+//   - v in [2^(o-1), 2^o), o ≥ 3: 4 linear quarters per octave
+//
+// maxOctave 40 covers ~2^39 µs ≈ 6.4 days in the last octave; anything
+// larger lands in the final bucket.
+const (
+	maxOctave  = 40
+	numBuckets = 4 + (maxOctave-2)*4
+)
+
+// Histogram is a concurrent fixed-bucket latency histogram. The zero
+// value is ready to use. Must not be copied after first use.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sumUs  atomic.Int64
+	maxUs  atomic.Int64
+}
+
+// bucketFor maps a microsecond value to its bucket index.
+func bucketFor(us int64) int {
+	if us < 4 {
+		if us < 0 {
+			return 0
+		}
+		return int(us)
+	}
+	o := bits.Len64(uint64(us)) // us in [2^(o-1), 2^o), o ≥ 3
+	if o > maxOctave {
+		return numBuckets - 1
+	}
+	quarter := (us - 1<<(o-1)) >> (o - 3)
+	return 4 + (o-3)*4 + int(quarter)
+}
+
+// bucketUpperUs is the inclusive upper bound of bucket b in microseconds —
+// the value Snapshot reports for a quantile landing in b.
+func bucketUpperUs(b int) int64 {
+	if b < 4 {
+		return int64(b)
+	}
+	o := (b-4)/4 + 3
+	quarter := int64((b - 4) % 4)
+	return 1<<(o-1) + (quarter+1)<<(o-3) - 1
+}
+
+// Observe records one duration. Allocation-free and lock-free.
+func (h *Histogram) Observe(d time.Duration) {
+	us := int64(d / time.Microsecond)
+	if us < 0 {
+		us = 0
+	}
+	h.counts[bucketFor(us)].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	for {
+		cur := h.maxUs.Load()
+		if us <= cur || h.maxUs.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Snapshot is the JSON-facing summary of one histogram: counts and
+// microsecond quantiles (bucket upper bounds, so estimates never
+// understate the tail).
+type Snapshot struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  int64   `json:"p50_us"`
+	P90Us  int64   `json:"p90_us"`
+	P99Us  int64   `json:"p99_us"`
+	P999Us int64   `json:"p999_us"`
+	MaxUs  int64   `json:"max_us"`
+}
+
+// Snapshot folds the buckets into quantiles. Concurrent Observes may or
+// may not be included; the snapshot is internally consistent enough for
+// monitoring (quantiles come from one pass over the bucket counters).
+func (h *Histogram) Snapshot() Snapshot {
+	var counts [numBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s := Snapshot{Count: total, MaxUs: h.maxUs.Load()}
+	if total == 0 {
+		return s
+	}
+	s.MeanUs = float64(h.sumUs.Load()) / float64(total)
+	quantile := func(q float64) int64 {
+		rank := int64(q * float64(total))
+		if rank >= total {
+			rank = total - 1
+		}
+		var seen int64
+		for b, c := range counts {
+			seen += c
+			if seen > rank {
+				up := bucketUpperUs(b)
+				if up > s.MaxUs {
+					return s.MaxUs
+				}
+				return up
+			}
+		}
+		return s.MaxUs
+	}
+	s.P50Us = quantile(0.50)
+	s.P90Us = quantile(0.90)
+	s.P99Us = quantile(0.99)
+	s.P999Us = quantile(0.999)
+	return s
+}

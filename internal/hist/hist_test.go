@@ -1,0 +1,106 @@
+package hist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundsRoundTrip pins the bucket layout: every bucket's upper
+// bound maps back to that bucket, bounds are strictly increasing, and a
+// value one past the bound lands in the next bucket.
+func TestBucketBoundsRoundTrip(t *testing.T) {
+	prev := int64(-1)
+	for b := 0; b < numBuckets; b++ {
+		up := bucketUpperUs(b)
+		if up <= prev {
+			t.Fatalf("bucket %d upper %d not increasing (prev %d)", b, up, prev)
+		}
+		if got := bucketFor(up); got != b {
+			t.Fatalf("bucketFor(upper(%d)=%d) = %d", b, up, got)
+		}
+		if b+1 < numBuckets {
+			if got := bucketFor(up + 1); got != b+1 {
+				t.Fatalf("bucketFor(%d) = %d, want %d", up+1, got, b+1)
+			}
+		}
+		prev = up
+	}
+	// Overflow past the last octave saturates instead of panicking.
+	if got := bucketFor(1 << 62); got != numBuckets-1 {
+		t.Fatalf("overflow bucket = %d, want %d", got, numBuckets-1)
+	}
+	if got := bucketFor(-5); got != 0 {
+		t.Fatalf("negative bucket = %d, want 0", got)
+	}
+}
+
+// TestQuantiles checks the summary against a known distribution: 1000
+// observations at 100µs and 10 at 100ms. p50/p90 sit in the bulk, p99 and
+// above see the tail; estimates may only overshoot (bucket upper bound),
+// never undershoot, and by at most 25%.
+func TestQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1010 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	within := func(name string, got, exact int64) {
+		t.Helper()
+		if got < exact || float64(got) > float64(exact)*1.25+1 {
+			t.Fatalf("%s = %dµs, want within [%d, %d]", name, got, exact, int64(float64(exact)*1.25)+1)
+		}
+	}
+	within("p50", s.P50Us, 100)
+	within("p90", s.P90Us, 100)
+	within("p999", s.P999Us, 100_000)
+	if s.MaxUs != 100_000 {
+		t.Fatalf("max = %dµs", s.MaxUs)
+	}
+	if s.MeanUs < 100 || s.MeanUs > 1200 {
+		t.Fatalf("mean = %.1fµs out of range", s.MeanUs)
+	}
+}
+
+// TestConcurrentObserve hammers Observe from many goroutines (run with
+// -race) and checks nothing is lost.
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const G, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != G*per {
+		t.Fatalf("count = %d, want %d", s.Count, G*per)
+	}
+}
+
+// TestObserveAllocs pins the hot path at zero allocations.
+func TestObserveAllocs(t *testing.T) {
+	var h Histogram
+	if a := testing.AllocsPerRun(100, func() { h.Observe(42 * time.Microsecond) }); a != 0 {
+		t.Fatalf("Observe allocates %.1f/op, want 0", a)
+	}
+}
+
+// TestEmptySnapshot: a fresh histogram reports zeros, not garbage.
+func TestEmptySnapshot(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}

@@ -1,0 +1,68 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// Allocation gates for the warm (cache-hit) query path. These are the
+// serve-path budgets DESIGN.md documents: a steady-state point query must
+// not touch the garbage collector at all, and the multi-query surfaces
+// may allocate only their result containers. The gates are ceilings (≤),
+// pinned slightly above the measured values so an accidental map, closure
+// capture, or interface boxing on the hot path fails loudly in CI while
+// runtime-version noise does not.
+func TestWarmQueryAllocs(t *testing.T) {
+	g := testGraph(t, 300)
+	eng, err := New(g, WithEpsilon(0.25), WithDistCache(16), WithPathReporting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int32{0, 5, 17, 42}
+
+	// Warm every cache the gated calls will hit.
+	for _, s := range sources {
+		if _, err := eng.Dist(s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Tree(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.MultiSource(sources); err != nil {
+		t.Fatal(err)
+	}
+
+	gate := func(name string, limit float64, fn func()) {
+		t.Helper()
+		if a := testing.AllocsPerRun(200, fn); a > limit {
+			t.Errorf("%s allocates %.1f/op on the warm path, budget %.0f", name, a, limit)
+		}
+	}
+
+	// Cache-hit Dist returns the shared cached row: zero allocations,
+	// gated at ≤2 for headroom across runtime versions.
+	gate("Dist(warm)", 2, func() {
+		if _, err := eng.Dist(sources[0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	gate("DistTo(warm)", 2, func() {
+		if _, err := eng.DistTo(sources[0], 123); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// All-hit MultiSource allocates exactly the out slice (missIdx is
+	// lazy): 1 measured, gated at ≤2.
+	gate("MultiSource(warm)", 2, func() {
+		if _, err := eng.MultiSource(sources); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Cache-hit Path: the tree is shared, PathTo builds the exact-size
+	// path slice in one allocation (two-pass depth measurement).
+	gate("Path(warm)", 2, func() {
+		if _, _, err := eng.Path(sources[0], 123); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -4,11 +4,34 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/hist"
 	"repro/internal/hopset"
 	"repro/internal/lru"
 )
+
+// LatencySnapshot is the per-route latency summary exposed by Stats (the
+// shared internal/hist shape: count, mean, p50/p90/p99/p999/max in µs).
+type LatencySnapshot = hist.Snapshot
+
+// Latency-histogram routes. One fixed-bucket histogram per query surface,
+// recorded at the Engine API boundary, so server-side tails are
+// observable from /stats without an external load generator attached.
+const (
+	latDist = iota
+	latMulti
+	latMatrix
+	latNearest
+	latPath
+	latTree
+	numLatRoutes
+)
+
+// latRouteNames index the Stats.Latency map; they match the HTTP verb
+// that lands on each surface.
+var latRouteNames = [numLatRoutes]string{"dist", "multi", "matrix", "nearest", "path", "tree"}
 
 // Engine is a build-once / query-many distance oracle. All methods are
 // safe for concurrent use: the hopset and adjacency built by the
@@ -33,6 +56,11 @@ type Engine struct {
 
 	distFlight flight[[]float64]
 	treeFlight flight[*Tree]
+
+	// lat holds one serve-side latency histogram per query route,
+	// recorded on every public query call (hits and misses alike), so
+	// the cache-hit floor and the exploration tail are both visible.
+	lat [numLatRoutes]hist.Histogram
 
 	distQueries    atomic.Int64
 	multiQueries   atomic.Int64
@@ -145,6 +173,16 @@ func (e *Engine) checkVertex(v int32) error {
 // misses when a batch window is configured — and cached. The returned
 // slice is shared: do not modify it.
 func (e *Engine) Dist(source int32) ([]float64, error) {
+	if e == nil {
+		return nil, ErrNotBuilt
+	}
+	start := time.Now()
+	d, err := e.dist(source)
+	e.lat[latDist].Observe(time.Since(start))
+	return d, err
+}
+
+func (e *Engine) dist(source int32) ([]float64, error) {
 	if err := e.ready(); err != nil {
 		return nil, err
 	}
@@ -189,6 +227,16 @@ func (e *Engine) DistTo(source, target int32) (float64, error) {
 // the remaining sources share one multi-source call whose rows are
 // computed concurrently. Rows are shared: do not modify them.
 func (e *Engine) MultiSource(sources []int32) ([][]float64, error) {
+	if e == nil {
+		return nil, ErrNotBuilt
+	}
+	start := time.Now()
+	rows, err := e.multiSource(sources)
+	e.lat[latMulti].Observe(time.Since(start))
+	return rows, err
+}
+
+func (e *Engine) multiSource(sources []int32) ([][]float64, error) {
 	if err := e.ready(); err != nil {
 		return nil, err
 	}
@@ -203,11 +251,16 @@ func (e *Engine) MultiSource(sources []int32) ([][]float64, error) {
 	e.multiQueries.Add(1)
 	out := make([][]float64, len(sources))
 	var missing []int32
-	missIdx := make(map[int32][]int)
+	// missIdx is allocated lazily: the steady-state all-hit call touches
+	// only the cache, keeping the warm path at one allocation (out).
+	var missIdx map[int32][]int
 	for i, s := range sources {
 		if d, ok := e.distCache.Get(s); ok {
 			out[i] = d
 			continue
+		}
+		if missIdx == nil {
+			missIdx = make(map[int32][]int)
 		}
 		if len(missIdx[s]) == 0 {
 			missing = append(missing, s)
@@ -248,6 +301,16 @@ func (e *Engine) MultiSource(sources []int32) ([][]float64, error) {
 // distance cache, so a matrix query warms the same cache point queries
 // hit. Every entry equals the corresponding DistTo answer bit for bit.
 func (e *Engine) Matrix(sources, targets []int32) ([][]float64, error) {
+	if e == nil {
+		return nil, ErrNotBuilt
+	}
+	start := time.Now()
+	rows, err := e.matrix(sources, targets)
+	e.lat[latMatrix].Observe(time.Since(start))
+	return rows, err
+}
+
+func (e *Engine) matrix(sources, targets []int32) ([][]float64, error) {
 	if err := e.ready(); err != nil {
 		return nil, err
 	}
@@ -267,11 +330,14 @@ func (e *Engine) Matrix(sources, targets []int32) ([][]float64, error) {
 	e.matrixQueries.Add(1)
 	full := make([][]float64, len(sources))
 	var missing []int32
-	missIdx := make(map[int32][]int)
+	var missIdx map[int32][]int // lazy, as in multiSource
 	for i, s := range sources {
 		if d, ok := e.distCache.Get(s); ok {
 			full[i] = d
 			continue
+		}
+		if missIdx == nil {
+			missIdx = make(map[int32][]int)
 		}
 		if len(missIdx[s]) == 0 {
 			missing = append(missing, s)
@@ -304,6 +370,16 @@ func (e *Engine) Matrix(sources, targets []int32) ([][]float64, error) {
 // the given sources, as one joint exploration (never cached — the result
 // depends on the whole source set).
 func (e *Engine) Nearest(sources []int32) ([]float64, error) {
+	if e == nil {
+		return nil, ErrNotBuilt
+	}
+	start := time.Now()
+	d, err := e.nearest(sources)
+	e.lat[latNearest].Observe(time.Since(start))
+	return d, err
+}
+
+func (e *Engine) nearest(sources []int32) ([]float64, error) {
 	if err := e.ready(); err != nil {
 		return nil, err
 	}
@@ -327,6 +403,16 @@ func (e *Engine) Nearest(sources []int32) ([]float64, error) {
 // boundaries; like Nearest, results are never cached (they depend on the
 // whole seeded set).
 func (e *Engine) NearestWithOffsets(sources []int32, offsets []float64) ([]float64, error) {
+	if e == nil {
+		return nil, ErrNotBuilt
+	}
+	start := time.Now()
+	d, err := e.nearestWithOffsets(sources, offsets)
+	e.lat[latNearest].Observe(time.Since(start))
+	return d, err
+}
+
+func (e *Engine) nearestWithOffsets(sources []int32, offsets []float64) ([]float64, error) {
 	if err := e.ready(); err != nil {
 		return nil, err
 	}
@@ -346,6 +432,16 @@ func (e *Engine) NearestWithOffsets(sources []int32, offsets []float64) ([]float
 // with every tree edge drawn from the original graph (Theorem 4.6).
 // Requires WithPathReporting. Trees are cached and shared: read-only.
 func (e *Engine) Tree(source int32) (*Tree, error) {
+	if e == nil {
+		return nil, ErrNotBuilt
+	}
+	start := time.Now()
+	t, err := e.tree(source)
+	e.lat[latTree].Observe(time.Since(start))
+	return t, err
+}
+
+func (e *Engine) tree(source int32) (*Tree, error) {
 	if err := e.ready(); err != nil {
 		return nil, err
 	}
@@ -380,13 +476,23 @@ func (e *Engine) Tree(source int32) (*Tree, error) {
 // is read out of the (cached) shortest-path tree rooted at u; a nil path
 // with +Inf length means v is unreachable. Requires WithPathReporting.
 func (e *Engine) Path(u, v int32) ([]int32, float64, error) {
+	if e == nil {
+		return nil, 0, ErrNotBuilt
+	}
+	start := time.Now()
+	p, d, err := e.path(u, v)
+	e.lat[latPath].Observe(time.Since(start))
+	return p, d, err
+}
+
+func (e *Engine) path(u, v int32) ([]int32, float64, error) {
 	if err := e.ready(); err != nil {
 		return nil, 0, err
 	}
 	if err := e.checkVertex(v); err != nil {
 		return nil, 0, err
 	}
-	t, err := e.Tree(u)
+	t, err := e.tree(u)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -443,6 +549,13 @@ type Stats struct {
 	// means the window is actually coalescing.
 	BatchOccupancy []int64 `json:"batch_occupancy,omitempty"`
 
+	// Latency maps each query route ("dist", "multi", "matrix",
+	// "nearest", "path", "tree") to its serve-side latency summary —
+	// fixed-bucket histograms recorded at the API boundary, so p50/p99
+	// tails are observable from /stats without a load generator
+	// attached. Routes that never served a query are omitted.
+	Latency map[string]LatencySnapshot `json:"latency,omitempty"`
+
 	Relax RelaxStats `json:"relax"`
 
 	// Sharded is set only by sharded backends (package shard): partition
@@ -477,6 +590,14 @@ func (e *Engine) Stats() Stats {
 	if rs.Explorations > 0 {
 		st.Relax.ArcsPerExploration = float64(rs.ScannedArcs) / float64(rs.Explorations)
 	}
+	for i := range e.lat {
+		if snap := e.lat[i].Snapshot(); snap.Count > 0 {
+			if st.Latency == nil {
+				st.Latency = make(map[string]LatencySnapshot, numLatRoutes)
+			}
+			st.Latency[latRouteNames[i]] = snap
+		}
+	}
 	if e.batcher != nil {
 		st.Batches = e.batcher.batches.Load()
 		st.BatchedQueries = e.batcher.batched.Load()
@@ -504,22 +625,23 @@ type Tree struct {
 }
 
 // PathTo returns the tree path from the source to v (nil if unreachable).
+// Two passes — measure, then fill backwards — so the path is exactly one
+// allocation regardless of depth (it is on the warm serve path: the tree
+// is cached, the path slice is the only per-query memory).
 func (t *Tree) PathTo(v int32) []int32 {
 	if math.IsInf(t.Dist[v], 1) {
 		return nil
 	}
-	var rev []int32
-	for cur := v; ; cur = t.Parent[cur] {
-		rev = append(rev, cur)
-		if cur == t.Source {
-			break
-		}
-		if len(rev) > len(t.Parent) {
+	depth := 1
+	for cur := v; cur != t.Source; cur = t.Parent[cur] {
+		depth++
+		if depth > len(t.Parent)+1 {
 			return nil
 		}
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	path := make([]int32, depth)
+	for i, cur := depth-1, v; i >= 0; i, cur = i-1, t.Parent[cur] {
+		path[i] = cur
 	}
-	return rev
+	return path
 }

@@ -1,0 +1,214 @@
+package oracle
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// hotShards is the lock-striping factor of the hot-pair cache. Sixteen
+// shards keep the per-shard critical section (map lookup + clock store)
+// short enough that the cache never becomes the serialization point the
+// registry entry lock used to be on skewed workloads.
+const hotShards = 16
+
+// hotSampleSize bounds the eviction scan: instead of tracking an exact
+// LRU list (pointer churn on every hit), eviction samples this many
+// entries via Go's randomized map iteration and drops the
+// least-recently-used of the sample — the classic sampled-LRU
+// approximation (as in Redis), within a few percent of exact LRU hit
+// rates at a fraction of the bookkeeping.
+const hotSampleSize = 8
+
+// hotKey identifies one cached row: a graph name and a source vertex.
+// Rows, not (source, target) scalars, are the natural unit here — one
+// row answers every target for its source, so Zipf-popular sources
+// amortize across all their targets.
+type hotKey struct {
+	name   string
+	source int32
+}
+
+// hotEntry is one cached distance row, tagged with the engine version
+// that produced it. The slice is shared with the engine's own cache and
+// treated as immutable everywhere.
+type hotEntry struct {
+	dist    []float64
+	version int64
+	used    int64 // cache-clock tick of the last hit (sampled-LRU key)
+}
+
+type hotShard struct {
+	mu sync.Mutex
+	m  map[hotKey]*hotEntry
+}
+
+// hotCache is the registry-level hot-pair result cache that fronts
+// Handle acquisition: a fresh hit answers a query with two atomic loads
+// and one striped-mutex map lookup, never touching the registry or
+// entry locks, and a stale hit (the row's version predates the
+// graph's current version after a hot reload) is still served —
+// tagged stale — while a background revalidation warms the new engine.
+type hotCache struct {
+	shards   [hotShards]hotShard
+	perShard int // capacity per shard
+	seed     maphash.Seed
+	clock    atomic.Int64
+
+	hits          atomic.Int64
+	staleHits     atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	revalidations atomic.Int64
+
+	// reval tracks in-flight background revalidations (singleflight per
+	// key, bounded in total so a reload storm over a huge hot set cannot
+	// spawn unbounded goroutines).
+	revalMu sync.Mutex
+	reval   map[hotKey]struct{}
+}
+
+// maxReval bounds concurrent background revalidations; beyond it, stale
+// hits are still served but revalidation waits for the next stale hit.
+const maxReval = 32
+
+func newHotCache(capacity int) *hotCache {
+	per := capacity / hotShards
+	if per < 1 {
+		per = 1
+	}
+	c := &hotCache{perShard: per, seed: maphash.MakeSeed(), reval: make(map[hotKey]struct{})}
+	for i := range c.shards {
+		c.shards[i].m = make(map[hotKey]*hotEntry)
+	}
+	return c
+}
+
+func (c *hotCache) shard(k hotKey) *hotShard {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	h.WriteString(k.name)
+	h.WriteByte(byte(k.source))
+	h.WriteByte(byte(k.source >> 8))
+	h.WriteByte(byte(k.source >> 16))
+	h.WriteByte(byte(k.source >> 24))
+	return &c.shards[h.Sum64()%hotShards]
+}
+
+// get returns the cached row and its version, if present. The hit is
+// classified by the caller (fresh vs stale) against the graph's current
+// version; get only ticks recency.
+func (c *hotCache) get(name string, source int32) (dist []float64, version int64, ok bool) {
+	k := hotKey{name, source}
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if ok {
+		e.used = c.clock.Add(1)
+		dist, version = e.dist, e.version
+	}
+	s.mu.Unlock()
+	return dist, version, ok
+}
+
+// put inserts or refreshes a row. A newer version always replaces an
+// older one; a racing write of an older version never clobbers a newer
+// row (reload storms make both orders possible).
+func (c *hotCache) put(name string, source int32, dist []float64, version int64) {
+	k := hotKey{name, source}
+	s := c.shard(k)
+	s.mu.Lock()
+	if old, ok := s.m[k]; ok && old.version > version {
+		s.mu.Unlock()
+		return
+	}
+	s.m[k] = &hotEntry{dist: dist, version: version, used: c.clock.Add(1)}
+	if len(s.m) > c.perShard {
+		c.evictSampledLocked(s)
+	}
+	s.mu.Unlock()
+}
+
+// evictSampledLocked drops the least-recently-used of a small random
+// sample of the shard's entries. s.mu must be held.
+func (c *hotCache) evictSampledLocked(s *hotShard) {
+	var victim hotKey
+	var oldest int64 = 1<<63 - 1
+	n := 0
+	for k, e := range s.m {
+		if e.used < oldest {
+			oldest, victim = e.used, k
+		}
+		if n++; n >= hotSampleSize {
+			break
+		}
+	}
+	if n > 0 {
+		delete(s.m, victim)
+		c.evictions.Add(1)
+	}
+}
+
+// purge drops every row of one graph — called on Remove so a later
+// re-registration under the same name (whose version counter restarts)
+// cannot alias rows from the removed graph's generations.
+func (c *hotCache) purge(name string) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.m {
+			if k.name == name {
+				delete(s.m, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// tryClaimReval registers a background revalidation for k, refusing
+// duplicates (singleflight) and respecting the global bound.
+func (c *hotCache) tryClaimReval(k hotKey) bool {
+	c.revalMu.Lock()
+	defer c.revalMu.Unlock()
+	if len(c.reval) >= maxReval {
+		return false
+	}
+	if _, dup := c.reval[k]; dup {
+		return false
+	}
+	c.reval[k] = struct{}{}
+	return true
+}
+
+func (c *hotCache) releaseReval(k hotKey) {
+	c.revalMu.Lock()
+	delete(c.reval, k)
+	c.revalMu.Unlock()
+}
+
+// HotPairStats is the hot-pair cache's counter snapshot.
+type HotPairStats struct {
+	Entries       int   `json:"entries"`
+	Hits          int64 `json:"hits"`
+	StaleHits     int64 `json:"stale_hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Revalidations int64 `json:"revalidations"`
+}
+
+func (c *hotCache) stats() HotPairStats {
+	st := HotPairStats{
+		Hits:          c.hits.Load(),
+		StaleHits:     c.staleHits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Revalidations: c.revalidations.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.m)
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -161,6 +161,11 @@ type RegistryConfig struct {
 	// EngineOptions are serving options (caches, batch window, …) applied
 	// to every engine the registry creates.
 	EngineOptions []Option
+	// HotPairCache enables the registry-level hot-pair result cache: up
+	// to this many (graph, source) distance rows are answered without
+	// acquiring a handle, and — via DistSWR — served stale across hot
+	// reloads while the new engine warms in the background. 0 disables.
+	HotPairCache int
 }
 
 // Registry is the multi-graph serving layer: it owns N named engines
@@ -181,9 +186,15 @@ type Registry struct {
 	noBuilds bool
 	wg       sync.WaitGroup
 
-	mu     sync.Mutex
+	// mu is an RWMutex so the hot-pair fresh path (lookup + atomic
+	// version check) shares the read lock instead of serializing every
+	// query through one mutex.
+	mu     sync.RWMutex
 	graphs map[string]*graphEntry
 	closed bool
+
+	// hot is the hot-pair result cache (nil = disabled).
+	hot *hotCache
 
 	clock        atomic.Int64 // logical LRU clock, ticked per query
 	queries      atomic.Int64
@@ -212,6 +223,11 @@ type graphEntry struct {
 	cancel        context.CancelFunc // cancels the in-flight build
 	changed       chan struct{}      // closed+replaced on every state change
 
+	// curVer mirrors version atomically: the hot-pair fresh check reads
+	// it without e.mu, so a cached row can be classified fresh/stale in
+	// two atomic loads.
+	curVer atomic.Int64
+
 	lastUsed atomic.Int64
 	queries  atomic.Int64
 }
@@ -232,13 +248,17 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Registry{
+	r := &Registry{
 		cfg:    cfg,
 		sem:    make(chan struct{}, cfg.BuildWorkers),
 		ctx:    ctx,
 		cancel: cancel,
 		graphs: make(map[string]*graphEntry),
 	}
+	if cfg.HotPairCache > 0 {
+		r.hot = newHotCache(cfg.HotPairCache)
+	}
+	return r
 }
 
 // Add registers a graph under name and enqueues its background build (or
@@ -305,6 +325,11 @@ func (r *Registry) Remove(name string) error {
 	if old != nil {
 		r.draining.Add(1)
 		old.Release()
+	}
+	if r.hot != nil {
+		// Drop the graph's rows: a later Add under the same name restarts
+		// the version counter, which would alias stale rows as fresh.
+		r.hot.purge(name)
 	}
 	return nil
 }
@@ -398,6 +423,7 @@ func (r *Registry) finishBuild(e *graphEntry, eng Backend, err error) {
 		r.buildsDone.Add(1)
 		e.err = nil
 		e.version++
+		e.curVer.Store(e.version)
 		old = e.handle
 		e.handle = newHandle(eng, e.version, func() { r.draining.Add(-1) })
 		e.status = StatusReady
@@ -478,8 +504,8 @@ func (r *Registry) enforceBudget() {
 }
 
 func (r *Registry) lookup(name string) (*graphEntry, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if r.closed {
 		return nil, ErrRegistryClosed
 	}
@@ -678,12 +704,12 @@ func (r *Registry) info(e *graphEntry) GraphInfo {
 
 // List describes every registered graph, sorted by name.
 func (r *Registry) List() []GraphInfo {
-	r.mu.Lock()
+	r.mu.RLock()
 	entries := make([]*graphEntry, 0, len(r.graphs))
 	for _, e := range r.graphs {
 		entries = append(entries, e)
 	}
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	out := make([]GraphInfo, 0, len(entries))
 	for _, e := range entries {
 		out = append(out, r.info(e))
@@ -735,6 +761,9 @@ type RegistryStats struct {
 
 	MemoryBytes  int64 `json:"memory_bytes"`
 	MemoryBudget int64 `json:"memory_budget,omitempty"`
+
+	// HotPair is the hot-pair result cache snapshot (nil when disabled).
+	HotPair *HotPairStats `json:"hot_pair,omitempty"`
 }
 
 // Stats returns the aggregate registry counters.
@@ -747,6 +776,10 @@ func (r *Registry) Stats() RegistryStats {
 		Evictions:    r.evictions.Load(),
 		Draining:     r.draining.Load(),
 		MemoryBudget: r.cfg.MemoryBudget,
+	}
+	if r.hot != nil {
+		hp := r.hot.stats()
+		st.HotPair = &hp
 	}
 	for _, gi := range r.List() {
 		st.Graphs++

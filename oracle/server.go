@@ -124,9 +124,11 @@ func NewHandler(e *Engine) http.Handler {
 //
 // Unknown graphs map to 404; graphs that are pending/building/failed/
 // evicted map to 503 (retryable); vertex-range and path-reporting errors
-// to 400. Every query runs through a refcounted engine handle, so answers
-// are never mixed across hot-reload versions; /dist responses carry the
-// engine version that produced them.
+// to 400. Every query runs through a refcounted engine handle (or, for
+// /dist with a hot-pair cache, through the version-tagged SWR surface),
+// so answers are never mixed across hot-reload versions; /dist responses
+// carry the engine version that produced them, plus "stale":true when a
+// pre-reload row was served while the new engine warms.
 func NewRegistryHandler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
@@ -176,41 +178,46 @@ func NewRegistryHandler(r *Registry) http.Handler {
 			writeError(w, err)
 			return
 		}
-		h, err := r.Acquire(name)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		defer h.Release()
+		// /dist runs through the SWR surface: with a hot-pair cache the
+		// row may be served stale across a hot reload (flagged below);
+		// without one this is exactly the pinned-handle path.
 		if t := req.URL.Query().Get("target"); t != "" {
 			target, err := vertexParam(req, "target")
 			if err != nil {
 				writeError(w, err)
 				return
 			}
-			d, err := h.Engine().DistTo(source, target)
+			d, ver, stale, err := r.DistToSWR(name, source, target)
 			if err != nil {
 				writeError(w, err)
 				return
 			}
-			writeJSON(w, map[string]any{
-				"graph": name, "version": h.Version(),
+			resp := map[string]any{
+				"graph": name, "version": ver,
 				"source": source, "target": target, "dist": jsonDist(d),
-			})
+			}
+			if stale {
+				resp["stale"] = true
+			}
+			writeJSON(w, resp)
 			return
 		}
-		dist, err := h.Engine().Dist(source)
+		res, err := r.DistSWR(name, source)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		out := make([]any, len(dist))
-		for i, d := range dist {
+		out := make([]any, len(res.Dist))
+		for i, d := range res.Dist {
 			out[i] = jsonDist(d)
 		}
-		writeJSON(w, map[string]any{
-			"graph": name, "version": h.Version(), "source": source, "dist": out,
-		})
+		resp := map[string]any{
+			"graph": name, "version": res.Version, "source": source, "dist": out,
+		}
+		if res.Stale {
+			resp["stale"] = true
+		}
+		writeJSON(w, resp)
 	})
 	mux.HandleFunc("GET /graphs/{name}/path", func(w http.ResponseWriter, req *http.Request) {
 		name := req.PathValue("name")

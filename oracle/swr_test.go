@@ -1,0 +1,243 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// versionedSource builds a 3-vertex path graph whose edge weights encode
+// the build number: the Nth successful build answers Dist(0)[1] == N.
+// Because the registry runs at most one build per entry at a time and
+// these builds never fail, build number N is published as version N —
+// so every served row must satisfy dist[1] == float64(version), which is
+// the cross-version-mixing detector the SWR tests lean on.
+func versionedSource(counter *atomic.Int64, base float64) EngineSource {
+	return func(ctx context.Context, opts ...Option) (Backend, error) {
+		n := counter.Add(1)
+		w := base + float64(n)
+		g, err := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: w}, {U: 1, V: 2, W: w}})
+		if err != nil {
+			return nil, err
+		}
+		return New(g, append(opts, WithEpsilon(0.25))...)
+	}
+}
+
+// TestDistSWRReloadHammer hammers DistSWR from many goroutines (run with
+// -race) while the main goroutine drives hot reload after hot reload.
+// Invariants: once the graph is first ready, no query ever fails, and no
+// response ever mixes versions — the row's payload must match the
+// version tag it carries, whether the response is fresh or stale.
+func TestDistSWRReloadHammer(t *testing.T) {
+	r := NewRegistry(RegistryConfig{HotPairCache: 64})
+	defer r.Close()
+
+	var builds atomic.Int64
+	if err := r.Add("g", versionedSource(&builds, 0)); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, r, "g")
+
+	var (
+		stop     atomic.Bool
+		failures atomic.Int64
+		mixed    atomic.Int64
+		served   atomic.Int64
+		stale    atomic.Int64
+	)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(src int32) {
+			defer wg.Done()
+			for !stop.Load() {
+				res, err := r.DistSWR("g", src)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				served.Add(1)
+				if res.Stale {
+					stale.Add(1)
+				}
+				// dist[1] encodes the build that produced the row; it must
+				// equal the version the response claims, fresh or stale.
+				if res.Dist[1] != float64(res.Version) {
+					mixed.Add(1)
+				}
+			}
+		}(int32((w % 2) * 2)) // two hot sources (0 and 2; both have dist[1]==w)
+	}
+
+	// Drive reloads 2..6, waiting for each to land before the next so
+	// build numbers and published versions stay in lockstep.
+	for want := int64(2); want <= 6; want++ {
+		if err := r.Reload("g"); err != nil {
+			t.Fatalf("Reload: %v", err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			gi, err := r.Info("g")
+			if err != nil {
+				t.Fatalf("Info: %v", err)
+			}
+			if gi.Version >= want && !gi.Reloading {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("reload to version %d never landed", want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if f := failures.Load(); f != 0 {
+		t.Errorf("%d queries failed during hot reloads (want 0)", f)
+	}
+	if m := mixed.Load(); m != 0 {
+		t.Errorf("%d responses mixed row and version (want 0)", m)
+	}
+	if served.Load() == 0 {
+		t.Fatal("hammer served nothing")
+	}
+	st := r.Stats()
+	if st.HotPair == nil {
+		t.Fatal("HotPair stats missing")
+	}
+	if st.HotPair.Hits == 0 {
+		t.Error("expected fresh hot-pair hits under a two-source hammer")
+	}
+	t.Logf("served=%d stale=%d hotpair=%+v", served.Load(), stale.Load(), *st.HotPair)
+}
+
+// TestDistSWRStaleThenFresh pins the single-threaded SWR lifecycle: a
+// cached row turns stale the moment a reload publishes a new version, is
+// served with the old version tag and Stale=true, and the background
+// revalidation flips it fresh at the new version.
+func TestDistSWRStaleThenFresh(t *testing.T) {
+	r := NewRegistry(RegistryConfig{HotPairCache: 64})
+	defer r.Close()
+	var builds atomic.Int64
+	if err := r.Add("g", versionedSource(&builds, 0)); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, r, "g")
+
+	res, err := r.DistSWR("g", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stale || res.Version != 1 || res.Dist[1] != 1 {
+		t.Fatalf("first answer = %+v, want fresh v1", res)
+	}
+
+	if err := r.Reload("g"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		gi, _ := r.Info("g")
+		if gi.Version == 2 && !gi.Reloading {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reload never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res, err = r.DistSWR("g", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stale || res.Version != 1 || res.Dist[1] != 1 {
+		t.Fatalf("post-reload answer = %+v, want stale v1", res)
+	}
+
+	// The stale hit kicked a revalidation; it lands asynchronously.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		res, err = r.DistSWR("g", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stale {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("revalidation never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if res.Version != 2 || res.Dist[1] != 2 {
+		t.Fatalf("revalidated answer = %+v, want fresh v2", res)
+	}
+	st := r.Stats().HotPair
+	if st.StaleHits == 0 || st.Revalidations == 0 {
+		t.Fatalf("hot-pair stats = %+v, want stale hits and a revalidation", *st)
+	}
+}
+
+// TestDistSWRPurgeOnRemove: removing a graph drops its hot rows, so a
+// re-registration under the same name (whose version counter restarts at
+// 1) can never serve the removed generation's rows as fresh.
+func TestDistSWRPurgeOnRemove(t *testing.T) {
+	r := NewRegistry(RegistryConfig{HotPairCache: 64})
+	defer r.Close()
+	var builds1 atomic.Int64
+	if err := r.Add("g", versionedSource(&builds1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, r, "g")
+	if _, err := r.DistSWR("g", 0); err != nil { // cache row at v1, dist[1]=1
+		t.Fatal(err)
+	}
+	if err := r.Remove("g"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same name, new generation: weights offset by 100 expose aliasing.
+	var builds2 atomic.Int64
+	if err := r.Add("g", versionedSource(&builds2, 100)); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, r, "g")
+	res, err := r.DistSWR("g", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stale || res.Version != 1 || res.Dist[1] != 101 {
+		t.Fatalf("post-re-add answer = %+v, want fresh v1 of the new generation (dist[1]=101)", res)
+	}
+}
+
+// TestDistSWRDisabledFallsBack: without a hot-pair cache DistSWR is
+// exactly Registry.Dist plus a version tag — never stale.
+func TestDistSWRDisabledFallsBack(t *testing.T) {
+	r := NewRegistry(RegistryConfig{})
+	defer r.Close()
+	var builds atomic.Int64
+	if err := r.Add("g", versionedSource(&builds, 0)); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, r, "g")
+	res, err := r.DistSWR("g", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stale || res.Version != 1 || res.Dist[1] != 1 {
+		t.Fatalf("fallback answer = %+v", res)
+	}
+	if _, err := r.DistSWR("missing", 0); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("unknown graph: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/oracle"
 )
@@ -19,6 +20,13 @@ import (
 // of (routed value, exit vertex, entry vertex) over the distance proxies,
 // and the same-shard local path wins ties against routing out and back.
 func (o *Oracle) Path(u, v int32) ([]int32, float64, error) {
+	start := time.Now()
+	p, length, err := o.path(u, v)
+	o.latPath.Observe(time.Since(start))
+	return p, length, err
+}
+
+func (o *Oracle) path(u, v int32) ([]int32, float64, error) {
 	if err := o.checkVertex(u); err != nil {
 		return nil, 0, err
 	}

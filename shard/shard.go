@@ -44,8 +44,10 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/hist"
 	"repro/internal/lru"
 	"repro/internal/par"
 	"repro/internal/partition"
@@ -145,6 +147,15 @@ type Oracle struct {
 	matrixQueries  atomic.Int64
 	routed         atomic.Int64
 	localOnly      atomic.Int64
+
+	// Router-level latency histograms: the latency clients of the
+	// sharded backend actually see (per-shard engine histograms would
+	// count internal plumbing legs, not end-to-end routed queries).
+	latDist    hist.Histogram
+	latMulti   hist.Histogram
+	latMatrix  hist.Histogram
+	latNearest hist.Histogram
+	latPath    hist.Histogram
 }
 
 // Build partitions g into cfg-many shards and assembles the sharded
@@ -405,6 +416,13 @@ func (o *Oracle) checkVertex(v int32) error {
 // with the overlay and destination legs run as offset-seeded explorations.
 // Vectors are cached in the router's LRU and shared: treat as read-only.
 func (o *Oracle) Dist(source int32) ([]float64, error) {
+	start := time.Now()
+	d, err := o.dist(source)
+	o.latDist.Observe(time.Since(start))
+	return d, err
+}
+
+func (o *Oracle) dist(source int32) ([]float64, error) {
 	if err := o.checkVertex(source); err != nil {
 		return nil, err
 	}
@@ -418,6 +436,13 @@ func (o *Oracle) Dist(source int32) ([]float64, error) {
 	}
 	o.distCache.Add(source, d)
 	return d, nil
+}
+
+// cachedDist is the uninstrumented dist body used by multi-query
+// surfaces, so internal per-source legs do not pollute the "dist"
+// latency histogram.
+func (o *Oracle) cachedDist(source int32) ([]float64, error) {
+	return o.dist(source)
 }
 
 func (o *Oracle) route(source int32) ([]float64, error) {
@@ -501,6 +526,13 @@ func (o *Oracle) DistTo(source, target int32) (float64, error) {
 
 // MultiSource implements oracle.Backend: row i is Dist(sources[i]).
 func (o *Oracle) MultiSource(sources []int32) ([][]float64, error) {
+	start := time.Now()
+	rows, err := o.multiSource(sources)
+	o.latMulti.Observe(time.Since(start))
+	return rows, err
+}
+
+func (o *Oracle) multiSource(sources []int32) ([][]float64, error) {
 	if len(sources) == 0 {
 		return nil, oracle.ErrNeedSources
 	}
@@ -512,7 +544,7 @@ func (o *Oracle) MultiSource(sources []int32) ([][]float64, error) {
 	o.multiQueries.Add(1)
 	out := make([][]float64, len(sources))
 	for i, s := range sources {
-		d, err := o.Dist(s)
+		d, err := o.cachedDist(s)
 		if err != nil {
 			return nil, err
 		}
@@ -527,6 +559,13 @@ func (o *Oracle) MultiSource(sources []int32) ([][]float64, error) {
 // overlapping matrix reuses assembled global vectors — and the S×T block
 // is a projection of those vectors, identical to per-pair DistTo answers.
 func (o *Oracle) Matrix(sources, targets []int32) ([][]float64, error) {
+	start := time.Now()
+	rows, err := o.matrix(sources, targets)
+	o.latMatrix.Observe(time.Since(start))
+	return rows, err
+}
+
+func (o *Oracle) matrix(sources, targets []int32) ([][]float64, error) {
 	if len(sources) == 0 || len(targets) == 0 {
 		return nil, oracle.ErrNeedSources
 	}
@@ -543,7 +582,7 @@ func (o *Oracle) Matrix(sources, targets []int32) ([][]float64, error) {
 	o.matrixQueries.Add(1)
 	out := make([][]float64, len(sources))
 	for i, s := range sources {
-		d, err := o.Dist(s)
+		d, err := o.cachedDist(s)
 		if err != nil {
 			return nil, err
 		}
@@ -564,6 +603,13 @@ func (o *Oracle) Matrix(sources, targets []int32) ([][]float64, error) {
 // linear, so the result is exactly the elementwise minimum of the
 // per-source routed vectors, at the cost of a single Dist.
 func (o *Oracle) Nearest(sources []int32) ([]float64, error) {
+	start := time.Now()
+	d, err := o.nearest(sources)
+	o.latNearest.Observe(time.Since(start))
+	return d, err
+}
+
+func (o *Oracle) nearest(sources []int32) ([]float64, error) {
 	if len(sources) == 0 {
 		return nil, oracle.ErrNeedSources
 	}
@@ -722,6 +768,17 @@ func (o *Oracle) Stats() oracle.Stats {
 	st.NearestQueries = o.nearestQueries.Load()
 	st.PathQueries = o.pathQueries.Load()
 	st.MatrixQueries = o.matrixQueries.Load()
+	for name, h := range map[string]*hist.Histogram{
+		"dist": &o.latDist, "multi": &o.latMulti, "matrix": &o.latMatrix,
+		"nearest": &o.latNearest, "path": &o.latPath,
+	} {
+		if snap := h.Snapshot(); snap.Count > 0 {
+			if st.Latency == nil {
+				st.Latency = make(map[string]oracle.LatencySnapshot)
+			}
+			st.Latency[name] = snap
+		}
+	}
 	st.Sharded = &oracle.ShardStats{
 		Shards:           o.k,
 		BoundaryVertices: len(o.boundary),
