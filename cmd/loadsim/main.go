@@ -10,6 +10,7 @@
 //	loadsim -profile zipf-hot -duration 10s -rate 2000
 //	loadsim -profile reload-storm -rate 1000
 //	loadsim -profile eviction -graphs 3
+//	loadsim -profile failover -hedge 2ms
 //	loadsim -profile zipf-hot -compare -out BENCH_loadsim.json
 //	loadsim -url http://localhost:8080 -graph default -rate 500
 //
@@ -25,6 +26,13 @@
 //	              stale-while-revalidate stress
 //	eviction      several graphs under a memory budget sized for fewer —
 //	              availability under eviction pressure
+//	failover      the distributed serving path: the graph is partitioned
+//	              into shards, two local worker HTTP servers each serve
+//	              every shard, and a shard.Router scatter-gathers across
+//	              them with hedging; one worker is hard-killed mid-run.
+//	              The report's "remote" block (hedges, hedge wins,
+//	              failovers, per-endpoint latency) plus a zero error
+//	              count is the degraded-but-correct evidence
 //
 // -compare runs the chosen profile twice on identical fresh registries —
 // once without the hot-pair cache ("pre"), once with it ("post") — and
@@ -46,21 +54,25 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/graphio"
 	"repro/internal/graph"
+	"repro/internal/partition"
 	"repro/oracle"
+	"repro/shard"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadsim: ")
 	var (
-		profile  = flag.String("profile", "zipf-hot", "workload profile: zipf-hot | uniform | mixed | reload-storm | eviction")
+		profile  = flag.String("profile", "zipf-hot", "workload profile: zipf-hot | uniform | mixed | reload-storm | eviction | failover")
 		duration = flag.Duration("duration", 10*time.Second, "load duration per run")
 		rate     = flag.Float64("rate", 500, "mean arrival rate, queries/s (open loop)")
 		warmup   = flag.Duration("warmup", 2*time.Second, "initial window whose samples are discarded (cold caches and build-up are not steady state)")
@@ -73,6 +85,7 @@ func main() {
 		zipfS    = flag.Float64("zipf-s", 1.2, "Zipf skew of source popularity")
 		graphs   = flag.Int("graphs", 3, "graph count (eviction profile)")
 		reload   = flag.Duration("reload-every", 400*time.Millisecond, "hot-reload interval (reload-storm profile)")
+		hedge    = flag.Duration("hedge", 2*time.Millisecond, "failover profile: hedge a second replica after this delay (0 = adaptive p99-derived)")
 		seed     = flag.Int64("seed", 1, "workload and graph seed")
 		compare  = flag.Bool("compare", false, "run pre (no hot cache) and post (hot cache) on fresh registries and report the improvement factor")
 		url      = flag.String("url", "", "drive a live serve instance at this base URL instead of an in-process registry")
@@ -84,7 +97,7 @@ func main() {
 	cfg := simConfig{
 		profile: *profile, duration: *duration, rate: *rate, clients: *clients,
 		warmup: *warmup,
-		n: *n, m: *m, eps: *eps, cache: *cache, hotCache: *hot, zipfS: *zipfS,
+		n:      *n, m: *m, eps: *eps, cache: *cache, hotCache: *hot, zipfS: *zipfS,
 		graphs: 1, reloadEvery: 0, seed: *seed,
 	}
 	if cfg.warmup >= cfg.duration {
@@ -101,12 +114,23 @@ func main() {
 		cfg.reloadEvery = *reload
 	case "eviction":
 		cfg.graphs = *graphs
+	case "failover":
+		cfg.pathFrac, cfg.matrixFrac = 0.10, 0.05
 	default:
 		log.Fatalf("unknown profile %q", *profile)
 	}
 
 	var report any
 	switch {
+	case cfg.profile == "failover":
+		if *url != "" || *compare {
+			log.Fatal("the failover profile runs its own router and workers; -url/-compare do not apply")
+		}
+		res, err := runFailover(cfg, *hedge)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report = res
 	case *url != "":
 		res, err := runHTTP(cfg, *url, *graphN)
 		if err != nil {
@@ -173,20 +197,20 @@ func ratio(pre, post int64) float64 {
 
 // simConfig is one fully-resolved run.
 type simConfig struct {
-	profile               string
-	duration              time.Duration
-	warmup                time.Duration
-	rate                  float64
-	clients               int
-	n, m                  int
-	eps                   float64
-	cache, hotCache       int
-	zipfS                 float64
-	graphs                int
-	reloadEvery           time.Duration
-	seed                  int64
-	pathFrac, matrixFrac  float64
-	bursty                bool
+	profile              string
+	duration             time.Duration
+	warmup               time.Duration
+	rate                 float64
+	clients              int
+	n, m                 int
+	eps                  float64
+	cache, hotCache      int
+	zipfS                float64
+	graphs               int
+	reloadEvery          time.Duration
+	seed                 int64
+	pathFrac, matrixFrac float64
+	bursty               bool
 }
 
 // job is one scheduled arrival. at is the scheduled arrival instant —
@@ -297,7 +321,7 @@ type Result struct {
 	N          int     `json:"n"`
 	Graphs     int     `json:"graphs,omitempty"`
 
-	Arrivals    int64 `json:"arrivals"`
+	Arrivals int64 `json:"arrivals"`
 	// Measured counts the post-warmup samples the route stats are built
 	// from; warmup arrivals execute but are not recorded.
 	Measured    int64 `json:"measured"`
@@ -315,6 +339,11 @@ type Result struct {
 	CacheHitRate float64              `json:"engine_cache_hit_rate,omitempty"`
 	Reloads      int64                `json:"reloads,omitempty"`
 	Evictions    int64                `json:"evictions,omitempty"`
+
+	// failover profile: the router's hedging/failover counters and
+	// per-endpoint latency, plus which worker was killed mid-run.
+	Remote       *oracle.RemoteStats `json:"remote,omitempty"`
+	KilledWorker string              `json:"killed_worker,omitempty"`
 }
 
 type compareReport struct {
@@ -634,6 +663,136 @@ func buildProbe(cfg simConfig, paths bool) (*oracle.Engine, error) {
 		opts = append(opts, oracle.WithPathReporting())
 	}
 	return oracle.New(g, opts...)
+}
+
+// ---- failover target (distributed serving path) ----
+
+// routerTarget drives a shard.Router directly: the router does the
+// scatter-gather, hedging, and failover; any error it surfaces (after
+// exhausting replicas) counts as a client-visible failure.
+type routerTarget struct {
+	r *shard.Router
+}
+
+func (t *routerTarget) dist(_ int, source int32) (stale, unavailable, rejected bool, err error) {
+	_, err = t.r.Dist(source)
+	return false, false, false, err
+}
+
+func (t *routerTarget) path(_ int, u, v int32) (bool, error) {
+	_, _, err := t.r.Path(u, v)
+	return false, err
+}
+
+func (t *routerTarget) matrix(_ int, s, tv []int32) (bool, error) {
+	_, err := t.r.Matrix(s, tv)
+	return false, err
+}
+
+// simWorker is one in-process stand-in for a cmd/shardserve process: a
+// registry serving every shard of the manifest behind a real HTTP
+// listener. kill() severs it the hard way — open connections reset,
+// listener closed — so in-flight routed requests see transport errors,
+// not graceful drains.
+type simWorker struct {
+	srv *httptest.Server
+	reg *oracle.Registry
+}
+
+func startWorker(man *graphio.ShardManifest, dir string, engOpts []oracle.Option, cache int) *simWorker {
+	reg := oracle.NewRegistry(oracle.RegistryConfig{
+		EngineOptions: []oracle.Option{oracle.WithDistCache(cache)},
+	})
+	for i := 0; i < man.K; i++ {
+		i := i
+		name := fmt.Sprintf("%s.shard%d", man.Name, i)
+		src := func(ctx context.Context, opts ...oracle.Option) (oracle.Backend, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			sg, err := man.LoadShard(dir, i)
+			if err != nil {
+				return nil, err
+			}
+			return oracle.New(sg.G, append(append([]oracle.Option{}, opts...), engOpts...)...)
+		}
+		if err := reg.Add(name, src); err != nil {
+			reg.Close()
+			log.Fatal(err)
+		}
+	}
+	return &simWorker{srv: httptest.NewServer(oracle.NewRegistryHandler(reg)), reg: reg}
+}
+
+func (w *simWorker) kill() {
+	w.srv.CloseClientConnections()
+	w.srv.Close()
+}
+
+func (w *simWorker) stop() {
+	w.srv.Close() // idempotent after kill()
+	w.reg.Close()
+}
+
+// runFailover partitions the generated graph, brings up two replica
+// workers each serving all shards, routes the workload through a hedging
+// shard.Router, and hard-kills one worker halfway through the run. Every
+// query must still be answered (Errors == 0) — the failovers show up in
+// the remote counters instead.
+func runFailover(cfg simConfig, hedge time.Duration) (*Result, error) {
+	dir, err := os.MkdirTemp("", "loadsim-failover-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	const k = 3
+	g := graph.Gnm(cfg.n, cfg.m, graph.UniformWeights(1, 8), cfg.seed)
+	manPath, err := graphio.WriteShards(dir, "sim", partition.Partition(g, k))
+	if err != nil {
+		return nil, err
+	}
+	man, err := graphio.LoadShardManifest(manPath)
+	if err != nil {
+		return nil, err
+	}
+
+	scfg := shard.Config{EpsilonLocal: cfg.eps, PathReporting: cfg.pathFrac > 0}
+	engOpts := shard.WorkerEngineOptions(scfg)
+	workers := [2]*simWorker{
+		startWorker(man, dir, engOpts, cfg.cache),
+		startWorker(man, dir, engOpts, cfg.cache),
+	}
+	defer workers[0].stop()
+	defer workers[1].stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	pl := shard.UniformPlacement(man.Name, man.K, []string{workers[0].srv.URL, workers[1].srv.URL})
+	router, err := shard.NewRouter(ctx, man, pl, shard.RouterConfig{
+		Config:     scfg,
+		HedgeDelay: hedge,
+	}, oracle.WithDistCache(cfg.cache))
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+
+	// Hard-kill one replica halfway through: routed queries in flight to
+	// it fail over; the prober marks it out until the run ends.
+	killed := workers[0].srv.URL
+	timer := time.AfterFunc(cfg.duration/2, func() {
+		log.Printf("failover: killing worker %s", killed)
+		workers[0].kill()
+	})
+	defer timer.Stop()
+
+	res := drive(cfg, &routerTarget{r: router}, nil)
+	res.KilledWorker = killed
+	if st := router.Stats(); st.Sharded != nil {
+		res.Remote = st.Sharded.Remote
+	}
+	return res, nil
 }
 
 // ---- HTTP target ----

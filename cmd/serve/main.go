@@ -11,11 +11,22 @@
 //	serve -snapshot oracle.snap                      # revive "default" from a snapshot
 //	serve -snapshot-dir snapshots/                   # every snapshots/<name>.snap, by name
 //	serve -graph-dir datasets/                       # every raw graph file, built in background
+//	serve -route-manifest data/ny.shards.json \
+//	      -shard-peers http://w1:8081,http://w2:8081 # route shards to worker processes
 //
 // -graph-dir registers every supported dataset file (DIMACS .gr, edge
 // lists, METIS, legacy text, .csrg — each optionally .gz) under its base
 // name; engines build in the background and the file is re-read on every
 // POST /graphs/{name}/reload.
+//
+// -route-manifest serves one sharded graph whose per-shard engines live
+// in cmd/shardserve worker processes: queries scatter-gather over the
+// placement (-placement file, or -shard-peers replicating every shard on
+// every peer) with health-probe failover and hedged requests (-hedge
+// fixes the delay; default derives it from each endpoint's p99). The
+// engine flags (-eps, -kappa via worker, -paths) must match the workers'
+// — that flag parity is the bit-identity contract. Reload re-reads both
+// manifest and placement.
 //
 // Routes (see oracle.NewRegistryHandler):
 //
@@ -24,6 +35,9 @@
 //	GET  /graphs/{name}/dist?source=S[&target=T]
 //	GET  /graphs/{name}/path?from=U&to=V
 //	POST /graphs/{name}/matrix      many-to-many S×T distance matrix
+//	POST /graphs/{name}/multi       one dist row per source
+//	POST /graphs/{name}/nearest     per-vertex distance to nearest source
+//	GET  /graphs/{name}/tree?source=S
 //	GET  /graphs/{name}/stats
 //	POST /graphs/{name}/reload      rebuild + hot swap
 //	GET  /healthz                   registry aggregate status (503 until a graph serves)
@@ -39,13 +53,10 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
@@ -54,7 +65,6 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -89,6 +99,10 @@ func main() {
 		inflight = flag.Int("max-inflight", 0, "admission limit on in-flight query cost units (a /matrix costs sources×targets); excess gets 429 + Retry-After (0 = unlimited)")
 		hotCache = flag.Int("hot-cache", 4096, "registry hot-pair result cache capacity in rows; /dist serves stale rows across hot reloads while the new engine warms (0 = off)")
 		shardTgt = flag.Int64("shard-target-bytes", 0, "serve graphs sharded, with the shard count derived from this per-shard engine memory target (0 = monolithic)")
+		routeMan = flag.String("route-manifest", "", "shard manifest (<name>.shards.json) to serve as a distributed scatter-gather router: per-shard engines live in shardserve workers named by -placement or -shard-peers; no shard payloads load locally")
+		peers    = flag.String("shard-peers", "", "comma-separated shardserve worker base URLs for -route-manifest; every shard is placed on every peer (replicas)")
+		placeFl  = flag.String("placement", "", "JSON placement file mapping each shard of -route-manifest to its replica endpoints (overrides -shard-peers)")
+		hedge    = flag.Duration("hedge", 0, "fixed hedge delay before a routed query is retried on a second replica (0 = adaptive, per-endpoint p99)")
 	)
 	flag.Parse()
 
@@ -125,6 +139,22 @@ func main() {
 		}
 		names = append(names, loaded...)
 	}
+	if *routeMan != "" {
+		peerList := splitPeers(*peers)
+		if *placeFl == "" && len(peerList) == 0 {
+			log.Fatal("-route-manifest needs -placement or -shard-peers")
+		}
+		man, err := graphio.LoadShardManifest(*routeMan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rcfg := shard.RouterConfig{
+			Config:     shardConfig(*eps, *paths, 0),
+			HedgeDelay: *hedge,
+		}
+		add(man.Name, shard.RouterSource(*routeMan, *placeFl, peerList, rcfg))
+		log.Printf("routing %q over %d shards (placement: %s)", man.Name, man.K, routeDesc(*placeFl, peerList))
+	}
 
 	// defaultSource picks the backend shape for an in-memory graph: one
 	// monolithic engine, or — under -shard-target-bytes — a sharded
@@ -148,7 +178,7 @@ func main() {
 		}
 		log.Printf("loaded %s (%s format): n=%d m=%d", *in, format, g.N, g.M())
 		add("default", defaultSource(g))
-	case *snapDir == "" && *graphDir == "":
+	case *snapDir == "" && *graphDir == "" && *routeMan == "":
 		g := graph.Gnm(*n, *m, graph.UniformWeights(1, 8), *seed)
 		add("default", defaultSource(g))
 	}
@@ -183,7 +213,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: withAdmission(newMux(reg), *inflight)}
+	srv := &http.Server{Handler: admission.Middleware(newMux(reg), admission.New(*inflight))}
 	log.Printf("listening on %s (%d graphs: GET /graphs /graphs/{name}/dist|path|stats|ready, POST /graphs/{name}/reload)",
 		ln.Addr(), len(names))
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -329,85 +359,6 @@ func addGraphDir(reg *oracle.Registry, dir string, eps float64, paths bool, shar
 	return names, nil
 }
 
-// withAdmission bounds in-flight query work with a weighted admission
-// limiter: -max-inflight counts cost units, a point query (/dist, /path)
-// is 1 unit and an S×T /matrix is S·T units — the engine work it buys —
-// so one big matrix cannot occupy the same admission slot as a scalar
-// lookup. Requests beyond the limit are refused immediately with 429 and
-// a Retry-After derived from the observed drain rate (see
-// internal/admission) instead of queueing without bound, so overload
-// degrades predictably instead of piling latency onto every client.
-// Status and listing routes are never limited. limit ≤ 0 disables.
-func withAdmission(h http.Handler, limit int) http.Handler {
-	lim := admission.New(limit)
-	if lim == nil {
-		return h
-	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !isQueryRoute(r.URL.Path) {
-			h.ServeHTTP(w, r)
-			return
-		}
-		cost := requestCost(r)
-		if !lim.TryAcquire(cost) {
-			secs := int64(lim.RetryAfter(cost) / time.Second)
-			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-			http.Error(w, "query capacity exhausted (-max-inflight)", http.StatusTooManyRequests)
-			return
-		}
-		defer lim.Release(cost)
-		h.ServeHTTP(w, r)
-	})
-}
-
-// maxCostPeek bounds how much of a /matrix body the admission layer
-// reads to price the request; it matches the handler's own body cap.
-const maxCostPeek = 1 << 20
-
-// requestCost prices one admitted request in cost units. Matrix bodies
-// are peeked (and restored for the handler): an unparseable or empty
-// body prices at 1 and is then rejected downstream with a 400 — pricing
-// must never consume the body for good or invent cost out of garbage.
-func requestCost(r *http.Request) int64 {
-	if !strings.HasSuffix(r.URL.Path, "/matrix") || r.Body == nil {
-		return 1
-	}
-	body, _ := io.ReadAll(io.LimitReader(r.Body, maxCostPeek))
-	r.Body.Close()
-	r.Body = io.NopCloser(bytes.NewReader(body))
-	var req struct {
-		Sources []int32 `json:"sources"`
-		Targets []int32 `json:"targets"`
-	}
-	if json.Unmarshal(body, &req) != nil {
-		return 1
-	}
-	cost := int64(len(req.Sources)) * int64(len(req.Targets))
-	if cost < 1 {
-		return 1
-	}
-	return cost
-}
-
-// isQueryRoute marks the engine-work routes the admission limiter guards:
-// legacy /dist and /path plus their /graphs/{name}/… forms, and the
-// many-to-many /graphs/{name}/matrix endpoint (an S×T matrix is the most
-// engine work a single request can ask for, so it must sit under the same
-// admission cap). The /graphs form requires a name segment between
-// /graphs/ and the verb, so the status route of a graph that happens to be
-// named "dist" or "path" (GET /graphs/dist) is never limited.
-func isQueryRoute(p string) bool {
-	if p == "/dist" || p == "/path" {
-		return true
-	}
-	rest, ok := strings.CutPrefix(p, "/graphs/")
-	if !ok {
-		return false
-	}
-	name, verb, ok := strings.Cut(rest, "/")
-	return ok && name != "" && (verb == "dist" || verb == "path" || verb == "matrix")
-}
-
 // shardContainerRE matches per-shard container files written by
 // graphio.WriteShards.
 var shardContainerRE = regexp.MustCompile(`\.shard\d+\.csrg$`)
@@ -420,6 +371,25 @@ func graphName(base string) string {
 	}
 	base = strings.TrimSuffix(base, ".gz")
 	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// splitPeers parses the comma-separated -shard-peers list.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// routeDesc renders the placement choice for the startup log line.
+func routeDesc(placement string, peers []string) string {
+	if placement != "" {
+		return placement
+	}
+	return fmt.Sprintf("%d peers, every shard on every peer", len(peers))
 }
 
 // shardConfig maps the serve flags onto a shard build configuration.

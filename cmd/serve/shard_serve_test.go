@@ -4,10 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"sync"
 	"testing"
 	"time"
 
@@ -131,130 +129,5 @@ func TestServeShardedGraphDir(t *testing.T) {
 				t.Fatalf("sharded matrix[%d][%d] (s=%d t=%d) = %v, want %v", i, j, s, tv, got, wd)
 			}
 		}
-	}
-}
-
-// TestAdmissionLimiter drives the -max-inflight semaphore: with limit 1
-// and one query parked inside the handler, a second query gets 429 +
-// Retry-After immediately, while status routes pass untouched; after the
-// first query finishes, capacity frees up again.
-func TestAdmissionLimiter(t *testing.T) {
-	entered := make(chan struct{})
-	release := make(chan struct{})
-	var once sync.Once
-	inner := http.NewServeMux()
-	inner.HandleFunc("/graphs/g/dist", func(w http.ResponseWriter, r *http.Request) {
-		once.Do(func() {
-			close(entered)
-			<-release
-		})
-		w.Write([]byte("ok"))
-	})
-	inner.HandleFunc("/graphs", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("listing"))
-	})
-	srv := httptest.NewServer(withAdmission(inner, 1))
-	defer srv.Close()
-
-	firstDone := make(chan error, 1)
-	go func() {
-		resp, err := http.Get(srv.URL + "/graphs/g/dist?source=0")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				err = fmt.Errorf("status %s", resp.Status)
-			}
-		}
-		firstDone <- err
-	}()
-	<-entered
-
-	// Saturated: the next query is refused with 429 + Retry-After.
-	resp, err := http.Get(srv.URL + "/graphs/g/dist?source=1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("saturated query: %d, want 429", resp.StatusCode)
-	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
-	}
-	// Status routes are never limited.
-	resp, err = http.Get(srv.URL + "/graphs")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("listing under saturation: %d", resp.StatusCode)
-	}
-
-	close(release)
-	if err := <-firstDone; err != nil {
-		t.Fatalf("parked query: %v", err)
-	}
-	// Capacity freed: queries flow again.
-	resp, err = http.Get(srv.URL + "/graphs/g/dist?source=2")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("after release: %d", resp.StatusCode)
-	}
-}
-
-// TestIsQueryRoute pins the limiter's route classification, including the
-// graph-named-"dist" corner: status routes are never limited.
-func TestIsQueryRoute(t *testing.T) {
-	for p, want := range map[string]bool{
-		"/dist":                true,
-		"/path":                true,
-		"/graphs/ny/dist":      true,
-		"/graphs/ny/path":      true,
-		"/graphs/ny/matrix":    true,
-		"/graphs":              false,
-		"/graphs/dist":         false, // a graph literally named "dist"
-		"/graphs/path":         false,
-		"/graphs/matrix":       false, // a graph literally named "matrix"
-		"/graphs/ny/stats":     false,
-		"/graphs/ny/ready":     false,
-		"/healthz":             false,
-		"/graphs/ny/dist/deep": false,
-	} {
-		if got := isQueryRoute(p); got != want {
-			t.Errorf("isQueryRoute(%q) = %v, want %v", p, got, want)
-		}
-	}
-}
-
-// TestRequestCostMatrix pins the admission pricing: a point query is 1
-// unit, an S×T matrix is S·T units — and pricing must peek the body
-// without consuming it (the handler still needs to decode it).
-func TestRequestCostMatrix(t *testing.T) {
-	if got := requestCost(httptest.NewRequest("GET", "/graphs/g/dist?source=0", nil)); got != 1 {
-		t.Fatalf("dist cost = %d, want 1", got)
-	}
-	body := `{"sources":[1,2,3],"targets":[4,5,6,7]}`
-	req := httptest.NewRequest("POST", "/graphs/g/matrix", bytes.NewBufferString(body))
-	if got := requestCost(req); got != 12 {
-		t.Fatalf("matrix cost = %d, want 12 (3×4)", got)
-	}
-	restored := new(bytes.Buffer)
-	if _, err := restored.ReadFrom(req.Body); err != nil {
-		t.Fatal(err)
-	}
-	if restored.String() != body {
-		t.Fatalf("body not restored after pricing: %q", restored.String())
-	}
-	// Garbage bodies price at 1 — the handler rejects them with a 400.
-	if got := requestCost(httptest.NewRequest("POST", "/graphs/g/matrix", bytes.NewBufferString("not json"))); got != 1 {
-		t.Fatalf("garbage matrix cost = %d, want 1", got)
-	}
-	// Empty source/target lists never price at 0.
-	if got := requestCost(httptest.NewRequest("POST", "/graphs/g/matrix", bytes.NewBufferString(`{"sources":[],"targets":[]}`))); got != 1 {
-		t.Fatalf("empty matrix cost = %d, want 1", got)
 	}
 }

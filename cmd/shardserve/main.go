@@ -1,0 +1,188 @@
+// Command shardserve is the worker half of distributed shard serving: it
+// loads some (or all) shards of a `<name>.shards.json` manifest written
+// by graphconv -partition and serves each shard's subgraph as an ordinary
+// registry graph named `<name>.shard<i>`, behind the same HTTP surface as
+// cmd/serve. A router process (serve -route-manifest) scatter-gathers
+// queries across a fleet of these workers; any worker serving a shard is
+// a replica of it, because engine builds are deterministic — two workers
+// given the same shard file and flags answer bit-identically.
+//
+//	shardserve -manifest data/usa.shards.json -addr :8081            # all shards
+//	shardserve -manifest data/usa.shards.json -shards 0,2 -addr :8082
+//
+// The engine flags (-eps, -kappa, -paths) MUST match the router's: routed
+// answers reuse the workers' per-shard arithmetic verbatim, so flag
+// parity is the bit-identity contract (see shard.WorkerEngineOptions).
+//
+// Routes are oracle.NewRegistryHandler's; the aggregate /healthz is the
+// router's per-endpoint health probe (200 once every local shard serves).
+// -max-inflight applies the same weighted admission gate as serve.
+// SIGINT/SIGTERM drain gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/graphio"
+	"repro/internal/admission"
+	"repro/oracle"
+	"repro/shard"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shardserve: ")
+	var (
+		addr     = flag.String("addr", ":8081", "listen address")
+		manifest = flag.String("manifest", "", "shard manifest (<name>.shards.json; required)")
+		shards   = flag.String("shards", "", "comma-separated shard IDs to serve (empty: all shards in the manifest)")
+		eps      = flag.Float64("eps", 0.25, "per-shard engine stretch ε_local (must match the router's)")
+		kappa    = flag.Int("kappa", 0, "κ override for shard engines (0 = oracle default; must match the router's)")
+		paths    = flag.Bool("paths", true, "record memory paths (enables routed /path; must match the router's)")
+		cache    = flag.Int("cache", 256, "distance-vector LRU capacity per engine")
+		workers  = flag.Int("build-workers", 0, "bound on concurrent background builds (0 = auto)")
+		inflight = flag.Int("max-inflight", 0, "admission limit on in-flight query cost units (0 = unlimited)")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain bound")
+	)
+	flag.Parse()
+	if *manifest == "" {
+		log.Fatal("-manifest is required")
+	}
+
+	man, err := graphio.LoadShardManifest(*manifest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, err := shardIDs(*shards, man.K)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := shard.Config{EpsilonLocal: *eps, Kappa: *kappa, PathReporting: *paths}
+	engOpts := shard.WorkerEngineOptions(cfg)
+
+	reg := oracle.NewRegistry(oracle.RegistryConfig{
+		BuildWorkers:  *workers,
+		EngineOptions: []oracle.Option{oracle.WithDistCache(*cache)},
+	})
+	defer reg.Close()
+
+	dir := filepath.Dir(*manifest)
+	for _, i := range ids {
+		name := fmt.Sprintf("%s.shard%d", man.Name, i)
+		// The shard file is re-read on every build (initial or reload), so
+		// a rewritten shard set hot-swaps like any other registry graph.
+		src := func(i int) oracle.EngineSource {
+			return func(ctx context.Context, opts ...oracle.Option) (oracle.Backend, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				sg, err := man.LoadShard(dir, i)
+				if err != nil {
+					return nil, err
+				}
+				return oracle.New(sg.G, append(append([]oracle.Option{}, opts...), engOpts...)...)
+			}
+		}(i)
+		if err := reg.Add(name, src); err != nil {
+			log.Fatal(err)
+		}
+		go func(name string, i int) {
+			start := time.Now()
+			if err := reg.WaitReady(context.Background(), name); err != nil {
+				log.Printf("shard %d (%q) failed: %v", i, name, err)
+				return
+			}
+			gi, err := reg.Info(name)
+			if err != nil {
+				return
+			}
+			log.Printf("shard %d ready as %q in %v: n=%d hopset=%d edges, ~%d MiB",
+				i, name, time.Since(start).Round(time.Millisecond),
+				gi.N, gi.HopsetEdges, gi.MemoryBytes>>20)
+		}(name, i)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: admission.Middleware(oracle.NewRegistryHandler(reg), admission.New(*inflight))}
+	log.Printf("worker listening on %s: %d/%d shards of %q (ε=%v κ=%d paths=%v)",
+		ln.Addr(), len(ids), man.K, man.Name, *eps, *kappa, *paths)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := runServer(ctx, srv, ln, reg, *drain); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly")
+}
+
+// runServer serves on ln until ctx is canceled, then drains gracefully —
+// the same shutdown discipline as cmd/serve.
+func runServer(ctx context.Context, srv *http.Server, ln net.Listener, reg *oracle.Registry, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining (up to %v)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	reg.Close()
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("drain deadline exceeded after %v", drain)
+	}
+	return err
+}
+
+// shardIDs parses -shards ("0,2,5") against the manifest's K; empty means
+// every shard.
+func shardIDs(s string, k int) ([]int, error) {
+	if s == "" {
+		ids := make([]int, k)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids, nil
+	}
+	var ids []int
+	seen := make(map[int]bool)
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		i, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("-shards: %w", err)
+		}
+		if i < 0 || i >= k {
+			return nil, fmt.Errorf("-shards: shard %d not in [0,%d)", i, k)
+		}
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		ids = append(ids, i)
+	}
+	if len(ids) == 0 {
+		return nil, errors.New("-shards: no shard IDs")
+	}
+	return ids, nil
+}

@@ -145,29 +145,31 @@ func (l *Limiter) drainRate() float64 {
 // RetryAfter estimates how long a refused request of the given cost
 // should wait before retrying: the units that must drain before it fits,
 // divided by the observed drain rate, clamped to [1s, 30s]. With no
-// recent drain observations it returns 1s — the optimistic constant the
-// old fixed hint used.
+// recent drain observations — cold start (the ring has seen zero
+// releases in its first second of life) or an idle gap longer than the
+// ring window — the rate is 0 and the estimate is meaningless, so the
+// hint falls back to the 1s floor.
 func (l *Limiter) RetryAfter(cost int64) time.Duration {
 	if l == nil {
 		return 0
 	}
 	cost = l.clamp(cost)
+	var d time.Duration
 	need := l.inflight.Load() + cost - l.limit
-	if need <= 0 {
-		return time.Second
+	if rate := l.drainRate(); need > 0 && rate > 0 {
+		d = time.Duration(float64(time.Second) * float64(need) / rate).Round(time.Second)
 	}
-	rate := l.drainRate()
-	if rate <= 0 {
-		return time.Second
+	// The floor is a final guard over every path on purpose: whatever the
+	// arithmetic above produced (zero rate, sub-second estimate, rounding),
+	// an HTTP "Retry-After: 0" tells clients to hammer back immediately —
+	// exactly wrong while the limiter is refusing work.
+	if d < time.Second {
+		d = time.Second
 	}
-	secs := time.Duration(float64(time.Second) * float64(need) / rate)
-	if secs < time.Second {
-		return time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
 	}
-	if secs > 30*time.Second {
-		return 30 * time.Second
-	}
-	return secs.Round(time.Second)
+	return d
 }
 
 // Stats is a point-in-time snapshot of the limiter.

@@ -115,6 +115,54 @@ func TestRetryAfterFromDrainRate(t *testing.T) {
 	}
 }
 
+// TestRetryAfterColdStartClamp is the regression test for the cold-start
+// clamp: whenever the release ring has observed zero drain — the first
+// second after start, or after an idle gap longer than the ring window —
+// the derived rate is 0 and the hint must still come out ≥ 1s, never
+// "Retry-After: 0" (which tells refused clients to hammer back
+// immediately). The floor must also hold right after a second rolls over,
+// when the partial-second exclusion can zero the rate even under traffic.
+func TestRetryAfterColdStartClamp(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(5000, 0)}
+	l := New(4)
+	l.now = clk.now
+
+	// Cold start: saturated before anything has ever drained.
+	if !l.TryAcquire(4) {
+		t.Fatal("saturating acquire refused")
+	}
+	for _, cost := range []int64{1, 4, 100} {
+		if got := l.RetryAfter(cost); got < time.Second {
+			t.Fatalf("cold-start RetryAfter(%d) = %v, want ≥ 1s", cost, got)
+		}
+	}
+
+	// Some drain happens, then an idle gap longer than the ring window:
+	// every observation ages out and the rate is 0 again.
+	l.Release(4)
+	clk.advance(time.Second)
+	if !l.TryAcquire(4) {
+		t.Fatal("re-acquire refused")
+	}
+	clk.advance((ringSeconds + 2) * time.Second)
+	if rate := l.drainRate(); rate != 0 {
+		t.Fatalf("drain rate after idle gap = %v, want 0", rate)
+	}
+	if got := l.RetryAfter(1); got < time.Second {
+		t.Fatalf("post-idle RetryAfter = %v, want ≥ 1s", got)
+	}
+
+	// Fresh second roll-over: the current partial second is excluded from
+	// the rate, so drain recorded "now" must not break the floor either.
+	l.Release(1)
+	if !l.TryAcquire(1) {
+		t.Fatal("re-acquire refused")
+	}
+	if got := l.RetryAfter(1); got < time.Second {
+		t.Fatalf("partial-second RetryAfter = %v, want ≥ 1s", got)
+	}
+}
+
 // TestConcurrentAcquireRelease races admissions (run with -race): the
 // invariant inflight ∈ [0, limit] must hold throughout and settle at 0.
 func TestConcurrentAcquireRelease(t *testing.T) {

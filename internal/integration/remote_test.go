@@ -1,0 +1,300 @@
+package integration
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/graphio"
+	"repro/internal/partition"
+	"repro/internal/testkit"
+	"repro/shard"
+)
+
+// buildShardserve compiles the real cmd/shardserve binary once per test
+// run — the multi-process suites exercise actual worker processes, not
+// in-process stand-ins.
+var shardserveOnce struct {
+	sync.Once
+	bin string
+	err error
+}
+
+func buildShardserve(t *testing.T) string {
+	t.Helper()
+	shardserveOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "shardserve-bin-")
+		if err != nil {
+			shardserveOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "shardserve")
+		out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/shardserve").CombinedOutput()
+		if err != nil {
+			shardserveOnce.err = fmt.Errorf("building shardserve: %v\n%s", err, out)
+			return
+		}
+		shardserveOnce.bin = bin
+	})
+	if shardserveOnce.err != nil {
+		t.Fatal(shardserveOnce.err)
+	}
+	return shardserveOnce.bin
+}
+
+// workerProc is one live shardserve process.
+type workerProc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startWorkerProc launches a shardserve worker on an ephemeral port and
+// parses the listen address from its startup log line.
+func startWorkerProc(t *testing.T, bin, manifest string) *workerProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-manifest", manifest,
+		"-addr", "127.0.0.1:0",
+		"-eps", fmt.Sprintf("%g", shardEps),
+		"-paths=true",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	w := &workerProc{cmd: cmd}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.Index(rest, ": "); j > 0 {
+					select {
+					case addrc <- rest[:j]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		// ":0" binds may report a wildcard host; queries go to loopback.
+		if i := strings.LastIndex(addr, ":"); i >= 0 {
+			addr = "127.0.0.1" + addr[i:]
+		}
+		w.url = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("shardserve did not report its listen address")
+	}
+	return w
+}
+
+// kill sends SIGKILL — an abrupt process death, not a graceful drain.
+func (w *workerProc) kill() {
+	w.cmd.Process.Kill()
+	w.cmd.Wait()
+}
+
+// TestMultiProcessRemoteEquivalence is the distributed half of the golden
+// determinism claim, with real process boundaries: for every golden-corpus
+// instance, a shard.Router scatter-gathering over two separate shardserve
+// worker processes must answer dist and path queries bit-identically to
+// the in-process shard.Oracle opened from the same manifest with the same
+// flags. Skipped under -short (it compiles and spawns real binaries).
+func TestMultiProcessRemoteEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process suite skipped in -short mode")
+	}
+	bin := buildShardserve(t)
+	for _, c := range goldenCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			manPath, err := graphio.WriteShards(dir, c.name, partition.Partition(c.g, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			man, err := graphio.LoadShardManifest(manPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := shard.Config{EpsilonLocal: shardEps, PathReporting: true}
+			want, err := shard.Open(context.Background(), manPath, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			w0 := startWorkerProc(t, bin, manPath)
+			w1 := startWorkerProc(t, bin, manPath)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			router, err := shard.NewRouter(ctx, man,
+				shard.UniformPlacement(man.Name, man.K, []string{w0.url, w1.url}),
+				shard.RouterConfig{Config: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer router.Close()
+
+			for _, src := range c.sources {
+				wd, err := want.Dist(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gd, err := router.Dist(src)
+				if err != nil {
+					t.Fatalf("routed dist(%d): %v", src, err)
+				}
+				// Hex rendering makes any drift a visible bit diff.
+				for v := range wd {
+					if gd[v] != wd[v] {
+						t.Fatalf("dist(%d)[%d] = %x, want %x", src, v, gd[v], wd[v])
+					}
+				}
+				wp, wl, err := want.Path(src, int32(c.g.N-1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				gp, gl, err := router.Path(src, int32(c.g.N-1))
+				if err != nil {
+					t.Fatalf("routed path(%d): %v", src, err)
+				}
+				if gl != wl || !reflect.DeepEqual(gp, wp) {
+					t.Fatalf("routed path(%d) = (%v, %x), want (%v, %x)", src, gp, gl, wp, wl)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiProcessFailover kills one of two replica worker processes
+// (SIGKILL, mid-traffic) while concurrent queriers hammer the router.
+// Every query must still return the bit-exact in-process answer — zero
+// failed queries, zero wrong answers — and the router must record the
+// dead endpoint as unhealthy. Run under -race in CI.
+func TestMultiProcessFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process suite skipped in -short mode")
+	}
+	bin := buildShardserve(t)
+	dir := t.TempDir()
+	g := testkit.Grid(196, 4)
+	manPath, err := graphio.WriteShards(dir, "grid", partition.Partition(g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := graphio.LoadShardManifest(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shard.Config{
+		EpsilonLocal:  shardEps,
+		PathReporting: true,
+		// Disable the router's assembled-vector cache so every query goes
+		// back over the wire — the point is to hit the dead worker.
+		DistCache: -1,
+	}
+	want, err := shard.Open(context.Background(), manPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make(map[int32][]float64)
+	for src := int32(0); src < int32(g.N); src += 7 {
+		d, err := want.Dist(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[src] = d
+	}
+
+	w0 := startWorkerProc(t, bin, manPath)
+	w1 := startWorkerProc(t, bin, manPath)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	router, err := shard.NewRouter(ctx, man,
+		shard.UniformPlacement(man.Name, man.K, []string{w0.url, w1.url}),
+		shard.RouterConfig{Config: cfg, ProbeInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	var failed, wrong atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for q := 0; q < 8; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			srcs := make([]int32, 0, len(refs))
+			for s := range refs {
+				srcs = append(srcs, s)
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src := srcs[(q*13+i)%len(srcs)]
+				d, err := router.Dist(src)
+				if err != nil {
+					t.Logf("querier %d: dist(%d): %v", q, src, err)
+					failed.Add(1)
+					continue
+				}
+				if !reflect.DeepEqual(d, refs[src]) {
+					wrong.Add(1)
+				}
+			}
+		}(q)
+	}
+
+	// Let traffic flow on both replicas, then kill one process outright.
+	time.Sleep(300 * time.Millisecond)
+	w0.kill()
+	time.Sleep(700 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if f := failed.Load(); f != 0 {
+		t.Fatalf("%d queries failed during/after the kill", f)
+	}
+	if w := wrong.Load(); w != 0 {
+		t.Fatalf("%d answers deviated from the in-process reference", w)
+	}
+	st := router.Stats()
+	if st.Sharded == nil || st.Sharded.Remote == nil {
+		t.Fatal("router stats missing the remote section")
+	}
+	for _, ep := range st.Sharded.Remote.Endpoints {
+		if ep.URL == w0.url && ep.Healthy {
+			t.Fatal("killed worker still reported healthy")
+		}
+		if ep.URL == w1.url && !ep.Healthy {
+			t.Fatal("surviving worker reported unhealthy")
+		}
+	}
+	t.Logf("failover stats: hedges=%d wins=%d failovers=%d",
+		st.Sharded.Remote.Hedges, st.Sharded.Remote.HedgeWins, st.Sharded.Remote.Failovers)
+}

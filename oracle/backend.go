@@ -41,6 +41,19 @@ type MatrixBackend interface {
 	Matrix(sources, targets []int32) ([][]float64, error)
 }
 
+// OffsetBackend is the optional offset-seeded exploration surface: the
+// sharded router enters a shard with the cost already paid to reach its
+// boundary, so per-shard engines served remotely must expose
+// NearestWithOffsets over the wire. *Engine and RemoteBackend implement
+// it; the sharded Oracle does not (its own Nearest is already routed).
+// The HTTP layer answers POST /graphs/{name}/nearest with offsets via
+// this interface and 501s backends without it.
+type OffsetBackend interface {
+	// NearestWithOffsets is Nearest with a per-source starting cost:
+	// out[v] = min_i offsets[i] + dist(sources[i], v).
+	NearestWithOffsets(sources []int32, offsets []float64) ([]float64, error)
+}
+
 // BackendInfo describes a resident backend for GraphInfo and the status
 // endpoints.
 type BackendInfo struct {
@@ -80,6 +93,35 @@ type ShardStats struct {
 	// distance vectors (distinct from the per-shard engine caches summed
 	// into Stats.DistCache).
 	RouterCache CacheStats `json:"router_cache"`
+
+	// Remote is set only by the distributed scatter-gather router
+	// (shard.Router): per-replica-endpoint health, traffic, and latency.
+	// In-process sharded oracles leave it nil.
+	Remote *RemoteStats `json:"remote,omitempty"`
+}
+
+// RemoteStats is the distributed router's section of ShardStats.
+type RemoteStats struct {
+	// Endpoints is one entry per distinct worker base URL, across every
+	// shard placed on it.
+	Endpoints []EndpointStats `json:"endpoints"`
+	// Hedges counts second requests fired after the hedge delay;
+	// HedgeWins how many of those answered first. Failovers counts
+	// queries re-routed after a replica error.
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+	Failovers int64 `json:"failovers"`
+}
+
+// EndpointStats describes one worker endpoint as the router sees it.
+type EndpointStats struct {
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	// Latency is the per-replica request latency histogram — the signal
+	// the hedging delay is derived from.
+	Latency LatencySnapshot `json:"latency"`
 }
 
 // Describe implements Backend for the monolithic engine.

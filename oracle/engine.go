@@ -143,10 +143,10 @@ func estimateMemoryBytes(solver *core.Solver) int64 {
 	n := int64(h.G.N)
 	arcs := int64(2 * h.G.M()) // graph arcs, both directions
 	extra := int64(2 * h.Size())
-	bytes := (n + 1) * 4                  // CSR offsets
-	bytes += (arcs + extra) * arcBytes    // combined adjacency
-	bytes += int64(h.G.M()) * edgeBytes   // graph edge list
-	bytes += int64(h.Size()) * hopBytes   // hopset edges
+	bytes := (n + 1) * 4                // CSR offsets
+	bytes += (arcs + extra) * arcBytes  // combined adjacency
+	bytes += int64(h.G.M()) * edgeBytes // graph edge list
+	bytes += int64(h.Size()) * hopBytes // hopset edges
 	for _, p := range h.Paths {
 		bytes += int64(len(p)) * stepBytes
 	}

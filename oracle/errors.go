@@ -41,3 +41,53 @@ var (
 // oracle callers can match it without importing internal/relax. The HTTP
 // layer maps it to 400.
 var ErrOffsetsMismatch = relax.ErrLengthMismatch
+
+// ErrRemote is wrapped by every RemoteBackend failure that is NOT one of
+// the typed sentinels above: transport errors, unexpected statuses,
+// malformed response bodies. Callers use it to tell "the backend said no"
+// (a typed error, identical on every replica) from "the wire said no"
+// (retryable on another replica).
+var ErrRemote = errors.New("oracle: remote backend error")
+
+// errorCodes maps every typed sentinel to a stable wire code, so a typed
+// error raised inside one serve process survives the HTTP hop into
+// another process's RemoteBackend with errors.Is intact. The codes are
+// part of the wire contract: rename one and old routers stop matching.
+var errorCodes = []struct {
+	code string
+	err  error
+}{
+	{"not_built", ErrNotBuilt},
+	{"vertex_out_of_range", ErrVertexOutOfRange},
+	{"need_path_reporting", ErrNeedPathReporting},
+	{"need_sources", ErrNeedSources},
+	{"snapshot_unsupported", ErrSnapshotUnsupported},
+	{"unsupported", ErrUnsupported},
+	{"offsets_mismatch", ErrOffsetsMismatch},
+	{"unknown_graph", ErrUnknownGraph},
+	{"graph_not_ready", ErrGraphNotReady},
+	{"duplicate_graph", ErrDuplicateGraph},
+	{"registry_closed", ErrRegistryClosed},
+}
+
+// errorCode returns the wire code of err's first matching sentinel, or ""
+// when err carries no typed sentinel.
+func errorCode(err error) string {
+	for _, ec := range errorCodes {
+		if errors.Is(err, ec.err) {
+			return ec.code
+		}
+	}
+	return ""
+}
+
+// sentinelForCode is errorCode's inverse: the typed sentinel a wire code
+// decodes back to (nil for unknown or empty codes).
+func sentinelForCode(code string) error {
+	for _, ec := range errorCodes {
+		if ec.code == code {
+			return ec.err
+		}
+	}
+	return nil
+}

@@ -211,7 +211,7 @@ type graphEntry struct {
 
 	mu       sync.Mutex
 	status   GraphStatus
-	err      error  // last build failure
+	err      error // last build failure
 	handle   *Handle
 	version  int64 // versions published so far
 	building bool  // a build (initial or reload) is in flight
@@ -499,6 +499,14 @@ func (r *Registry) enforceBudget() {
 		if old != nil {
 			r.draining.Add(1)
 			old.Release()
+			if r.hot != nil {
+				// Same reason as Remove: an evicted graph's cached rows are
+				// tagged with a version nothing re-validates until the next
+				// rebuild lands, so they would serve stale for an unbounded
+				// window (and hold memory against the very budget that
+				// triggered the eviction). Drop them with the engine.
+				r.hot.purge(cand.e.name)
+			}
 		}
 	}
 }

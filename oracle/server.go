@@ -19,6 +19,14 @@ type matrixRequest struct {
 	Targets []int32 `json:"targets"`
 }
 
+// sourcesRequest is the POST /graphs/{name}/multi and /nearest body; the
+// optional Offsets turn a /nearest into an offset-seeded exploration
+// (the sharded router's continuation primitive).
+type sourcesRequest struct {
+	Sources []int32   `json:"sources"`
+	Offsets []float64 `json:"offsets,omitempty"`
+}
+
 // jsonMatrix maps every +Inf entry to null, row by row.
 func jsonMatrix(rows [][]float64) [][]any {
 	out := make([][]any, len(rows))
@@ -273,6 +281,94 @@ func NewRegistryHandler(r *Registry) http.Handler {
 			"matrix": jsonMatrix(rows),
 		})
 	})
+	mux.HandleFunc("POST /graphs/{name}/multi", func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		var body sourcesRequest
+		req.Body = http.MaxBytesReader(w, req.Body, maxMatrixBody)
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeError(w, &badRequestError{msg: "bad multi body: " + err.Error()})
+			return
+		}
+		h, err := r.Acquire(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer h.Release()
+		rows, err := h.Engine().MultiSource(body.Sources)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"graph": name, "version": h.Version(),
+			"sources": body.Sources, "rows": jsonMatrix(rows),
+		})
+	})
+	mux.HandleFunc("POST /graphs/{name}/nearest", func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		var body sourcesRequest
+		req.Body = http.MaxBytesReader(w, req.Body, maxMatrixBody)
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeError(w, &badRequestError{msg: "bad nearest body: " + err.Error()})
+			return
+		}
+		h, err := r.Acquire(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer h.Release()
+		var dist []float64
+		if body.Offsets != nil {
+			ob, ok := h.Engine().(OffsetBackend)
+			if !ok {
+				writeError(w, fmt.Errorf("%w: nearest with offsets", ErrUnsupported))
+				return
+			}
+			dist, err = ob.NearestWithOffsets(body.Sources, body.Offsets)
+		} else {
+			dist, err = h.Engine().Nearest(body.Sources)
+		}
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		out := make([]any, len(dist))
+		for i, d := range dist {
+			out[i] = jsonDist(d)
+		}
+		writeJSON(w, map[string]any{
+			"graph": name, "version": h.Version(), "dist": out,
+		})
+	})
+	mux.HandleFunc("GET /graphs/{name}/tree", func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("name")
+		source, err := vertexParam(req, "source")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		h, err := r.Acquire(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer h.Release()
+		tree, err := h.Engine().Tree(source)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		dist := make([]any, len(tree.Dist))
+		for i, d := range tree.Dist {
+			dist[i] = jsonDist(d)
+		}
+		writeJSON(w, map[string]any{
+			"graph": name, "version": h.Version(), "source": tree.Source,
+			"parent": tree.Parent, "parent_w": tree.ParentW, "dist": dist,
+		})
+	})
 	mux.HandleFunc("GET /graphs/{name}/stats", func(w http.ResponseWriter, req *http.Request) {
 		name := req.PathValue("name")
 		gi, err := r.Info(name)
@@ -354,5 +450,12 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	// The code carries the typed sentinel across the process boundary:
+	// RemoteBackend decodes it back so errors.Is matches remotely exactly
+	// as it would in-process.
+	body := map[string]string{"error": err.Error()}
+	if code := errorCode(err); code != "" {
+		body["code"] = code
+	}
+	json.NewEncoder(w).Encode(body)
 }

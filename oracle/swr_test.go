@@ -220,6 +220,152 @@ func TestDistSWRPurgeOnRemove(t *testing.T) {
 	}
 }
 
+// TestDistSWRPurgeOnEvict is the regression test for the eviction half
+// of hot-row hygiene: Remove purged the graph's rows but memory-budget
+// eviction did not, so an evicted graph kept serving cached rows with no
+// rebuild in flight to ever revalidate them — an unbounded staleness
+// window, holding memory against the very budget that evicted the
+// engine. Eviction must drop the rows with the engine: a query on the
+// evicted graph fails not-ready (and enqueues the rebuild) instead of
+// serving from the dead generation, and the rebuilt graph answers fresh.
+func TestDistSWRPurgeOnEvict(t *testing.T) {
+	var probeBuilds atomic.Int64
+	probe, err := versionedSource(&probeBuilds, 0)(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := probe.MemoryBytes() + probe.MemoryBytes()/2
+
+	r := NewRegistry(RegistryConfig{HotPairCache: 64, MemoryBudget: budget})
+	defer r.Close()
+	var builds1, builds2 atomic.Int64
+	if err := r.Add("g1", versionedSource(&builds1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, r, "g1")
+	if res, err := r.DistSWR("g1", 0); err != nil || res.Dist[1] != 1 {
+		t.Fatalf("seed row: %+v, %v", res, err) // cache a v1 row
+	}
+
+	// A second graph overflows the budget; g1 (colder) is evicted.
+	if err := r.Add("g2", versionedSource(&builds2, 50)); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, r, "g2")
+	gi, err := r.Info("g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Status != StatusEvicted {
+		t.Fatalf("g1 not evicted: %+v", gi)
+	}
+
+	// The evicted graph's rows must be gone: not-ready, not a stale serve
+	// from the dead generation.
+	if _, err := r.DistSWR("g1", 0); !errors.Is(err, ErrGraphNotReady) {
+		t.Fatalf("query on evicted graph = %v, want ErrGraphNotReady", err)
+	}
+	waitReady(t, r, "g1") // the failed query enqueued the rebuild
+	res, err := r.DistSWR("g1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stale || res.Version != 2 || res.Dist[1] != 2 {
+		t.Fatalf("post-rebuild answer = %+v, want fresh v2", res)
+	}
+}
+
+// TestDistSWREvictRebuildHammer extends the reload hammer across the
+// eviction lifecycle (run with -race): two graphs under a one-engine
+// budget ping-pong evict/rebuild while workers hammer both through the
+// SWR surface. Invariants: the only acceptable failure is
+// ErrGraphNotReady (the eviction window), and no served row ever mixes
+// generations — its payload must match the version it claims.
+func TestDistSWREvictRebuildHammer(t *testing.T) {
+	var probeBuilds atomic.Int64
+	probe, err := versionedSource(&probeBuilds, 0)(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := probe.MemoryBytes() + probe.MemoryBytes()/2
+
+	r := NewRegistry(RegistryConfig{HotPairCache: 64, MemoryBudget: budget})
+	defer r.Close()
+	var builds1, builds2 atomic.Int64
+	if err := r.Add("g1", versionedSource(&builds1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("g2", versionedSource(&builds2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, r, "g1")
+	waitReady(t, r, "g2")
+
+	var (
+		stop      atomic.Bool
+		mixed     atomic.Int64
+		served    atomic.Int64
+		hardFails atomic.Int64
+		notReady  atomic.Int64
+	)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := "g1"
+			if w%2 == 1 {
+				name = "g2"
+			}
+			for !stop.Load() {
+				res, err := r.DistSWR(name, 0)
+				if err != nil {
+					if errors.Is(err, ErrGraphNotReady) {
+						notReady.Add(1) // eviction window; the query enqueued the rebuild
+					} else {
+						hardFails.Add(1)
+					}
+					continue
+				}
+				served.Add(1)
+				if res.Dist[1] != float64(res.Version) {
+					mixed.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Run until the evict→rebuild cycle has churned several generations on
+	// both graphs (each rebuild is one build-counter bump past the first).
+	deadline := time.Now().Add(30 * time.Second)
+	for builds1.Load() < 4 || builds2.Load() < 4 {
+		if time.Now().After(deadline) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("evict/rebuild churn stalled: builds g1=%d g2=%d", builds1.Load(), builds2.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if f := hardFails.Load(); f != 0 {
+		t.Errorf("%d hard failures (want 0; only ErrGraphNotReady is acceptable mid-eviction)", f)
+	}
+	if m := mixed.Load(); m != 0 {
+		t.Errorf("%d responses mixed generations (want 0)", m)
+	}
+	if served.Load() == 0 {
+		t.Fatal("hammer served nothing")
+	}
+	if r.Stats().Evictions == 0 {
+		t.Error("no evictions happened; the hammer did not exercise the evict path")
+	}
+	t.Logf("served=%d notReady=%d evictions=%d builds=(%d,%d)",
+		served.Load(), notReady.Load(), r.Stats().Evictions, builds1.Load(), builds2.Load())
+}
+
 // TestDistSWRDisabledFallsBack: without a hot-pair cache DistSWR is
 // exactly Registry.Dist plus a version tag — never stale.
 func TestDistSWRDisabledFallsBack(t *testing.T) {

@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Placement assigns every shard of one logical graph to one or more
+// replica endpoints — worker processes (cmd/shardserve) each serving that
+// shard's subgraph as an ordinary registry graph. The router scatters a
+// query's per-shard legs across these endpoints with hedging and
+// failover; any replica of a shard answers bit-identically (engines are
+// deterministic and the wire preserves float64 exactly), so replica
+// choice is a latency decision, never a correctness one.
+type Placement struct {
+	// Graph is the logical graph name; shard i defaults to remote graph
+	// name "<Graph>.shard<i>" (cmd/shardserve's naming) unless the entry
+	// overrides it.
+	Graph string `json:"graph"`
+	// Shards is one entry per shard, indexed by shard ID.
+	Shards []ShardPlacement `json:"shards"`
+}
+
+// ShardPlacement places one shard on its replica endpoints.
+type ShardPlacement struct {
+	// Name is the remote graph name serving this shard; "" means the
+	// default "<graph>.shard<i>".
+	Name string `json:"name,omitempty"`
+	// Replicas are endpoint base URLs (scheme://host:port), in preference
+	// order: the first healthy one is the primary, the rest are hedge and
+	// failover targets.
+	Replicas []string `json:"replicas"`
+}
+
+// ShardName returns the remote graph name of shard i.
+func (p *Placement) ShardName(i int) string {
+	if p.Shards[i].Name != "" {
+		return p.Shards[i].Name
+	}
+	return fmt.Sprintf("%s.shard%d", p.Graph, i)
+}
+
+// validate checks the placement covers exactly k shards, each with at
+// least one replica.
+func (p *Placement) validate(k int) error {
+	if len(p.Shards) != k {
+		return fmt.Errorf("shard: placement has %d shards, manifest has %d", len(p.Shards), k)
+	}
+	for i, sp := range p.Shards {
+		if len(sp.Replicas) == 0 {
+			return fmt.Errorf("shard: placement shard %d has no replicas", i)
+		}
+		for _, u := range sp.Replicas {
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return fmt.Errorf("shard: placement shard %d: replica %q is not an http(s) URL", i, u)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadPlacement reads a placement map from a JSON file.
+func LoadPlacement(path string) (*Placement, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: placement: %w", err)
+	}
+	var p Placement
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("shard: placement %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// UniformPlacement places every shard on every peer — the -shard-peers
+// deployment shape, where each worker serves all K shard graphs and the
+// router treats the whole peer set as replicas of each. Peer order is the
+// per-shard preference order, rotated by shard ID so load spreads across
+// peers instead of hammering the first one.
+func UniformPlacement(graph string, k int, peers []string) *Placement {
+	p := &Placement{Graph: graph, Shards: make([]ShardPlacement, k)}
+	for i := range p.Shards {
+		reps := make([]string, len(peers))
+		for j := range peers {
+			reps[j] = peers[(i+j)%len(peers)]
+		}
+		p.Shards[i] = ShardPlacement{Replicas: reps}
+	}
+	return p
+}

@@ -1,0 +1,318 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hist"
+	"repro/oracle"
+)
+
+// endpoint is one worker base URL as the router sees it, shared across
+// every shard placed on it: one health state, one traffic counter pair,
+// one latency histogram (the hedge-delay signal) per process, not per
+// shard.
+type endpoint struct {
+	url     string
+	healthy atomic.Bool
+
+	requests atomic.Int64
+	errs     atomic.Int64
+	lat      hist.Histogram
+}
+
+func (ep *endpoint) stats() oracle.EndpointStats {
+	return oracle.EndpointStats{
+		URL:      ep.url,
+		Healthy:  ep.healthy.Load(),
+		Requests: ep.requests.Load(),
+		Errors:   ep.errs.Load(),
+		Latency:  ep.lat.Snapshot(),
+	}
+}
+
+// replica is one shard's client on one endpoint.
+type replica struct {
+	ep *endpoint
+	be *oracle.RemoteBackend
+}
+
+// remoteCounters is the router-wide hedging/failover accounting shared by
+// every replicaSet.
+type remoteCounters struct {
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	failovers atomic.Int64
+}
+
+// replicaSet is one shard's leg engine over its replica endpoints. It
+// implements legEngine by scattering each call with hedging and failover:
+//
+//   - the first healthy replica (placement order) gets the request;
+//   - if no answer lands within the hedge delay — a percentile of that
+//     endpoint's observed latency — the same request is fired at the next
+//     replica; the first success wins and the loser's context is
+//     canceled;
+//   - a transient failure (transport error, 5xx) fails over to the next
+//     replica and, when transport-level, marks the endpoint unhealthy
+//     until a probe revives it; a typed answer (400/404/501 — identical
+//     on every replica by determinism) returns immediately.
+//
+// Correctness never depends on which replica answers: workers build the
+// same shard deterministically and float64 survives the wire exactly.
+type replicaSet struct {
+	shard    int
+	replicas []replica
+	counters *remoteCounters
+
+	// hedgeAfter returns the current hedge delay for a primary endpoint;
+	// ctx gates in-flight calls (canceled when the router closes).
+	hedgeAfter func(*endpoint) time.Duration
+	ctx        context.Context
+}
+
+// ordered returns the replicas in dispatch order: healthy ones first in
+// placement order, then unhealthy ones (last resort — a probe may lag a
+// recovery, and a marked-down endpoint still beats returning an error
+// without trying).
+func (rs *replicaSet) ordered() []replica {
+	out := make([]replica, 0, len(rs.replicas))
+	for _, r := range rs.replicas {
+		if r.ep.healthy.Load() {
+			out = append(out, r)
+		}
+	}
+	for _, r := range rs.replicas {
+		if !r.ep.healthy.Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// hedged scatters do over the replica set: primary first, a hedge after
+// the delay, failover on transient errors. Returns the first successful
+// answer, the first typed (definitive) error, or — when every replica
+// fails transiently — the last transient error.
+func hedged[T any](rs *replicaSet, do func(context.Context, *oracle.RemoteBackend) (T, error)) (T, error) {
+	var zero T
+	order := rs.ordered()
+	if len(order) == 0 {
+		return zero, fmt.Errorf("%w: shard %d has no replicas", oracle.ErrRemote, rs.shard)
+	}
+	ctx, cancel := context.WithCancel(rs.ctx)
+	defer cancel()
+
+	type outcome struct {
+		val   T
+		err   error
+		rep   replica
+		hedge bool
+	}
+	results := make(chan outcome, len(order))
+	launch := func(rep replica, hedge bool) {
+		go func() {
+			start := time.Now()
+			v, err := do(ctx, rep.be)
+			rep.ep.lat.Observe(time.Since(start))
+			rep.ep.requests.Add(1)
+			if err != nil && ctx.Err() == nil {
+				rep.ep.errs.Add(1)
+			}
+			results <- outcome{v, err, rep, hedge}
+		}()
+	}
+
+	launch(order[0], false)
+	next, inflight := 1, 1
+
+	// The hedge timer only runs while exactly the primary is in flight;
+	// failover supersedes it (the follow-up request is already out).
+	var hedgeC <-chan time.Time
+	var timer *time.Timer
+	if next < len(order) {
+		timer = time.NewTimer(rs.hedgeAfter(order[0].ep))
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	var lastErr error
+	for inflight > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			// Hedge only against a healthy replica: racing a request at an
+			// endpoint already marked down just burns a connection and
+			// pollutes its latency signal. It stays in the order as a
+			// failover last resort.
+			for h := next; h < len(order); h++ {
+				if !order[h].ep.healthy.Load() {
+					continue
+				}
+				order[next], order[h] = order[h], order[next]
+				rs.counters.hedges.Add(1)
+				launch(order[next], true)
+				next++
+				inflight++
+				break
+			}
+		case out := <-results:
+			inflight--
+			if out.err == nil {
+				if out.hedge {
+					rs.counters.hedgeWins.Add(1)
+				}
+				return out.val, nil
+			}
+			if rs.ctx.Err() != nil {
+				return zero, out.err // router closed; don't spin up more
+			}
+			if ctx.Err() != nil {
+				continue // canceled because a sibling already answered
+			}
+			if !oracle.IsRemoteTransient(out.err) {
+				// Typed answer: every replica would say the same thing.
+				return zero, out.err
+			}
+			lastErr = out.err
+			if isTransportError(out.err) {
+				// The process is gone or unreachable; stop routing to it
+				// until the health probe sees it again.
+				out.rep.ep.healthy.Store(false)
+			}
+			if next < len(order) {
+				rs.counters.failovers.Add(1)
+				hedgeC = nil
+				launch(order[next], false)
+				next++
+				inflight++
+			}
+		}
+	}
+	return zero, lastErr
+}
+
+func isTransportError(err error) bool {
+	var re *oracle.RemoteError
+	return asRemoteError(err, &re) && re.Status == 0
+}
+
+func asRemoteError(err error, target **oracle.RemoteError) bool {
+	for err != nil {
+		if re, ok := err.(*oracle.RemoteError); ok {
+			*target = re
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Dist implements legEngine.
+func (rs *replicaSet) Dist(source int32) ([]float64, error) {
+	return hedged(rs, func(ctx context.Context, be *oracle.RemoteBackend) ([]float64, error) {
+		return be.DistContext(ctx, source)
+	})
+}
+
+// MultiSource implements legEngine.
+func (rs *replicaSet) MultiSource(sources []int32) ([][]float64, error) {
+	return hedged(rs, func(ctx context.Context, be *oracle.RemoteBackend) ([][]float64, error) {
+		return be.MultiSourceContext(ctx, sources)
+	})
+}
+
+// Nearest implements legEngine.
+func (rs *replicaSet) Nearest(sources []int32) ([]float64, error) {
+	return hedged(rs, func(ctx context.Context, be *oracle.RemoteBackend) ([]float64, error) {
+		return be.NearestContext(ctx, sources)
+	})
+}
+
+// NearestWithOffsets implements legEngine — the router's offset-seeded
+// continuation into this shard, served by POST /nearest with offsets.
+func (rs *replicaSet) NearestWithOffsets(sources []int32, offsets []float64) ([]float64, error) {
+	return hedged(rs, func(ctx context.Context, be *oracle.RemoteBackend) ([]float64, error) {
+		return be.NearestWithOffsetsContext(ctx, sources, offsets)
+	})
+}
+
+// Path implements legEngine.
+func (rs *replicaSet) Path(u, v int32) ([]int32, float64, error) {
+	type pv struct {
+		path   []int32
+		length float64
+	}
+	res, err := hedged(rs, func(ctx context.Context, be *oracle.RemoteBackend) (pv, error) {
+		p, l, err := be.PathContext(ctx, u, v)
+		return pv{p, l}, err
+	})
+	return res.path, res.length, err
+}
+
+// MemoryBytes implements legEngine: the remote engine's estimate (cached
+// GraphInfo; 0 while unreachable). The router's MemoryBytes therefore
+// reports what the worker fleet holds, not local footprint — eviction of
+// a routed graph drops clients, never worker engines.
+func (rs *replicaSet) MemoryBytes() int64 {
+	for _, r := range rs.ordered() {
+		if b := r.be.MemoryBytes(); b > 0 {
+			return b
+		}
+	}
+	return 0
+}
+
+// Describe implements legEngine from the first answering replica.
+func (rs *replicaSet) Describe() oracle.BackendInfo {
+	for _, r := range rs.ordered() {
+		if info := r.be.Describe(); info.HopsetEdges > 0 {
+			return info
+		}
+	}
+	return oracle.BackendInfo{}
+}
+
+// Stats implements legEngine. It deliberately returns zero Stats: worker
+// engine counters are the workers' own (scraped from their /stats), and
+// fetching N remote snapshots per status poll would put monitoring on the
+// query path. The router's per-endpoint view lives in ShardStats.Remote.
+func (rs *replicaSet) Stats() oracle.Stats { return oracle.Stats{} }
+
+// ready reports whether at least one replica serves the shard graph.
+func (rs *replicaSet) ready(ctx context.Context) bool {
+	for _, r := range rs.replicas {
+		if ok, err := r.be.Ready(ctx); err == nil && ok {
+			return true
+		}
+	}
+	return false
+}
+
+var _ legEngine = (*replicaSet)(nil)
+
+// probe refreshes one endpoint's health from GET /healthz. 200 marks it
+// healthy; 503 "starting" (graphs still building) and transport failures
+// mark it down. A dedicated client keeps probe timeouts independent of
+// query timeouts.
+func probeEndpoint(ctx context.Context, client *http.Client, ep *endpoint) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.url+"/healthz", nil)
+	if err != nil {
+		ep.healthy.Store(false)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		ep.healthy.Store(false)
+		return
+	}
+	resp.Body.Close()
+	ep.healthy.Store(resp.StatusCode == http.StatusOK)
+}

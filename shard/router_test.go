@@ -1,0 +1,438 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/graphio"
+	"repro/internal/partition"
+	"repro/internal/testkit"
+	"repro/oracle"
+)
+
+// ---- placement ----
+
+func TestUniformPlacement(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2"}
+	pl := UniformPlacement("usa", 3, peers)
+	if err := pl.validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Graph != "usa" {
+		t.Fatalf("graph = %q", pl.Graph)
+	}
+	for i, sp := range pl.Shards {
+		if len(sp.Replicas) != len(peers) {
+			t.Fatalf("shard %d has %d replicas, want %d", i, len(sp.Replicas), len(peers))
+		}
+		// Primary rotates with the shard ID so the fleet shares load.
+		if want := peers[i%len(peers)]; sp.Replicas[0] != want {
+			t.Fatalf("shard %d primary = %q, want %q", i, sp.Replicas[0], want)
+		}
+		if want := fmt.Sprintf("usa.shard%d", i); pl.ShardName(i) != want {
+			t.Fatalf("ShardName(%d) = %q, want %q", i, pl.ShardName(i), want)
+		}
+	}
+}
+
+func TestPlacementValidate(t *testing.T) {
+	good := UniformPlacement("g", 2, []string{"http://a:1"})
+	if err := good.validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.validate(3); err == nil {
+		t.Fatal("shard-count mismatch not rejected")
+	}
+	noReplicas := &Placement{Graph: "g", Shards: []ShardPlacement{{}, {Replicas: []string{"http://a:1"}}}}
+	if err := noReplicas.validate(2); err == nil {
+		t.Fatal("empty replica list not rejected")
+	}
+	badScheme := &Placement{Graph: "g", Shards: []ShardPlacement{{Replicas: []string{"ftp://a:1"}}}}
+	if err := badScheme.validate(1); err == nil {
+		t.Fatal("non-http endpoint not rejected")
+	}
+}
+
+func TestLoadPlacement(t *testing.T) {
+	pl := UniformPlacement("grid", 2, []string{"http://a:1", "http://b:2"})
+	pl.Shards[1].Name = "custom.name"
+	raw, err := json.MarshalIndent(pl, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "placement.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPlacement(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pl) {
+		t.Fatalf("LoadPlacement = %+v, want %+v", got, pl)
+	}
+	if got.ShardName(1) != "custom.name" {
+		t.Fatalf("explicit shard name lost: %q", got.ShardName(1))
+	}
+}
+
+// ---- replicaSet hedging and failover (stub workers) ----
+
+// stubWorker answers /graphs/{g}/dist with a fixed row after an optional
+// delay — just enough of the worker surface for replicaSet unit tests.
+func stubWorker(t *testing.T, delay time.Duration, dist []float64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	mux.HandleFunc("GET /graphs/{name}/dist", func(w http.ResponseWriter, r *http.Request) {
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		json.NewEncoder(w).Encode(map[string]any{"dist": dist})
+	})
+	return httptest.NewServer(mux)
+}
+
+func newTestSet(hedge time.Duration, urls ...string) *replicaSet {
+	rs := &replicaSet{
+		shard:      0,
+		counters:   &remoteCounters{},
+		hedgeAfter: func(*endpoint) time.Duration { return hedge },
+		ctx:        context.Background(),
+	}
+	for _, u := range urls {
+		ep := &endpoint{url: u}
+		ep.healthy.Store(true)
+		rs.replicas = append(rs.replicas, replica{ep: ep, be: oracle.NewRemoteBackend(u, "g", nil)})
+	}
+	return rs
+}
+
+// TestReplicaSetHedgeWin: a straggling primary is raced by a hedge after
+// the delay, and the faster secondary's answer wins. The stub replicas
+// deliberately disagree so the winner is observable (real replicas are
+// bit-identical by determinism).
+func TestReplicaSetHedgeWin(t *testing.T) {
+	slow := stubWorker(t, 300*time.Millisecond, []float64{0, 1})
+	defer slow.Close()
+	fast := stubWorker(t, 0, []float64{0, 2})
+	defer fast.Close()
+
+	rs := newTestSet(5*time.Millisecond, slow.URL, fast.URL)
+	got, err := rs.Dist(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 2 {
+		t.Fatalf("dist[1] = %v, want the hedge replica's 2", got[1])
+	}
+	if h := rs.counters.hedges.Load(); h != 1 {
+		t.Fatalf("hedges = %d, want 1", h)
+	}
+	if w := rs.counters.hedgeWins.Load(); w != 1 {
+		t.Fatalf("hedgeWins = %d, want 1", w)
+	}
+}
+
+// TestReplicaSetFailover: a dead primary (connection refused) fails over
+// to the secondary before the hedge timer would fire, and the endpoint is
+// marked unhealthy so later calls skip it.
+func TestReplicaSetFailover(t *testing.T) {
+	dead := stubWorker(t, 0, nil)
+	deadURL := dead.URL
+	dead.Close()
+	alive := stubWorker(t, 0, []float64{0, 7})
+	defer alive.Close()
+
+	rs := newTestSet(time.Minute, deadURL, alive.URL)
+	got, err := rs.Dist(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 7 {
+		t.Fatalf("dist[1] = %v, want 7 via failover", got[1])
+	}
+	if f := rs.counters.failovers.Load(); f != 1 {
+		t.Fatalf("failovers = %d, want 1", f)
+	}
+	if rs.replicas[0].ep.healthy.Load() {
+		t.Fatal("dead endpoint still marked healthy")
+	}
+	// Next call routes straight to the healthy replica: no more failovers.
+	if _, err := rs.Dist(0); err != nil {
+		t.Fatal(err)
+	}
+	if f := rs.counters.failovers.Load(); f != 1 {
+		t.Fatalf("failovers after reroute = %d, want still 1", f)
+	}
+}
+
+// TestReplicaSetTypedErrorIsDefinitive: a typed 400 from the primary is
+// the deterministic answer every replica would give — it must return
+// immediately, with no failover and no traffic to the secondary.
+func TestReplicaSetTypedErrorIsDefinitive(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /graphs/{name}/dist", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error": "oracle: vertex out of range", "code": "vertex_out_of_range",
+		})
+	})
+	typed := httptest.NewServer(mux)
+	defer typed.Close()
+	second := stubWorker(t, 0, []float64{0})
+	defer second.Close()
+
+	rs := newTestSet(time.Minute, typed.URL, second.URL)
+	_, err := rs.Dist(99)
+	if !errors.Is(err, oracle.ErrVertexOutOfRange) {
+		t.Fatalf("err = %v, want ErrVertexOutOfRange", err)
+	}
+	if f := rs.counters.failovers.Load(); f != 0 {
+		t.Fatalf("typed error caused %d failovers", f)
+	}
+	if reqs := rs.replicas[1].ep.requests.Load(); reqs != 0 {
+		t.Fatalf("secondary saw %d requests for a definitive answer", reqs)
+	}
+}
+
+// TestReplicaSetHedgeSkipsUnhealthy: the hedge timer must not race a
+// request at an endpoint already marked down — it stays reserved for
+// last-resort failover.
+func TestReplicaSetHedgeSkipsUnhealthy(t *testing.T) {
+	slow := stubWorker(t, 100*time.Millisecond, []float64{0, 1})
+	defer slow.Close()
+	down := stubWorker(t, 0, []float64{0, 9})
+	defer down.Close()
+
+	rs := newTestSet(5*time.Millisecond, slow.URL, down.URL)
+	rs.replicas[1].ep.healthy.Store(false)
+	got, err := rs.Dist(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 1 {
+		t.Fatalf("dist[1] = %v, want the healthy primary's 1", got[1])
+	}
+	if h := rs.counters.hedges.Load(); h != 0 {
+		t.Fatalf("hedged %d times at an unhealthy endpoint", h)
+	}
+	if reqs := rs.replicas[1].ep.requests.Load(); reqs != 0 {
+		t.Fatalf("unhealthy endpoint saw %d hedge requests", reqs)
+	}
+}
+
+// ---- router end to end (in-process workers) ----
+
+// testWorker is an in-process stand-in for one cmd/shardserve process.
+type testWorker struct {
+	srv *httptest.Server
+	reg *oracle.Registry
+}
+
+func startTestWorker(t *testing.T, man *graphio.ShardManifest, dir string, cfg Config) *testWorker {
+	t.Helper()
+	engOpts := WorkerEngineOptions(cfg)
+	reg := oracle.NewRegistry(oracle.RegistryConfig{})
+	for i := 0; i < man.K; i++ {
+		i := i
+		name := fmt.Sprintf("%s.shard%d", man.Name, i)
+		src := func(ctx context.Context, opts ...oracle.Option) (oracle.Backend, error) {
+			sg, err := man.LoadShard(dir, i)
+			if err != nil {
+				return nil, err
+			}
+			return oracle.New(sg.G, append(append([]oracle.Option{}, opts...), engOpts...)...)
+		}
+		if err := reg.Add(name, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := &testWorker{srv: httptest.NewServer(oracle.NewRegistryHandler(reg)), reg: reg}
+	t.Cleanup(func() {
+		w.srv.Close()
+		w.reg.Close()
+	})
+	return w
+}
+
+// kill severs the worker abruptly: open connections reset, port closed —
+// the crash the failover path exists for.
+func (w *testWorker) kill() {
+	w.srv.CloseClientConnections()
+	w.srv.Close()
+}
+
+// TestRouterMatchesInProcess is the distributed-equivalence claim: a
+// Router over two replica workers answers dist, path, and matrix queries
+// bit-identically to an in-process shard.Oracle opened from the same
+// manifest with the same flags. Then one worker is hard-killed and the
+// same equivalence must keep holding through failover, with the dead
+// endpoint marked out and zero query errors.
+func TestRouterMatchesInProcess(t *testing.T) {
+	dir := t.TempDir()
+	g := testkit.Grid(196, 4)
+	manPath, err := graphio.WriteShards(dir, "grid", partition.Partition(g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := graphio.LoadShardManifest(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{EpsilonLocal: 0.3, PathReporting: true}
+
+	want, err := Open(context.Background(), manPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w0 := startTestWorker(t, man, dir, cfg)
+	w1 := startTestWorker(t, man, dir, cfg)
+	pl := UniformPlacement(man.Name, man.K, []string{w0.srv.URL, w1.srv.URL})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	router, err := NewRouter(ctx, man, pl, RouterConfig{
+		Config: cfg,
+		// Generous fixed hedge: post-kill traffic exercises the failover
+		// path (connection refused), not the hedge race.
+		HedgeDelay:    500 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	check := func(sources []int32) {
+		t.Helper()
+		for _, src := range sources {
+			wd, err := want.Dist(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gd, err := router.Dist(src)
+			if err != nil {
+				t.Fatalf("routed dist(%d): %v", src, err)
+			}
+			if !reflect.DeepEqual(gd, wd) {
+				t.Fatalf("routed dist(%d) differs from in-process oracle", src)
+			}
+			wp, wl, err := want.Path(src, int32(g.N-1-int(src)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gp, gl, err := router.Path(src, int32(g.N-1-int(src)))
+			if err != nil {
+				t.Fatalf("routed path(%d): %v", src, err)
+			}
+			if gl != wl || !reflect.DeepEqual(gp, wp) {
+				t.Fatalf("routed path(%d) differs: (%v, %v) vs (%v, %v)", src, gp, gl, wp, wl)
+			}
+		}
+		wm, err := want.Matrix(sources, sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm, err := router.Matrix(sources, sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gm, wm) {
+			t.Fatal("routed matrix differs from in-process oracle")
+		}
+	}
+
+	// Both workers alive.
+	check([]int32{0, 65, 130, 195})
+	if gi := router.Describe(); gi.Shards != 3 {
+		t.Fatalf("Describe().Shards = %d, want 3", gi.Shards)
+	}
+
+	// Hard-kill one worker. Fresh sources bypass the router's dist cache,
+	// so every leg goes back to the wire and must fail over cleanly.
+	w0.kill()
+	check([]int32{7, 42, 101, 177})
+
+	st := router.Stats()
+	if st.Sharded == nil || st.Sharded.Remote == nil {
+		t.Fatal("router stats missing the remote section")
+	}
+	var deadSeen, aliveSeen bool
+	for _, ep := range st.Sharded.Remote.Endpoints {
+		switch ep.URL {
+		case w0.srv.URL:
+			deadSeen = true
+			if ep.Healthy {
+				t.Fatal("killed endpoint still reported healthy")
+			}
+		case w1.srv.URL:
+			aliveSeen = true
+			if !ep.Healthy {
+				t.Fatal("surviving endpoint reported unhealthy")
+			}
+		}
+	}
+	if !deadSeen || !aliveSeen {
+		t.Fatalf("endpoint stats incomplete: %+v", st.Sharded.Remote.Endpoints)
+	}
+	if st.Sharded.Remote.Failovers == 0 {
+		t.Fatal("kill produced no failovers")
+	}
+}
+
+// TestRouterRecovery: a worker that comes back (same address) is revived
+// by the health probes and serves again — the failover is not sticky.
+func TestRouterRecovery(t *testing.T) {
+	dead := &endpoint{url: "http://127.0.0.1:1"} // nothing listens on port 1
+	probeEndpoint(context.Background(), &http.Client{Timeout: time.Second}, dead)
+	if dead.healthy.Load() {
+		t.Fatal("unreachable endpoint probed healthy")
+	}
+	alive := stubWorker(t, 0, []float64{0})
+	defer alive.Close()
+	ep := &endpoint{url: alive.URL}
+	probeEndpoint(context.Background(), &http.Client{Timeout: time.Second}, ep)
+	if !ep.healthy.Load() {
+		t.Fatal("serving endpoint probed unhealthy")
+	}
+	// A 503 /healthz (graphs still building) is down, then recovery flips
+	// it back up.
+	var ready bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !ready {
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	ep2 := &endpoint{url: srv.URL}
+	probeEndpoint(context.Background(), &http.Client{Timeout: time.Second}, ep2)
+	if ep2.healthy.Load() {
+		t.Fatal("starting endpoint probed healthy")
+	}
+	ready = true
+	probeEndpoint(context.Background(), &http.Client{Timeout: time.Second}, ep2)
+	if !ep2.healthy.Load() {
+		t.Fatal("recovered endpoint not revived by probe")
+	}
+}

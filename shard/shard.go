@@ -109,10 +109,29 @@ func (cfg *Config) fill() {
 	}
 }
 
-// shardState is one resident shard: its engine and the local↔global and
-// local↔overlay index maps the router stitches with.
+// legEngine is the per-shard query surface the router stitches over: the
+// exact method set the routing, overlay-construction, and path-stitching
+// code uses on one shard. *oracle.Engine satisfies it in-process; a
+// replicaSet (hedged RemoteBackends over one shard's worker endpoints)
+// satisfies it across processes. Every method is deterministic on both
+// sides — the same bits come back whether the leg ran locally or over the
+// wire — which is what makes the distributed router's answers
+// bit-identical to the in-process Oracle's.
+type legEngine interface {
+	Dist(source int32) ([]float64, error)
+	MultiSource(sources []int32) ([][]float64, error)
+	Nearest(sources []int32) ([]float64, error)
+	NearestWithOffsets(sources []int32, offsets []float64) ([]float64, error)
+	Path(u, v int32) ([]int32, float64, error)
+	MemoryBytes() int64
+	Describe() oracle.BackendInfo
+	Stats() oracle.Stats
+}
+
+// shardState is one resident shard: its engine (local or remote) and the
+// local↔global and local↔overlay index maps the router stitches with.
 type shardState struct {
-	eng      *oracle.Engine
+	eng      legEngine
 	vertices []int32 // local -> global, ascending
 	// boundaryLocal / boundaryOv are parallel: boundary vertex j of this
 	// shard has local ID boundaryLocal[j] and overlay ID boundaryOv[j].
@@ -208,6 +227,17 @@ func assemble(ctx context.Context, cfg Config, n int, part, localID []int32, pie
 
 	o.memBytes = o.estimateMemory()
 	return o, nil
+}
+
+// WorkerEngineOptions returns the engine options a shardserve worker must
+// build its per-shard engines with to answer bit-identically to the shard
+// engines an in-process Oracle (or a Router's reference) would build from
+// cfg: same ε_local, same κ, same path reporting. Routed answers reuse
+// the workers' arithmetic verbatim, so this flag parity is exactly the
+// bit-identity contract between a Router and its workers.
+func WorkerEngineOptions(cfg Config) []oracle.Option {
+	cfg.fill()
+	return engineOpts(cfg.EpsilonLocal, cfg, nil, nil)
 }
 
 func engineOpts(eps float64, cfg Config, ctx context.Context, extra []oracle.Option) []oracle.Option {
