@@ -63,6 +63,7 @@ import (
 
 	"repro/graphio"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/oracle"
 	"repro/shard"
@@ -292,10 +293,13 @@ func (w *workload) interarrival() time.Duration {
 // target abstracts where queries land: the in-process registry or a
 // live HTTP server. stale reports a stale-while-revalidate answer;
 // unavailable a not-ready graph (503-class); rejected an admission 429.
+// ctx carries the per-request trace span: the HTTP target propagates it
+// as a traceparent header, so the report's slowest trace IDs are
+// queryable at the server's /trace/{id}.
 type target interface {
-	dist(g int, source int32) (stale, unavailable, rejected bool, err error)
-	path(g int, u, v int32) (unavailable bool, err error)
-	matrix(g int, s, t []int32) (unavailable bool, err error)
+	dist(ctx context.Context, g int, source int32) (stale, unavailable, rejected bool, err error)
+	path(ctx context.Context, g int, u, v int32) (unavailable bool, err error)
+	matrix(ctx context.Context, g int, s, t []int32) (unavailable bool, err error)
 }
 
 // RouteStats is the latency summary of one route, from raw samples —
@@ -344,6 +348,19 @@ type Result struct {
 	// per-endpoint latency, plus which worker was killed mid-run.
 	Remote       *oracle.RemoteStats `json:"remote,omitempty"`
 	KilledWorker string              `json:"killed_worker,omitempty"`
+
+	// SlowestTraces are the trace IDs of the slowest post-warmup requests
+	// (up to 20), worst first — the handles for digging into the tail.
+	// Against a live serve instance (-url) each ID is queryable at
+	// GET {url}/trace/{id}.
+	SlowestTraces []SlowTrace `json:"slowest_traces,omitempty"`
+}
+
+// SlowTrace links one slow request's latency to its trace ID.
+type SlowTrace struct {
+	Route     string `json:"route"`
+	LatencyUs int64  `json:"latency_us"`
+	TraceID   string `json:"trace_id"`
 }
 
 type compareReport struct {
@@ -382,6 +399,12 @@ func drive(cfg simConfig, tgt target, reloadFn func()) *Result {
 
 	// Per-worker sample slices: lock-free during the run, merged after.
 	samples := make([][3][]int64, cfg.clients)
+	slows := make([][]SlowTrace, cfg.clients)
+	// Each request gets a root span from a local tracer: the ID is minted
+	// here, flows to HTTP targets as a traceparent header, and the
+	// slowest ones surface in the report. No logger — a replayer sampling
+	// its own spans into its log would just be noise.
+	tr := obs.NewTracer("loadsim", obs.TracerOptions{RingSize: 64})
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.clients; c++ {
 		wg.Add(1)
@@ -392,15 +415,21 @@ func drive(cfg simConfig, tgt target, reloadFn func()) *Result {
 					isStale, isUnavail, isRej bool
 					err                       error
 				)
+				var sp obs.Span
+				tr.StartRoot(&sp, opNames[j.op], obs.Traceparent{})
+				sp.Route = opNames[j.op]
+				ctx := obs.ContextWith(context.Background(), &sp)
 				switch j.op {
 				case opDist:
-					isStale, isUnavail, isRej, err = tgt.dist(j.g, j.src)
+					isStale, isUnavail, isRej, err = tgt.dist(ctx, j.g, j.src)
 				case opPath:
-					isUnavail, err = tgt.path(j.g, j.src, j.dst)
+					isUnavail, err = tgt.path(ctx, j.g, j.src, j.dst)
 				case opMatrix:
 					s, t := matrixBlock(j, cfg.n)
-					isUnavail, err = tgt.matrix(j.g, s, t)
+					isUnavail, err = tgt.matrix(ctx, j.g, s, t)
 				}
+				sp.SetError(err)
+				sp.End()
 				lat := time.Since(j.at)
 				switch {
 				case isRej:
@@ -415,6 +444,10 @@ func drive(cfg simConfig, tgt target, reloadFn func()) *Result {
 					}
 					if j.at.After(cutoff) {
 						samples[c][j.op] = append(samples[c][j.op], lat.Microseconds())
+						slows[c] = append(slows[c], SlowTrace{
+							Route: opNames[j.op], LatencyUs: lat.Microseconds(),
+							TraceID: sp.Trace.String(),
+						})
 					}
 				}
 			}
@@ -507,6 +540,15 @@ func drive(cfg simConfig, tgt target, reloadFn func()) *Result {
 		res.Routes[opNames[op]] = summarize(all)
 		res.Measured += int64(len(all))
 	}
+	var allSlow []SlowTrace
+	for c := range slows {
+		allSlow = append(allSlow, slows[c]...)
+	}
+	sort.Slice(allSlow, func(i, j int) bool { return allSlow[i].LatencyUs > allSlow[j].LatencyUs })
+	if len(allSlow) > 20 {
+		allSlow = allSlow[:20]
+	}
+	res.SlowestTraces = allSlow
 	res.Errors = errors.Load()
 	res.Unavailable = unavailable.Load()
 	res.Rejected = rejected.Load()
@@ -565,8 +607,8 @@ type registryTarget struct {
 	names []string
 }
 
-func (t *registryTarget) dist(g int, source int32) (stale, unavailable, rejected bool, err error) {
-	res, err := t.reg.DistSWR(t.names[g], source)
+func (t *registryTarget) dist(ctx context.Context, g int, source int32) (stale, unavailable, rejected bool, err error) {
+	res, err := t.reg.DistSWRContext(ctx, t.names[g], source)
 	if err != nil {
 		if errors.Is(err, oracle.ErrGraphNotReady) {
 			return false, true, false, nil
@@ -576,7 +618,7 @@ func (t *registryTarget) dist(g int, source int32) (stale, unavailable, rejected
 	return res.Stale, false, false, nil
 }
 
-func (t *registryTarget) path(g int, u, v int32) (bool, error) {
+func (t *registryTarget) path(_ context.Context, g int, u, v int32) (bool, error) {
 	_, _, err := t.reg.Path(t.names[g], u, v)
 	if err != nil {
 		if errors.Is(err, oracle.ErrGraphNotReady) {
@@ -587,7 +629,7 @@ func (t *registryTarget) path(g int, u, v int32) (bool, error) {
 	return false, nil
 }
 
-func (t *registryTarget) matrix(g int, s, tv []int32) (bool, error) {
+func (t *registryTarget) matrix(_ context.Context, g int, s, tv []int32) (bool, error) {
 	_, err := t.reg.Matrix(t.names[g], s, tv)
 	if err != nil {
 		if errors.Is(err, oracle.ErrGraphNotReady) {
@@ -674,18 +716,18 @@ type routerTarget struct {
 	r *shard.Router
 }
 
-func (t *routerTarget) dist(_ int, source int32) (stale, unavailable, rejected bool, err error) {
-	_, err = t.r.Dist(source)
+func (t *routerTarget) dist(ctx context.Context, _ int, source int32) (stale, unavailable, rejected bool, err error) {
+	_, err = t.r.DistContext(ctx, source)
 	return false, false, false, err
 }
 
-func (t *routerTarget) path(_ int, u, v int32) (bool, error) {
-	_, _, err := t.r.Path(u, v)
+func (t *routerTarget) path(ctx context.Context, _ int, u, v int32) (bool, error) {
+	_, _, err := t.r.PathContext(ctx, u, v)
 	return false, err
 }
 
-func (t *routerTarget) matrix(_ int, s, tv []int32) (bool, error) {
-	_, err := t.r.Matrix(s, tv)
+func (t *routerTarget) matrix(ctx context.Context, _ int, s, tv []int32) (bool, error) {
+	_, err := t.r.MatrixContext(ctx, s, tv)
 	return false, err
 }
 
@@ -802,7 +844,12 @@ type httpTarget struct {
 	client      *http.Client
 }
 
-func (t *httpTarget) do(req *http.Request) (unavail, rejected bool, err error) {
+func (t *httpTarget) do(ctx context.Context, req *http.Request) (unavail, rejected bool, err error) {
+	// Propagate the run's trace: the server records its half of the span
+	// tree under the same trace ID the report prints.
+	if sp := obs.FromContext(ctx); sp.Active() {
+		req.Header.Set("traceparent", sp.Traceparent())
+	}
 	resp, err := t.client.Do(req)
 	if err != nil {
 		return false, false, err
@@ -820,27 +867,27 @@ func (t *httpTarget) do(req *http.Request) (unavail, rejected bool, err error) {
 	}
 }
 
-func (t *httpTarget) dist(_ int, source int32) (stale, unavailable, rejected bool, err error) {
+func (t *httpTarget) dist(ctx context.Context, _ int, source int32) (stale, unavailable, rejected bool, err error) {
 	u := fmt.Sprintf("%s/graphs/%s/dist?source=%d", t.base, t.graph, source)
 	req, err := http.NewRequest(http.MethodGet, u, nil)
 	if err != nil {
 		return false, false, false, err
 	}
-	unavailable, rejected, err = t.do(req)
+	unavailable, rejected, err = t.do(ctx, req)
 	return false, unavailable, rejected, err
 }
 
-func (t *httpTarget) path(_ int, u, v int32) (bool, error) {
+func (t *httpTarget) path(ctx context.Context, _ int, u, v int32) (bool, error) {
 	url := fmt.Sprintf("%s/graphs/%s/path?from=%d&to=%d", t.base, t.graph, u, v)
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return false, err
 	}
-	unavail, _, err := t.do(req)
+	unavail, _, err := t.do(ctx, req)
 	return unavail, err
 }
 
-func (t *httpTarget) matrix(_ int, s, tv []int32) (bool, error) {
+func (t *httpTarget) matrix(ctx context.Context, _ int, s, tv []int32) (bool, error) {
 	body, err := json.Marshal(map[string]any{"sources": s, "targets": tv})
 	if err != nil {
 		return false, err
@@ -851,7 +898,7 @@ func (t *httpTarget) matrix(_ int, s, tv []int32) (bool, error) {
 		return false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	unavail, _, err := t.do(req)
+	unavail, _, err := t.do(ctx, req)
 	return unavail, err
 }
 
@@ -859,7 +906,7 @@ func runHTTP(cfg simConfig, base, graph string) (*Result, error) {
 	tgt := &httpTarget{base: base, graph: graph, client: &http.Client{Timeout: 30 * time.Second}}
 	// Probe readiness once so a cold server doesn't drown the report in
 	// 503s.
-	if _, _, _, err := tgt.dist(0, 0); err != nil {
+	if _, _, _, err := tgt.dist(context.Background(), 0, 0); err != nil {
 		return nil, fmt.Errorf("probe %s: %w", base, err)
 	}
 	return drive(cfg, tgt, nil), nil

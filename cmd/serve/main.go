@@ -54,10 +54,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -72,6 +74,7 @@ import (
 	"repro/graphio"
 	"repro/internal/admission"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/oracle"
 	"repro/shard"
 )
@@ -103,6 +106,7 @@ func main() {
 		peers    = flag.String("shard-peers", "", "comma-separated shardserve worker base URLs for -route-manifest; every shard is placed on every peer (replicas)")
 		placeFl  = flag.String("placement", "", "JSON placement file mapping each shard of -route-manifest to its replica endpoints (overrides -shard-peers)")
 		hedge    = flag.Duration("hedge", 0, "fixed hedge delay before a routed query is retried on a second replica (0 = adaptive, per-endpoint p99)")
+		dbgAddr  = flag.String("debug-addr", "", "separate listen address for /debug/pprof and /debug/vars (empty = off)")
 	)
 	flag.Parse()
 
@@ -139,11 +143,13 @@ func main() {
 		}
 		names = append(names, loaded...)
 	}
+	var tracePeers []string
 	if *routeMan != "" {
 		peerList := splitPeers(*peers)
 		if *placeFl == "" && len(peerList) == 0 {
 			log.Fatal("-route-manifest needs -placement or -shard-peers")
 		}
+		tracePeers = workerEndpoints(*placeFl, peerList)
 		man, err := graphio.LoadShardManifest(*routeMan)
 		if err != nil {
 			log.Fatal(err)
@@ -209,11 +215,30 @@ func main() {
 		}(name)
 	}
 
+	// Observability stack: tracer + Prometheus registry + HTTP metrics.
+	// The obs middleware is outermost so even 429-refused requests are
+	// counted and traced; the admission gate sits just inside it.
+	lim := admission.New(*inflight)
+	tr := obs.NewTracer("serve", obs.TracerOptions{Logger: slog.Default()})
+	httpm := obs.NewHTTPMetrics()
+	prom := obs.NewRegistry()
+	prom.Register(oracle.MetricsCollector(reg))
+	prom.Register(httpm.Collect)
+	prom.Register(obs.TracerCollector(tr))
+	prom.Register(lim.Collect)
+	if *dbgAddr != "" {
+		da, err := obs.ListenDebug(*dbgAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug listening on %s (/debug/pprof, /debug/vars)", da)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: admission.Middleware(newMux(reg), admission.New(*inflight))}
+	srv := &http.Server{Handler: obs.Middleware(tr, httpm, admission.Middleware(newMux(reg, lim, prom, tr, tracePeers), lim))}
 	log.Printf("listening on %s (%d graphs: GET /graphs /graphs/{name}/dist|path|stats|ready, POST /graphs/{name}/reload)",
 		ln.Addr(), len(names))
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -224,18 +249,72 @@ func main() {
 	log.Printf("shut down cleanly")
 }
 
-// newMux mounts the registry handler plus the legacy single-graph routes.
-func newMux(reg *oracle.Registry) http.Handler {
+// newMux mounts the registry handler, the observability endpoints
+// (/metrics, /trace/{id}), and the legacy single-graph routes.
+func newMux(reg *oracle.Registry, lim *admission.Limiter, prom *obs.Registry, tr *obs.Tracer, tracePeers []string) http.Handler {
 	rh := oracle.NewRegistryHandler(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/graphs", rh)
 	mux.Handle("/graphs/", rh)
 	mux.Handle("/healthz", rh)
 	mux.Handle("/stats", rh)
+	// GET /stats is overridden with the merged registry + admission view;
+	// other methods still fall through to the registry handler.
+	mux.HandleFunc("GET /stats", statsHandler(reg, lim))
+	mux.Handle("/metrics", prom.Handler())
+	// When routing shards to worker processes, /trace/{id} fans out to
+	// every worker and merges their spans into one cross-process tree.
+	var peersFn func() []string
+	if len(tracePeers) > 0 {
+		peersFn = func() []string { return tracePeers }
+	}
+	mux.Handle("/trace/", obs.TraceHandler(tr, nil, peersFn))
 	// Legacy single-graph routes target the default graph.
 	mux.HandleFunc("/dist", redirectDefault)
 	mux.HandleFunc("/path", redirectDefault)
 	return mux
+}
+
+// statsResponse merges the registry's aggregate stats with the admission
+// limiter's — the JSON twin of what /metrics exports, so the two
+// surfaces read from the same snapshots and cannot drift.
+type statsResponse struct {
+	oracle.RegistryStats
+	Admission admission.Stats `json:"admission"`
+}
+
+// statsHandler serves the merged GET /stats.
+func statsHandler(reg *oracle.Registry, lim *admission.Limiter) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(statsResponse{RegistryStats: reg.Stats(), Admission: lim.Stats()})
+	}
+}
+
+// workerEndpoints lists the distinct worker base URLs /trace/{id} fans
+// out to when assembling a cross-process trace: every replica endpoint
+// of the placement, or the -shard-peers list.
+func workerEndpoints(placement string, peers []string) []string {
+	if placement == "" {
+		return peers
+	}
+	pl, err := shard.LoadPlacement(placement)
+	if err != nil {
+		// NewRouter will surface the same error as a build failure; the
+		// trace endpoint just has no peers to ask until then.
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, sp := range pl.Shards {
+		for _, rep := range sp.Replicas {
+			if !seen[rep] {
+				seen[rep] = true
+				out = append(out, rep)
+			}
+		}
+	}
+	return out
 }
 
 // runServer serves on ln until ctx is canceled (SIGINT/SIGTERM in main),

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/graphio"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/testkit"
 	"repro/oracle"
@@ -62,7 +63,7 @@ func TestServeShardedGraphDir(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := httptest.NewServer(newMux(reg))
+	srv := httptest.NewServer(newMux(reg, nil, obs.NewRegistry(), obs.NewTracer("serve", obs.TracerOptions{}), nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/graphs/grid/dist?source=0")
 	if err != nil {

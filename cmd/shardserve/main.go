@@ -22,10 +22,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os/signal"
@@ -37,6 +39,7 @@ import (
 
 	"repro/graphio"
 	"repro/internal/admission"
+	"repro/internal/obs"
 	"repro/oracle"
 	"repro/shard"
 )
@@ -55,6 +58,7 @@ func main() {
 		workers  = flag.Int("build-workers", 0, "bound on concurrent background builds (0 = auto)")
 		inflight = flag.Int("max-inflight", 0, "admission limit on in-flight query cost units (0 = unlimited)")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain bound")
+		dbgAddr  = flag.String("debug-addr", "", "separate listen address for /debug/pprof and /debug/vars (empty = off)")
 	)
 	flag.Parse()
 	if *manifest == "" {
@@ -115,11 +119,42 @@ func main() {
 		}(name, i)
 	}
 
+	// Observability stack, mirroring cmd/serve: obs middleware outermost
+	// (even 429s are counted and traced), admission just inside. The
+	// worker's tracer records its half of every cross-process trace; the
+	// router's /trace/{id} collects it via /trace/{id}?local=1.
+	lim := admission.New(*inflight)
+	tr := obs.NewTracer("shardserve", obs.TracerOptions{Logger: slog.Default()})
+	httpm := obs.NewHTTPMetrics()
+	prom := obs.NewRegistry()
+	prom.Register(oracle.MetricsCollector(reg))
+	prom.Register(httpm.Collect)
+	prom.Register(obs.TracerCollector(tr))
+	prom.Register(lim.Collect)
+	if *dbgAddr != "" {
+		da, err := obs.ListenDebug(*dbgAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug listening on %s (/debug/pprof, /debug/vars)", da)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", oracle.NewRegistryHandler(reg))
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			oracle.RegistryStats
+			Admission admission.Stats `json:"admission"`
+		}{reg.Stats(), lim.Stats()})
+	})
+	mux.Handle("/metrics", prom.Handler())
+	mux.Handle("/trace/", obs.TraceHandler(tr, nil, nil))
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: admission.Middleware(oracle.NewRegistryHandler(reg), admission.New(*inflight))}
+	srv := &http.Server{Handler: obs.Middleware(tr, httpm, admission.Middleware(mux, lim))}
 	log.Printf("worker listening on %s: %d/%d shards of %q (ε=%v κ=%d paths=%v)",
 		ln.Addr(), len(ids), man.K, man.Name, *eps, *kappa, *paths)
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -24,6 +24,8 @@ package admission
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ringSeconds is the sliding window of the drain-rate estimator. Small on
@@ -39,6 +41,11 @@ type Limiter struct {
 	inflight atomic.Int64
 	rejected atomic.Int64
 	admitted atomic.Int64
+
+	// lastRetryAfter is the most recent Retry-After hint handed to a
+	// refused request, in nanoseconds — an observability breadcrumb for
+	// /stats and /metrics, not an input to any admission decision.
+	lastRetryAfter atomic.Int64
 
 	// Drain-rate ring: one slot per wall-clock second, holding the cost
 	// units released during that second. Slots are lazily reset when the
@@ -169,6 +176,7 @@ func (l *Limiter) RetryAfter(cost int64) time.Duration {
 	if d > 30*time.Second {
 		d = 30 * time.Second
 	}
+	l.lastRetryAfter.Store(int64(d))
 	return d
 }
 
@@ -178,6 +186,13 @@ type Stats struct {
 	Inflight int64 `json:"inflight"`
 	Admitted int64 `json:"admitted"`
 	Rejected int64 `json:"rejected"`
+	// DrainRatePerSec is the observed release rate (cost units per
+	// second over the sliding window) — the denominator behind
+	// Retry-After hints. Zero while the window is empty.
+	DrainRatePerSec float64 `json:"drain_rate_units_per_s"`
+	// LastRetryAfterS is the most recent Retry-After hint issued to a
+	// refused request, in seconds. Zero until the first rejection.
+	LastRetryAfterS float64 `json:"last_retry_after_s"`
 }
 
 // Stats returns the limiter counters (zero for a nil limiter).
@@ -186,11 +201,29 @@ func (l *Limiter) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Limit:    l.limit,
-		Inflight: l.inflight.Load(),
-		Admitted: l.admitted.Load(),
-		Rejected: l.rejected.Load(),
+		Limit:           l.limit,
+		Inflight:        l.inflight.Load(),
+		Admitted:        l.admitted.Load(),
+		Rejected:        l.rejected.Load(),
+		DrainRatePerSec: l.drainRate(),
+		LastRetryAfterS: time.Duration(l.lastRetryAfter.Load()).Seconds(),
 	}
+}
+
+// Collect adapts the limiter's Stats into /metrics families. Nil-safe:
+// a nil limiter emits nothing, so an unconfigured process simply lacks
+// the spo_admission_* families.
+func (l *Limiter) Collect(w *obs.MetricWriter) {
+	if l == nil {
+		return
+	}
+	st := l.Stats()
+	w.Gauge("spo_admission_limit_units", "Configured in-flight cost-unit capacity.", float64(st.Limit))
+	w.Gauge("spo_admission_inflight_units", "Cost units currently admitted and in flight.", float64(st.Inflight))
+	w.Counter("spo_admission_admitted_total", "Requests admitted.", float64(st.Admitted))
+	w.Counter("spo_admission_rejected_total", "Requests refused with 429.", float64(st.Rejected))
+	w.Gauge("spo_admission_drain_rate_units_per_second", "Observed cost-unit release rate over the sliding window.", st.DrainRatePerSec)
+	w.Gauge("spo_admission_last_retry_after_seconds", "Most recent Retry-After hint issued.", st.LastRetryAfterS)
 }
 
 func (l *Limiter) clamp(cost int64) int64 {

@@ -1,6 +1,7 @@
 package hist
 
 import (
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -102,5 +103,130 @@ func TestEmptySnapshot(t *testing.T) {
 	var h Histogram
 	if s := h.Snapshot(); s != (Snapshot{}) {
 		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+// TestSingleObservation: with one sample, every quantile is that sample
+// (the bucket upper bound clamps to the recorded max, so the estimate is
+// exact, not 25% high).
+func TestSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(777 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.MaxUs != 777 || s.MeanUs != 777 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	for name, q := range map[string]int64{"p50": s.P50Us, "p90": s.P90Us, "p99": s.P99Us, "p999": s.P999Us} {
+		if q != 777 {
+			t.Fatalf("%s = %d, want 777 (single observation defines every quantile)", name, q)
+		}
+	}
+}
+
+// TestQuantileUpperBoundGuarantee is the histogram's accuracy contract as
+// a property: over assorted deterministic distributions, every reported
+// quantile is ≥ the exact order statistic (never understates the tail)
+// and ≤ max(exact·1.25+1, observed max) (bucket width bound).
+func TestQuantileUpperBoundGuarantee(t *testing.T) {
+	distributions := map[string][]int64{
+		"constant":  repeat(250, 500),
+		"two-point": append(repeat(10, 900), repeat(5000, 100)...),
+		"ramp":      ramp(1, 2000),
+		"octaves":   []int64{0, 1, 2, 3, 4, 7, 8, 15, 16, 31, 32, 63, 64, 1 << 20, 1 << 30},
+	}
+	for name, vals := range distributions {
+		var h Histogram
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, v := range vals {
+			h.Observe(time.Duration(v) * time.Microsecond)
+		}
+		s := h.Snapshot()
+		maxv := sorted[len(sorted)-1]
+		for _, c := range []struct {
+			q     float64
+			got   int64
+			label string
+		}{{0.50, s.P50Us, "p50"}, {0.90, s.P90Us, "p90"}, {0.99, s.P99Us, "p99"}, {0.999, s.P999Us, "p999"}} {
+			rank := int(c.q * float64(len(sorted)))
+			if rank >= len(sorted) {
+				rank = len(sorted) - 1
+			}
+			exact := sorted[rank]
+			if c.got < exact {
+				t.Errorf("%s %s = %d understates exact %d", name, c.label, c.got, exact)
+			}
+			if hi := int64(float64(exact)*1.25) + 1; c.got > hi && c.got > maxv {
+				t.Errorf("%s %s = %d overshoots both 1.25·exact+1 (%d) and max (%d)", name, c.label, c.got, hi, maxv)
+			}
+		}
+		if s.MaxUs != maxv {
+			t.Errorf("%s max = %d, want %d", name, s.MaxUs, maxv)
+		}
+	}
+}
+
+func repeat(v int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func ramp(lo, hi int64) []int64 {
+	out := make([]int64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestConcurrentObserveSnapshot runs Observe and Snapshot concurrently
+// (meaningful under -race): snapshots taken mid-flight must stay
+// internally sane — count never decreases, quantiles never negative —
+// and the final count is exact.
+func TestConcurrentObserveSnapshot(t *testing.T) {
+	var h Histogram
+	const G, per = 4, 2000
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count < last {
+				t.Errorf("snapshot count went backwards: %d after %d", s.Count, last)
+				return
+			}
+			last = s.Count
+			if s.P50Us < 0 || s.P999Us < 0 || s.MaxUs < 0 {
+				t.Errorf("negative quantile in %+v", s)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*i%5000) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if s := h.Snapshot(); s.Count != G*per {
+		t.Fatalf("final count = %d, want %d", s.Count, G*per)
 	}
 }

@@ -1,0 +1,411 @@
+package integration
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/graphio"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/testkit"
+)
+
+// buildServe compiles the real cmd/serve binary once per test run, the
+// same way buildShardserve does for the worker half.
+var serveOnce struct {
+	sync.Once
+	bin string
+	err error
+}
+
+func buildServe(t *testing.T) string {
+	t.Helper()
+	serveOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "serve-bin-")
+		if err != nil {
+			serveOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "serve")
+		out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/serve").CombinedOutput()
+		if err != nil {
+			serveOnce.err = fmt.Errorf("building serve: %v\n%s", err, out)
+			return
+		}
+		serveOnce.bin = bin
+	})
+	if serveOnce.err != nil {
+		t.Fatal(serveOnce.err)
+	}
+	return serveOnce.bin
+}
+
+// startProc launches a binary, waits for "listening on <addr>" on
+// stderr, and returns the loopback base URL. The address token ends at
+// the first space (serve) or ": " (shardserve) after the prefix.
+func startProc(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			i := strings.Index(line, "listening on ")
+			if i < 0 || strings.Contains(line, "debug listening") {
+				continue
+			}
+			rest := line[i+len("listening on "):]
+			if j := strings.IndexAny(rest, " :"); j > 0 {
+				// The port follows the first ":"; cut at the first space
+				// instead (serve logs "addr (N graphs...", shardserve
+				// "addr: K/N shards...").
+				if sp := strings.IndexByte(rest, ' '); sp > 0 {
+					rest = strings.TrimSuffix(rest[:sp], ":")
+				}
+			}
+			select {
+			case addrc <- rest:
+			default:
+			}
+			return
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		if i := strings.LastIndex(addr, ":"); i >= 0 {
+			addr = "127.0.0.1" + addr[i:]
+		}
+		return "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s did not report its listen address", filepath.Base(bin))
+		return ""
+	}
+}
+
+// scrapeMetrics GETs and parses base/metrics as Prometheus text —
+// parse errors fail the test, which is the exposition-format contract.
+func scrapeMetrics(t *testing.T, base string) map[string]*obs.ParsedFamily {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s/metrics: status %d", base, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("%s/metrics: content-type %q", base, ct)
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("%s/metrics is not valid exposition text: %v", base, err)
+	}
+	return fams
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("%s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+}
+
+// traceJSON mirrors the obs trace endpoint's response shape.
+type traceJSON struct {
+	TraceID string         `json:"trace_id"`
+	Spans   []obs.SpanData `json:"spans"`
+}
+
+// TestMultiProcessObservability drives the full distributed observability
+// surface with real processes: a serve router over two shardserve worker
+// processes, traced queries end to end. It asserts
+//
+//   - /metrics on router and workers parses as Prometheus exposition
+//     text and carries the expected families (registry, HTTP, tracer,
+//     and — on the admission-limited workers — spo_admission_*);
+//   - /metrics and /stats agree on the registry query counter (the two
+//     surfaces read the same snapshots);
+//   - a router-issued traceparent produces worker-side spans: the
+//     worker's /trace/{id}?local=1 holds shardserve spans whose parent
+//     is a router-side attempt span, and the router's merged /trace/{id}
+//     tree contains both services;
+//   - with an aggressive hedge delay, some trace shows the hedged race
+//     resolved: a winning attempt marked hedge plus a cancelled loser.
+//
+// Runs under -race in CI via the TestMultiProcess name prefix.
+func TestMultiProcessObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process suite skipped in -short mode")
+	}
+	serveBin := buildServe(t)
+	workerBin := buildShardserve(t)
+
+	dir := t.TempDir()
+	g := testkit.Grid(196, 4)
+	manPath, err := graphio.WriteShards(dir, "grid", partition.Partition(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := graphio.LoadShardManifest(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workerArgs := func() []string {
+		return []string{
+			"-manifest", manPath,
+			"-addr", "127.0.0.1:0",
+			"-eps", fmt.Sprintf("%g", shardEps),
+			"-paths=true",
+			"-max-inflight", "64",
+		}
+	}
+	w0 := startProc(t, workerBin, workerArgs()...)
+	w1 := startProc(t, workerBin, workerArgs()...)
+
+	router := startProc(t, serveBin,
+		"-addr", "127.0.0.1:0",
+		"-route-manifest", manPath,
+		"-shard-peers", w0+","+w1,
+		"-eps", fmt.Sprintf("%g", shardEps),
+		"-paths=true",
+		// Aggressive fixed hedge: essentially every routed leg races two
+		// replicas, so hedged winners and cancelled losers are frequent.
+		"-hedge", "1ns",
+		// No router-side caches: every query must cross the wire, or the
+		// hedge/trace assertions would starve after the first round.
+		"-hot-cache", "0",
+		"-cache", "0",
+	)
+
+	// Wait for the routed graph to assemble (workers build shards, the
+	// router fetches boundary rows and builds its overlay).
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(router + "/graphs/" + man.Name + "/ready")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("routed graph never became ready")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Fire traced queries with deterministic trace IDs and distinct
+	// sources (no cache can answer them). Collect the IDs for the trace
+	// assertions below.
+	client := &http.Client{Timeout: 30 * time.Second}
+	tpFor := func(i int) (id, header string) {
+		id = fmt.Sprintf("%032x", 0xace0+i)
+		return id, fmt.Sprintf("00-%s-%016x-01", id, 0xbeef+i)
+	}
+	const rounds = 24
+	traceIDs := make([]string, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		id, header := tpFor(i)
+		req, err := http.NewRequest(http.MethodGet,
+			fmt.Sprintf("%s/graphs/%s/dist?source=%d", router, man.Name, i*5), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("traceparent", header)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("traced dist %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traced dist %d: status %d", i, resp.StatusCode)
+		}
+		traceIDs = append(traceIDs, id)
+	}
+
+	// ---- /metrics exposition on every process ----
+
+	routerFams := scrapeMetrics(t, router)
+	for _, fam := range []string{
+		"spo_registry_queries_total", "spo_http_requests_total",
+		"spo_spans_started_total", "spo_goroutines",
+		"spo_router_hedges_total", "spo_endpoint_requests_total",
+	} {
+		if routerFams[fam] == nil {
+			t.Errorf("router /metrics missing family %s", fam)
+		}
+	}
+	for _, w := range []string{w0, w1} {
+		fams := scrapeMetrics(t, w)
+		for _, fam := range []string{
+			"spo_registry_queries_total", "spo_http_requests_total",
+			"spo_spans_started_total", "spo_graph_queries_total",
+			"spo_admission_limit_units", "spo_admission_rejected_total",
+			"spo_admission_drain_rate_units_per_second",
+		} {
+			if fams[fam] == nil {
+				t.Errorf("worker %s /metrics missing family %s", w, fam)
+			}
+		}
+		if lim, ok := fams["spo_admission_limit_units"].FindSample("spo_admission_limit_units"); !ok || lim != 64 {
+			t.Errorf("worker %s spo_admission_limit_units = %v, want 64", w, lim)
+		}
+	}
+
+	// ---- /stats and /metrics agree (same snapshots, no drift) ----
+
+	var consistent bool
+	for tries := 0; tries < 50 && !consistent; tries++ {
+		var st struct {
+			Queries   int64 `json:"queries"`
+			Admission struct {
+				Limit int64 `json:"limit"`
+			} `json:"admission"`
+		}
+		getJSON(t, w0+"/stats", &st)
+		fams := scrapeMetrics(t, w0)
+		if st.Admission.Limit != 64 {
+			t.Fatalf("worker /stats admission limit = %d, want 64", st.Admission.Limit)
+		}
+		if v, ok := fams["spo_registry_queries_total"].FindSample("spo_registry_queries_total"); ok && int64(v) == st.Queries {
+			consistent = true
+		}
+		if !consistent {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if !consistent {
+		t.Error("worker /stats and /metrics never agreed on the registry query counter")
+	}
+
+	// ---- cross-process traces ----
+
+	// The worker records its half of a router-issued trace: spans with
+	// service "shardserve" under the trace ID we minted client-side.
+	var workerSpans []obs.SpanData
+	for _, id := range traceIDs {
+		for _, w := range []string{w0, w1} {
+			var tj traceJSON
+			getJSON(t, w+"/trace/"+id+"?local=1", &tj)
+			workerSpans = append(workerSpans, tj.Spans...)
+		}
+		if len(workerSpans) > 0 {
+			break
+		}
+	}
+	if len(workerSpans) == 0 {
+		t.Fatal("no worker-side spans recorded for any router-issued trace")
+	}
+	for _, sd := range workerSpans {
+		if sd.Service != "shardserve" {
+			t.Fatalf("worker span service = %q, want shardserve", sd.Service)
+		}
+	}
+
+	// The router's merged /trace/{id} holds both services with parent
+	// linkage: each worker root's parent is a router-side attempt span.
+	var linked, sawHedgeWinner, sawCancelled bool
+	for _, id := range traceIDs {
+		var tj traceJSON
+		getJSON(t, router+"/trace/"+id, &tj)
+		routerSpanIDs := make(map[string]bool)
+		for _, sd := range tj.Spans {
+			if sd.Service == "serve" {
+				routerSpanIDs[sd.SpanID] = true
+			}
+			if sd.Service == "serve" && strings.HasPrefix(sd.Name, "remote ") {
+				if sd.Outcome == "ok" && sd.Hedge {
+					sawHedgeWinner = true
+				}
+				if sd.Outcome == "cancelled" {
+					sawCancelled = true
+				}
+			}
+		}
+		for _, sd := range tj.Spans {
+			if sd.Service == "shardserve" && routerSpanIDs[sd.ParentID] {
+				linked = true
+			}
+		}
+		if linked && sawHedgeWinner && sawCancelled {
+			break
+		}
+	}
+	if !linked {
+		t.Error("no merged trace linked a shardserve span to a serve-side parent span")
+	}
+
+	// Hedged winner + cancelled loser: with a 1ns hedge both replicas
+	// race on every leg, so across the query rounds some trace must show
+	// the hedge resolving. Cancelled-loser spans land asynchronously;
+	// retry with fresh queries until the deadline.
+	hedgeDeadline := time.Now().Add(30 * time.Second)
+	for n := rounds; !(sawHedgeWinner && sawCancelled); n++ {
+		if time.Now().After(hedgeDeadline) {
+			t.Fatalf("no hedged winner (%v) + cancelled loser (%v) observed in any trace",
+				sawHedgeWinner, sawCancelled)
+		}
+		id, header := tpFor(n)
+		// Sources 121..195 are untouched by the initial rounds (0..115 in
+		// steps of 5), so each retry forces fresh remote legs instead of a
+		// router-cache hit.
+		req, _ := http.NewRequest(http.MethodGet,
+			fmt.Sprintf("%s/graphs/%s/dist?source=%d", router, man.Name, 121+(n-rounds)%75), nil)
+		req.Header.Set("traceparent", header)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(50 * time.Millisecond) // let the loser's span record
+		var tj traceJSON
+		getJSON(t, router+"/trace/"+id, &tj)
+		for _, sd := range tj.Spans {
+			if sd.Service != "serve" || !strings.HasPrefix(sd.Name, "remote ") {
+				continue
+			}
+			if sd.Outcome == "ok" && sd.Hedge {
+				sawHedgeWinner = true
+			}
+			if sd.Outcome == "cancelled" {
+				sawCancelled = true
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler wires the stdlib profiling surface: net/http/pprof under
+// /debug/pprof/ and expvar under /debug/vars. It is mounted on its own
+// listener (the -debug-addr flag) rather than the serving port, so
+// profiling endpoints are never reachable from the query path.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// ListenDebug binds addr and serves DebugHandler in the background,
+// returning the bound address (useful with ":0"). The listener lives for
+// the life of the process; debug servers have no graceful-drain needs.
+func ListenDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: DebugHandler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hist"
+)
+
+// Metric families exported by this process all share one prefix so the
+// namespace is greppable on any scrape: spo_ (shortest-path oracle).
+//
+// Naming scheme (documented in DESIGN.md):
+//   - counters end in _total; gauges are bare nouns; sizes end in _bytes
+//   - durations are exported in seconds (Prometheus base units), derived
+//     from the microsecond histograms internal/hist maintains
+//   - latency histograms surface as summaries with quantile labels
+//     (P50/P90/P99/P999 from hist.Snapshot) plus _sum and _count —
+//     exposing all 156 log-linear buckets per graph per route would
+//     bloat scrapes without adding queryable signal
+
+// Label is one name/value pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Collector emits samples into a MetricWriter at scrape time. Collectors
+// read existing Stats() snapshots rather than maintaining parallel
+// counters, so /metrics and /stats can never drift apart.
+type Collector func(w *MetricWriter)
+
+// Registry is the process-wide set of collectors behind GET /metrics.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+	start      time.Time
+}
+
+// NewRegistry builds an empty metrics registry stamped with the process
+// start time.
+func NewRegistry() *Registry {
+	return &Registry{start: time.Now()}
+}
+
+// Register appends a collector. Collectors run in registration order on
+// every scrape; a family may be touched by only one collector.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Gather runs every collector and renders the exposition text.
+func (r *Registry) Gather() []byte {
+	r.mu.Lock()
+	collectors := r.collectors
+	start := r.start
+	r.mu.Unlock()
+
+	w := NewMetricWriter()
+	for _, c := range collectors {
+		c(w)
+	}
+	runtimeCollector(w, start)
+	return w.Render()
+}
+
+// Handler serves the exposition at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			rw.Header().Set("Allow", "GET, HEAD")
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body := r.Gather()
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rw.WriteHeader(http.StatusOK)
+		if req.Method == http.MethodGet {
+			rw.Write(body)
+		}
+	})
+}
+
+// runtimeCollector contributes the handful of process-level gauges every
+// binary should expose without asking.
+func runtimeCollector(w *MetricWriter, start time.Time) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.Gauge("spo_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+	w.Gauge("spo_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	w.Counter("spo_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	w.Gauge("spo_process_uptime_seconds", "Seconds since process start.", time.Since(start).Seconds())
+}
+
+// Counter is a monotonically increasing int64 usable from hot paths
+// (one atomic add, no locks, no allocation).
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; Inc adds one; Load reads it.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Inc()        { c.v.Add(1) }
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// SummaryFromSnapshot writes one latency summary family sample set from
+// a hist.Snapshot, converting microseconds to seconds.
+func (w *MetricWriter) SummaryFromSnapshot(name, help string, snap hist.Snapshot, labels ...Label) {
+	w.Summary(name, help, SummaryValue{
+		Count: snap.Count,
+		Sum:   snap.MeanUs * float64(snap.Count) / 1e6,
+		Quantiles: []Quantile{
+			{Q: 0.5, V: float64(snap.P50Us) / 1e6},
+			{Q: 0.9, V: float64(snap.P90Us) / 1e6},
+			{Q: 0.99, V: float64(snap.P99Us) / 1e6},
+			{Q: 0.999, V: float64(snap.P999Us) / 1e6},
+		},
+	}, labels...)
+}

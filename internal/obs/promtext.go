@@ -1,0 +1,423 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements just enough of the Prometheus text exposition
+// format (version 0.0.4) to serve /metrics without a dependency, plus a
+// strict parser used by tests to assert the output is well formed.
+//
+// Format invariants the writer maintains:
+//   - every family gets exactly one # HELP and one # TYPE line
+//   - all samples of a family are contiguous (required by the format)
+//   - label values escape backslash, double quote, and newline
+//   - values render as Go shortest-float, with +Inf/-Inf/NaN spelled out
+
+// sample is one rendered line-in-waiting.
+type sample struct {
+	suffix string // "", "_sum", "_count", "_bucket"
+	labels string // pre-rendered {...} including braces, or ""
+	value  float64
+}
+
+// family groups every sample of one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     string // counter | gauge | summary | histogram | untyped
+	samples []sample
+}
+
+// MetricWriter buffers samples grouped by family and renders them in
+// first-registration order.
+type MetricWriter struct {
+	families map[string]*family
+	order    []string
+}
+
+// NewMetricWriter returns an empty writer.
+func NewMetricWriter() *MetricWriter {
+	return &MetricWriter{families: make(map[string]*family)}
+}
+
+func (w *MetricWriter) family(name, help, typ string) *family {
+	f, ok := w.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		w.families[name] = f
+		w.order = append(w.order, name)
+	}
+	return f
+}
+
+// Counter adds one counter sample.
+func (w *MetricWriter) Counter(name, help string, v float64, labels ...Label) {
+	f := w.family(name, help, "counter")
+	f.samples = append(f.samples, sample{labels: renderLabels(labels, "", ""), value: v})
+}
+
+// Gauge adds one gauge sample.
+func (w *MetricWriter) Gauge(name, help string, v float64, labels ...Label) {
+	f := w.family(name, help, "gauge")
+	f.samples = append(f.samples, sample{labels: renderLabels(labels, "", ""), value: v})
+}
+
+// Quantile is one φ-quantile of a summary.
+type Quantile struct {
+	Q float64
+	V float64
+}
+
+// SummaryValue carries one summary sample set.
+type SummaryValue struct {
+	Count     int64
+	Sum       float64
+	Quantiles []Quantile
+}
+
+// Summary adds a full summary sample set (quantile lines, _sum, _count).
+func (w *MetricWriter) Summary(name, help string, s SummaryValue, labels ...Label) {
+	f := w.family(name, help, "summary")
+	for _, q := range s.Quantiles {
+		f.samples = append(f.samples, sample{
+			labels: renderLabels(labels, "quantile", formatFloat(q.Q)),
+			value:  q.V,
+		})
+	}
+	f.samples = append(f.samples,
+		sample{suffix: "_sum", labels: renderLabels(labels, "", ""), value: s.Sum},
+		sample{suffix: "_count", labels: renderLabels(labels, "", ""), value: float64(s.Count)},
+	)
+}
+
+// renderLabels renders a label set (plus one optional extra pair) as the
+// {...} sample suffix, or "" when empty. Labels are emitted in the order
+// given — stable output beats sorted output for diffing scrapes.
+func renderLabels(labels []Label, extraName, extraValue string) string {
+	if len(labels) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	emit := func(name, value string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(name)
+		b.WriteString(`="`)
+		escapeLabelValue(&b, value)
+		b.WriteByte('"')
+	}
+	for _, l := range labels {
+		emit(l.Name, l.Value)
+	}
+	if extraName != "" {
+		emit(extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Render emits the exposition text.
+func (w *MetricWriter) Render() []byte {
+	var b strings.Builder
+	for _, name := range w.order {
+		f := w.families[name]
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(strings.ReplaceAll(strings.ReplaceAll(f.help, `\`, `\\`), "\n", `\n`))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		for _, s := range f.samples {
+			b.WriteString(f.name)
+			b.WriteString(s.suffix)
+			b.WriteString(s.labels)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.value))
+			b.WriteByte('\n')
+		}
+	}
+	return []byte(b.String())
+}
+
+// ---- parser (tests and CI assertions) ----
+
+// ParsedSample is one sample line from a scrape.
+type ParsedSample struct {
+	Name   string // full sample name including _sum/_count/_bucket suffix
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family from a scrape.
+type ParsedFamily struct {
+	Name    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// ParseExposition parses Prometheus text exposition strictly enough to
+// catch writer bugs: malformed names, bad escapes, samples appearing
+// before their TYPE line, or a family's samples split apart all fail.
+func ParseExposition(r io.Reader) (map[string]*ParsedFamily, error) {
+	families := make(map[string]*ParsedFamily)
+	var current *ParsedFamily
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	closed := make(map[string]bool)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 || !validMetricName(parts[0]) {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			switch typ {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := families[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			if current != nil {
+				closed[current.Name] = true
+			}
+			current = &ParsedFamily{Name: name, Type: typ}
+			families[name] = current
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyFor(s.Name, current)
+		if fam == nil || families[fam.Name] != fam {
+			return nil, fmt.Errorf("line %d: sample %q outside its family block", lineNo, s.Name)
+		}
+		if closed[fam.Name] {
+			return nil, fmt.Errorf("line %d: family %q samples are not contiguous", lineNo, fam.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+// familyFor maps a sample name to the current family, honoring the
+// summary/histogram magic suffixes.
+func familyFor(sampleName string, current *ParsedFamily) *ParsedFamily {
+	if current == nil {
+		return nil
+	}
+	if sampleName == current.Name {
+		return current
+	}
+	base := sampleName
+	for _, suf := range []string{"_sum", "_count", "_bucket"} {
+		if strings.HasSuffix(sampleName, suf) {
+			base = strings.TrimSuffix(sampleName, suf)
+			break
+		}
+	}
+	if base == current.Name && (current.Type == "summary" || current.Type == "histogram") {
+		return current
+	}
+	return nil
+}
+
+func parseSampleLine(line string) (ParsedSample, error) {
+	var s ParsedSample
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = line[:i]
+	s.Labels = map[string]string{}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) || j+1 >= len(line) || line[j+1] != '"' {
+				return s, fmt.Errorf("malformed labels in %q", line)
+			}
+			name := line[i:j]
+			if !validMetricName(name) {
+				return s, fmt.Errorf("bad label name %q", name)
+			}
+			j += 2 // past ="
+			var val strings.Builder
+			for j < len(line) && line[j] != '"' {
+				if line[j] == '\\' {
+					if j+1 >= len(line) {
+						return s, fmt.Errorf("dangling escape in %q", line)
+					}
+					switch line[j+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("bad escape \\%c in %q", line[j+1], line)
+					}
+					j += 2
+					continue
+				}
+				val.WriteByte(line[j])
+				j++
+			}
+			if j >= len(line) {
+				return s, fmt.Errorf("unterminated label value in %q", line)
+			}
+			s.Labels[name] = val.String()
+			i = j + 1
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value (and optional timestamp) in %q", line)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseFloat(f string) (float64, error) {
+	switch f {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(f, 64)
+}
+
+func validMetricName(n string) bool {
+	if n == "" {
+		return false
+	}
+	for i := 0; i < len(n); i++ {
+		if !isNameChar(n[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+// FindSample returns the value of the first sample in fam matching every
+// given label pair, and whether one was found.
+func (f *ParsedFamily) FindSample(name string, labels ...Label) (float64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for _, l := range labels {
+			if s.Labels[l.Name] != l.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SortedLabelKey renders a deterministic key for a label map (tests).
+func SortedLabelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s,", k, labels[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,438 @@
+// Package obs is the zero-dependency observability layer: a process-wide
+// metrics registry rendered in Prometheus text exposition format, a
+// lightweight per-query tracer with a bounded in-memory span ring, W3C
+// traceparent propagation for the remote shard hop, and pprof/expvar
+// debug wiring. It is deliberately a leaf package (stdlib + internal/hist
+// only) so every layer of the serve path can import it.
+//
+// The tracing hot path is allocation-free by construction: a Span is a
+// caller-stack value with fixed typed attribute fields (no maps, no
+// interfaces), StartChild leaves the span inert when no parent is in the
+// context, and End copies the span into a fixed ring slot under a
+// per-slot seqlock. A full ring drops spans rather than blocking or
+// growing — traces are diagnostics, not a ledger.
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"log/slog"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID and SpanID follow the W3C Trace Context sizes: 16 and 8 bytes,
+// rendered as lowercase hex on the wire and in /trace responses.
+type TraceID [16]byte
+
+// SpanID is the 8-byte span identifier.
+type SpanID [8]byte
+
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+func (s SpanID) IsZero() bool  { return s == SpanID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+func randTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		putUint64(t[0:8], rand.Uint64())
+		putUint64(t[8:16], rand.Uint64())
+	}
+	return t
+}
+
+func randSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		putUint64(s[0:8], rand.Uint64())
+	}
+	return s
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// Traceparent is a parsed W3C traceparent header. Valid is false when the
+// header was absent or malformed; an invalid parent simply starts a new
+// trace rather than failing the request.
+type Traceparent struct {
+	Trace TraceID
+	Span  SpanID
+	Flags byte
+	Valid bool
+}
+
+// ParseTraceparent parses "00-<32 hex>-<16 hex>-<2 hex>". Unknown
+// versions are rejected (the spec allows forward compatibility, but we
+// only ever emit version 00 and prefer strictness over guessing).
+func ParseTraceparent(s string) Traceparent {
+	var tp Traceparent
+	if len(s) != 55 || s[0] != '0' || s[1] != '0' || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tp
+	}
+	if _, err := hex.Decode(tp.Trace[:], []byte(s[3:35])); err != nil {
+		return tp
+	}
+	if _, err := hex.Decode(tp.Span[:], []byte(s[36:52])); err != nil {
+		return tp
+	}
+	var fl [1]byte
+	if _, err := hex.Decode(fl[:], []byte(s[53:55])); err != nil {
+		return tp
+	}
+	tp.Flags = fl[0]
+	tp.Valid = !tp.Trace.IsZero() && !tp.Span.IsZero()
+	return tp
+}
+
+// FormatTraceparent renders a version-00 traceparent header value with
+// the sampled flag set (every recorded span is "sampled" — the ring is
+// the sampling policy, not the flag).
+func FormatTraceparent(trace TraceID, span SpanID) string {
+	b := make([]byte, 55)
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], trace[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], span[:])
+	b[52] = '-'
+	b[53], b[54] = '0', '1'
+	return string(b)
+}
+
+// Span is one timed operation. It lives on the caller's stack; tracer
+// state rides along in the unexported tr field. A zero Span (or one whose
+// StartChild found no parent) is inert: every method is a cheap no-op, so
+// instrumented code never branches on "is tracing on".
+//
+// Attributes are fixed typed fields rather than a map so that setting
+// them never allocates. Unused fields keep their zero/sentinel values and
+// are omitted from the JSON rendering.
+type Span struct {
+	tr     *Tracer
+	start  time.Time
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	root   bool
+
+	// Attributes.
+	Route       string
+	Graph       string
+	Source      int64 // -1 = unset
+	Shard       int32 // -1 = unset
+	Endpoint    string
+	Hedge       bool
+	Outcome     string
+	SWR         string
+	Version     int64
+	Status      int
+	ScannedArcs int64
+	Err         string
+}
+
+// Active reports whether the span records anywhere.
+func (sp *Span) Active() bool { return sp != nil && sp.tr != nil }
+
+// Traceparent renders the header value identifying this span as parent.
+func (sp *Span) Traceparent() string { return FormatTraceparent(sp.Trace, sp.ID) }
+
+// SetError records err's message; nil clears nothing and is safe.
+func (sp *Span) SetError(err error) {
+	if sp.tr != nil && err != nil {
+		sp.Err = err.Error()
+	}
+}
+
+// End stamps the duration and copies the span into the tracer ring. Safe
+// on inert spans. A span must be ended at most once.
+func (sp *Span) End() {
+	if sp.tr == nil {
+		return
+	}
+	sp.tr.record(sp, time.Since(sp.start))
+}
+
+// TracerOptions configure NewTracer. Zero values pick the defaults
+// documented on each field.
+type TracerOptions struct {
+	// RingSize is the number of span slots retained in memory (default
+	// 4096). The ring is lossy: once it wraps, the oldest spans are
+	// overwritten; concurrent writers contending for one slot drop the
+	// newcomer instead of blocking.
+	RingSize int
+	// SampleEvery logs one in every N completed root spans through
+	// Logger (default 256). Root spans that carry an error are always
+	// logged.
+	SampleEvery int
+	// Logger receives the sampled spans. Nil disables span logging.
+	Logger *slog.Logger
+}
+
+// Tracer owns the span ring for one process and stamps every recorded
+// span with its service name ("serve", "shardserve", ...), which is how
+// merged cross-process traces stay attributable.
+type Tracer struct {
+	service     string
+	slots       []spanSlot
+	next        atomic.Uint64
+	logger      *slog.Logger
+	sampleEvery uint64
+
+	started  atomic.Int64
+	finished atomic.Int64
+	dropped  atomic.Int64
+	sampled  atomic.Int64
+}
+
+// spanSlot is one ring entry guarded by a seqlock: seq is odd while a
+// writer owns the slot, even when stable. Readers copy and revalidate.
+type spanSlot struct {
+	seq atomic.Uint64
+	sp  Span
+	dur time.Duration
+}
+
+// NewTracer builds a tracer for the named service.
+func NewTracer(service string, opts TracerOptions) *Tracer {
+	if opts.RingSize <= 0 {
+		opts.RingSize = 4096
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 256
+	}
+	return &Tracer{
+		service:     service,
+		slots:       make([]spanSlot, opts.RingSize),
+		logger:      opts.Logger,
+		sampleEvery: uint64(opts.SampleEvery),
+	}
+}
+
+// Service returns the tracer's service name.
+func (t *Tracer) Service() string { return t.service }
+
+// StartRoot begins a local-root span in sp — the top of this process's
+// part of a trace. A valid parent (from an inbound traceparent header)
+// links the span into the caller's trace; otherwise a fresh trace ID is
+// minted. Allocation-free.
+func (t *Tracer) StartRoot(sp *Span, name string, parent Traceparent) {
+	*sp = Span{
+		tr:     t,
+		start:  time.Now(),
+		ID:     randSpanID(),
+		Name:   name,
+		root:   true,
+		Source: -1,
+		Shard:  -1,
+	}
+	if parent.Valid {
+		sp.Trace = parent.Trace
+		sp.Parent = parent.Span
+	} else {
+		sp.Trace = randTraceID()
+	}
+	t.started.Add(1)
+}
+
+// StartChild begins a child of the span carried by ctx, writing into sp.
+// When ctx carries no active span, sp is left inert (the zero Span) and
+// false is returned; callers may still set attributes and End — all
+// no-ops. Allocation-free.
+func StartChild(sp *Span, ctx context.Context, name string) bool {
+	parent := FromContext(ctx)
+	if !parent.Active() {
+		*sp = Span{}
+		return false
+	}
+	*sp = Span{
+		tr:     parent.tr,
+		start:  time.Now(),
+		Trace:  parent.Trace,
+		ID:     randSpanID(),
+		Parent: parent.ID,
+		Name:   name,
+		Source: -1,
+		Shard:  -1,
+	}
+	parent.tr.started.Add(1)
+	return true
+}
+
+// record writes a finished span into its ring slot and applies the log
+// sampling policy.
+func (t *Tracer) record(sp *Span, dur time.Duration) {
+	n := t.finished.Add(1)
+	idx := t.next.Add(1) - 1
+	slot := &t.slots[idx%uint64(len(t.slots))]
+	seq := slot.seq.Load()
+	if seq&1 == 1 || !slot.seq.CompareAndSwap(seq, seq+1) {
+		// Another writer owns this slot; drop rather than spin. The ring
+		// is bounded, lossy telemetry by design.
+		t.dropped.Add(1)
+	} else {
+		slot.sp = *sp
+		slot.dur = dur
+		slot.seq.Store(seq + 2)
+	}
+	if t.logger != nil && sp.root && (sp.Err != "" || uint64(n)%t.sampleEvery == 0) {
+		t.sampled.Add(1)
+		t.logSpan(sp, dur)
+	}
+}
+
+// logSpan emits one structured line for a sampled span. This path is
+// off the allocation budget — it runs for 1/SampleEvery of root spans.
+func (t *Tracer) logSpan(sp *Span, dur time.Duration) {
+	attrs := make([]slog.Attr, 0, 12)
+	attrs = append(attrs,
+		slog.String("trace", sp.Trace.String()),
+		slog.String("span", sp.ID.String()),
+		slog.String("service", t.service),
+		slog.String("name", sp.Name),
+		slog.Int64("dur_us", dur.Microseconds()),
+	)
+	if sp.Route != "" {
+		attrs = append(attrs, slog.String("route", sp.Route))
+	}
+	if sp.Graph != "" {
+		attrs = append(attrs, slog.String("graph", sp.Graph))
+	}
+	if sp.Status != 0 {
+		attrs = append(attrs, slog.Int("status", sp.Status))
+	}
+	if sp.SWR != "" {
+		attrs = append(attrs, slog.String("swr", sp.SWR))
+	}
+	if sp.Err != "" {
+		attrs = append(attrs, slog.String("error", sp.Err))
+	}
+	level := slog.LevelInfo
+	if sp.Err != "" {
+		level = slog.LevelWarn
+	}
+	t.logger.LogAttrs(context.Background(), level, "trace", attrs...)
+}
+
+// SpanData is the JSON rendering of one recorded span, returned by
+// Collect and served at /trace/{id}.
+type SpanData struct {
+	TraceID     string `json:"trace_id"`
+	SpanID      string `json:"span_id"`
+	ParentID    string `json:"parent_id,omitempty"`
+	Service     string `json:"service"`
+	Name        string `json:"name"`
+	StartNano   int64  `json:"start_unix_nano"`
+	DurationUs  int64  `json:"duration_us"`
+	Route       string `json:"route,omitempty"`
+	Graph       string `json:"graph,omitempty"`
+	Source      int64  `json:"source"`
+	Shard       int32  `json:"shard"`
+	Endpoint    string `json:"endpoint,omitempty"`
+	Hedge       bool   `json:"hedge,omitempty"`
+	Outcome     string `json:"outcome,omitempty"`
+	SWR         string `json:"swr,omitempty"`
+	Version     int64  `json:"version,omitempty"`
+	Status      int    `json:"status,omitempty"`
+	ScannedArcs int64  `json:"scanned_arcs,omitempty"`
+	Err         string `json:"error,omitempty"`
+}
+
+// Collect returns every span in the ring belonging to the trace, or —
+// when id is the zero TraceID — every readable span. Seqlock reads:
+// a torn slot (writer mid-copy) is skipped.
+func (t *Tracer) Collect(id TraceID) []SpanData {
+	var out []SpanData
+	for i := range t.slots {
+		slot := &t.slots[i]
+		s1 := slot.seq.Load()
+		if s1&1 == 1 || s1 == 0 {
+			continue
+		}
+		sp := slot.sp
+		dur := slot.dur
+		if slot.seq.Load() != s1 {
+			continue
+		}
+		if !id.IsZero() && sp.Trace != id {
+			continue
+		}
+		out = append(out, spanData(t.service, &sp, dur))
+	}
+	return out
+}
+
+func spanData(service string, sp *Span, dur time.Duration) SpanData {
+	d := SpanData{
+		TraceID:     sp.Trace.String(),
+		SpanID:      sp.ID.String(),
+		Service:     service,
+		Name:        sp.Name,
+		StartNano:   sp.start.UnixNano(),
+		DurationUs:  dur.Microseconds(),
+		Route:       sp.Route,
+		Graph:       sp.Graph,
+		Source:      sp.Source,
+		Shard:       sp.Shard,
+		Endpoint:    sp.Endpoint,
+		Hedge:       sp.Hedge,
+		Outcome:     sp.Outcome,
+		SWR:         sp.SWR,
+		Version:     sp.Version,
+		Status:      sp.Status,
+		ScannedArcs: sp.ScannedArcs,
+		Err:         sp.Err,
+	}
+	if !sp.Parent.IsZero() {
+		d.ParentID = sp.Parent.String()
+	}
+	return d
+}
+
+// Stats is a snapshot of tracer counters, exposed under /metrics.
+type TracerStats struct {
+	Started  int64
+	Finished int64
+	Dropped  int64
+	Sampled  int64
+	RingSize int
+}
+
+// Stats snapshots the tracer counters.
+func (t *Tracer) Stats() TracerStats {
+	return TracerStats{
+		Started:  t.started.Load(),
+		Finished: t.finished.Load(),
+		Dropped:  t.dropped.Load(),
+		Sampled:  t.sampled.Load(),
+		RingSize: len(t.slots),
+	}
+}
+
+// ctxKey keys the active span in a context. A *Span goes in the context
+// (not a value) so children observe attribute updates and the tracer.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sp. Inert spans return ctx unchanged,
+// keeping the untraced path allocation-free.
+func ContextWith(ctx context.Context, sp *Span) context.Context {
+	if !sp.Active() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the active span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

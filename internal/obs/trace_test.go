@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer("test", TracerOptions{})
+	var sp Span
+	tr.StartRoot(&sp, "op", Traceparent{})
+	hdr := sp.Traceparent()
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") {
+		t.Fatalf("traceparent %q is not a version-00 header", hdr)
+	}
+	tp := ParseTraceparent(hdr)
+	if !tp.Valid {
+		t.Fatalf("round-tripped header %q did not parse", hdr)
+	}
+	if tp.Trace != sp.Trace || tp.Span != sp.ID {
+		t.Fatalf("parsed ids %v/%v, want %v/%v", tp.Trace, tp.Span, sp.Trace, sp.ID)
+	}
+	if tp.Flags != 0x01 {
+		t.Fatalf("flags = %#x, want 0x01", tp.Flags)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc",
+		"01-0123456789abcdef0123456789abcdef-0123456789abcdef-01", // unknown version
+		"00-0123456789abcdef0123456789abcdef+0123456789abcdef-01", // bad separator
+		"00-00000000000000000000000000000000-0123456789abcdef-01", // zero trace id
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01", // zero span id
+		"00-0123456789abcdeg0123456789abcdef-0123456789abcdef-01", // non-hex
+	}
+	for _, s := range bad {
+		if ParseTraceparent(s).Valid {
+			t.Errorf("ParseTraceparent(%q) unexpectedly valid", s)
+		}
+	}
+	good := "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	if !ParseTraceparent(good).Valid {
+		t.Errorf("ParseTraceparent(%q) unexpectedly invalid", good)
+	}
+}
+
+func TestStartChildInertWithoutParent(t *testing.T) {
+	var sp Span
+	if StartChild(&sp, context.Background(), "child") {
+		t.Fatal("StartChild claimed a parent in an empty context")
+	}
+	if sp.Active() {
+		t.Fatal("inert span reports active")
+	}
+	// All operations on an inert span must be safe no-ops.
+	sp.SetError(context.Canceled)
+	sp.End()
+	if ContextWith(context.Background(), &sp) != context.Background() {
+		t.Fatal("ContextWith allocated a context for an inert span")
+	}
+}
+
+func TestSpanRecordAndCollect(t *testing.T) {
+	tr := NewTracer("svc", TracerOptions{RingSize: 8})
+	var root Span
+	tr.StartRoot(&root, "GET dist", Traceparent{})
+	root.Graph = "g"
+	root.Route = "dist"
+	root.Source = 7
+	ctx := ContextWith(context.Background(), &root)
+
+	var child Span
+	if !StartChild(&child, ctx, "leg") {
+		t.Fatal("StartChild found no parent")
+	}
+	child.Shard = 2
+	child.Endpoint = "http://w0"
+	child.Outcome = "ok"
+	child.End()
+	root.Status = 200
+	root.End()
+
+	spans := tr.Collect(root.Trace)
+	if len(spans) != 2 {
+		t.Fatalf("collected %d spans, want 2", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, c := byName["GET dist"], byName["leg"]
+	if c.ParentID != r.SpanID {
+		t.Fatalf("child parent = %q, want %q", c.ParentID, r.SpanID)
+	}
+	if r.TraceID != c.TraceID {
+		t.Fatal("trace ids diverged between parent and child")
+	}
+	if c.Shard != 2 || c.Endpoint != "http://w0" || c.Outcome != "ok" {
+		t.Fatalf("child attributes lost: %+v", c)
+	}
+	if r.Graph != "g" || r.Source != 7 || r.Status != 200 {
+		t.Fatalf("root attributes lost: %+v", r)
+	}
+	if r.Service != "svc" {
+		t.Fatalf("service = %q, want svc", r.Service)
+	}
+
+	if got := tr.Collect(randTraceID()); len(got) != 0 {
+		t.Fatalf("foreign trace id matched %d spans", len(got))
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer("svc", TracerOptions{RingSize: 4})
+	var first Span
+	tr.StartRoot(&first, "first", Traceparent{})
+	first.End()
+	for i := 0; i < 8; i++ {
+		var sp Span
+		tr.StartRoot(&sp, "filler", Traceparent{})
+		sp.End()
+	}
+	if got := tr.Collect(first.Trace); len(got) != 0 {
+		t.Fatalf("span survived %d overwrites in a 4-slot ring", 8)
+	}
+	st := tr.Stats()
+	if st.Finished != 9 {
+		t.Fatalf("finished = %d, want 9", st.Finished)
+	}
+}
+
+func TestConcurrentRecordCollect(t *testing.T) {
+	tr := NewTracer("svc", TracerOptions{RingSize: 16})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sp Span
+				tr.StartRoot(&sp, "op", Traceparent{})
+				sp.Graph = "g"
+				sp.End()
+			}
+		}()
+	}
+	deadline := time.After(100 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			for _, s := range tr.Collect(TraceID{}) {
+				// A torn read would surface as inconsistent hex widths
+				// or a zero trace id on a finished span.
+				if len(s.TraceID) != 32 || len(s.SpanID) != 16 {
+					t.Errorf("torn span read: %+v", s)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	st := tr.Stats()
+	if st.Finished != st.Started {
+		t.Fatalf("started %d != finished %d", st.Started, st.Finished)
+	}
+}
+
+// TestSpanAllocs is the package-local half of the zero-allocation
+// acceptance gate: starting, attributing, and ending spans — both
+// recorded and inert — must not allocate.
+func TestSpanAllocs(t *testing.T) {
+	tr := NewTracer("svc", TracerOptions{RingSize: 64, SampleEvery: 1 << 30})
+	if n := testing.AllocsPerRun(200, func() {
+		var sp Span
+		tr.StartRoot(&sp, "dist", Traceparent{})
+		sp.Graph = "g"
+		sp.Route = "dist"
+		sp.Source = 3
+		sp.SWR = "fresh"
+		sp.Status = 200
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("recorded span path allocates %.1f times per op, want 0", n)
+	}
+
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(200, func() {
+		var sp Span
+		StartChild(&sp, ctx, "leg")
+		sp.Outcome = "ok"
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("inert span path allocates %.1f times per op, want 0", n)
+	}
+
+	var c Counter
+	if n := testing.AllocsPerRun(200, func() { c.Add(1) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %.1f times per op, want 0", n)
+	}
+}

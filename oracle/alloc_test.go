@@ -1,7 +1,10 @@
 package oracle
 
 import (
+	"context"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // Allocation gates for the warm (cache-hit) query path. These are the
@@ -64,5 +67,68 @@ func TestWarmQueryAllocs(t *testing.T) {
 		if _, _, err := eng.Path(sources[0], 123); err != nil {
 			t.Fatal(err)
 		}
+	})
+
+	// The observability hot path rides the same budgets: a recorded span
+	// (start → attrs → seqlock ring write) plus a metrics counter bump
+	// around a warm Dist must add zero allocations — spans are
+	// caller-stack values, the ring slot is preallocated, and counters
+	// are plain atomics.
+	tr := obs.NewTracer("test", obs.TracerOptions{})
+	var hits obs.Counter
+	gate("Dist(warm, traced)", 2, func() {
+		var sp obs.Span
+		tr.StartRoot(&sp, "GET dist", obs.Traceparent{})
+		sp.Route = "dist"
+		sp.Source = int64(sources[0])
+		if _, err := eng.Dist(sources[0]); err != nil {
+			t.Fatal(err)
+		}
+		hits.Inc()
+		sp.Status = 200
+		sp.End()
+	})
+	// The inert-span path (no tracer in ctx) is what untraced requests
+	// pay: nothing.
+	gate("Dist(warm, untraced ctx)", 2, func() {
+		var sp obs.Span
+		if obs.StartChild(&sp, context.Background(), "never") {
+			t.Fatal("child span started without a parent in ctx")
+		}
+		if _, err := eng.Dist(sources[0]); err != nil {
+			t.Fatal(err)
+		}
+		sp.End()
+	})
+	// DistSWRContext fresh hits with a live span in ctx: the annotation
+	// writes into the caller-stack span, so the SWR fast path keeps its
+	// zero-allocation budget. ContextWith on a recorded span allocates
+	// the context node once per request (budgeted: ≤2 was already the
+	// Dist gate, the context adds 1 measured).
+	r := NewRegistry(RegistryConfig{HotPairCache: 64})
+	defer r.Close()
+	if err := r.Add("g", func(ctx context.Context, opts ...Option) (Backend, error) {
+		return New(g, append([]Option{WithEpsilon(0.25)}, opts...)...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(context.Background(), "g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DistSWR("g", sources[0]); err != nil {
+		t.Fatal(err)
+	}
+	gate("DistSWR(fresh, traced)", 3, func() {
+		var sp obs.Span
+		tr.StartRoot(&sp, "GET dist", obs.Traceparent{})
+		ctx := obs.ContextWith(context.Background(), &sp)
+		res, err := r.DistSWRContext(ctx, "g", sources[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stale {
+			t.Fatal("fresh hit reported stale")
+		}
+		sp.End()
 	})
 }

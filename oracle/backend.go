@@ -1,5 +1,7 @@
 package oracle
 
+import "context"
+
 // Backend is the query surface the Registry serves: anything that answers
 // the engine's query set over one logical graph. The monolithic *Engine is
 // the canonical implementation; package shard provides a sharded one that
@@ -52,6 +54,42 @@ type OffsetBackend interface {
 	// NearestWithOffsets is Nearest with a per-source starting cost:
 	// out[v] = min_i offsets[i] + dist(sources[i], v).
 	NearestWithOffsets(sources []int32, offsets []float64) ([]float64, error)
+}
+
+// ContextBackend is the optional context-aware query surface. Backends
+// whose queries can cross a process boundary (RemoteBackend, the
+// distributed shard.Router) implement it so cancellation and trace
+// propagation flow with the request; the HTTP layer type-asserts and
+// falls back to the plain Backend methods otherwise. The monolithic
+// *Engine deliberately does not implement it — its query path is pure
+// CPU with no cancellation points, and staying context-free keeps the
+// warm path allocation-free.
+type ContextBackend interface {
+	DistContext(ctx context.Context, source int32) ([]float64, error)
+	PathContext(ctx context.Context, u, v int32) ([]int32, float64, error)
+}
+
+// ContextMatrixBackend is the context-aware variant of MatrixBackend.
+type ContextMatrixBackend interface {
+	MatrixContext(ctx context.Context, sources, targets []int32) ([][]float64, error)
+}
+
+// distVia routes a dist query through the context-aware surface when the
+// backend has one.
+func distVia(ctx context.Context, be Backend, source int32) ([]float64, error) {
+	if cb, ok := be.(ContextBackend); ok {
+		return cb.DistContext(ctx, source)
+	}
+	return be.Dist(source)
+}
+
+// pathVia routes a path query through the context-aware surface when the
+// backend has one.
+func pathVia(ctx context.Context, be Backend, u, v int32) ([]int32, float64, error) {
+	if cb, ok := be.(ContextBackend); ok {
+		return cb.PathContext(ctx, u, v)
+	}
+	return be.Path(u, v)
 }
 
 // BackendInfo describes a resident backend for GraphInfo and the status

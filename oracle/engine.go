@@ -609,6 +609,16 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
+// scannedArcs reads the cumulative scanned-arc counter (a handful of
+// atomic loads) — cheap enough to bracket a single query for tracing.
+// Safe on a nil engine, returning 0.
+func (e *Engine) scannedArcs() int64 {
+	if e == nil || e.solver == nil {
+		return 0
+	}
+	return e.solver.RelaxStats().ScannedArcs
+}
+
 // Tree is a (1+ε)-approximate shortest-path tree whose edges all belong
 // to the original graph. Instances returned by Engine.Tree are cached and
 // shared between callers: treat every field as read-only.

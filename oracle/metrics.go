@@ -1,0 +1,139 @@
+package oracle
+
+import (
+	"repro/internal/obs"
+)
+
+// batchOccupancyBuckets mirrors the batcher's fixed occupancy buckets:
+// upper bounds on distinct sources per flushed batch.
+var batchOccupancyBuckets = [...]string{"1", "2", "4", "8", "16", "32", "64"}
+
+// MetricsCollector adapts a Registry's /stats counters into /metrics
+// families. It is a pure read over the same snapshots /stats serves —
+// the two surfaces cannot drift because neither keeps its own tally.
+// Registered once per process in cmd/serve and cmd/shardserve.
+func MetricsCollector(r *Registry) obs.Collector {
+	return func(w *obs.MetricWriter) {
+		st := r.Stats()
+		w.Counter("spo_registry_queries_total", "Queries served through the registry.", float64(st.Queries))
+		w.Counter("spo_builds_total", "Engine builds by result.", float64(st.BuildsDone), obs.L("result", "ok"))
+		w.Counter("spo_builds_total", "Engine builds by result.", float64(st.BuildsFailed), obs.L("result", "failed"))
+		w.Counter("spo_reloads_total", "Hot reloads published.", float64(st.Reloads))
+		w.Counter("spo_evictions_total", "Graphs evicted under memory pressure.", float64(st.Evictions))
+		w.Gauge("spo_draining_engines", "Retired engine versions still pinned by in-flight queries.", float64(st.Draining))
+		w.Gauge("spo_registry_memory_bytes", "Estimated resident bytes across ready graphs.", float64(st.MemoryBytes))
+		if st.MemoryBudget > 0 {
+			w.Gauge("spo_registry_memory_budget_bytes", "Configured eviction budget.", float64(st.MemoryBudget))
+		}
+		w.Gauge("spo_graphs", "Registered graphs by status.", float64(st.Ready), obs.L("status", "ready"))
+		w.Gauge("spo_graphs", "Registered graphs by status.", float64(st.Building), obs.L("status", "building"))
+		w.Gauge("spo_graphs", "Registered graphs by status.", float64(st.Failed), obs.L("status", "failed"))
+		w.Gauge("spo_graphs", "Registered graphs by status.", float64(st.Evicted), obs.L("status", "evicted"))
+
+		if hp := st.HotPair; hp != nil {
+			w.Counter("spo_hotpair_hits_total", "Hot-pair cache hits by freshness.", float64(hp.Hits), obs.L("kind", "fresh"))
+			w.Counter("spo_hotpair_hits_total", "Hot-pair cache hits by freshness.", float64(hp.StaleHits), obs.L("kind", "stale"))
+			w.Counter("spo_hotpair_misses_total", "Hot-pair cache misses.", float64(hp.Misses))
+			w.Counter("spo_hotpair_evictions_total", "Hot-pair cache evictions.", float64(hp.Evictions))
+			w.Counter("spo_hotpair_revalidations_total", "Background row revalidations completed.", float64(hp.Revalidations))
+			w.Gauge("spo_hotpair_entries", "Rows resident in the hot-pair cache.", float64(hp.Entries))
+		}
+
+		for _, gi := range r.List() {
+			g := obs.L("graph", gi.Name)
+			w.Gauge("spo_graph_ready", "1 when the graph is ready to serve.", boolGauge(gi.Status == StatusReady), g)
+			w.Counter("spo_registry_graph_queries_total", "Registry-level queries per graph.", float64(gi.Queries), g)
+			if gi.MemoryBytes > 0 {
+				w.Gauge("spo_graph_memory_bytes", "Estimated resident bytes per graph.", float64(gi.MemoryBytes), g)
+			}
+			if gi.Status != StatusReady {
+				continue
+			}
+			es, err := r.EngineStats(gi.Name)
+			if err != nil {
+				continue
+			}
+			collectEngineStats(w, gi.Name, es)
+		}
+	}
+}
+
+// collectEngineStats emits the per-graph engine families — the paper's
+// work accounting (scanned arcs, relax rounds, batch occupancy) next to
+// the route counters and latency summaries.
+func collectEngineStats(w *obs.MetricWriter, name string, es Stats) {
+	g := obs.L("graph", name)
+	qhelp := "Engine queries by route."
+	w.Counter("spo_graph_queries_total", qhelp, float64(es.DistQueries), g, obs.L("route", "dist"))
+	w.Counter("spo_graph_queries_total", qhelp, float64(es.MultiQueries), g, obs.L("route", "multi"))
+	w.Counter("spo_graph_queries_total", qhelp, float64(es.MatrixQueries), g, obs.L("route", "matrix"))
+	w.Counter("spo_graph_queries_total", qhelp, float64(es.NearestQueries), g, obs.L("route", "nearest"))
+	w.Counter("spo_graph_queries_total", qhelp, float64(es.PathQueries), g, obs.L("route", "path"))
+	w.Counter("spo_graph_queries_total", qhelp, float64(es.TreeQueries), g, obs.L("route", "tree"))
+
+	chelp := "Engine cache traffic by cache and event."
+	for _, c := range []struct {
+		kind string
+		s    CacheStats
+	}{{"dist", es.DistCache}, {"tree", es.TreeCache}} {
+		k := obs.L("cache", c.kind)
+		w.Counter("spo_graph_cache_events_total", chelp, float64(c.s.Hits), g, k, obs.L("event", "hit"))
+		w.Counter("spo_graph_cache_events_total", chelp, float64(c.s.Misses), g, k, obs.L("event", "miss"))
+		w.Counter("spo_graph_cache_events_total", chelp, float64(c.s.Evictions), g, k, obs.L("event", "eviction"))
+		w.Gauge("spo_graph_cache_entries", "Entries resident per engine cache.", float64(c.s.Len), g, k)
+	}
+
+	w.Counter("spo_relax_explorations_total", "Query-time relaxation explorations.", float64(es.Relax.Explorations), g)
+	w.Counter("spo_relax_scanned_arcs_total", "Arcs scanned by relaxation kernels — the paper's work measure.", float64(es.Relax.ScannedArcs), g)
+	w.Counter("spo_relax_rounds_total", "Relaxation rounds by kernel.", float64(es.Relax.DenseRounds), g, obs.L("kernel", "dense"))
+	w.Counter("spo_relax_rounds_total", "Relaxation rounds by kernel.", float64(es.Relax.SparseRounds), g, obs.L("kernel", "sparse"))
+	w.Counter("spo_relax_batched_seeds_total", "Source lanes carried by batched explorations.", float64(es.Relax.BatchedSeeds), g)
+
+	if es.Batches > 0 || es.BatchedQueries > 0 {
+		w.Counter("spo_batches_total", "Coalesced batches flushed.", float64(es.Batches), g)
+		w.Counter("spo_batched_queries_total", "Queries answered via a coalesced batch.", float64(es.BatchedQueries), g)
+		w.Gauge("spo_batch_largest", "Largest batch flushed.", float64(es.LargestBatch), g)
+	}
+	for i, c := range es.BatchOccupancy {
+		if i >= len(batchOccupancyBuckets) {
+			break
+		}
+		w.Counter("spo_batch_occupancy_total", "Flushed batches by occupancy bucket (distinct sources ≤ bucket).",
+			float64(c), g, obs.L("bucket", batchOccupancyBuckets[i]))
+	}
+
+	for route, snap := range es.Latency {
+		w.SummaryFromSnapshot("spo_query_latency_seconds", "Serve-side query latency by graph and route.",
+			snap, g, obs.L("route", route))
+	}
+
+	if sh := es.Sharded; sh != nil {
+		w.Counter("spo_shard_queries_total", "Sharded-router queries by disposition.", float64(sh.RoutedQueries), g, obs.L("disposition", "routed"))
+		w.Counter("spo_shard_queries_total", "Sharded-router queries by disposition.", float64(sh.LocalQueries), g, obs.L("disposition", "local"))
+		rchelp := "Router assembled-vector cache traffic."
+		w.Counter("spo_router_cache_events_total", rchelp, float64(sh.RouterCache.Hits), g, obs.L("event", "hit"))
+		w.Counter("spo_router_cache_events_total", rchelp, float64(sh.RouterCache.Misses), g, obs.L("event", "miss"))
+		w.Counter("spo_router_cache_events_total", rchelp, float64(sh.RouterCache.Evictions), g, obs.L("event", "eviction"))
+		if rm := sh.Remote; rm != nil {
+			w.Counter("spo_router_hedges_total", "Hedged second requests fired.", float64(rm.Hedges), g)
+			w.Counter("spo_router_hedge_wins_total", "Hedged requests that answered first.", float64(rm.HedgeWins), g)
+			w.Counter("spo_router_failovers_total", "Queries re-routed after a replica error.", float64(rm.Failovers), g)
+			for _, ep := range rm.Endpoints {
+				u := obs.L("url", ep.URL)
+				w.Gauge("spo_endpoint_up", "1 when the worker endpoint is healthy.", boolGauge(ep.Healthy), g, u)
+				w.Counter("spo_endpoint_requests_total", "Requests sent to the endpoint.", float64(ep.Requests), g, u)
+				w.Counter("spo_endpoint_errors_total", "Requests to the endpoint that failed.", float64(ep.Errors), g, u)
+				if ep.Latency.Count > 0 {
+					w.SummaryFromSnapshot("spo_endpoint_latency_seconds", "Per-endpoint request latency.", ep.Latency, g, u)
+				}
+			}
+		}
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

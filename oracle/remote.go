@@ -14,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RemoteBackend is an HTTP client implementing the full Backend (and
@@ -147,6 +149,11 @@ func (b *RemoteBackend) do(ctx context.Context, method, path string, body, out a
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the active trace across the process boundary: the remote
+	// worker's server span becomes a child of the span carried in ctx.
+	if sp := obs.FromContext(ctx); sp.Active() {
+		req.Header.Set("traceparent", sp.Traceparent())
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {

@@ -195,7 +195,7 @@ func NewRegistryHandler(r *Registry) http.Handler {
 				writeError(w, err)
 				return
 			}
-			d, ver, stale, err := r.DistToSWR(name, source, target)
+			d, ver, stale, err := r.DistToSWRContext(req.Context(), name, source, target)
 			if err != nil {
 				writeError(w, err)
 				return
@@ -210,7 +210,7 @@ func NewRegistryHandler(r *Registry) http.Handler {
 			writeJSON(w, resp)
 			return
 		}
-		res, err := r.DistSWR(name, source)
+		res, err := r.DistSWRContext(req.Context(), name, source)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -241,7 +241,7 @@ func NewRegistryHandler(r *Registry) http.Handler {
 			return
 		}
 		defer h.Release()
-		path, length, err := h.Engine().Path(from, to)
+		path, length, err := pathVia(req.Context(), h.Engine(), from, to)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -270,7 +270,12 @@ func NewRegistryHandler(r *Registry) http.Handler {
 			writeError(w, fmt.Errorf("%w: matrix", ErrUnsupported))
 			return
 		}
-		rows, err := mb.Matrix(body.Sources, body.Targets)
+		var rows [][]float64
+		if cmb, ok := h.Engine().(ContextMatrixBackend); ok {
+			rows, err = cmb.MatrixContext(req.Context(), body.Sources, body.Targets)
+		} else {
+			rows, err = mb.Matrix(body.Sources, body.Targets)
+		}
 		if err != nil {
 			writeError(w, err)
 			return

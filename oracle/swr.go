@@ -1,6 +1,11 @@
 package oracle
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // SWRResult is one stale-while-revalidate answer: a full distance row,
 // the engine version that produced it, and whether that version predates
@@ -34,13 +39,27 @@ type SWRResult struct {
 // whose semantics are unchanged. With the hot-pair cache disabled,
 // DistSWR degrades to exactly that.
 func (r *Registry) DistSWR(name string, source int32) (SWRResult, error) {
+	return r.DistSWRContext(context.Background(), name, source)
+}
+
+// DistSWRContext is DistSWR with a request context: cancellation and the
+// active trace span (if any) flow into context-aware backends, and the
+// span — when one rides in ctx — is annotated with the cache
+// disposition, serving version, and (for monolithic engines on the miss
+// path) the scanned-arc cost of the exploration. The fresh-hit fast path
+// adds no allocations.
+func (r *Registry) DistSWRContext(ctx context.Context, name string, source int32) (SWRResult, error) {
+	sp := obs.FromContext(ctx)
+	if sp.Active() {
+		sp.Source = int64(source)
+	}
 	if r.hot == nil {
 		h, err := r.Acquire(name)
 		if err != nil {
 			return SWRResult{}, err
 		}
 		defer h.Release()
-		d, err := h.Engine().Dist(source)
+		d, err := r.backendDist(ctx, sp, h, source)
 		if err != nil {
 			return SWRResult{}, err
 		}
@@ -59,6 +78,10 @@ func (r *Registry) DistSWR(name string, source int32) (SWRResult, error) {
 			e.lastUsed.Store(r.clock.Add(1))
 			e.queries.Add(1)
 			r.queries.Add(1)
+			if sp.Active() {
+				sp.SWR = "fresh"
+				sp.Version = ver
+			}
 			return SWRResult{Dist: dist, Version: ver}, nil
 		}
 		// The row predates the current version: serve it stale and warm
@@ -68,6 +91,10 @@ func (r *Registry) DistSWR(name string, source int32) (SWRResult, error) {
 		e.queries.Add(1)
 		r.queries.Add(1)
 		r.spawnRevalidate(name, source)
+		if sp.Active() {
+			sp.SWR = "stale"
+			sp.Version = ver
+		}
 		return SWRResult{Dist: dist, Version: ver, Stale: true}, nil
 	}
 
@@ -76,12 +103,15 @@ func (r *Registry) DistSWR(name string, source int32) (SWRResult, error) {
 	// stale row for this source would have been served above, so a miss
 	// during an outage is a genuinely-cold pair.
 	r.hot.misses.Add(1)
+	if sp.Active() {
+		sp.SWR = "miss"
+	}
 	h, err := r.Acquire(name)
 	if err != nil {
 		return SWRResult{}, err
 	}
 	defer h.Release()
-	d, err := h.Engine().Dist(source)
+	d, err := r.backendDist(ctx, sp, h, source)
 	if err != nil {
 		return SWRResult{}, err
 	}
@@ -89,10 +119,37 @@ func (r *Registry) DistSWR(name string, source int32) (SWRResult, error) {
 	return SWRResult{Dist: d, Version: h.Version()}, nil
 }
 
+// backendDist runs one dist computation through a pinned handle,
+// annotating an active span with the serving version and — for
+// monolithic engines — the scanned-arc delta of the exploration. The
+// delta is read from the engine's process-wide counter, so concurrent
+// queries can inflate an individual span's value; it is a tracing
+// attribute, not an accounting invariant.
+func (r *Registry) backendDist(ctx context.Context, sp *obs.Span, h *Handle, source int32) ([]float64, error) {
+	be := h.Engine()
+	if !sp.Active() {
+		return distVia(ctx, be, source)
+	}
+	sp.Version = h.Version()
+	eng, _ := be.(*Engine)
+	before := eng.scannedArcs()
+	d, err := distVia(ctx, be, source)
+	if eng != nil {
+		sp.ScannedArcs += eng.scannedArcs() - before
+	}
+	sp.SetError(err)
+	return d, err
+}
+
 // DistToSWR is DistSWR for a single (source, target) scalar; it shares
 // rows — and therefore hits — with DistSWR.
 func (r *Registry) DistToSWR(name string, source, target int32) (float64, int64, bool, error) {
-	res, err := r.DistSWR(name, source)
+	return r.DistToSWRContext(context.Background(), name, source, target)
+}
+
+// DistToSWRContext is DistToSWR with a request context.
+func (r *Registry) DistToSWRContext(ctx context.Context, name string, source, target int32) (float64, int64, bool, error) {
+	res, err := r.DistSWRContext(ctx, name, source)
 	if err != nil {
 		return 0, 0, false, err
 	}

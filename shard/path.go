@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -20,13 +21,20 @@ import (
 // of (routed value, exit vertex, entry vertex) over the distance proxies,
 // and the same-shard local path wins ties against routing out and back.
 func (o *Oracle) Path(u, v int32) ([]int32, float64, error) {
+	return o.PathContext(context.Background(), u, v)
+}
+
+// PathContext is Path with a request context: cancellation and the
+// active trace span flow into remote legs (it implements
+// oracle.ContextBackend together with DistContext).
+func (o *Oracle) PathContext(ctx context.Context, u, v int32) ([]int32, float64, error) {
 	start := time.Now()
-	p, length, err := o.path(u, v)
+	p, length, err := o.path(ctx, u, v)
 	o.latPath.Observe(time.Since(start))
 	return p, length, err
 }
 
-func (o *Oracle) path(u, v int32) ([]int32, float64, error) {
+func (o *Oracle) path(ctx context.Context, u, v int32) ([]int32, float64, error) {
 	if err := o.checkVertex(u); err != nil {
 		return nil, 0, err
 	}
@@ -43,7 +51,7 @@ func (o *Oracle) path(u, v int32) ([]int32, float64, error) {
 
 	localLen := math.Inf(1)
 	if su == sv {
-		path, length, err := o.shards[su].eng.Path(lu, lv)
+		path, length, err := o.shards[su].eng.Path(ctx, lu, lv)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -51,7 +59,7 @@ func (o *Oracle) path(u, v int32) ([]int32, float64, error) {
 			localLen = length
 			// Routing out of the shard and back only wins when the
 			// overlay proxy is strictly better; ties keep the local path.
-			best, b1, b2, err := o.bestCrossing(u, v)
+			best, b1, b2, err := o.bestCrossing(ctx, u, v)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -59,17 +67,17 @@ func (o *Oracle) path(u, v int32) ([]int32, float64, error) {
 				o.localOnly.Add(1)
 				return o.globalize(su, path), length, nil
 			}
-			return o.stitch(u, v, b1, b2)
+			return o.stitch(ctx, u, v, b1, b2)
 		}
 	}
-	best, b1, b2, err := o.bestCrossing(u, v)
+	best, b1, b2, err := o.bestCrossing(ctx, u, v)
 	if err != nil {
 		return nil, 0, err
 	}
 	if math.IsInf(best, 1) {
 		return nil, math.Inf(1), nil
 	}
-	return o.stitch(u, v, b1, b2)
+	return o.stitch(ctx, u, v, b1, b2)
 }
 
 // bestCrossing returns the lexicographic argmin boundary pair (exit b1 in
@@ -83,18 +91,18 @@ func (o *Oracle) path(u, v int32) ([]int32, float64, error) {
 // two stages would cost another (1+ε_overlay) in the provable path bound.
 // The rows land in the overlay engine's LRU, so repeated Path queries out
 // of the same shard amortize to cache lookups.
-func (o *Oracle) bestCrossing(u, v int32) (float64, int32, int32, error) {
+func (o *Oracle) bestCrossing(ctx context.Context, u, v int32) (float64, int32, int32, error) {
 	inf := math.Inf(1)
 	src, dst := &o.shards[o.part[u]], &o.shards[o.part[v]]
 	if o.overlay == nil || len(src.boundaryLocal) == 0 || len(dst.boundaryLocal) == 0 {
 		return inf, -1, -1, nil
 	}
-	du, err := src.eng.Dist(o.localID[u])
+	du, err := src.eng.Dist(ctx, o.localID[u])
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	// Undirected graph: the v→b₂ vector doubles as b₂→v.
-	dv, err := dst.eng.Dist(o.localID[v])
+	dv, err := dst.eng.Dist(ctx, o.localID[v])
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -124,9 +132,9 @@ func (o *Oracle) bestCrossing(u, v int32) (float64, int32, int32, error) {
 
 // stitch materializes the routed u→b1→…→b2→v path and returns it with its
 // exact summed length.
-func (o *Oracle) stitch(u, v, b1, b2 int32) ([]int32, float64, error) {
+func (o *Oracle) stitch(ctx context.Context, u, v, b1, b2 int32) ([]int32, float64, error) {
 	su := o.part[u]
-	seg, length, err := o.shards[su].eng.Path(o.localID[u], o.localID[b1])
+	seg, length, err := o.shards[su].eng.Path(ctx, o.localID[u], o.localID[b1])
 	if err != nil {
 		return nil, 0, err
 	}
@@ -145,7 +153,7 @@ func (o *Oracle) stitch(u, v, b1, b2 int32) ([]int32, float64, error) {
 	for i := 1; i < len(ovPath); i++ {
 		x, y := o.boundary[ovPath[i-1]], o.boundary[ovPath[i]]
 		if sx := o.part[x]; sx == o.part[y] {
-			sub, subLen, err := o.shards[sx].eng.Path(o.localID[x], o.localID[y])
+			sub, subLen, err := o.shards[sx].eng.Path(ctx, o.localID[x], o.localID[y])
 			if err != nil {
 				return nil, 0, err
 			}
@@ -165,7 +173,7 @@ func (o *Oracle) stitch(u, v, b1, b2 int32) ([]int32, float64, error) {
 	}
 
 	sv := o.part[v]
-	tail, tailLen, err := o.shards[sv].eng.Path(o.localID[b2], o.localID[v])
+	tail, tailLen, err := o.shards[sv].eng.Path(ctx, o.localID[b2], o.localID[v])
 	if err != nil {
 		return nil, 0, err
 	}

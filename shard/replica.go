@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/hist"
+	"repro/internal/obs"
 	"repro/oracle"
 )
 
@@ -97,14 +98,29 @@ func (rs *replicaSet) ordered() []replica {
 // the delay, failover on transient errors. Returns the first successful
 // answer, the first typed (definitive) error, or — when every replica
 // fails transiently — the last transient error.
-func hedged[T any](rs *replicaSet, do func(context.Context, *oracle.RemoteBackend) (T, error)) (T, error) {
+//
+// qctx is the caller's request context: it carries cancellation and the
+// active trace span down into each attempt. The router's own lifetime
+// (rs.ctx) still cancels in-flight attempts when the router closes, via
+// an AfterFunc bridge, so Close semantics are unchanged for callers that
+// pass context.Background().
+//
+// When a span rides in qctx, every attempt records a child span tagged
+// with the shard, endpoint, and hedge flag, and an outcome: "ok" for a
+// returned answer (the winner, or a late duplicate), "cancelled" when a
+// sibling answered first and this attempt's context was torn down, or
+// "error" for a failed attempt. A hedged trace therefore shows the
+// winner and the cancelled loser side by side.
+func hedged[T any](qctx context.Context, rs *replicaSet, name string, do func(context.Context, *oracle.RemoteBackend) (T, error)) (T, error) {
 	var zero T
 	order := rs.ordered()
 	if len(order) == 0 {
 		return zero, fmt.Errorf("%w: shard %d has no replicas", oracle.ErrRemote, rs.shard)
 	}
-	ctx, cancel := context.WithCancel(rs.ctx)
+	ctx, cancel := context.WithCancel(qctx)
 	defer cancel()
+	stop := context.AfterFunc(rs.ctx, cancel)
+	defer stop()
 
 	type outcome struct {
 		val   T
@@ -115,13 +131,29 @@ func hedged[T any](rs *replicaSet, do func(context.Context, *oracle.RemoteBacken
 	results := make(chan outcome, len(order))
 	launch := func(rep replica, hedge bool) {
 		go func() {
+			var sp obs.Span
+			attemptCtx := ctx
+			if obs.StartChild(&sp, ctx, name) {
+				sp.Shard = int32(rs.shard)
+				sp.Endpoint = rep.ep.url
+				sp.Hedge = hedge
+				attemptCtx = obs.ContextWith(ctx, &sp)
+			}
 			start := time.Now()
-			v, err := do(ctx, rep.be)
+			v, err := do(attemptCtx, rep.be)
 			rep.ep.lat.Observe(time.Since(start))
 			rep.ep.requests.Add(1)
-			if err != nil && ctx.Err() == nil {
+			switch {
+			case err == nil:
+				sp.Outcome = "ok"
+			case ctx.Err() != nil:
+				sp.Outcome = "cancelled"
+			default:
+				sp.Outcome = "error"
+				sp.SetError(err)
 				rep.ep.errs.Add(1)
 			}
+			sp.End()
 			results <- outcome{v, err, rep, hedge}
 		}()
 	}
@@ -216,41 +248,41 @@ func asRemoteError(err error, target **oracle.RemoteError) bool {
 }
 
 // Dist implements legEngine.
-func (rs *replicaSet) Dist(source int32) ([]float64, error) {
-	return hedged(rs, func(ctx context.Context, be *oracle.RemoteBackend) ([]float64, error) {
+func (rs *replicaSet) Dist(qctx context.Context, source int32) ([]float64, error) {
+	return hedged(qctx, rs, "remote dist", func(ctx context.Context, be *oracle.RemoteBackend) ([]float64, error) {
 		return be.DistContext(ctx, source)
 	})
 }
 
 // MultiSource implements legEngine.
-func (rs *replicaSet) MultiSource(sources []int32) ([][]float64, error) {
-	return hedged(rs, func(ctx context.Context, be *oracle.RemoteBackend) ([][]float64, error) {
+func (rs *replicaSet) MultiSource(qctx context.Context, sources []int32) ([][]float64, error) {
+	return hedged(qctx, rs, "remote multi", func(ctx context.Context, be *oracle.RemoteBackend) ([][]float64, error) {
 		return be.MultiSourceContext(ctx, sources)
 	})
 }
 
 // Nearest implements legEngine.
-func (rs *replicaSet) Nearest(sources []int32) ([]float64, error) {
-	return hedged(rs, func(ctx context.Context, be *oracle.RemoteBackend) ([]float64, error) {
+func (rs *replicaSet) Nearest(qctx context.Context, sources []int32) ([]float64, error) {
+	return hedged(qctx, rs, "remote nearest", func(ctx context.Context, be *oracle.RemoteBackend) ([]float64, error) {
 		return be.NearestContext(ctx, sources)
 	})
 }
 
 // NearestWithOffsets implements legEngine — the router's offset-seeded
 // continuation into this shard, served by POST /nearest with offsets.
-func (rs *replicaSet) NearestWithOffsets(sources []int32, offsets []float64) ([]float64, error) {
-	return hedged(rs, func(ctx context.Context, be *oracle.RemoteBackend) ([]float64, error) {
+func (rs *replicaSet) NearestWithOffsets(qctx context.Context, sources []int32, offsets []float64) ([]float64, error) {
+	return hedged(qctx, rs, "remote nearest", func(ctx context.Context, be *oracle.RemoteBackend) ([]float64, error) {
 		return be.NearestWithOffsetsContext(ctx, sources, offsets)
 	})
 }
 
 // Path implements legEngine.
-func (rs *replicaSet) Path(u, v int32) ([]int32, float64, error) {
+func (rs *replicaSet) Path(qctx context.Context, u, v int32) ([]int32, float64, error) {
 	type pv struct {
 		path   []int32
 		length float64
 	}
-	res, err := hedged(rs, func(ctx context.Context, be *oracle.RemoteBackend) (pv, error) {
+	res, err := hedged(qctx, rs, "remote path", func(ctx context.Context, be *oracle.RemoteBackend) (pv, error) {
 		p, l, err := be.PathContext(ctx, u, v)
 		return pv{p, l}, err
 	})

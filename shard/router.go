@@ -172,7 +172,7 @@ func NewRouter(ctx context.Context, man *graphio.ShardManifest, pl *Placement, c
 	// replica set (one remote MultiSource per shard) and builds the
 	// overlay engine locally — the same code path, and therefore the same
 	// overlay bits, as the in-process assemble.
-	if err := o.buildOverlay(cut, engineOpts(cfg.EpsilonOverlay, cfg.Config, ctx, opts)); err != nil {
+	if err := o.buildOverlay(ctx, cut, engineOpts(cfg.EpsilonOverlay, cfg.Config, ctx, opts)); err != nil {
 		r.Close()
 		return nil, err
 	}

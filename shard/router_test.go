@@ -134,7 +134,7 @@ func TestReplicaSetHedgeWin(t *testing.T) {
 	defer fast.Close()
 
 	rs := newTestSet(5*time.Millisecond, slow.URL, fast.URL)
-	got, err := rs.Dist(0)
+	got, err := rs.Dist(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestReplicaSetFailover(t *testing.T) {
 	defer alive.Close()
 
 	rs := newTestSet(time.Minute, deadURL, alive.URL)
-	got, err := rs.Dist(0)
+	got, err := rs.Dist(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestReplicaSetFailover(t *testing.T) {
 		t.Fatal("dead endpoint still marked healthy")
 	}
 	// Next call routes straight to the healthy replica: no more failovers.
-	if _, err := rs.Dist(0); err != nil {
+	if _, err := rs.Dist(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if f := rs.counters.failovers.Load(); f != 1 {
@@ -200,7 +200,7 @@ func TestReplicaSetTypedErrorIsDefinitive(t *testing.T) {
 	defer second.Close()
 
 	rs := newTestSet(time.Minute, typed.URL, second.URL)
-	_, err := rs.Dist(99)
+	_, err := rs.Dist(context.Background(), 99)
 	if !errors.Is(err, oracle.ErrVertexOutOfRange) {
 		t.Fatalf("err = %v, want ErrVertexOutOfRange", err)
 	}
@@ -223,7 +223,7 @@ func TestReplicaSetHedgeSkipsUnhealthy(t *testing.T) {
 
 	rs := newTestSet(5*time.Millisecond, slow.URL, down.URL)
 	rs.replicas[1].ep.healthy.Store(false)
-	got, err := rs.Dist(0)
+	got, err := rs.Dist(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

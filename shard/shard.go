@@ -118,14 +118,41 @@ func (cfg *Config) fill() {
 // wire — which is what makes the distributed router's answers
 // bit-identical to the in-process Oracle's.
 type legEngine interface {
-	Dist(source int32) ([]float64, error)
-	MultiSource(sources []int32) ([][]float64, error)
-	Nearest(sources []int32) ([]float64, error)
-	NearestWithOffsets(sources []int32, offsets []float64) ([]float64, error)
-	Path(u, v int32) ([]int32, float64, error)
+	Dist(ctx context.Context, source int32) ([]float64, error)
+	MultiSource(ctx context.Context, sources []int32) ([][]float64, error)
+	Nearest(ctx context.Context, sources []int32) ([]float64, error)
+	NearestWithOffsets(ctx context.Context, sources []int32, offsets []float64) ([]float64, error)
+	Path(ctx context.Context, u, v int32) ([]int32, float64, error)
 	MemoryBytes() int64
 	Describe() oracle.BackendInfo
 	Stats() oracle.Stats
+}
+
+// localLeg adapts the context-free monolithic engine to the legEngine
+// surface. The context is deliberately dropped: a local leg is pure CPU
+// with no cancellation points, and keeping *oracle.Engine context-free
+// keeps its warm path allocation-free. Remote legs (replicaSet) are
+// where the context carries cancellation and trace propagation.
+type localLeg struct{ *oracle.Engine }
+
+func (l localLeg) Dist(_ context.Context, source int32) ([]float64, error) {
+	return l.Engine.Dist(source)
+}
+
+func (l localLeg) MultiSource(_ context.Context, sources []int32) ([][]float64, error) {
+	return l.Engine.MultiSource(sources)
+}
+
+func (l localLeg) Nearest(_ context.Context, sources []int32) ([]float64, error) {
+	return l.Engine.Nearest(sources)
+}
+
+func (l localLeg) NearestWithOffsets(_ context.Context, sources []int32, offsets []float64) ([]float64, error) {
+	return l.Engine.NearestWithOffsets(sources, offsets)
+}
+
+func (l localLeg) Path(_ context.Context, u, v int32) ([]int32, float64, error) {
+	return l.Engine.Path(u, v)
 }
 
 // shardState is one resident shard: its engine (local or remote) and the
@@ -221,7 +248,7 @@ func assemble(ctx context.Context, cfg Config, n int, part, localID []int32, pie
 		return nil, err
 	}
 
-	if err := o.buildOverlay(cut, engineOpts(cfg.EpsilonOverlay, cfg, ctx, opts)); err != nil {
+	if err := o.buildOverlay(ctx, cut, engineOpts(cfg.EpsilonOverlay, cfg, ctx, opts)); err != nil {
 		return nil, err
 	}
 
@@ -272,7 +299,7 @@ func (o *Oracle) buildEngines(pieces []piece, parallel int, opts []oracle.Option
 				errs[i] = fmt.Errorf("shard: building shard %d (n=%d): %w", i, pieces[i].g.N, err)
 				return
 			}
-			o.shards[i] = shardState{eng: eng, vertices: pieces[i].vertices}
+			o.shards[i] = shardState{eng: localLeg{eng}, vertices: pieces[i].vertices}
 		}(i)
 	}
 	wg.Wait()
@@ -289,7 +316,7 @@ func (o *Oracle) buildEngines(pieces []piece, parallel int, opts []oracle.Option
 // distance (skipping locally disconnected pairs), then builds the overlay
 // engine. With no cut edges the overlay is nil and every query is
 // shard-local.
-func (o *Oracle) buildOverlay(cut []graph.Edge, opts []oracle.Option) error {
+func (o *Oracle) buildOverlay(ctx context.Context, cut []graph.Edge, opts []oracle.Option) error {
 	if len(cut) == 0 {
 		return nil
 	}
@@ -340,7 +367,7 @@ func (o *Oracle) buildOverlay(cut []graph.Edge, opts []oracle.Option) error {
 		if b < 2 {
 			continue
 		}
-		rows, err := sh.eng.MultiSource(sh.boundaryLocal)
+		rows, err := sh.eng.MultiSource(ctx, sh.boundaryLocal)
 		if err != nil {
 			return fmt.Errorf("shard: boundary distances of shard %d: %w", s, err)
 		}
@@ -446,13 +473,20 @@ func (o *Oracle) checkVertex(v int32) error {
 // with the overlay and destination legs run as offset-seeded explorations.
 // Vectors are cached in the router's LRU and shared: treat as read-only.
 func (o *Oracle) Dist(source int32) ([]float64, error) {
+	return o.DistContext(context.Background(), source)
+}
+
+// DistContext is Dist with a request context: cancellation and the
+// active trace span flow into remote legs (it implements
+// oracle.ContextBackend). Local legs ignore the context.
+func (o *Oracle) DistContext(ctx context.Context, source int32) ([]float64, error) {
 	start := time.Now()
-	d, err := o.dist(source)
+	d, err := o.dist(ctx, source)
 	o.latDist.Observe(time.Since(start))
 	return d, err
 }
 
-func (o *Oracle) dist(source int32) ([]float64, error) {
+func (o *Oracle) dist(ctx context.Context, source int32) ([]float64, error) {
 	if err := o.checkVertex(source); err != nil {
 		return nil, err
 	}
@@ -460,7 +494,7 @@ func (o *Oracle) dist(source int32) ([]float64, error) {
 	if d, ok := o.distCache.Get(source); ok {
 		return d, nil
 	}
-	d, err := o.route(source)
+	d, err := o.route(ctx, source)
 	if err != nil {
 		return nil, err
 	}
@@ -471,14 +505,14 @@ func (o *Oracle) dist(source int32) ([]float64, error) {
 // cachedDist is the uninstrumented dist body used by multi-query
 // surfaces, so internal per-source legs do not pollute the "dist"
 // latency histogram.
-func (o *Oracle) cachedDist(source int32) ([]float64, error) {
-	return o.dist(source)
+func (o *Oracle) cachedDist(ctx context.Context, source int32) ([]float64, error) {
+	return o.dist(ctx, source)
 }
 
-func (o *Oracle) route(source int32) ([]float64, error) {
+func (o *Oracle) route(ctx context.Context, source int32) ([]float64, error) {
 	s := o.part[source]
 	sh := &o.shards[s]
-	dloc, err := sh.eng.Dist(o.localID[source])
+	dloc, err := sh.eng.Dist(ctx, o.localID[source])
 	if err != nil {
 		return nil, err
 	}
@@ -528,7 +562,7 @@ func (o *Oracle) route(source int32) ([]float64, error) {
 		if !finite {
 			continue
 		}
-		res, err := dst.eng.NearestWithOffsets(dst.boundaryLocal, offsets)
+		res, err := dst.eng.NearestWithOffsets(ctx, dst.boundaryLocal, offsets)
 		if err != nil {
 			return nil, err
 		}
@@ -556,13 +590,18 @@ func (o *Oracle) DistTo(source, target int32) (float64, error) {
 
 // MultiSource implements oracle.Backend: row i is Dist(sources[i]).
 func (o *Oracle) MultiSource(sources []int32) ([][]float64, error) {
+	return o.MultiSourceContext(context.Background(), sources)
+}
+
+// MultiSourceContext is MultiSource with a request context.
+func (o *Oracle) MultiSourceContext(ctx context.Context, sources []int32) ([][]float64, error) {
 	start := time.Now()
-	rows, err := o.multiSource(sources)
+	rows, err := o.multiSource(ctx, sources)
 	o.latMulti.Observe(time.Since(start))
 	return rows, err
 }
 
-func (o *Oracle) multiSource(sources []int32) ([][]float64, error) {
+func (o *Oracle) multiSource(ctx context.Context, sources []int32) ([][]float64, error) {
 	if len(sources) == 0 {
 		return nil, oracle.ErrNeedSources
 	}
@@ -574,7 +613,7 @@ func (o *Oracle) multiSource(sources []int32) ([][]float64, error) {
 	o.multiQueries.Add(1)
 	out := make([][]float64, len(sources))
 	for i, s := range sources {
-		d, err := o.cachedDist(s)
+		d, err := o.cachedDist(ctx, s)
 		if err != nil {
 			return nil, err
 		}
@@ -589,13 +628,19 @@ func (o *Oracle) multiSource(sources []int32) ([][]float64, error) {
 // overlapping matrix reuses assembled global vectors — and the S×T block
 // is a projection of those vectors, identical to per-pair DistTo answers.
 func (o *Oracle) Matrix(sources, targets []int32) ([][]float64, error) {
+	return o.MatrixContext(context.Background(), sources, targets)
+}
+
+// MatrixContext is Matrix with a request context (it implements
+// oracle.ContextMatrixBackend).
+func (o *Oracle) MatrixContext(ctx context.Context, sources, targets []int32) ([][]float64, error) {
 	start := time.Now()
-	rows, err := o.matrix(sources, targets)
+	rows, err := o.matrix(ctx, sources, targets)
 	o.latMatrix.Observe(time.Since(start))
 	return rows, err
 }
 
-func (o *Oracle) matrix(sources, targets []int32) ([][]float64, error) {
+func (o *Oracle) matrix(ctx context.Context, sources, targets []int32) ([][]float64, error) {
 	if len(sources) == 0 || len(targets) == 0 {
 		return nil, oracle.ErrNeedSources
 	}
@@ -612,7 +657,7 @@ func (o *Oracle) matrix(sources, targets []int32) ([][]float64, error) {
 	o.matrixQueries.Add(1)
 	out := make([][]float64, len(sources))
 	for i, s := range sources {
-		d, err := o.cachedDist(s)
+		d, err := o.cachedDist(ctx, s)
 		if err != nil {
 			return nil, err
 		}
@@ -633,13 +678,18 @@ func (o *Oracle) matrix(sources, targets []int32) ([][]float64, error) {
 // linear, so the result is exactly the elementwise minimum of the
 // per-source routed vectors, at the cost of a single Dist.
 func (o *Oracle) Nearest(sources []int32) ([]float64, error) {
+	return o.NearestContext(context.Background(), sources)
+}
+
+// NearestContext is Nearest with a request context.
+func (o *Oracle) NearestContext(ctx context.Context, sources []int32) ([]float64, error) {
 	start := time.Now()
-	d, err := o.nearest(sources)
+	d, err := o.nearest(ctx, sources)
 	o.latNearest.Observe(time.Since(start))
 	return d, err
 }
 
-func (o *Oracle) nearest(sources []int32) ([]float64, error) {
+func (o *Oracle) nearest(ctx context.Context, sources []int32) ([]float64, error) {
 	if len(sources) == 0 {
 		return nil, oracle.ErrNeedSources
 	}
@@ -664,7 +714,7 @@ func (o *Oracle) nearest(sources []int32) ([]float64, error) {
 		if len(srcs) == 0 {
 			continue
 		}
-		v, err := o.shards[s].eng.Nearest(srcs)
+		v, err := o.shards[s].eng.Nearest(ctx, srcs)
 		if err != nil {
 			return nil, err
 		}
@@ -715,7 +765,7 @@ func (o *Oracle) nearest(sources []int32) ([]float64, error) {
 		if !finite {
 			continue
 		}
-		res, err := dst.eng.NearestWithOffsets(dst.boundaryLocal, offsets)
+		res, err := dst.eng.NearestWithOffsets(ctx, dst.boundaryLocal, offsets)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestHedgeSpansWinnerAndCancelledLoser pins the tracing contract of the
+// hedged scatter-gather path deterministically: a straggling primary
+// (fixed 300ms delay) is raced by a hedge to a fast secondary after a
+// fixed 5ms delay, and the trace must contain one attempt span per
+// replica — the winner with outcome "ok" and Hedge set, the loser with
+// outcome "cancelled" once the winner's return tears down its context.
+// The loser's span is recorded asynchronously (its goroutine observes
+// cancellation only after the winning call returns), so the ring is
+// polled rather than read once.
+func TestHedgeSpansWinnerAndCancelledLoser(t *testing.T) {
+	slow := stubWorker(t, 300*time.Millisecond, []float64{0, 1})
+	defer slow.Close()
+	fast := stubWorker(t, 0, []float64{0, 2})
+	defer fast.Close()
+
+	tr := obs.NewTracer("serve", obs.TracerOptions{})
+	var root obs.Span
+	tr.StartRoot(&root, "GET dist", obs.Traceparent{})
+	ctx := obs.ContextWith(context.Background(), &root)
+
+	rs := newTestSet(5*time.Millisecond, slow.URL, fast.URL)
+	got, err := rs.Dist(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 2 {
+		t.Fatalf("dist[1] = %v, want the hedge replica's 2", got[1])
+	}
+	root.End()
+
+	find := func() (winner, loser *obs.SpanData) {
+		for _, sd := range tr.Collect(root.Trace) {
+			if sd.Name != "remote dist" {
+				continue
+			}
+			sd := sd
+			switch sd.Outcome {
+			case "ok":
+				winner = &sd
+			case "cancelled":
+				loser = &sd
+			}
+		}
+		return winner, loser
+	}
+	var winner, loser *obs.SpanData
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if winner, loser = find(); winner != nil && loser != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("attempt spans never recorded: winner=%v loser=%v (of %d spans)",
+				winner, loser, len(tr.Collect(root.Trace)))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if !winner.Hedge {
+		t.Errorf("winner span not marked as the hedge attempt: %+v", winner)
+	}
+	if winner.Endpoint != fast.URL {
+		t.Errorf("winner endpoint = %q, want the fast replica %q", winner.Endpoint, fast.URL)
+	}
+	if winner.ParentID != root.ID.String() {
+		t.Errorf("winner parent = %q, want the request root %q", winner.ParentID, root.ID.String())
+	}
+	if loser.Hedge {
+		t.Errorf("cancelled primary marked as a hedge: %+v", loser)
+	}
+	if loser.Endpoint != slow.URL {
+		t.Errorf("loser endpoint = %q, want the slow replica %q", loser.Endpoint, slow.URL)
+	}
+	// A cancelled attempt is not a failure: no error is recorded (the
+	// endpoint error counter stays untouched too).
+	if loser.Err != "" {
+		t.Errorf("cancelled attempt recorded error %q, want none", loser.Err)
+	}
+}
+
+// TestHedgeSpansInertWithoutTrace: the same hedge race with a plain
+// context records nothing and still answers — tracing is strictly
+// opt-in per request.
+func TestHedgeSpansInertWithoutTrace(t *testing.T) {
+	slow := stubWorker(t, 300*time.Millisecond, []float64{0, 1})
+	defer slow.Close()
+	fast := stubWorker(t, 0, []float64{0, 2})
+	defer fast.Close()
+
+	rs := newTestSet(5*time.Millisecond, slow.URL, fast.URL)
+	got, err := rs.Dist(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 2 {
+		t.Fatalf("dist[1] = %v, want 2", got[1])
+	}
+}
