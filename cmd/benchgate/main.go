@@ -26,6 +26,19 @@
 //     Falling below the baseline floor beyond the tolerance means the
 //     serve-path optimizations stopped paying for themselves.
 //
+// With -audit-current/-audit-baseline the shadow-audit overhead
+// comparison (a loadsim -audit-compare report) is gated too:
+//
+//   - audit_p99_ratio — no-audit dist p99 divided by the audited dist
+//     p99 at the sampled rate, both sides measured back-to-back in the
+//     same process. A ratio of 1 means auditing is free at the tail;
+//     falling below the committed floor beyond the (tighter, -audit-
+//     tolerance) slack means background audits started stealing tail
+//     latency from the query path.
+//   - violations — any non-zero stretch-violation count in the audited
+//     run fails outright, tolerance or not: the audit smoke doubles as
+//     a correctness check.
+//
 // Raw wall-clock milliseconds and the serve-layer QPS numbers are
 // reported in the artifact but not gated — they track machine speed, not
 // code, and would flake across runners.
@@ -86,6 +99,50 @@ func compareLoadsim(cur, base loadsimDoc, tol float64) []string {
 	}
 	if f := gate("loadsim/"+cur.Profile+" dist_p99_improvement",
 		cur.DistP99Improvement, base.DistP99Improvement, tol); f != "" {
+		failures = append(failures, f)
+	}
+	return failures
+}
+
+// auditDoc is the slice of a loadsim -audit-compare report (or its
+// committed baseline floor) that benchgate gates.
+type auditDoc struct {
+	Profile       string  `json:"profile"`
+	AuditP99Ratio float64 `json:"audit_p99_ratio"`
+	Violations    int64   `json:"violations"`
+}
+
+func loadAudit(path string) (auditDoc, error) {
+	var d auditDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// compareAudit gates the shadow-audit overhead ratio and fails outright
+// on any observed stretch violation. A current report without the ratio
+// (e.g. a non-audit-compare loadsim run) fails: gating nothing silently
+// would hide a regression.
+func compareAudit(cur, base auditDoc, tol float64) []string {
+	var failures []string
+	if cur.Violations > 0 {
+		failures = append(failures, fmt.Sprintf(
+			"FAIL audit/%s saw %d stretch-audit violation(s) — correctness, not tolerance",
+			cur.Profile, cur.Violations))
+	}
+	if base.AuditP99Ratio <= 0 {
+		return failures // baseline gates no overhead floor
+	}
+	if cur.AuditP99Ratio <= 0 {
+		return append(failures, "FAIL audit audit_p99_ratio missing from current run (need an -audit-compare report)")
+	}
+	if f := gate("audit/"+cur.Profile+" audit_p99_ratio",
+		cur.AuditP99Ratio, base.AuditP99Ratio, tol); f != "" {
 		failures = append(failures, f)
 	}
 	return failures
@@ -156,10 +213,13 @@ func main() {
 		baseline  = flag.String("baseline", "", "committed batch baseline JSON")
 		lsCurrent = flag.String("loadsim-current", "", "freshly measured loadsim -compare JSON")
 		lsBase    = flag.String("loadsim-baseline", "", "committed loadsim baseline JSON")
+		auCurrent = flag.String("audit-current", "", "freshly measured loadsim -audit-compare JSON")
+		auBase    = flag.String("audit-baseline", "", "committed audit-overhead baseline JSON")
 		tol       = flag.Float64("tolerance", 0.15, "allowed fractional regression before failing")
+		auTol     = flag.Float64("audit-tolerance", 0.05, "allowed fractional audit_p99_ratio regression before failing")
 	)
 	flag.Parse()
-	if *current == "" && *lsCurrent == "" {
+	if *current == "" && *lsCurrent == "" && *auCurrent == "" {
 		// Bare invocation keeps the original batch-gate default.
 		*current, *baseline = "BENCH_batch.json", "bench/BENCH_batch.baseline.json"
 	}
@@ -203,6 +263,24 @@ func main() {
 		fmt.Printf("loadsim/%-12s dist_p99_improvement=%.2f (floor %.2f)\n",
 			cur.Profile, cur.DistP99Improvement, base.DistP99Improvement)
 		failures = append(failures, compareLoadsim(cur, base, *tol)...)
+	}
+	if *auCurrent != "" {
+		if *auBase == "" {
+			*auBase = "bench/BENCH_audit.baseline.json"
+		}
+		cur, err := loadAudit(*auCurrent)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		base, err := loadAudit(*auBase)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("audit/%-14s audit_p99_ratio=%.2f (floor %.2f) violations=%d\n",
+			cur.Profile, cur.AuditP99Ratio, base.AuditP99Ratio, cur.Violations)
+		failures = append(failures, compareAudit(cur, base, *auTol)...)
 	}
 	for _, f := range failures {
 		fmt.Println(f)

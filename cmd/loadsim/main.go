@@ -52,10 +52,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -66,6 +68,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/oracle"
+	"repro/oracle/audit"
 	"repro/shard"
 )
 
@@ -73,25 +76,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadsim: ")
 	var (
-		profile  = flag.String("profile", "zipf-hot", "workload profile: zipf-hot | uniform | mixed | reload-storm | eviction | failover")
-		duration = flag.Duration("duration", 10*time.Second, "load duration per run")
-		rate     = flag.Float64("rate", 500, "mean arrival rate, queries/s (open loop)")
-		warmup   = flag.Duration("warmup", 2*time.Second, "initial window whose samples are discarded (cold caches and build-up are not steady state)")
-		clients  = flag.Int("clients", 8, "concurrent service workers (server-side concurrency model)")
-		n        = flag.Int("n", 4096, "vertices of the generated graph(s)")
-		m        = flag.Int("m", 16384, "edges of the generated graph(s)")
-		eps      = flag.Float64("eps", 0.25, "stretch target ε")
-		cache    = flag.Int("cache", 64, "engine distance-row LRU capacity")
-		hot      = flag.Int("hot-cache", 4096, "registry hot-pair cache capacity (0 = off; -compare overrides per run)")
-		zipfS    = flag.Float64("zipf-s", 1.2, "Zipf skew of source popularity")
-		graphs   = flag.Int("graphs", 3, "graph count (eviction profile)")
-		reload   = flag.Duration("reload-every", 400*time.Millisecond, "hot-reload interval (reload-storm profile)")
-		hedge    = flag.Duration("hedge", 2*time.Millisecond, "failover profile: hedge a second replica after this delay (0 = adaptive p99-derived)")
-		seed     = flag.Int64("seed", 1, "workload and graph seed")
-		compare  = flag.Bool("compare", false, "run pre (no hot cache) and post (hot cache) on fresh registries and report the improvement factor")
-		url      = flag.String("url", "", "drive a live serve instance at this base URL instead of an in-process registry")
-		graphN   = flag.String("graph", "default", "graph name to query (HTTP target)")
-		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+		profile     = flag.String("profile", "zipf-hot", "workload profile: zipf-hot | uniform | mixed | reload-storm | eviction | failover")
+		duration    = flag.Duration("duration", 10*time.Second, "load duration per run")
+		rate        = flag.Float64("rate", 500, "mean arrival rate, queries/s (open loop)")
+		warmup      = flag.Duration("warmup", 2*time.Second, "initial window whose samples are discarded (cold caches and build-up are not steady state)")
+		clients     = flag.Int("clients", 8, "concurrent service workers (server-side concurrency model)")
+		n           = flag.Int("n", 4096, "vertices of the generated graph(s)")
+		m           = flag.Int("m", 16384, "edges of the generated graph(s)")
+		eps         = flag.Float64("eps", 0.25, "stretch target ε")
+		cache       = flag.Int("cache", 64, "engine distance-row LRU capacity")
+		hot         = flag.Int("hot-cache", 4096, "registry hot-pair cache capacity (0 = off; -compare overrides per run)")
+		zipfS       = flag.Float64("zipf-s", 1.2, "Zipf skew of source popularity")
+		graphs      = flag.Int("graphs", 3, "graph count (eviction profile)")
+		reload      = flag.Duration("reload-every", 400*time.Millisecond, "hot-reload interval (reload-storm profile)")
+		hedge       = flag.Duration("hedge", 2*time.Millisecond, "failover profile: hedge a second replica after this delay (0 = adaptive p99-derived)")
+		seed        = flag.Int64("seed", 1, "workload and graph seed")
+		compare     = flag.Bool("compare", false, "run pre (no hot cache) and post (hot cache) on fresh registries and report the improvement factor")
+		url         = flag.String("url", "", "drive a live serve instance at this base URL instead of an in-process registry")
+		graphN      = flag.String("graph", "default", "graph name to query (HTTP target)")
+		out         = flag.String("out", "", "write the JSON report here (default stdout)")
+		auditFr     = flag.Float64("audit-sample", 0, "fraction of served answers shadow-audited against exact Dijkstra during the run (in-process registry targets only; 0 = off). Any violation fails the run")
+		auditCmp    = flag.Bool("audit-compare", false, "run baseline (audit off) and audited (-audit-sample, default 0.01) on fresh registries and report the dist p99 overhead ratio")
+		auditTrials = flag.Int("audit-trials", 3, "trial pairs for -audit-compare; the gated ratio is median baseline p99 / median audited p99")
 	)
 	flag.Parse()
 
@@ -100,6 +106,7 @@ func main() {
 		warmup: *warmup,
 		n:      *n, m: *m, eps: *eps, cache: *cache, hotCache: *hot, zipfS: *zipfS,
 		graphs: 1, reloadEvery: 0, seed: *seed,
+		auditRate: *auditFr,
 	}
 	if cfg.warmup >= cfg.duration {
 		cfg.warmup = cfg.duration / 5
@@ -127,17 +134,79 @@ func main() {
 		if *url != "" || *compare {
 			log.Fatal("the failover profile runs its own router and workers; -url/-compare do not apply")
 		}
+		if cfg.auditRate > 0 || *auditCmp {
+			log.Fatal("shadow auditing applies to in-process registry targets; the failover profile drives a router directly")
+		}
 		res, err := runFailover(cfg, *hedge)
 		if err != nil {
 			log.Fatal(err)
 		}
 		report = res
 	case *url != "":
+		if cfg.auditRate > 0 || *auditCmp {
+			log.Fatal("-audit-sample/-audit-compare apply to in-process registry targets, not -url (run serve with -audit-sample instead)")
+		}
 		res, err := runHTTP(cfg, *url, *graphN)
 		if err != nil {
 			log.Fatal(err)
 		}
 		report = res
+	case *auditCmp:
+		// Audit-overhead comparison: the same workload with the shadow
+		// auditor off and on. The p99 ratio is what cmd/benchgate gates —
+		// sampling must not leak into the serve path's tail. One
+		// off/on pair is useless for gating: identical back-to-back runs
+		// of an open-loop generator see their p99 swing severalfold, so
+		// the gate compares median p99 over several trials, alternating
+		// which side runs first to cancel heap/GC carry-over.
+		base := cfg
+		base.auditRate = 0
+		aud := cfg
+		if aud.auditRate <= 0 {
+			aud.auditRate = 0.01
+		}
+		if *auditTrials < 1 {
+			log.Fatal("-audit-trials must be >= 1")
+		}
+		var (
+			basePs, audPs   []int64
+			baseRes, audRes *Result
+			viol            int64
+		)
+		for i := 0; i < *auditTrials; i++ {
+			run := func(c simConfig, label string) *Result {
+				log.Printf("audit-compare trial %d/%d: %s run (%s)", i+1, *auditTrials, label, cfg.profile)
+				runtime.GC()
+				res, err := runInProcess(c)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return res
+			}
+			if i%2 == 0 {
+				baseRes = run(base, "baseline")
+				audRes = run(aud, "audited")
+			} else {
+				audRes = run(aud, "audited")
+				baseRes = run(base, "baseline")
+			}
+			basePs = append(basePs, baseRes.Routes["dist"].P99Us)
+			audPs = append(audPs, audRes.Routes["dist"].P99Us)
+			if audRes.Audit != nil {
+				viol += audRes.Audit.Violations
+			}
+		}
+		report = auditCompareReport{
+			Profile:        cfg.profile,
+			SampleRate:     aud.auditRate,
+			Trials:         *auditTrials,
+			Baseline:       baseRes,
+			Audited:        audRes,
+			BaselineP99sUs: basePs,
+			AuditedP99sUs:  audPs,
+			AuditP99Ratio:  ratio(medianInt64(basePs), medianInt64(audPs)),
+			Violations:     viol,
+		}
 	case *compare:
 		pre := cfg
 		pre.hotCache = 0
@@ -181,12 +250,40 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		log.Fatal(err)
+	// A shadow-audit violation is a correctness failure, not a performance
+	// number: the report is written (so the evidence survives) and then
+	// the run fails.
+	if v := reportViolations(report); v > 0 {
+		log.Fatalf("FAIL: %d stretch-audit violations (see the report's audit block)", v)
 	}
-	log.Printf("report written to %s", *out)
+}
+
+// reportViolations extracts the audit violation count from any report
+// shape main can produce.
+func reportViolations(report any) int64 {
+	switch r := report.(type) {
+	case *Result:
+		if r.Audit != nil {
+			return r.Audit.Violations
+		}
+	case compareReport:
+		var v int64
+		for _, res := range []*Result{r.Pre, r.Post} {
+			if res != nil && res.Audit != nil {
+				v += res.Audit.Violations
+			}
+		}
+		return v
+	case auditCompareReport:
+		return r.Violations
+	}
+	return 0
 }
 
 func ratio(pre, post int64) float64 {
@@ -212,6 +309,11 @@ type simConfig struct {
 	seed                 int64
 	pathFrac, matrixFrac float64
 	bursty               bool
+	// auditRate is the shadow-audit sampling fraction (in-process runs).
+	auditRate float64
+	// observe, when set, sees every completed request — the runner hooks
+	// it into its SLO engine.
+	observe func(j job, lat time.Duration, stale bool, err error)
 }
 
 // job is one scheduled arrival. at is the scheduled arrival instant —
@@ -344,6 +446,13 @@ type Result struct {
 	Reloads      int64                `json:"reloads,omitempty"`
 	Evictions    int64                `json:"evictions,omitempty"`
 
+	// Shadow-audit evidence (in-process runs with -audit-sample): the
+	// auditor's counters — observed stretch per graph/route included —
+	// and the SLO engine's per-graph burn-rate verdicts at run end.
+	AuditSampleRate float64           `json:"audit_sample_rate,omitempty"`
+	Audit           *audit.Stats      `json:"audit,omitempty"`
+	SLO             []obs.GraphStatus `json:"slo,omitempty"`
+
 	// failover profile: the router's hedging/failover counters and
 	// per-endpoint latency, plus which worker was killed mid-run.
 	Remote       *oracle.RemoteStats `json:"remote,omitempty"`
@@ -369,6 +478,33 @@ type compareReport struct {
 	Post               *Result `json:"post"`
 	DistP99Improvement float64 `json:"dist_p99_improvement"`
 	DistP50Improvement float64 `json:"dist_p50_improvement"`
+}
+
+// auditCompareReport is the -audit-compare output: the same workload with
+// the shadow auditor off (baseline) and on (audited). AuditP99Ratio is
+// baseline dist p99 over audited dist p99 — ≈1 when sampling stays off
+// the serve path's tail, below 1 when auditing costs tail latency. This
+// is the number cmd/benchgate gates. A single back-to-back pair is far
+// too noisy to gate (open-loop p99 swings severalfold between identical
+// runs), so the ratio is median-of-trials with the run order alternated
+// each trial; the per-trial p99s are kept for forensics.
+type auditCompareReport struct {
+	Profile        string  `json:"profile"`
+	SampleRate     float64 `json:"audit_sample_rate"`
+	Trials         int     `json:"trials"`
+	Baseline       *Result `json:"baseline"`
+	Audited        *Result `json:"audited"`
+	BaselineP99sUs []int64 `json:"baseline_p99s_us"`
+	AuditedP99sUs  []int64 `json:"audited_p99s_us"`
+	AuditP99Ratio  float64 `json:"audit_p99_ratio"`
+	Violations     int64   `json:"violations"`
+}
+
+// medianInt64 returns the median of a non-empty slice (sorted copy).
+func medianInt64(xs []int64) int64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
 }
 
 // drive replays cfg's workload against tgt and collects the report.
@@ -431,6 +567,9 @@ func drive(cfg simConfig, tgt target, reloadFn func()) *Result {
 				sp.SetError(err)
 				sp.End()
 				lat := time.Since(j.at)
+				if cfg.observe != nil {
+					cfg.observe(j, lat, isStale, err)
+				}
 				switch {
 				case isRej:
 					rejected.Add(1)
@@ -648,6 +787,29 @@ func runInProcess(cfg simConfig) (*Result, error) {
 		HotPairCache:  cfg.hotCache,
 		EngineOptions: []oracle.Option{oracle.WithDistCache(cfg.cache)},
 	}
+
+	// Shadow auditing: the registry samples served answers into the
+	// auditor, which recomputes them exactly on the engine version that
+	// answered (the same plumbing cmd/serve uses). Every verdict feeds a
+	// run-local SLO engine, and its status lands in the report — so one
+	// loadsim run demonstrates the full correctness-observability loop
+	// against a seeded, deterministic workload.
+	var (
+		auditor *audit.Auditor
+		slo     *obs.SLO
+	)
+	if cfg.auditRate > 0 {
+		quiet := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
+		slo = obs.NewSLO(obs.DefaultObjective(), quiet)
+		auditor = audit.New(audit.Config{
+			SampleRate: cfg.auditRate,
+			Workers:    2,
+			Logger:     quiet,
+			OnResult:   func(res audit.Result) { slo.ObserveAudit(res.Graph, res.Violation != "") },
+		})
+		defer auditor.Close()
+		rcfg.Audit = auditor
+	}
 	if cfg.graphs > 1 {
 		// Eviction pressure: budget for roughly 1.5 of the N identical
 		// engines, measured off a probe build.
@@ -685,6 +847,15 @@ func runInProcess(cfg simConfig) (*Result, error) {
 	if cfg.reloadEvery > 0 {
 		reloadFn = func() { reg.Reload(names[0]) }
 	}
+	if slo != nil {
+		cfg.observe = func(j job, lat time.Duration, stale bool, err error) {
+			status := 200
+			if err != nil {
+				status = 500
+			}
+			slo.ObserveRequest(names[j.g], status, lat, stale)
+		}
+	}
 	res := drive(cfg, tgt, reloadFn)
 
 	st := reg.Stats()
@@ -694,6 +865,18 @@ func runInProcess(cfg simConfig) (*Result, error) {
 		if tot := es.DistCache.Hits + es.DistCache.Misses; tot > 0 {
 			res.CacheHitRate = float64(es.DistCache.Hits) / float64(tot)
 		}
+	}
+	if auditor != nil {
+		// Let queued audits finish before snapshotting, so the report's
+		// violation count covers every sampled answer of the run.
+		deadline := time.Now().Add(30 * time.Second)
+		for auditor.Stats().Pending > 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		ast := auditor.Stats()
+		res.AuditSampleRate = cfg.auditRate
+		res.Audit = &ast
+		res.SLO = slo.Status()
 	}
 	return res, nil
 }

@@ -51,7 +51,7 @@ func TestServeGraphDirEndToEnd(t *testing.T) {
 		t.Fatalf("names = %v", names)
 	}
 
-	srv := httptest.NewServer(newMux(reg, nil, obs.NewRegistry(), obs.NewTracer("serve", obs.TracerOptions{}), nil))
+	srv := httptest.NewServer(newMux(reg, nil, obs.NewRegistry(), obs.NewTracer("serve", obs.TracerOptions{}), obs.NewSLO(obs.DefaultObjective(), nil), nil, nil))
 	defer srv.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
@@ -134,7 +134,7 @@ func TestHealthzStarting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newMux(reg, nil, obs.NewRegistry(), obs.NewTracer("serve", obs.TracerOptions{}), nil))
+	srv := httptest.NewServer(newMux(reg, nil, obs.NewRegistry(), obs.NewTracer("serve", obs.TracerOptions{}), obs.NewSLO(obs.DefaultObjective(), nil), nil, nil))
 	defer srv.Close()
 
 	get := func() (int, string) {

@@ -58,7 +58,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"log/slog"
 	"net"
 	"net/http"
@@ -76,12 +75,22 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/oracle"
+	"repro/oracle/audit"
 	"repro/shard"
 )
 
+// fatal logs a structured error event and exits — the slog replacement
+// for log.Fatal at startup.
+func fatal(msg string, err error) {
+	if err != nil {
+		slog.Error(msg, slog.String("error", err.Error()))
+	} else {
+		slog.Error(msg)
+	}
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("serve: ")
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		in       = flag.String("in", "", "input graph file, any supported format (empty: generate gnm)")
@@ -107,13 +116,40 @@ func main() {
 		placeFl  = flag.String("placement", "", "JSON placement file mapping each shard of -route-manifest to its replica endpoints (overrides -shard-peers)")
 		hedge    = flag.Duration("hedge", 0, "fixed hedge delay before a routed query is retried on a second replica (0 = adaptive, per-endpoint p99)")
 		dbgAddr  = flag.String("debug-addr", "", "separate listen address for /debug/pprof and /debug/vars (empty = off)")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logFmt   = flag.String("log-format", "json", "log output format: json (structured events) or text")
+		auditFr  = flag.Float64("audit-sample", 0.01, "fraction of served answers shadow-audited against exact Dijkstra in the background (0 = off, 1 = every answer)")
+		auditWk  = flag.Int("audit-workers", 2, "background audit worker pool size")
+		sloLat   = flag.Duration("slo-latency", 250*time.Millisecond, "SLO latency target: queries slower than this consume the latency error budget")
 	)
 	flag.Parse()
+
+	logger, err := obs.SetupLogger("serve", *logLevel, *logFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
+
+	// Correctness observability: the SLO burn-rate engine watches every
+	// query-route response (via the obs middleware) and every shadow-audit
+	// verdict; the auditor samples served answers and recomputes them
+	// exactly on the engine version that produced them.
+	obj := obs.DefaultObjective()
+	obj.LatencyTarget = *sloLat
+	slo := obs.NewSLO(obj, logger)
+	auditor := audit.New(audit.Config{
+		SampleRate: *auditFr,
+		Workers:    *auditWk,
+		Logger:     logger,
+		OnResult:   func(res audit.Result) { slo.ObserveAudit(res.Graph, res.Violation != "") },
+	})
+	defer auditor.Close()
 
 	reg := oracle.NewRegistry(oracle.RegistryConfig{
 		BuildWorkers: *workers,
 		MemoryBudget: *budget,
 		HotPairCache: *hotCache,
+		Audit:        auditor,
 		EngineOptions: []oracle.Option{
 			oracle.WithDistCache(*cache),
 			oracle.WithBatchWindow(*batch),
@@ -124,7 +160,7 @@ func main() {
 	var names []string
 	add := func(name string, src oracle.EngineSource) {
 		if err := reg.Add(name, src); err != nil {
-			log.Fatal(err)
+			fatal("registering graph", err)
 		}
 		names = append(names, name)
 	}
@@ -132,14 +168,14 @@ func main() {
 	if *snapDir != "" {
 		loaded, err := addSnapshotDir(reg, *snapDir)
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading snapshot directory", err)
 		}
 		names = append(names, loaded...)
 	}
 	if *graphDir != "" {
 		loaded, err := addGraphDir(reg, *graphDir, *eps, *paths, *shardTgt)
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading graph directory", err)
 		}
 		names = append(names, loaded...)
 	}
@@ -147,19 +183,22 @@ func main() {
 	if *routeMan != "" {
 		peerList := splitPeers(*peers)
 		if *placeFl == "" && len(peerList) == 0 {
-			log.Fatal("-route-manifest needs -placement or -shard-peers")
+			fatal("-route-manifest needs -placement or -shard-peers", nil)
 		}
 		tracePeers = workerEndpoints(*placeFl, peerList)
 		man, err := graphio.LoadShardManifest(*routeMan)
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading shard manifest", err)
 		}
 		rcfg := shard.RouterConfig{
 			Config:     shardConfig(*eps, *paths, 0),
 			HedgeDelay: *hedge,
 		}
 		add(man.Name, shard.RouterSource(*routeMan, *placeFl, peerList, rcfg))
-		log.Printf("routing %q over %d shards (placement: %s)", man.Name, man.K, routeDesc(*placeFl, peerList))
+		slog.Info("routing sharded graph",
+			slog.String("graph", man.Name),
+			slog.Int("shards", man.K),
+			slog.String("placement", routeDesc(*placeFl, peerList)))
 	}
 
 	// defaultSource picks the backend shape for an in-memory graph: one
@@ -180,9 +219,11 @@ func main() {
 		// (fail-fast), while the hopset build still runs in the background.
 		g, format, err := graphio.LoadFile(*in)
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading input graph", err)
 		}
-		log.Printf("loaded %s (%s format): n=%d m=%d", *in, format, g.N, g.M())
+		slog.Info("graph loaded",
+			slog.String("file", *in), slog.String("format", format.String()),
+			slog.Int("n", g.N), slog.Int("m", g.M()))
 		add("default", defaultSource(g))
 	case *snapDir == "" && *graphDir == "" && *routeMan == "":
 		g := graph.Gnm(*n, *m, graph.UniformWeights(1, 8), *seed)
@@ -195,21 +236,25 @@ func main() {
 		go func(name string) {
 			start := time.Now()
 			if err := reg.WaitReady(context.Background(), name); err != nil {
-				log.Printf("graph %q failed: %v", name, err)
+				slog.Error("graph build failed",
+					slog.String("graph", name), slog.String("error", err.Error()))
 				return
 			}
 			gi, err := reg.Info(name)
 			if err != nil {
 				return
 			}
-			log.Printf("graph %q ready in %v: n=%d hopset=%d edges, ~%d MiB",
-				name, time.Since(start).Round(time.Millisecond),
-				gi.N, gi.HopsetEdges, gi.MemoryBytes>>20)
+			slog.Info("graph ready",
+				slog.String("graph", name),
+				slog.Duration("build", time.Since(start).Round(time.Millisecond)),
+				slog.Int("n", gi.N),
+				slog.Int("hopset_edges", gi.HopsetEdges),
+				slog.Int64("memory_mib", gi.MemoryBytes>>20))
 			if name == "default" && *save != "" {
 				if err := saveSnapshot(reg, *save); err != nil {
-					log.Printf("save-snapshot: %v", err)
+					slog.Error("save-snapshot failed", slog.String("error", err.Error()))
 				} else {
-					log.Printf("snapshot written to %s", *save)
+					slog.Info("snapshot written", slog.String("file", *save))
 				}
 			}
 		}(name)
@@ -219,39 +264,43 @@ func main() {
 	// The obs middleware is outermost so even 429-refused requests are
 	// counted and traced; the admission gate sits just inside it.
 	lim := admission.New(*inflight)
-	tr := obs.NewTracer("serve", obs.TracerOptions{Logger: slog.Default()})
+	tr := obs.NewTracer("serve", obs.TracerOptions{Logger: logger})
 	httpm := obs.NewHTTPMetrics()
 	prom := obs.NewRegistry()
 	prom.Register(oracle.MetricsCollector(reg))
 	prom.Register(httpm.Collect)
 	prom.Register(obs.TracerCollector(tr))
 	prom.Register(lim.Collect)
+	prom.Register(auditor.Collect)
+	prom.Register(slo.Collect)
 	if *dbgAddr != "" {
 		da, err := obs.ListenDebug(*dbgAddr)
 		if err != nil {
-			log.Fatal(err)
+			fatal("debug listener", err)
 		}
-		log.Printf("debug listening on %s (/debug/pprof, /debug/vars)", da)
+		slog.Info("debug listening", slog.String("addr", da))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", err)
 	}
-	srv := &http.Server{Handler: obs.Middleware(tr, httpm, admission.Middleware(newMux(reg, lim, prom, tr, tracePeers), lim))}
-	log.Printf("listening on %s (%d graphs: GET /graphs /graphs/{name}/dist|path|stats|ready, POST /graphs/{name}/reload)",
-		ln.Addr(), len(names))
+	srv := &http.Server{Handler: obs.Middleware(tr, httpm, slo, admission.Middleware(newMux(reg, lim, prom, tr, slo, auditor, tracePeers), lim))}
+	slog.Info("listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("graphs", len(names)),
+		slog.Float64("audit_sample", *auditFr))
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	if err := runServer(ctx, srv, ln, reg, *drain); err != nil {
-		log.Fatal(err)
+		fatal("server", err)
 	}
-	log.Printf("shut down cleanly")
+	slog.Info("shut down cleanly")
 }
 
 // newMux mounts the registry handler, the observability endpoints
-// (/metrics, /trace/{id}), and the legacy single-graph routes.
-func newMux(reg *oracle.Registry, lim *admission.Limiter, prom *obs.Registry, tr *obs.Tracer, tracePeers []string) http.Handler {
+// (/metrics, /slo, /trace/{id}), and the legacy single-graph routes.
+func newMux(reg *oracle.Registry, lim *admission.Limiter, prom *obs.Registry, tr *obs.Tracer, slo *obs.SLO, auditor *audit.Auditor, tracePeers []string) http.Handler {
 	rh := oracle.NewRegistryHandler(reg)
 	mux := http.NewServeMux()
 	mux.Handle("/graphs", rh)
@@ -260,8 +309,9 @@ func newMux(reg *oracle.Registry, lim *admission.Limiter, prom *obs.Registry, tr
 	mux.Handle("/stats", rh)
 	// GET /stats is overridden with the merged registry + admission view;
 	// other methods still fall through to the registry handler.
-	mux.HandleFunc("GET /stats", statsHandler(reg, lim))
+	mux.HandleFunc("GET /stats", statsHandler(reg, lim, auditor))
 	mux.Handle("/metrics", prom.Handler())
+	mux.Handle("/slo", slo.Handler())
 	// When routing shards to worker processes, /trace/{id} fans out to
 	// every worker and merges their spans into one cross-process tree.
 	var peersFn func() []string
@@ -276,18 +326,25 @@ func newMux(reg *oracle.Registry, lim *admission.Limiter, prom *obs.Registry, tr
 }
 
 // statsResponse merges the registry's aggregate stats with the admission
-// limiter's — the JSON twin of what /metrics exports, so the two
-// surfaces read from the same snapshots and cannot drift.
+// limiter's and the shadow auditor's — the JSON twin of what /metrics
+// exports, so the two surfaces read from the same snapshots and cannot
+// drift.
 type statsResponse struct {
 	oracle.RegistryStats
 	Admission admission.Stats `json:"admission"`
+	Audit     *audit.Stats    `json:"audit,omitempty"`
 }
 
 // statsHandler serves the merged GET /stats.
-func statsHandler(reg *oracle.Registry, lim *admission.Limiter) http.HandlerFunc {
+func statsHandler(reg *oracle.Registry, lim *admission.Limiter, auditor *audit.Auditor) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		resp := statsResponse{RegistryStats: reg.Stats(), Admission: lim.Stats()}
+		if auditor != nil {
+			st := auditor.Stats()
+			resp.Audit = &st
+		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(statsResponse{RegistryStats: reg.Stats(), Admission: lim.Stats()})
+		json.NewEncoder(w).Encode(resp)
 	}
 }
 
@@ -329,7 +386,7 @@ func runServer(ctx context.Context, srv *http.Server, ln net.Listener, reg *orac
 		return err // listener died before any signal
 	case <-ctx.Done():
 	}
-	log.Printf("signal received, draining (up to %v)", drain)
+	slog.Info("signal received, draining", slog.Duration("bound", drain))
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := srv.Shutdown(sctx)
@@ -401,16 +458,16 @@ func addGraphDir(reg *oracle.Registry, dir string, eps float64, paths bool, shar
 		case !dup:
 			chosen[name] = file
 		case graphio.IsShardManifestPath(file) && !graphio.IsShardManifestPath(prev):
-			log.Printf("graph-dir: %s shadows %s (sharded manifest preferred)", file, prev)
+			slog.Info("graph-dir shadowing", slog.String("chosen", file), slog.String("shadowed", prev), slog.String("reason", "sharded manifest preferred"))
 			chosen[name] = file
 		case graphio.IsShardManifestPath(prev):
-			log.Printf("graph-dir: skipping %s (name %q already taken by manifest %s)", file, name, prev)
+			slog.Info("graph-dir skipping file", slog.String("file", file), slog.String("name", name), slog.String("taken_by", prev))
 		case graphio.FormatForPath(file) == graphio.FormatCSRG &&
 			graphio.FormatForPath(prev) != graphio.FormatCSRG:
-			log.Printf("graph-dir: %s shadows %s (container preferred)", file, prev)
+			slog.Info("graph-dir shadowing", slog.String("chosen", file), slog.String("shadowed", prev), slog.String("reason", "container preferred"))
 			chosen[name] = file
 		default:
-			log.Printf("graph-dir: skipping %s (name %q already taken by %s)", file, name, prev)
+			slog.Info("graph-dir skipping file", slog.String("file", file), slog.String("name", name), slog.String("taken_by", prev))
 		}
 	}
 	names := make([]string, 0, len(chosen))

@@ -63,7 +63,7 @@ func TestServeShardedGraphDir(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := httptest.NewServer(newMux(reg, nil, obs.NewRegistry(), obs.NewTracer("serve", obs.TracerOptions{}), nil))
+	srv := httptest.NewServer(newMux(reg, nil, obs.NewRegistry(), obs.NewTracer("serve", obs.TracerOptions{}), obs.NewSLO(obs.DefaultObjective(), nil), nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/graphs/grid/dist?source=0")
 	if err != nil {

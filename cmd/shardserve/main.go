@@ -26,10 +26,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"path/filepath"
 	"strconv"
@@ -41,12 +41,22 @@ import (
 	"repro/internal/admission"
 	"repro/internal/obs"
 	"repro/oracle"
+	"repro/oracle/audit"
 	"repro/shard"
 )
 
+// fatal logs a structured error event and exits — the slog replacement
+// for log.Fatal at startup.
+func fatal(msg string, err error) {
+	if err != nil {
+		slog.Error(msg, slog.String("error", err.Error()))
+	} else {
+		slog.Error(msg)
+	}
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("shardserve: ")
 	var (
 		addr     = flag.String("addr", ":8081", "listen address")
 		manifest = flag.String("manifest", "", "shard manifest (<name>.shards.json; required)")
@@ -59,26 +69,52 @@ func main() {
 		inflight = flag.Int("max-inflight", 0, "admission limit on in-flight query cost units (0 = unlimited)")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain bound")
 		dbgAddr  = flag.String("debug-addr", "", "separate listen address for /debug/pprof and /debug/vars (empty = off)")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logFmt   = flag.String("log-format", "json", "log output format: json (structured events) or text")
+		auditFr  = flag.Float64("audit-sample", 0.01, "fraction of served answers shadow-audited against exact Dijkstra in the background (0 = off, 1 = every answer)")
+		auditWk  = flag.Int("audit-workers", 2, "background audit worker pool size")
+		sloLat   = flag.Duration("slo-latency", 250*time.Millisecond, "SLO latency target: queries slower than this consume the latency error budget")
 	)
 	flag.Parse()
+
+	logger, err := obs.SetupLogger("shardserve", *logLevel, *logFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shardserve:", err)
+		os.Exit(2)
+	}
 	if *manifest == "" {
-		log.Fatal("-manifest is required")
+		fatal("-manifest is required", nil)
 	}
 
 	man, err := graphio.LoadShardManifest(*manifest)
 	if err != nil {
-		log.Fatal(err)
+		fatal("load shard manifest", err)
 	}
 	ids, err := shardIDs(*shards, man.K)
 	if err != nil {
-		log.Fatal(err)
+		fatal("parse -shards", err)
 	}
 
 	cfg := shard.Config{EpsilonLocal: *eps, Kappa: *kappa, PathReporting: *paths}
 	engOpts := shard.WorkerEngineOptions(cfg)
 
+	// Correctness observability, mirroring cmd/serve: per-shard answers
+	// are sampled into the shadow auditor and every verdict feeds the
+	// worker's own SLO engine (each shard graph is its own SLO subject).
+	obj := obs.DefaultObjective()
+	obj.LatencyTarget = *sloLat
+	slo := obs.NewSLO(obj, logger)
+	auditor := audit.New(audit.Config{
+		SampleRate: *auditFr,
+		Workers:    *auditWk,
+		Logger:     logger,
+		OnResult:   func(res audit.Result) { slo.ObserveAudit(res.Graph, res.Violation != "") },
+	})
+	defer auditor.Close()
+
 	reg := oracle.NewRegistry(oracle.RegistryConfig{
 		BuildWorkers:  *workers,
+		Audit:         auditor,
 		EngineOptions: []oracle.Option{oracle.WithDistCache(*cache)},
 	})
 	defer reg.Close()
@@ -101,21 +137,25 @@ func main() {
 			}
 		}(i)
 		if err := reg.Add(name, src); err != nil {
-			log.Fatal(err)
+			fatal("register shard", err)
 		}
 		go func(name string, i int) {
 			start := time.Now()
 			if err := reg.WaitReady(context.Background(), name); err != nil {
-				log.Printf("shard %d (%q) failed: %v", i, name, err)
+				slog.Error("shard build failed",
+					slog.Int("shard", i), slog.String("graph", name),
+					slog.String("error", err.Error()))
 				return
 			}
 			gi, err := reg.Info(name)
 			if err != nil {
 				return
 			}
-			log.Printf("shard %d ready as %q in %v: n=%d hopset=%d edges, ~%d MiB",
-				i, name, time.Since(start).Round(time.Millisecond),
-				gi.N, gi.HopsetEdges, gi.MemoryBytes>>20)
+			slog.Info("shard ready",
+				slog.Int("shard", i), slog.String("graph", name),
+				slog.Duration("build", time.Since(start).Round(time.Millisecond)),
+				slog.Int("n", gi.N), slog.Int("hopset_edges", gi.HopsetEdges),
+				slog.Int64("memory_mib", gi.MemoryBytes>>20))
 		}(name, i)
 	}
 
@@ -124,19 +164,21 @@ func main() {
 	// worker's tracer records its half of every cross-process trace; the
 	// router's /trace/{id} collects it via /trace/{id}?local=1.
 	lim := admission.New(*inflight)
-	tr := obs.NewTracer("shardserve", obs.TracerOptions{Logger: slog.Default()})
+	tr := obs.NewTracer("shardserve", obs.TracerOptions{Logger: logger})
 	httpm := obs.NewHTTPMetrics()
 	prom := obs.NewRegistry()
 	prom.Register(oracle.MetricsCollector(reg))
 	prom.Register(httpm.Collect)
 	prom.Register(obs.TracerCollector(tr))
 	prom.Register(lim.Collect)
+	prom.Register(auditor.Collect)
+	prom.Register(slo.Collect)
 	if *dbgAddr != "" {
 		da, err := obs.ListenDebug(*dbgAddr)
 		if err != nil {
-			log.Fatal(err)
+			fatal("debug listener", err)
 		}
-		log.Printf("debug listening on %s (/debug/pprof, /debug/vars)", da)
+		slog.Info("debug listening", slog.String("addr", da))
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", oracle.NewRegistryHandler(reg))
@@ -145,24 +187,29 @@ func main() {
 		json.NewEncoder(w).Encode(struct {
 			oracle.RegistryStats
 			Admission admission.Stats `json:"admission"`
-		}{reg.Stats(), lim.Stats()})
+			Audit     audit.Stats     `json:"audit"`
+		}{reg.Stats(), lim.Stats(), auditor.Stats()})
 	})
 	mux.Handle("/metrics", prom.Handler())
 	mux.Handle("/trace/", obs.TraceHandler(tr, nil, nil))
+	mux.Handle("/slo", slo.Handler())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", err)
 	}
-	srv := &http.Server{Handler: obs.Middleware(tr, httpm, admission.Middleware(mux, lim))}
-	log.Printf("worker listening on %s: %d/%d shards of %q (ε=%v κ=%d paths=%v)",
-		ln.Addr(), len(ids), man.K, man.Name, *eps, *kappa, *paths)
+	srv := &http.Server{Handler: obs.Middleware(tr, httpm, slo, admission.Middleware(mux, lim))}
+	slog.Info("worker listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("shards", len(ids)), slog.Int("manifest_shards", man.K),
+		slog.String("graph", man.Name),
+		slog.Float64("eps", *eps), slog.Int("kappa", *kappa), slog.Bool("paths", *paths))
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	if err := runServer(ctx, srv, ln, reg, *drain); err != nil {
-		log.Fatal(err)
+		fatal("server", err)
 	}
-	log.Printf("shut down cleanly")
+	slog.Info("shut down cleanly")
 }
 
 // runServer serves on ln until ctx is canceled, then drains gracefully —
@@ -175,7 +222,7 @@ func runServer(ctx context.Context, srv *http.Server, ln net.Listener, reg *orac
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("signal received, draining (up to %v)", drain)
+	slog.Info("signal received, draining", slog.Duration("bound", drain))
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := srv.Shutdown(sctx)

@@ -1,0 +1,345 @@
+package integration
+
+// Continuous-correctness-auditing integration suite: the golden corpus
+// served at 100% shadow-audit sampling must produce zero violations on
+// every deployment shape (monolithic engine, in-process K=4 sharded
+// oracle, two-process shardserve routing), and an injected overlay fault
+// must be caught as a violation counter plus a structured event whose
+// trace ID resolves at /trace/{id}.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/graphio"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/testkit"
+	"repro/oracle"
+	"repro/oracle/audit"
+	"repro/shard"
+)
+
+// auditLogBuf is a mutex-guarded sink for the auditor's structured log.
+type auditLogBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *auditLogBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *auditLogBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// settleAudits waits until every sampled answer has been resolved and the
+// ring is empty.
+func settleAudits(t *testing.T, a *audit.Auditor) audit.Stats {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := a.Stats()
+		if st.Pending == 0 && st.Audited+st.Dropped+st.Unsupported+st.Errors >= st.Sampled {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("audits did not settle: %+v", a.Stats())
+	return audit.Stats{}
+}
+
+// requireClean asserts a fully-audited, violation-free run.
+func requireClean(t *testing.T, st audit.Stats, what string) {
+	t.Helper()
+	if st.Audited == 0 {
+		t.Fatalf("%s: nothing audited: %+v", what, st)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("%s: %d violations on a clean corpus: %+v", what, st.Violations, st)
+	}
+	if st.Unsupported != 0 || st.Errors != 0 {
+		t.Fatalf("%s: audit errors: %+v", what, st)
+	}
+}
+
+// driveAudited runs the corpus queries for one registered graph through
+// the registry's audited entry points.
+func driveAudited(t *testing.T, reg *oracle.Registry, name string, n int, sources []int32) {
+	t.Helper()
+	for _, src := range sources {
+		if _, err := reg.Dist(name, src); err != nil {
+			t.Fatalf("%s: dist(%d): %v", name, src, err)
+		}
+		if _, _, err := reg.Path(name, src, int32(n-1)); err != nil {
+			t.Fatalf("%s: path(%d,%d): %v", name, src, n-1, err)
+		}
+	}
+	// A few extra dist queries rotate the audited target across the row.
+	for i := 0; i < 8; i++ {
+		if _, err := reg.Dist(name, sources[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAuditGoldenCorpusMonolithic serves every golden-corpus instance
+// from monolithic engines at 100% sampling: zero violations.
+func TestAuditGoldenCorpusMonolithic(t *testing.T) {
+	a := audit.New(audit.Config{
+		SampleRate: 1, Workers: 2,
+		Logger: slog.New(slog.NewJSONHandler(&auditLogBuf{}, nil)),
+	})
+	defer a.Close()
+	reg := oracle.NewRegistry(oracle.RegistryConfig{Audit: a})
+	defer reg.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, c := range goldenCases() {
+		if err := reg.Add(c.name, oracle.GraphSource(c.g, oracle.WithPathReporting())); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WaitReady(ctx, c.name); err != nil {
+			t.Fatal(err)
+		}
+		driveAudited(t, reg, c.name, c.g.N, c.sources)
+	}
+	requireClean(t, settleAudits(t, a), "monolithic corpus")
+}
+
+// TestAuditGoldenCorpusSharded serves each golden-corpus instance as an
+// in-process K=4 sharded oracle at 100% sampling: the audit reconstructs
+// the logical graph from shard subgraphs plus cut edges, and the composed
+// (1+εl)(1+εo)(1+εl) bound must hold for every sampled answer.
+func TestAuditGoldenCorpusSharded(t *testing.T) {
+	a := audit.New(audit.Config{
+		SampleRate: 1, Workers: 2,
+		Logger: slog.New(slog.NewJSONHandler(&auditLogBuf{}, nil)),
+	})
+	defer a.Close()
+	reg := oracle.NewRegistry(oracle.RegistryConfig{Audit: a})
+	defer reg.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, c := range goldenCases() {
+		dir := t.TempDir()
+		manPath, err := graphio.WriteShards(dir, c.name, partition.Partition(c.g, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := shard.Config{EpsilonLocal: shardEps, PathReporting: true}
+		src := func(manPath string) oracle.EngineSource {
+			return func(ctx context.Context, opts ...oracle.Option) (oracle.Backend, error) {
+				return shard.Open(ctx, manPath, cfg)
+			}
+		}(manPath)
+		if err := reg.Add(c.name, src); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WaitReady(ctx, c.name); err != nil {
+			t.Fatal(err)
+		}
+		driveAudited(t, reg, c.name, c.g.N, c.sources)
+	}
+	requireClean(t, settleAudits(t, a), "sharded corpus")
+}
+
+// TestAuditTwoProcessRouting serves one golden-corpus instance through a
+// router scatter-gathering over two real shardserve worker processes,
+// with the router registered in an audited registry at 100% sampling.
+// The audit reconstructs the logical graph from the manifest's shard
+// payloads (RouterConfig.ManifestDir) — the answers cross two process
+// boundaries and still land inside the composed bound.
+func TestAuditTwoProcessRouting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process suite skipped in -short mode")
+	}
+	bin := buildShardserve(t)
+	c := goldenCases()[0]
+	dir := t.TempDir()
+	manPath, err := graphio.WriteShards(dir, c.name, partition.Partition(c.g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := graphio.LoadShardManifest(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := startWorkerProc(t, bin, manPath)
+	w1 := startWorkerProc(t, bin, manPath)
+
+	a := audit.New(audit.Config{
+		SampleRate: 1, Workers: 2,
+		Logger: slog.New(slog.NewJSONHandler(&auditLogBuf{}, nil)),
+	})
+	defer a.Close()
+	reg := oracle.NewRegistry(oracle.RegistryConfig{Audit: a})
+	defer reg.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cfg := shard.RouterConfig{
+		Config:      shard.Config{EpsilonLocal: shardEps, PathReporting: true},
+		ManifestDir: filepath.Dir(manPath),
+	}
+	router, err := shard.NewRouter(ctx, man,
+		shard.UniformPlacement(man.Name, man.K, []string{w0.url, w1.url}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddReady(c.name, router); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WaitReady(ctx, c.name); err != nil {
+		t.Fatal(err)
+	}
+	driveAudited(t, reg, c.name, c.g.N, c.sources)
+	requireClean(t, settleAudits(t, a), "two-process routed corpus")
+}
+
+// TestAuditDetectsInjectedOverlayFault corrupts the overlay leg of a
+// sharded oracle mid-serve (the InjectOverlayFault test hook) and
+// asserts the full detection chain the runbook describes: the violation
+// counter trips, the SLO engine flips the graph to violated on the
+// stretch dimension, a structured audit_violation event carries the
+// serving request's trace ID, and that ID resolves at /trace/{id}.
+func TestAuditDetectsInjectedOverlayFault(t *testing.T) {
+	g := testkit.Grid(196, 4)
+	dir := t.TempDir()
+	manPath, err := graphio.WriteShards(dir, "grid", partition.Partition(g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := shard.Open(context.Background(), manPath, shard.Config{
+		EpsilonLocal: shardEps, PathReporting: true,
+		// No router cache: every query recomputes, so post-fault answers
+		// are actually corrupted rather than served from clean rows.
+		DistCache: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &auditLogBuf{}
+	logger := slog.New(slog.NewJSONHandler(sink, nil))
+	slo := obs.NewSLO(obs.DefaultObjective(), logger)
+	a := audit.New(audit.Config{
+		SampleRate: 1, Workers: 2, Logger: logger,
+		OnResult: func(res audit.Result) { slo.ObserveAudit(res.Graph, res.Violation != "") },
+	})
+	defer a.Close()
+	reg := oracle.NewRegistry(oracle.RegistryConfig{Audit: a})
+	defer reg.Close()
+	if err := reg.AddReady("grid", o); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := reg.WaitReady(ctx, "grid"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The full serve stack: traced middleware outside the registry
+	// handler, /trace mounted next to it — what cmd/serve wires up.
+	tr := obs.NewTracer("serve", obs.TracerOptions{RingSize: 256})
+	mux := http.NewServeMux()
+	mux.Handle("/", oracle.NewRegistryHandler(reg))
+	mux.Handle("/trace/", obs.TraceHandler(tr, nil, nil))
+	srv := httptest.NewServer(obs.Middleware(tr, obs.NewHTTPMetrics(), slo, mux))
+	defer srv.Close()
+
+	queryDist := func(src int32) {
+		t.Helper()
+		resp, err := srv.Client().Get(fmt.Sprintf("%s/graphs/grid/dist?source=%d", srv.URL, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("dist(%d) = %d", src, resp.StatusCode)
+		}
+	}
+
+	// Clean baseline: served answers audit green.
+	for src := int32(0); src < 24; src++ {
+		queryDist(src)
+	}
+	if st := settleAudits(t, a); st.Violations != 0 {
+		t.Fatalf("violations before the fault: %+v", st)
+	}
+
+	// Corrupt the overlay: every cross-shard answer is now ~3x too long,
+	// far outside the composed stretch bound.
+	o.InjectOverlayFault(3.0)
+	for src := int32(0); src < 64; src++ {
+		queryDist(src)
+	}
+	st := settleAudits(t, a)
+	if st.Violations == 0 {
+		t.Fatalf("injected overlay fault went undetected: %+v", st)
+	}
+
+	// The SLO engine saw the violations: zero stretch budget means the
+	// graph is violated immediately.
+	var gridState string
+	for _, gs := range slo.Status() {
+		if gs.Graph == "grid" {
+			gridState = string(gs.State)
+		}
+	}
+	if gridState != string(obs.StateViolated) {
+		t.Fatalf("SLO state = %q, want violated", gridState)
+	}
+
+	// The structured event chain: an audit_violation record with the
+	// serving request's trace ID, resolvable at /trace/{id}.
+	var traceID string
+	for _, line := range strings.Split(sink.String(), "\n") {
+		if !strings.Contains(line, `"event":"audit_violation"`) {
+			continue
+		}
+		var ev struct {
+			TraceID string `json:"trace_id"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("unparseable violation event %q: %v", line, err)
+		}
+		if ev.TraceID != "" {
+			traceID = ev.TraceID
+			break
+		}
+	}
+	if traceID == "" {
+		t.Fatalf("no audit_violation event with a trace ID in:\n%s", sink.String())
+	}
+	resp, err := srv.Client().Get(srv.URL + "/trace/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Spans []json.RawMessage `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Spans) == 0 {
+		t.Fatalf("violation trace %s did not resolve to any spans", traceID)
+	}
+}

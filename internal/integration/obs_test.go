@@ -50,9 +50,10 @@ func buildServe(t *testing.T) string {
 	return serveOnce.bin
 }
 
-// startProc launches a binary, waits for "listening on <addr>" on
-// stderr, and returns the loopback base URL. The address token ends at
-// the first space (serve) or ": " (shardserve) after the prefix.
+// startProc launches a binary, waits for the structured "listening" /
+// "worker listening" JSON event on stderr, and returns the loopback
+// base URL from its addr attribute ("debug listening" is the pprof
+// side listener, not the serving port).
 func startProc(t *testing.T, bin string, args ...string) string {
 	t.Helper()
 	cmd := exec.Command(bin, args...)
@@ -72,22 +73,18 @@ func startProc(t *testing.T, bin string, args ...string) string {
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
-			line := sc.Text()
-			i := strings.Index(line, "listening on ")
-			if i < 0 || strings.Contains(line, "debug listening") {
+			var ev struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
 				continue
 			}
-			rest := line[i+len("listening on "):]
-			if j := strings.IndexAny(rest, " :"); j > 0 {
-				// The port follows the first ":"; cut at the first space
-				// instead (serve logs "addr (N graphs...", shardserve
-				// "addr: K/N shards...").
-				if sp := strings.IndexByte(rest, ' '); sp > 0 {
-					rest = strings.TrimSuffix(rest[:sp], ":")
-				}
+			if (ev.Msg != "listening" && ev.Msg != "worker listening") || ev.Addr == "" {
+				continue
 			}
 			select {
-			case addrc <- rest:
+			case addrc <- ev.Addr:
 			default:
 			}
 			return

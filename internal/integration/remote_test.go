@@ -3,6 +3,7 @@ package integration
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -80,18 +81,23 @@ func startWorkerProc(t *testing.T, bin, manifest string) *workerProc {
 		cmd.Wait()
 	})
 
+	// The worker logs structured JSON; the "worker listening" event
+	// carries the bound address.
 	addrc := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
-			line := sc.Text()
-			if i := strings.Index(line, "listening on "); i >= 0 {
-				rest := line[i+len("listening on "):]
-				if j := strings.Index(rest, ": "); j > 0 {
-					select {
-					case addrc <- rest[:j]:
-					default:
-					}
+			var ev struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				continue
+			}
+			if ev.Msg == "worker listening" && ev.Addr != "" {
+				select {
+				case addrc <- ev.Addr:
+				default:
 				}
 			}
 		}

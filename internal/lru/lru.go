@@ -85,6 +85,18 @@ func (c *Cache[V]) Add(key int32, val V) {
 	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
 }
 
+// Purge drops every cached entry (counters are kept — purged entries are
+// not evictions). Safe on a nil cache.
+func (c *Cache[V]) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[int32]*list.Element)
+}
+
 // Snapshot returns the cache counters. Safe on a nil cache.
 func (c *Cache[V]) Snapshot() Stats {
 	if c == nil {

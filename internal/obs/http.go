@@ -196,16 +196,33 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
-// Middleware wraps next with tracing and HTTP metrics. Every query-path
-// request gets a root span (linked to an inbound traceparent header when
-// present) carried in the request context; /metrics, /trace, /healthz
-// and /debug are counted but never traced — probes and scrapes would
-// otherwise drown the ring.
-func Middleware(tr *Tracer, m *HTTPMetrics, next http.Handler) http.Handler {
+// queryRoute reports whether a route class is a graph query — the only
+// traffic that consumes SLO budget (scrapes, probes, and admin calls are
+// not user-visible serving).
+func queryRoute(route int) bool { return route <= routeTree }
+
+// Middleware wraps next with tracing, HTTP metrics, and SLO accounting.
+// Every query-path request gets a root span (linked to an inbound
+// traceparent header when present) carried in the request context;
+// /metrics, /trace, /healthz and /debug are counted but never traced —
+// probes and scrapes would otherwise drown the ring. slo may be nil;
+// when set, finished query-route responses feed its latency, error, and
+// stale-serve budgets (staleness read from the StaleHeader the serve
+// layer sets on stale-while-revalidate hits).
+func Middleware(tr *Tracer, m *HTTPMetrics, slo *SLO, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		route, graph := RouteInfo(req.URL.Path)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
+
+		finish := func() {
+			dur := time.Since(start)
+			m.observe(route, sw.status, dur)
+			if queryRoute(route) {
+				slo.ObserveRequest(graph, sw.status, dur,
+					sw.Header().Get(StaleHeader) == "true")
+			}
+		}
 
 		trace := tr != nil
 		switch route {
@@ -214,7 +231,10 @@ func Middleware(tr *Tracer, m *HTTPMetrics, next http.Handler) http.Handler {
 		}
 		if !trace {
 			next.ServeHTTP(sw, req)
-			m.observe(route, sw.status, time.Since(start))
+			if sw.status == 0 {
+				sw.status = http.StatusOK
+			}
+			finish()
 			return
 		}
 
@@ -228,7 +248,7 @@ func Middleware(tr *Tracer, m *HTTPMetrics, next http.Handler) http.Handler {
 		}
 		sp.Status = sw.status
 		sp.End()
-		m.observe(route, sw.status, time.Since(start))
+		finish()
 	})
 }
 

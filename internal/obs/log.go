@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// SetupLogger builds the process-wide structured logger shared by the
+// serving binaries: leveled slog with a constant service attribute on
+// every record, JSON by default (one event per line, machine-parseable,
+// correlated with traces through the trace_id attributes the span and
+// audit layers attach) or logfmt-style text for humans at a terminal.
+//
+// It installs the logger as slog's default, which also reroutes the
+// stdlib log package through it — so any stray log.Printf in a
+// dependency still comes out structured, under the same service label.
+func SetupLogger(service, level, format string) (*slog.Logger, error) {
+	return setupLogger(os.Stderr, service, level, format)
+}
+
+func setupLogger(w io.Writer, service, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "json":
+		h = slog.NewJSONHandler(w, opts)
+	case "text":
+		h = slog.NewTextHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (json, text)", format)
+	}
+	logger := slog.New(h).With(slog.String("service", service))
+	slog.SetDefault(logger)
+	return logger, nil
+}

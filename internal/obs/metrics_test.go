@@ -143,7 +143,7 @@ func TestMiddlewareTracesAndCounts(t *testing.T) {
 	tr := NewTracer("serve", TracerOptions{RingSize: 32})
 	m := NewHTTPMetrics()
 	var sawSpan *Span
-	h := Middleware(tr, m, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+	h := Middleware(tr, m, nil, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		sawSpan = FromContext(req.Context())
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprint(w, "ok")

@@ -1,0 +1,394 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StaleHeader marks responses served from a pre-reload cached row
+// (stale-while-revalidate). The serve layer sets it; the middleware reads
+// it to feed the SLO stale-serve rate without parsing response bodies.
+const StaleHeader = "X-Spo-Stale"
+
+// Objective is one graph's service-level objective set. Every dimension
+// is a good/bad-event budget: the fraction of bad events over a window
+// must stay under the budget. A latency objective of {Target: 250ms,
+// Budget: 0.01} therefore reads "p99 latency ≤ 250ms"; a budget of 0
+// means a single bad event in the long window is already a violation —
+// the right setting for correctness dimensions like stretch violations.
+type Objective struct {
+	// LatencyTarget classifies a query as slow; LatencyBudget is the
+	// allowed slow fraction (0.01 ≈ "p99 ≤ target").
+	LatencyTarget time.Duration `json:"latency_target_ns"`
+	LatencyBudget float64       `json:"latency_budget"`
+	// ErrorBudget is the allowed fraction of 5xx responses.
+	ErrorBudget float64 `json:"error_budget"`
+	// StaleBudget is the allowed fraction of stale-while-revalidate
+	// serves (responses carrying StaleHeader).
+	StaleBudget float64 `json:"stale_budget"`
+	// StretchBudget is the allowed fraction of audited answers that fail
+	// a correctness check. Zero: any violation trips the SLO.
+	StretchBudget float64 `json:"stretch_budget"`
+}
+
+// DefaultObjective is the objective applied to graphs without an explicit
+// one: p99 ≤ 250ms, 0.1% errors, 5% stale serves, zero tolerance for
+// stretch violations.
+func DefaultObjective() Objective {
+	return Objective{
+		LatencyTarget: 250 * time.Millisecond,
+		LatencyBudget: 0.01,
+		ErrorBudget:   0.001,
+		StaleBudget:   0.05,
+		StretchBudget: 0,
+	}
+}
+
+// SLO state values, ordered by severity.
+const (
+	StateOK       = "ok"
+	StateBurning  = "burning"  // short window over budget
+	StateViolated = "violated" // short and long windows over budget
+)
+
+// Bucketing: 240 buckets of 15s cover the 1h long window; the 5m short
+// window is the most recent 20.
+const (
+	sloBucketSeconds = 15
+	sloBuckets       = 240
+	sloShortBuckets  = (5 * 60) / sloBucketSeconds
+)
+
+type sloBucket struct {
+	stamp    int64 // unix time / sloBucketSeconds this bucket holds
+	requests int64
+	slow     int64
+	errors   int64
+	stale    int64
+	audited  int64
+	violated int64
+}
+
+type sloGraph struct {
+	name    string
+	obj     Objective
+	buckets [sloBuckets]sloBucket
+	state   string
+	// lastEval is the bucket stamp of the last state evaluation, so the
+	// burn rates are recomputed at most once per bucket per graph (plus
+	// immediately on every audited violation).
+	lastEval int64
+}
+
+// SLO is the burn-rate engine: per-graph multi-window (5m/1h) error
+// budgets over request latency, error rate, stale-serve rate, and the
+// shadow-audit stretch-violation rate. The middleware feeds it on every
+// query-route response; the auditor feeds it through ObserveAudit. State
+// transitions (ok → burning → violated and back) are emitted as
+// structured log events, the current status is served as JSON on /slo,
+// and burn rates are exported on /metrics.
+type SLO struct {
+	mu     sync.Mutex
+	def    Objective
+	objs   map[string]Objective
+	graphs map[string]*sloGraph
+	logger *slog.Logger
+	now    func() time.Time
+
+	transitions int64
+}
+
+// NewSLO returns an engine applying def to every graph (pass
+// DefaultObjective() unless the operator configured otherwise). logger
+// receives transition events; nil uses slog.Default.
+func NewSLO(def Objective, logger *slog.Logger) *SLO {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &SLO{
+		def:    def,
+		objs:   make(map[string]Objective),
+		graphs: make(map[string]*sloGraph),
+		logger: logger,
+		now:    time.Now,
+	}
+}
+
+// SetObjective overrides the objective for one graph.
+func (s *SLO) SetObjective(graph string, obj Objective) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs[graph] = obj
+	if g, ok := s.graphs[graph]; ok {
+		g.obj = obj
+	}
+}
+
+func (s *SLO) graph(name string) *sloGraph {
+	g := s.graphs[name]
+	if g == nil {
+		obj, ok := s.objs[name]
+		if !ok {
+			obj = s.def
+		}
+		g = &sloGraph{name: name, obj: obj, state: StateOK}
+		s.graphs[name] = g
+	}
+	return g
+}
+
+// bucket rotates the ring to the current time and returns the live
+// bucket. Callers hold s.mu.
+func (g *sloGraph) bucket(now time.Time) *sloBucket {
+	stamp := now.Unix() / sloBucketSeconds
+	b := &g.buckets[stamp%sloBuckets]
+	if b.stamp != stamp {
+		*b = sloBucket{stamp: stamp}
+	}
+	return b
+}
+
+// ObserveRequest feeds one finished query-route response. Nil-safe, so
+// wiring stays unconditional.
+func (s *SLO) ObserveRequest(graph string, status int, dur time.Duration, stale bool) {
+	if s == nil || graph == "" {
+		return
+	}
+	s.mu.Lock()
+	g := s.graph(graph)
+	b := g.bucket(s.now())
+	b.requests++
+	if g.obj.LatencyTarget > 0 && dur > g.obj.LatencyTarget {
+		b.slow++
+	}
+	if status >= 500 {
+		b.errors++
+	}
+	if stale {
+		b.stale++
+	}
+	s.evalLocked(g, false)
+	s.mu.Unlock()
+}
+
+// ObserveAudit feeds one completed shadow audit — wire the auditor's
+// OnResult to this. A violation forces an immediate re-evaluation: with
+// the default zero stretch budget, the transition to violated must not
+// wait out the current bucket.
+func (s *SLO) ObserveAudit(graph string, violation bool) {
+	if s == nil || graph == "" {
+		return
+	}
+	s.mu.Lock()
+	g := s.graph(graph)
+	b := g.bucket(s.now())
+	b.audited++
+	if violation {
+		b.violated++
+	}
+	s.evalLocked(g, violation)
+	s.mu.Unlock()
+}
+
+// Dimension is one objective's burn-rate status.
+type Dimension struct {
+	Name    string  `json:"name"`
+	Budget  float64 `json:"budget"`
+	Burn5m  float64 `json:"burn_5m"`
+	Burn1h  float64 `json:"burn_1h"`
+	Bad5m   int64   `json:"bad_5m"`
+	Total5m int64   `json:"total_5m"`
+	Bad1h   int64   `json:"bad_1h"`
+	Total1h int64   `json:"total_1h"`
+	State   string  `json:"state"`
+}
+
+// GraphStatus is one graph's SLO status.
+type GraphStatus struct {
+	Graph      string      `json:"graph"`
+	State      string      `json:"state"`
+	Objective  Objective   `json:"objective"`
+	Dimensions []Dimension `json:"dimensions"`
+}
+
+// window sums the buckets whose stamps fall inside the last n buckets
+// ending at stamp.
+func (g *sloGraph) window(stamp int64, n int64) (w sloBucket) {
+	for i := range g.buckets {
+		b := &g.buckets[i]
+		if b.stamp > stamp-n && b.stamp <= stamp {
+			w.requests += b.requests
+			w.slow += b.slow
+			w.errors += b.errors
+			w.stale += b.stale
+			w.audited += b.audited
+			w.violated += b.violated
+		}
+	}
+	return w
+}
+
+// burn is (bad/total)/budget: 1.0 means the budget is being consumed
+// exactly as fast as it accrues. A zero budget makes any bad event an
+// infinite burn, reported as a large sentinel to keep JSON finite.
+func burn(bad, total int64, budget float64) float64 {
+	if total == 0 || bad == 0 {
+		return 0
+	}
+	rate := float64(bad) / float64(total)
+	if budget <= 0 {
+		return 1e9
+	}
+	return rate / budget
+}
+
+// dims computes the four dimensions for the graph at stamp.
+func (g *sloGraph) dims(stamp int64) []Dimension {
+	short := g.window(stamp, sloShortBuckets)
+	long := g.window(stamp, sloBuckets)
+	mk := func(name string, budget float64, badS, totS, badL, totL int64) Dimension {
+		d := Dimension{
+			Name: name, Budget: budget,
+			Burn5m: burn(badS, totS, budget), Burn1h: burn(badL, totL, budget),
+			Bad5m: badS, Total5m: totS, Bad1h: badL, Total1h: totL,
+			State: StateOK,
+		}
+		// Multi-window: the short window reacts, the long window confirms
+		// — a violation needs both over budget, so a brief spike that has
+		// already stopped consuming budget cannot page.
+		switch {
+		case d.Burn5m >= 1 && d.Burn1h >= 1:
+			d.State = StateViolated
+		case d.Burn5m >= 1:
+			d.State = StateBurning
+		}
+		return d
+	}
+	return []Dimension{
+		mk("latency", g.obj.LatencyBudget, short.slow, short.requests, long.slow, long.requests),
+		mk("errors", g.obj.ErrorBudget, short.errors, short.requests, long.errors, long.requests),
+		mk("stale", g.obj.StaleBudget, short.stale, short.requests, long.stale, long.requests),
+		mk("stretch", g.obj.StretchBudget, short.violated, short.audited, long.violated, long.audited),
+	}
+}
+
+func severity(state string) int {
+	switch state {
+	case StateViolated:
+		return 2
+	case StateBurning:
+		return 1
+	}
+	return 0
+}
+
+// evalLocked recomputes the graph's state — at most once per bucket
+// unless force (an audited violation) demands an immediate answer — and
+// logs a structured event on every transition.
+func (s *SLO) evalLocked(g *sloGraph, force bool) {
+	stamp := s.now().Unix() / sloBucketSeconds
+	if !force && g.lastEval == stamp {
+		return
+	}
+	g.lastEval = stamp
+	dims := g.dims(stamp)
+	next, worst := StateOK, Dimension{}
+	for _, d := range dims {
+		if severity(d.State) > severity(next) {
+			next, worst = d.State, d
+		}
+	}
+	if next == g.state {
+		return
+	}
+	prev := g.state
+	g.state = next
+	s.transitions++
+	level := slog.LevelInfo
+	if next == StateViolated {
+		level = slog.LevelError
+	} else if next == StateBurning {
+		level = slog.LevelWarn
+	}
+	s.logger.LogAttrs(context.Background(), level, "slo transition",
+		slog.String("event", "slo_transition"),
+		slog.String("graph", g.name),
+		slog.String("from", prev),
+		slog.String("to", next),
+		slog.String("dimension", worst.Name),
+		slog.Float64("burn_5m", worst.Burn5m),
+		slog.Float64("burn_1h", worst.Burn1h),
+		slog.Float64("budget", worst.Budget),
+	)
+}
+
+// Status snapshots every graph's SLO state, sorted by graph name.
+func (s *SLO) Status() []GraphStatus {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stamp := s.now().Unix() / sloBucketSeconds
+	out := make([]GraphStatus, 0, len(s.graphs))
+	for _, g := range s.graphs {
+		s.evalLocked(g, false)
+		out = append(out, GraphStatus{
+			Graph: g.name, State: g.state, Objective: g.obj, Dimensions: g.dims(stamp),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Graph < out[j].Graph })
+	return out
+}
+
+// Handler serves GET /slo: the full per-graph status as JSON.
+func (s *SLO) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Now    int64         `json:"now_unix"`
+			Graphs []GraphStatus `json:"graphs"`
+		}{Now: s.nowUnix(), Graphs: s.Status()})
+	})
+}
+
+func (s *SLO) nowUnix() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now().Unix()
+}
+
+// Collect exports the SLO families: per-graph state, per-dimension burn
+// rates for both windows, and the transition counter.
+func (s *SLO) Collect(w *MetricWriter) {
+	if s == nil {
+		return
+	}
+	for _, g := range s.Status() {
+		w.Gauge("spo_slo_state", "SLO state per graph: 0 ok, 1 burning, 2 violated.",
+			float64(severity(g.State)), L("graph", g.Graph))
+		for _, d := range g.Dimensions {
+			w.Gauge("spo_slo_burn_rate", "Error-budget burn rate (1.0 = consuming exactly the budget).",
+				d.Burn5m, L("graph", g.Graph), L("objective", d.Name), L("window", "5m"))
+			w.Gauge("spo_slo_burn_rate", "Error-budget burn rate (1.0 = consuming exactly the budget).",
+				d.Burn1h, L("graph", g.Graph), L("objective", d.Name), L("window", "1h"))
+		}
+	}
+	s.mu.Lock()
+	tr := s.transitions
+	s.mu.Unlock()
+	w.Counter("spo_slo_transitions_total", "SLO state transitions since start.", float64(tr))
+}

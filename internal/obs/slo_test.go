@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type sloLogSink struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *sloLogSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *sloLogSink) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func newTestSLO(def Objective) (*SLO, *time.Time, *sloLogSink) {
+	sink := &sloLogSink{}
+	s := NewSLO(def, slog.New(slog.NewJSONHandler(sink, nil)))
+	now := time.Unix(1_700_000_000, 0)
+	s.now = func() time.Time { return now }
+	return s, &now, sink
+}
+
+func findDim(t *testing.T, gs GraphStatus, name string) Dimension {
+	t.Helper()
+	for _, d := range gs.Dimensions {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("dimension %q missing from %+v", name, gs)
+	return Dimension{}
+}
+
+func TestSLOStaysOKUnderBudget(t *testing.T) {
+	s, _, _ := newTestSLO(DefaultObjective())
+	for i := 0; i < 1000; i++ {
+		s.ObserveRequest("g", 200, time.Millisecond, false)
+	}
+	st := s.Status()
+	if len(st) != 1 || st[0].State != StateOK {
+		t.Fatalf("status: %+v", st)
+	}
+	if d := findDim(t, st[0], "latency"); d.Burn5m != 0 || d.Total5m != 1000 {
+		t.Fatalf("latency dim: %+v", d)
+	}
+}
+
+func TestSLOLatencyBurnAndRecovery(t *testing.T) {
+	s, now, sink := newTestSLO(Objective{
+		LatencyTarget: 10 * time.Millisecond, LatencyBudget: 0.01,
+		ErrorBudget: 1, StaleBudget: 1, StretchBudget: 1,
+	})
+	// 10% slow — 10x the budget — sustained over both windows.
+	for b := 0; b < sloBuckets; b++ {
+		for i := 0; i < 10; i++ {
+			dur := time.Millisecond
+			if i == 0 {
+				dur = 50 * time.Millisecond
+			}
+			s.ObserveRequest("g", 200, dur, false)
+		}
+		*now = now.Add(sloBucketSeconds * time.Second)
+	}
+	st := s.Status()
+	if st[0].State != StateViolated {
+		t.Fatalf("want violated, got %+v", st[0])
+	}
+	d := findDim(t, st[0], "latency")
+	if d.Burn5m < 9 || d.Burn1h < 9 {
+		t.Fatalf("burn rates: %+v", d)
+	}
+	if !strings.Contains(sink.String(), `"event":"slo_transition"`) {
+		t.Fatalf("no transition event logged: %s", sink.String())
+	}
+
+	// An hour of clean traffic drains both windows back to ok.
+	for b := 0; b < sloBuckets; b++ {
+		for i := 0; i < 10; i++ {
+			s.ObserveRequest("g", 200, time.Millisecond, false)
+		}
+		*now = now.Add(sloBucketSeconds * time.Second)
+	}
+	if st := s.Status(); st[0].State != StateOK {
+		t.Fatalf("want recovery to ok, got %+v", st[0])
+	}
+	if !strings.Contains(sink.String(), `"to":"ok"`) {
+		t.Fatalf("no recovery transition logged: %s", sink.String())
+	}
+}
+
+// A short spike trips only the 5m window: burning, not violated.
+func TestSLOShortSpikeIsBurningOnly(t *testing.T) {
+	s, now, _ := newTestSLO(Objective{
+		LatencyTarget: 10 * time.Millisecond, LatencyBudget: 0.01,
+		ErrorBudget: 1, StaleBudget: 1, StretchBudget: 1,
+	})
+	// 55 minutes of clean traffic.
+	for b := 0; b < sloBuckets-sloShortBuckets; b++ {
+		for i := 0; i < 100; i++ {
+			s.ObserveRequest("g", 200, time.Millisecond, false)
+		}
+		*now = now.Add(sloBucketSeconds * time.Second)
+	}
+	// 5 minutes at 2% slow: the 5m window burns at 2x budget while the
+	// 1h window (40 slow of 24000) stays well under 1.
+	for b := 0; b < sloShortBuckets; b++ {
+		for i := 0; i < 100; i++ {
+			dur := time.Millisecond
+			if i < 2 {
+				dur = 50 * time.Millisecond
+			}
+			s.ObserveRequest("g", 200, dur, false)
+		}
+		*now = now.Add(sloBucketSeconds * time.Second)
+	}
+	*now = now.Add(-sloBucketSeconds * time.Second) // status at the spike's end
+	st := s.Status()
+	if st[0].State != StateBurning {
+		t.Fatalf("want burning, got %+v", st[0])
+	}
+	d := findDim(t, st[0], "latency")
+	if d.Burn5m < 1 || d.Burn1h >= 1 {
+		t.Fatalf("window split wrong: %+v", d)
+	}
+}
+
+// Zero stretch budget: one audited violation flips the graph to violated
+// immediately, without waiting for a bucket rotation.
+func TestSLOStretchViolationIsImmediate(t *testing.T) {
+	s, _, sink := newTestSLO(DefaultObjective())
+	for i := 0; i < 100; i++ {
+		s.ObserveAudit("g", false)
+	}
+	if st := s.Status(); st[0].State != StateOK {
+		t.Fatalf("clean audits should be ok: %+v", st[0])
+	}
+	s.ObserveAudit("g", true)
+	st := s.Status()
+	if st[0].State != StateViolated {
+		t.Fatalf("violation did not trip SLO: %+v", st[0])
+	}
+	log := sink.String()
+	if !strings.Contains(log, `"dimension":"stretch"`) || !strings.Contains(log, `"to":"violated"`) {
+		t.Fatalf("transition event wrong: %s", log)
+	}
+}
+
+func TestSLOErrorAndStaleDimensions(t *testing.T) {
+	s, _, _ := newTestSLO(Objective{
+		LatencyTarget: time.Second, LatencyBudget: 1,
+		ErrorBudget: 0.001, StaleBudget: 0.01, StretchBudget: 1,
+	})
+	for i := 0; i < 100; i++ {
+		status := 200
+		if i < 10 {
+			status = 500
+		}
+		s.ObserveRequest("g", status, time.Millisecond, i < 50)
+	}
+	st := s.Status()
+	if d := findDim(t, st[0], "errors"); d.Bad5m != 10 || d.Burn5m < 99 {
+		t.Fatalf("errors dim: %+v", d)
+	}
+	if d := findDim(t, st[0], "stale"); d.Bad5m != 50 || d.Burn5m < 49 {
+		t.Fatalf("stale dim: %+v", d)
+	}
+	if st[0].State != StateViolated {
+		t.Fatalf("sustained errors should violate: %+v", st[0])
+	}
+}
+
+func TestSLOHandlerAndCollect(t *testing.T) {
+	s, _, _ := newTestSLO(DefaultObjective())
+	s.SetObjective("special", Objective{LatencyTarget: time.Second, LatencyBudget: 0.5})
+	s.ObserveRequest("g", 200, time.Millisecond, false)
+	s.ObserveRequest("special", 200, time.Millisecond, false)
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /slo = %d", rec.Code)
+	}
+	var body struct {
+		Graphs []GraphStatus `json:"graphs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Graphs) != 2 || body.Graphs[0].Graph != "g" || body.Graphs[1].Graph != "special" {
+		t.Fatalf("body: %+v", body)
+	}
+	if body.Graphs[1].Objective.LatencyBudget != 0.5 {
+		t.Fatalf("per-graph objective not applied: %+v", body.Graphs[1])
+	}
+
+	reg := NewRegistry()
+	reg.Register(s.Collect)
+	text := string(reg.Gather())
+	for _, fam := range []string{"spo_slo_state", "spo_slo_burn_rate", "spo_slo_transitions_total"} {
+		if !strings.Contains(text, fam) {
+			t.Fatalf("metrics missing %s:\n%s", fam, text)
+		}
+	}
+}
+
+// The middleware feeds query routes (and only query routes) into the SLO,
+// including staleness via the response header.
+func TestMiddlewareFeedsSLO(t *testing.T) {
+	s, _, _ := newTestSLO(DefaultObjective())
+	m := NewHTTPMetrics()
+	h := Middleware(nil, m, s, httpHandlerStale())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for _, path := range []string{"/graphs/usa/dist?source=1", "/graphs/usa/dist?source=2", "/healthz", "/metrics", "/stats"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	st := s.Status()
+	if len(st) != 1 || st[0].Graph != "usa" {
+		t.Fatalf("non-query routes leaked into SLO: %+v", st)
+	}
+	d := findDim(t, st[0], "stale")
+	if d.Total5m != 2 || d.Bad5m != 1 {
+		t.Fatalf("stale accounting: %+v", d)
+	}
+}
+
+func httpHandlerStale() http.Handler {
+	first := true
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if first {
+			w.Header().Set(StaleHeader, "true")
+			first = false
+		}
+		w.WriteHeader(200)
+	})
+}

@@ -1,0 +1,588 @@
+// Package audit is the online correctness layer of the serving stack: a
+// shadow auditor that samples a configurable fraction of served answers,
+// recomputes exact shortest paths (internal/exact Dijkstra) on the
+// engine version that answered — version-pinned through the registry's
+// refcounted Handle, so audits never race a hot reload — and converts the
+// test suite's (1+ε) stretch story into a production signal: an
+// observed-stretch histogram per graph and route, plus hard violation
+// counters and structured log events (correlated by trace ID) whenever a
+// served answer exceeds its advertised stretch bound or a stitched path
+// fails validity or weight-consistency checks.
+//
+// The serve path records samples into a lock-free bounded ring (a few
+// atomic ops per sampled answer; a full ring drops the sample rather than
+// blocking a query) and a small background worker pool drains it. Exact
+// distance vectors are cached per (graph, version, source), so 100%%
+// sampling on a replayed corpus costs one Dijkstra per distinct source,
+// not per query.
+package audit
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/hist"
+	"repro/internal/obs"
+	"repro/oracle"
+)
+
+// Violation kinds counted and logged by the auditor.
+const (
+	// ViolationStretch: a served distance (or path length) exceeded its
+	// advertised multiplicative stretch bound — or undershot the exact
+	// distance, which an admissible oracle can never do.
+	ViolationStretch = "stretch"
+	// ViolationReachability: the served answer and the exact computation
+	// disagree about whether the target is reachable at all.
+	ViolationReachability = "reachability"
+	// ViolationPathInvalid: a served path has mismatched endpoints or
+	// traverses a nonexistent edge.
+	ViolationPathInvalid = "path-invalid"
+	// ViolationPathLength: a served path's reported length does not equal
+	// the sum of its edges' weights in the graph.
+	ViolationPathLength = "path-length"
+)
+
+// Config shapes an Auditor. The zero value samples nothing.
+type Config struct {
+	// SampleRate is the fraction of served answers captured, in [0, 1].
+	// 1 audits everything (the golden-corpus CI mode); 0 disables.
+	SampleRate float64
+	// Workers is the background audit pool size (default 2).
+	Workers int
+	// RingSize bounds the sample queue (default 1024, rounded up to a
+	// power of two). A full ring drops new samples — serving latency is
+	// never held hostage to audit throughput.
+	RingSize int
+	// ExactCache bounds the cached exact distance vectors, keyed by
+	// (graph, version, source) (default 32 vectors).
+	ExactCache int
+	// Logger receives structured violation events (default slog.Default).
+	Logger *slog.Logger
+	// OnResult, when set, observes every completed audit — the SLO
+	// engine's stretch-violation feed. Called from audit workers.
+	OnResult func(Result)
+}
+
+// Result is one completed audit.
+type Result struct {
+	Graph   string
+	Route   string
+	Version int64
+	TraceID string
+	Source  int32
+	Target  int32
+	Answer  float64
+	Exact   float64
+	Bound   float64
+	// Stretch is Answer/Exact when both are finite and Exact > 0, else 0.
+	Stretch float64
+	// Violation names the failed check ("" = the answer checked out).
+	Violation string
+	// Detail elaborates a violation for the log event.
+	Detail string
+}
+
+// relTol is the relative floating-point slack allowed on every bound
+// check: routed answers sum dozens of float64 legs, so exact equality of
+// independently-ordered summations is not the contract — the (1+ε)
+// guarantee is, modulo accumulated rounding.
+const relTol = 1e-9
+
+// Auditor implements oracle.AuditSink: a lock-free sample ring drained by
+// a bounded worker pool that recomputes exact answers and keeps the
+// observed-stretch accounting.
+type Auditor struct {
+	cfg    Config
+	rateP  uint64 // sample threshold out of 2^20
+	ring   ring
+	wake   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	seq      atomic.Uint64
+	sampled  atomic.Int64
+	audited  atomic.Int64
+	dropped  atomic.Int64
+	unsup    atomic.Int64
+	errs     atomic.Int64
+	busy     atomic.Int64 // workers currently inside one audit
+	draining atomic.Bool
+	closed   atomic.Bool
+
+	exact exactCache
+
+	mu         sync.Mutex
+	stretch    map[histKey]*hist.Histogram
+	violations map[violKey]int64
+}
+
+type histKey struct{ graph, route string }
+type violKey struct{ graph, kind string }
+
+// New builds an Auditor and starts its worker pool. Close it when done.
+func New(cfg Config) *Auditor {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 1024
+	}
+	if cfg.ExactCache <= 0 {
+		cfg.ExactCache = 32
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.SampleRate < 0 {
+		cfg.SampleRate = 0
+	}
+	if cfg.SampleRate > 1 {
+		cfg.SampleRate = 1
+	}
+	a := &Auditor{
+		cfg:        cfg,
+		rateP:      uint64(cfg.SampleRate * (1 << 20)),
+		wake:       make(chan struct{}, 1),
+		stretch:    make(map[histKey]*hist.Histogram),
+		violations: make(map[violKey]int64),
+	}
+	a.ring.init(cfg.RingSize)
+	a.exact.init(cfg.ExactCache)
+	a.ctx, a.cancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		a.wg.Add(1)
+		go a.worker()
+	}
+	return a
+}
+
+// ShouldSample implements oracle.AuditSink: one atomic add and a hash —
+// the entire cost an unsampled query pays. The sequence counter is hashed
+// (splitmix-style) so sampling is spread uniformly rather than striding.
+func (a *Auditor) ShouldSample() bool {
+	if a == nil || a.rateP == 0 || a.draining.Load() {
+		return false
+	}
+	if a.rateP >= 1<<20 {
+		return true
+	}
+	x := a.seq.Add(1)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x&(1<<20-1) < a.rateP
+}
+
+// Sample implements oracle.AuditSink: enqueue one answer for background
+// auditing. The sample's retained handle lease is owned by the auditor
+// from here on — released after the audit, or immediately when the ring
+// is full and the sample is dropped.
+func (a *Auditor) Sample(s oracle.AuditSample) {
+	if a.draining.Load() || !a.ring.enqueue(s) {
+		a.dropped.Add(1)
+		s.Handle.Release()
+		return
+	}
+	a.sampled.Add(1)
+	select {
+	case a.wake <- struct{}{}:
+	default:
+	}
+}
+
+// worker drains the ring until the auditor is closed.
+func (a *Auditor) worker() {
+	defer a.wg.Done()
+	for {
+		s, ok := a.ring.dequeue()
+		if ok {
+			a.busy.Add(1)
+			a.audit(s)
+			a.busy.Add(-1)
+			continue
+		}
+		select {
+		case <-a.ctx.Done():
+			return
+		case <-a.wake:
+		}
+	}
+}
+
+// Drain implements oracle.AuditSink: stop accepting samples, discard the
+// queue (releasing the handle leases), and wait for in-flight audits to
+// finish. Called by Registry.Close; the worker pool stays alive (Close
+// tears it down), so an auditor shared across registries keeps serving
+// the others — but in the common one-registry wiring Drain is the
+// shutdown barrier that guarantees no audit outlives the serving process.
+func (a *Auditor) Drain() {
+	if a == nil {
+		return
+	}
+	a.draining.Store(true)
+	for {
+		if s, ok := a.ring.dequeue(); ok {
+			a.dropped.Add(1)
+			s.Handle.Release()
+			continue
+		}
+		if a.busy.Load() == 0 {
+			// Re-check: a worker may have dequeued between our empty read
+			// and its busy increment.
+			if _, ok := a.ring.dequeue(); !ok {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close drains and stops the worker pool. Idempotent.
+func (a *Auditor) Close() {
+	if a == nil || a.closed.Swap(true) {
+		return
+	}
+	a.Drain()
+	a.cancel()
+	a.wg.Wait()
+	// Workers may have dequeued-but-unprocessed nothing past Drain, but a
+	// sample enqueued concurrently with Drain could still sit in the
+	// ring; sweep once more so every lease is returned.
+	for {
+		s, ok := a.ring.dequeue()
+		if !ok {
+			return
+		}
+		a.dropped.Add(1)
+		s.Handle.Release()
+	}
+}
+
+// audit recomputes one sample exactly and records the verdict.
+func (a *Auditor) audit(s oracle.AuditSample) {
+	defer s.Handle.Release()
+	res := Result{
+		Graph: s.Graph, Route: s.Route, Version: s.Handle.Version(),
+		TraceID: s.TraceID, Source: s.Source, Target: s.Target, Answer: s.Answer,
+	}
+	ab, ok := s.Handle.Engine().(oracle.AuditableBackend)
+	if !ok {
+		a.unsup.Add(1)
+		return
+	}
+	g, err := ab.AuditGraph()
+	if err != nil {
+		a.errs.Add(1)
+		a.cfg.Logger.LogAttrs(context.Background(), slog.LevelWarn, "audit graph unavailable",
+			slog.String("graph", s.Graph), slog.String("error", err.Error()))
+		return
+	}
+	if int(s.Source) >= g.N || int(s.Target) >= g.N || s.Source < 0 || s.Target < 0 {
+		a.errs.Add(1)
+		return
+	}
+	distBound, pathBound := ab.StretchBounds()
+	bound := distBound
+	if s.Route == "path" {
+		bound = pathBound
+	}
+	res.Bound = bound
+
+	dist := a.exact.get(s.Graph, res.Version, s.Source, g)
+	res.Exact = dist[s.Target]
+
+	res.Violation, res.Detail = check(g, s, res.Exact, bound)
+	if res.Violation == "" && !math.IsInf(res.Exact, 1) && res.Exact > 0 {
+		res.Stretch = res.Answer / res.Exact
+	}
+	a.record(res)
+	if a.cfg.OnResult != nil {
+		a.cfg.OnResult(res)
+	}
+}
+
+// check runs the correctness checks for one sample against the exact
+// distance and returns the violation kind and detail ("" = pass).
+func check(g *graph.Graph, s oracle.AuditSample, exactD, bound float64) (kind, detail string) {
+	ansInf, exInf := math.IsInf(s.Answer, 1), math.IsInf(exactD, 1)
+	if ansInf != exInf {
+		return ViolationReachability,
+			fmt.Sprintf("served %v but exact %v", s.Answer, exactD)
+	}
+	if s.Route == "path" && !ansInf {
+		if k, d := checkPath(g, s); k != "" {
+			return k, d
+		}
+	}
+	if ansInf {
+		return "", ""
+	}
+	slack := relTol * math.Max(1, exactD)
+	if s.Answer < exactD-slack {
+		return ViolationStretch,
+			fmt.Sprintf("served %v undershoots exact %v", s.Answer, exactD)
+	}
+	if s.Answer > bound*exactD+slack {
+		return ViolationStretch,
+			fmt.Sprintf("served %v exceeds bound %.4f x exact %v = %v", s.Answer, bound, exactD, bound*exactD)
+	}
+	return "", ""
+}
+
+// checkPath validates a served path: endpoints, edge existence, and
+// weight consistency of the reported length.
+func checkPath(g *graph.Graph, s oracle.AuditSample) (kind, detail string) {
+	p := s.Path
+	if len(p) == 0 {
+		return ViolationPathInvalid, "empty path for a reachable pair"
+	}
+	if p[0] != s.Source || p[len(p)-1] != s.Target {
+		return ViolationPathInvalid,
+			fmt.Sprintf("endpoints %d..%d do not match query %d..%d", p[0], p[len(p)-1], s.Source, s.Target)
+	}
+	var sum float64
+	for i := 1; i < len(p); i++ {
+		w, ok := g.HasEdge(p[i-1], p[i])
+		if !ok {
+			return ViolationPathInvalid,
+				fmt.Sprintf("hop %d: (%d,%d) is not a graph edge", i, p[i-1], p[i])
+		}
+		sum += w
+	}
+	if diff := math.Abs(sum - s.Answer); diff > relTol*math.Max(1, sum) {
+		return ViolationPathLength,
+			fmt.Sprintf("edge weights sum to %v but length %v was reported", sum, s.Answer)
+	}
+	return "", ""
+}
+
+// record books one audited result: the observed-stretch histogram and,
+// on violation, the counter and structured event.
+func (a *Auditor) record(res Result) {
+	a.audited.Add(1)
+	if res.Stretch > 0 {
+		a.stretchHist(res.Graph, res.Route).Observe(stretchToDuration(res.Stretch))
+	}
+	if res.Violation == "" {
+		return
+	}
+	a.mu.Lock()
+	a.violations[violKey{res.Graph, res.Violation}]++
+	a.mu.Unlock()
+	a.cfg.Logger.LogAttrs(context.Background(), slog.LevelError, "stretch audit violation",
+		slog.String("event", "audit_violation"),
+		slog.String("graph", res.Graph),
+		slog.String("route", res.Route),
+		slog.String("kind", res.Violation),
+		slog.Int64("version", res.Version),
+		slog.String("trace_id", res.TraceID),
+		slog.Int64("source", int64(res.Source)),
+		slog.Int64("target", int64(res.Target)),
+		slog.Float64("answer", res.Answer),
+		slog.Float64("exact", res.Exact),
+		slog.Float64("bound", res.Bound),
+		slog.String("detail", res.Detail),
+	)
+}
+
+func (a *Auditor) stretchHist(graph, route string) *hist.Histogram {
+	k := histKey{graph, route}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := a.stretch[k]
+	if h == nil {
+		h = &hist.Histogram{}
+		a.stretch[k] = h
+	}
+	return h
+}
+
+// stretchToDuration maps a stretch ratio onto the microsecond histogram:
+// 1 stretch unit = 1 second, so a snapshot's P99Us/1e6 reads back as the
+// p99 observed stretch with 1e-6 granularity.
+func stretchToDuration(ratio float64) time.Duration {
+	return time.Duration(ratio * float64(time.Second))
+}
+
+// StretchSnapshot is one (graph, route) observed-stretch summary, in
+// stretch units (1.0 = exact).
+type StretchSnapshot struct {
+	Graph string  `json:"graph"`
+	Route string  `json:"route"`
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// ViolationCount is one (graph, kind) violation tally.
+type ViolationCount struct {
+	Graph string `json:"graph"`
+	Kind  string `json:"kind"`
+	Count int64  `json:"count"`
+}
+
+// Stats is the auditor's point-in-time accounting.
+type Stats struct {
+	// Sampled counts answers accepted into the ring; Audited the ones
+	// whose exact recompute completed; Dropped the ring-full (or drain)
+	// discards; Unsupported samples whose backend cannot provide an audit
+	// graph; Errors audit-side failures (not serving violations).
+	Sampled     int64 `json:"sampled"`
+	Audited     int64 `json:"audited"`
+	Dropped     int64 `json:"dropped"`
+	Unsupported int64 `json:"unsupported"`
+	Errors      int64 `json:"errors"`
+	// Violations is the total across kinds; per-kind tallies follow.
+	Violations int64            `json:"violations"`
+	ByKind     []ViolationCount `json:"by_kind,omitempty"`
+	// Stretch is the observed-stretch summary per graph/route.
+	Stretch []StretchSnapshot `json:"stretch,omitempty"`
+	// ExactCache is the exact-vector cache traffic.
+	ExactCacheHits   int64 `json:"exact_cache_hits"`
+	ExactCacheMisses int64 `json:"exact_cache_misses"`
+	// Pending is the current ring depth.
+	Pending int64 `json:"pending"`
+}
+
+// Stats snapshots the auditor.
+func (a *Auditor) Stats() Stats {
+	st := Stats{
+		Sampled:          a.sampled.Load(),
+		Audited:          a.audited.Load(),
+		Dropped:          a.dropped.Load(),
+		Unsupported:      a.unsup.Load(),
+		Errors:           a.errs.Load(),
+		ExactCacheHits:   a.exact.hits.Load(),
+		ExactCacheMisses: a.exact.misses.Load(),
+		Pending:          a.ring.len(),
+	}
+	a.mu.Lock()
+	for k, n := range a.violations {
+		st.Violations += n
+		st.ByKind = append(st.ByKind, ViolationCount{Graph: k.graph, Kind: k.kind, Count: n})
+	}
+	for k, h := range a.stretch {
+		snap := h.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		st.Stretch = append(st.Stretch, StretchSnapshot{
+			Graph: k.graph, Route: k.route, Count: snap.Count,
+			Mean: snap.MeanUs / 1e6,
+			P50:  float64(snap.P50Us) / 1e6,
+			P99:  float64(snap.P99Us) / 1e6,
+			Max:  float64(snap.MaxUs) / 1e6,
+		})
+	}
+	a.mu.Unlock()
+	sort.Slice(st.ByKind, func(i, j int) bool {
+		if st.ByKind[i].Graph != st.ByKind[j].Graph {
+			return st.ByKind[i].Graph < st.ByKind[j].Graph
+		}
+		return st.ByKind[i].Kind < st.ByKind[j].Kind
+	})
+	sort.Slice(st.Stretch, func(i, j int) bool {
+		if st.Stretch[i].Graph != st.Stretch[j].Graph {
+			return st.Stretch[i].Graph < st.Stretch[j].Graph
+		}
+		return st.Stretch[i].Route < st.Stretch[j].Route
+	})
+	return st
+}
+
+// Collect is the auditor's /metrics collector.
+func (a *Auditor) Collect(w *obs.MetricWriter) {
+	st := a.Stats()
+	w.Counter("spo_audit_samples_total", "Served answers accepted for shadow auditing.", float64(st.Sampled))
+	w.Counter("spo_audit_completed_total", "Shadow audits whose exact recompute finished.", float64(st.Audited))
+	w.Counter("spo_audit_dropped_total", "Samples dropped on a full audit ring.", float64(st.Dropped))
+	w.Counter("spo_audit_unsupported_total", "Samples whose backend exposes no audit graph.", float64(st.Unsupported))
+	w.Counter("spo_audit_errors_total", "Audit-side failures (not serving violations).", float64(st.Errors))
+	w.Gauge("spo_audit_pending", "Samples queued in the audit ring.", float64(st.Pending))
+	w.Counter("spo_audit_exact_cache_events_total", "Exact-vector cache traffic.", float64(st.ExactCacheHits), obs.L("event", "hit"))
+	w.Counter("spo_audit_exact_cache_events_total", "Exact-vector cache traffic.", float64(st.ExactCacheMisses), obs.L("event", "miss"))
+	// The violation family is always emitted — a scraper alerting on
+	// increase() must be able to discover it at zero.
+	if len(st.ByKind) == 0 {
+		w.Counter("spo_audit_violations_total", "Audited answers that failed a correctness check.", 0,
+			obs.L("graph", ""), obs.L("kind", ViolationStretch))
+	}
+	for _, v := range st.ByKind {
+		w.Counter("spo_audit_violations_total", "Audited answers that failed a correctness check.",
+			float64(v.Count), obs.L("graph", v.Graph), obs.L("kind", v.Kind))
+	}
+	for _, s := range st.Stretch {
+		labels := []obs.Label{obs.L("graph", s.Graph), obs.L("route", s.Route)}
+		w.Gauge("spo_audit_stretch_p99", "Observed p99 stretch (served/exact) of audited answers.", s.P99, labels...)
+		w.Gauge("spo_audit_stretch_max", "Observed max stretch of audited answers.", s.Max, labels...)
+		w.Counter("spo_audit_stretch_observations_total", "Audited answers with a finite positive exact distance.", float64(s.Count), labels...)
+	}
+}
+
+var _ oracle.AuditSink = (*Auditor)(nil)
+
+// exactCache is a small mutex-guarded LRU of exact distance vectors keyed
+// by (graph, version, source) — the working set of a shadow audit is the
+// recently-served sources, and one Dijkstra per distinct source is the
+// whole audit cost at 100%% sampling on a replayed corpus.
+type exactCache struct {
+	mu     sync.Mutex
+	cap    int
+	order  []exactKey
+	m      map[exactKey][]float64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type exactKey struct {
+	graph   string
+	version int64
+	source  int32
+}
+
+func (c *exactCache) init(capacity int) {
+	c.cap = capacity
+	c.m = make(map[exactKey][]float64, capacity)
+}
+
+// get returns the exact distance vector for (graph, version, source),
+// computing it on g on a miss. Concurrent misses on the same key may both
+// compute — acceptable: the result is identical and the cache is a cost
+// bound, not a consistency mechanism.
+func (c *exactCache) get(name string, version int64, source int32, g *graph.Graph) []float64 {
+	k := exactKey{name, version, source}
+	c.mu.Lock()
+	if d, ok := c.m[k]; ok {
+		c.hits.Add(1)
+		c.mu.Unlock()
+		return d
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	d, _ := exact.DijkstraGraph(g, source)
+	c.mu.Lock()
+	if _, ok := c.m[k]; !ok {
+		if len(c.order) >= c.cap {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.m, oldest)
+		}
+		c.order = append(c.order, k)
+		c.m[k] = d
+	}
+	d = c.m[k]
+	c.mu.Unlock()
+	return d
+}

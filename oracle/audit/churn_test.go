@@ -1,0 +1,171 @@
+package audit_test
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/oracle"
+	"repro/oracle/audit"
+)
+
+// scaleWeights returns a copy of g with every weight multiplied by f.
+func scaleWeights(g *graph.Graph, f float64) *graph.Graph {
+	ng := *g
+	ng.Wt = make([]float64, len(g.Wt))
+	for i, w := range g.Wt {
+		ng.Wt[i] = w * f
+	}
+	ng.Edges = make([]graph.Edge, len(g.Edges))
+	for i, ed := range g.Edges {
+		ed.W *= f
+		ng.Edges[i] = ed
+	}
+	return &ng
+}
+
+// TestAuditChurnHammer is the sample→reload→evict→audit race hammer, run
+// under -race in CI. Each reload rebuilds the graph with all weights
+// scaled by a fresh factor, so consecutive engine versions answer with
+// very different distances: an audit that recomputed its exact baseline
+// on any version other than the one that produced the answer would blow
+// straight through the 1+ε stretch bound. Zero violations across the
+// churn is therefore proof that every audit pinned the answering
+// version, not just absence of data races.
+func TestAuditChurnHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn hammer is a multi-second stress test")
+	}
+	const (
+		nGraphs = 3
+		n       = 192
+	)
+	a := audit.New(audit.Config{
+		SampleRate: 1,
+		Workers:    4,
+		Logger:     slog.New(slog.NewTextHandler(&syncBuffer{}, nil)),
+	})
+	r := oracle.NewRegistry(oracle.RegistryConfig{
+		Audit: a,
+		// A budget near two engines' footprint keeps eviction pressure on:
+		// warming a cold graph evicts the least-recently-used one, whose
+		// in-flight audits must still resolve on their pinned handles.
+		EngineOptions: []oracle.Option{oracle.WithPathReporting()},
+	})
+
+	names := make([]string, nGraphs)
+	for i := 0; i < nGraphs; i++ {
+		names[i] = fmt.Sprintf("churn%d", i)
+		base := graph.Gnm(n, 3*n, graph.UniformWeights(1, 6), int64(90+i))
+		var builds atomic.Int64
+		src := func(base *graph.Graph, builds *atomic.Int64) oracle.EngineSource {
+			return func(ctx context.Context, opts ...oracle.Option) (oracle.Backend, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				// Version k serves weights ×(1+k/2): any cross-version
+				// audit is at least 1.5× off.
+				k := builds.Add(1)
+				return oracle.New(scaleWeights(base, 1+float64(k-1)/2), opts...)
+			}
+		}(base, &builds)
+		if err := r.Add(names[i], src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, name := range names {
+		if err := r.WaitReady(ctx, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Query hammer: every answered query is sampled (rate 1), so the
+	// auditors run flat out while versions churn underneath them.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names[rng.Intn(nGraphs)]
+				if rng.Intn(4) == 0 {
+					r.Path(name, int32(rng.Intn(n)), int32(rng.Intn(n)))
+				} else {
+					r.Dist(name, int32(rng.Intn(n)))
+				}
+			}
+		}(int64(w))
+	}
+	// Reload churn: hot-swap a graph every few milliseconds. Each swap
+	// bumps the weight scale, so pinning mistakes become violations.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(999))
+		tick := time.NewTicker(15 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				name := names[rng.Intn(nGraphs)]
+				if rng.Intn(5) == 0 {
+					// Remove/re-add: the eviction-shaped transition (engine
+					// retires under drain, version counter restarts).
+					r.Remove(name)
+					// Re-register with a fresh scale sequence.
+					base := graph.Gnm(n, 3*n, graph.UniformWeights(1, 6), rng.Int63())
+					var builds atomic.Int64
+					r.Add(name, func(ctx context.Context, opts ...oracle.Option) (oracle.Backend, error) {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
+						k := builds.Add(1)
+						return oracle.New(scaleWeights(base, 1+float64(k-1)/2), opts...)
+					})
+				} else {
+					r.Reload(name)
+				}
+			}
+		}
+	}()
+
+	time.Sleep(1500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Close drains: queued samples are discarded (their handles released)
+	// and in-progress audits finish on their pinned versions.
+	r.Close()
+
+	st := a.Stats()
+	if st.Audited < 100 {
+		t.Fatalf("hammer barely audited anything: %+v", st)
+	}
+	if st.Violations != 0 {
+		t.Fatalf("audits recomputed against the wrong engine version: %+v", st)
+	}
+	if st.Errors != 0 || st.Unsupported != 0 {
+		t.Fatalf("audit errors under churn: %+v", st)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("registry Close left %d audits pending", st.Pending)
+	}
+	a.Close()
+}

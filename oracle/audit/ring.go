@@ -1,0 +1,93 @@
+package audit
+
+import (
+	"sync/atomic"
+
+	"repro/oracle"
+)
+
+// ring is a bounded lock-free MPMC queue (Vyukov's array queue): each
+// cell carries a sequence number that encodes whose turn it is, so
+// producers (serve-path goroutines recording samples) and consumers
+// (audit workers) coordinate with one CAS each and never block. A full
+// ring rejects the enqueue — the producer is a query handler, and audit
+// backpressure must never become serving latency.
+type ring struct {
+	mask  uint64
+	cells []ringCell
+	enq   atomic.Uint64 // next enqueue position
+	deq   atomic.Uint64 // next dequeue position
+}
+
+type ringCell struct {
+	seq atomic.Uint64
+	s   oracle.AuditSample
+}
+
+// init sizes the ring to the next power of two ≥ n.
+func (r *ring) init(n int) {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	r.mask = uint64(size - 1)
+	r.cells = make([]ringCell, size)
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+}
+
+// enqueue claims a cell and publishes s. Returns false when the ring is
+// full (the caller keeps ownership of the sample's handle lease).
+func (r *ring) enqueue(s oracle.AuditSample) bool {
+	pos := r.enq.Load()
+	for {
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos: // cell free for this position
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				cell.s = s
+				cell.seq.Store(pos + 1) // publish: ready for dequeue
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos: // cell still holds an unconsumed older entry: full
+			return false
+		default: // another producer advanced past us; reload
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// dequeue pops the oldest sample, or reports an empty ring.
+func (r *ring) dequeue() (oracle.AuditSample, bool) {
+	pos := r.deq.Load()
+	for {
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos+1: // cell published for this position
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				s := cell.s
+				cell.s = oracle.AuditSample{} // drop references for GC
+				cell.seq.Store(pos + r.mask + 1)
+				return s, true
+			}
+			pos = r.deq.Load()
+		case seq <= pos: // not yet published: empty
+			return oracle.AuditSample{}, false
+		default: // another consumer advanced past us; reload
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// len is the approximate queue depth (racy by nature; for stats only).
+func (r *ring) len() int64 {
+	n := int64(r.enq.Load()) - int64(r.deq.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,107 @@
+package audit
+
+import (
+	"sync"
+	"testing"
+
+	"repro/oracle"
+)
+
+func TestRingFIFOAndCapacity(t *testing.T) {
+	var r ring
+	r.init(4)
+	for i := int32(0); i < 4; i++ {
+		if !r.enqueue(oracle.AuditSample{Source: i}) {
+			t.Fatalf("enqueue %d rejected below capacity", i)
+		}
+	}
+	if r.enqueue(oracle.AuditSample{Source: 99}) {
+		t.Fatal("enqueue accepted on a full ring")
+	}
+	for i := int32(0); i < 4; i++ {
+		s, ok := r.dequeue()
+		if !ok || s.Source != i {
+			t.Fatalf("dequeue %d: ok=%v source=%d", i, ok, s.Source)
+		}
+	}
+	if _, ok := r.dequeue(); ok {
+		t.Fatal("dequeue succeeded on an empty ring")
+	}
+	// Wrap-around reuse.
+	if !r.enqueue(oracle.AuditSample{Source: 7}) {
+		t.Fatal("enqueue rejected after full drain")
+	}
+	if s, ok := r.dequeue(); !ok || s.Source != 7 {
+		t.Fatalf("wrap-around dequeue: ok=%v source=%d", ok, s.Source)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	var r ring
+	r.init(64)
+	const producers, perProducer = 8, 2000
+	var got sync.Map
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var accepted, consumed int64
+	var mu sync.Mutex
+
+	consume := func(s oracle.AuditSample) {
+		got.Store(int64(s.Source)<<32|int64(s.Target), true)
+		mu.Lock()
+		consumed++
+		mu.Unlock()
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if s, ok := r.dequeue(); ok {
+					consume(s)
+					continue
+				}
+				select {
+				case <-done:
+					// Producers are finished, but our empty read may
+					// predate their last publishes — drain to empty.
+					for {
+						s, ok := r.dequeue()
+						if !ok {
+							return
+						}
+						consume(s)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				if r.enqueue(oracle.AuditSample{Source: int32(p), Target: int32(i)}) {
+					mu.Lock()
+					accepted++
+					mu.Unlock()
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
+	close(done)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if consumed != accepted {
+		t.Fatalf("accepted %d but consumed %d", accepted, consumed)
+	}
+	n := 0
+	got.Range(func(_, _ any) bool { n++; return true })
+	if int64(n) != consumed {
+		t.Fatalf("duplicate or lost samples: %d unique of %d consumed", n, consumed)
+	}
+}

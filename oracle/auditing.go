@@ -1,0 +1,182 @@
+package oracle
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// AuditableBackend is the optional shadow-audit surface: backends that can
+// hand the auditor their logical input graph for an exact recomputation
+// implement it. The monolithic *Engine returns the graph it was built
+// over; the sharded Oracle reassembles the logical graph from its shard
+// subgraphs plus the cut edges (bit-identical to the partitioner's input,
+// since partitioning is lossless); the distributed Router loads the shard
+// payload files lazily when its manifest directory is configured. A
+// backend without this surface (e.g. a RemoteBackend leg) is skipped by
+// the auditor and counted as unsupported rather than failed.
+type AuditableBackend interface {
+	// AuditGraph returns the logical weighted graph this backend answers
+	// queries over. It may materialize lazily (and should cache — it is
+	// called once per audited sample, off the serve path). The returned
+	// graph is immutable and shared.
+	AuditGraph() (*graph.Graph, error)
+	// StretchBounds returns the advertised multiplicative guarantees: a
+	// served distance is within dist×exact of the true distance, a
+	// stitched path's length within path×exact. Both are ≥ 1.
+	StretchBounds() (dist, path float64)
+}
+
+// AuditSample is one served answer captured for shadow auditing. The
+// sample owns a retained lease on Handle: whichever code finishes with
+// the sample (the audit worker, or the sink's drop path when its ring is
+// full) must Release it — the lease is what pins the answering engine
+// version against hot reloads and evictions until the exact recompute is
+// done.
+type AuditSample struct {
+	Graph   string
+	Route   string // "dist", "path", or "matrix"
+	Handle  *Handle
+	TraceID string // W3C trace ID of the serving request, "" when untraced
+	Source  int32
+	Target  int32
+	// Answer is the served approximate distance (or, for Route "path",
+	// the served path length).
+	Answer float64
+	// Path is the served vertex sequence for Route "path" (shared with
+	// the response; read-only).
+	Path []int32
+}
+
+// AuditSink receives serve-time samples. oracle/audit.Auditor is the
+// implementation; the indirection exists because oracle/audit imports
+// oracle. Implementations must make ShouldSample and Sample cheap and
+// non-blocking — both run on the query path.
+type AuditSink interface {
+	// ShouldSample is the sampling decision, taken before any handle is
+	// retained so unsampled queries pay one atomic op at most.
+	ShouldSample() bool
+	// Sample enqueues one answer for auditing. The sink takes ownership
+	// of s.Handle's retained lease (releasing it even when the sample is
+	// dropped).
+	Sample(s AuditSample)
+	// Drain discards queued samples (releasing their leases) and waits
+	// for in-flight audits to finish. The registry calls it from Close so
+	// audit workers never outlive the serving process's engines.
+	Drain()
+}
+
+// Retain adds a lease to an already-held handle — the audit sampler's
+// entry point: the serve path holds a lease while the answer is computed,
+// Retain extends the same engine version's life into the background audit,
+// and the audit worker Releases when the exact recompute finishes. Calling
+// Retain without holding a lease is a use-after-free bug (the version may
+// have drained).
+func (h *Handle) Retain() { h.acquire() }
+
+// auditTraceID extracts the active trace ID for violation correlation.
+func auditTraceID(ctx context.Context) string {
+	if sp := obs.FromContext(ctx); sp.Active() {
+		return sp.Trace.String()
+	}
+	return ""
+}
+
+// auditSeq spreads rotating audit target picks across the vertex/cell
+// space. Process-wide: the coverage rotation should not reset per
+// registry.
+var auditSeq atomic.Uint64
+
+// auditDist offers one served distance row to the audit sink, sampling a
+// single rotating target index rather than copying the n-vector.
+func (r *Registry) auditDist(ctx context.Context, name string, h *Handle, source int32, d []float64) {
+	a := r.cfg.Audit
+	if a == nil || len(d) == 0 || !a.ShouldSample() {
+		return
+	}
+	t := int32(auditSeq.Add(1) % uint64(len(d)))
+	h.Retain()
+	a.Sample(AuditSample{
+		Graph: name, Route: "dist", Handle: h, TraceID: auditTraceID(ctx),
+		Source: source, Target: t, Answer: d[t],
+	})
+}
+
+// auditPath offers one served stitched path to the audit sink.
+func (r *Registry) auditPath(ctx context.Context, name string, h *Handle, u, v int32, path []int32, length float64) {
+	a := r.cfg.Audit
+	if a == nil || !a.ShouldSample() {
+		return
+	}
+	h.Retain()
+	a.Sample(AuditSample{
+		Graph: name, Route: "path", Handle: h, TraceID: auditTraceID(ctx),
+		Source: u, Target: v, Answer: length, Path: path,
+	})
+}
+
+// auditMatrix offers one rotating cell of a served matrix to the audit
+// sink — one cell per sampled call keeps the audit cost independent of
+// the S×T block size.
+func (r *Registry) auditMatrix(ctx context.Context, name string, h *Handle, sources, targets []int32, rows [][]float64) {
+	a := r.cfg.Audit
+	if a == nil || len(rows) == 0 || len(rows[0]) == 0 || !a.ShouldSample() {
+		return
+	}
+	cell := auditSeq.Add(1)
+	i := int(cell % uint64(len(rows)))
+	j := int((cell / uint64(len(rows))) % uint64(len(rows[i])))
+	h.Retain()
+	a.Sample(AuditSample{
+		Graph: name, Route: "matrix", Handle: h, TraceID: auditTraceID(ctx),
+		Source: sources[i], Target: targets[j], Answer: rows[i][j],
+	})
+}
+
+// AuditGraph implements AuditableBackend for the monolithic engine. The
+// graph the hopset was built over is retained for query-time relaxation,
+// but its weights may be normalized (Hopset.ScaleFactor rescales query
+// answers back to input units), and audits compare against served answers
+// — so when a scale factor is in play the graph is rescaled back to input
+// units once and cached. The rescaled weights match the originals to a
+// few ulps, far inside the auditor's relative tolerance.
+func (e *Engine) AuditGraph() (*graph.Graph, error) {
+	if e == nil || e.Hopset() == nil || e.Hopset().G == nil {
+		return nil, ErrNotBuilt
+	}
+	e.auditOnce.Do(func() {
+		h := e.Hopset()
+		if h.ScaleFactor == 1 {
+			e.auditG = h.G
+			return
+		}
+		ng := *h.G
+		ng.Wt = make([]float64, len(h.G.Wt))
+		for i, w := range h.G.Wt {
+			ng.Wt[i] = w * h.ScaleFactor
+		}
+		ng.Edges = make([]graph.Edge, len(h.G.Edges))
+		for i, ed := range h.G.Edges {
+			ed.W *= h.ScaleFactor
+			ng.Edges[i] = ed
+		}
+		e.auditG = &ng
+	})
+	return e.auditG, nil
+}
+
+// StretchBounds implements AuditableBackend: a monolithic engine's Dist
+// answers are within (1+ε) of exact, and a reported Path — whose length
+// is always the concrete walk's exact length — realizes a distance
+// within the same (1+ε).
+func (e *Engine) StretchBounds() (dist, path float64) {
+	b := 1.0
+	if h := e.Hopset(); h != nil {
+		b = 1 + h.Params.Epsilon
+	}
+	return b, b
+}
+
+var _ AuditableBackend = (*Engine)(nil)

@@ -3,10 +3,12 @@ package oracle
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/hist"
 	"repro/internal/hopset"
 	"repro/internal/lru"
@@ -56,6 +58,12 @@ type Engine struct {
 
 	distFlight flight[[]float64]
 	treeFlight flight[*Tree]
+
+	// auditG is the audit-time ground-truth graph in input weight units,
+	// built lazily by AuditGraph (the hopset's retained graph may carry
+	// normalized weights).
+	auditOnce sync.Once
+	auditG    *graph.Graph
 
 	// lat holds one serve-side latency histogram per query route,
 	// recorded on every public query call (hits and misses alike), so

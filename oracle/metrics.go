@@ -29,6 +29,7 @@ func MetricsCollector(r *Registry) obs.Collector {
 		w.Gauge("spo_graphs", "Registered graphs by status.", float64(st.Building), obs.L("status", "building"))
 		w.Gauge("spo_graphs", "Registered graphs by status.", float64(st.Failed), obs.L("status", "failed"))
 		w.Gauge("spo_graphs", "Registered graphs by status.", float64(st.Evicted), obs.L("status", "evicted"))
+		w.Gauge("spo_registered_graphs", "Total graphs registered, across every status.", float64(st.Graphs))
 
 		if hp := st.HotPair; hp != nil {
 			w.Counter("spo_hotpair_hits_total", "Hot-pair cache hits by freshness.", float64(hp.Hits), obs.L("kind", "fresh"))
@@ -89,10 +90,14 @@ func collectEngineStats(w *obs.MetricWriter, name string, es Stats) {
 	w.Counter("spo_relax_rounds_total", "Relaxation rounds by kernel.", float64(es.Relax.SparseRounds), g, obs.L("kernel", "sparse"))
 	w.Counter("spo_relax_batched_seeds_total", "Source lanes carried by batched explorations.", float64(es.Relax.BatchedSeeds), g)
 
+	if es.BatchWindowNano > 0 {
+		w.Gauge("spo_batch_window_seconds", "Configured dist-query coalescing window.", float64(es.BatchWindowNano)/1e9, g)
+	}
 	if es.Batches > 0 || es.BatchedQueries > 0 {
 		w.Counter("spo_batches_total", "Coalesced batches flushed.", float64(es.Batches), g)
 		w.Counter("spo_batched_queries_total", "Queries answered via a coalesced batch.", float64(es.BatchedQueries), g)
 		w.Gauge("spo_batch_largest", "Largest batch flushed.", float64(es.LargestBatch), g)
+		w.Counter("spo_batch_wait_seconds_total", "Total time coalesced queries spent parked in the batching window before their batch ran.", float64(es.BatchWaitNano)/1e9, g)
 	}
 	for i, c := range es.BatchOccupancy {
 		if i >= len(batchOccupancyBuckets) {
@@ -108,12 +113,24 @@ func collectEngineStats(w *obs.MetricWriter, name string, es Stats) {
 	}
 
 	if sh := es.Sharded; sh != nil {
+		// Partition shape and stretch accounting: static per engine
+		// version, but a hot reload can change every one of them — as
+		// gauges they are the dashboard's record of what is being served.
+		w.Gauge("spo_shard_partitions", "Shard count of the served partition.", float64(sh.Shards), g)
+		w.Gauge("spo_shard_boundary_vertices", "Boundary vertices spanning the cut.", float64(sh.BoundaryVertices), g)
+		w.Gauge("spo_shard_overlay_edges", "Edges in the boundary overlay graph.", float64(sh.OverlayEdges), g)
+		w.Gauge("spo_shard_cut_edges", "Cut edges between shards.", float64(sh.CutEdges), g)
+		ehelp := "Stretch parameters by component."
+		w.Gauge("spo_shard_epsilon", ehelp, sh.EpsilonLocal, g, obs.L("component", "local"))
+		w.Gauge("spo_shard_epsilon", ehelp, sh.EpsilonOverlay, g, obs.L("component", "overlay"))
+		w.Gauge("spo_shard_stretch_bound", "Composed end-to-end stretch bound (1+εl)(1+εo)(1+εl).", sh.StretchBound, g)
 		w.Counter("spo_shard_queries_total", "Sharded-router queries by disposition.", float64(sh.RoutedQueries), g, obs.L("disposition", "routed"))
 		w.Counter("spo_shard_queries_total", "Sharded-router queries by disposition.", float64(sh.LocalQueries), g, obs.L("disposition", "local"))
 		rchelp := "Router assembled-vector cache traffic."
 		w.Counter("spo_router_cache_events_total", rchelp, float64(sh.RouterCache.Hits), g, obs.L("event", "hit"))
 		w.Counter("spo_router_cache_events_total", rchelp, float64(sh.RouterCache.Misses), g, obs.L("event", "miss"))
 		w.Counter("spo_router_cache_events_total", rchelp, float64(sh.RouterCache.Evictions), g, obs.L("event", "eviction"))
+		w.Gauge("spo_router_cache_entries", "Rows resident in the router's assembled-vector cache.", float64(sh.RouterCache.Len), g)
 		if rm := sh.Remote; rm != nil {
 			w.Counter("spo_router_hedges_total", "Hedged second requests fired.", float64(rm.Hedges), g)
 			w.Counter("spo_router_hedge_wins_total", "Hedged requests that answered first.", float64(rm.HedgeWins), g)

@@ -1,0 +1,252 @@
+package oracle
+
+// The stats↔metrics parity test: every numeric leaf of the /stats JSON
+// (RegistryStats and the per-graph engine Stats, recursively) must map to
+// a /metrics family, and every mapped family must actually appear in a
+// collector render. The mapping table is the contract; a new stats field
+// without a table entry fails the walk, and a table entry whose family
+// the collector stopped emitting fails the render check — so the two
+// observability surfaces cannot silently drift apart.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// statsMetricFamily maps each numeric /stats leaf (JSON path, "registry."
+// or "engine." prefixed; "[]" marks slice elements, "{}" map values) to
+// the /metrics family carrying the same signal.
+var statsMetricFamily = map[string]string{
+	"registry.graphs":                 "spo_registered_graphs",
+	"registry.ready":                  "spo_graphs",
+	"registry.building":               "spo_graphs",
+	"registry.failed":                 "spo_graphs",
+	"registry.evicted":                "spo_graphs",
+	"registry.queries":                "spo_registry_queries_total",
+	"registry.builds_done":            "spo_builds_total",
+	"registry.builds_failed":          "spo_builds_total",
+	"registry.reloads":                "spo_reloads_total",
+	"registry.evictions":              "spo_evictions_total",
+	"registry.draining":               "spo_draining_engines",
+	"registry.memory_bytes":           "spo_registry_memory_bytes",
+	"registry.memory_budget":          "spo_registry_memory_budget_bytes",
+	"registry.hot_pair.entries":       "spo_hotpair_entries",
+	"registry.hot_pair.hits":          "spo_hotpair_hits_total",
+	"registry.hot_pair.stale_hits":    "spo_hotpair_hits_total",
+	"registry.hot_pair.misses":        "spo_hotpair_misses_total",
+	"registry.hot_pair.evictions":     "spo_hotpair_evictions_total",
+	"registry.hot_pair.revalidations": "spo_hotpair_revalidations_total",
+
+	"engine.dist_queries":    "spo_graph_queries_total",
+	"engine.multi_queries":   "spo_graph_queries_total",
+	"engine.nearest_queries": "spo_graph_queries_total",
+	"engine.path_queries":    "spo_graph_queries_total",
+	"engine.tree_queries":    "spo_graph_queries_total",
+	"engine.matrix_queries":  "spo_graph_queries_total",
+
+	"engine.dist_cache.hits":      "spo_graph_cache_events_total",
+	"engine.dist_cache.misses":    "spo_graph_cache_events_total",
+	"engine.dist_cache.evictions": "spo_graph_cache_events_total",
+	"engine.dist_cache.len":       "spo_graph_cache_entries",
+	"engine.tree_cache.hits":      "spo_graph_cache_events_total",
+	"engine.tree_cache.misses":    "spo_graph_cache_events_total",
+	"engine.tree_cache.evictions": "spo_graph_cache_events_total",
+	"engine.tree_cache.len":       "spo_graph_cache_entries",
+
+	"engine.batches":           "spo_batches_total",
+	"engine.batched_queries":   "spo_batched_queries_total",
+	"engine.largest_batch":     "spo_batch_largest",
+	"engine.batch_window_ns":   "spo_batch_window_seconds",
+	"engine.batch_wait_ns":     "spo_batch_wait_seconds_total",
+	"engine.batch_occupancy[]": "spo_batch_occupancy_total",
+
+	"engine.latency{}.count":   "spo_query_latency_seconds",
+	"engine.latency{}.mean_us": "spo_query_latency_seconds",
+	"engine.latency{}.p50_us":  "spo_query_latency_seconds",
+	"engine.latency{}.p90_us":  "spo_query_latency_seconds",
+	"engine.latency{}.p99_us":  "spo_query_latency_seconds",
+	"engine.latency{}.p999_us": "spo_query_latency_seconds",
+	"engine.latency{}.max_us":  "spo_query_latency_seconds",
+
+	"engine.relax.explorations":  "spo_relax_explorations_total",
+	"engine.relax.scanned_arcs":  "spo_relax_scanned_arcs_total",
+	"engine.relax.dense_rounds":  "spo_relax_rounds_total",
+	"engine.relax.sparse_rounds": "spo_relax_rounds_total",
+	"engine.relax.batched_seeds": "spo_relax_batched_seeds_total",
+
+	"engine.sharded.shards":            "spo_shard_partitions",
+	"engine.sharded.boundary_vertices": "spo_shard_boundary_vertices",
+	"engine.sharded.overlay_edges":     "spo_shard_overlay_edges",
+	"engine.sharded.cut_edges":         "spo_shard_cut_edges",
+	"engine.sharded.epsilon_local":     "spo_shard_epsilon",
+	"engine.sharded.epsilon_overlay":   "spo_shard_epsilon",
+	"engine.sharded.stretch_bound":     "spo_shard_stretch_bound",
+	"engine.sharded.routed_queries":    "spo_shard_queries_total",
+	"engine.sharded.local_queries":     "spo_shard_queries_total",
+
+	"engine.sharded.router_cache.hits":      "spo_router_cache_events_total",
+	"engine.sharded.router_cache.misses":    "spo_router_cache_events_total",
+	"engine.sharded.router_cache.evictions": "spo_router_cache_events_total",
+	"engine.sharded.router_cache.len":       "spo_router_cache_entries",
+
+	"engine.sharded.remote.hedges":     "spo_router_hedges_total",
+	"engine.sharded.remote.hedge_wins": "spo_router_hedge_wins_total",
+	"engine.sharded.remote.failovers":  "spo_router_failovers_total",
+
+	"engine.sharded.remote.endpoints[].healthy":  "spo_endpoint_up",
+	"engine.sharded.remote.endpoints[].requests": "spo_endpoint_requests_total",
+	"engine.sharded.remote.endpoints[].errors":   "spo_endpoint_errors_total",
+
+	"engine.sharded.remote.endpoints[].latency.count":   "spo_endpoint_latency_seconds",
+	"engine.sharded.remote.endpoints[].latency.mean_us": "spo_endpoint_latency_seconds",
+	"engine.sharded.remote.endpoints[].latency.p50_us":  "spo_endpoint_latency_seconds",
+	"engine.sharded.remote.endpoints[].latency.p90_us":  "spo_endpoint_latency_seconds",
+	"engine.sharded.remote.endpoints[].latency.p99_us":  "spo_endpoint_latency_seconds",
+	"engine.sharded.remote.endpoints[].latency.p999_us": "spo_endpoint_latency_seconds",
+	"engine.sharded.remote.endpoints[].latency.max_us":  "spo_endpoint_latency_seconds",
+}
+
+// statsMetricExempt lists leaves deliberately absent from /metrics, each
+// with the reason it is exempt.
+var statsMetricExempt = map[string]string{
+	"engine.dist_cache.cap":             "static configuration, not a signal",
+	"engine.tree_cache.cap":             "static configuration, not a signal",
+	"engine.sharded.router_cache.cap":   "static configuration, not a signal",
+	"engine.relax.arcs_per_exploration": "derived: scanned_arcs / explorations",
+}
+
+// statsLeafPaths walks t collecting the JSON path of every numeric or
+// boolean leaf field. Strings are label material, not samples, and are
+// skipped.
+func statsLeafPaths(t reflect.Type, prefix string, out map[string]bool) {
+	switch t.Kind() {
+	case reflect.Ptr:
+		statsLeafPaths(t.Elem(), prefix, out)
+	case reflect.Slice, reflect.Array:
+		statsLeafPaths(t.Elem(), prefix+"[]", out)
+	case reflect.Map:
+		statsLeafPaths(t.Elem(), prefix+"{}", out)
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			name := strings.Split(f.Tag.Get("json"), ",")[0]
+			if name == "-" {
+				continue
+			}
+			if name == "" {
+				name = f.Name
+			}
+			statsLeafPaths(f.Type, prefix+"."+name, out)
+		}
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		out[prefix] = true
+	}
+}
+
+func TestStatsMetricsParity(t *testing.T) {
+	leaves := map[string]bool{}
+	statsLeafPaths(reflect.TypeOf(RegistryStats{}), "registry", leaves)
+	statsLeafPaths(reflect.TypeOf(Stats{}), "engine", leaves)
+
+	// Direction 1: every stats leaf is either mapped to a family or
+	// explicitly exempted with a reason.
+	for leaf := range leaves {
+		_, mapped := statsMetricFamily[leaf]
+		_, exempt := statsMetricExempt[leaf]
+		switch {
+		case mapped && exempt:
+			t.Errorf("leaf %s is both mapped and exempt", leaf)
+		case !mapped && !exempt:
+			t.Errorf("stats leaf %s has no /metrics family and no exemption — extend MetricsCollector (or statsMetricExempt with a reason)", leaf)
+		}
+	}
+	// Stale table entries (field renamed or removed) fail too.
+	for leaf := range statsMetricFamily {
+		if !leaves[leaf] {
+			t.Errorf("mapping table names %s, which is not a stats leaf anymore", leaf)
+		}
+	}
+	for leaf := range statsMetricExempt {
+		if !leaves[leaf] {
+			t.Errorf("exempt table names %s, which is not a stats leaf anymore", leaf)
+		}
+	}
+
+	// Direction 2: every family the table promises is actually emitted.
+	// A live registry (with the hot-pair cache and a budget, so the
+	// conditional registry families render) covers the registry side; a
+	// fully-populated synthetic Stats covers every engine family,
+	// including the sharded/remote branches a monolithic engine never
+	// takes.
+	r := NewRegistry(RegistryConfig{HotPairCache: 16, MemoryBudget: 1 << 40})
+	defer r.Close()
+	g := graph.Gnm(64, 192, graph.UniformWeights(1, 4), 7)
+	if err := r.Add("g", GraphSource(g)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WaitReady(context.Background(), "g"); err != nil {
+		t.Fatal(err)
+	}
+
+	w := obs.NewMetricWriter()
+	MetricsCollector(r)(w)
+	collectEngineStats(w, "synthetic", syntheticStats())
+
+	fams, err := obs.ParseExposition(strings.NewReader(string(w.Render())))
+	if err != nil {
+		t.Fatalf("collector output failed to parse: %v", err)
+	}
+	for leaf, fam := range statsMetricFamily {
+		if fams[fam] == nil {
+			t.Errorf("family %s (for stats leaf %s) missing from collector output", fam, leaf)
+		}
+	}
+}
+
+// syntheticStats returns an engine Stats with every field non-zero, so
+// each conditional collector branch emits its families.
+func syntheticStats() Stats {
+	snap := LatencySnapshot{Count: 3, MeanUs: 120, P50Us: 100, P90Us: 200, P99Us: 300, P999Us: 400, MaxUs: 500}
+	return Stats{
+		DistQueries: 1, MultiQueries: 2, NearestQueries: 3,
+		PathQueries: 4, TreeQueries: 5, MatrixQueries: 6,
+		DistCache:       CacheStats{Hits: 1, Misses: 2, Evictions: 3, Len: 4, Cap: 8},
+		TreeCache:       CacheStats{Hits: 1, Misses: 2, Evictions: 3, Len: 4, Cap: 8},
+		Batches:         2,
+		BatchedQueries:  5,
+		LargestBatch:    3,
+		BatchWindowNano: 250_000,
+		BatchWaitNano:   1_000_000,
+		BatchOccupancy:  []int64{1, 1, 0, 0, 0, 0, 0},
+		Latency:         map[string]LatencySnapshot{"dist": snap},
+		Relax: RelaxStats{
+			Explorations: 7, ScannedArcs: 700, DenseRounds: 3,
+			SparseRounds: 4, ArcsPerExploration: 100, BatchedSeeds: 9,
+		},
+		Sharded: &ShardStats{
+			Shards: 4, BoundaryVertices: 40, OverlayEdges: 120, CutEdges: 60,
+			EpsilonLocal: 0.25, EpsilonOverlay: 0.25, StretchBound: 1.953125,
+			RoutedQueries: 11, LocalQueries: 5,
+			RouterCache: CacheStats{Hits: 1, Misses: 2, Evictions: 3, Len: 4, Cap: 8},
+			Remote: &RemoteStats{
+				Endpoints: []EndpointStats{{
+					URL: "http://worker:8081", Healthy: true,
+					Requests: 12, Errors: 1, Latency: snap,
+				}},
+				Hedges: 2, HedgeWins: 1, Failovers: 1,
+			},
+		},
+	}
+}

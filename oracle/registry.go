@@ -166,6 +166,12 @@ type RegistryConfig struct {
 	// acquiring a handle, and — via DistSWR — served stale across hot
 	// reloads while the new engine warms in the background. 0 disables.
 	HotPairCache int
+	// Audit receives a sampled fraction of served answers for background
+	// exact recomputation (oracle/audit.Auditor). Each sample carries a
+	// retained handle lease, so audits always recompute against the
+	// engine version that answered — never a reloaded successor. nil
+	// disables shadow auditing. Close drains the sink.
+	Audit AuditSink
 }
 
 // Registry is the multi-graph serving layer: it owns N named engines
@@ -562,7 +568,11 @@ func (r *Registry) Dist(name string, source int32) ([]float64, error) {
 		return nil, err
 	}
 	defer h.Release()
-	return h.Engine().Dist(source)
+	d, err := h.Engine().Dist(source)
+	if err == nil {
+		r.auditDist(context.Background(), name, h, source, d)
+	}
+	return d, err
 }
 
 // DistTo serves Engine.DistTo for the named graph.
@@ -582,7 +592,11 @@ func (r *Registry) Path(name string, u, v int32) ([]int32, float64, error) {
 		return nil, 0, err
 	}
 	defer h.Release()
-	return h.Engine().Path(u, v)
+	path, length, err := h.Engine().Path(u, v)
+	if err == nil {
+		r.auditPath(context.Background(), name, h, u, v, path, length)
+	}
+	return path, length, err
 }
 
 // Tree serves Engine.Tree for the named graph.
@@ -617,7 +631,11 @@ func (r *Registry) Matrix(name string, sources, targets []int32) ([][]float64, e
 	if !ok {
 		return nil, fmt.Errorf("%w: matrix", ErrUnsupported)
 	}
-	return mb.Matrix(sources, targets)
+	rows, err := mb.Matrix(sources, targets)
+	if err == nil {
+		r.auditMatrix(context.Background(), name, h, sources, targets, rows)
+	}
+	return rows, err
 }
 
 // WaitReady blocks until the named graph is ready (nil), its build fails
@@ -828,6 +846,12 @@ func (r *Registry) Close() {
 	r.buildMu.Unlock()
 	r.cancel()
 	r.wg.Wait()
+	// Drain the audit sink before retiring engines: queued samples hold
+	// retained handle leases, and in-flight audits must finish (or be
+	// discarded) so no audit worker touches an engine after shutdown.
+	if r.cfg.Audit != nil {
+		r.cfg.Audit.Drain()
+	}
 	for _, e := range entries {
 		e.mu.Lock()
 		old := e.handle

@@ -7,11 +7,18 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+
+	"repro/internal/obs"
 )
 
 // maxMatrixBody bounds a /matrix request body; at 8 bytes a vertex id even
 // a full 64×64 ETA-matrix request is far under 1 MiB.
 const maxMatrixBody = 1 << 20
+
+// StaleHeader marks responses served from a pre-reload hot-pair row
+// (stale-while-revalidate). The obs middleware reads it to feed the SLO
+// stale-serve rate without parsing response bodies.
+const StaleHeader = obs.StaleHeader
 
 // matrixRequest is the POST /graphs/{name}/matrix body.
 type matrixRequest struct {
@@ -206,6 +213,7 @@ func NewRegistryHandler(r *Registry) http.Handler {
 			}
 			if stale {
 				resp["stale"] = true
+				w.Header().Set(StaleHeader, "true")
 			}
 			writeJSON(w, resp)
 			return
@@ -224,6 +232,7 @@ func NewRegistryHandler(r *Registry) http.Handler {
 		}
 		if res.Stale {
 			resp["stale"] = true
+			w.Header().Set(StaleHeader, "true")
 		}
 		writeJSON(w, resp)
 	})
@@ -246,6 +255,7 @@ func NewRegistryHandler(r *Registry) http.Handler {
 			writeError(w, err)
 			return
 		}
+		r.auditPath(req.Context(), name, h, from, to, path, length)
 		writeJSON(w, map[string]any{
 			"graph": name, "version": h.Version(),
 			"from": from, "to": to, "path": path, "length": jsonDist(length),
@@ -280,6 +290,7 @@ func NewRegistryHandler(r *Registry) http.Handler {
 			writeError(w, err)
 			return
 		}
+		r.auditMatrix(req.Context(), name, h, body.Sources, body.Targets, rows)
 		writeJSON(w, map[string]any{
 			"graph": name, "version": h.Version(),
 			"sources": body.Sources, "targets": body.Targets,

@@ -63,6 +63,7 @@ func (r *Registry) DistSWRContext(ctx context.Context, name string, source int32
 		if err != nil {
 			return SWRResult{}, err
 		}
+		r.auditDist(ctx, name, h, source, d)
 		return SWRResult{Dist: d, Version: h.Version()}, nil
 	}
 
@@ -116,6 +117,11 @@ func (r *Registry) DistSWRContext(ctx context.Context, name string, source int32
 		return SWRResult{}, err
 	}
 	r.hot.put(name, source, d, h.Version())
+	// Audit on the fill path only: cache hits re-serve bits that were
+	// sampled when the row was computed, so re-auditing them would burn
+	// exact recomputations on already-checked answers (stale hits are
+	// instead accounted by the SLO stale-serve rate).
+	r.auditDist(ctx, name, h, source, d)
 	return SWRResult{Dist: d, Version: h.Version()}, nil
 }
 

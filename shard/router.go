@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -38,6 +39,14 @@ type RouterConfig struct {
 	// Client issues query requests (nil: 60s-timeout default). Probes use
 	// their own short-timeout client regardless.
 	Client *http.Client
+	// ManifestDir is the directory holding the manifest's shard payload
+	// files. When set, shadow audits (oracle.AuditableBackend) can load
+	// shard subgraphs lazily to reconstruct the logical graph for exact
+	// recomputation — the only router code path that reads shard
+	// payloads, taken off the serve path and only when auditing samples.
+	// Empty leaves AuditGraph unsupported on the router. RouterSource
+	// fills it from the manifest path automatically.
+	ManifestDir string
 }
 
 func (cfg *RouterConfig) fill() {
@@ -119,6 +128,16 @@ func NewRouter(ctx context.Context, man *graphio.ShardManifest, pl *Placement, c
 	}
 	if cfg.DistCache > 0 {
 		o.distCache = lru.New[[]float64](cfg.DistCache)
+	}
+	if cfg.ManifestDir != "" {
+		dir := cfg.ManifestDir
+		o.loadShard = func(i int) (*graph.Graph, error) {
+			sg, err := man.LoadShard(dir, i)
+			if err != nil {
+				return nil, err
+			}
+			return sg.G, nil
+		}
 	}
 
 	r := &Router{
@@ -287,6 +306,9 @@ func RouterSource(manifestPath, placementPath string, peers []string, cfg Router
 		man, err := graphio.LoadShardManifest(manifestPath)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.ManifestDir == "" {
+			cfg.ManifestDir = filepath.Dir(manifestPath)
 		}
 		var pl *Placement
 		switch {

@@ -186,6 +186,23 @@ type Oracle struct {
 	// shared internal/lru; nil = disabled).
 	distCache *lru.Cache[[]float64]
 
+	// loadShard lazily loads one shard's subgraph when the shard engines
+	// are remote (set by NewRouter when a manifest directory is
+	// configured); nil otherwise. Used only by AuditGraph.
+	loadShard func(i int) (*graph.Graph, error)
+	// Audit-graph reconstruction is done at most once per oracle (the
+	// backend is immutable, so the logical graph is too).
+	auditOnce sync.Once
+	auditG    *graph.Graph
+	auditErr  error
+
+	// overlayFaultBits is a test-only fault injector: when non-zero it
+	// holds the Float64bits of a multiplicative corruption applied to the
+	// overlay leg of every routed Dist — the knob integration tests use
+	// to prove the shadow auditor catches a corrupted overlay weight.
+	// Never set in production paths.
+	overlayFaultBits atomic.Uint64
+
 	distQueries    atomic.Int64
 	multiQueries   atomic.Int64
 	nearestQueries atomic.Int64
@@ -544,6 +561,13 @@ func (o *Oracle) route(ctx context.Context, source int32) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	if scale := o.overlayFault(); scale != 1 {
+		scaled := make([]float64, len(ovMin))
+		for i, d := range ovMin {
+			scaled[i] = d * scale
+		}
+		ovMin = scaled
+	}
 
 	// Continue into every shard from its boundary, with the overlay cost
 	// already paid. Merging with the local leg is an elementwise min in
@@ -874,7 +898,90 @@ func (o *Oracle) Stats() oracle.Stats {
 	return st
 }
 
+// overlayFault reads the injected overlay corruption factor (1 = none).
+func (o *Oracle) overlayFault() float64 {
+	bits := o.overlayFaultBits.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
+
+// InjectOverlayFault is a TEST HOOK: it corrupts the overlay leg of every
+// subsequent routed Dist by the multiplicative scale (e.g. 2.0 doubles
+// every overlay distance), exactly as a corrupted overlay edge weight
+// would. Integration tests use it to prove the shadow auditor surfaces
+// the violation; the router's per-source cache is dropped so corrupted
+// answers are actually recomputed and served. Pass 1 (or 0) to clear.
+func (o *Oracle) InjectOverlayFault(scale float64) {
+	if scale == 1 || scale == 0 {
+		o.overlayFaultBits.Store(0)
+	} else {
+		o.overlayFaultBits.Store(math.Float64bits(scale))
+	}
+	if o.distCache != nil {
+		o.distCache.Purge()
+	}
+}
+
+// AuditGraph implements oracle.AuditableBackend: the logical input graph,
+// reassembled losslessly from the per-shard subgraphs (local vertex IDs
+// mapped back through each shard's vertex table) plus the cut edges. For
+// a distributed router the shard subgraphs are loaded from the manifest's
+// payload files on first use — the one code path that reads shard
+// payloads in a router process, taken only when shadow auditing is on and
+// strictly off the serve path. Reconstruction happens once; the result is
+// cached for the oracle's lifetime.
+func (o *Oracle) AuditGraph() (*graph.Graph, error) {
+	o.auditOnce.Do(func() { o.auditG, o.auditErr = o.buildAuditGraph() })
+	return o.auditG, o.auditErr
+}
+
+func (o *Oracle) buildAuditGraph() (*graph.Graph, error) {
+	var edges []graph.Edge
+	for key, w := range o.cutW {
+		edges = append(edges, graph.Edge{U: int32(key >> 32), V: int32(key & 0xffffffff), W: w})
+	}
+	for i := range o.shards {
+		sh := &o.shards[i]
+		var sg *graph.Graph
+		switch leg := sh.eng.(type) {
+		case localLeg:
+			// AuditGraph, not Hopset().G: the engine's retained graph may
+			// carry normalized weights, and cut edges (above) are in input
+			// units — the audit graph must be uniformly input-unit.
+			var err error
+			if sg, err = leg.Engine.AuditGraph(); err != nil {
+				return nil, fmt.Errorf("shard: audit graph of shard %d: %w", i, err)
+			}
+		default:
+			if o.loadShard == nil {
+				return nil, fmt.Errorf("%w: audit graph of remote shards without a manifest directory", oracle.ErrUnsupported)
+			}
+			var err error
+			if sg, err = o.loadShard(i); err != nil {
+				return nil, fmt.Errorf("shard: audit load of shard %d: %w", i, err)
+			}
+		}
+		for _, e := range sg.Edges {
+			edges = append(edges, graph.Edge{U: sh.vertices[e.U], V: sh.vertices[e.V], W: e.W})
+		}
+	}
+	return graph.FromEdges(o.n, edges)
+}
+
+// StretchBounds implements oracle.AuditableBackend. Dist answers honor
+// the composed (1+ε_local)(1+ε_overlay)(1+ε_local) bound; a stitched
+// Path's length (always the exact length of the concrete returned walk)
+// may additionally pay one (1+ε_overlay)(1+ε_local) factor for crossing
+// the overlay at an approximately-chosen boundary pair.
+func (o *Oracle) StretchBounds() (dist, path float64) {
+	b := (1 + o.epsLocal) * (1 + o.epsOverlay) * (1 + o.epsLocal)
+	return b, b * (1 + o.epsOverlay) * (1 + o.epsLocal)
+}
+
 var (
-	_ oracle.Backend       = (*Oracle)(nil)
-	_ oracle.MatrixBackend = (*Oracle)(nil)
+	_ oracle.Backend          = (*Oracle)(nil)
+	_ oracle.MatrixBackend    = (*Oracle)(nil)
+	_ oracle.AuditableBackend = (*Oracle)(nil)
 )
